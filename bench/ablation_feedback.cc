@@ -1,0 +1,118 @@
+// Ablation — relevance feedback (the paper's §7 future work).
+//
+// Protocol: a simulated user repeatedly queries the engine (Figure 8 setup),
+// judges each top-10 answer list against the generator's hidden oracle, and
+// the engine folds the judgments into its attribute importance weights
+// (pairwise exponentiated-gradient, core/feedback.h). We report the average
+// MRR and ground-truth answer quality per feedback round: if the tuning
+// works, both should climb above the round-0 (pure mined weights) baseline.
+
+#include "bench_util.h"
+#include "eval/metrics.h"
+#include "eval/simulated_user.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "webdb/web_database.h"
+
+using namespace aimq;
+using namespace aimq::bench;
+
+int main() {
+  PrintHeader("Ablation: relevance-feedback weight tuning (CarDB)");
+
+  CarDbGenerator generator = FullCarDbGenerator();
+  Relation data = generator.Generate();
+  WebDatabase db("CarDB", data);
+
+  AimqOptions options = CarDbOptions();
+  options.collector.sample_size = 25000;
+  auto knowledge = BuildKnowledge(db, options);
+  if (!knowledge.ok()) {
+    std::fprintf(stderr, "offline learning failed\n");
+    return 1;
+  }
+  AimqEngine engine(&db, knowledge.TakeValue(), options);
+
+  SimulatedUserOptions uopts;
+  uopts.noise_stddev = 0.02;
+  SimulatedUser judge(
+      [&generator](const Tuple& a, const Tuple& b) {
+        return generator.TupleSimilarity(a, b);
+      },
+      uopts);
+  RelevanceFeedback feedback;
+
+  // Training queries (feedback source) and held-out queries (evaluation).
+  Rng rng(83);
+  std::vector<size_t> train_rows =
+      rng.SampleWithoutReplacement(data.NumTuples(), 20);
+  std::vector<size_t> eval_rows =
+      rng.SampleWithoutReplacement(data.NumTuples(), 14);
+
+  auto evaluate = [&]() {
+    std::vector<double> mrr, quality;
+    for (size_t row : eval_rows) {
+      const Tuple& probe = data.tuple(row);
+      auto answers = engine.FindSimilar(probe, 10, options.tsim,
+                                        RelaxationStrategy::kGuided);
+      if (!answers.ok() || answers->empty()) continue;
+      mrr.push_back(PaperMrr(judge.RankAnswers(probe, *answers)));
+      std::vector<double> gt;
+      for (const RankedAnswer& a : *answers) {
+        gt.push_back(generator.TupleSimilarity(probe, a.tuple));
+      }
+      quality.push_back(Mean(gt));
+    }
+    return std::make_pair(Mean(mrr), Mean(quality));
+  };
+
+  std::vector<std::vector<std::string>> rows;
+  auto [mrr0, q0] = evaluate();
+  rows.push_back({"0 (mined weights)", FormatDouble(mrr0, 3),
+                  FormatDouble(q0, 3)});
+
+  const int kRounds = 4;
+  double final_mrr = mrr0, final_q = q0;
+  for (int round = 1; round <= kRounds; ++round) {
+    // One pass of feedback over the training queries.
+    for (size_t row : train_rows) {
+      const Tuple& probe = data.tuple(row);
+      auto answers = engine.FindSimilar(probe, 10, options.tsim,
+                                        RelaxationStrategy::kGuided);
+      if (!answers.ok() || answers->empty()) continue;
+      std::vector<int> user_ranks = judge.RankAnswers(probe, *answers);
+      std::vector<JudgedAnswer> judged;
+      for (size_t i = 0; i < answers->size(); ++i) {
+        judged.push_back(JudgedAnswer{(*answers)[i].tuple, user_ranks[i]});
+      }
+      auto updated = engine.ApplyFeedback(feedback, probe, judged);
+      if (!updated.ok()) {
+        std::fprintf(stderr, "feedback failed: %s\n",
+                     updated.status().ToString().c_str());
+        return 1;
+      }
+    }
+    auto [mrr, q] = evaluate();
+    final_mrr = mrr;
+    final_q = q;
+    rows.push_back({std::to_string(round), FormatDouble(mrr, 3),
+                    FormatDouble(q, 3)});
+  }
+
+  std::printf("\nHeld-out evaluation after each feedback round "
+              "(20 training queries per round)\n");
+  PrintTable({"Round", "Avg MRR", "Avg GT similarity of top-10"}, rows);
+
+  std::printf("\nFinal importance weights:\n");
+  for (size_t a = 0; a < db.schema().NumAttributes(); ++a) {
+    std::printf("  %-10s %.3f\n", db.schema().attribute(a).name.c_str(),
+                engine.knowledge().ordering.Wimp(a));
+  }
+  std::printf(
+      "\nExpectation (paper §7): feedback tuning should not hurt and "
+      "typically improves agreement with users -> %s "
+      "(MRR %.3f -> %.3f, GT quality %.3f -> %.3f)\n",
+      final_mrr + 0.03 >= mrr0 ? "holds" : "does NOT hold", mrr0, final_mrr,
+      q0, final_q);
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Ablation — data-driven vs query-driven vs hybrid attribute importance.
+//
+// Paper §7 contrasts its data-driven importance (this system) with
+// query-driven importance (the authors' companion approach): the latter
+// "exploits user interest when the query workloads become available" but
+// suffers a chicken-and-egg problem for new systems. This bench simulates a
+// workload (car shoppers overwhelmingly constrain Model and Price), derives
+// query-driven weights from the log, and compares pure data-driven, pure
+// query-driven, and blended weights on the Figure-8-style simulated user
+// study — with bootstrap confidence intervals.
+
+#include <memory>
+
+#include "bench_util.h"
+#include "eval/metrics.h"
+#include "eval/simulated_user.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "webdb/web_database.h"
+#include "workload/query_log.h"
+
+using namespace aimq;
+using namespace aimq::bench;
+
+int main() {
+  PrintHeader("Ablation: data-driven vs query-driven importance (CarDB)");
+
+  CarDbGenerator generator = FullCarDbGenerator();
+  Relation data = generator.Generate();
+  WebDatabase db("CarDB", data);
+
+  AimqOptions options = CarDbOptions();
+  options.collector.sample_size = 25000;
+  auto mined = BuildKnowledge(db, options);
+  if (!mined.ok()) {
+    std::fprintf(stderr, "offline learning failed\n");
+    return 1;
+  }
+  std::vector<double> data_driven = mined->WimpVector();
+
+  // Simulated workload: 500 queries with realistic attribute usage — nearly
+  // every shopper constrains Model and/or Price; Year and Make are common;
+  // Location sometimes; Mileage/Color rarely typed into the form.
+  QueryLog log(&db.schema());
+  {
+    Rng rng(91);
+    const std::vector<std::pair<const char*, double>> usage{
+        {"Model", 0.85}, {"Price", 0.75},   {"Year", 0.35},
+        {"Make", 0.30},  {"Location", 0.15}, {"Mileage", 0.08},
+        {"Color", 0.03}};
+    for (int i = 0; i < 500; ++i) {
+      ImpreciseQuery q;
+      for (const auto& [attr, p] : usage) {
+        if (rng.Bernoulli(p)) {
+          const Schema& s = db.schema();
+          size_t index = s.IndexOf(attr).ValueOrDie();
+          q.Bind(attr, s.attribute(index).type == AttrType::kNumeric
+                           ? Value::Num(1)
+                           : Value::Cat("x"));
+        }
+      }
+      if (q.Empty()) q.Bind("Model", Value::Cat("x"));
+      if (!log.Record(q).ok()) return 1;
+    }
+  }
+  std::vector<double> query_driven = log.ImportanceWeights();
+  std::printf("\nWorkload of %zu queries. Query-driven weights:\n",
+              log.NumQueries());
+  for (size_t a = 0; a < db.schema().NumAttributes(); ++a) {
+    std::printf("  %-10s data=%.3f query=%.3f\n",
+                db.schema().attribute(a).name.c_str(), data_driven[a],
+                query_driven[a]);
+  }
+
+  // Three engines differing only in ranking weights. (AimqEngine is pinned
+  // in memory, so build each behind a unique_ptr.)
+  auto engine_with_weights = [&](const std::vector<double>& w)
+      -> std::unique_ptr<AimqEngine> {
+    auto k = BuildKnowledge(db, options);
+    if (!k.ok()) return nullptr;
+    if (!k->ordering.SetWimp(w).ok()) return nullptr;
+    return std::make_unique<AimqEngine>(&db, k.TakeValue(), options);
+  };
+  auto blended = BlendWeights(data_driven, query_driven, 0.5);
+  if (!blended.ok()) return 1;
+
+  auto data_engine = engine_with_weights(data_driven);
+  auto query_engine = engine_with_weights(query_driven);
+  auto hybrid_engine = engine_with_weights(*blended);
+  if (!data_engine || !query_engine || !hybrid_engine) {
+    std::fprintf(stderr, "engine construction failed\n");
+    return 1;
+  }
+
+  SimulatedUserOptions uopts;
+  uopts.noise_stddev = 0.02;
+  SimulatedUser judge(
+      [&generator](const Tuple& a, const Tuple& b) {
+        return generator.TupleSimilarity(a, b);
+      },
+      uopts);
+
+  Rng rng(97);
+  std::vector<size_t> query_rows =
+      rng.SampleWithoutReplacement(data.NumTuples(), 20);
+  auto evaluate = [&](AimqEngine& engine) {
+    std::vector<double> mrr;
+    for (size_t row : query_rows) {
+      const Tuple& probe = data.tuple(row);
+      auto answers = engine.FindSimilar(probe, 10, options.tsim,
+                                        RelaxationStrategy::kGuided);
+      if (!answers.ok() || answers->empty()) continue;
+      mrr.push_back(PaperMrr(judge.RankAnswers(probe, *answers)));
+    }
+    return BootstrapMeanCI(mrr);
+  };
+
+  MeanCI d = evaluate(*data_engine);
+  MeanCI q = evaluate(*query_engine);
+  MeanCI h = evaluate(*hybrid_engine);
+  auto fmt = [](const MeanCI& ci) {
+    return FormatDouble(ci.mean, 3) + "  [" + FormatDouble(ci.lo, 3) + ", " +
+           FormatDouble(ci.hi, 3) + "]";
+  };
+  std::printf("\nSimulated user study, 20 queries, 95%% bootstrap CI\n");
+  PrintTable({"Weighting", "Avg MRR  [95% CI]"},
+             {{"Data-driven (AIMQ, this paper)", fmt(d)},
+              {"Query-driven (workload)", fmt(q)},
+              {"Hybrid (alpha = 0.5)", fmt(h)}});
+  std::printf(
+      "\nPaper's framing: data-driven importance works with no workload at "
+      "all; query-driven needs a log but captures user interest; the hybrid "
+      "should be competitive with both.\n");
+  return 0;
+}

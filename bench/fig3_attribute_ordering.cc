@@ -1,0 +1,94 @@
+// Figure 3 — Robustness of attribute ordering.
+//
+// The paper mines AFDs from random CarDB samples of 15k, 25k, 50k and 100k
+// tuples and plots each attribute's dependence weight (Wtdepends). The
+// absolute weights shrink with smaller samples, but the *relative ordering*
+// of the attributes is stable — in particular Make is the most dependent
+// attribute (it is decided by Model) — so the relaxation order learned from
+// a small probed sample matches the one the full database would give.
+
+#include <algorithm>
+
+#include "bench_util.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+using namespace aimq;
+using namespace aimq::bench;
+
+int main() {
+  PrintHeader("Figure 3: Robustness of Attribute Ordering (CarDB)");
+
+  Relation full = FullCarDb();
+  const Schema& schema = full.schema();
+  AimqOptions options = CarDbOptions();
+
+  const std::vector<size_t> sample_sizes{15000, 25000, 50000, 100000};
+  std::vector<std::vector<double>> depends;   // per sample, per attribute
+  std::vector<std::vector<size_t>> orders;    // relaxation orders
+
+  Rng rng(17);
+  for (size_t size : sample_sizes) {
+    Relation sample = size >= full.NumTuples()
+                          ? full
+                          : full.SampleWithoutReplacement(size, &rng);
+    auto knowledge = BuildKnowledgeFromSample(std::move(sample), options);
+    if (!knowledge.ok()) {
+      std::fprintf(stderr, "mining failed at %zu: %s\n", size,
+                   knowledge.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<double> w;
+    for (size_t a = 0; a < schema.NumAttributes(); ++a) {
+      w.push_back(knowledge->ordering.WtDepends(a));
+    }
+    depends.push_back(std::move(w));
+    orders.push_back(knowledge->ordering.relaxation_order());
+  }
+
+  std::vector<std::string> header{"Attribute"};
+  for (size_t size : sample_sizes) {
+    header.push_back(std::to_string(size / 1000) + "k");
+  }
+  std::vector<std::vector<std::string>> rows;
+  for (size_t a = 0; a < schema.NumAttributes(); ++a) {
+    std::vector<std::string> row{schema.attribute(a).name};
+    for (size_t s = 0; s < sample_sizes.size(); ++s) {
+      row.push_back(FormatDouble(depends[s][a], 3));
+    }
+    rows.push_back(std::move(row));
+  }
+  std::printf("\nWtdepends per attribute (columns: sample size)\n");
+  PrintTable(header, rows);
+
+  // Relative-order stability: Kendall-style pairwise agreement between each
+  // sample's Wtdepends ordering and the full database's.
+  std::printf("\nRelaxation order per sample size:\n");
+  for (size_t s = 0; s < sample_sizes.size(); ++s) {
+    std::vector<std::string> names;
+    for (size_t a : orders[s]) names.push_back(schema.attribute(a).name);
+    std::printf("  %6zuk: %s\n", sample_sizes[s] / 1000,
+                Join(names, " < ").c_str());
+  }
+
+  const std::vector<double>& ref = depends.back();
+  for (size_t s = 0; s + 1 < sample_sizes.size(); ++s) {
+    size_t agree = 0, total = 0;
+    for (size_t a = 0; a < ref.size(); ++a) {
+      for (size_t b = a + 1; b < ref.size(); ++b) {
+        ++total;
+        bool ref_less = ref[a] < ref[b];
+        bool smp_less = depends[s][a] < depends[s][b];
+        agree += (ref_less == smp_less);
+      }
+    }
+    std::printf(
+        "Pairwise Wtdepends order agreement %zuk vs 100k: %zu/%zu (%.0f%%)\n",
+        sample_sizes[s] / 1000, agree, total,
+        100.0 * agree / static_cast<double>(total));
+  }
+  std::printf(
+      "\nPaper shape: weights shrink on smaller samples but the relative "
+      "ordering is preserved; Make is the most dependent attribute.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 5 — Similarity graph for Make values.
+//
+// The paper draws the mined similarity graph over CarDB's Make values:
+// Ford-Chevrolet 0.25, Ford-Toyota 0.16, Ford-Honda 0.12, Ford-Nissan 0.15,
+// Ford-Dodge 0.22, Chevrolet-Nissan 0.11, with BMW disconnected from Ford
+// (similarity below the threshold). The shape to reproduce: same-market
+// makes (US big three; the Japanese sedan makers) form strong edges, while
+// luxury makes sit far from mass-market ones.
+
+#include "bench_util.h"
+#include "similarity/similarity_graph.h"
+#include "util/strings.h"
+
+using namespace aimq;
+using namespace aimq::bench;
+
+int main() {
+  PrintHeader("Figure 5: Similarity Graph for Make (CarDB 100k)");
+
+  Relation full = FullCarDb();
+  auto knowledge = BuildKnowledgeFromSample(full, CarDbOptions());
+  if (!knowledge.ok()) {
+    std::fprintf(stderr, "mining failed: %s\n",
+                 knowledge.status().ToString().c_str());
+    return 1;
+  }
+
+  // The paper prunes sub-threshold edges but does not give the threshold;
+  // we derive one from the edge distribution (keep the ~10 strongest edges)
+  // so the figure stays legible across data tweaks.
+  SimilarityGraph all_edges =
+      SimilarityGraph::Extract(knowledge->vsim, CarDbGenerator::kMake, 0.0);
+  double threshold = 0.0;
+  if (all_edges.edges().size() > 10) {
+    threshold = all_edges.edges()[9].similarity;
+  }
+  SimilarityGraph graph = SimilarityGraph::Extract(
+      knowledge->vsim, CarDbGenerator::kMake, threshold);
+
+  std::vector<std::vector<std::string>> rows;
+  for (const SimilarityEdge& e : graph.edges()) {
+    rows.push_back({e.a.ToString(), e.b.ToString(),
+                    FormatDouble(e.similarity, 3)});
+  }
+  std::printf("\nEdges with VSim >= %.2f\n", threshold);
+  PrintTable({"Make A", "Make B", "VSim"}, rows);
+
+  // The paper's focal node.
+  std::printf("\nNeighbors of Ford:\n");
+  for (const SimilarityEdge& e : graph.EdgesOf(Value::Cat("Ford"))) {
+    const Value& other = e.a == Value::Cat("Ford") ? e.b : e.a;
+    std::printf("  Ford -- %-12s %.3f\n", other.ToString().c_str(),
+                e.similarity);
+  }
+  bool ford_chevy = false, ford_luxury = false;
+  for (const SimilarityEdge& e : graph.EdgesOf(Value::Cat("Ford"))) {
+    const Value& other = e.a == Value::Cat("Ford") ? e.b : e.a;
+    if (other == Value::Cat("Chevrolet")) ford_chevy = true;
+    if (other == Value::Cat("BMW") || other == Value::Cat("Mercedes")) {
+      ford_luxury = true;
+    }
+  }
+  // Extra structural check: the luxury makes pair with each other.
+  auto bmw_top = knowledge->vsim.TopSimilar(CarDbGenerator::kMake,
+                                            Value::Cat("BMW"), 1);
+  bool bmw_mercedes =
+      !bmw_top.empty() && bmw_top[0].first == Value::Cat("Mercedes");
+  std::printf(
+      "\nPaper shape: Ford-Chevrolet edge present (%s), Ford-BMW/Mercedes "
+      "pruned (%s); BMW's closest make is Mercedes (%s)\n",
+      ford_chevy ? "yes" : "NO", !ford_luxury ? "yes" : "NO",
+      bmw_mercedes ? "yes" : "NO");
+
+  std::printf("\nGraphviz DOT:\n%s", graph.ToDot("make_similarity").c_str());
+  return 0;
+}

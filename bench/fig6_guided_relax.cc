@@ -1,0 +1,8 @@
+// Figure 6 — Efficiency of GuidedRelax (see relax_efficiency.h).
+
+#include "relax_efficiency.h"
+
+int main() {
+  return aimq::bench::RunRelaxEfficiency(
+      aimq::RelaxationStrategy::kGuided);
+}

@@ -1,0 +1,8 @@
+// Figure 7 — Efficiency of RandomRelax (see relax_efficiency.h).
+
+#include "relax_efficiency.h"
+
+int main() {
+  return aimq::bench::RunRelaxEfficiency(
+      aimq::RelaxationStrategy::kRandom);
+}

@@ -1,0 +1,138 @@
+// Microbenchmarks (google-benchmark) for the library's hot kernels:
+// stripped-partition construction and products, g3 error evaluation,
+// bag-Jaccard, supertuple construction, value-similarity mining, TANE, and
+// ROCK link computation. These quantify where the offline phases of Table 2
+// spend their time.
+
+#include <benchmark/benchmark.h>
+
+#include "afd/partition.h"
+#include "afd/tane.h"
+#include "datagen/cardb.h"
+#include "rock/rock.h"
+#include "similarity/supertuple.h"
+#include "similarity/value_similarity.h"
+#include "util/bag.h"
+#include "util/rng.h"
+
+namespace aimq {
+namespace {
+
+const Relation& CarSample(size_t n) {
+  static auto* cache = new std::unordered_map<size_t, Relation>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    CarDbSpec spec;
+    spec.num_tuples = n;
+    spec.seed = 2006;
+    it = cache->emplace(n, CarDbGenerator(spec).Generate()).first;
+  }
+  return it->second;
+}
+
+void BM_PartitionFromColumn(benchmark::State& state) {
+  const Relation& r = CarSample(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        StrippedPartition::FromColumn(r, CarDbGenerator::kModel));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(r.NumTuples()));
+}
+BENCHMARK(BM_PartitionFromColumn)->Arg(10000)->Arg(50000)->Arg(100000);
+
+void BM_PartitionProduct(benchmark::State& state) {
+  const Relation& r = CarSample(static_cast<size_t>(state.range(0)));
+  StrippedPartition model =
+      StrippedPartition::FromColumn(r, CarDbGenerator::kModel);
+  StrippedPartition year =
+      StrippedPartition::FromColumn(r, CarDbGenerator::kYear);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Product(year));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(r.NumTuples()));
+}
+BENCHMARK(BM_PartitionProduct)->Arg(10000)->Arg(100000);
+
+void BM_FdError(benchmark::State& state) {
+  const Relation& r = CarSample(static_cast<size_t>(state.range(0)));
+  StrippedPartition model =
+      StrippedPartition::FromColumn(r, CarDbGenerator::kModel);
+  StrippedPartition model_make = model.Product(
+      StrippedPartition::FromColumn(r, CarDbGenerator::kMake));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.FdError(model_make));
+  }
+}
+BENCHMARK(BM_FdError)->Arg(10000)->Arg(100000);
+
+void BM_BagJaccard(benchmark::State& state) {
+  Rng rng(7);
+  Bag a, b;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    a.Add("k" + std::to_string(rng.Uniform(state.range(0))), 1 + rng.Uniform(9));
+    b.Add("k" + std::to_string(rng.Uniform(state.range(0))), 1 + rng.Uniform(9));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.JaccardSimilarity(b));
+  }
+}
+BENCHMARK(BM_BagJaccard)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_SuperTupleBuildAll(benchmark::State& state) {
+  const Relation& r = CarSample(static_cast<size_t>(state.range(0)));
+  SuperTupleBuilder builder(r, SuperTupleOptions{});
+  for (auto _ : state) {
+    auto sts = builder.BuildAll(CarDbGenerator::kMake);
+    benchmark::DoNotOptimize(sts);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(r.NumTuples()));
+}
+BENCHMARK(BM_SuperTupleBuildAll)->Arg(25000)->Arg(100000);
+
+void BM_SimilarityMineMake(benchmark::State& state) {
+  const Relation& r = CarSample(static_cast<size_t>(state.range(0)));
+  std::vector<double> wimp(r.schema().NumAttributes(),
+                           1.0 / r.schema().NumAttributes());
+  SimilarityMiner miner;
+  for (auto _ : state) {
+    auto model = miner.MineAttributes(r, wimp, {CarDbGenerator::kMake});
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(BM_SimilarityMineMake)->Arg(25000)->Arg(100000);
+
+void BM_TaneMine(benchmark::State& state) {
+  const Relation& r = CarSample(static_cast<size_t>(state.range(0)));
+  TaneOptions opts;
+  opts.error_threshold = 0.30;
+  opts.max_lhs_size = 3;
+  opts.max_key_size = 4;
+  for (auto _ : state) {
+    auto deps = Tane::Mine(r, opts);
+    benchmark::DoNotOptimize(deps);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(r.NumTuples()));
+}
+BENCHMARK(BM_TaneMine)->Arg(15000)->Arg(50000)->Arg(100000);
+
+void BM_RockBuild2k(benchmark::State& state) {
+  const Relation& r = CarSample(static_cast<size_t>(state.range(0)));
+  RockOptions opts;
+  opts.theta = 0.5;
+  opts.sample_size = 2000;
+  opts.num_clusters = 20;
+  for (auto _ : state) {
+    auto rock = RockClustering::Build(r, opts);
+    benchmark::DoNotOptimize(rock);
+  }
+}
+BENCHMARK(BM_RockBuild2k)->Arg(10000)->Arg(25000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace aimq
+
+BENCHMARK_MAIN();

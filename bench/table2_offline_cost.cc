@@ -1,0 +1,110 @@
+// Table 2 — Offline computation time.
+//
+// Paper (on a 1.5 GHz / 768 MB Windows box, Java implementations):
+//                         CarDB (25k)   CensusDB (45k)
+//   AIMQ
+//     SuperTuple Generation   3 min          4 min
+//     Similarity Estimation  15 min         20 min
+//   ROCK
+//     Link Computation (2k)  20 min         35 min
+//     Initial Clustering (2k)45 min         86 min
+//     Data Labeling          30 min         50 min
+//
+// Absolute numbers are incomparable across machines/languages; the shape to
+// reproduce is that AIMQ's offline cost is a small fraction of ROCK's and
+// that ROCK's clustering dominates.
+
+#include "bench_util.h"
+#include "rock/rock.h"
+#include "util/strings.h"
+#include "webdb/web_database.h"
+
+using namespace aimq;
+using namespace aimq::bench;
+
+namespace {
+
+struct Costs {
+  double supertuple_s = 0;
+  double similarity_s = 0;
+  double rock_link_s = 0;
+  double rock_cluster_s = 0;
+  double rock_label_s = 0;
+};
+
+Costs Measure(const Relation& data, const AimqOptions& options) {
+  Costs costs;
+  // AIMQ offline phases on the full sample (as in the paper's Table 2 the
+  // dataset itself is what gets mined).
+  OfflineTimings timings;
+  auto knowledge = BuildKnowledgeFromSample(data, options, &timings);
+  if (!knowledge.ok()) {
+    std::fprintf(stderr, "AIMQ offline failed: %s\n",
+                 knowledge.status().ToString().c_str());
+    std::exit(1);
+  }
+  costs.supertuple_s = timings.supertuple_seconds;
+  costs.similarity_s = timings.similarity_estimation_seconds;
+
+  RockOptions ropts;
+  ropts.theta = 0.5;
+  ropts.sample_size = 2000;  // the paper clusters a 2k sample
+  ropts.num_clusters = 20;
+  RockTimings rtimings;
+  auto rock = RockClustering::Build(data, ropts, &rtimings);
+  if (!rock.ok()) {
+    std::fprintf(stderr, "ROCK failed: %s\n",
+                 rock.status().ToString().c_str());
+    std::exit(1);
+  }
+  costs.rock_link_s = rtimings.link_seconds;
+  costs.rock_cluster_s = rtimings.cluster_seconds;
+  costs.rock_label_s = rtimings.label_seconds;
+  return costs;
+}
+
+std::string Sec(double s) { return FormatDouble(s, 2) + " s"; }
+
+}  // namespace
+
+int main() {
+  PrintHeader("Table 2: Offline Computation Time");
+
+  CarDbSpec car_spec;
+  car_spec.num_tuples = 25000;
+  car_spec.seed = 2006;
+  Relation cardb = CarDbGenerator(car_spec).Generate();
+  Costs car = Measure(cardb, CarDbOptions());
+
+  CensusDataset census = FullCensusDb();
+  Costs cen = Measure(census.relation, CensusOptions());
+
+  PrintTable(
+      {"Phase", "CarDB (25k)", "CensusDB (45k)"},
+      {
+          {"AIMQ: SuperTuple Generation", Sec(car.supertuple_s),
+           Sec(cen.supertuple_s)},
+          {"AIMQ: Similarity Estimation", Sec(car.similarity_s),
+           Sec(cen.similarity_s)},
+          {"ROCK: Link Computation (2k)", Sec(car.rock_link_s),
+           Sec(cen.rock_link_s)},
+          {"ROCK: Initial Clustering (2k)", Sec(car.rock_cluster_s),
+           Sec(cen.rock_cluster_s)},
+          {"ROCK: Data Labeling", Sec(car.rock_label_s),
+           Sec(cen.rock_label_s)},
+      });
+
+  double aimq_car = car.supertuple_s + car.similarity_s;
+  double rock_car = car.rock_link_s + car.rock_cluster_s + car.rock_label_s;
+  double aimq_cen = cen.supertuple_s + cen.similarity_s;
+  double rock_cen = cen.rock_link_s + cen.rock_cluster_s + cen.rock_label_s;
+  std::printf(
+      "\nAIMQ total vs ROCK total:  CarDB %.2fs vs %.2fs (x%.1f),  "
+      "CensusDB %.2fs vs %.2fs (x%.1f)\n",
+      aimq_car, rock_car, rock_car / (aimq_car > 0 ? aimq_car : 1e-9),
+      aimq_cen, rock_cen, rock_cen / (aimq_cen > 0 ? aimq_cen : 1e-9));
+  std::printf(
+      "Paper shape: AIMQ offline cost is a small fraction of ROCK's "
+      "(18 min vs 95 min on CarDB, 24 min vs 171 min on CensusDB).\n");
+  return 0;
+}

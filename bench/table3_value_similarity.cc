@@ -1,0 +1,85 @@
+// Table 3 — Robust similarity estimation.
+//
+// The paper lists the top-3 values similar to Make=Kia, Model=Bronco and
+// Year=1985 as estimated from a 25k sample and from the full 100k CarDB:
+//
+//   Make=Kia      -> Hyundai 0.17, Isuzu 0.15, Subaru 0.13
+//   Model=Bronco  -> Aerostar 0.19/0.21, F-350 0/0.12, Econoline Van 0.11
+//   Year=1985     -> 1986 0.16/0.18, 1984 0.13/0.14, 1987 0.12
+//
+// Absolute similarity values are lower on the smaller sample but the
+// relative ordering among values is maintained; that ordering (not the
+// magnitude) is what drives ranking.
+
+#include "bench_util.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+using namespace aimq;
+using namespace aimq::bench;
+
+namespace {
+
+struct Probe {
+  size_t attr;
+  const char* value;
+  const char* label;
+};
+
+}  // namespace
+
+int main() {
+  PrintHeader("Table 3: Robust Similarity Estimation (CarDB 25k vs 100k)");
+
+  Relation full = FullCarDb();
+  AimqOptions options = CarDbOptions();
+
+  Rng rng(29);
+  Relation sample25 = full.SampleWithoutReplacement(25000, &rng);
+
+  auto k100 = BuildKnowledgeFromSample(full, options);
+  auto k25 = BuildKnowledgeFromSample(std::move(sample25), options);
+  if (!k100.ok() || !k25.ok()) {
+    std::fprintf(stderr, "mining failed\n");
+    return 1;
+  }
+
+  const std::vector<Probe> probes{
+      {CarDbGenerator::kMake, "Kia", "Make=Kia"},
+      {CarDbGenerator::kModel, "Bronco", "Model=Bronco"},
+      {CarDbGenerator::kYear, "1985", "Year=1985"},
+  };
+
+  std::vector<std::vector<std::string>> rows;
+  size_t overlap_total = 0;
+  for (const Probe& probe : probes) {
+    auto top100 =
+        k100->vsim.TopSimilar(probe.attr, Value::Cat(probe.value), 3);
+    auto top25 = k25->vsim.TopSimilar(probe.attr, Value::Cat(probe.value), 3);
+    for (size_t i = 0; i < top100.size(); ++i) {
+      double sim25 =
+          k25->vsim.VSim(probe.attr, Value::Cat(probe.value), top100[i].first);
+      rows.push_back({i == 0 ? probe.label : "",
+                      top100[i].first.ToString(),
+                      FormatDouble(sim25, 3),
+                      FormatDouble(top100[i].second, 3)});
+      for (const auto& [value, sim] : top25) {
+        if (value == top100[i].first) ++overlap_total;
+      }
+    }
+  }
+
+  PrintTable({"Value", "Similar Values", "25k", "100k"}, rows);
+  // The robust form of the paper's claim: the sample and the full database
+  // surface (essentially) the same nearest neighbors. The paper's own 25k
+  // column reorders near-ties (its F-350 similarity drops to 0 at 25k), so
+  // we check top-3 set overlap rather than strict ordering.
+  std::printf(
+      "\nTop-3 set overlap between 25k and 100k: %zu/9 -> %s\n",
+      overlap_total,
+      overlap_total >= 7 ? "paper shape REPRODUCED" : "NOT reproduced");
+  std::printf(
+      "Paper shape: smaller samples shrink the absolute similarities but "
+      "keep the relative order.\n");
+  return 0;
+}

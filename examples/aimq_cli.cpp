@@ -1,0 +1,146 @@
+// aimq_cli: a small command-line front end over the full stack — dataset
+// loading (CSV) or generation, one-command offline learning with persistence,
+// and imprecise queries in the paper's text syntax.
+//
+// Usage:
+//   aimq_cli gen-cardb <out.csv> [tuples]         generate a CarDB CSV
+//   aimq_cli mine <data.csv|cardb:N> <model-dir>  probe + mine + save
+//   aimq_cli ask <data.csv|cardb:N> <model-dir> '<query>'
+//   aimq_cli show <model-dir>                     print mined knowledge
+//
+// Query syntax: CarDB(Model like Camry, Price like 10000)
+// Data can be a CSV written by gen-cardb (schema inferred as CarDB), or
+// "cardb:N" to generate N tuples on the fly.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/engine.h"
+#include "core/knowledge.h"
+#include "core/persist.h"
+#include "core/report.h"
+#include "datagen/cardb.h"
+#include "query/parser.h"
+#include "util/strings.h"
+
+using namespace aimq;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+// Loads "cardb:N" (generated) or a CSV file with the CarDB schema.
+Result<Relation> LoadData(const std::string& source) {
+  if (StartsWith(source, "cardb:")) {
+    CarDbSpec spec;
+    spec.num_tuples = static_cast<size_t>(std::atoll(source.c_str() + 6));
+    if (spec.num_tuples == 0) {
+      return Status::InvalidArgument("cardb:N requires N > 0");
+    }
+    return CarDbGenerator(spec).Generate();
+  }
+  return Relation::ReadCsv(source, CarDbGenerator::MakeSchema());
+}
+
+AimqOptions DefaultOptions() {
+  AimqOptions options;
+  options.tsim = 0.5;
+  options.top_k = 10;
+  return options;
+}
+
+int GenCarDb(const std::string& path, size_t tuples) {
+  CarDbSpec spec;
+  spec.num_tuples = tuples;
+  Relation data = CarDbGenerator(spec).Generate();
+  Status st = data.WriteCsv(path);
+  if (!st.ok()) return Fail(st);
+  std::printf("wrote %zu tuples to %s\n", data.NumTuples(), path.c_str());
+  return 0;
+}
+
+int Mine(const std::string& source, const std::string& dir) {
+  auto data = LoadData(source);
+  if (!data.ok()) return Fail(data.status());
+  WebDatabase db("CarDB", data.TakeValue());
+  AimqOptions options = DefaultOptions();
+  options.collector.sample_size = db.NumTuples() / 3;
+
+  OfflineTimings timings;
+  auto knowledge = BuildKnowledge(db, options, &timings);
+  if (!knowledge.ok()) return Fail(knowledge.status());
+  std::printf("mined %zu AFDs, %zu keys in %.2fs\n",
+              knowledge->dependencies.afds.size(),
+              knowledge->dependencies.keys.size(), timings.TotalSeconds());
+  Status st = SaveKnowledge(*knowledge, db.schema(), dir);
+  if (!st.ok()) return Fail(st);
+  std::printf("saved model to %s\n", dir.c_str());
+  return 0;
+}
+
+int Show(const std::string& dir) {
+  Schema schema = CarDbGenerator::MakeSchema();
+  auto knowledge = LoadKnowledge(schema, dir);
+  if (!knowledge.ok()) return Fail(knowledge.status());
+  // The full Markdown mining report an operator would review.
+  std::printf("%s", RenderMiningReport(*knowledge, schema).c_str());
+  return 0;
+}
+
+int Ask(const std::string& source, const std::string& dir,
+        const std::string& query_text) {
+  auto data = LoadData(source);
+  if (!data.ok()) return Fail(data.status());
+  WebDatabase db("CarDB", data.TakeValue());
+
+  auto knowledge = LoadKnowledge(db.schema(), dir);
+  if (!knowledge.ok()) return Fail(knowledge.status());
+
+  QueryParser parser(&db.schema());
+  auto query = parser.ParseImprecise(query_text);
+  if (!query.ok()) return Fail(query.status());
+
+  AimqEngine engine(&db, knowledge.TakeValue(), DefaultOptions());
+  auto answers = engine.Answer(*query);
+  if (!answers.ok()) return Fail(answers.status());
+
+  std::printf("%s -> %zu answers\n", query->ToString().c_str(),
+              answers->size());
+  int rank = 1;
+  for (const RankedAnswer& a : *answers) {
+    std::printf("%2d. [%.3f] %s\n", rank++, a.similarity,
+                a.tuple.ToString().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 3 && std::strcmp(argv[1], "gen-cardb") == 0) {
+    return GenCarDb(argv[2],
+                    argc > 3 ? static_cast<size_t>(std::atoll(argv[3]))
+                             : 25000);
+  }
+  if (argc == 4 && std::strcmp(argv[1], "mine") == 0) {
+    return Mine(argv[2], argv[3]);
+  }
+  if (argc == 3 && std::strcmp(argv[1], "show") == 0) {
+    return Show(argv[2]);
+  }
+  if (argc == 5 && std::strcmp(argv[1], "ask") == 0) {
+    return Ask(argv[2], argv[3], argv[4]);
+  }
+  std::fprintf(stderr,
+               "usage:\n"
+               "  aimq_cli gen-cardb <out.csv> [tuples]\n"
+               "  aimq_cli mine <data.csv|cardb:N> <model-dir>\n"
+               "  aimq_cli show <model-dir>\n"
+               "  aimq_cli ask <data.csv|cardb:N> <model-dir> '<query>'\n");
+  return 2;
+}

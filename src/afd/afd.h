@@ -1,0 +1,71 @@
+// AFD / AKey result types produced by the dependency miner (paper §4).
+
+#ifndef AIMQ_AFD_AFD_H_
+#define AIMQ_AFD_AFD_H_
+
+#include <string>
+#include <vector>
+
+#include "afd/attr_set.h"
+#include "relation/schema.h"
+#include "util/status.h"
+
+namespace aimq {
+
+/// \brief An approximate functional dependency X → A with g3 error.
+///
+/// support = 1 − g3(X→A); the paper's Algorithm 2 sums supports.
+struct Afd {
+  AttrSet lhs = 0;     ///< antecedent attribute set X
+  size_t rhs = 0;      ///< consequent attribute index A
+  double error = 0.0;  ///< g3(X→A) ∈ [0,1)
+
+  double Support() const { return 1.0 - error; }
+  size_t LhsSize() const { return AttrSetSize(lhs); }
+
+  /// "{Make, Model} -> Year (support 0.93)".
+  std::string ToString(const Schema& schema) const;
+};
+
+/// \brief An approximate key X with g3 error.
+struct AKey {
+  AttrSet attrs = 0;
+  double error = 0.0;    ///< min fraction of rows to delete for X to be a key
+  bool minimal = false;  ///< no proper subset is an approximate key
+
+  double Support() const { return 1.0 - error; }
+  size_t Size() const { return AttrSetSize(attrs); }
+
+  /// Paper §6.2: quality of an approximate key = support / size; prefers
+  /// shorter keys.
+  double Quality() const {
+    return Size() == 0 ? 0.0 : Support() / static_cast<double>(Size());
+  }
+
+  std::string ToString(const Schema& schema) const;
+};
+
+/// \brief Everything the Dependency Miner learned from one sample.
+struct MinedDependencies {
+  size_t num_attributes = 0;
+  std::vector<Afd> afds;
+  std::vector<AKey> keys;
+
+  /// The approximate key used for relaxation (paper Algorithm 2 step 3):
+  /// among keys whose support is within a small tolerance of the maximum,
+  /// the one with the highest quality (= support/size, §6.2's metric, which
+  /// prefers shorter keys); remaining ties break toward the lower attribute
+  /// mask. The tolerance keeps the choice stable across samples where many
+  /// large keys tie at support ≈ 1. Error if no key was mined.
+  Result<AKey> BestKey() const;
+
+  /// All mined AFDs whose consequent is \p rhs.
+  std::vector<Afd> AfdsWithRhs(size_t rhs) const;
+
+  /// All mined AFDs whose antecedent contains \p attr.
+  std::vector<Afd> AfdsWithLhsContaining(size_t attr) const;
+};
+
+}  // namespace aimq
+
+#endif  // AIMQ_AFD_AFD_H_

@@ -1,0 +1,48 @@
+#include "afd/attr_set.h"
+
+namespace aimq {
+
+std::vector<size_t> AttrSetMembers(AttrSet set) {
+  std::vector<size_t> members;
+  for (size_t i = 0; i < 32; ++i) {
+    if (AttrSetContains(set, i)) members.push_back(i);
+  }
+  return members;
+}
+
+std::string AttrSetToString(AttrSet set, const Schema& schema) {
+  std::string out = "{";
+  bool first = true;
+  for (size_t i : AttrSetMembers(set)) {
+    if (!first) out += ", ";
+    first = false;
+    out += i < schema.NumAttributes() ? schema.attribute(i).name
+                                      : ("#" + std::to_string(i));
+  }
+  out += '}';
+  return out;
+}
+
+std::vector<AttrSet> SubsetsOfSize(AttrSet universe, size_t k) {
+  std::vector<size_t> members = AttrSetMembers(universe);
+  std::vector<AttrSet> out;
+  if (k == 0 || k > members.size()) return out;
+  // Iterative combination enumeration over the member list.
+  std::vector<size_t> idx(k);
+  for (size_t i = 0; i < k; ++i) idx[i] = i;
+  const size_t n = members.size();
+  while (true) {
+    AttrSet mask = 0;
+    for (size_t i : idx) mask |= AttrBit(members[i]);
+    out.push_back(mask);
+    // Advance to the next combination: find the rightmost index that can
+    // still move right.
+    size_t pos = k;
+    while (pos > 0 && idx[pos - 1] == (pos - 1) + n - k) --pos;
+    if (pos == 0) return out;
+    ++idx[pos - 1];
+    for (size_t i = pos; i < k; ++i) idx[i] = idx[i - 1] + 1;
+  }
+}
+
+}  // namespace aimq

@@ -1,0 +1,53 @@
+// AttrSet: a set of attribute indices packed into a 32-bit mask. The AFD
+// lattice machinery (TANE) and Algorithm 2 manipulate attribute sets heavily;
+// a bitmask keeps that cheap. Relations are limited to 32 attributes, far
+// above the paper's schemas (CarDB: 7, CensusDB: 13).
+
+#ifndef AIMQ_AFD_ATTR_SET_H_
+#define AIMQ_AFD_ATTR_SET_H_
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relation/schema.h"
+
+namespace aimq {
+
+/// Bitmask over attribute indices; bit i set means attribute i is a member.
+using AttrSet = uint32_t;
+
+inline AttrSet AttrBit(size_t index) { return AttrSet{1} << index; }
+
+inline bool AttrSetContains(AttrSet set, size_t index) {
+  return (set & AttrBit(index)) != 0;
+}
+
+inline size_t AttrSetSize(AttrSet set) {
+  return static_cast<size_t>(std::popcount(set));
+}
+
+/// True iff \p sub ⊆ \p super.
+inline bool AttrSetIsSubset(AttrSet sub, AttrSet super) {
+  return (sub & ~super) == 0;
+}
+
+/// The member indices of \p set in ascending order.
+std::vector<size_t> AttrSetMembers(AttrSet set);
+
+/// Mask with the lowest \p n bits set (the full attribute set of a relation
+/// with n attributes).
+inline AttrSet FullAttrSet(size_t n) {
+  return n >= 32 ? ~AttrSet{0} : (AttrSet{1} << n) - 1;
+}
+
+/// "{Make, Model}" rendering using schema attribute names.
+std::string AttrSetToString(AttrSet set, const Schema& schema);
+
+/// All subsets of \p universe with exactly \p k members, ascending by mask.
+std::vector<AttrSet> SubsetsOfSize(AttrSet universe, size_t k);
+
+}  // namespace aimq
+
+#endif  // AIMQ_AFD_ATTR_SET_H_

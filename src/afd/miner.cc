@@ -1,0 +1,105 @@
+#include "afd/miner.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace aimq {
+
+std::string Afd::ToString(const Schema& schema) const {
+  std::string out = AttrSetToString(lhs, schema);
+  out += " -> ";
+  out += rhs < schema.NumAttributes() ? schema.attribute(rhs).name
+                                      : ("#" + std::to_string(rhs));
+  out += " (support " + FormatDouble(Support(), 3) + ")";
+  return out;
+}
+
+std::string AKey::ToString(const Schema& schema) const {
+  std::string out = AttrSetToString(attrs, schema);
+  out += " (support " + FormatDouble(Support(), 3) + ", quality " +
+         FormatDouble(Quality(), 3) + (minimal ? ", minimal" : "") + ")";
+  return out;
+}
+
+Result<AKey> MinedDependencies::BestKey() const {
+  if (keys.empty()) {
+    return Status::NotFound(
+        "no approximate key was mined below the error threshold; raise Terr "
+        "or enlarge the sample");
+  }
+  // Only *minimal* approximate keys compete (TANE's natural key output):
+  // every superset of a key trivially has support ≈ 1 and would otherwise
+  // always win the support comparison, which is clearly not what Algorithm 2
+  // intends (the paper's best keys are small). Hand-built dependency sets
+  // that never flagged minimality fall back to the full key list.
+  bool have_minimal = false;
+  for (const AKey& k : keys) have_minimal |= k.minimal;
+  auto eligible = [&](const AKey& k) { return !have_minimal || k.minimal; };
+
+  // Stage 1: keys whose support is within tolerance of the maximum.
+  constexpr double kSupportTolerance = 0.05;
+  double max_support = 0.0;
+  for (const AKey& k : keys) {
+    if (eligible(k)) max_support = std::max(max_support, k.Support());
+  }
+  // Stage 2: among those, keys whose quality (support/size, §6.2) is within
+  // tolerance of the best.
+  constexpr double kQualityTolerance = 0.05;
+  double max_quality = 0.0;
+  for (const AKey& k : keys) {
+    if (!eligible(k)) continue;
+    if (k.Support() + kSupportTolerance < max_support) continue;
+    max_quality = std::max(max_quality, k.Quality());
+  }
+  // Stage 3: the paper does not specify tie-breaking among near-equal keys;
+  // we prefer the key whose attributes carry the most AFD antecedent mass
+  // (Σ wt_decides over members). This keeps strongly-deciding attributes —
+  // e.g. Model, which functionally determines Make — inside the deciding
+  // group even when a key of uncorrelated high-cardinality attributes ties
+  // on support, and makes the choice stable across samples.
+  auto wt_decides = [&](size_t attr) {
+    double total = 0.0;
+    for (const Afd& afd : afds) {
+      if (AttrSetContains(afd.lhs, attr)) {
+        total += afd.Support() / static_cast<double>(afd.LhsSize());
+      }
+    }
+    return total;
+  };
+  const AKey* best = nullptr;
+  double best_mass = -1.0;
+  for (const AKey& k : keys) {
+    if (!eligible(k)) continue;
+    if (k.Support() + kSupportTolerance < max_support) continue;
+    if (k.Quality() + kQualityTolerance < max_quality) continue;
+    // Mean member mass, so larger keys gain no advantage from mere size.
+    double mass = 0.0;
+    for (size_t a : AttrSetMembers(k.attrs)) mass += wt_decides(a);
+    mass /= static_cast<double>(k.Size());
+    if (best == nullptr || mass > best_mass ||
+        (mass == best_mass && k.attrs < best->attrs)) {
+      best = &k;
+      best_mass = mass;
+    }
+  }
+  return *best;
+}
+
+std::vector<Afd> MinedDependencies::AfdsWithRhs(size_t rhs) const {
+  std::vector<Afd> out;
+  for (const Afd& a : afds) {
+    if (a.rhs == rhs) out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<Afd> MinedDependencies::AfdsWithLhsContaining(size_t attr) const {
+  std::vector<Afd> out;
+  for (const Afd& a : afds) {
+    if (AttrSetContains(a.lhs, attr)) out.push_back(a);
+  }
+  return out;
+}
+
+}  // namespace aimq

@@ -1,0 +1,32 @@
+// DependencyMiner: facade over TANE used by the AIMQ offline pipeline.
+
+#ifndef AIMQ_AFD_MINER_H_
+#define AIMQ_AFD_MINER_H_
+
+#include "afd/tane.h"
+
+namespace aimq {
+
+/// \brief The "Dependency Miner" subsystem of Figure 1.
+///
+/// Thin, configured wrapper around Tane so pipeline code carries one miner
+/// object instead of loose options.
+class DependencyMiner {
+ public:
+  explicit DependencyMiner(TaneOptions options) : options_(options) {}
+  DependencyMiner() : DependencyMiner(TaneOptions{}) {}
+
+  const TaneOptions& options() const { return options_; }
+
+  /// Mines AFDs and approximate keys from a probed sample.
+  Result<MinedDependencies> Mine(const Relation& sample) const {
+    return Tane::Mine(sample, options_);
+  }
+
+ private:
+  TaneOptions options_;
+};
+
+}  // namespace aimq
+
+#endif  // AIMQ_AFD_MINER_H_

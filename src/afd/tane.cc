@@ -1,0 +1,173 @@
+#include "afd/tane.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "afd/partition.h"
+
+namespace aimq {
+namespace {
+
+// Compact key for a candidate FD (lhs, rhs) used in minimality checks.
+uint64_t FdKey(AttrSet lhs, size_t rhs) {
+  return (static_cast<uint64_t>(lhs) << 6) | static_cast<uint64_t>(rhs);
+}
+
+}  // namespace
+
+Result<MinedDependencies> Tane::Mine(const Relation& sample,
+                                     const TaneOptions& options) {
+  const size_t n = sample.schema().NumAttributes();
+  if (n == 0 || n > 32) {
+    return Status::InvalidArgument(
+        "dependency mining supports 1..32 attributes, got " +
+        std::to_string(n));
+  }
+  if (sample.NumTuples() == 0) {
+    return Status::InvalidArgument("cannot mine dependencies from an empty sample");
+  }
+  if (options.error_threshold < 0.0 || options.error_threshold >= 1.0) {
+    return Status::InvalidArgument("error_threshold must be in [0,1)");
+  }
+  if (options.max_lhs_size == 0) {
+    return Status::InvalidArgument("max_lhs_size must be >= 1");
+  }
+  const double key_threshold = options.key_error_threshold >= 0.0
+                                   ? options.key_error_threshold
+                                   : options.error_threshold;
+
+  MinedDependencies out;
+  out.num_attributes = n;
+
+  const AttrSet universe = FullAttrSet(n);
+  const size_t max_key = std::min(options.max_key_size, n);
+  // Partitions are needed for every lattice level up to L: AFD antecedents go
+  // up to max_lhs_size and each X→A check needs π at level |X|+1; keys need
+  // levels up to max_key.
+  const size_t max_level =
+      std::max(std::min(options.max_lhs_size, n - 1) + 1, max_key);
+
+  // Level-1 partitions are kept for the whole run (products build on them).
+  std::unordered_map<AttrSet, StrippedPartition> level1;
+  for (size_t i = 0; i < n; ++i) {
+    level1.emplace(AttrBit(i), StrippedPartition::FromColumn(sample, i));
+  }
+
+  // Baseline error of each attribute as a consequent: g3(∅→A), the error of
+  // always predicting A's majority value. Used by the min_gain filter.
+  std::vector<double> baseline_error(n);
+  {
+    StrippedPartition universe = StrippedPartition::Universe(sample.NumTuples());
+    for (size_t i = 0; i < n; ++i) {
+      baseline_error[i] = universe.FdError(level1.at(AttrBit(i)));
+    }
+  }
+  auto passes_gain = [&](double error, size_t rhs) {
+    if (options.min_gain <= 0.0) return true;
+    return error <= (1.0 - options.min_gain) * baseline_error[rhs] &&
+           baseline_error[rhs] > 0.0;
+  };
+
+  // Valid dependencies/keys found so far, for minimality flags.
+  std::unordered_set<uint64_t> valid_fds;
+  std::unordered_set<AttrSet> valid_keys;
+
+  // Key errors per attribute set, to compute FdErrors lazily... we instead
+  // walk level by level, keeping the previous level's partitions to (a) form
+  // products and (b) evaluate AFDs X→A with |X| = level−1 via π_{X∪A} at the
+  // current level.
+  std::unordered_map<AttrSet, StrippedPartition> prev = level1;
+
+  // Record keys at level 1.
+  for (const auto& [mask, part] : level1) {
+    double err = part.KeyError();
+    if (max_key >= 1 && err <= key_threshold) {
+      out.keys.push_back(AKey{mask, err, /*minimal=*/true});
+      valid_keys.insert(mask);
+    }
+  }
+
+  for (size_t level = 2; level <= max_level; ++level) {
+    std::unordered_map<AttrSet, StrippedPartition> cur;
+    for (AttrSet mask : SubsetsOfSize(universe, level)) {
+      // π_X = π_{X \ {lowest}} · π_{lowest}.
+      AttrSet low = mask & (~mask + 1);
+      AttrSet rest = mask & ~low;
+      auto it_rest = prev.find(rest);
+      auto it_low = level1.find(low);
+      if (it_rest == prev.end() || it_low == level1.end()) {
+        return Status::Internal("missing partition for lattice level " +
+                                std::to_string(level));
+      }
+      cur.emplace(mask, it_rest->second.Product(it_low->second));
+    }
+
+    // Keys at this level.
+    if (level <= max_key) {
+      for (const auto& [mask, part] : cur) {
+        double err = part.KeyError();
+        if (err <= key_threshold) {
+          bool minimal = true;
+          for (size_t b : AttrSetMembers(mask)) {
+            if (valid_keys.count(mask & ~AttrBit(b))) {
+              minimal = false;
+              break;
+            }
+          }
+          out.keys.push_back(AKey{mask, err, minimal});
+          valid_keys.insert(mask);
+        }
+      }
+    }
+
+    // AFDs X→A with |X| = level − 1, A ∉ X: error from π_X (prev) and
+    // π_{X∪A} (cur).
+    if (level - 1 <= options.max_lhs_size) {
+      for (const auto& [xmask, xpart] : prev) {
+        if (options.prune_key_lhs &&
+            xpart.KeyError() <= options.error_threshold) {
+          continue;  // X is (nearly) a key: X→A is vacuous for every A
+        }
+        for (size_t a = 0; a < n; ++a) {
+          if (AttrSetContains(xmask, a)) continue;
+          AttrSet xa = xmask | AttrBit(a);
+          auto it_xa = cur.find(xa);
+          if (it_xa == cur.end()) continue;
+          double err = xpart.FdError(it_xa->second);
+          if (err <= options.error_threshold && passes_gain(err, a)) {
+            if (options.minimal_afds_only) {
+              bool minimal = true;
+              for (size_t b : AttrSetMembers(xmask)) {
+                if (valid_fds.count(FdKey(xmask & ~AttrBit(b), a))) {
+                  minimal = false;
+                  break;
+                }
+              }
+              valid_fds.insert(FdKey(xmask, a));
+              if (!minimal) continue;
+            }
+            out.afds.push_back(Afd{xmask, a, err});
+          }
+        }
+      }
+    }
+
+    prev = std::move(cur);
+  }
+
+  // Deterministic output order: AFDs by (lhs size, lhs mask, rhs); keys by
+  // (size, mask).
+  std::sort(out.afds.begin(), out.afds.end(), [](const Afd& a, const Afd& b) {
+    if (a.LhsSize() != b.LhsSize()) return a.LhsSize() < b.LhsSize();
+    if (a.lhs != b.lhs) return a.lhs < b.lhs;
+    return a.rhs < b.rhs;
+  });
+  std::sort(out.keys.begin(), out.keys.end(), [](const AKey& a, const AKey& b) {
+    if (a.Size() != b.Size()) return a.Size() < b.Size();
+    return a.attrs < b.attrs;
+  });
+  return out;
+}
+
+}  // namespace aimq

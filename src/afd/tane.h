@@ -1,0 +1,64 @@
+// TANE-style levelwise mining of approximate functional dependencies and
+// approximate keys under the g3 error measure (Huhtala et al., ICDE 1998;
+// Kivinen & Mannila 1995). AIMQ's Algorithm 2 consumes *all* AFDs below the
+// error threshold (their supports are summed), so by default the miner
+// reports every dependency in the searched lattice rather than only the
+// minimal cover.
+
+#ifndef AIMQ_AFD_TANE_H_
+#define AIMQ_AFD_TANE_H_
+
+#include "afd/afd.h"
+#include "relation/relation.h"
+#include "util/status.h"
+
+namespace aimq {
+
+/// Options for the dependency miner.
+struct TaneOptions {
+  /// g3 error threshold Terr: AFDs with error <= Terr are kept.
+  double error_threshold = 0.30;
+
+  /// Separate error threshold for approximate keys; negative means "use
+  /// error_threshold". Useful when a wide AFD threshold (needed on weakly
+  /// correlated data) would otherwise admit junk keys.
+  double key_error_threshold = -1.0;
+
+  /// Maximum antecedent size |X| for mined AFDs X→A.
+  size_t max_lhs_size = 3;
+
+  /// Maximum size of mined approximate keys.
+  size_t max_key_size = 4;
+
+  /// If true, report only minimal AFDs (no valid proper-subset antecedent
+  /// for the same consequent) and mark-only-minimal keys. Algorithm 2 wants
+  /// all dependencies, so this defaults to false.
+  bool minimal_afds_only = false;
+
+  /// If true (TANE's key pruning), AFDs X→A whose antecedent X is itself an
+  /// approximate key under the threshold are discarded: they hold vacuously
+  /// for *every* consequent and would drown Algorithm 2's dependence sums in
+  /// uniform noise.
+  bool prune_key_lhs = true;
+
+  /// Minimum relative improvement an AFD must achieve over the trivial
+  /// majority-value predictor of its consequent: X→A is kept only if
+  /// g3(X→A) <= (1 − min_gain) · g3(∅→A). Skew-dominated consequents (a
+  /// census column that is 0 for 85% of rows, a country column that is one
+  /// value for 90%) otherwise admit a vacuous AFD from *every* antecedent
+  /// and drown the dependence weights. 0 disables the filter.
+  double min_gain = 0.30;
+};
+
+/// \brief Levelwise AFD/AKey miner over an in-memory sample.
+class Tane {
+ public:
+  /// Mines dependencies from \p sample. Fails on empty samples, relations
+  /// with more than 32 attributes, or out-of-range options.
+  static Result<MinedDependencies> Mine(const Relation& sample,
+                                        const TaneOptions& options);
+};
+
+}  // namespace aimq
+
+#endif  // AIMQ_AFD_TANE_H_

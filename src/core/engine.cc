@@ -1,0 +1,271 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/topk.h"
+
+namespace aimq {
+
+AimqEngine::AimqEngine(const WebDatabase* source, MinedKnowledge knowledge,
+                       AimqOptions options)
+    : source_(source),
+      knowledge_(std::move(knowledge)),
+      options_(options),
+      sim_(&source->schema(), &knowledge_.ordering, &knowledge_.vsim,
+           options.numeric_sim),
+      rng_(options.seed) {
+  const Schema& schema = source_->schema();
+  for (size_t i = 0; i < schema.NumAttributes(); ++i) {
+    all_attrs_.push_back(i);
+  }
+  // Numeric attribute ranges observed in the sample, for min-max scaling.
+  std::vector<std::pair<double, double>> ranges(schema.NumAttributes(),
+                                                {0.0, 0.0});
+  for (size_t attr : schema.NumericIndices()) {
+    bool seen = false;
+    for (const Tuple& t : knowledge_.sample.tuples()) {
+      if (!t.At(attr).is_numeric()) continue;
+      double d = t.At(attr).AsNum();
+      if (!seen) {
+        ranges[attr] = {d, d};
+        seen = true;
+      } else {
+        ranges[attr].first = std::min(ranges[attr].first, d);
+        ranges[attr].second = std::max(ranges[attr].second, d);
+      }
+    }
+  }
+  sim_.SetNumericRanges(std::move(ranges));
+}
+
+std::vector<size_t> AimqEngine::MinedOrderFor(const Tuple& tuple) const {
+  std::vector<size_t> order;
+  for (size_t attr : knowledge_.ordering.relaxation_order()) {
+    if (attr < tuple.Size() && !tuple.At(attr).is_null()) {
+      order.push_back(attr);
+    }
+  }
+  return order;
+}
+
+Result<std::vector<Tuple>> AimqEngine::DeriveBaseSet(
+    const ImpreciseQuery& query, RelaxationStats* stats) {
+  AIMQ_RETURN_NOT_OK(query.Validate(source_->schema()));
+  if (query.Empty()) {
+    return Status::InvalidArgument("imprecise query binds no attribute");
+  }
+  const SelectionQuery base = query.ToBaseQuery();
+  AIMQ_ASSIGN_OR_RETURN(std::vector<Tuple> answers, source_->Execute(base));
+  if (stats != nullptr) {
+    ++stats->queries_issued;
+    stats->tuples_extracted += answers.size();
+  }
+  if (!answers.empty()) return answers;
+
+  // Footnote 2: generalize Qpr along the attribute ordering until some
+  // answers appear — drop the least important bound attributes first.
+  std::vector<size_t> bound_order;
+  for (size_t attr : knowledge_.ordering.relaxation_order()) {
+    if (query.BindingIndex(source_->schema().attribute(attr).name).ok()) {
+      bound_order.push_back(attr);
+    }
+  }
+  // Dropping every bound attribute would return the whole database; stop at
+  // size-1 combinations short of that.
+  RelaxationSequence sequence(bound_order,
+                              bound_order.empty() ? 0 : bound_order.size() - 1);
+  while (sequence.HasNext()) {
+    std::vector<size_t> combo = sequence.Next();
+    std::vector<std::string> drop;
+    drop.reserve(combo.size());
+    for (size_t attr : combo) {
+      drop.push_back(source_->schema().attribute(attr).name);
+    }
+    SelectionQuery generalized = base.DropAttributes(drop);
+    AIMQ_ASSIGN_OR_RETURN(std::vector<Tuple> relaxed_answers,
+                          source_->Execute(generalized));
+    if (stats != nullptr) {
+      ++stats->queries_issued;
+      stats->tuples_extracted += relaxed_answers.size();
+    }
+    if (!relaxed_answers.empty()) return relaxed_answers;
+  }
+  return Status::NotFound("no generalization of the base query " +
+                          base.ToString() + " has a non-empty answer set");
+}
+
+Result<std::vector<RankedAnswer>> AimqEngine::Answer(
+    const ImpreciseQuery& query, RelaxationStrategy strategy,
+    RelaxationStats* stats) {
+  AIMQ_RETURN_NOT_OK(query.Validate(source_->schema()));
+  if (query_log_ != nullptr && !query.Empty()) {
+    AIMQ_RETURN_NOT_OK(query_log_->Record(query));
+  }
+  // RandomRelax is stochastic: never cache it.
+  const bool cacheable =
+      cache_capacity_ > 0 && strategy == RelaxationStrategy::kGuided;
+  std::string key;
+  if (cacheable) {
+    key = query.ToString();
+    auto it = answer_cache_.find(key);
+    if (it != answer_cache_.end()) {
+      ++cache_hits_;
+      return it->second;
+    }
+  }
+  AIMQ_ASSIGN_OR_RETURN(std::vector<RankedAnswer> answers,
+                        AnswerUncached(query, strategy, stats));
+  if (cacheable) {
+    if (answer_cache_.size() >= cache_capacity_) answer_cache_.clear();
+    answer_cache_.emplace(std::move(key), answers);
+  }
+  return answers;
+}
+
+void AimqEngine::SetAnswerCacheCapacity(size_t capacity) {
+  cache_capacity_ = capacity;
+  if (capacity == 0) answer_cache_.clear();
+}
+
+Result<std::vector<RankedAnswer>> AimqEngine::AnswerUncached(
+    const ImpreciseQuery& query, RelaxationStrategy strategy,
+    RelaxationStats* stats) {
+  AIMQ_ASSIGN_OR_RETURN(std::vector<Tuple> base_set,
+                        DeriveBaseSet(query, stats));
+  if (options_.base_set_limit > 0 &&
+      base_set.size() > options_.base_set_limit) {
+    // Keep the base tuples closest to Q (matters when the base query had to
+    // be generalized and its answers no longer satisfy Q exactly).
+    TopK<Tuple> best(options_.base_set_limit);
+    for (Tuple& t : base_set) {
+      AIMQ_ASSIGN_OR_RETURN(double score, sim_.QueryTupleSim(query, t));
+      best.Add(score, std::move(t));
+    }
+    base_set.clear();
+    for (auto& [score, t] : best.Extract()) {
+      base_set.push_back(std::move(t));
+    }
+  }
+
+  // Deduplicated candidate pool: tuple -> best Sim(Q, t).
+  std::unordered_map<Tuple, double, TupleHash> pool;
+  auto offer = [&](const Tuple& t) -> Status {
+    if (pool.count(t)) return Status::OK();
+    AIMQ_ASSIGN_OR_RETURN(double score, sim_.QueryTupleSim(query, t));
+    pool.emplace(t, score);
+    return Status::OK();
+  };
+
+  // Base-set tuples match Q exactly on every bound attribute.
+  for (const Tuple& t : base_set) {
+    AIMQ_RETURN_NOT_OK(offer(t));
+  }
+
+  // Steps 2-8: expand each base tuple through relaxation queries. Base
+  // tuples sharing values produce identical relaxed queries once most
+  // attributes are dropped (a deep relaxation of any Camry keeps only
+  // Model = Camry), so issued queries are deduplicated per Answer() call —
+  // every probe against the autonomous source costs real latency.
+  std::unordered_set<std::string> probed_queries;
+  for (const Tuple& t : base_set) {
+    std::vector<size_t> order =
+        StrategyOrder(strategy, MinedOrderFor(t), &rng_);
+    TupleRelaxer relaxer(source_->schema(), t, std::move(order),
+                         options_.max_relax_attrs, options_.numeric_band);
+    size_t relevant_for_tuple = 0;
+    while (relaxer.HasNext()) {
+      if (options_.relax_stop_after > 0 &&
+          relevant_for_tuple >= options_.relax_stop_after) {
+        break;
+      }
+      SelectionQuery q = relaxer.Next();
+      if (!probed_queries.insert(q.ToString()).second) continue;
+      AIMQ_ASSIGN_OR_RETURN(std::vector<Tuple> extracted, source_->Execute(q));
+      if (stats != nullptr) {
+        ++stats->queries_issued;
+        stats->tuples_extracted += extracted.size();
+      }
+      for (const Tuple& candidate : extracted) {
+        if (candidate == t) continue;
+        double s = sim_.TupleTupleSim(t, candidate, all_attrs_);
+        if (s > options_.tsim) {
+          ++relevant_for_tuple;
+          if (stats != nullptr) ++stats->tuples_relevant;
+          AIMQ_RETURN_NOT_OK(offer(candidate));
+        }
+      }
+    }
+  }
+
+  // Step 9: top-k by similarity to Q.
+  TopK<Tuple> topk(options_.top_k);
+  for (auto& [tuple, score] : pool) topk.Add(score, tuple);
+  std::vector<RankedAnswer> out;
+  for (auto& [score, tuple] : topk.Extract()) {
+    out.push_back(RankedAnswer{std::move(tuple), score});
+  }
+  return out;
+}
+
+Result<std::vector<RankedAnswer>> AimqEngine::FindSimilar(
+    const Tuple& anchor, size_t target, double tsim,
+    RelaxationStrategy strategy, RelaxationStats* stats) {
+  if (anchor.Size() != source_->schema().NumAttributes()) {
+    return Status::InvalidArgument("anchor tuple arity mismatch");
+  }
+  std::unordered_set<Tuple, TupleHash> seen;
+  std::vector<RankedAnswer> relevant;
+
+  // Progressive descent (paper §6.3 protocol): keep weakening one query —
+  // relax one more attribute per step, in strategy order — until enough
+  // relevant tuples have been extracted. Work counts each *distinct* tuple
+  // the user would have to look at.
+  std::vector<size_t> order =
+      StrategyOrder(strategy, MinedOrderFor(anchor), &rng_);
+  TupleRelaxer relaxer(source_->schema(), anchor, std::move(order),
+                       /*max_relax_attrs=*/0, options_.numeric_band,
+                       RelaxationMode::kProgressive);
+  // Each descent step is evaluated in full before checking the target, so
+  // the answer set is the *most similar* relevant tuples of the step that
+  // satisfied the target, not an arbitrary first-come subset of it.
+  while (relaxer.HasNext() && relevant.size() < target) {
+    SelectionQuery q = relaxer.Next();
+    AIMQ_ASSIGN_OR_RETURN(std::vector<Tuple> extracted, source_->Execute(q));
+    if (stats != nullptr) ++stats->queries_issued;
+    for (const Tuple& candidate : extracted) {
+      if (candidate == anchor) continue;
+      if (!seen.insert(candidate).second) continue;
+      if (stats != nullptr) ++stats->tuples_extracted;
+      double s = sim_.TupleTupleSim(anchor, candidate, all_attrs_);
+      if (s >= tsim) {
+        relevant.push_back(RankedAnswer{candidate, s});
+        if (stats != nullptr) ++stats->tuples_relevant;
+      }
+    }
+  }
+  std::sort(relevant.begin(), relevant.end(),
+            [](const RankedAnswer& a, const RankedAnswer& b) {
+              if (a.similarity != b.similarity) {
+                return a.similarity > b.similarity;
+              }
+              return a.tuple.ToString() < b.tuple.ToString();  // determinism
+            });
+  if (relevant.size() > target) relevant.resize(target);
+  return relevant;
+}
+
+Result<std::vector<double>> AimqEngine::ApplyFeedback(
+    const RelevanceFeedback& feedback, const Tuple& query_tuple,
+    const std::vector<JudgedAnswer>& judged) {
+  AIMQ_ASSIGN_OR_RETURN(
+      std::vector<double> updated,
+      feedback.Round(sim_, source_->schema(), query_tuple, judged,
+                     knowledge_.WimpVector()));
+  AIMQ_RETURN_NOT_OK(knowledge_.ordering.SetWimp(updated));
+  answer_cache_.clear();  // rankings under the old weights are stale
+  return knowledge_.WimpVector();
+}
+
+}  // namespace aimq

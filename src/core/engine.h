@@ -1,0 +1,144 @@
+// AimqEngine: the Query Engine of Figure 1, implementing paper Algorithm 1
+// ("Finding Relevant Answers").
+
+#ifndef AIMQ_CORE_ENGINE_H_
+#define AIMQ_CORE_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/explain.h"
+#include "core/feedback.h"
+#include "core/knowledge.h"
+#include "core/options.h"
+#include "core/relaxation.h"
+#include "core/sim.h"
+#include "query/imprecise_query.h"
+#include "util/rng.h"
+#include "webdb/web_database.h"
+#include "workload/query_log.h"
+
+namespace aimq {
+
+/// One answer tuple with its similarity to the query.
+struct RankedAnswer {
+  Tuple tuple;
+  double similarity = 0.0;
+};
+
+/// Probe-level accounting of one relaxation run (Figures 6 and 7 report
+/// Work/RelevantTuple = tuples extracted / tuples relevant).
+struct RelaxationStats {
+  uint64_t queries_issued = 0;
+  uint64_t tuples_extracted = 0;
+  uint64_t tuples_relevant = 0;
+
+  double WorkPerRelevantTuple() const {
+    return tuples_relevant == 0
+               ? static_cast<double>(tuples_extracted)
+               : static_cast<double>(tuples_extracted) /
+                     static_cast<double>(tuples_relevant);
+  }
+};
+
+/// \brief Answers imprecise queries over one autonomous source using mined
+/// knowledge.
+class AimqEngine {
+ public:
+  /// \p source must outlive the engine; \p knowledge is what BuildKnowledge
+  /// mined from it.
+  AimqEngine(const WebDatabase* source, MinedKnowledge knowledge,
+             AimqOptions options);
+
+  // The similarity function holds pointers into knowledge_, so the engine
+  // must stay at a fixed address: construct it in place (or behind a
+  // unique_ptr) and never copy/move it.
+  AimqEngine(const AimqEngine&) = delete;
+  AimqEngine& operator=(const AimqEngine&) = delete;
+  AimqEngine(AimqEngine&&) = delete;
+  AimqEngine& operator=(AimqEngine&&) = delete;
+
+  const MinedKnowledge& knowledge() const { return knowledge_; }
+  const AimqOptions& options() const { return options_; }
+  const SimilarityFunction& similarity() const { return sim_; }
+
+  /// Algorithm 1: map Q to a base query, expand the base set via relaxation
+  /// queries, keep tuples above Tsim, return the top-k ranked by Sim(Q, t).
+  /// \p stats (optional) accumulates probe accounting.
+  Result<std::vector<RankedAnswer>> Answer(
+      const ImpreciseQuery& query,
+      RelaxationStrategy strategy = RelaxationStrategy::kGuided,
+      RelaxationStats* stats = nullptr);
+
+  /// The Figures 6/7 protocol: starting from \p anchor (a database tuple),
+  /// extract tuples until \p target distinct ones with Sim(anchor, t) >=
+  /// \p tsim are found or the relaxation sequence is exhausted. The anchor
+  /// itself is excluded. Results are sorted by descending similarity.
+  Result<std::vector<RankedAnswer>> FindSimilar(const Tuple& anchor,
+                                                size_t target, double tsim,
+                                                RelaxationStrategy strategy,
+                                                RelaxationStats* stats =
+                                                    nullptr);
+
+  /// Derives the base set for Q: execute Qpr, and if the answer set is empty
+  /// generalize Qpr along the relaxation order until it is not (footnote 2).
+  Result<std::vector<Tuple>> DeriveBaseSet(const ImpreciseQuery& query,
+                                           RelaxationStats* stats = nullptr);
+
+  /// Per-attribute breakdown of one answer's similarity score (why was this
+  /// tuple returned?). The contributions sum to the similarity Answer()
+  /// reported for the tuple.
+  Result<AnswerExplanation> Explain(const ImpreciseQuery& query,
+                                    const Tuple& answer) const {
+    return ExplainAnswer(sim_, source_->schema(), query, answer);
+  }
+
+  /// Relevance-feedback tuning (paper §7 future work): folds the user's
+  /// re-ranking of one answer list into the attribute importance weights.
+  /// Returns the updated, normalized weight vector; subsequent queries rank
+  /// with the tuned weights. Invalidates the answer cache.
+  Result<std::vector<double>> ApplyFeedback(
+      const RelevanceFeedback& feedback, const Tuple& query_tuple,
+      const std::vector<JudgedAnswer>& judged);
+
+  /// Enables caching of Answer() results for repeated identical queries
+  /// (imprecise workloads are highly repetitive). The cache is invalidated
+  /// by ApplyFeedback. 0 disables caching (the default).
+  void SetAnswerCacheCapacity(size_t capacity);
+
+  /// Cache accounting (testing/diagnostics).
+  size_t answer_cache_hits() const { return cache_hits_; }
+  size_t answer_cache_size() const { return answer_cache_.size(); }
+
+  /// Attaches a query log: every valid Answer() call is recorded (the
+  /// workload later feeds query-driven importance, src/workload). Pass
+  /// nullptr to detach. The log must outlive the engine.
+  void AttachQueryLog(QueryLog* log) { query_log_ = log; }
+
+ private:
+  // Bound (non-null) attribute order for relaxation, least important first.
+  std::vector<size_t> MinedOrderFor(const Tuple& tuple) const;
+
+  // Uncached Algorithm 1.
+  Result<std::vector<RankedAnswer>> AnswerUncached(const ImpreciseQuery& query,
+                                                   RelaxationStrategy strategy,
+                                                   RelaxationStats* stats);
+
+  const WebDatabase* source_;
+  MinedKnowledge knowledge_;
+  AimqOptions options_;
+  SimilarityFunction sim_;
+  std::vector<size_t> all_attrs_;
+  Rng rng_;
+  // Answer cache: key = strategy tag + query rendering.
+  size_t cache_capacity_ = 0;
+  size_t cache_hits_ = 0;
+  std::unordered_map<std::string, std::vector<RankedAnswer>> answer_cache_;
+  QueryLog* query_log_ = nullptr;
+};
+
+}  // namespace aimq
+
+#endif  // AIMQ_CORE_ENGINE_H_

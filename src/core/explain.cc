@@ -1,0 +1,67 @@
+#include "core/explain.h"
+
+#include <algorithm>
+
+#include "ordering/attribute_ordering.h"
+#include "util/strings.h"
+
+namespace aimq {
+
+std::string AnswerExplanation::ToString() const {
+  std::string out =
+      "Sim(Q, t) = " + FormatDouble(total, 3) + "\n";
+  for (const AttributeContribution& c : contributions) {
+    out += "  " + c.attribute + ": " + c.query_value + " ~ " + c.answer_value +
+           (c.exact_match ? " (exact)" : "") +
+           "  sim=" + FormatDouble(c.similarity, 3) +
+           " x weight=" + FormatDouble(c.weight, 3) +
+           " -> +" + FormatDouble(c.contribution, 3) + "\n";
+  }
+  return out;
+}
+
+Result<AnswerExplanation> ExplainAnswer(const SimilarityFunction& sim,
+                                        const Schema& schema,
+                                        const ImpreciseQuery& query,
+                                        const Tuple& answer) {
+  if (answer.Size() != schema.NumAttributes()) {
+    return Status::InvalidArgument("answer tuple arity mismatch");
+  }
+  AnswerExplanation out;
+
+  // Normalized weights over the bound attributes, exactly as QueryTupleSim.
+  double weight_sum = 0.0;
+  std::vector<std::pair<size_t, double>> bound;  // (attr, raw weight)
+  for (const ImpreciseQuery::Binding& b : query.bindings()) {
+    AIMQ_ASSIGN_OR_RETURN(size_t attr, schema.IndexOf(b.attribute));
+    double w = sim.ordering().Wimp(attr);
+    bound.emplace_back(attr, w);
+    weight_sum += w;
+  }
+  const bool uniform = weight_sum <= 0.0;
+
+  for (size_t i = 0; i < bound.size(); ++i) {
+    const ImpreciseQuery::Binding& b = query.bindings()[i];
+    auto [attr, raw_w] = bound[i];
+    AttributeContribution c;
+    c.attr = attr;
+    c.attribute = b.attribute;
+    c.query_value = b.value.ToString();
+    c.answer_value = answer.At(attr).ToString();
+    c.exact_match = (b.value == answer.At(attr));
+    c.similarity = sim.AttributeSim(attr, b.value, answer.At(attr));
+    c.weight = uniform ? (bound.empty() ? 0.0 : 1.0 / bound.size())
+                       : raw_w / weight_sum;
+    c.contribution = c.weight * c.similarity;
+    out.total += c.contribution;
+    out.contributions.push_back(std::move(c));
+  }
+  std::sort(out.contributions.begin(), out.contributions.end(),
+            [](const AttributeContribution& a, const AttributeContribution& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              return a.attr < b.attr;
+            });
+  return out;
+}
+
+}  // namespace aimq

@@ -1,0 +1,52 @@
+// Answer explanation: a per-attribute breakdown of why an answer tuple was
+// ranked where it was. Imprecise answers are only useful if the user can see
+// *why* something was considered similar ("Accord: same price band, Model
+// similarity 0.53, different color — color carries 2% weight"), so the
+// engine's similarity judgment is made inspectable.
+
+#ifndef AIMQ_CORE_EXPLAIN_H_
+#define AIMQ_CORE_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/sim.h"
+#include "query/imprecise_query.h"
+#include "relation/schema.h"
+#include "relation/tuple.h"
+#include "util/status.h"
+
+namespace aimq {
+
+/// One attribute's contribution to an answer's similarity score.
+struct AttributeContribution {
+  size_t attr = 0;
+  std::string attribute;      ///< attribute name
+  std::string query_value;    ///< what the query asked for
+  std::string answer_value;   ///< what the answer has
+  bool exact_match = false;   ///< values identical
+  double similarity = 0.0;    ///< per-attribute similarity in [0,1]
+  double weight = 0.0;        ///< normalized Wimp share over bound attributes
+  double contribution = 0.0;  ///< weight × similarity (sums to the score)
+};
+
+/// \brief Explanation of one query-answer similarity score.
+struct AnswerExplanation {
+  double total = 0.0;  ///< Sim(Q, t), the sum of the contributions
+  std::vector<AttributeContribution> contributions;  ///< bound attrs, by weight
+
+  /// Multi-line human-readable rendering.
+  std::string ToString() const;
+};
+
+/// Builds the explanation of Sim(Q, t) for one answer. Mirrors
+/// SimilarityFunction::QueryTupleSim exactly: the contributions sum to the
+/// score that function returns.
+Result<AnswerExplanation> ExplainAnswer(const SimilarityFunction& sim,
+                                        const Schema& schema,
+                                        const ImpreciseQuery& query,
+                                        const Tuple& answer);
+
+}  // namespace aimq
+
+#endif  // AIMQ_CORE_EXPLAIN_H_

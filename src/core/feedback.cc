@@ -1,0 +1,89 @@
+#include "core/feedback.h"
+
+#include <cmath>
+
+namespace aimq {
+namespace {
+
+// User-preference comparison: a user rank of 0 (irrelevant) is worse than
+// any positive rank; otherwise smaller rank = preferred.
+bool UserPrefers(int rank_a, int rank_b) {
+  if (rank_a == 0) return false;
+  if (rank_b == 0) return true;
+  return rank_a < rank_b;
+}
+
+}  // namespace
+
+size_t RelevanceFeedback::CountViolations(
+    const std::vector<JudgedAnswer>& judged) {
+  size_t violations = 0;
+  for (size_t i = 0; i < judged.size(); ++i) {
+    for (size_t j = i + 1; j < judged.size(); ++j) {
+      // The system ranked i above j; a violation is the user preferring j.
+      if (UserPrefers(judged[j].user_rank, judged[i].user_rank)) {
+        ++violations;
+      }
+    }
+  }
+  return violations;
+}
+
+Result<std::vector<double>> RelevanceFeedback::Round(
+    const SimilarityFunction& sim, const Schema& schema, const Tuple& query,
+    const std::vector<JudgedAnswer>& judged,
+    std::vector<double> weights) const {
+  const size_t n = schema.NumAttributes();
+  if (weights.size() != n) {
+    return Status::InvalidArgument(
+        "weights must hold one entry per schema attribute");
+  }
+  if (query.Size() != n) {
+    return Status::InvalidArgument("query tuple arity mismatch");
+  }
+  for (const JudgedAnswer& a : judged) {
+    if (a.tuple.Size() != n) {
+      return Status::InvalidArgument("judged answer arity mismatch");
+    }
+    if (a.user_rank < 0) {
+      return Status::InvalidArgument("user ranks are 0 (irrelevant) or >= 1");
+    }
+  }
+
+  // Per-answer per-attribute similarities to the query.
+  std::vector<std::vector<double>> attr_sim(judged.size(),
+                                            std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < judged.size(); ++i) {
+    for (size_t a = 0; a < n; ++a) {
+      attr_sim[i][a] = sim.AttributeSim(a, query.At(a), judged[i].tuple.At(a));
+    }
+  }
+
+  // Pairwise exponentiated-gradient: for each pair the system ordered
+  // (i above j) but the user reversed, attributes where the user's preferred
+  // answer is *more* similar deserve more weight and vice versa.
+  std::vector<double> log_update(n, 0.0);
+  for (size_t i = 0; i < judged.size(); ++i) {
+    for (size_t j = i + 1; j < judged.size(); ++j) {
+      if (!UserPrefers(judged[j].user_rank, judged[i].user_rank)) continue;
+      for (size_t a = 0; a < n; ++a) {
+        // Positive margin: attribute a argues for the user's choice (j).
+        log_update[a] += options_.learning_rate *
+                         (attr_sim[j][a] - attr_sim[i][a]);
+      }
+    }
+  }
+
+  double total = 0.0;
+  for (size_t a = 0; a < n; ++a) {
+    weights[a] = std::max(options_.min_weight,
+                          weights[a] * std::exp(log_update[a]));
+    total += weights[a];
+  }
+  if (total > 0.0) {
+    for (double& w : weights) w /= total;
+  }
+  return weights;
+}
+
+}  // namespace aimq

@@ -1,0 +1,101 @@
+#include "core/impute.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace aimq {
+
+Result<Imputation> AfdImputer::ImputeAttribute(const Tuple& tuple,
+                                               size_t attr) const {
+  const Schema& schema = sample_->schema();
+  if (tuple.Size() != schema.NumAttributes()) {
+    return Status::InvalidArgument("tuple arity mismatch");
+  }
+  if (attr >= schema.NumAttributes()) {
+    return Status::OutOfRange("attribute index out of range");
+  }
+  if (!tuple.At(attr).is_null()) {
+    return Status::InvalidArgument("attribute '" + schema.attribute(attr).name +
+                                   "' is not null");
+  }
+
+  // Candidate rules: AFDs into attr whose antecedent is fully bound in the
+  // tuple, strongest support first, shorter antecedents breaking ties (they
+  // have more evidence).
+  std::vector<Afd> rules = deps_->AfdsWithRhs(attr);
+  std::sort(rules.begin(), rules.end(), [](const Afd& a, const Afd& b) {
+    if (a.Support() != b.Support()) return a.Support() > b.Support();
+    if (a.LhsSize() != b.LhsSize()) return a.LhsSize() < b.LhsSize();
+    return a.lhs < b.lhs;
+  });
+
+  for (const Afd& rule : rules) {
+    if (rule.Support() < options_.min_rule_support) break;  // sorted
+    bool applicable = true;
+    for (size_t x : AttrSetMembers(rule.lhs)) {
+      if (tuple.At(x).is_null()) {
+        applicable = false;
+        break;
+      }
+    }
+    if (!applicable) continue;
+
+    // Majority consequent among sample rows agreeing with the antecedent.
+    std::unordered_map<Value, size_t, ValueHash> votes;
+    size_t evidence = 0;
+    for (const Tuple& row : sample_->tuples()) {
+      bool match = true;
+      for (size_t x : AttrSetMembers(rule.lhs)) {
+        if (row.At(x) != tuple.At(x)) {
+          match = false;
+          break;
+        }
+      }
+      if (!match || row.At(attr).is_null()) continue;
+      ++votes[row.At(attr)];
+      ++evidence;
+    }
+    if (evidence < options_.min_evidence) continue;
+    const Value* best = nullptr;
+    size_t best_count = 0;
+    for (const auto& [value, count] : votes) {
+      if (count > best_count ||
+          (count == best_count && best != nullptr && value < *best)) {
+        best = &value;
+        best_count = count;
+      }
+    }
+    double confidence =
+        static_cast<double>(best_count) / static_cast<double>(evidence);
+    if (best == nullptr || confidence < options_.min_confidence) continue;
+
+    Imputation imputation;
+    imputation.attr = attr;
+    imputation.value = *best;
+    imputation.rule = rule;
+    imputation.confidence = confidence;
+    imputation.evidence = evidence;
+    return imputation;
+  }
+  return Status::NotFound("no applicable imputation rule for '" +
+                          schema.attribute(attr).name + "'");
+}
+
+Result<std::vector<Imputation>> AfdImputer::ImputeTuple(Tuple* tuple) const {
+  const Schema& schema = sample_->schema();
+  if (tuple->Size() != schema.NumAttributes()) {
+    return Status::InvalidArgument("tuple arity mismatch");
+  }
+  std::vector<Imputation> applied;
+  for (size_t attr = 0; attr < schema.NumAttributes(); ++attr) {
+    if (!tuple->At(attr).is_null()) continue;
+    auto imputation = ImputeAttribute(*tuple, attr);
+    if (imputation.ok()) {
+      tuple->At(attr) = imputation->value;
+      applied.push_back(imputation.TakeValue());
+    }
+  }
+  return applied;
+}
+
+}  // namespace aimq

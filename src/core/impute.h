@@ -1,0 +1,67 @@
+// AFD-based value imputation. The paper mines AFDs "for capturing semantic
+// patterns from the data" (§2); the same patterns predict missing values: if
+// Model → Make holds with support 1.0 and a listing has Make = null,
+// Model = Camry implies Make = Toyota. The imputer picks, per null
+// attribute, the highest-support applicable AFD whose antecedent is fully
+// bound in the tuple, and fills in the majority consequent value among the
+// sample tuples agreeing on the antecedent.
+
+#ifndef AIMQ_CORE_IMPUTE_H_
+#define AIMQ_CORE_IMPUTE_H_
+
+#include <string>
+#include <vector>
+
+#include "afd/afd.h"
+#include "relation/relation.h"
+#include "util/status.h"
+
+namespace aimq {
+
+/// One filled-in value with its provenance.
+struct Imputation {
+  size_t attr = 0;          ///< the attribute that was null
+  Value value;              ///< the imputed value
+  Afd rule;                 ///< the AFD that predicted it
+  double confidence = 0.0;  ///< majority fraction among matching sample rows
+  size_t evidence = 0;      ///< matching sample rows
+};
+
+/// Imputation policy.
+struct ImputeOptions {
+  /// Minimum AFD support for a rule to be used.
+  double min_rule_support = 0.7;
+
+  /// Minimum number of matching sample rows backing the prediction.
+  size_t min_evidence = 3;
+
+  /// Minimum majority fraction among the matching rows.
+  double min_confidence = 0.5;
+};
+
+/// \brief Predicts null attribute values from mined AFDs over a sample.
+class AfdImputer {
+ public:
+  /// \p sample and \p deps must outlive the imputer.
+  AfdImputer(const Relation* sample, const MinedDependencies* deps,
+             ImputeOptions options = {})
+      : sample_(sample), deps_(deps), options_(options) {}
+
+  /// Predicts a value for the null attribute \p attr of \p tuple. NotFound
+  /// when no applicable rule meets the policy; InvalidArgument when the
+  /// attribute is not null.
+  Result<Imputation> ImputeAttribute(const Tuple& tuple, size_t attr) const;
+
+  /// Fills every imputable null in \p tuple (best-effort; non-imputable
+  /// nulls stay null). Returns the imputations applied.
+  Result<std::vector<Imputation>> ImputeTuple(Tuple* tuple) const;
+
+ private:
+  const Relation* sample_;
+  const MinedDependencies* deps_;
+  ImputeOptions options_;
+};
+
+}  // namespace aimq
+
+#endif  // AIMQ_CORE_IMPUTE_H_

@@ -1,0 +1,62 @@
+#include "core/knowledge.h"
+
+#include "afd/miner.h"
+#include "util/stopwatch.h"
+#include "webdb/data_collector.h"
+
+namespace aimq {
+
+std::vector<double> MinedKnowledge::WimpVector() const {
+  std::vector<double> out;
+  out.reserve(ordering.importance().size());
+  for (const AttributeImportance& imp : ordering.importance()) {
+    out.push_back(imp.wimp);
+  }
+  return out;
+}
+
+Result<MinedKnowledge> BuildKnowledge(const WebDatabase& source,
+                                      const AimqOptions& options,
+                                      OfflineTimings* timings) {
+  Stopwatch watch;
+  DataCollector collector(options.collector);
+  AIMQ_ASSIGN_OR_RETURN(Relation sample, collector.Collect(source));
+  double collect_seconds = watch.ElapsedSeconds();
+  AIMQ_ASSIGN_OR_RETURN(
+      MinedKnowledge knowledge,
+      BuildKnowledgeFromSample(std::move(sample), options, timings));
+  if (timings != nullptr) timings->collect_seconds = collect_seconds;
+  return knowledge;
+}
+
+Result<MinedKnowledge> BuildKnowledgeFromSample(Relation sample,
+                                                const AimqOptions& options,
+                                                OfflineTimings* timings) {
+  if (timings != nullptr) *timings = OfflineTimings{};
+  MinedKnowledge knowledge;
+
+  Stopwatch watch;
+  DependencyMiner miner(options.tane);
+  AIMQ_ASSIGN_OR_RETURN(knowledge.dependencies, miner.Mine(sample));
+  AIMQ_ASSIGN_OR_RETURN(
+      knowledge.ordering,
+      AttributeOrdering::Derive(sample.schema(), knowledge.dependencies));
+  if (timings != nullptr) {
+    timings->dependency_mining_seconds = watch.ElapsedSeconds();
+  }
+
+  SimilarityMiner sim_miner(options.similarity);
+  SimilarityTimings sim_timings;
+  AIMQ_ASSIGN_OR_RETURN(
+      knowledge.vsim,
+      sim_miner.Mine(sample, knowledge.WimpVector(), &sim_timings));
+  if (timings != nullptr) {
+    timings->supertuple_seconds = sim_timings.supertuple_seconds;
+    timings->similarity_estimation_seconds = sim_timings.estimation_seconds;
+  }
+
+  knowledge.sample = std::move(sample);
+  return knowledge;
+}
+
+}  // namespace aimq

@@ -1,0 +1,61 @@
+// MinedKnowledge: everything AIMQ learns offline from one probed sample —
+// dependencies, the attribute ordering, and categorical value similarities
+// (paper Figure 2, "offline" half).
+
+#ifndef AIMQ_CORE_KNOWLEDGE_H_
+#define AIMQ_CORE_KNOWLEDGE_H_
+
+#include <vector>
+
+#include "afd/afd.h"
+#include "core/options.h"
+#include "ordering/attribute_ordering.h"
+#include "relation/relation.h"
+#include "similarity/value_similarity.h"
+#include "util/status.h"
+#include "webdb/web_database.h"
+
+namespace aimq {
+
+/// Wall-clock breakdown of the offline phase (paper Table 2 reports the
+/// supertuple-generation and similarity-estimation components).
+struct OfflineTimings {
+  double collect_seconds = 0.0;
+  double dependency_mining_seconds = 0.0;
+  double supertuple_seconds = 0.0;
+  double similarity_estimation_seconds = 0.0;
+
+  double TotalSeconds() const {
+    return collect_seconds + dependency_mining_seconds + supertuple_seconds +
+           similarity_estimation_seconds;
+  }
+};
+
+/// \brief Offline-learned state consumed by the Query Engine.
+struct MinedKnowledge {
+  Relation sample;                ///< the probed sample the rest was mined from
+  MinedDependencies dependencies; ///< AFDs + approximate keys
+  AttributeOrdering ordering;     ///< Algorithm 2 output
+  ValueSimilarityModel vsim;      ///< categorical value similarities
+
+  /// Convenience: Wimp weights as a dense per-attribute vector.
+  std::vector<double> WimpVector() const;
+};
+
+/// Runs the offline pipeline: probe the source, mine dependencies, derive
+/// the attribute ordering, mine value similarities. \p timings (optional)
+/// receives the phase breakdown.
+Result<MinedKnowledge> BuildKnowledge(const WebDatabase& source,
+                                      const AimqOptions& options,
+                                      OfflineTimings* timings = nullptr);
+
+/// Same pipeline but starting from an already-collected sample (used by the
+/// robustness experiments, which reuse fixed samples).
+Result<MinedKnowledge> BuildKnowledgeFromSample(Relation sample,
+                                                const AimqOptions& options,
+                                                OfflineTimings* timings =
+                                                    nullptr);
+
+}  // namespace aimq
+
+#endif  // AIMQ_CORE_KNOWLEDGE_H_

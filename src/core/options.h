@@ -1,0 +1,61 @@
+// AimqOptions: all tunables of the AIMQ pipeline in one place. The paper
+// (footnote 4) assumes Tsim and k are tuned by the system designers.
+
+#ifndef AIMQ_CORE_OPTIONS_H_
+#define AIMQ_CORE_OPTIONS_H_
+
+#include <cstdint>
+
+#include "afd/tane.h"
+#include "core/sim.h"
+#include "similarity/value_similarity.h"
+#include "webdb/data_collector.h"
+
+namespace aimq {
+
+/// Options for the full AIMQ pipeline (offline learning + query answering).
+struct AimqOptions {
+  /// Query-tuple similarity threshold Tsim ∈ (0,1) (paper §3.1).
+  double tsim = 0.5;
+
+  /// Number of top-ranked answers returned to the user.
+  size_t top_k = 10;
+
+  /// Probing / sampling configuration for the Data Collector.
+  DataCollectorOptions collector;
+
+  /// AFD / AKey mining configuration (Terr lives here).
+  TaneOptions tane;
+
+  /// Categorical value similarity mining configuration.
+  SimilarityMinerOptions similarity;
+
+  /// Cap on how many attributes one relaxed query may drop simultaneously.
+  /// 0 means "up to all but one" (the last query still binds something).
+  size_t max_relax_attrs = 0;
+
+  /// Per base-set tuple, stop relaxing once this many tuples above Tsim have
+  /// been extracted. 0 disables the early stop.
+  size_t relax_stop_after = 50;
+
+  /// Cap on the number of base-set tuples expanded (0 = no cap). Keeps
+  /// Algorithm 1 affordable when the base query is unselective.
+  size_t base_set_limit = 20;
+
+  /// Width of the range band used for numeric attributes that remain bound
+  /// in relaxed queries: v is queried as [v·(1−band), v·(1+band)]. Form
+  /// interfaces query numeric fields by range; 0 would demand exact numeric
+  /// matches and starve the relaxation of answers.
+  double numeric_band = 0.10;
+
+  /// Numeric attribute similarity form (the paper's query-relative L1 by
+  /// default; min-max scaled and Gaussian variants available).
+  NumericSimKind numeric_sim = NumericSimKind::kQueryRelative;
+
+  /// Seed for stochastic components (RandomRelax attribute orders).
+  uint64_t seed = 42;
+};
+
+}  // namespace aimq
+
+#endif  // AIMQ_CORE_OPTIONS_H_

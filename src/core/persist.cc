@@ -1,0 +1,254 @@
+#include "core/persist.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace aimq {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string DoubleText(double d) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  return buf;
+}
+
+Result<double> ParseDouble(const std::string& s) {
+  char* end = nullptr;
+  double d = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    return Status::InvalidArgument("not a number: '" + s + "'");
+  }
+  return d;
+}
+
+Result<size_t> ParseSize(const std::string& s) {
+  AIMQ_ASSIGN_OR_RETURN(double d, ParseDouble(s));
+  if (d < 0 || d != static_cast<size_t>(d)) {
+    return Status::InvalidArgument("not a non-negative integer: '" + s + "'");
+  }
+  return static_cast<size_t>(d);
+}
+
+// AttrSet <-> "Make|Model" using schema names.
+std::string AttrSetText(AttrSet set, const Schema& schema) {
+  std::vector<std::string> names;
+  for (size_t a : AttrSetMembers(set)) names.push_back(schema.attribute(a).name);
+  return Join(names, "|");
+}
+
+Result<AttrSet> ParseAttrSet(const std::string& text, const Schema& schema) {
+  AttrSet set = 0;
+  if (Trim(text).empty()) return set;
+  for (const std::string& name : Split(text, '|')) {
+    AIMQ_ASSIGN_OR_RETURN(size_t index, schema.IndexOf(Trim(name)));
+    set |= AttrBit(index);
+  }
+  return set;
+}
+
+std::string SimilarityFileName(size_t attr) {
+  return "similarity_" + std::to_string(attr) + ".csv";
+}
+
+}  // namespace
+
+Status SaveKnowledge(const MinedKnowledge& knowledge, const Schema& schema,
+                     const std::string& dir, const SaveOptions& options) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create directory " + dir + ": " +
+                           ec.message());
+  }
+
+  // schema.csv
+  {
+    std::vector<std::vector<std::string>> rows{{"name", "type"}};
+    for (const Attribute& a : schema.attributes()) {
+      rows.push_back({a.name, AttrTypeName(a.type)});
+    }
+    AIMQ_RETURN_NOT_OK(CsvWriteFile(dir + "/schema.csv", rows));
+  }
+
+  // dependencies.csv
+  {
+    std::vector<std::vector<std::string>> rows{
+        {"kind", "lhs_or_attrs", "rhs", "error", "minimal"}};
+    for (const Afd& afd : knowledge.dependencies.afds) {
+      rows.push_back({"afd", AttrSetText(afd.lhs, schema),
+                      schema.attribute(afd.rhs).name, DoubleText(afd.error),
+                      ""});
+    }
+    for (const AKey& key : knowledge.dependencies.keys) {
+      rows.push_back({"key", AttrSetText(key.attrs, schema), "",
+                      DoubleText(key.error), key.minimal ? "1" : "0"});
+    }
+    AIMQ_RETURN_NOT_OK(CsvWriteFile(dir + "/dependencies.csv", rows));
+  }
+
+  // ordering.csv + best_key.csv
+  {
+    std::vector<std::vector<std::string>> rows{
+        {"attr", "deciding", "wt_decides", "wt_depends", "relax_position",
+         "wimp"}};
+    for (const AttributeImportance& imp : knowledge.ordering.importance()) {
+      rows.push_back({schema.attribute(imp.attr).name,
+                      imp.deciding ? "1" : "0", DoubleText(imp.wt_decides),
+                      DoubleText(imp.wt_depends),
+                      std::to_string(imp.relax_position),
+                      DoubleText(imp.wimp)});
+    }
+    AIMQ_RETURN_NOT_OK(CsvWriteFile(dir + "/ordering.csv", rows));
+
+    const AKey& best = knowledge.ordering.best_key();
+    AIMQ_RETURN_NOT_OK(CsvWriteFile(
+        dir + "/best_key.csv",
+        {{"attrs", "error", "minimal"},
+         {AttrSetText(best.attrs, schema), DoubleText(best.error),
+          best.minimal ? "1" : "0"}}));
+  }
+
+  // similarity_<i>.csv for every categorical attribute with a mined model.
+  for (size_t attr = 0; attr < schema.NumAttributes(); ++attr) {
+    std::vector<Value> values = knowledge.vsim.MinedValues(attr);
+    if (values.empty()) continue;
+    std::vector<std::vector<std::string>> rows{{"row", "a", "b", "sim"}};
+    for (const Value& v : values) {
+      rows.push_back({"value", v.ToString(), "", ""});
+    }
+    for (const auto& [a, b, sim] : knowledge.vsim.Entries(attr)) {
+      rows.push_back({"pair", a.ToString(), b.ToString(), DoubleText(sim)});
+    }
+    AIMQ_RETURN_NOT_OK(
+        CsvWriteFile(dir + "/" + SimilarityFileName(attr), rows));
+  }
+
+  if (options.include_sample && knowledge.sample.NumTuples() > 0) {
+    AIMQ_RETURN_NOT_OK(knowledge.sample.WriteCsv(dir + "/sample.csv"));
+  }
+  return Status::OK();
+}
+
+Result<MinedKnowledge> LoadKnowledge(const Schema& schema,
+                                     const std::string& dir) {
+  // Validate the stored schema.
+  {
+    AIMQ_ASSIGN_OR_RETURN(auto rows, CsvReadFile(dir + "/schema.csv"));
+    if (rows.size() != schema.NumAttributes() + 1) {
+      return Status::InvalidArgument(
+          "stored schema has a different attribute count");
+    }
+    for (size_t i = 0; i < schema.NumAttributes(); ++i) {
+      const Attribute& a = schema.attribute(i);
+      if (rows[i + 1].size() != 2 || rows[i + 1][0] != a.name ||
+          rows[i + 1][1] != AttrTypeName(a.type)) {
+        return Status::InvalidArgument("stored schema mismatch at attribute " +
+                                       std::to_string(i));
+      }
+    }
+  }
+
+  MinedKnowledge knowledge;
+
+  // dependencies.csv
+  {
+    AIMQ_ASSIGN_OR_RETURN(auto rows, CsvReadFile(dir + "/dependencies.csv"));
+    knowledge.dependencies.num_attributes = schema.NumAttributes();
+    for (size_t r = 1; r < rows.size(); ++r) {
+      const auto& row = rows[r];
+      if (row.size() != 5) {
+        return Status::InvalidArgument("malformed dependencies.csv row");
+      }
+      if (row[0] == "afd") {
+        AIMQ_ASSIGN_OR_RETURN(AttrSet lhs, ParseAttrSet(row[1], schema));
+        AIMQ_ASSIGN_OR_RETURN(size_t rhs, schema.IndexOf(row[2]));
+        AIMQ_ASSIGN_OR_RETURN(double error, ParseDouble(row[3]));
+        knowledge.dependencies.afds.push_back(Afd{lhs, rhs, error});
+      } else if (row[0] == "key") {
+        AIMQ_ASSIGN_OR_RETURN(AttrSet attrs, ParseAttrSet(row[1], schema));
+        AIMQ_ASSIGN_OR_RETURN(double error, ParseDouble(row[3]));
+        knowledge.dependencies.keys.push_back(
+            AKey{attrs, error, row[4] == "1"});
+      } else {
+        return Status::InvalidArgument("unknown dependency kind: " + row[0]);
+      }
+    }
+  }
+
+  // ordering.csv + best_key.csv
+  {
+    AIMQ_ASSIGN_OR_RETURN(auto rows, CsvReadFile(dir + "/ordering.csv"));
+    if (rows.size() != schema.NumAttributes() + 1) {
+      return Status::InvalidArgument("ordering.csv attribute count mismatch");
+    }
+    std::vector<AttributeImportance> importance(schema.NumAttributes());
+    for (size_t r = 1; r < rows.size(); ++r) {
+      const auto& row = rows[r];
+      if (row.size() != 6) {
+        return Status::InvalidArgument("malformed ordering.csv row");
+      }
+      AIMQ_ASSIGN_OR_RETURN(size_t attr, schema.IndexOf(row[0]));
+      AttributeImportance& imp = importance[attr];
+      imp.attr = attr;
+      imp.deciding = (row[1] == "1");
+      AIMQ_ASSIGN_OR_RETURN(imp.wt_decides, ParseDouble(row[2]));
+      AIMQ_ASSIGN_OR_RETURN(imp.wt_depends, ParseDouble(row[3]));
+      AIMQ_ASSIGN_OR_RETURN(imp.relax_position, ParseSize(row[4]));
+      AIMQ_ASSIGN_OR_RETURN(imp.wimp, ParseDouble(row[5]));
+    }
+    AIMQ_ASSIGN_OR_RETURN(auto key_rows, CsvReadFile(dir + "/best_key.csv"));
+    if (key_rows.size() != 2 || key_rows[1].size() != 3) {
+      return Status::InvalidArgument("malformed best_key.csv");
+    }
+    AKey best;
+    AIMQ_ASSIGN_OR_RETURN(best.attrs, ParseAttrSet(key_rows[1][0], schema));
+    AIMQ_ASSIGN_OR_RETURN(best.error, ParseDouble(key_rows[1][1]));
+    best.minimal = key_rows[1][2] == "1";
+    AIMQ_ASSIGN_OR_RETURN(
+        knowledge.ordering,
+        AttributeOrdering::FromParts(std::move(importance), best));
+  }
+
+  // similarity files.
+  for (size_t attr = 0; attr < schema.NumAttributes(); ++attr) {
+    const std::string path = dir + "/" + SimilarityFileName(attr);
+    if (!fs::exists(path)) continue;
+    AIMQ_ASSIGN_OR_RETURN(auto rows, CsvReadFile(path));
+    std::vector<Value> values;
+    const AttrType type = schema.attribute(attr).type;
+    for (size_t r = 1; r < rows.size(); ++r) {
+      if (rows[r].size() != 4) {
+        return Status::InvalidArgument("malformed similarity row");
+      }
+      if (rows[r][0] == "value") {
+        AIMQ_ASSIGN_OR_RETURN(Value v, Value::Parse(rows[r][1], type));
+        values.push_back(std::move(v));
+      }
+    }
+    AIMQ_RETURN_NOT_OK(knowledge.vsim.SetValues(attr, std::move(values)));
+    for (size_t r = 1; r < rows.size(); ++r) {
+      if (rows[r][0] != "pair") continue;
+      AIMQ_ASSIGN_OR_RETURN(Value a, Value::Parse(rows[r][1], type));
+      AIMQ_ASSIGN_OR_RETURN(Value b, Value::Parse(rows[r][2], type));
+      AIMQ_ASSIGN_OR_RETURN(double sim, ParseDouble(rows[r][3]));
+      AIMQ_RETURN_NOT_OK(knowledge.vsim.SetSimilarity(attr, a, b, sim));
+    }
+  }
+
+  // sample.csv (optional).
+  if (fs::exists(dir + "/sample.csv")) {
+    AIMQ_ASSIGN_OR_RETURN(knowledge.sample,
+                          Relation::ReadCsv(dir + "/sample.csv", schema));
+  } else {
+    knowledge.sample = Relation(schema);
+  }
+  return knowledge;
+}
+
+}  // namespace aimq

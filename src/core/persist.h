@@ -1,0 +1,42 @@
+// Persistence of mined knowledge. The offline phase (probing + mining) is
+// the expensive part of AIMQ; a deployment mines once and serves many
+// queries, so the mined state must survive restarts. Knowledge is stored as
+// a directory of CSV files:
+//
+//   <dir>/schema.csv         attribute name,type    (validated on load)
+//   <dir>/dependencies.csv   kind,lhs|attrs,rhs,error,minimal
+//   <dir>/ordering.csv       attr,deciding,wt_decides,wt_depends,pos,wimp
+//   <dir>/best_key.csv       attrs,error,minimal
+//   <dir>/similarity_<i>.csv values + pairwise entries for attribute i
+//   <dir>/sample.csv         the probed sample (optional)
+
+#ifndef AIMQ_CORE_PERSIST_H_
+#define AIMQ_CORE_PERSIST_H_
+
+#include <string>
+
+#include "core/knowledge.h"
+#include "util/status.h"
+
+namespace aimq {
+
+/// Options for saving knowledge.
+struct SaveOptions {
+  /// Also persist the probed sample (needed to re-derive variants, e.g. the
+  /// uniform-weight baseline; can be large).
+  bool include_sample = true;
+};
+
+/// Writes \p knowledge under \p dir (created if missing).
+Status SaveKnowledge(const MinedKnowledge& knowledge, const Schema& schema,
+                     const std::string& dir, const SaveOptions& options = {});
+
+/// Reads knowledge back. \p schema must match the one used at save time
+/// (validated against schema.csv). If no sample was saved, the returned
+/// knowledge has an empty sample relation.
+Result<MinedKnowledge> LoadKnowledge(const Schema& schema,
+                                     const std::string& dir);
+
+}  // namespace aimq
+
+#endif  // AIMQ_CORE_PERSIST_H_

@@ -1,0 +1,94 @@
+#include "core/relaxation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aimq {
+
+const char* RelaxationStrategyName(RelaxationStrategy s) {
+  switch (s) {
+    case RelaxationStrategy::kGuided:
+      return "GuidedRelax";
+    case RelaxationStrategy::kRandom:
+      return "RandomRelax";
+  }
+  return "unknown";
+}
+
+SelectionQuery RelaxTupleQuery(const Schema& schema, const Tuple& tuple,
+                               const std::vector<size_t>& relax_attrs,
+                               double numeric_band) {
+  std::vector<Predicate> preds;
+  for (size_t i = 0; i < schema.NumAttributes() && i < tuple.Size(); ++i) {
+    if (tuple.At(i).is_null()) continue;
+    bool relaxed = false;
+    for (size_t r : relax_attrs) {
+      if (r == i) {
+        relaxed = true;
+        break;
+      }
+    }
+    if (relaxed) continue;
+    const std::string& name = schema.attribute(i).name;
+    const Value& v = tuple.At(i);
+    if (numeric_band > 0.0 && v.is_numeric()) {
+      const double width = std::abs(v.AsNum()) * numeric_band;
+      preds.push_back(
+          Predicate(name, CompareOp::kGe, Value::Num(v.AsNum() - width)));
+      preds.push_back(
+          Predicate(name, CompareOp::kLe, Value::Num(v.AsNum() + width)));
+    } else {
+      preds.push_back(Predicate::Eq(name, v));
+    }
+  }
+  return SelectionQuery(std::move(preds));
+}
+
+namespace {
+
+size_t EffectiveMaxRelax(size_t max_relax_attrs, size_t order_size) {
+  size_t cap = order_size > 0 ? order_size - 1 : 0;
+  if (max_relax_attrs == 0) return cap;
+  return std::min(max_relax_attrs, cap);
+}
+
+}  // namespace
+
+TupleRelaxer::TupleRelaxer(const Schema& schema, Tuple tuple,
+                           std::vector<size_t> single_order,
+                           size_t max_relax_attrs, double numeric_band,
+                           RelaxationMode mode)
+    : schema_(schema),
+      tuple_(std::move(tuple)),
+      single_order_(single_order),
+      max_relax_(EffectiveMaxRelax(max_relax_attrs, single_order.size())),
+      sequence_(std::move(single_order), max_relax_),
+      numeric_band_(numeric_band),
+      mode_(mode) {}
+
+SelectionQuery TupleRelaxer::Next(std::vector<size_t>* relaxed_attrs) {
+  std::vector<size_t> combo;
+  if (mode_ == RelaxationMode::kProgressive) {
+    ++progressive_depth_;
+    combo.assign(single_order_.begin(),
+                 single_order_.begin() +
+                     std::min(progressive_depth_, single_order_.size()));
+  } else {
+    combo = sequence_.Next();
+  }
+  SelectionQuery q = RelaxTupleQuery(schema_, tuple_, combo, numeric_band_);
+  if (relaxed_attrs != nullptr) *relaxed_attrs = std::move(combo);
+  return q;
+}
+
+std::vector<size_t> StrategyOrder(RelaxationStrategy strategy,
+                                  const std::vector<size_t>& mined_order,
+                                  Rng* rng) {
+  std::vector<size_t> order = mined_order;
+  if (strategy == RelaxationStrategy::kRandom && rng != nullptr) {
+    rng->Shuffle(&order);
+  }
+  return order;
+}
+
+}  // namespace aimq

@@ -1,0 +1,96 @@
+// Relaxation-query generation (paper Algorithm 1 step 3, CreateQueries):
+// every base-set tuple is treated as a fully-bound selection query; relaxed
+// variants drop the bindings of chosen attribute combinations, following
+// either the mined order (GuidedRelax) or a random order (RandomRelax).
+
+#ifndef AIMQ_CORE_RELAXATION_H_
+#define AIMQ_CORE_RELAXATION_H_
+
+#include <vector>
+
+#include "ordering/multi_relax.h"
+#include "query/selection_query.h"
+#include "relation/schema.h"
+#include "util/rng.h"
+
+namespace aimq {
+
+/// How the per-tuple relaxation order is chosen (paper §6.1, Implemented
+/// Algorithms).
+enum class RelaxationStrategy {
+  kGuided,  ///< AFD-derived attribute order (Algorithm 2)
+  kRandom,  ///< arbitrary attribute order (the RandomRelax baseline)
+};
+
+const char* RelaxationStrategyName(RelaxationStrategy s);
+
+/// How relaxed queries are generated from the single-attribute order.
+enum class RelaxationMode {
+  /// Enumerate attribute combinations in the paper's greedy multi-attribute
+  /// order: every 1-attribute combo, then every 2-attribute combo, ... —
+  /// Algorithm 1's CreateQueries.
+  kEnumerate,
+  /// Progressive descent: relax cumulative prefixes of the order
+  /// ({o1}, {o1,o2}, {o1,o2,o3}, ...), i.e. only the greedy first
+  /// combination of each size — how an interactive user (and the paper's
+  /// §6.3 efficiency protocol) keeps weakening one query until enough
+  /// answers arrive.
+  kProgressive,
+};
+
+/// The relaxed query derived from \p tuple by dropping the bindings of the
+/// attributes in \p relax_attrs (null attributes are never bound).
+///
+/// Numeric attributes that stay bound are constrained to the band
+/// [v·(1−numeric_band), v·(1+numeric_band)] instead of exact equality —
+/// form interfaces query numeric fields by range, and near-unique numerics
+/// (prices, census weights) would make exact-match relaxation queries return
+/// nothing. numeric_band = 0 restores exact equality.
+SelectionQuery RelaxTupleQuery(const Schema& schema, const Tuple& tuple,
+                               const std::vector<size_t>& relax_attrs,
+                               double numeric_band = 0.0);
+
+/// \brief Streams relaxed queries for one base tuple.
+///
+/// Yields 1-attribute relaxations in order, then 2-attribute combinations,
+/// etc., up to max_relax_attrs.
+class TupleRelaxer {
+ public:
+  /// \p single_order is the 1-attribute relaxation order to follow (for
+  /// kRandom, pre-shuffle it). \p max_relax_attrs caps combination size;
+  /// 0 means all but one attribute. \p numeric_band is forwarded to
+  /// RelaxTupleQuery.
+  TupleRelaxer(const Schema& schema, Tuple tuple,
+               std::vector<size_t> single_order, size_t max_relax_attrs,
+               double numeric_band = 0.0,
+               RelaxationMode mode = RelaxationMode::kEnumerate);
+
+  bool HasNext() const {
+    return mode_ == RelaxationMode::kProgressive
+               ? progressive_depth_ < max_relax_
+               : sequence_.HasNext();
+  }
+
+  /// The next relaxed query, together with the relaxed attribute set.
+  SelectionQuery Next(std::vector<size_t>* relaxed_attrs = nullptr);
+
+ private:
+  const Schema& schema_;
+  Tuple tuple_;
+  std::vector<size_t> single_order_;
+  size_t max_relax_;
+  RelaxationSequence sequence_;
+  double numeric_band_;
+  RelaxationMode mode_;
+  size_t progressive_depth_ = 0;
+};
+
+/// Builds the per-tuple single-attribute order for a strategy: the mined
+/// order for kGuided, a shuffle of it for kRandom.
+std::vector<size_t> StrategyOrder(RelaxationStrategy strategy,
+                                  const std::vector<size_t>& mined_order,
+                                  Rng* rng);
+
+}  // namespace aimq
+
+#endif  // AIMQ_CORE_RELAXATION_H_

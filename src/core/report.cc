@@ -1,0 +1,123 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "ordering/dependence_graph.h"
+#include "util/strings.h"
+
+namespace aimq {
+namespace {
+
+// Most frequent non-null values of a categorical attribute in the sample.
+std::vector<std::pair<Value, size_t>> TopValues(const Relation& sample,
+                                                size_t attr, size_t k) {
+  std::unordered_map<Value, size_t, ValueHash> counts;
+  for (const Tuple& t : sample.tuples()) {
+    const Value& v = t.At(attr);
+    if (!v.is_null()) ++counts[v];
+  }
+  std::vector<std::pair<Value, size_t>> out(counts.begin(), counts.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+}  // namespace
+
+std::string RenderMiningReport(const MinedKnowledge& knowledge,
+                               const Schema& schema,
+                               const ReportOptions& options) {
+  std::string md = "# AIMQ mining report\n\n";
+
+  // --- Sample ---------------------------------------------------------------
+  md += "## Sample\n\n";
+  md += "- Tuples: " + std::to_string(knowledge.sample.NumTuples()) + "\n";
+  md += "- Schema: " + schema.ToString() + "\n\n";
+
+  // --- Dependencies -----------------------------------------------------------
+  const MinedDependencies& deps = knowledge.dependencies;
+  md += "## Dependencies\n\n";
+  md += "- AFDs mined: " + std::to_string(deps.afds.size()) + "\n";
+  md += "- Approximate keys mined: " + std::to_string(deps.keys.size()) +
+        "\n\n";
+
+  std::vector<Afd> afds = deps.afds;
+  std::sort(afds.begin(), afds.end(), [](const Afd& a, const Afd& b) {
+    if (a.Support() != b.Support()) return a.Support() > b.Support();
+    if (a.LhsSize() != b.LhsSize()) return a.LhsSize() < b.LhsSize();
+    return a.lhs < b.lhs;
+  });
+  md += "Strongest AFDs:\n\n";
+  for (size_t i = 0; i < afds.size() && i < options.max_afds; ++i) {
+    md += "- `" + afds[i].ToString(schema) + "`\n";
+  }
+  md += "\n";
+
+  std::vector<AKey> keys = deps.keys;
+  std::sort(keys.begin(), keys.end(), [](const AKey& a, const AKey& b) {
+    if (a.Quality() != b.Quality()) return a.Quality() > b.Quality();
+    return a.attrs < b.attrs;
+  });
+  md += "Best approximate keys (by quality = support/size):\n\n";
+  for (size_t i = 0; i < keys.size() && i < options.max_keys; ++i) {
+    md += "- `" + keys[i].ToString(schema) + "`\n";
+  }
+  md += "\n";
+
+  // --- Dependence graph shape --------------------------------------------------
+  DependenceGraph graph = DependenceGraph::FromDependencies(schema, deps);
+  auto sccs = graph.Sccs();
+  md += "Dependence graph: total edge weight " +
+        FormatDouble(graph.TotalWeight(), 2) +
+        (graph.HasCycle() ? ", cyclic" : ", acyclic") + ", " +
+        std::to_string(sccs.num_nontrivial) +
+        " non-trivial SCC(s), largest of size " +
+        std::to_string(sccs.largest) + ".\n\n";
+
+  // --- Ordering ----------------------------------------------------------------
+  md += "## Attribute ordering (Algorithm 2)\n\n";
+  md += "Best key: `" + knowledge.ordering.best_key().ToString(schema) +
+        "`\n\n";
+  md += "| # | Attribute | Group | Wt_decides | Wt_depends | Wimp |\n";
+  md += "|---|---|---|---|---|---|\n";
+  size_t pos = 1;
+  for (size_t attr : knowledge.ordering.relaxation_order()) {
+    const AttributeImportance& imp = knowledge.ordering.importance()[attr];
+    md += "| " + std::to_string(pos++) + " | " + schema.attribute(attr).name +
+          " | " + (imp.deciding ? "deciding" : "dependent") + " | " +
+          FormatDouble(imp.wt_decides, 3) + " | " +
+          FormatDouble(imp.wt_depends, 3) + " | " +
+          FormatDouble(imp.wimp, 3) + " |\n";
+  }
+  md += "\n(Row 1 is relaxed first = least important.)\n\n";
+
+  // --- Value similarity ---------------------------------------------------------
+  md += "## Learned value similarity\n\n";
+  for (size_t attr : schema.CategoricalIndices()) {
+    if (knowledge.vsim.MinedValues(attr).empty()) continue;
+    md += "### " + schema.attribute(attr).name + "\n\n";
+    for (const auto& [value, count] :
+         TopValues(knowledge.sample, attr, options.values_per_attribute)) {
+      md += "- **" + value.ToString() + "** (" + std::to_string(count) +
+            " tuples):";
+      auto neighbors = knowledge.vsim.TopSimilar(
+          attr, value, options.neighbors_per_value);
+      if (neighbors.empty()) {
+        md += " no neighbors above threshold";
+      }
+      for (size_t i = 0; i < neighbors.size(); ++i) {
+        md += (i == 0 ? " " : ", ") + neighbors[i].first.ToString() + " (" +
+              FormatDouble(neighbors[i].second, 2) + ")";
+      }
+      md += "\n";
+    }
+    md += "\n";
+  }
+  return md;
+}
+
+}  // namespace aimq

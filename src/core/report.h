@@ -1,0 +1,36 @@
+// Mining report: a human-readable Markdown summary of everything the
+// offline phase learned — the artifact a deployment operator reviews before
+// trusting the system's notion of similarity. Covers the probed sample, the
+// mined AFDs and approximate keys, the attribute ordering with importance
+// weights, the per-attribute nearest-neighbor values, and the dependence
+// graph's shape.
+
+#ifndef AIMQ_CORE_REPORT_H_
+#define AIMQ_CORE_REPORT_H_
+
+#include <string>
+
+#include "core/knowledge.h"
+
+namespace aimq {
+
+/// Options controlling report size.
+struct ReportOptions {
+  /// Strongest AFDs listed (by support).
+  size_t max_afds = 12;
+  /// Approximate keys listed (by quality).
+  size_t max_keys = 8;
+  /// Categorical values profiled per attribute (by frequency in the sample).
+  size_t values_per_attribute = 5;
+  /// Nearest neighbors listed per profiled value.
+  size_t neighbors_per_value = 3;
+};
+
+/// Renders the knowledge as a Markdown document.
+std::string RenderMiningReport(const MinedKnowledge& knowledge,
+                               const Schema& schema,
+                               const ReportOptions& options = {});
+
+}  // namespace aimq
+
+#endif  // AIMQ_CORE_REPORT_H_

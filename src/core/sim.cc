@@ -1,0 +1,83 @@
+#include "core/sim.h"
+
+#include <cmath>
+
+namespace aimq {
+
+double SimilarityFunction::AttributeSim(size_t attr, const Value& query_value,
+                                        const Value& tuple_value) const {
+  if (query_value.is_null() || tuple_value.is_null()) return 0.0;
+  if (schema_->attribute(attr).type == AttrType::kCategorical) {
+    return vsim_->VSim(attr, query_value, tuple_value);
+  }
+  const double q = query_value.AsNum();
+  const double t = tuple_value.AsNum();
+  // A zero scale falls back to 1 to avoid dividing by zero.
+  const double rel_scale = std::abs(q) == 0.0 ? 1.0 : std::abs(q);
+
+  switch (numeric_kind_) {
+    case NumericSimKind::kMinMaxScaled:
+      if (attr < ranges_.size() && ranges_[attr].second > ranges_[attr].first) {
+        double span = ranges_[attr].second - ranges_[attr].first;
+        double distance = std::abs(q - t) / span;
+        return distance > 1.0 ? 0.0 : 1.0 - distance;
+      }
+      [[fallthrough]];  // no range known: use the paper's formula
+    case NumericSimKind::kQueryRelative: {
+      // 1 − |q − t| / |q|, clamped to [0,1] (the paper caps the distance).
+      double distance = std::abs(q - t) / rel_scale;
+      if (distance > 1.0) distance = 1.0;
+      return 1.0 - distance;
+    }
+    case NumericSimKind::kGaussian: {
+      double z = std::abs(q - t) / (0.25 * rel_scale);
+      return std::exp(-z * z);
+    }
+  }
+  return 0.0;
+}
+
+Result<double> SimilarityFunction::QueryTupleSim(const ImpreciseQuery& query,
+                                                 const Tuple& tuple) const {
+  double weight_sum = 0.0;
+  double sim = 0.0;
+  for (const ImpreciseQuery::Binding& b : query.bindings()) {
+    AIMQ_ASSIGN_OR_RETURN(size_t attr, schema_->IndexOf(b.attribute));
+    double w = ordering_->Wimp(attr);
+    weight_sum += w;
+    sim += w * AttributeSim(attr, b.value, tuple.At(attr));
+  }
+  // Σ Wimp = 1 over the bound attributes (paper §5).
+  if (weight_sum > 0.0) return sim / weight_sum;
+  // Degenerate: no mined weight on any bound attribute; average unweighted.
+  if (query.NumBindings() == 0) return 0.0;
+  double total = 0.0;
+  for (const ImpreciseQuery::Binding& b : query.bindings()) {
+    AIMQ_ASSIGN_OR_RETURN(size_t attr, schema_->IndexOf(b.attribute));
+    total += AttributeSim(attr, b.value, tuple.At(attr));
+  }
+  return total / static_cast<double>(query.NumBindings());
+}
+
+double SimilarityFunction::TupleTupleSim(const Tuple& anchor,
+                                         const Tuple& other,
+                                         const std::vector<size_t>& attrs) const {
+  double weight_sum = 0.0;
+  double sim = 0.0;
+  for (size_t attr : attrs) {
+    double w = ordering_->Wimp(attr);
+    weight_sum += w;
+    sim += w * AttributeSim(attr, anchor.At(attr), other.At(attr));
+  }
+  if (weight_sum <= 0.0) {
+    if (attrs.empty()) return 0.0;
+    double total = 0.0;
+    for (size_t attr : attrs) {
+      total += AttributeSim(attr, anchor.At(attr), other.At(attr));
+    }
+    return total / static_cast<double>(attrs.size());
+  }
+  return sim / weight_sum;
+}
+
+}  // namespace aimq

@@ -1,0 +1,86 @@
+// Query-tuple similarity estimation (paper §5):
+//
+//   Sim(Q, t) = Σ_i Wimp(Ai) × { VSim(Q.Ai, t.Ai)            categorical
+//                              { 1 − |Q.Ai − t.Ai| / |Q.Ai|  numeric
+//
+// with the numeric distance clamped so the per-attribute similarity stays in
+// [0,1], and Wimp renormalized over the attributes the query binds
+// (Σ Wimp = 1 per the paper).
+
+#ifndef AIMQ_CORE_SIM_H_
+#define AIMQ_CORE_SIM_H_
+
+#include <utility>
+#include <vector>
+
+#include "ordering/attribute_ordering.h"
+#include "query/imprecise_query.h"
+#include "relation/relation.h"
+#include "similarity/value_similarity.h"
+#include "util/status.h"
+
+namespace aimq {
+
+/// How numeric attribute similarity is computed (the paper defaults to the
+/// query-relative L1 form but notes any Lp-style metric works).
+enum class NumericSimKind {
+  /// 1 − |q − t| / |q|, clamped to [0,1] — the paper's §5 formula.
+  kQueryRelative,
+  /// 1 − |q − t| / (max − min), using per-attribute ranges observed in the
+  /// sample (set via SetNumericRanges; falls back to kQueryRelative for
+  /// attributes without a range).
+  kMinMaxScaled,
+  /// exp(−(|q − t| / (0.25 · |q|))²) — a Gaussian kernel on relative
+  /// distance; smoother decay, never exactly 0.
+  kGaussian,
+};
+
+/// \brief Evaluates Sim(Q, t) and tuple-tuple similarity using mined
+/// importance weights and value similarities.
+class SimilarityFunction {
+ public:
+  /// All referenced objects must outlive the function object.
+  SimilarityFunction(const Schema* schema, const AttributeOrdering* ordering,
+                     const ValueSimilarityModel* vsim,
+                     NumericSimKind numeric_kind = NumericSimKind::kQueryRelative)
+      : schema_(schema),
+        ordering_(ordering),
+        vsim_(vsim),
+        numeric_kind_(numeric_kind) {}
+
+  /// The ordering whose Wimp weights this function applies.
+  const AttributeOrdering& ordering() const { return *ordering_; }
+
+  /// Supplies per-attribute [min, max] ranges (one pair per schema
+  /// attribute; ignored entries for categorical attributes) for
+  /// kMinMaxScaled.
+  void SetNumericRanges(std::vector<std::pair<double, double>> ranges) {
+    ranges_ = std::move(ranges);
+  }
+
+  /// Similarity of one attribute pair (unweighted, in [0,1]).
+  double AttributeSim(size_t attr, const Value& query_value,
+                      const Value& tuple_value) const;
+
+  /// Sim(Q, t): weighted over the attributes Q binds. Errors if Q binds an
+  /// unknown attribute.
+  Result<double> QueryTupleSim(const ImpreciseQuery& query,
+                               const Tuple& tuple) const;
+
+  /// Sim(t, t'): treats \p anchor as a fully-bound query over \p attrs
+  /// (Algorithm 1 step 7 measures new tuples against base-set tuples).
+  /// Null anchor values contribute similarity 0 but keep their weight.
+  double TupleTupleSim(const Tuple& anchor, const Tuple& other,
+                       const std::vector<size_t>& attrs) const;
+
+ private:
+  const Schema* schema_;
+  const AttributeOrdering* ordering_;
+  const ValueSimilarityModel* vsim_;
+  NumericSimKind numeric_kind_;
+  std::vector<std::pair<double, double>> ranges_;
+};
+
+}  // namespace aimq
+
+#endif  // AIMQ_CORE_SIM_H_

@@ -1,0 +1,217 @@
+#include "datagen/bibdb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "util/rng.h"
+
+namespace aimq {
+namespace {
+
+std::vector<VenueInfo> BuildCatalog() {
+  return {
+      // Databases
+      {"SIGMOD", "Databases", false, 1.00, 1.6, 0},
+      {"VLDB", "Databases", false, 0.98, 1.6, 0},
+      {"ICDE", "Databases", false, 0.90, 1.8, 1984},
+      {"EDBT", "Databases", false, 0.75, 1.0, 1988},
+      {"CIKM", "Databases", false, 0.65, 1.4, 1992},
+      {"TODS", "Databases", true, 0.95, 0.5, 0},
+      {"VLDB-Journal", "Databases", true, 0.85, 0.4, 1992},
+      // AI / ML
+      {"AAAI", "AI", false, 0.92, 1.8, 0},
+      {"IJCAI", "AI", false, 0.90, 1.5, 0},
+      {"ICML", "AI", false, 0.93, 1.2, 1988},
+      {"NIPS", "AI", false, 0.95, 1.2, 1987},
+      {"KDD", "AI", false, 0.85, 1.1, 1995},
+      {"JMLR", "AI", true, 0.90, 0.4, 2000},
+      {"AIJ", "AI", true, 0.88, 0.5, 0},
+      // Systems
+      {"SOSP", "Systems", false, 1.00, 0.5, 0},
+      {"OSDI", "Systems", false, 0.97, 0.5, 1994},
+      {"USENIX-ATC", "Systems", false, 0.80, 1.0, 0},
+      {"EuroSys", "Systems", false, 0.75, 0.6, 2005},
+      {"TOCS", "Systems", true, 0.90, 0.3, 1983},
+      // Theory
+      {"STOC", "Theory", false, 1.00, 0.9, 0},
+      {"FOCS", "Theory", false, 0.98, 0.9, 0},
+      {"SODA", "Theory", false, 0.88, 1.2, 1990},
+      {"JACM", "Theory", true, 0.95, 0.4, 0},
+      // Networks
+      {"SIGCOMM", "Networks", false, 1.00, 0.7, 0},
+      {"INFOCOM", "Networks", false, 0.75, 2.2, 1982},
+      {"NSDI", "Networks", false, 0.90, 0.5, 2004},
+      {"TON", "Networks", true, 0.85, 0.8, 1993},
+      // Graphics / HCI
+      {"SIGGRAPH", "Graphics", false, 1.00, 1.0, 0},
+      {"EUROGRAPHICS", "Graphics", false, 0.80, 0.8, 1980},
+      {"TOG", "Graphics", true, 0.90, 0.4, 1982},
+      {"CHI", "HCI", false, 0.95, 1.4, 1982},
+      {"UIST", "HCI", false, 0.85, 0.6, 1988},
+      // IR / Web (bridges Databases and AI)
+      {"SIGIR", "IR", false, 0.92, 1.0, 0},
+      {"WWW", "IR", false, 0.88, 1.1, 1994},
+      {"TOIS", "IR", true, 0.85, 0.4, 1983},
+  };
+}
+
+// Keyword pools per area; the last entries of each pool deliberately appear
+// in a second area's pool so that Keyword → Area is only approximate.
+const std::unordered_map<std::string, std::vector<const char*>>&
+AreaKeywords() {
+  static const auto* kMap =
+      new std::unordered_map<std::string, std::vector<const char*>>{
+          {"Databases",
+           {"query-processing", "transactions", "indexing", "schema-design",
+            "data-mining", "ranking"}},
+          {"AI",
+           {"learning", "planning", "inference", "neural-networks",
+            "data-mining", "search"}},
+          {"Systems",
+           {"operating-systems", "virtualization", "file-systems",
+            "scheduling", "caching", "distributed-systems"}},
+          {"Theory",
+           {"complexity", "approximation", "graph-algorithms",
+            "cryptography", "search", "scheduling"}},
+          {"Networks",
+           {"routing", "congestion-control", "wireless", "measurement",
+            "distributed-systems", "caching"}},
+          {"Graphics",
+           {"rendering", "geometry", "animation", "shading",
+            "visualization"}},
+          {"HCI",
+           {"interfaces", "usability", "interaction", "visualization",
+            "accessibility"}},
+          {"IR",
+           {"retrieval", "ranking", "web-search", "crawling",
+            "recommendation", "learning"}},
+      };
+  return *kMap;
+}
+
+}  // namespace
+
+BibDbGenerator::BibDbGenerator(BibDbSpec spec)
+    : spec_(spec), catalog_(BuildCatalog()) {}
+
+Schema BibDbGenerator::MakeSchema() {
+  return Schema::Make({
+                          {"Venue", AttrType::kCategorical},
+                          {"Area", AttrType::kCategorical},
+                          {"Keyword", AttrType::kCategorical},
+                          {"Year", AttrType::kCategorical},
+                          {"Pages", AttrType::kNumeric},
+                          {"Citations", AttrType::kNumeric},
+                      })
+      .ValueOrDie();
+}
+
+Relation BibDbGenerator::Generate() const {
+  Rng rng(spec_.seed);
+  Relation rel(MakeSchema());
+
+  std::vector<double> venue_weights;
+  venue_weights.reserve(catalog_.size());
+  for (const VenueInfo& v : catalog_) {
+    venue_weights.push_back(std::pow(v.volume, 1.8));
+  }
+
+  for (size_t i = 0; i < spec_.num_tuples; ++i) {
+    const VenueInfo& v = catalog_[rng.Categorical(venue_weights)];
+
+    // Year within the venue's lifetime, recency-skewed.
+    int lo = std::max(spec_.min_year, v.first_year);
+    int hi = spec_.max_year;
+    if (lo > hi) lo = hi;
+    int span = hi - lo;
+    int y1 = span > 0 ? static_cast<int>(rng.UniformInt(0, span)) : 0;
+    int y2 = span > 0 ? static_cast<int>(rng.UniformInt(0, span)) : 0;
+    int year = lo + std::max(y1, y2);
+    int age = spec_.max_year - year + 1;
+
+    // Keyword: usually from the venue's area pool; occasionally a paper is
+    // cross-disciplinary (keyword drawn from a random area).
+    const auto& pools = AreaKeywords();
+    const std::vector<const char*>* pool = &pools.at(v.area);
+    if (rng.Bernoulli(0.12)) {
+      auto it = pools.begin();
+      std::advance(it, rng.Uniform(pools.size()));
+      pool = &it->second;
+    }
+    const char* keyword = (*pool)[rng.Uniform(pool->size())];
+
+    // Pages: journals run long, conferences short.
+    double pages = v.journal ? rng.Gaussian(26, 6) : rng.Gaussian(11, 2.5);
+    pages = std::max(2.0, std::round(pages));
+
+    // Citations: prestige × log-growth with age, lognormal noise, heavy
+    // right tail; rounded.
+    double cites = v.prestige * 8.0 * std::log1p(static_cast<double>(age)) *
+                   std::exp(rng.Gaussian(0.0, 0.9));
+    cites = std::round(std::max(0.0, cites));
+
+    rel.AppendUnchecked(Tuple({
+        Value::Cat(v.venue),
+        Value::Cat(v.area),
+        Value::Cat(keyword),
+        Value::Cat(std::to_string(year)),
+        Value::Num(pages),
+        Value::Num(cites),
+    }));
+  }
+  return rel;
+}
+
+const VenueInfo* BibDbGenerator::FindVenue(const std::string& venue) const {
+  for (const VenueInfo& v : catalog_) {
+    if (v.venue == venue) return &v;
+  }
+  return nullptr;
+}
+
+double BibDbGenerator::VenueSimilarity(const std::string& a,
+                                       const std::string& b) const {
+  if (a == b) return 1.0;
+  const VenueInfo* va = FindVenue(a);
+  const VenueInfo* vb = FindVenue(b);
+  if (va == nullptr || vb == nullptr) return 0.0;
+  double area = va->area == vb->area ? 1.0 : 0.0;
+  // IR bridges Databases and AI.
+  if (area == 0.0) {
+    auto bridges = [](const std::string& x, const std::string& y) {
+      return (x == "IR" && (y == "Databases" || y == "AI")) ||
+             (y == "IR" && (x == "Databases" || x == "AI"));
+    };
+    if (bridges(va->area, vb->area)) area = 0.4;
+  }
+  double prestige = 1.0 - std::abs(va->prestige - vb->prestige);
+  double kind = va->journal == vb->journal ? 1.0 : 0.0;
+  return 0.60 * area + 0.25 * prestige + 0.15 * kind;
+}
+
+double BibDbGenerator::TupleSimilarity(const Tuple& a, const Tuple& b) const {
+  double venue = 0.0;
+  if (a.At(kVenue).is_categorical() && b.At(kVenue).is_categorical()) {
+    venue = VenueSimilarity(a.At(kVenue).AsCat(), b.At(kVenue).AsCat());
+  }
+  double keyword =
+      (a.At(kKeyword) == b.At(kKeyword)) ? 1.0 : 0.0;
+  double year = 0.0;
+  if (a.At(kYear).is_categorical() && b.At(kYear).is_categorical()) {
+    double ya = std::atof(a.At(kYear).AsCat().c_str());
+    double yb = std::atof(b.At(kYear).AsCat().c_str());
+    double d = std::abs(ya - yb) / 10.0;
+    year = d > 1.0 ? 0.0 : 1.0 - d;
+  }
+  auto num_sim = [](const Value& x, const Value& y, double scale) {
+    if (!x.is_numeric() || !y.is_numeric()) return 0.0;
+    double d = std::abs(x.AsNum() - y.AsNum()) / scale;
+    return d > 1.0 ? 0.0 : 1.0 - d;
+  };
+  double cites = num_sim(a.At(kCitations), b.At(kCitations), 40.0);
+  return 0.45 * venue + 0.25 * keyword + 0.20 * year + 0.10 * cites;
+}
+
+}  // namespace aimq

@@ -1,0 +1,517 @@
+#include "datagen/cardb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "util/rng.h"
+
+namespace aimq {
+namespace {
+
+// Country of origin per make (hidden feature; shapes make similarity).
+const std::unordered_map<std::string, std::string>& MakeCountry() {
+  static const auto* kMap = new std::unordered_map<std::string, std::string>{
+      {"Toyota", "JP"},   {"Honda", "JP"},      {"Nissan", "JP"},
+      {"Subaru", "JP"},   {"Isuzu", "JP"},      {"Ford", "US"},
+      {"Chevrolet", "US"}, {"Dodge", "US"},     {"BMW", "DE"},
+      {"Mercedes", "DE"}, {"Volkswagen", "DE"}, {"Hyundai", "KR"},
+      {"Kia", "KR"},
+  };
+  return *kMap;
+}
+
+// Catalog with hidden features: segment, price anchor, popularity and the
+// production window. Windows are what make Year co-occurrence informative
+// (a 1985 listing can be a Bronco but never a Focus) and what separates the
+// Korean makes (mid-90s market entry) from long-established ones.
+std::vector<CarModelInfo> BuildCatalog() {
+  using S = CarSegment;
+  return {
+      // Toyota
+      {"Toyota", "Camry", S::kMidsize, 22000, 3.0, 0, 9999},
+      {"Toyota", "Corolla", S::kCompact, 16000, 2.8, 0, 9999},
+      {"Toyota", "Avalon", S::kFullsize, 28000, 1.0, 1995, 9999},
+      {"Toyota", "Celica", S::kSports, 22000, 0.8, 0, 9999},
+      {"Toyota", "RAV4", S::kSuv, 21000, 1.5, 1996, 9999},
+      {"Toyota", "4Runner", S::kSuv, 28000, 1.2, 0, 9999},
+      {"Toyota", "Tacoma", S::kTruck, 19000, 1.4, 1995, 9999},
+      {"Toyota", "Sienna", S::kVan, 25000, 1.0, 1998, 9999},
+      // Honda
+      {"Honda", "Accord", S::kMidsize, 21000, 3.0, 0, 9999},
+      {"Honda", "Civic", S::kCompact, 15500, 2.8, 0, 9999},
+      {"Honda", "Prelude", S::kSports, 23000, 0.6, 0, 2001},
+      {"Honda", "CR-V", S::kSuv, 20000, 1.4, 1997, 9999},
+      {"Honda", "Odyssey", S::kVan, 26000, 1.1, 1995, 9999},
+      {"Honda", "Passport", S::kSuv, 24000, 0.7, 1994, 2002},
+      // Nissan
+      {"Nissan", "Altima", S::kMidsize, 20000, 2.2, 1993, 9999},
+      {"Nissan", "Sentra", S::kCompact, 14500, 1.8, 0, 9999},
+      {"Nissan", "Maxima", S::kFullsize, 26000, 1.2, 0, 9999},
+      {"Nissan", "300ZX", S::kSports, 30000, 0.5, 0, 1996},
+      {"Nissan", "Pathfinder", S::kSuv, 27000, 1.2, 1986, 9999},
+      {"Nissan", "Frontier", S::kTruck, 18000, 1.0, 1998, 9999},
+      {"Nissan", "Quest", S::kVan, 24000, 0.7, 1993, 9999},
+      // Subaru
+      {"Subaru", "Legacy", S::kMidsize, 20500, 1.2, 1990, 9999},
+      {"Subaru", "Impreza", S::kCompact, 17000, 1.1, 1993, 9999},
+      {"Subaru", "Outback", S::kSuv, 23000, 1.3, 1995, 9999},
+      {"Subaru", "Forester", S::kSuv, 21000, 1.0, 1998, 9999},
+      // Isuzu
+      {"Isuzu", "Rodeo", S::kSuv, 19500, 0.9, 1991, 9999},
+      {"Isuzu", "Trooper", S::kSuv, 23000, 0.7, 0, 2002},
+      {"Isuzu", "Hombre", S::kTruck, 15000, 0.5, 1996, 2000},
+      // Ford
+      {"Ford", "Taurus", S::kMidsize, 19500, 2.6, 1986, 9999},
+      {"Ford", "Focus", S::kCompact, 14500, 2.2, 2000, 9999},
+      {"Ford", "Escort", S::kCompact, 12500, 1.8, 0, 2002},
+      {"Ford", "Crown Victoria", S::kFullsize, 24000, 1.0, 0, 9999},
+      {"Ford", "Mustang", S::kSports, 21000, 1.6, 0, 9999},
+      {"Ford", "Explorer", S::kSuv, 26000, 2.0, 1991, 9999},
+      {"Ford", "Bronco", S::kSuv, 24000, 0.9, 0, 1996},
+      {"Ford", "Expedition", S::kSuv, 30000, 1.0, 1997, 9999},
+      {"Ford", "F-150", S::kTruck, 20000, 2.6, 0, 9999},
+      {"Ford", "F-350", S::kTruck, 26000, 0.9, 0, 9999},
+      {"Ford", "Ranger", S::kTruck, 15000, 1.4, 0, 9999},
+      {"Ford", "Aerostar", S::kVan, 19000, 0.8, 1986, 1997},
+      {"Ford", "Econoline Van", S::kVan, 22000, 0.9, 0, 9999},
+      {"Ford", "Windstar", S::kVan, 21000, 1.0, 1995, 2003},
+      // Chevrolet
+      {"Chevrolet", "Malibu", S::kMidsize, 18500, 2.0, 1997, 9999},
+      {"Chevrolet", "Cavalier", S::kCompact, 13500, 2.0, 0, 9999},
+      {"Chevrolet", "Impala", S::kFullsize, 23000, 1.4, 1994, 9999},
+      {"Chevrolet", "Camaro", S::kSports, 21500, 1.3, 0, 2002},
+      {"Chevrolet", "Corvette", S::kSports, 40000, 0.6, 0, 9999},
+      {"Chevrolet", "Blazer", S::kSuv, 23500, 1.4, 0, 9999},
+      {"Chevrolet", "Tahoe", S::kSuv, 30000, 1.3, 1995, 9999},
+      {"Chevrolet", "Suburban", S::kSuv, 33000, 1.0, 0, 9999},
+      {"Chevrolet", "Silverado", S::kTruck, 21000, 2.4, 1999, 9999},
+      {"Chevrolet", "S-10", S::kTruck, 14500, 1.2, 0, 2004},
+      {"Chevrolet", "Astro", S::kVan, 20000, 0.8, 0, 2005},
+      // Dodge
+      {"Dodge", "Intrepid", S::kFullsize, 20000, 1.2, 1993, 2004},
+      {"Dodge", "Neon", S::kCompact, 12500, 1.4, 1995, 2005},
+      {"Dodge", "Stratus", S::kMidsize, 17500, 1.3, 1995, 9999},
+      {"Dodge", "Viper", S::kSports, 60000, 0.2, 1992, 9999},
+      {"Dodge", "Durango", S::kSuv, 26000, 1.2, 1998, 9999},
+      {"Dodge", "Ram 1500", S::kTruck, 20500, 2.0, 1994, 9999},
+      {"Dodge", "Dakota", S::kTruck, 16500, 1.2, 1987, 9999},
+      {"Dodge", "Caravan", S::kVan, 20000, 1.8, 0, 9999},
+      // BMW
+      {"BMW", "318i", S::kLuxury, 27000, 0.9, 0, 1999},
+      {"BMW", "325i", S::kLuxury, 31000, 1.1, 0, 9999},
+      {"BMW", "528i", S::kLuxury, 40000, 0.8, 1997, 9999},
+      {"BMW", "740i", S::kLuxury, 55000, 0.5, 1988, 9999},
+      {"BMW", "Z3", S::kSports, 32000, 0.5, 1996, 2002},
+      {"BMW", "X5", S::kSuv, 42000, 0.7, 2000, 9999},
+      // Mercedes
+      {"Mercedes", "C230", S::kLuxury, 30000, 0.9, 1997, 9999},
+      {"Mercedes", "E320", S::kLuxury, 45000, 0.8, 1994, 9999},
+      {"Mercedes", "S500", S::kLuxury, 70000, 0.4, 1991, 9999},
+      {"Mercedes", "SLK230", S::kSports, 40000, 0.4, 1998, 9999},
+      {"Mercedes", "ML320", S::kSuv, 37000, 0.6, 1998, 9999},
+      // Volkswagen
+      {"Volkswagen", "Jetta", S::kCompact, 17500, 1.6, 0, 9999},
+      {"Volkswagen", "Golf", S::kCompact, 15500, 1.2, 0, 9999},
+      {"Volkswagen", "Passat", S::kMidsize, 22000, 1.3, 1990, 9999},
+      {"Volkswagen", "Beetle", S::kCompact, 16500, 1.0, 1998, 9999},
+      {"Volkswagen", "Eurovan", S::kVan, 24000, 0.4, 1993, 2003},
+      // Hyundai (entered the US market in the late 80s / 90s)
+      {"Hyundai", "Elantra", S::kCompact, 12800, 1.4, 1992, 9999},
+      {"Hyundai", "Accent", S::kCompact, 10500, 1.2, 1995, 9999},
+      {"Hyundai", "Sonata", S::kMidsize, 16500, 1.2, 1989, 9999},
+      {"Hyundai", "Tiburon", S::kSports, 15500, 0.6, 1997, 9999},
+      {"Hyundai", "Santa Fe", S::kSuv, 18500, 0.9, 2001, 9999},
+      // Kia (entered the US market in 1994)
+      {"Kia", "Sephia", S::kCompact, 11000, 0.9, 1994, 2001},
+      {"Kia", "Rio", S::kCompact, 9800, 1.0, 2001, 9999},
+      {"Kia", "Optima", S::kMidsize, 15500, 0.8, 2001, 9999},
+      {"Kia", "Sportage", S::kSuv, 16000, 0.8, 1995, 9999},
+      {"Kia", "Sedona", S::kVan, 19000, 0.7, 2002, 9999},
+  };
+}
+
+enum class Region { kWest, kSouth, kMidwest, kNortheast };
+
+struct LocationInfo {
+  const char* name;
+  Region region;
+};
+
+struct LocationEntry {
+  const char* name;
+  Region region;
+  double market_size;  // relative listing volume (big metros dominate)
+};
+
+const std::vector<LocationEntry>& Locations() {
+  static const auto* kList = new std::vector<LocationEntry>{
+      {"Phoenix", Region::kWest, 1.3},     {"Tucson", Region::kWest, 0.4},
+      {"Los Angeles", Region::kWest, 3.5}, {"San Diego", Region::kWest, 1.2},
+      {"San Jose", Region::kWest, 1.0},    {"Seattle", Region::kWest, 1.4},
+      {"Portland", Region::kWest, 0.9},    {"Denver", Region::kWest, 1.1},
+      {"Las Vegas", Region::kWest, 0.7},   {"Dallas", Region::kSouth, 2.2},
+      {"Houston", Region::kSouth, 2.3},    {"Austin", Region::kSouth, 0.8},
+      {"Atlanta", Region::kSouth, 1.9},    {"Miami", Region::kSouth, 1.6},
+      {"Orlando", Region::kSouth, 0.8},    {"Charlotte", Region::kSouth, 0.7},
+      {"Nashville", Region::kSouth, 0.6},  {"Chicago", Region::kMidwest, 2.8},
+      {"Detroit", Region::kMidwest, 1.7},  {"St Louis", Region::kMidwest, 0.9},
+      {"Boston", Region::kNortheast, 1.5}, {"New York", Region::kNortheast, 3.2},
+      {"Newark", Region::kNortheast, 0.8},
+      {"Philadelphia", Region::kNortheast, 1.6},
+      {"Baltimore", Region::kNortheast, 0.9},
+  };
+  return *kList;
+}
+
+// Regional market preference per country of origin: domestic makes dominate
+// the midwest/south, Japanese makes skew west-coast, German makes skew
+// northeast. This is the co-occurrence signal that ties same-country makes
+// together in the mined similarity (paper Figure 5's Ford-Chevrolet edge).
+double RegionWeight(const std::string& country, Region region) {
+  if (country == "US") {
+    switch (region) {
+      case Region::kMidwest: return 2.5;
+      case Region::kSouth: return 1.8;
+      case Region::kWest: return 0.45;
+      case Region::kNortheast: return 0.65;
+    }
+  } else if (country == "JP") {
+    switch (region) {
+      case Region::kWest: return 2.2;
+      case Region::kNortheast: return 1.0;
+      case Region::kSouth: return 0.8;
+      case Region::kMidwest: return 0.35;
+    }
+  } else if (country == "DE") {
+    switch (region) {
+      case Region::kNortheast: return 2.5;
+      case Region::kWest: return 1.2;
+      case Region::kSouth: return 0.5;
+      case Region::kMidwest: return 0.4;
+    }
+  } else if (country == "KR") {
+    switch (region) {
+      case Region::kWest: return 1.8;
+      case Region::kSouth: return 1.3;
+      case Region::kNortheast: return 0.6;
+      case Region::kMidwest: return 0.5;
+    }
+  }
+  return 1.0;
+}
+
+struct ColorInfo {
+  const char* name;
+  double base_weight;
+};
+
+const std::vector<ColorInfo>& Colors() {
+  static const auto* kList = new std::vector<ColorInfo>{
+      {"White", 14}, {"Black", 12},  {"Silver", 13}, {"Gray", 10},
+      {"Red", 9},    {"Blue", 9},    {"Green", 7},   {"Gold", 6},
+      {"Beige", 5},  {"Maroon", 5},  {"Brown", 4},   {"Yellow", 2},
+  };
+  return *kList;
+}
+
+// Segment/country shaped palette: luxury cars run black/silver, sports cars
+// run red/yellow, trucks run white/red, vans run beige/gold.
+double ColorWeight(const ColorInfo& color, CarSegment segment,
+                   const std::string& country) {
+  double w = color.base_weight;
+  const std::string name = color.name;
+  // Late-90s market palettes: domestic cars ran green/gold/maroon, Japanese
+  // imports ran silver/blue, Korean economy cars ran white/red.
+  if (country == "US") {
+    if (name == "Green") w *= 1.7;
+    if (name == "Gold") w *= 1.7;
+    if (name == "Maroon") w *= 1.5;
+    if (name == "Silver") w *= 0.7;
+  } else if (country == "JP") {
+    if (name == "Silver") w *= 1.7;
+    if (name == "Blue") w *= 1.4;
+    if (name == "White") w *= 1.2;
+    if (name == "Gold") w *= 0.6;
+    if (name == "Green") w *= 0.7;
+  } else if (country == "KR") {
+    if (name == "White") w *= 1.5;
+    if (name == "Red") w *= 1.2;
+    if (name == "Gold") w *= 0.6;
+  }
+  if (segment == CarSegment::kLuxury || country == "DE") {
+    if (name == "Black") w *= 1.8;
+    if (name == "Silver") w *= 1.6;
+    if (name == "Gray") w *= 1.3;
+    if (name == "Red" || name == "Yellow" || name == "Green") w *= 0.5;
+  }
+  if (segment == CarSegment::kSports) {
+    if (name == "Red") w *= 2.2;
+    if (name == "Yellow") w *= 2.0;
+    if (name == "Black") w *= 1.3;
+    if (name == "Beige" || name == "Brown" || name == "Gold") w *= 0.4;
+  }
+  if (segment == CarSegment::kTruck) {
+    if (name == "White") w *= 1.6;
+    if (name == "Red") w *= 1.3;
+    if (name == "Brown") w *= 1.2;
+  }
+  if (segment == CarSegment::kVan) {
+    if (name == "Beige") w *= 1.4;
+    if (name == "Gold") w *= 1.3;
+    if (name == "Maroon") w *= 1.2;
+  }
+  return w;
+}
+
+// Trucks and SUVs hold value and get driven hard; sports cars are weekend
+// cars; luxury cars depreciate steeply. These segment signatures shape the
+// price/mileage distributions that the Similarity Miner picks up, so makes
+// with similar lineups (the truck-heavy US big three, the sedan-heavy
+// Japanese makers) end up with similar supertuples.
+double SegmentDepreciation(CarSegment s) {
+  switch (s) {
+    case CarSegment::kTruck:
+    case CarSegment::kSuv:
+      return 0.89;
+    case CarSegment::kLuxury:
+      return 0.85;
+    case CarSegment::kSports:
+      return 0.875;
+    case CarSegment::kVan:
+      return 0.86;
+    default:
+      return 0.87;
+  }
+}
+
+double SegmentMilesPerYear(CarSegment s) {
+  switch (s) {
+    case CarSegment::kTruck:
+      return 14500.0;
+    case CarSegment::kVan:
+      return 13500.0;
+    case CarSegment::kSuv:
+      return 12500.0;
+    case CarSegment::kSports:
+      return 9000.0;
+    case CarSegment::kLuxury:
+      return 10500.0;
+    default:
+      return 12000.0;
+  }
+}
+
+double SegmentSimilarity(CarSegment a, CarSegment b) {
+  if (a == b) return 1.0;
+  using S = CarSegment;
+  auto near = [&](S x, S y) {
+    return (a == x && b == y) || (a == y && b == x);
+  };
+  if (near(S::kCompact, S::kMidsize)) return 0.6;
+  if (near(S::kMidsize, S::kFullsize)) return 0.6;
+  if (near(S::kFullsize, S::kLuxury)) return 0.5;
+  if (near(S::kCompact, S::kFullsize)) return 0.3;
+  if (near(S::kMidsize, S::kLuxury)) return 0.35;
+  if (near(S::kSuv, S::kTruck)) return 0.5;
+  if (near(S::kSuv, S::kVan)) return 0.45;
+  if (near(S::kTruck, S::kVan)) return 0.35;
+  if (near(S::kSports, S::kLuxury)) return 0.3;
+  if (near(S::kCompact, S::kSports)) return 0.25;
+  return 0.1;
+}
+
+}  // namespace
+
+const char* CarSegmentName(CarSegment s) {
+  switch (s) {
+    case CarSegment::kCompact:
+      return "compact";
+    case CarSegment::kMidsize:
+      return "midsize";
+    case CarSegment::kFullsize:
+      return "fullsize";
+    case CarSegment::kLuxury:
+      return "luxury";
+    case CarSegment::kSports:
+      return "sports";
+    case CarSegment::kSuv:
+      return "suv";
+    case CarSegment::kTruck:
+      return "truck";
+    case CarSegment::kVan:
+      return "van";
+  }
+  return "unknown";
+}
+
+CarDbGenerator::CarDbGenerator(CarDbSpec spec)
+    : spec_(spec), catalog_(BuildCatalog()) {}
+
+Schema CarDbGenerator::MakeSchema() {
+  return Schema::Make({
+                          {"Make", AttrType::kCategorical},
+                          {"Model", AttrType::kCategorical},
+                          {"Year", AttrType::kCategorical},
+                          {"Price", AttrType::kNumeric},
+                          {"Mileage", AttrType::kNumeric},
+                          {"Location", AttrType::kCategorical},
+                          {"Color", AttrType::kCategorical},
+                      })
+      .ValueOrDie();
+}
+
+Relation CarDbGenerator::Generate() const {
+  Rng rng(spec_.seed);
+  Relation rel(MakeSchema());
+
+  // Listing volume is Zipf-like in the real world: mainstream models
+  // outnumber niche ones by orders of magnitude. The power transform
+  // stretches the catalog's mild popularity scores into that regime, which
+  // also gives supertuples the asymmetric supports the paper's similarity
+  // values reflect (bag-Jaccard is capped by the support ratio).
+  constexpr double kPopularitySkew = 2.2;
+  std::vector<double> model_weights;
+  model_weights.reserve(catalog_.size());
+  for (const CarModelInfo& m : catalog_) {
+    model_weights.push_back(std::pow(m.popularity, kPopularitySkew));
+  }
+
+  // Per-model location and color weights (shaped by country and segment).
+  std::vector<std::vector<double>> location_weights(catalog_.size());
+  std::vector<std::vector<double>> color_weights(catalog_.size());
+  for (size_t i = 0; i < catalog_.size(); ++i) {
+    const std::string& country = MakeCountry().count(catalog_[i].make)
+                                     ? MakeCountry().at(catalog_[i].make)
+                                     : "US";
+    for (const LocationEntry& loc : Locations()) {
+      location_weights[i].push_back(loc.market_size *
+                                    RegionWeight(country, loc.region));
+    }
+    for (const ColorInfo& color : Colors()) {
+      color_weights[i].push_back(
+          ColorWeight(color, catalog_[i].segment, country));
+    }
+  }
+
+  for (size_t i = 0; i < spec_.num_tuples; ++i) {
+    size_t mi = rng.Categorical(model_weights);
+    const CarModelInfo& m = catalog_[mi];
+
+    // Year drawn within the model's production window (clamped to the
+    // dataset range); recent years are more common in used-car inventory
+    // (max of two uniforms gives the triangular skew).
+    int lo = std::max(spec_.min_year, m.first_year);
+    int hi = std::min(spec_.max_year, m.last_year);
+    if (lo > hi) lo = hi;
+    int span = hi - lo;
+    int y1 = span > 0 ? static_cast<int>(rng.UniformInt(0, span)) : 0;
+    int y2 = span > 0 ? static_cast<int>(rng.UniformInt(0, span)) : 0;
+    int year = lo + std::max(y1, y2);
+    int age = spec_.max_year - year + 1;
+
+    // Mileage grows with age at a segment-specific rate; lognormal-ish
+    // noise; rounded to 500.
+    double miles = SegmentMilesPerYear(m.segment) * age *
+                   std::exp(rng.Gaussian(0.0, 0.25));
+    miles = std::max(1000.0, std::round(miles / 500.0) * 500.0);
+    miles = std::min(miles, 400000.0);
+
+    // Price: base price, segment-specific exponential depreciation, mild
+    // mileage discount, noise; rounded to $100.
+    double price = m.base_price *
+                   std::pow(SegmentDepreciation(m.segment), age) *
+                   std::exp(rng.Gaussian(0.0, 0.10)) *
+                   (1.0 - 0.15 * std::min(miles / 300000.0, 1.0));
+    price = std::max(500.0, std::round(price / 100.0) * 100.0);
+
+    const std::string& location =
+        Locations()[rng.Categorical(location_weights[mi])].name;
+    const std::string& color =
+        Colors()[rng.Categorical(color_weights[mi])].name;
+
+    rel.AppendUnchecked(Tuple({
+        Value::Cat(m.make),
+        Value::Cat(m.model),
+        Value::Cat(std::to_string(year)),
+        Value::Num(price),
+        Value::Num(miles),
+        Value::Cat(location),
+        Value::Cat(color),
+    }));
+  }
+  return rel;
+}
+
+const CarModelInfo* CarDbGenerator::FindModel(const std::string& model) const {
+  for (const CarModelInfo& m : catalog_) {
+    if (m.model == model) return &m;
+  }
+  return nullptr;
+}
+
+double CarDbGenerator::CountrySimilarity(const std::string& make_a,
+                                         const std::string& make_b) const {
+  auto it_a = MakeCountry().find(make_a);
+  auto it_b = MakeCountry().find(make_b);
+  if (it_a == MakeCountry().end() || it_b == MakeCountry().end()) return 0.0;
+  return it_a->second == it_b->second ? 1.0 : 0.0;
+}
+
+double CarDbGenerator::ModelSimilarity(const std::string& a,
+                                       const std::string& b) const {
+  if (a == b) return 1.0;
+  const CarModelInfo* ma = FindModel(a);
+  const CarModelInfo* mb = FindModel(b);
+  if (ma == nullptr || mb == nullptr) return 0.0;
+  double seg = SegmentSimilarity(ma->segment, mb->segment);
+  double ratio = std::min(ma->base_price, mb->base_price) /
+                 std::max(ma->base_price, mb->base_price);
+  double same_make = ma->make == mb->make ? 1.0 : 0.0;
+  double country = CountrySimilarity(ma->make, mb->make);
+  return 0.45 * seg + 0.30 * ratio + 0.15 * same_make + 0.10 * country;
+}
+
+double CarDbGenerator::MakeSimilarity(const std::string& a,
+                                      const std::string& b) const {
+  if (a == b) return 1.0;
+  double total = 0.0;
+  size_t count = 0;
+  for (const CarModelInfo& ma : catalog_) {
+    if (ma.make != a) continue;
+    for (const CarModelInfo& mb : catalog_) {
+      if (mb.make != b) continue;
+      total += ModelSimilarity(ma.model, mb.model);
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : total / static_cast<double>(count);
+}
+
+double CarDbGenerator::TupleSimilarity(const Tuple& a, const Tuple& b) const {
+  auto num_sim = [](const Value& x, const Value& y, double scale) {
+    if (!x.is_numeric() || !y.is_numeric()) return 0.0;
+    double d = std::abs(x.AsNum() - y.AsNum()) / scale;
+    return d > 1.0 ? 0.0 : 1.0 - d;
+  };
+  double model = 0.0;
+  if (a.At(kModel).is_categorical() && b.At(kModel).is_categorical()) {
+    model = ModelSimilarity(a.At(kModel).AsCat(), b.At(kModel).AsCat());
+  }
+  double year = 0.0;
+  if (a.At(kYear).is_categorical() && b.At(kYear).is_categorical()) {
+    double ya = std::atof(a.At(kYear).AsCat().c_str());
+    double yb = std::atof(b.At(kYear).AsCat().c_str());
+    double d = std::abs(ya - yb) / 8.0;
+    year = d > 1.0 ? 0.0 : 1.0 - d;
+  }
+  double price = num_sim(a.At(kPrice), b.At(kPrice), 12000.0);
+  double miles = num_sim(a.At(kMileage), b.At(kMileage), 80000.0);
+  double loc = (a.At(kLocation) == b.At(kLocation)) ? 1.0 : 0.0;
+  double color = (a.At(kColor) == b.At(kColor)) ? 1.0 : 0.0;
+  return 0.40 * model + 0.15 * year + 0.25 * price + 0.12 * miles +
+         0.05 * loc + 0.03 * color;
+}
+
+}  // namespace aimq

@@ -1,0 +1,292 @@
+#include "datagen/censusdb.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace aimq {
+namespace {
+
+struct EducationInfo {
+  const char* name;
+  double weight;  // marginal frequency (Adult-like)
+  int rank;       // 0 (Preschool) .. 15 (Doctorate)
+};
+
+const std::vector<EducationInfo>& Educations() {
+  static const auto* kList = new std::vector<EducationInfo>{
+      {"Preschool", 0.2, 0},    {"1st-4th", 0.5, 1},
+      {"5th-6th", 1.0, 2},      {"7th-8th", 2.0, 3},
+      {"9th", 1.6, 4},          {"10th", 2.9, 5},
+      {"11th", 3.7, 6},         {"12th", 1.3, 7},
+      {"HS-grad", 32.3, 8},     {"Some-college", 22.3, 9},
+      {"Assoc-voc", 4.2, 10},   {"Assoc-acdm", 3.3, 11},
+      {"Bachelors", 16.4, 12},  {"Masters", 5.4, 13},
+      {"Prof-school", 1.8, 14}, {"Doctorate", 1.3, 15},
+  };
+  return *kList;
+}
+
+struct OccupationInfo {
+  const char* name;
+  double weight;
+  int min_edu_rank;  // occupations require a minimum education rank
+  double income_boost;
+};
+
+const std::vector<OccupationInfo>& Occupations() {
+  static const auto* kList = new std::vector<OccupationInfo>{
+      {"Exec-managerial", 13.0, 9, 1.2},
+      {"Prof-specialty", 13.2, 12, 1.3},
+      {"Tech-support", 3.0, 9, 0.5},
+      {"Sales", 11.7, 5, 0.3},
+      {"Adm-clerical", 12.0, 8, 0.0},
+      {"Craft-repair", 13.1, 4, 0.2},
+      {"Machine-op-inspct", 6.4, 3, -0.2},
+      {"Transport-moving", 5.1, 3, 0.0},
+      {"Handlers-cleaners", 4.4, 0, -0.7},
+      {"Farming-fishing", 3.2, 0, -0.6},
+      {"Other-service", 10.5, 0, -0.8},
+      {"Protective-serv", 2.1, 8, 0.4},
+      {"Priv-house-serv", 0.5, 0, -1.2},
+      {"Armed-Forces", 0.1, 8, 0.0},
+  };
+  return *kList;
+}
+
+struct WeightedName {
+  const char* name;
+  double weight;
+};
+
+const std::vector<WeightedName>& Workclasses() {
+  static const auto* kList = new std::vector<WeightedName>{
+      {"Private", 69.4},      {"Self-emp-not-inc", 7.8},
+      {"Self-emp-inc", 3.4},  {"Federal-gov", 2.9},
+      {"Local-gov", 6.4},     {"State-gov", 4.0},
+      {"Without-pay", 0.1},   {"Never-worked", 0.05},
+  };
+  return *kList;
+}
+
+const std::vector<WeightedName>& Races() {
+  static const auto* kList = new std::vector<WeightedName>{
+      {"White", 85.4}, {"Black", 9.6}, {"Asian-Pac-Islander", 3.1},
+      {"Amer-Indian-Eskimo", 1.0}, {"Other", 0.9},
+  };
+  return *kList;
+}
+
+const std::vector<WeightedName>& Countries() {
+  static const auto* kList = new std::vector<WeightedName>{
+      {"United-States", 89.6}, {"Mexico", 2.0},      {"Philippines", 0.6},
+      {"Germany", 0.4},        {"Canada", 0.4},      {"Puerto-Rico", 0.4},
+      {"El-Salvador", 0.3},    {"India", 0.3},       {"Cuba", 0.3},
+      {"England", 0.3},        {"China", 0.25},      {"Jamaica", 0.25},
+      {"South", 0.25},         {"Italy", 0.2},       {"Dominican-Republic", 0.2},
+      {"Vietnam", 0.2},        {"Guatemala", 0.2},   {"Japan", 0.2},
+      {"Poland", 0.2},         {"Columbia", 0.2},
+  };
+  return *kList;
+}
+
+template <typename T>
+std::vector<double> WeightsOf(const std::vector<T>& infos) {
+  std::vector<double> w;
+  w.reserve(infos.size());
+  for (const auto& i : infos) w.push_back(i.weight);
+  return w;
+}
+
+double Logistic(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+double CensusDataset::PositiveRate() const {
+  if (labels.empty()) return 0.0;
+  size_t pos = 0;
+  for (int l : labels) pos += (l == 1);
+  return static_cast<double>(pos) / static_cast<double>(labels.size());
+}
+
+Schema CensusDbGenerator::MakeSchema() {
+  return Schema::Make({
+                          {"Age", AttrType::kNumeric},
+                          {"Workclass", AttrType::kCategorical},
+                          {"Demographic-weight", AttrType::kNumeric},
+                          {"Education", AttrType::kCategorical},
+                          {"Marital-Status", AttrType::kCategorical},
+                          {"Occupation", AttrType::kCategorical},
+                          {"Relationship", AttrType::kCategorical},
+                          {"Race", AttrType::kCategorical},
+                          {"Sex", AttrType::kCategorical},
+                          {"Capital-gain", AttrType::kNumeric},
+                          {"Capital-loss", AttrType::kNumeric},
+                          {"Hours-per-week", AttrType::kNumeric},
+                          {"Native-Country", AttrType::kCategorical},
+                      })
+      .ValueOrDie();
+}
+
+CensusDataset CensusDbGenerator::Generate() const {
+  Rng rng(spec_.seed);
+  CensusDataset out;
+  out.relation = Relation(MakeSchema());
+  out.labels.reserve(spec_.num_tuples);
+
+  const auto edu_weights = WeightsOf(Educations());
+  const auto wc_weights = WeightsOf(Workclasses());
+  const auto race_weights = WeightsOf(Races());
+  const auto country_weights = WeightsOf(Countries());
+
+  for (size_t i = 0; i < spec_.num_tuples; ++i) {
+    // Age: 17..90, right-skewed around the mid-30s.
+    int age = 17 + static_cast<int>(std::min(
+                        73.0, std::abs(rng.Gaussian(0.0, 1.0)) * 14.0 +
+                                  rng.UniformDouble() * 12.0));
+
+    const EducationInfo& edu = Educations()[rng.Categorical(edu_weights)];
+
+    // Occupation strongly coupled to education (the dominant correlation in
+    // the real Adult data): weight each occupation by how well the person's
+    // education clears its requirement, with a white-collar boost for
+    // degree holders and a blue-collar boost below HS.
+    std::vector<double> occ_weights = WeightsOf(Occupations());
+    for (size_t o = 0; o < occ_weights.size(); ++o) {
+      const OccupationInfo& cand = Occupations()[o];
+      if (edu.rank < cand.min_edu_rank) {
+        occ_weights[o] = 0.0;
+        continue;
+      }
+      const std::string cand_name = cand.name;
+      if (edu.rank >= 12) {
+        // Degree holders concentrate in managerial/professional work.
+        occ_weights[o] *= (cand.income_boost > 0.8) ? 3.5 : 0.6;
+      } else if (edu.rank <= 6) {
+        // Below high school: manual and service occupations dominate.
+        occ_weights[o] *= (cand.income_boost < 0.0) ? 2.5 : 0.5;
+      } else {
+        // High-school / some-college: trades and office work dominate.
+        if (cand_name == "Craft-repair") occ_weights[o] *= 3.5;
+        if (cand_name == "Adm-clerical") occ_weights[o] *= 2.5;
+        if (cand_name == "Sales") occ_weights[o] *= 1.8;
+        if (cand_name == "Transport-moving") occ_weights[o] *= 1.5;
+        if (cand.income_boost > 0.8) occ_weights[o] *= 0.45;
+      }
+    }
+    const OccupationInfo* occ = &Occupations()[rng.Categorical(occ_weights)];
+    if (edu.rank < occ->min_edu_rank) occ = &Occupations()[10];  // fallback
+
+    const char* sex = rng.Bernoulli(0.67) ? "Male" : "Female";
+
+    // Marital status correlated with age; relationship follows marital
+    // status and sex (planting the Marital-Status→Relationship AFD).
+    const char* marital;
+    const char* relationship;
+    double married_p = Logistic((age - 27.0) / 6.0) * 0.72;
+    if (rng.Bernoulli(married_p)) {
+      marital = "Married-civ-spouse";
+      relationship =
+          std::string(sex) == "Male" ? "Husband" : "Wife";
+    } else if (age > 40 && rng.Bernoulli(0.35)) {
+      marital = rng.Bernoulli(0.7) ? "Divorced" : "Widowed";
+      relationship = rng.Bernoulli(0.5) ? "Unmarried" : "Not-in-family";
+    } else {
+      marital = "Never-married";
+      relationship = age < 25 && rng.Bernoulli(0.5) ? "Own-child"
+                                                     : "Not-in-family";
+    }
+
+    // Workclass follows occupation: professionals skew into government and
+    // incorporated self-employment, farmers into unincorporated
+    // self-employment.
+    std::vector<double> wc = wc_weights;
+    const std::string occ_name = occ->name;
+    if (occ_name == "Prof-specialty") {
+      wc[4] *= 3.0;  // Local-gov
+      wc[5] *= 3.0;  // State-gov
+    } else if (occ_name == "Exec-managerial") {
+      wc[2] *= 4.0;  // Self-emp-inc
+    } else if (occ_name == "Farming-fishing") {
+      wc[1] *= 8.0;  // Self-emp-not-inc
+    } else if (occ_name == "Protective-serv") {
+      wc[4] *= 6.0;  // Local-gov
+    } else if (occ_name == "Armed-Forces") {
+      wc[3] *= 50.0;  // Federal-gov
+    }
+    const char* workclass = Workclasses()[rng.Categorical(wc)].name;
+    const char* race = Races()[rng.Categorical(race_weights)].name;
+    const char* country = Countries()[rng.Categorical(country_weights)].name;
+
+    // Hours: spiked at 40, professionals work longer.
+    int hours;
+    double r = rng.UniformDouble();
+    if (r < 0.45) {
+      hours = 40;
+    } else if (r < 0.65) {
+      hours = static_cast<int>(rng.UniformInt(30, 39));
+    } else if (r < 0.85) {
+      hours = static_cast<int>(rng.UniformInt(41, 60)) +
+              (occ->income_boost > 0.5 ? 5 : 0);
+    } else {
+      hours = static_cast<int>(rng.UniformInt(5, 29));
+    }
+    hours = std::min(hours, 99);
+
+    // Demographic weight (fnlwgt): high-cardinality numeric, rounded to 10.
+    double demo = std::exp(rng.Gaussian(12.0, 0.45));
+    demo = std::max(12000.0, std::min(demo, 1200000.0));
+    demo = std::round(demo / 10.0) * 10.0;
+
+    // Income score drives both capital gains and the class label. Feature
+    // weights follow the real Adult dataset's predictive structure, where
+    // marital status is the single strongest signal, followed by age,
+    // education, sex, occupation and hours.
+    double score = -2.9;
+    score += 0.26 * (edu.rank - 8);
+    score += 0.8 * occ->income_boost;
+    score += 0.055 * (std::min(age, 60) - 37);
+    score += 0.030 * (hours - 40);
+    score += std::string(sex) == "Male" ? 0.45 : 0.0;
+    score += std::string(marital) == "Married-civ-spouse" ? 1.7 : 0.0;
+
+    // Capital gain/loss: mostly zero, spikes for high earners.
+    double capital_gain = 0.0;
+    double capital_loss = 0.0;
+    if (rng.Bernoulli(Logistic(score) * 0.16)) {
+      capital_gain =
+          std::round(std::exp(rng.Gaussian(8.6, 0.9)) / 100.0) * 100.0;
+      capital_gain = std::min(capital_gain, 99999.0);
+      score += 1.2;
+    } else if (rng.Bernoulli(0.045)) {
+      capital_loss =
+          std::round(std::exp(rng.Gaussian(7.5, 0.3)) / 10.0) * 10.0;
+    }
+
+    // The Adult labels are thresholded real incomes, i.e. nearly
+    // deterministic given the features; the steep logistic keeps a little
+    // residual noise while preserving that determinism.
+    int label = rng.Bernoulli(Logistic(2.5 * score)) ? 1 : 0;
+
+    out.relation.AppendUnchecked(Tuple({
+        Value::Num(age),
+        Value::Cat(workclass),
+        Value::Num(demo),
+        Value::Cat(edu.name),
+        Value::Cat(marital),
+        Value::Cat(occ->name),
+        Value::Cat(relationship),
+        Value::Cat(race),
+        Value::Cat(sex),
+        Value::Num(capital_gain),
+        Value::Num(capital_loss),
+        Value::Num(hours),
+        Value::Cat(country),
+    }));
+    out.labels.push_back(label);
+  }
+  return out;
+}
+
+}  // namespace aimq

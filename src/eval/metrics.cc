@@ -1,0 +1,147 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/rng.h"
+
+namespace aimq {
+
+double PaperMrr(const std::vector<int>& user_ranks) {
+  if (user_ranks.empty()) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < user_ranks.size(); ++i) {
+    const int system_rank = static_cast<int>(i) + 1;
+    total += 1.0 / (std::abs(user_ranks[i] - system_rank) + 1.0);
+  }
+  return total / static_cast<double>(user_ranks.size());
+}
+
+double ClassicReciprocalRank(const std::vector<int>& user_ranks) {
+  for (size_t i = 0; i < user_ranks.size(); ++i) {
+    if (user_ranks[i] > 0) return 1.0 / static_cast<double>(i + 1);
+  }
+  return 0.0;
+}
+
+double TopKClassAccuracy(const std::vector<int>& answer_labels,
+                         int query_label, size_t k) {
+  const size_t n = answer_labels.size() < k ? answer_labels.size() : k;
+  if (n == 0) return 0.0;
+  size_t agree = 0;
+  for (size_t i = 0; i < n; ++i) {
+    agree += (answer_labels[i] == query_label);
+  }
+  return static_cast<double>(agree) / static_cast<double>(n);
+}
+
+double PrecisionAtK(const std::vector<bool>& relevant, size_t k) {
+  const size_t n = relevant.size() < k ? relevant.size() : k;
+  if (n == 0) return 0.0;
+  size_t hits = 0;
+  for (size_t i = 0; i < n; ++i) hits += relevant[i];
+  return static_cast<double>(hits) / static_cast<double>(n);
+}
+
+double RecallAtK(const std::vector<bool>& relevant, size_t k,
+                 size_t total_relevant) {
+  if (total_relevant == 0) return 0.0;
+  const size_t n = relevant.size() < k ? relevant.size() : k;
+  size_t hits = 0;
+  for (size_t i = 0; i < n; ++i) hits += relevant[i];
+  return static_cast<double>(hits) / static_cast<double>(total_relevant);
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total / static_cast<double>(values.size());
+}
+
+double KendallTau(const std::vector<int>& ranks_a,
+                  const std::vector<int>& ranks_b) {
+  if (ranks_a.size() != ranks_b.size() || ranks_a.size() < 2) return 0.0;
+  // Rank 0 = irrelevant = worse than any positive rank.
+  auto better = [](int x, int y) {
+    if (x == 0) return false;
+    if (y == 0) return true;
+    return x < y;
+  };
+  long concordant = 0, discordant = 0;
+  const size_t n = ranks_a.size();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      bool a_ij = better(ranks_a[i], ranks_a[j]);
+      bool a_ji = better(ranks_a[j], ranks_a[i]);
+      bool b_ij = better(ranks_b[i], ranks_b[j]);
+      bool b_ji = better(ranks_b[j], ranks_b[i]);
+      if ((a_ij && b_ij) || (a_ji && b_ji)) {
+        ++concordant;
+      } else if ((a_ij && b_ji) || (a_ji && b_ij)) {
+        ++discordant;
+      }
+      // Ties in either ranking contribute to neither (tau-a denominator
+      // still counts all pairs).
+    }
+  }
+  double pairs = static_cast<double>(n) * (n - 1) / 2.0;
+  return (concordant - discordant) / pairs;
+}
+
+double PairedPermutationPValue(const std::vector<double>& a,
+                               const std::vector<double>& b,
+                               size_t resamples, uint64_t seed) {
+  if (a.size() != b.size() || a.empty() || resamples == 0) return 1.0;
+  std::vector<double> diff(a.size());
+  double observed = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    diff[i] = a[i] - b[i];
+    observed += diff[i];
+  }
+  observed = std::abs(observed / static_cast<double>(diff.size()));
+
+  Rng rng(seed);
+  size_t at_least = 0;
+  for (size_t r = 0; r < resamples; ++r) {
+    double total = 0.0;
+    for (double d : diff) {
+      total += rng.Bernoulli(0.5) ? d : -d;
+    }
+    if (std::abs(total / static_cast<double>(diff.size())) >=
+        observed - 1e-15) {
+      ++at_least;
+    }
+  }
+  return static_cast<double>(at_least) / static_cast<double>(resamples);
+}
+
+MeanCI BootstrapMeanCI(const std::vector<double>& values, size_t resamples,
+                       double alpha, uint64_t seed) {
+  MeanCI ci;
+  ci.mean = Mean(values);
+  ci.lo = ci.hi = ci.mean;
+  if (values.size() < 2 || resamples == 0) return ci;
+
+  Rng rng(seed);
+  std::vector<double> means;
+  means.reserve(resamples);
+  for (size_t r = 0; r < resamples; ++r) {
+    double total = 0.0;
+    for (size_t i = 0; i < values.size(); ++i) {
+      total += values[rng.Uniform(values.size())];
+    }
+    means.push_back(total / static_cast<double>(values.size()));
+  }
+  std::sort(means.begin(), means.end());
+  auto pick = [&](double q) {
+    double pos = q * static_cast<double>(means.size() - 1);
+    return means[static_cast<size_t>(pos + 0.5)];
+  };
+  ci.lo = pick(alpha / 2.0);
+  ci.hi = pick(1.0 - alpha / 2.0);
+  return ci;
+}
+
+}  // namespace aimq

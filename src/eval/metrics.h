@@ -1,0 +1,77 @@
+// Evaluation metrics used in the paper's §6: the redefined MRR of the user
+// study (§6.4) and the top-k classification accuracy of the CensusDB
+// experiment (§6.5).
+
+#ifndef AIMQ_EVAL_METRICS_H_
+#define AIMQ_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace aimq {
+
+/// Paper §6.4 MRR: for the i-th system-ranked answer (system rank i+1) with
+/// user-assigned rank user_ranks[i] (0 = judged completely irrelevant),
+///
+///   MRR(Q) = avg_i 1 / (|UserRank(t_i) − SystemRank(t_i)| + 1).
+///
+/// Empty input yields 0.
+double PaperMrr(const std::vector<int>& user_ranks);
+
+/// Classic TREC reciprocal rank: 1/position of the first answer with a
+/// nonzero user rank, 0 if none.
+double ClassicReciprocalRank(const std::vector<int>& user_ranks);
+
+/// Fraction of the first min(k, n) answer labels equal to \p query_label.
+/// Zero when no answers are considered.
+double TopKClassAccuracy(const std::vector<int>& answer_labels,
+                         int query_label, size_t k);
+
+/// Precision@k: fraction of the first min(k, n) answers that are relevant
+/// (relevance flags aligned with the system ranking). 0 when nothing is
+/// considered.
+double PrecisionAtK(const std::vector<bool>& relevant, size_t k);
+
+/// Recall@k: fraction of \p total_relevant relevant items found among the
+/// first min(k, n) answers. 0 when total_relevant == 0.
+double RecallAtK(const std::vector<bool>& relevant, size_t k,
+                 size_t total_relevant);
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& values);
+
+/// A two-sided confidence interval around a mean.
+struct MeanCI {
+  double mean = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Kendall rank-correlation coefficient (tau-a) between two rankings of the
+/// same items: +1 identical order, −1 reversed, ~0 unrelated. Rank 0
+/// ("irrelevant" judgments) is treated as worse than every positive rank.
+/// Returns 0 for fewer than 2 items or mismatched sizes.
+double KendallTau(const std::vector<int>& ranks_a,
+                  const std::vector<int>& ranks_b);
+
+/// Two-sided paired permutation test (sign-flip test) for the hypothesis
+/// that two systems' per-query scores have equal means. Returns the p-value:
+/// the fraction of sign-flipped resamples whose |mean difference| is at
+/// least the observed one. Deterministic per seed; returns 1.0 for empty or
+/// mismatched inputs.
+double PairedPermutationPValue(const std::vector<double>& a,
+                               const std::vector<double>& b,
+                               size_t resamples = 10000, uint64_t seed = 3);
+
+/// Percentile-bootstrap confidence interval for the mean of \p values
+/// (resample-with-replacement \p resamples times; \p alpha = 0.05 gives a
+/// 95% interval). Deterministic per seed; degenerate inputs collapse the
+/// interval onto the mean.
+MeanCI BootstrapMeanCI(const std::vector<double>& values,
+                       size_t resamples = 2000, double alpha = 0.05,
+                       uint64_t seed = 5);
+
+}  // namespace aimq
+
+#endif  // AIMQ_EVAL_METRICS_H_

@@ -1,0 +1,48 @@
+#include "eval/simulated_user.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aimq {
+
+std::vector<int> SimulatedUser::RankAnswers(
+    const Tuple& query_tuple, const std::vector<RankedAnswer>& answers) {
+  struct Judged {
+    size_t index;
+    double score;
+    bool irrelevant;
+  };
+  std::vector<Judged> judged;
+  judged.reserve(answers.size());
+  for (size_t i = 0; i < answers.size(); ++i) {
+    double score = oracle_(query_tuple, answers[i].tuple);
+    if (options_.noise_stddev > 0.0) {
+      score += rng_.Gaussian(0.0, options_.noise_stddev);
+    }
+    judged.push_back(Judged{i, score, score < options_.irrelevant_below});
+  }
+  // The user orders the relevant answers by their own notion of similarity.
+  // Scores within tie_epsilon are indistinguishable to the judge, who then
+  // keeps the presented order (quantize, then stable order by index).
+  auto quantized = [&](size_t i) {
+    const double eps =
+        options_.tie_epsilon > 0.0 ? options_.tie_epsilon : 1e-12;
+    return static_cast<long long>(std::llround(judged[i].score / eps));
+  };
+  std::vector<size_t> by_score(judged.size());
+  for (size_t i = 0; i < by_score.size(); ++i) by_score[i] = i;
+  std::sort(by_score.begin(), by_score.end(), [&](size_t a, size_t b) {
+    long long qa = quantized(a), qb = quantized(b);
+    if (qa != qb) return qa > qb;
+    return a < b;
+  });
+  std::vector<int> user_ranks(answers.size(), 0);
+  int next_rank = 1;
+  for (size_t i : by_score) {
+    if (judged[i].irrelevant) continue;
+    user_ranks[judged[i].index] = next_rank++;
+  }
+  return user_ranks;
+}
+
+}  // namespace aimq

@@ -1,0 +1,62 @@
+// SimulatedUser — the substitute for the paper's graduate-student judges
+// (§6.4). Given a query tuple and a system-ranked answer list, the simulated
+// user re-orders the answers by an independent ground-truth similarity
+// oracle (the data generator's hidden model) and marks answers below a
+// relevance floor as irrelevant (rank 0), exactly the judging protocol of
+// the paper's user study.
+
+#ifndef AIMQ_EVAL_SIMULATED_USER_H_
+#define AIMQ_EVAL_SIMULATED_USER_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/engine.h"
+#include "relation/tuple.h"
+#include "util/rng.h"
+
+namespace aimq {
+
+/// Simulated-judge parameters.
+struct SimulatedUserOptions {
+  /// Gaussian noise added to the oracle score before ranking (humans are not
+  /// perfectly consistent).
+  double noise_stddev = 0.02;
+
+  /// Answers whose (noisy) oracle similarity falls below this floor get user
+  /// rank 0 ("completely irrelevant").
+  double irrelevant_below = 0.30;
+
+  /// Answers whose oracle scores differ by less than this are ties to the
+  /// judge, who keeps them in the presented (system) order — human judges
+  /// anchor on presentation order and only move answers that clearly
+  /// differ (position bias).
+  double tie_epsilon = 0.05;
+
+  uint64_t seed = 8;
+};
+
+/// \brief Oracle-driven relevance judge.
+class SimulatedUser {
+ public:
+  /// \p oracle scores ground-truth similarity of (query tuple, answer tuple)
+  /// in [0,1].
+  using Oracle = std::function<double(const Tuple&, const Tuple&)>;
+
+  SimulatedUser(Oracle oracle, SimulatedUserOptions options)
+      : oracle_(std::move(oracle)), options_(options), rng_(options.seed) {}
+
+  /// Returns the user rank of each answer, aligned with \p answers (which is
+  /// in *system* rank order): 1 = user's best, 0 = judged irrelevant.
+  std::vector<int> RankAnswers(const Tuple& query_tuple,
+                               const std::vector<RankedAnswer>& answers);
+
+ private:
+  Oracle oracle_;
+  SimulatedUserOptions options_;
+  Rng rng_;
+};
+
+}  // namespace aimq
+
+#endif  // AIMQ_EVAL_SIMULATED_USER_H_

@@ -1,0 +1,165 @@
+#include "ordering/attribute_ordering.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace aimq {
+
+Result<AttributeOrdering> AttributeOrdering::Derive(
+    const Schema& schema, const MinedDependencies& deps) {
+  const size_t n = schema.NumAttributes();
+  if (deps.num_attributes != n) {
+    return Status::InvalidArgument(
+        "mined dependencies cover " + std::to_string(deps.num_attributes) +
+        " attributes but the schema has " + std::to_string(n));
+  }
+  AIMQ_ASSIGN_OR_RETURN(AKey best, deps.BestKey());
+
+  AttributeOrdering out;
+  out.best_key_ = best;
+  out.importance_.resize(n);
+
+  // Steps 5-10: dependence weights from AFD supports.
+  for (size_t k = 0; k < n; ++k) {
+    AttributeImportance& imp = out.importance_[k];
+    imp.attr = k;
+    imp.deciding = AttrSetContains(best.attrs, k);
+    for (const Afd& afd : deps.afds) {
+      const double contribution =
+          afd.Support() / static_cast<double>(afd.LhsSize());
+      if (AttrSetContains(afd.lhs, k)) imp.wt_decides += contribution;
+      if (afd.rhs == k) imp.wt_depends += contribution;
+    }
+  }
+
+  // Step 11: sort each group ascending by its weight and relax every
+  // dependent-group attribute before any deciding-group attribute.
+  std::vector<size_t> dependent;
+  std::vector<size_t> deciding;
+  for (size_t k = 0; k < n; ++k) {
+    (out.importance_[k].deciding ? deciding : dependent).push_back(k);
+  }
+  auto by_weight = [&](bool use_decides) {
+    return [&, use_decides](size_t a, size_t b) {
+      double wa = use_decides ? out.importance_[a].wt_decides
+                              : out.importance_[a].wt_depends;
+      double wb = use_decides ? out.importance_[b].wt_decides
+                              : out.importance_[b].wt_depends;
+      if (wa != wb) return wa < wb;
+      return a < b;  // deterministic tie-break
+    };
+  };
+  std::sort(dependent.begin(), dependent.end(), by_weight(false));
+  std::sort(deciding.begin(), deciding.end(), by_weight(true));
+
+  out.order_ = dependent;
+  out.order_.insert(out.order_.end(), deciding.begin(), deciding.end());
+  for (size_t pos = 0; pos < out.order_.size(); ++pos) {
+    out.importance_[out.order_[pos]].relax_position = pos + 1;
+  }
+
+  // Wimp(k) = RelaxOrder(k)/|R| × Wt(k)/ΣWt(group), then normalized so the
+  // weights sum to 1 across the relation (the ranking function renormalizes
+  // again over the attributes a given query binds).
+  double sum_decides = 0.0;
+  double sum_depends = 0.0;
+  for (size_t k : deciding) sum_decides += out.importance_[k].wt_decides;
+  for (size_t k : dependent) sum_depends += out.importance_[k].wt_depends;
+
+  double total = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    AttributeImportance& imp = out.importance_[k];
+    const double group_sum = imp.deciding ? sum_decides : sum_depends;
+    const double group_size =
+        static_cast<double>(imp.deciding ? deciding.size() : dependent.size());
+    // With no AFD mass in the group, fall back to a uniform share so every
+    // attribute still carries weight.
+    const double share =
+        group_sum > 0.0
+            ? (imp.deciding ? imp.wt_decides : imp.wt_depends) / group_sum
+            : (group_size > 0.0 ? 1.0 / group_size : 0.0);
+    imp.wimp = (static_cast<double>(imp.relax_position) /
+                static_cast<double>(n)) *
+               share;
+    total += imp.wimp;
+  }
+  if (total > 0.0) {
+    for (AttributeImportance& imp : out.importance_) imp.wimp /= total;
+  } else {
+    for (AttributeImportance& imp : out.importance_) {
+      imp.wimp = 1.0 / static_cast<double>(n);
+    }
+  }
+  // Smooth toward uniform so no attribute is ever fully ignored by the
+  // ranking function: on small samples an attribute can end up with zero AFD
+  // mass (every antecedent containing it is a near-key and gets pruned),
+  // which would make Sim(Q,t) blind to that attribute.
+  constexpr double kUniformSmoothing = 0.1;
+  for (AttributeImportance& imp : out.importance_) {
+    imp.wimp = (1.0 - kUniformSmoothing) * imp.wimp +
+               kUniformSmoothing / static_cast<double>(n);
+  }
+  return out;
+}
+
+Status AttributeOrdering::SetWimp(const std::vector<double>& weights) {
+  if (weights.size() != importance_.size()) {
+    return Status::InvalidArgument(
+        "weight vector must hold one entry per attribute");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) {
+      return Status::InvalidArgument("importance weights must be >= 0");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument("importance weights must not all be zero");
+  }
+  for (size_t i = 0; i < weights.size(); ++i) {
+    importance_[i].wimp = weights[i] / total;
+  }
+  return Status::OK();
+}
+
+Result<AttributeOrdering> AttributeOrdering::FromParts(
+    std::vector<AttributeImportance> importance, AKey best_key) {
+  const size_t n = importance.size();
+  AttributeOrdering out;
+  out.best_key_ = best_key;
+  out.order_.assign(n, SIZE_MAX);
+  for (size_t i = 0; i < n; ++i) {
+    const AttributeImportance& imp = importance[i];
+    if (imp.attr != i) {
+      return Status::InvalidArgument(
+          "importance entries must be indexed by attribute");
+    }
+    if (imp.relax_position < 1 || imp.relax_position > n ||
+        out.order_[imp.relax_position - 1] != SIZE_MAX) {
+      return Status::InvalidArgument(
+          "relax positions must be a permutation of 1..n");
+    }
+    out.order_[imp.relax_position - 1] = i;
+  }
+  out.importance_ = std::move(importance);
+  return out;
+}
+
+std::string AttributeOrdering::ToString(const Schema& schema) const {
+  std::string out = "Best key: " + best_key_.ToString(schema) + "\n";
+  out += "Relaxation order (first relaxed -> last):\n";
+  for (size_t pos = 0; pos < order_.size(); ++pos) {
+    const AttributeImportance& imp = importance_[order_[pos]];
+    out += "  " + std::to_string(pos + 1) + ". " +
+           schema.attribute(imp.attr).name +
+           (imp.deciding ? " [deciding]" : " [dependent]") +
+           "  wt_decides=" + FormatDouble(imp.wt_decides, 4) +
+           "  wt_depends=" + FormatDouble(imp.wt_depends, 4) +
+           "  Wimp=" + FormatDouble(imp.wimp, 4) + "\n";
+  }
+  return out;
+}
+
+}  // namespace aimq

@@ -1,0 +1,78 @@
+// Attribute relaxation order and importance weights — paper Algorithm 2.
+//
+// The least important attribute (the one whose binding least constrains the
+// others) is relaxed first. The mined best approximate key splits the
+// attribute set into a *deciding* group (key members) and a *dependent*
+// group; dependent attributes are always relaxed before deciding ones, and
+// within each group attributes are ordered by ascending dependence weight.
+
+#ifndef AIMQ_ORDERING_ATTRIBUTE_ORDERING_H_
+#define AIMQ_ORDERING_ATTRIBUTE_ORDERING_H_
+
+#include <string>
+#include <vector>
+
+#include "afd/afd.h"
+#include "relation/schema.h"
+#include "util/status.h"
+
+namespace aimq {
+
+/// Per-attribute facts derived by Algorithm 2.
+struct AttributeImportance {
+  size_t attr = 0;            ///< attribute index in the schema
+  bool deciding = false;      ///< member of the best approximate key
+  double wt_decides = 0.0;    ///< Σ support(A→k')/|A| over AFDs with attr ∈ A
+  double wt_depends = 0.0;    ///< Σ support(A→attr)/|A| over AFDs A→attr
+  size_t relax_position = 0;  ///< 1 = relaxed first (least important)
+  double wimp = 0.0;          ///< normalized importance weight, Σ wimp = 1
+};
+
+/// \brief The output of Algorithm 2: a total relaxation order plus Wimp
+/// importance weights.
+class AttributeOrdering {
+ public:
+  /// Runs Algorithm 2 on mined dependencies. Fails if no approximate key is
+  /// available (the deciding/dependent split needs one).
+  static Result<AttributeOrdering> Derive(const Schema& schema,
+                                          const MinedDependencies& deps);
+
+  /// Reassembles an ordering from stored parts (persistence). \p importance
+  /// must hold one entry per attribute with 1-based, contiguous
+  /// relax_position values; the relaxation order is rebuilt from them.
+  static Result<AttributeOrdering> FromParts(
+      std::vector<AttributeImportance> importance, AKey best_key);
+
+  /// Attribute indices in relaxation order: element 0 is relaxed first.
+  const std::vector<size_t>& relaxation_order() const { return order_; }
+
+  /// Per-attribute importance facts, indexed by attribute index.
+  const std::vector<AttributeImportance>& importance() const {
+    return importance_;
+  }
+
+  /// Normalized importance weight Wimp of one attribute (Σ over all = 1).
+  double Wimp(size_t attr) const { return importance_[attr].wimp; }
+
+  /// Replaces the Wimp weights (relevance-feedback tuning). One entry per
+  /// attribute, all non-negative, not all zero; stored renormalized.
+  Status SetWimp(const std::vector<double>& weights);
+
+  /// Dependence weight Wtdepends of one attribute (Figure 3 reports these).
+  double WtDepends(size_t attr) const { return importance_[attr].wt_depends; }
+
+  /// The approximate key used for the deciding/dependent split.
+  const AKey& best_key() const { return best_key_; }
+
+  /// Multi-line human-readable summary.
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  std::vector<size_t> order_;
+  std::vector<AttributeImportance> importance_;
+  AKey best_key_;
+};
+
+}  // namespace aimq
+
+#endif  // AIMQ_ORDERING_ATTRIBUTE_ORDERING_H_

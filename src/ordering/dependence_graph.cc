@@ -1,0 +1,179 @@
+#include "ordering/dependence_graph.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/strings.h"
+
+namespace aimq {
+
+DependenceGraph DependenceGraph::FromDependencies(
+    const Schema& schema, const MinedDependencies& deps) {
+  DependenceGraph g(schema.NumAttributes());
+  for (const Afd& afd : deps.afds) {
+    const double contribution =
+        afd.Support() / static_cast<double>(afd.LhsSize());
+    for (size_t u : AttrSetMembers(afd.lhs)) {
+      if (u < g.n_ && afd.rhs < g.n_) {
+        g.weight_[u][afd.rhs] += contribution;
+      }
+    }
+  }
+  return g;
+}
+
+double DependenceGraph::TotalWeight() const {
+  double total = 0.0;
+  for (const auto& row : weight_) {
+    for (double w : row) total += w;
+  }
+  return total;
+}
+
+bool DependenceGraph::HasCycle() const {
+  // Iterative DFS with colors.
+  enum : uint8_t { kWhite, kGray, kBlack };
+  std::vector<uint8_t> color(n_, kWhite);
+  for (size_t start = 0; start < n_; ++start) {
+    if (color[start] != kWhite) continue;
+    // Stack of (node, next-neighbor-index).
+    std::vector<std::pair<size_t, size_t>> stack{{start, 0}};
+    color[start] = kGray;
+    while (!stack.empty()) {
+      auto& [node, next] = stack.back();
+      bool advanced = false;
+      while (next < n_) {
+        size_t v = next++;
+        if (weight_[node][v] <= 0.0) continue;
+        if (color[v] == kGray) return true;
+        if (color[v] == kWhite) {
+          color[v] = kGray;
+          stack.emplace_back(v, 0);
+          advanced = true;
+          break;
+        }
+      }
+      if (!advanced && next >= n_) {
+        color[node] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+DependenceGraph::SccSummary DependenceGraph::Sccs() const {
+  // Tarjan's algorithm (recursive; attribute counts are tiny).
+  SccSummary summary;
+  std::vector<int> index(n_, -1), low(n_, 0);
+  std::vector<bool> on_stack(n_, false);
+  std::vector<size_t> stack;
+  int next_index = 0;
+
+  std::function<void(size_t)> strongconnect = [&](size_t v) {
+    index[v] = low[v] = next_index++;
+    stack.push_back(v);
+    on_stack[v] = true;
+    for (size_t w = 0; w < n_; ++w) {
+      if (weight_[v][w] <= 0.0) continue;
+      if (index[w] < 0) {
+        strongconnect(w);
+        low[v] = std::min(low[v], low[w]);
+      } else if (on_stack[w]) {
+        low[v] = std::min(low[v], index[w]);
+      }
+    }
+    if (low[v] == index[v]) {
+      size_t size = 0;
+      while (true) {
+        size_t w = stack.back();
+        stack.pop_back();
+        on_stack[w] = false;
+        ++size;
+        if (w == v) break;
+      }
+      if (size >= 2) {
+        ++summary.num_nontrivial;
+        summary.largest = std::max(summary.largest, size);
+      }
+    }
+  };
+  for (size_t v = 0; v < n_; ++v) {
+    if (index[v] < 0) strongconnect(v);
+  }
+  return summary;
+}
+
+DependenceGraph::TopoResult DependenceGraph::GreedyTopologicalOrder() const {
+  TopoResult result;
+  std::vector<bool> peeled(n_, false);
+  const double total = TotalWeight();
+
+  // Original total deciding power, used as the tie-breaker once the
+  // remaining subgraph no longer separates nodes (e.g. it has no edges
+  // left): attributes that never decided anything are still relaxed before
+  // strong deciders.
+  std::vector<double> orig_out(n_, 0.0);
+  for (size_t v = 0; v < n_; ++v) {
+    for (size_t w = 0; w < n_; ++w) orig_out[v] += weight_[v][w];
+  }
+
+  for (size_t step = 0; step < n_; ++step) {
+    // Pick the remaining node with the smallest (outgoing − incoming) weight
+    // restricted to remaining nodes: it decides the least relative to how
+    // decided it is, so it goes first in the relaxation order.
+    size_t best = n_;
+    double best_score = 0.0;
+    for (size_t v = 0; v < n_; ++v) {
+      if (peeled[v]) continue;
+      double out = 0.0, in = 0.0;
+      for (size_t w = 0; w < n_; ++w) {
+        if (peeled[w]) continue;
+        out += weight_[v][w];
+        in += weight_[w][v];
+      }
+      double score = out - in;
+      bool better =
+          best == n_ || score < best_score ||
+          (score == best_score &&
+           (orig_out[v] < orig_out[best] ||
+            (orig_out[v] == orig_out[best] && v < best)));
+      if (better) {
+        best = v;
+        best_score = score;
+      }
+    }
+    // Outgoing edges from the peeled node to remaining nodes point backwards
+    // in the final order (the peeled node is relaxed earlier): in a DAG they
+    // would be forbidden, so they are the information the paper says gets
+    // destroyed.
+    for (size_t w = 0; w < n_; ++w) {
+      if (!peeled[w] && w != best) result.dropped_weight += weight_[best][w];
+    }
+    peeled[best] = true;
+    result.relax_order.push_back(best);
+  }
+  result.dropped_fraction = total > 0.0 ? result.dropped_weight / total : 0.0;
+  return result;
+}
+
+std::string DependenceGraph::ToDot(const Schema& schema,
+                                   double min_weight) const {
+  std::string out = "digraph dependence {\n";
+  for (size_t v = 0; v < n_; ++v) {
+    out += "  \"" + schema.attribute(v).name + "\";\n";
+  }
+  for (size_t u = 0; u < n_; ++u) {
+    for (size_t v = 0; v < n_; ++v) {
+      if (weight_[u][v] > min_weight) {
+        out += "  \"" + schema.attribute(u).name + "\" -> \"" +
+               schema.attribute(v).name + "\" [label=\"" +
+               FormatDouble(weight_[u][v], 2) + "\"];\n";
+      }
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace aimq

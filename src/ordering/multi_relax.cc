@@ -1,0 +1,69 @@
+#include "ordering/multi_relax.h"
+
+namespace aimq {
+
+std::vector<std::vector<size_t>> MultiAttributeOrder(
+    const std::vector<size_t>& single_order, size_t k) {
+  std::vector<std::vector<size_t>> out;
+  const size_t n = single_order.size();
+  if (k == 0 || k > n) return out;
+  // k-combinations of positions 0..n-1 in lexicographic order.
+  std::vector<size_t> idx(k);
+  for (size_t i = 0; i < k; ++i) idx[i] = i;
+  while (true) {
+    std::vector<size_t> combo(k);
+    for (size_t i = 0; i < k; ++i) combo[i] = single_order[idx[i]];
+    out.push_back(std::move(combo));
+    size_t pos = k;
+    while (pos > 0 && idx[pos - 1] == (pos - 1) + n - k) --pos;
+    if (pos == 0) return out;
+    ++idx[pos - 1];
+    for (size_t i = pos; i < k; ++i) idx[i] = idx[i - 1] + 1;
+  }
+}
+
+RelaxationSequence::RelaxationSequence(std::vector<size_t> single_order,
+                                       size_t max_attrs)
+    : single_order_(std::move(single_order)),
+      max_attrs_(max_attrs > single_order_.size() ? single_order_.size()
+                                                  : max_attrs) {
+  level_ = 1;
+  FillLevel();
+}
+
+void RelaxationSequence::FillLevel() {
+  level_pos_ = 0;
+  level_combos_.clear();
+  while (level_ <= max_attrs_) {
+    level_combos_ = MultiAttributeOrder(single_order_, level_);
+    if (!level_combos_.empty()) return;
+    ++level_;
+  }
+}
+
+bool RelaxationSequence::HasNext() const {
+  return level_ <= max_attrs_ && level_pos_ < level_combos_.size();
+}
+
+std::vector<size_t> RelaxationSequence::Next() {
+  std::vector<size_t> combo = level_combos_[level_pos_++];
+  if (level_pos_ >= level_combos_.size()) {
+    ++level_;
+    if (level_ <= max_attrs_) FillLevel();
+  }
+  return combo;
+}
+
+size_t RelaxationSequence::TotalCombinations() const {
+  // Σ_{k=1..max} C(n, k)
+  const size_t n = single_order_.size();
+  size_t total = 0;
+  double c = 1.0;
+  for (size_t k = 1; k <= max_attrs_; ++k) {
+    c = c * static_cast<double>(n - k + 1) / static_cast<double>(k);
+    total += static_cast<size_t>(c + 0.5);
+  }
+  return total;
+}
+
+}  // namespace aimq

@@ -1,0 +1,51 @@
+// Multi-attribute relaxation order (paper §4, final paragraph).
+//
+// Given the single-attribute relaxation order ⟨a1, a3, a4, a2⟩, the
+// 2-attribute order is a1a3, a1a4, a1a2, a3a4, a3a2, a4a2 — i.e. the greedy
+// products of the 1-attribute order, which are exactly the k-combinations in
+// lexicographic order of relaxation position.
+
+#ifndef AIMQ_ORDERING_MULTI_RELAX_H_
+#define AIMQ_ORDERING_MULTI_RELAX_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace aimq {
+
+/// All k-attribute relaxation combinations, in the paper's greedy order.
+/// Each combination lists attribute indices in relaxation-position order.
+/// Returns an empty vector when k == 0 or k > single_order.size().
+std::vector<std::vector<size_t>> MultiAttributeOrder(
+    const std::vector<size_t>& single_order, size_t k);
+
+/// \brief Streams relaxation steps: first every 1-attribute combination,
+/// then every 2-attribute combination, and so on up to max_attrs.
+class RelaxationSequence {
+ public:
+  /// \p single_order is Algorithm 2's output; \p max_attrs caps the number
+  /// of simultaneously relaxed attributes (clamped to the order's size).
+  RelaxationSequence(std::vector<size_t> single_order, size_t max_attrs);
+
+  /// True while more combinations remain.
+  bool HasNext() const;
+
+  /// The next combination of attributes to relax. Requires HasNext().
+  std::vector<size_t> Next();
+
+  /// Total number of combinations this sequence will yield.
+  size_t TotalCombinations() const;
+
+ private:
+  void FillLevel();
+
+  std::vector<size_t> single_order_;
+  size_t max_attrs_;
+  size_t level_ = 0;  // current combination size
+  std::vector<std::vector<size_t>> level_combos_;
+  size_t level_pos_ = 0;
+};
+
+}  // namespace aimq
+
+#endif  // AIMQ_ORDERING_MULTI_RELAX_H_

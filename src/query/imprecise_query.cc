@@ -1,0 +1,61 @@
+#include "query/imprecise_query.h"
+
+namespace aimq {
+
+Result<size_t> ImpreciseQuery::BindingIndex(
+    const std::string& attribute) const {
+  for (size_t i = 0; i < bindings_.size(); ++i) {
+    if (bindings_[i].attribute == attribute) return i;
+  }
+  return Status::NotFound("imprecise query does not bind '" + attribute + "'");
+}
+
+Status ImpreciseQuery::Validate(const Schema& schema) const {
+  for (const Binding& b : bindings_) {
+    AIMQ_ASSIGN_OR_RETURN(size_t index, schema.IndexOf(b.attribute));
+    const AttrType type = schema.attribute(index).type;
+    if (b.value.is_null()) {
+      return Status::InvalidArgument("binding for '" + b.attribute +
+                                     "' must not be null");
+    }
+    if (type == AttrType::kCategorical && !b.value.is_categorical()) {
+      return Status::InvalidArgument("binding for categorical attribute '" +
+                                     b.attribute + "' must be a string");
+    }
+    if (type == AttrType::kNumeric && !b.value.is_numeric()) {
+      return Status::InvalidArgument("binding for numeric attribute '" +
+                                     b.attribute + "' must be numeric");
+    }
+  }
+  // Reject duplicate bindings of the same attribute.
+  for (size_t i = 0; i < bindings_.size(); ++i) {
+    for (size_t j = i + 1; j < bindings_.size(); ++j) {
+      if (bindings_[i].attribute == bindings_[j].attribute) {
+        return Status::InvalidArgument("attribute '" + bindings_[i].attribute +
+                                       "' bound more than once");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+SelectionQuery ImpreciseQuery::ToBaseQuery() const {
+  std::vector<Predicate> preds;
+  preds.reserve(bindings_.size());
+  for (const Binding& b : bindings_) {
+    preds.push_back(Predicate::Eq(b.attribute, b.value));
+  }
+  return SelectionQuery(std::move(preds));
+}
+
+std::string ImpreciseQuery::ToString() const {
+  std::string out = "Q(";
+  for (size_t i = 0; i < bindings_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += bindings_[i].attribute + " like " + bindings_[i].value.ToString();
+  }
+  out += ')';
+  return out;
+}
+
+}  // namespace aimq

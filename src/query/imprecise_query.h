@@ -1,0 +1,69 @@
+// ImpreciseQuery: a query whose constraints are "like" rather than "=", the
+// input to AIMQ (paper §3.2).
+
+#ifndef AIMQ_QUERY_IMPRECISE_QUERY_H_
+#define AIMQ_QUERY_IMPRECISE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "query/selection_query.h"
+#include "relation/schema.h"
+#include "util/status.h"
+
+namespace aimq {
+
+/// \brief A conjunctive query in which every bound attribute requires a
+/// close-but-not-necessarily-exact match.
+///
+/// Example: Q:- CarDB(Model like Camry, Price like 10000).
+class ImpreciseQuery {
+ public:
+  ImpreciseQuery() = default;
+
+  /// One "Attr like value" constraint.
+  struct Binding {
+    std::string attribute;
+    Value value;
+
+    bool operator==(const Binding& other) const {
+      return attribute == other.attribute && value == other.value;
+    }
+  };
+
+  explicit ImpreciseQuery(std::vector<Binding> bindings)
+      : bindings_(std::move(bindings)) {}
+
+  void Bind(std::string attribute, Value value) {
+    bindings_.push_back(Binding{std::move(attribute), std::move(value)});
+  }
+
+  const std::vector<Binding>& bindings() const { return bindings_; }
+  size_t NumBindings() const { return bindings_.size(); }
+  bool Empty() const { return bindings_.empty(); }
+
+  /// Index of the binding for \p attribute, or error.
+  Result<size_t> BindingIndex(const std::string& attribute) const;
+
+  /// Validates that every bound attribute exists in \p schema and that the
+  /// value kind matches the attribute type.
+  Status Validate(const Schema& schema) const;
+
+  /// Maps the imprecise query to its precise base query Qpr by tightening
+  /// every "like" to "=" (paper §1).
+  SelectionQuery ToBaseQuery() const;
+
+  /// "R(A1 like v1, ...)" rendering.
+  std::string ToString() const;
+
+  bool operator==(const ImpreciseQuery& other) const {
+    return bindings_ == other.bindings_;
+  }
+
+ private:
+  std::vector<Binding> bindings_;
+};
+
+}  // namespace aimq
+
+#endif  // AIMQ_QUERY_IMPRECISE_QUERY_H_

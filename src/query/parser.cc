@@ -1,0 +1,189 @@
+#include "query/parser.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace aimq {
+namespace {
+
+// Splits the constraint list on commas, respecting single quotes.
+std::vector<std::string> SplitConstraints(const std::string& body) {
+  std::vector<std::string> out;
+  std::string cur;
+  bool in_quotes = false;
+  for (char c : body) {
+    if (c == '\'') in_quotes = !in_quotes;
+    if (c == ',' && !in_quotes) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+// Strips one level of single quotes if present.
+std::string Unquote(const std::string& s) {
+  if (s.size() >= 2 && s.front() == '\'' && s.back() == '\'') {
+    return s.substr(1, s.size() - 2);
+  }
+  return s;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-';
+}
+
+}  // namespace
+
+Result<std::vector<QueryParser::Constraint>> QueryParser::Tokenize(
+    const std::string& text) const {
+  const std::string trimmed = Trim(text);
+  if (trimmed.empty()) {
+    return Status::InvalidArgument("empty query text");
+  }
+  // Optional relation name, then a parenthesized constraint list — or a bare
+  // constraint list with no parentheses at all.
+  std::string body;
+  size_t open = trimmed.find('(');
+  if (open != std::string::npos) {
+    if (trimmed.back() != ')') {
+      return Status::InvalidArgument("expected ')' at end of query: " + text);
+    }
+    // Everything before '(' must be a bare relation name (or nothing).
+    const std::string rel = Trim(trimmed.substr(0, open));
+    for (char c : rel) {
+      if (!IsIdentChar(c) && c != ':' && c != '-') {
+        return Status::InvalidArgument("malformed relation name in: " + text);
+      }
+    }
+    body = trimmed.substr(open + 1, trimmed.size() - open - 2);
+  } else {
+    body = trimmed;
+  }
+  if (Trim(body).empty()) {
+    return Status::InvalidArgument("query has no constraints: " + text);
+  }
+
+  std::vector<Constraint> constraints;
+  for (const std::string& piece : SplitConstraints(body)) {
+    const std::string c = Trim(piece);
+    if (c.empty()) {
+      return Status::InvalidArgument("empty constraint in: " + text);
+    }
+    // Attribute: leading identifier run.
+    size_t i = 0;
+    while (i < c.size() && IsIdentChar(c[i])) ++i;
+    std::string attribute = c.substr(0, i);
+    if (attribute.empty()) {
+      return Status::InvalidArgument("missing attribute in constraint: " + c);
+    }
+    // Operator: symbols or the word 'like' (case-insensitive).
+    while (i < c.size() && std::isspace(static_cast<unsigned char>(c[i]))) {
+      ++i;
+    }
+    std::string op;
+    if (i < c.size() && (c[i] == '=' || c[i] == '<' || c[i] == '>')) {
+      op += c[i++];
+      if (i < c.size() && c[i] == '=') op += c[i++];
+    } else {
+      size_t start = i;
+      while (i < c.size() && std::isalpha(static_cast<unsigned char>(c[i]))) {
+        ++i;
+      }
+      op = ToLower(c.substr(start, i - start));
+      if (op != "like") {
+        return Status::InvalidArgument("unknown operator in constraint: " + c);
+      }
+    }
+    std::string value_text = Trim(c.substr(i));
+    if (value_text.empty()) {
+      return Status::InvalidArgument("missing value in constraint: " + c);
+    }
+    constraints.push_back(Constraint{std::move(attribute), std::move(op),
+                                     Unquote(value_text)});
+  }
+  return constraints;
+}
+
+Result<Value> QueryParser::ParseValueFor(const std::string& attribute,
+                                         const std::string& value_text) const {
+  AIMQ_ASSIGN_OR_RETURN(size_t index, schema_->IndexOf(attribute));
+  return Value::Parse(value_text, schema_->attribute(index).type);
+}
+
+Result<SelectionQuery> QueryParser::ParsePrecise(
+    const std::string& text) const {
+  AIMQ_ASSIGN_OR_RETURN(std::vector<Constraint> constraints, Tokenize(text));
+  SelectionQuery query;
+  for (const Constraint& c : constraints) {
+    if (c.op == "like") {
+      return Status::InvalidArgument(
+          "'like' is not allowed in a precise query; use ParseImprecise");
+    }
+    CompareOp op;
+    if (c.op == "=") {
+      op = CompareOp::kEq;
+    } else if (c.op == "<") {
+      op = CompareOp::kLt;
+    } else if (c.op == "<=") {
+      op = CompareOp::kLe;
+    } else if (c.op == ">") {
+      op = CompareOp::kGt;
+    } else if (c.op == ">=") {
+      op = CompareOp::kGe;
+    } else {
+      return Status::InvalidArgument("unknown operator: " + c.op);
+    }
+    AIMQ_ASSIGN_OR_RETURN(Value v, ParseValueFor(c.attribute, c.value_text));
+    query.AddPredicate(Predicate(c.attribute, op, std::move(v)));
+  }
+  return query;
+}
+
+Result<ImpreciseQuery> QueryParser::ParseImprecise(
+    const std::string& text) const {
+  AIMQ_ASSIGN_OR_RETURN(std::vector<Constraint> constraints, Tokenize(text));
+  ImpreciseQuery query;
+  for (const Constraint& c : constraints) {
+    if (c.op != "like") {
+      return Status::InvalidArgument(
+          "imprecise queries use only 'like' constraints; got '" + c.op +
+          "' (use ParseHybrid for mixed queries)");
+    }
+    AIMQ_ASSIGN_OR_RETURN(Value v, ParseValueFor(c.attribute, c.value_text));
+    query.Bind(c.attribute, std::move(v));
+  }
+  AIMQ_RETURN_NOT_OK(query.Validate(*schema_));
+  return query;
+}
+
+Status QueryParser::ParseHybrid(const std::string& text,
+                                SelectionQuery* precise,
+                                ImpreciseQuery* imprecise) const {
+  AIMQ_ASSIGN_OR_RETURN(std::vector<Constraint> constraints, Tokenize(text));
+  *precise = SelectionQuery();
+  *imprecise = ImpreciseQuery();
+  for (const Constraint& c : constraints) {
+    AIMQ_ASSIGN_OR_RETURN(Value v, ParseValueFor(c.attribute, c.value_text));
+    if (c.op == "like") {
+      imprecise->Bind(c.attribute, std::move(v));
+      continue;
+    }
+    CompareOp op = CompareOp::kEq;
+    if (c.op == "<") op = CompareOp::kLt;
+    else if (c.op == "<=") op = CompareOp::kLe;
+    else if (c.op == ">") op = CompareOp::kGt;
+    else if (c.op == ">=") op = CompareOp::kGe;
+    else if (c.op != "=") {
+      return Status::InvalidArgument("unknown operator: " + c.op);
+    }
+    precise->AddPredicate(Predicate(c.attribute, op, std::move(v)));
+  }
+  return imprecise->Validate(*schema_);
+}
+
+}  // namespace aimq

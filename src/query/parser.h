@@ -1,0 +1,58 @@
+// Text syntax for queries, mirroring the paper's notation:
+//
+//   precise:   CarDB(Make = Ford, Price < 10000)
+//   imprecise: CarDB(Model like Camry, Price like 10000)
+//
+// The relation name before the parenthesis is optional ("(...)"-only input is
+// accepted). Values are parsed against the schema: numeric attributes take
+// numbers, categorical attributes take bare words or single-quoted strings
+// ('Econoline Van').
+
+#ifndef AIMQ_QUERY_PARSER_H_
+#define AIMQ_QUERY_PARSER_H_
+
+#include <string>
+
+#include "query/imprecise_query.h"
+#include "query/selection_query.h"
+#include "relation/schema.h"
+#include "util/status.h"
+
+namespace aimq {
+
+/// Parses the paper's query notation against a schema.
+class QueryParser {
+ public:
+  explicit QueryParser(const Schema* schema) : schema_(schema) {}
+
+  /// Parses a precise conjunctive query. Operators: =, <, <=, >, >=.
+  Result<SelectionQuery> ParsePrecise(const std::string& text) const;
+
+  /// Parses an imprecise query; every constraint must use `like`.
+  Result<ImpreciseQuery> ParseImprecise(const std::string& text) const;
+
+  /// Parses either form: constraints may mix `like` and precise operators;
+  /// `like` constraints land in \p imprecise, the rest in \p precise.
+  /// Useful for interfaces that accept hybrid input.
+  Status ParseHybrid(const std::string& text, SelectionQuery* precise,
+                     ImpreciseQuery* imprecise) const;
+
+ private:
+  struct Constraint {
+    std::string attribute;
+    std::string op;  // "=", "<", "<=", ">", ">=", "like"
+    std::string value_text;
+  };
+
+  // Splits "Rel(a = b, c like d)" into constraints.
+  Result<std::vector<Constraint>> Tokenize(const std::string& text) const;
+
+  Result<Value> ParseValueFor(const std::string& attribute,
+                              const std::string& value_text) const;
+
+  const Schema* schema_;
+};
+
+}  // namespace aimq
+
+#endif  // AIMQ_QUERY_PARSER_H_

@@ -1,0 +1,63 @@
+#include "query/predicate.h"
+
+namespace aimq {
+
+const char* CompareOpSymbol(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kLike:
+      return "like";
+  }
+  return "?";
+}
+
+Result<bool> Predicate::Matches(const Schema& schema,
+                                const Tuple& tuple) const {
+  AIMQ_ASSIGN_OR_RETURN(size_t index, schema.IndexOf(attribute));
+  const Value& actual = tuple.At(index);
+  if (actual.is_null() || value.is_null()) return false;
+  switch (op) {
+    case CompareOp::kEq:
+      return actual == value;
+    case CompareOp::kLike:
+      return Status::InvalidArgument(
+          "'like' predicate is not executable under the boolean query model; "
+          "map the imprecise query to a precise base query first");
+    default:
+      break;
+  }
+  // Range comparison requires numeric operands.
+  if (!actual.is_numeric() || !value.is_numeric()) {
+    return Status::InvalidArgument(
+        "range predicate on non-numeric attribute '" + attribute + "'");
+  }
+  double a = actual.AsNum();
+  double b = value.AsNum();
+  switch (op) {
+    case CompareOp::kLt:
+      return a < b;
+    case CompareOp::kLe:
+      return a <= b;
+    case CompareOp::kGt:
+      return a > b;
+    case CompareOp::kGe:
+      return a >= b;
+    default:
+      return Status::Internal("unhandled compare op");
+  }
+}
+
+std::string Predicate::ToString() const {
+  return attribute + " " + CompareOpSymbol(op) + " " + value.ToString();
+}
+
+}  // namespace aimq

@@ -1,0 +1,63 @@
+// Predicate: one attribute constraint of a conjunctive selection query.
+
+#ifndef AIMQ_QUERY_PREDICATE_H_
+#define AIMQ_QUERY_PREDICATE_H_
+
+#include <string>
+
+#include "relation/schema.h"
+#include "relation/tuple.h"
+#include "relation/value.h"
+#include "util/status.h"
+
+namespace aimq {
+
+/// Comparison operator of a predicate. The boolean query model of the Web
+/// database supports equality on any attribute and range comparisons on
+/// numeric attributes. kLike marks an imprecise ("similar-to") constraint and
+/// is never executable directly — it must first be mapped to kEq (paper §1,
+/// base query derivation).
+enum class CompareOp {
+  kEq,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kLike,
+};
+
+const char* CompareOpSymbol(CompareOp op);
+
+/// \brief A single constraint `attribute op value`.
+struct Predicate {
+  std::string attribute;
+  CompareOp op = CompareOp::kEq;
+  Value value;
+
+  Predicate() = default;
+  Predicate(std::string attr, CompareOp o, Value v)
+      : attribute(std::move(attr)), op(o), value(std::move(v)) {}
+
+  static Predicate Eq(std::string attr, Value v) {
+    return Predicate(std::move(attr), CompareOp::kEq, std::move(v));
+  }
+  static Predicate Like(std::string attr, Value v) {
+    return Predicate(std::move(attr), CompareOp::kLike, std::move(v));
+  }
+
+  /// Evaluates the predicate against \p tuple under \p schema. kLike is not
+  /// executable and returns an error; null tuple values never match.
+  Result<bool> Matches(const Schema& schema, const Tuple& tuple) const;
+
+  /// "Attr op Value" rendering.
+  std::string ToString() const;
+
+  bool operator==(const Predicate& other) const {
+    return attribute == other.attribute && op == other.op &&
+           value == other.value;
+  }
+};
+
+}  // namespace aimq
+
+#endif  // AIMQ_QUERY_PREDICATE_H_

@@ -1,0 +1,127 @@
+#include "relation/relation.h"
+
+#include <unordered_set>
+
+#include "util/csv.h"
+
+namespace aimq {
+
+Status Relation::Append(Tuple tuple) {
+  if (tuple.Size() != schema_.NumAttributes()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(tuple.Size()) +
+        " does not match schema arity " +
+        std::to_string(schema_.NumAttributes()));
+  }
+  for (size_t i = 0; i < tuple.Size(); ++i) {
+    const Value& v = tuple.At(i);
+    if (v.is_null()) continue;
+    const AttrType type = schema_.attribute(i).type;
+    if (type == AttrType::kCategorical && !v.is_categorical()) {
+      return Status::InvalidArgument("attribute '" + schema_.attribute(i).name +
+                                     "' expects a categorical value");
+    }
+    if (type == AttrType::kNumeric && !v.is_numeric()) {
+      return Status::InvalidArgument("attribute '" + schema_.attribute(i).name +
+                                     "' expects a numeric value");
+    }
+  }
+  tuples_.push_back(std::move(tuple));
+  return Status::OK();
+}
+
+std::vector<Value> Relation::DistinctValues(size_t attr_index) const {
+  std::vector<Value> out;
+  std::unordered_set<size_t> seen_hashes;
+  // Hash pre-filter plus exact check keeps this O(n) in practice.
+  for (const Tuple& t : tuples_) {
+    const Value& v = t.At(attr_index);
+    if (v.is_null()) continue;
+    size_t h = v.Hash();
+    if (seen_hashes.count(h)) {
+      bool duplicate = false;
+      for (const Value& existing : out) {
+        if (existing == v) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) continue;
+    }
+    seen_hashes.insert(h);
+    out.push_back(v);
+  }
+  return out;
+}
+
+size_t Relation::DistinctCount(size_t attr_index) const {
+  return DistinctValues(attr_index).size();
+}
+
+Relation Relation::SampleWithoutReplacement(size_t sample_size,
+                                            Rng* rng) const {
+  Relation out(schema_);
+  std::vector<size_t> picks =
+      rng->SampleWithoutReplacement(tuples_.size(), sample_size);
+  out.tuples_.reserve(picks.size());
+  for (size_t row : picks) out.tuples_.push_back(tuples_[row]);
+  return out;
+}
+
+Relation Relation::Head(size_t n) const {
+  Relation out(schema_);
+  size_t limit = n < tuples_.size() ? n : tuples_.size();
+  out.tuples_.assign(tuples_.begin(), tuples_.begin() + limit);
+  return out;
+}
+
+Status Relation::WriteCsv(const std::string& path) const {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(tuples_.size() + 1);
+  std::vector<std::string> header;
+  for (const Attribute& a : schema_.attributes()) header.push_back(a.name);
+  rows.push_back(std::move(header));
+  for (const Tuple& t : tuples_) {
+    std::vector<std::string> row;
+    row.reserve(t.Size());
+    for (const Value& v : t.values()) row.push_back(v.ToString());
+    rows.push_back(std::move(row));
+  }
+  return CsvWriteFile(path, rows);
+}
+
+Result<Relation> Relation::ReadCsv(const std::string& path,
+                                   const Schema& schema) {
+  AIMQ_ASSIGN_OR_RETURN(auto rows, CsvReadFile(path));
+  if (rows.empty()) {
+    return Status::InvalidArgument("CSV file has no header row: " + path);
+  }
+  if (rows[0].size() != schema.NumAttributes()) {
+    return Status::InvalidArgument("CSV header arity mismatch in " + path);
+  }
+  for (size_t i = 0; i < rows[0].size(); ++i) {
+    if (rows[0][i] != schema.attribute(i).name) {
+      return Status::InvalidArgument("CSV header mismatch: expected '" +
+                                     schema.attribute(i).name + "', got '" +
+                                     rows[0][i] + "'");
+    }
+  }
+  Relation rel(schema);
+  for (size_t r = 1; r < rows.size(); ++r) {
+    if (rows[r].size() != schema.NumAttributes()) {
+      return Status::InvalidArgument("CSV row arity mismatch at line " +
+                                     std::to_string(r + 1));
+    }
+    std::vector<Value> values;
+    values.reserve(rows[r].size());
+    for (size_t i = 0; i < rows[r].size(); ++i) {
+      AIMQ_ASSIGN_OR_RETURN(
+          Value v, Value::Parse(rows[r][i], schema.attribute(i).type));
+      values.push_back(std::move(v));
+    }
+    AIMQ_RETURN_NOT_OK(rel.Append(Tuple(std::move(values))));
+  }
+  return rel;
+}
+
+}  // namespace aimq

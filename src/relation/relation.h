@@ -1,0 +1,68 @@
+// Relation: an in-memory row store with a schema. This is the substrate the
+// simulated "autonomous Web database" stores its data in, and also the
+// container for probed samples.
+
+#ifndef AIMQ_RELATION_RELATION_H_
+#define AIMQ_RELATION_RELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relation/schema.h"
+#include "relation/tuple.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace aimq {
+
+/// \brief Schema + rows. Rows are validated on append (arity and type).
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t NumTuples() const { return tuples_.size(); }
+  bool Empty() const { return tuples_.empty(); }
+
+  const Tuple& tuple(size_t row) const { return tuples_[row]; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  /// Appends a tuple, validating arity and per-attribute value type
+  /// (nulls are allowed anywhere).
+  Status Append(Tuple tuple);
+
+  /// Appends without validation; for trusted bulk loads (generators).
+  void AppendUnchecked(Tuple tuple) { tuples_.push_back(std::move(tuple)); }
+
+  /// Distinct non-null values of the attribute at \p attr_index, in first-seen
+  /// order.
+  std::vector<Value> DistinctValues(size_t attr_index) const;
+
+  /// Number of distinct non-null values of the attribute at \p attr_index.
+  size_t DistinctCount(size_t attr_index) const;
+
+  /// Simple random sample without replacement of \p sample_size rows (all
+  /// rows if sample_size >= NumTuples()). Deterministic given \p rng.
+  Relation SampleWithoutReplacement(size_t sample_size, Rng* rng) const;
+
+  /// First \p n rows (all if n >= NumTuples()).
+  Relation Head(size_t n) const;
+
+  /// Serializes to CSV (header row + one row per tuple).
+  Status WriteCsv(const std::string& path) const;
+
+  /// Loads a relation with the given schema from a CSV file written by
+  /// WriteCsv (header row is validated against the schema).
+  static Result<Relation> ReadCsv(const std::string& path,
+                                  const Schema& schema);
+
+ private:
+  Schema schema_;
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace aimq
+
+#endif  // AIMQ_RELATION_RELATION_H_

@@ -1,0 +1,62 @@
+#include "relation/schema.h"
+
+namespace aimq {
+
+Result<Schema> Schema::Make(std::vector<Attribute> attributes) {
+  Schema schema;
+  for (size_t i = 0; i < attributes.size(); ++i) {
+    if (attributes[i].name.empty()) {
+      return Status::InvalidArgument("attribute name must be non-empty");
+    }
+    auto [it, inserted] = schema.index_.emplace(attributes[i].name, i);
+    (void)it;
+    if (!inserted) {
+      return Status::InvalidArgument("duplicate attribute name: " +
+                                     attributes[i].name);
+    }
+  }
+  schema.attributes_ = std::move(attributes);
+  return schema;
+}
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("no attribute named '" + name + "'");
+  }
+  return it->second;
+}
+
+bool Schema::Contains(const std::string& name) const {
+  return index_.count(name) > 0;
+}
+
+std::vector<size_t> Schema::CategoricalIndices() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].type == AttrType::kCategorical) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<size_t> Schema::NumericIndices() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].type == AttrType::kNumeric) out.push_back(i);
+  }
+  return out;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attributes_[i].name;
+    out += ':';
+    out += AttrTypeName(attributes_[i].type);
+  }
+  out += ')';
+  return out;
+}
+
+}  // namespace aimq

@@ -1,0 +1,63 @@
+// Schema: the ordered attribute list of a projected relation, e.g.
+// CarDB(Make, Model, Year, Price, Mileage, Location, Color).
+
+#ifndef AIMQ_RELATION_SCHEMA_H_
+#define AIMQ_RELATION_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "relation/value.h"
+#include "util/status.h"
+
+namespace aimq {
+
+/// One attribute of a relation.
+struct Attribute {
+  std::string name;
+  AttrType type = AttrType::kCategorical;
+
+  bool operator==(const Attribute& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// \brief Ordered collection of uniquely-named attributes.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Builds a schema; fails on duplicate or empty attribute names.
+  static Result<Schema> Make(std::vector<Attribute> attributes);
+
+  size_t NumAttributes() const { return attributes_.size(); }
+
+  const Attribute& attribute(size_t index) const { return attributes_[index]; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// Index of the attribute named \p name, or an error if absent.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  /// True if an attribute with this name exists.
+  bool Contains(const std::string& name) const;
+
+  /// Indices of all categorical / numeric attributes, in schema order.
+  std::vector<size_t> CategoricalIndices() const;
+  std::vector<size_t> NumericIndices() const;
+
+  /// "Name(attr:type, ...)"-style rendering for diagnostics.
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const {
+    return attributes_ == other.attributes_;
+  }
+
+ private:
+  std::vector<Attribute> attributes_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace aimq
+
+#endif  // AIMQ_RELATION_SCHEMA_H_

@@ -1,0 +1,23 @@
+#include "relation/tuple.h"
+
+namespace aimq {
+
+std::string Tuple::ToString() const {
+  std::string out = "<";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += '>';
+  return out;
+}
+
+size_t Tuple::Hash() const {
+  size_t h = 0x9e3779b97f4a7c15ULL;
+  for (const Value& v : values_) {
+    h ^= v.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace aimq

@@ -1,0 +1,46 @@
+// Tuple: one row of a relation.
+
+#ifndef AIMQ_RELATION_TUPLE_H_
+#define AIMQ_RELATION_TUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "relation/value.h"
+
+namespace aimq {
+
+/// \brief A row: one Value per schema attribute, in schema order.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  size_t Size() const { return values_.size(); }
+  const Value& At(size_t index) const { return values_[index]; }
+  Value& At(size_t index) { return values_[index]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  /// "<v1, v2, ...>" rendering for diagnostics.
+  std::string ToString() const;
+
+  bool operator==(const Tuple& other) const {
+    return values_ == other.values_;
+  }
+  bool operator!=(const Tuple& other) const { return !(*this == other); }
+
+  /// Hash combining all value hashes; compatible with operator==.
+  size_t Hash() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+/// Hash functor for unordered containers of tuples.
+struct TupleHash {
+  size_t operator()(const Tuple& t) const { return t.Hash(); }
+};
+
+}  // namespace aimq
+
+#endif  // AIMQ_RELATION_TUPLE_H_

@@ -1,0 +1,62 @@
+#include "relation/value.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+
+namespace aimq {
+
+const char* AttrTypeName(AttrType type) {
+  switch (type) {
+    case AttrType::kCategorical:
+      return "categorical";
+    case AttrType::kNumeric:
+      return "numeric";
+  }
+  return "unknown";
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "";
+  if (is_categorical()) return AsCat();
+  double d = AsNum();
+  // Integral numerics print without a decimal point (Year=2000, Price=10000).
+  if (d == static_cast<int64_t>(d) && std::abs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", d);
+  return buf;
+}
+
+Result<Value> Value::Parse(const std::string& text, AttrType type) {
+  if (text.empty()) return Value();
+  if (type == AttrType::kCategorical) return Value::Cat(text);
+  char* end = nullptr;
+  double d = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    return Status::InvalidArgument("not a numeric value: '" + text + "'");
+  }
+  return Value::Num(d);
+}
+
+bool Value::operator<(const Value& other) const {
+  if (rep_.index() != other.rep_.index()) {
+    return rep_.index() < other.rep_.index();
+  }
+  if (is_numeric()) return AsNum() < other.AsNum();
+  if (is_categorical()) return AsCat() < other.AsCat();
+  return false;  // both null
+}
+
+size_t Value::Hash() const {
+  if (is_null()) return 0x9e3779b97f4a7c15ULL;
+  if (is_numeric()) {
+    return std::hash<double>{}(AsNum()) ^ 0x517cc1b727220a95ULL;
+  }
+  return std::hash<std::string>{}(AsCat());
+}
+
+}  // namespace aimq

@@ -1,0 +1,83 @@
+// Value: a single attribute binding — categorical (string), numeric (double)
+// or null. The paper's data model treats every attribute of a Web database
+// relation as either categorical or numeric (continuous).
+
+#ifndef AIMQ_RELATION_VALUE_H_
+#define AIMQ_RELATION_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "util/status.h"
+
+namespace aimq {
+
+/// Attribute domain kind (paper §5: categorical vs numerical).
+enum class AttrType {
+  kCategorical,
+  kNumeric,
+};
+
+const char* AttrTypeName(AttrType type);
+
+/// \brief A dynamically-typed attribute value.
+///
+/// Values are small and freely copyable. Comparison across kinds is defined
+/// (null < numeric < categorical) so tuples can be sorted deterministically.
+class Value {
+ public:
+  /// Null value.
+  Value() : rep_(Null{}) {}
+
+  /// Categorical value.
+  static Value Cat(std::string s) { return Value(Rep(std::move(s))); }
+
+  /// Numeric value.
+  static Value Num(double d) { return Value(Rep(d)); }
+
+  bool is_null() const { return std::holds_alternative<Null>(rep_); }
+  bool is_categorical() const {
+    return std::holds_alternative<std::string>(rep_);
+  }
+  bool is_numeric() const { return std::holds_alternative<double>(rep_); }
+
+  /// The string payload; requires is_categorical().
+  const std::string& AsCat() const { return std::get<std::string>(rep_); }
+
+  /// The numeric payload; requires is_numeric().
+  double AsNum() const { return std::get<double>(rep_); }
+
+  /// Renders the value for display / CSV ("" for null, "%g"-style numerics).
+  std::string ToString() const;
+
+  /// Parses \p text into a value of the given type. Empty text parses to
+  /// null. Numeric parsing errors are reported.
+  static Result<Value> Parse(const std::string& text, AttrType type);
+
+  bool operator==(const Value& other) const { return rep_ == other.rep_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  bool operator<(const Value& other) const;
+
+  /// Hash compatible with operator==.
+  size_t Hash() const;
+
+ private:
+  struct Null {
+    bool operator==(const Null&) const { return true; }
+  };
+  using Rep = std::variant<Null, double, std::string>;
+
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+
+  Rep rep_;
+};
+
+/// Hash functor for unordered containers keyed by Value.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace aimq
+
+#endif  // AIMQ_RELATION_VALUE_H_

@@ -1,0 +1,330 @@
+#include "rock/rock.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_set>
+
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace aimq {
+namespace {
+
+// Jaccard between two sorted item-id vectors.
+double SortedJaccard(const std::vector<int32_t>& a,
+                     const std::vector<int32_t>& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  size_t i = 0, j = 0, inter = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      // Negative pseudo-ids never match anything, including themselves.
+      if (a[i] >= 0) ++inter;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace
+
+double RockClustering::GoodnessDenominator(size_t n1, size_t n2,
+                                           double theta) {
+  const double e = 1.0 + 2.0 * FTheta(theta);
+  const double d1 = static_cast<double>(n1);
+  const double d2 = static_cast<double>(n2);
+  return std::pow(d1 + d2, e) - std::pow(d1, e) - std::pow(d2, e);
+}
+
+std::string RockClustering::ItemKey(size_t attr, const Value& v) const {
+  if (v.is_categorical()) {
+    return std::to_string(attr) + "#" + v.AsCat();
+  }
+  // Numeric: equi-width bin id.
+  double rel = (v.AsNum() - bin_min_[attr]) / bin_width_[attr];
+  auto bin = static_cast<int64_t>(std::floor(rel));
+  if (bin < 0) bin = 0;
+  if (bin >= static_cast<int64_t>(options_.numeric_bins)) {
+    bin = static_cast<int64_t>(options_.numeric_bins) - 1;
+  }
+  return std::to_string(attr) + "#bin" + std::to_string(bin);
+}
+
+std::vector<int32_t> RockClustering::ItemsForTuple(const Tuple& tuple) const {
+  std::vector<int32_t> items;
+  int32_t pseudo = -1;
+  for (size_t i = 0; i < tuple.Size() && i < bin_min_.size(); ++i) {
+    const Value& v = tuple.At(i);
+    if (v.is_null()) continue;
+    auto it = item_ids_.find(ItemKey(i, v));
+    items.push_back(it == item_ids_.end() ? pseudo-- : it->second);
+  }
+  std::sort(items.begin(), items.end());
+  return items;
+}
+
+double RockClustering::RowSimilarity(size_t row_a, size_t row_b) const {
+  return SortedJaccard(row_items_[row_a], row_items_[row_b]);
+}
+
+double RockClustering::ItemsSimilarity(const std::vector<int32_t>& items,
+                                       size_t row) const {
+  return SortedJaccard(items, row_items_[row]);
+}
+
+std::vector<size_t> RockClustering::ClusterMembers(int32_t c) const {
+  std::vector<size_t> out;
+  for (size_t r = 0; r < labels_.size(); ++r) {
+    if (labels_[r] == c) out.push_back(r);
+  }
+  return out;
+}
+
+Result<RockClustering> RockClustering::Build(const Relation& data,
+                                             const RockOptions& options,
+                                             RockTimings* timings) {
+  if (data.NumTuples() == 0) {
+    return Status::InvalidArgument("cannot cluster an empty relation");
+  }
+  if (options.theta <= 0.0 || options.theta >= 1.0) {
+    return Status::InvalidArgument("theta must be in (0,1)");
+  }
+  if (options.num_clusters == 0) {
+    return Status::InvalidArgument("num_clusters must be >= 1");
+  }
+  if (timings != nullptr) *timings = RockTimings{};
+
+  RockClustering rock;
+  rock.data_ = &data;
+  rock.options_ = options;
+  if (rock.options_.numeric_bins == 0) rock.options_.numeric_bins = 1;
+
+  const Schema& schema = data.schema();
+  const size_t n_attrs = schema.NumAttributes();
+  const size_t n_rows = data.NumTuples();
+
+  // Numeric binning boundaries (equi-width per attribute).
+  rock.bin_min_.assign(n_attrs, 0.0);
+  rock.bin_width_.assign(n_attrs, 1.0);
+  for (size_t i = 0; i < n_attrs; ++i) {
+    if (schema.attribute(i).type != AttrType::kNumeric) continue;
+    double lo = 0.0, hi = 0.0;
+    bool seen = false;
+    for (const Tuple& t : data.tuples()) {
+      if (!t.At(i).is_numeric()) continue;
+      double d = t.At(i).AsNum();
+      if (!seen) {
+        lo = hi = d;
+        seen = true;
+      } else {
+        lo = std::min(lo, d);
+        hi = std::max(hi, d);
+      }
+    }
+    rock.bin_min_[i] = lo;
+    double width =
+        (hi - lo) / static_cast<double>(rock.options_.numeric_bins);
+    rock.bin_width_[i] = width > 0.0 ? width : 1.0;
+  }
+
+  // Item encoding of every row.
+  rock.row_items_.resize(n_rows);
+  for (size_t r = 0; r < n_rows; ++r) {
+    const Tuple& t = data.tuple(r);
+    std::vector<int32_t>& items = rock.row_items_[r];
+    for (size_t i = 0; i < n_attrs; ++i) {
+      const Value& v = t.At(i);
+      if (v.is_null()) continue;
+      std::string key = rock.ItemKey(i, v);
+      auto [it, inserted] = rock.item_ids_.emplace(
+          std::move(key), static_cast<int32_t>(rock.item_ids_.size()));
+      items.push_back(it->second);
+    }
+    std::sort(items.begin(), items.end());
+  }
+
+  // Draw the sample to cluster.
+  Rng rng(options.seed);
+  size_t sample_size = std::min(options.sample_size, n_rows);
+  if (sample_size == 0) sample_size = n_rows;
+  std::vector<size_t> sample = rng.SampleWithoutReplacement(n_rows, sample_size);
+  std::sort(sample.begin(), sample.end());
+  const size_t s = sample.size();
+
+  // Phase 1: neighbors and links on the sample.
+  Stopwatch link_watch;
+  std::vector<std::vector<uint32_t>> neighbors(s);
+  for (size_t i = 0; i < s; ++i) {
+    for (size_t j = i + 1; j < s; ++j) {
+      if (SortedJaccard(rock.row_items_[sample[i]],
+                        rock.row_items_[sample[j]]) >= options.theta) {
+        neighbors[i].push_back(static_cast<uint32_t>(j));
+        neighbors[j].push_back(static_cast<uint32_t>(i));
+      }
+    }
+  }
+  // link(p, q) = number of common neighbors: increment for every 2-path.
+  std::unordered_map<uint64_t, uint32_t> links;
+  auto pair_key = [s](uint32_t a, uint32_t b) {
+    if (a > b) std::swap(a, b);
+    return static_cast<uint64_t>(a) * s + b;
+  };
+  for (size_t p = 0; p < s; ++p) {
+    const auto& nbr = neighbors[p];
+    for (size_t x = 0; x < nbr.size(); ++x) {
+      for (size_t y = x + 1; y < nbr.size(); ++y) {
+        ++links[pair_key(nbr[x], nbr[y])];
+      }
+    }
+  }
+  if (timings != nullptr) timings->link_seconds = link_watch.ElapsedSeconds();
+
+  // Phase 2: agglomerative merging by goodness until num_clusters remain or
+  // no cross-cluster links are left. Cross-cluster link counts live in
+  // per-cluster adjacency maps; the best pair is tracked with a
+  // lazy-deletion max-heap (stale entries are detected by comparing the
+  // stored link count and cluster sizes with the current state).
+  Stopwatch cluster_watch;
+  std::vector<int32_t> cluster_of(s);
+  std::vector<size_t> cluster_size(s, 1);
+  std::vector<bool> alive(s, true);
+  for (size_t i = 0; i < s; ++i) cluster_of[i] = static_cast<int32_t>(i);
+  std::vector<std::unordered_map<uint32_t, uint64_t>> adj(s);
+  for (const auto& [key, cnt] : links) {
+    uint32_t a = static_cast<uint32_t>(key / s);
+    uint32_t b = static_cast<uint32_t>(key % s);
+    adj[a].emplace(b, cnt);
+    adj[b].emplace(a, cnt);
+  }
+
+  struct HeapEntry {
+    double goodness;
+    uint32_t a, b;
+    uint64_t links;
+    uint32_t size_a, size_b;
+    bool operator<(const HeapEntry& other) const {
+      if (goodness != other.goodness) return goodness < other.goodness;
+      if (a != other.a) return a > other.a;  // deterministic tie-break
+      return b > other.b;
+    }
+  };
+  auto goodness_of = [&](uint32_t a, uint32_t b, uint64_t cnt) {
+    double denom =
+        GoodnessDenominator(cluster_size[a], cluster_size[b], options.theta);
+    return denom > 0.0 ? static_cast<double>(cnt) / denom
+                       : static_cast<double>(cnt);
+  };
+  std::priority_queue<HeapEntry> heap;
+  auto push_pair = [&](uint32_t a, uint32_t b, uint64_t cnt) {
+    if (a > b) std::swap(a, b);
+    heap.push(HeapEntry{goodness_of(a, b, cnt), a, b, cnt,
+                        static_cast<uint32_t>(cluster_size[a]),
+                        static_cast<uint32_t>(cluster_size[b])});
+  };
+  for (const auto& [key, cnt] : links) {
+    push_pair(static_cast<uint32_t>(key / s), static_cast<uint32_t>(key % s),
+              cnt);
+  }
+
+  size_t alive_count = s;
+  while (alive_count > options.num_clusters && !heap.empty()) {
+    HeapEntry top = heap.top();
+    heap.pop();
+    uint32_t a = top.a, b = top.b;
+    if (!alive[a] || !alive[b]) continue;
+    auto it_ab = adj[a].find(b);
+    if (it_ab == adj[a].end() || it_ab->second != top.links ||
+        cluster_size[a] != top.size_a || cluster_size[b] != top.size_b) {
+      continue;  // stale entry
+    }
+    // Merge b into a.
+    cluster_size[a] += cluster_size[b];
+    alive[b] = false;
+    --alive_count;
+    for (size_t i = 0; i < s; ++i) {
+      if (cluster_of[i] == static_cast<int32_t>(b)) {
+        cluster_of[i] = static_cast<int32_t>(a);
+      }
+    }
+    adj[a].erase(b);
+    for (const auto& [other, cnt] : adj[b]) {
+      if (other == a || !alive[other]) continue;
+      uint64_t merged = (adj[a][other] += cnt);
+      adj[other].erase(b);
+      adj[other][a] = merged;
+      (void)merged;
+    }
+    adj[b].clear();
+    // Goodness of every pair involving a changed (size and possibly links):
+    // re-push them all.
+    for (const auto& [other, cnt] : adj[a]) {
+      if (alive[other]) push_pair(a, other, cnt);
+    }
+  }
+  if (timings != nullptr) {
+    timings->cluster_seconds = cluster_watch.ElapsedSeconds();
+  }
+
+  // Compact cluster ids.
+  std::unordered_map<int32_t, int32_t> remap;
+  for (size_t i = 0; i < s; ++i) {
+    int32_t c = cluster_of[i];
+    if (!remap.count(c)) {
+      int32_t next = static_cast<int32_t>(remap.size());
+      remap.emplace(c, next);
+    }
+  }
+  rock.num_clusters_ = remap.size();
+
+  // Phase 3: label every row. Sample rows keep their cluster; others go to
+  // the cluster maximizing N_i / (n_i + 1)^f(θ), where N_i is the number of
+  // neighbors the row has in cluster i (ROCK's labeling rule).
+  Stopwatch label_watch;
+  rock.labels_.assign(n_rows, -1);
+  std::vector<size_t> members_per_cluster(rock.num_clusters_, 0);
+  for (size_t i = 0; i < s; ++i) {
+    rock.labels_[sample[i]] = remap[cluster_of[i]];
+    ++members_per_cluster[remap[cluster_of[i]]];
+  }
+  const double f = FTheta(options.theta);
+  std::vector<double> label_denom(rock.num_clusters_);
+  for (size_t c = 0; c < rock.num_clusters_; ++c) {
+    label_denom[c] =
+        std::pow(static_cast<double>(members_per_cluster[c]) + 1.0, f);
+  }
+  std::unordered_set<size_t> in_sample(sample.begin(), sample.end());
+  std::vector<uint32_t> nbr_count(rock.num_clusters_);
+  for (size_t r = 0; r < n_rows; ++r) {
+    if (in_sample.count(r)) continue;
+    std::fill(nbr_count.begin(), nbr_count.end(), 0);
+    for (size_t i = 0; i < s; ++i) {
+      if (SortedJaccard(rock.row_items_[r], rock.row_items_[sample[i]]) >=
+          options.theta) {
+        ++nbr_count[rock.labels_[sample[i]]];
+      }
+    }
+    double best = 0.0;
+    int32_t best_c = -1;
+    for (size_t c = 0; c < rock.num_clusters_; ++c) {
+      if (nbr_count[c] == 0) continue;
+      double score = static_cast<double>(nbr_count[c]) / label_denom[c];
+      if (score > best) {
+        best = score;
+        best_c = static_cast<int32_t>(c);
+      }
+    }
+    rock.labels_[r] = best_c;
+  }
+  if (timings != nullptr) {
+    timings->label_seconds = label_watch.ElapsedSeconds();
+  }
+  return rock;
+}
+
+}  // namespace aimq

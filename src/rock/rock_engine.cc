@@ -1,0 +1,128 @@
+#include "rock/rock_engine.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/topk.h"
+
+namespace aimq {
+
+Result<RockEngine> RockEngine::Build(Relation data, const RockOptions& options,
+                                     RockTimings* timings) {
+  RockEngine engine;
+  engine.data_ = std::make_shared<const Relation>(std::move(data));
+  AIMQ_ASSIGN_OR_RETURN(RockClustering clustering,
+                        RockClustering::Build(*engine.data_, options, timings));
+  engine.clustering_ =
+      std::make_shared<const RockClustering>(std::move(clustering));
+  return engine;
+}
+
+std::vector<RankedAnswer> RockEngine::RankCluster(
+    int32_t cluster, const std::vector<int32_t>& items, size_t exclude_row,
+    size_t k) const {
+  TopK<size_t> topk(k);
+  for (size_t row : clustering_->ClusterMembers(cluster)) {
+    if (row == exclude_row) continue;
+    topk.Add(clustering_->ItemsSimilarity(items, row), row);
+  }
+  std::vector<RankedAnswer> out;
+  for (auto& [score, row] : topk.Extract()) {
+    out.push_back(RankedAnswer{data_->tuple(row), score});
+  }
+  return out;
+}
+
+Result<std::vector<RankedAnswer>> RockEngine::FindSimilar(const Tuple& anchor,
+                                                          size_t k) const {
+  if (anchor.Size() != data_->schema().NumAttributes()) {
+    return Status::InvalidArgument("anchor tuple arity mismatch");
+  }
+  std::vector<int32_t> items = clustering_->ItemsForTuple(anchor);
+  // Locate the anchor's cluster: its own row if present and clustered; for
+  // unseen anchors or outlier rows, the cluster of the most similar labeled
+  // row.
+  int32_t cluster = -1;
+  size_t anchor_row = SIZE_MAX;
+  double best = -1.0;
+  int32_t nearest_cluster = -1;
+  for (size_t r = 0; r < data_->NumTuples(); ++r) {
+    if (anchor_row == SIZE_MAX && data_->tuple(r) == anchor) {
+      anchor_row = r;
+      if (clustering_->labels()[r] >= 0) {
+        cluster = clustering_->labels()[r];
+        break;
+      }
+      continue;  // outlier row: keep scanning for the nearest cluster
+    }
+    if (clustering_->labels()[r] >= 0) {
+      double s = clustering_->ItemsSimilarity(items, r);
+      if (s > best) {
+        best = s;
+        nearest_cluster = clustering_->labels()[r];
+      }
+    }
+  }
+  if (cluster < 0) cluster = nearest_cluster;
+  if (cluster < 0) {
+    return Status::NotFound("no labeled cluster exists in the dataset");
+  }
+  return RankCluster(cluster, items, anchor_row, k);
+}
+
+Result<std::vector<RankedAnswer>> RockEngine::Answer(
+    const ImpreciseQuery& query, size_t k) const {
+  AIMQ_RETURN_NOT_OK(query.Validate(data_->schema()));
+  if (query.Empty()) {
+    return Status::InvalidArgument("imprecise query binds no attribute");
+  }
+  // Query item set: one item per bound attribute.
+  Tuple probe([&] {
+    std::vector<Value> values(data_->schema().NumAttributes());
+    for (const ImpreciseQuery::Binding& b : query.bindings()) {
+      size_t attr = data_->schema().IndexOf(b.attribute).ValueOrDie();
+      values[attr] = b.value;
+    }
+    return values;
+  }());
+  std::vector<int32_t> items = clustering_->ItemsForTuple(probe);
+
+  // Seed clusters from the base query's exact matches.
+  const SelectionQuery base = query.ToBaseQuery();
+  std::unordered_set<int32_t> clusters;
+  for (size_t r = 0; r < data_->NumTuples(); ++r) {
+    AIMQ_ASSIGN_OR_RETURN(bool match,
+                          base.Matches(data_->schema(), data_->tuple(r)));
+    if (match && clustering_->labels()[r] >= 0) {
+      clusters.insert(clustering_->labels()[r]);
+    }
+  }
+  if (clusters.empty()) {
+    // No exact match: fall back to the cluster of the closest tuple.
+    double best = -1.0;
+    int32_t cluster = -1;
+    for (size_t r = 0; r < data_->NumTuples(); ++r) {
+      double s = clustering_->ItemsSimilarity(items, r);
+      if (s > best && clustering_->labels()[r] >= 0) {
+        best = s;
+        cluster = clustering_->labels()[r];
+      }
+    }
+    if (cluster < 0) return Status::NotFound("no cluster matches the query");
+    clusters.insert(cluster);
+  }
+
+  TopK<size_t> topk(k);
+  for (int32_t c : clusters) {
+    for (size_t row : clustering_->ClusterMembers(c)) {
+      topk.Add(clustering_->ItemsSimilarity(items, row), row);
+    }
+  }
+  std::vector<RankedAnswer> out;
+  for (auto& [score, row] : topk.Extract()) {
+    out.push_back(RankedAnswer{data_->tuple(row), score});
+  }
+  return out;
+}
+
+}  // namespace aimq

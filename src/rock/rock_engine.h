@@ -1,0 +1,61 @@
+// RockEngine: the ROCK-based imprecise query answering system AIMQ is
+// compared against (paper §6.1). It clusters the whole dataset offline
+// (sample clustering + labeling) and answers queries by ranking the members
+// of the cluster(s) the query's base answers fall in. All attributes carry
+// equal importance — the defining difference from AIMQ.
+
+#ifndef AIMQ_ROCK_ROCK_ENGINE_H_
+#define AIMQ_ROCK_ROCK_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/engine.h"  // RankedAnswer
+#include "query/imprecise_query.h"
+#include "relation/relation.h"
+#include "rock/rock.h"
+#include "util/status.h"
+
+namespace aimq {
+
+/// \brief Cluster-based imprecise query answering (the baseline system).
+class RockEngine {
+ public:
+  /// Clusters \p data (copied into the engine). \p timings (optional)
+  /// receives the offline-phase breakdown.
+  static Result<RockEngine> Build(Relation data, const RockOptions& options,
+                                  RockTimings* timings = nullptr);
+
+  const RockClustering& clustering() const { return *clustering_; }
+  const Relation& data() const { return *data_; }
+
+  /// Tuples most similar to \p anchor: members of the anchor's cluster,
+  /// ranked by item-model Jaccard similarity to it. The anchor itself is
+  /// excluded. At most \p k answers.
+  Result<std::vector<RankedAnswer>> FindSimilar(const Tuple& anchor,
+                                                size_t k) const;
+
+  /// Answers an imprecise query: the base query's exact matches seed the
+  /// search; their clusters' members are ranked by similarity to the query's
+  /// AV-pairs. Falls back to the globally closest tuple's cluster when the
+  /// base query has no exact match.
+  Result<std::vector<RankedAnswer>> Answer(const ImpreciseQuery& query,
+                                           size_t k) const;
+
+ private:
+  RockEngine() = default;
+
+  // Rank members of \p cluster by similarity to \p items, excluding
+  // \p exclude_row (pass SIZE_MAX to keep everything).
+  std::vector<RankedAnswer> RankCluster(int32_t cluster,
+                                        const std::vector<int32_t>& items,
+                                        size_t exclude_row, size_t k) const;
+
+  // Stable storage so RockClustering's pointer to the relation stays valid.
+  std::shared_ptr<const Relation> data_;
+  std::shared_ptr<const RockClustering> clustering_;
+};
+
+}  // namespace aimq
+
+#endif  // AIMQ_ROCK_ROCK_ENGINE_H_

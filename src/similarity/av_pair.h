@@ -1,0 +1,44 @@
+// AVPair: a distinct (categorical attribute, value) combination, e.g.
+// Make=Ford (paper §5.1).
+
+#ifndef AIMQ_SIMILARITY_AV_PAIR_H_
+#define AIMQ_SIMILARITY_AV_PAIR_H_
+
+#include <string>
+
+#include "relation/schema.h"
+#include "relation/value.h"
+
+namespace aimq {
+
+/// \brief A categorical attribute bound to one of its values.
+struct AVPair {
+  size_t attr = 0;
+  Value value;
+
+  AVPair() = default;
+  AVPair(size_t a, Value v) : attr(a), value(std::move(v)) {}
+
+  bool operator==(const AVPair& other) const {
+    return attr == other.attr && value == other.value;
+  }
+
+  /// "Make=Ford" rendering.
+  std::string ToString(const Schema& schema) const {
+    const std::string name = attr < schema.NumAttributes()
+                                 ? schema.attribute(attr).name
+                                 : "#" + std::to_string(attr);
+    return name + "=" + value.ToString();
+  }
+};
+
+/// Hash functor for unordered containers of AVPairs.
+struct AVPairHash {
+  size_t operator()(const AVPair& p) const {
+    return p.value.Hash() * 1315423911ULL + p.attr;
+  }
+};
+
+}  // namespace aimq
+
+#endif  // AIMQ_SIMILARITY_AV_PAIR_H_

@@ -1,0 +1,55 @@
+#include "similarity/similarity_graph.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace aimq {
+
+SimilarityGraph SimilarityGraph::Extract(const ValueSimilarityModel& model,
+                                         size_t attr, double threshold) {
+  SimilarityGraph g;
+  g.threshold_ = threshold;
+  g.nodes_ = model.MinedValues(attr);
+  std::sort(g.nodes_.begin(), g.nodes_.end());
+  for (size_t i = 0; i < g.nodes_.size(); ++i) {
+    for (size_t j = i + 1; j < g.nodes_.size(); ++j) {
+      double s = model.VSim(attr, g.nodes_[i], g.nodes_[j]);
+      if (s >= threshold) {
+        g.edges_.push_back(SimilarityEdge{g.nodes_[i], g.nodes_[j], s});
+      }
+    }
+  }
+  std::sort(g.edges_.begin(), g.edges_.end(),
+            [](const SimilarityEdge& a, const SimilarityEdge& b) {
+              if (a.similarity != b.similarity) {
+                return a.similarity > b.similarity;
+              }
+              if (a.a != b.a) return a.a < b.a;
+              return a.b < b.b;
+            });
+  return g;
+}
+
+std::vector<SimilarityEdge> SimilarityGraph::EdgesOf(const Value& v) const {
+  std::vector<SimilarityEdge> out;
+  for (const SimilarityEdge& e : edges_) {
+    if (e.a == v || e.b == v) out.push_back(e);
+  }
+  return out;
+}
+
+std::string SimilarityGraph::ToDot(const std::string& graph_name) const {
+  std::string out = "graph \"" + graph_name + "\" {\n";
+  for (const Value& n : nodes_) {
+    out += "  \"" + n.ToString() + "\";\n";
+  }
+  for (const SimilarityEdge& e : edges_) {
+    out += "  \"" + e.a.ToString() + "\" -- \"" + e.b.ToString() +
+           "\" [label=\"" + FormatDouble(e.similarity, 2) + "\"];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace aimq

@@ -1,0 +1,49 @@
+// Similarity graph over the values of one categorical attribute (paper
+// Figure 5): nodes are values, edges carry VSim, edges below a threshold are
+// pruned.
+
+#ifndef AIMQ_SIMILARITY_SIMILARITY_GRAPH_H_
+#define AIMQ_SIMILARITY_SIMILARITY_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "relation/schema.h"
+#include "similarity/value_similarity.h"
+
+namespace aimq {
+
+/// One undirected weighted edge of the similarity graph.
+struct SimilarityEdge {
+  Value a;
+  Value b;
+  double similarity = 0.0;
+};
+
+/// \brief Thresholded similarity graph over one attribute's values.
+class SimilarityGraph {
+ public:
+  /// Extracts from \p model the edges of attribute \p attr whose similarity
+  /// is >= \p threshold. Edges are sorted by descending similarity.
+  static SimilarityGraph Extract(const ValueSimilarityModel& model,
+                                 size_t attr, double threshold);
+
+  const std::vector<SimilarityEdge>& edges() const { return edges_; }
+  const std::vector<Value>& nodes() const { return nodes_; }
+  double threshold() const { return threshold_; }
+
+  /// Edges incident to \p v, sorted by descending similarity.
+  std::vector<SimilarityEdge> EdgesOf(const Value& v) const;
+
+  /// Graphviz DOT rendering (undirected, edge labels = similarity).
+  std::string ToDot(const std::string& graph_name) const;
+
+ private:
+  std::vector<Value> nodes_;
+  std::vector<SimilarityEdge> edges_;
+  double threshold_ = 0.0;
+};
+
+}  // namespace aimq
+
+#endif  // AIMQ_SIMILARITY_SIMILARITY_GRAPH_H_

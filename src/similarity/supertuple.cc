@@ -1,0 +1,115 @@
+#include "similarity/supertuple.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace aimq {
+
+std::string SuperTuple::ToString(const Schema& schema,
+                                 size_t max_keywords) const {
+  std::string out = av_.ToString(schema) + " (support " +
+                    std::to_string(support_) + ")\n";
+  for (size_t i = 0; i < bags_.size(); ++i) {
+    if (i == av_.attr || bags_[i].Empty()) continue;
+    out += "  " + schema.attribute(i).name + ": ";
+    auto entries = bags_[i].SortedEntries();
+    for (size_t j = 0; j < entries.size() && j < max_keywords; ++j) {
+      if (j > 0) out += ", ";
+      out += entries[j].first + ":" + std::to_string(entries[j].second);
+    }
+    if (entries.size() > max_keywords) out += ", ...";
+    out += "\n";
+  }
+  return out;
+}
+
+SuperTupleBuilder::SuperTupleBuilder(const Relation& sample,
+                                     SuperTupleOptions options)
+    : sample_(sample), options_(options) {
+  const size_t n = sample.schema().NumAttributes();
+  bin_min_.assign(n, 0.0);
+  bin_width_.assign(n, 0.0);
+  if (options_.numeric_bins == 0) options_.numeric_bins = 1;
+  for (size_t i = 0; i < n; ++i) {
+    if (sample.schema().attribute(i).type != AttrType::kNumeric) continue;
+    double lo = 0.0, hi = 0.0;
+    bool seen = false;
+    for (const Tuple& t : sample.tuples()) {
+      const Value& v = t.At(i);
+      if (!v.is_numeric()) continue;
+      double d = v.AsNum();
+      if (!seen) {
+        lo = hi = d;
+        seen = true;
+      } else {
+        lo = std::min(lo, d);
+        hi = std::max(hi, d);
+      }
+    }
+    bin_min_[i] = lo;
+    double width = (hi - lo) / static_cast<double>(options_.numeric_bins);
+    bin_width_[i] = width > 0.0 ? width : 1.0;
+  }
+}
+
+double SuperTupleBuilder::BinLower(size_t attr, size_t b) const {
+  return bin_min_[attr] + bin_width_[attr] * static_cast<double>(b);
+}
+
+std::string SuperTupleBuilder::KeywordFor(size_t attr, const Value& v) const {
+  if (v.is_null()) return "";
+  if (v.is_categorical()) return v.AsCat();
+  // Numeric: equi-width bin label "lo-hi".
+  double d = v.AsNum();
+  double rel = (d - bin_min_[attr]) / bin_width_[attr];
+  auto bin = static_cast<int64_t>(std::floor(rel));
+  if (bin < 0) bin = 0;
+  if (bin >= static_cast<int64_t>(options_.numeric_bins)) {
+    bin = static_cast<int64_t>(options_.numeric_bins) - 1;
+  }
+  double lo = BinLower(attr, static_cast<size_t>(bin));
+  double hi = lo + bin_width_[attr];
+  return Value::Num(lo).ToString() + "-" + Value::Num(hi).ToString();
+}
+
+Result<std::vector<SuperTuple>> SuperTupleBuilder::BuildAll(
+    size_t attr) const {
+  const Schema& schema = sample_.schema();
+  if (attr >= schema.NumAttributes()) {
+    return Status::OutOfRange("attribute index out of range");
+  }
+  if (schema.attribute(attr).type != AttrType::kCategorical) {
+    return Status::InvalidArgument(
+        "supertuples are built for categorical attributes; '" +
+        schema.attribute(attr).name + "' is numeric");
+  }
+  const size_t n = schema.NumAttributes();
+  std::vector<SuperTuple> supertuples;
+  std::unordered_map<Value, size_t, ValueHash> index;
+  for (const Tuple& t : sample_.tuples()) {
+    const Value& v = t.At(attr);
+    if (v.is_null()) continue;
+    auto [it, inserted] = index.emplace(v, supertuples.size());
+    if (inserted) supertuples.emplace_back(AVPair(attr, v), n);
+    SuperTuple& st = supertuples[it->second];
+    st.IncrementSupport();
+    for (size_t j = 0; j < n; ++j) {
+      if (j == attr) continue;
+      std::string kw = KeywordFor(j, t.At(j));
+      if (!kw.empty()) st.mutable_bag(j).Add(kw);
+    }
+  }
+  return supertuples;
+}
+
+Result<SuperTuple> SuperTupleBuilder::Build(const AVPair& av) const {
+  AIMQ_ASSIGN_OR_RETURN(std::vector<SuperTuple> all, BuildAll(av.attr));
+  for (SuperTuple& st : all) {
+    if (st.av().value == av.value) return std::move(st);
+  }
+  // Value absent from the sample: an empty supertuple.
+  return SuperTuple(av, sample_.schema().NumAttributes());
+}
+
+}  // namespace aimq

@@ -1,0 +1,110 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace aimq {
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& field) {
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string CsvEncodeRow(const std::vector<std::string>& fields) {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out += ',';
+    out += NeedsQuoting(fields[i]) ? QuoteField(fields[i]) : fields[i];
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> CsvDecodeRow(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else {
+      if (c == '"') {
+        in_quotes = true;
+      } else if (c == ',') {
+        fields.push_back(std::move(cur));
+        cur.clear();
+      } else {
+        cur += c;
+      }
+    }
+    ++i;
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unbalanced quotes in CSV record: " + line);
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+Status CsvWriteFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  for (const auto& row : rows) {
+    out << CsvEncodeRow(row) << '\n';
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<std::vector<std::string>>> CsvReadFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  std::string pending;
+  bool have_pending = false;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::string candidate = have_pending ? pending + "\n" + line : line;
+    auto parsed = CsvDecodeRow(candidate);
+    if (parsed.ok()) {
+      rows.push_back(parsed.TakeValue());
+      have_pending = false;
+      pending.clear();
+    } else {
+      // Quoted field spanning lines: keep accumulating.
+      pending = std::move(candidate);
+      have_pending = true;
+    }
+  }
+  if (have_pending) {
+    return Status::InvalidArgument("unterminated quoted field at EOF: " + path);
+  }
+  return rows;
+}
+
+}  // namespace aimq

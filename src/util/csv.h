@@ -1,0 +1,31 @@
+// Minimal CSV reading/writing used to persist generated datasets and
+// experiment outputs. Fields containing the delimiter, quotes or newlines are
+// quoted per RFC 4180.
+
+#ifndef AIMQ_UTIL_CSV_H_
+#define AIMQ_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace aimq {
+
+/// Encodes one CSV record (no trailing newline).
+std::string CsvEncodeRow(const std::vector<std::string>& fields);
+
+/// Parses one CSV record. Returns an error on unbalanced quotes.
+Result<std::vector<std::string>> CsvDecodeRow(const std::string& line);
+
+/// Writes rows (first row typically a header) to \p path.
+Status CsvWriteFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows);
+
+/// Reads all records from \p path. Handles quoted fields spanning lines.
+Result<std::vector<std::vector<std::string>>> CsvReadFile(
+    const std::string& path);
+
+}  // namespace aimq
+
+#endif  // AIMQ_UTIL_CSV_H_

@@ -1,0 +1,57 @@
+// Blocking parallel-for over an index range. The offline phases (supertuple
+// construction, pairwise similarity estimation, TANE lattice levels, ROCK
+// labeling) are embarrassingly parallel across attributes / subsets / rows;
+// this helper keeps them deterministic: workers write only to their own
+// index's slot, so results are independent of interleaving.
+
+#ifndef AIMQ_UTIL_PARALLEL_H_
+#define AIMQ_UTIL_PARALLEL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace aimq {
+
+/// Number of worker threads to use when the caller passes 0 ("auto"):
+/// hardware concurrency capped at 8 (the offline phases are memory-bound
+/// beyond that).
+inline size_t ResolveThreads(size_t requested) {
+  if (requested != 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) return 1;
+  return hw < 8 ? hw : 8;
+}
+
+/// Runs fn(i) for every i in [0, n), distributing indices over
+/// \p num_threads workers (0 = auto). Falls back to a plain loop for one
+/// thread or tiny ranges. fn must be safe to call concurrently for distinct
+/// indices. Blocks until all indices are processed.
+template <typename Fn>
+void ParallelFor(size_t n, size_t num_threads, Fn&& fn) {
+  const size_t threads = ResolveThreads(num_threads);
+  if (threads <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  auto worker = [&] {
+    while (true) {
+      size_t i = next.fetch_add(1);
+      if (i >= n) return;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  const size_t spawn = std::min(threads, n) - 1;
+  pool.reserve(spawn);
+  for (size_t t = 0; t < spawn; ++t) pool.emplace_back(worker);
+  worker();  // the calling thread participates
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace aimq
+
+#endif  // AIMQ_UTIL_PARALLEL_H_

@@ -1,0 +1,67 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of the library (data generators, sampling,
+// RandomRelax, simulated users) draw from Rng so that every experiment is
+// reproducible from a seed.
+
+#ifndef AIMQ_UTIL_RNG_H_
+#define AIMQ_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace aimq {
+
+/// \brief Seeded xoshiro256**-based PRNG with convenience samplers.
+///
+/// Not thread-safe; create one Rng per thread/component.
+class Rng {
+ public:
+  /// Seeds the generator; identical seeds yield identical streams.
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). \p bound must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Gaussian sample with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// True with probability \p p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Non-positive weights are treated as zero; if all weights are zero the
+  /// first index is returned.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffles \p items in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      size_t j = Uniform(i);
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+  /// Draws k distinct indices from [0, n) via partial Fisher-Yates.
+  /// If k >= n, returns all n indices (shuffled).
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace aimq
+
+#endif  // AIMQ_UTIL_RNG_H_

@@ -1,0 +1,33 @@
+// Wall-clock stopwatch for the offline-cost experiments (paper Table 2).
+
+#ifndef AIMQ_UTIL_STOPWATCH_H_
+#define AIMQ_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace aimq {
+
+/// Measures elapsed wall-clock time; starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace aimq
+
+#endif  // AIMQ_UTIL_STOPWATCH_H_

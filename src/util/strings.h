@@ -1,0 +1,33 @@
+// Small string helpers shared across the library.
+
+#ifndef AIMQ_UTIL_STRINGS_H_
+#define AIMQ_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aimq {
+
+/// Splits \p input on \p delim. Empty fields are preserved; splitting an
+/// empty string yields a single empty field.
+std::vector<std::string> Split(std::string_view input, char delim);
+
+/// Joins \p parts with \p sep between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string Trim(std::string_view input);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view input);
+
+/// True if \p input starts with \p prefix.
+bool StartsWith(std::string_view input, std::string_view prefix);
+
+/// Formats a double with \p precision digits after the decimal point.
+std::string FormatDouble(double value, int precision);
+
+}  // namespace aimq
+
+#endif  // AIMQ_UTIL_STRINGS_H_

@@ -1,0 +1,85 @@
+// Bounded top-k accumulator.
+
+#ifndef AIMQ_UTIL_TOPK_H_
+#define AIMQ_UTIL_TOPK_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace aimq {
+
+/// \brief Keeps the k items with the largest scores seen so far.
+///
+/// Ties are broken by insertion order (earlier insertions win), which makes
+/// result ranking deterministic. Extraction returns items sorted by
+/// descending score.
+template <typename T>
+class TopK {
+ public:
+  explicit TopK(size_t k) : k_(k) {}
+
+  /// Offers an item; it is kept iff it ranks among the k best so far.
+  void Add(double score, T item) {
+    if (k_ == 0) return;
+    entries_.push_back(Entry{score, next_seq_++, std::move(item)});
+    std::push_heap(entries_.begin(), entries_.end(), MinHeapCmp);
+    if (entries_.size() > k_) {
+      std::pop_heap(entries_.begin(), entries_.end(), MinHeapCmp);
+      entries_.pop_back();
+    }
+  }
+
+  size_t Size() const { return entries_.size(); }
+
+  /// Smallest score currently retained (only meaningful when Size() == k).
+  double MinScore() const { return entries_.empty() ? 0.0 : entries_.front().score; }
+
+  /// True when k items are held and \p score cannot displace any of them
+  /// (a new item with an equal score loses the tie to the incumbent).
+  bool WouldReject(double score) const {
+    return entries_.size() == k_ && !entries_.empty() &&
+           score <= entries_.front().score;
+  }
+
+  /// Returns (score, item) pairs sorted by descending score; consumes state.
+  std::vector<std::pair<double, T>> Extract() {
+    std::sort(entries_.begin(), entries_.end(),
+              [](const Entry& a, const Entry& b) { return EntryLess(b, a); });
+    std::vector<std::pair<double, T>> out;
+    out.reserve(entries_.size());
+    for (auto& e : entries_) {
+      out.emplace_back(e.score, std::move(e.item));
+    }
+    entries_.clear();
+    return out;
+  }
+
+ private:
+  struct Entry {
+    double score;
+    uint64_t seq;
+    T item;
+  };
+
+  // Strict ordering: a ranks worse than b (lower score, or equal score but
+  // inserted later).
+  static bool EntryLess(const Entry& a, const Entry& b) {
+    if (a.score != b.score) return a.score < b.score;
+    return a.seq > b.seq;
+  }
+  // Min-heap on rank: the root is the currently worst-ranked entry.
+  static bool MinHeapCmp(const Entry& a, const Entry& b) {
+    return EntryLess(b, a);
+  }
+
+  size_t k_;
+  uint64_t next_seq_ = 0;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace aimq
+
+#endif  // AIMQ_UTIL_TOPK_H_

@@ -1,0 +1,60 @@
+#include "webdb/data_collector.h"
+
+namespace aimq {
+
+Result<Relation> DataCollector::Collect(const WebDatabase& source) const {
+  const Schema& schema = source.schema();
+
+  // Pick the spanning attribute: the requested one, or the categorical
+  // attribute with the smallest drop-down (fewest probes to span the source).
+  std::string span_attr = options_.spanning_attribute;
+  std::vector<Value> span_values;
+  if (!span_attr.empty()) {
+    AIMQ_ASSIGN_OR_RETURN(span_values, source.FormValues(span_attr));
+  } else {
+    size_t best_count = 0;
+    for (size_t i = 0; i < schema.NumAttributes(); ++i) {
+      if (schema.attribute(i).type != AttrType::kCategorical) continue;
+      AIMQ_ASSIGN_OR_RETURN(std::vector<Value> values,
+                            source.FormValues(schema.attribute(i).name));
+      if (values.empty()) continue;
+      if (span_attr.empty() || values.size() < best_count) {
+        span_attr = schema.attribute(i).name;
+        best_count = values.size();
+        span_values = std::move(values);
+      }
+    }
+    if (span_attr.empty()) {
+      return Status::FailedPrecondition(
+          "source '" + source.name() +
+          "' has no categorical attribute to build spanning queries from");
+    }
+  }
+  last_spanning_attribute_ = span_attr;
+  last_spanning_values_ = span_values;
+
+  // Issue one precise query per spanning value; the union covers the source
+  // (or the budgeted prefix of it).
+  Relation probed(schema);
+  size_t issued = 0;
+  for (const Value& v : span_values) {
+    if (options_.max_queries > 0 && issued >= options_.max_queries) break;
+    SelectionQuery q({Predicate::Eq(span_attr, v)});
+    AIMQ_ASSIGN_OR_RETURN(std::vector<Tuple> tuples, source.Execute(q));
+    ++issued;
+    for (Tuple& t : tuples) probed.AppendUnchecked(std::move(t));
+  }
+  if (probed.NumTuples() == 0) {
+    return Status::FailedPrecondition(
+        "probing returned no tuples (budget too small or empty source)");
+  }
+
+  if (options_.sample_size == 0 ||
+      options_.sample_size >= probed.NumTuples()) {
+    return probed;
+  }
+  Rng rng(options_.seed);
+  return probed.SampleWithoutReplacement(options_.sample_size, &rng);
+}
+
+}  // namespace aimq

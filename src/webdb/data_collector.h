@@ -1,0 +1,72 @@
+// DataCollector: probes the autonomous source to materialize a sample of the
+// hidden relation (paper Figure 1, "Data Collector"; sampling discussion in
+// §6.2).
+
+#ifndef AIMQ_WEBDB_DATA_COLLECTOR_H_
+#define AIMQ_WEBDB_DATA_COLLECTOR_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "relation/relation.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "webdb/web_database.h"
+
+namespace aimq {
+
+/// Options controlling sample collection.
+struct DataCollectorOptions {
+  /// Categorical attribute whose form drop-down values drive the spanning
+  /// queries. If empty, the categorical attribute with the fewest drop-down
+  /// options is chosen (fewest probes for full coverage).
+  std::string spanning_attribute;
+
+  /// Number of tuples to retain, via simple random sampling without
+  /// replacement over the probed tuples. 0 keeps everything probed.
+  size_t sample_size = 0;
+
+  /// Probe budget: stop issuing spanning queries after this many (0 = no
+  /// limit). Autonomous sources rate-limit clients; a partial span biases
+  /// the sample toward the spanning values probed first, which the retention
+  /// sampling cannot correct — use together with a random-ish spanning
+  /// attribute and treat the resulting statistics as coarser.
+  size_t max_queries = 0;
+
+  /// Seed for the retention sampling step.
+  uint64_t seed = 7;
+};
+
+/// \brief Collects a representative sample of a Web database via probing.
+///
+/// The collector issues *spanning queries* (paper §6.2): one precise query
+/// per drop-down value of a chosen categorical attribute. Together these
+/// cover every tuple whose spanning attribute is non-null. The probed union
+/// is then down-sampled to the requested sample size.
+class DataCollector {
+ public:
+  explicit DataCollector(DataCollectorOptions options)
+      : options_(std::move(options)) {}
+
+  /// Probes \p source and returns the collected sample.
+  Result<Relation> Collect(const WebDatabase& source) const;
+
+  /// Spanning attribute/values used by the last Collect call (diagnostics).
+  const std::string& last_spanning_attribute() const {
+    return last_spanning_attribute_;
+  }
+  const std::vector<Value>& last_spanning_values() const {
+    return last_spanning_values_;
+  }
+
+ private:
+  DataCollectorOptions options_;
+  mutable std::string last_spanning_attribute_;
+  mutable std::vector<Value> last_spanning_values_;
+};
+
+}  // namespace aimq
+
+#endif  // AIMQ_WEBDB_DATA_COLLECTOR_H_

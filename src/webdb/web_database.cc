@@ -1,0 +1,85 @@
+#include "webdb/web_database.h"
+
+#include <algorithm>
+
+namespace aimq {
+
+void WebDatabase::BuildIndexes() {
+  const size_t n = data_.schema().NumAttributes();
+  index_.assign(n, {});
+  for (size_t r = 0; r < data_.NumTuples(); ++r) {
+    const Tuple& t = data_.tuple(r);
+    for (size_t i = 0; i < n; ++i) {
+      const Value& v = t.At(i);
+      if (v.is_null()) continue;
+      index_[i][v].push_back(static_cast<uint32_t>(r));
+    }
+  }
+}
+
+Result<std::vector<Tuple>> WebDatabase::Execute(
+    const SelectionQuery& query) const {
+  for (const Predicate& p : query.predicates()) {
+    if (p.op == CompareOp::kLike) {
+      return Status::InvalidArgument(
+          "autonomous source '" + name_ +
+          "' supports only boolean queries; got imprecise predicate: " +
+          p.ToString());
+    }
+    if (!schema().Contains(p.attribute)) {
+      return Status::NotFound("source '" + name_ +
+                              "' has no attribute named '" + p.attribute +
+                              "'");
+    }
+  }
+
+  // Index-assisted evaluation: drive the scan from the most selective
+  // equality predicate, verify the rest per candidate row.
+  const std::vector<uint32_t>* candidates = nullptr;
+  static const std::vector<uint32_t> kEmpty;
+  for (const Predicate& p : query.predicates()) {
+    if (p.op != CompareOp::kEq || p.value.is_null()) continue;
+    size_t attr = schema().IndexOf(p.attribute).ValueOrDie();
+    auto it = index_[attr].find(p.value);
+    const std::vector<uint32_t>* rows = it == index_[attr].end() ? &kEmpty
+                                                                 : &it->second;
+    if (candidates == nullptr || rows->size() < candidates->size()) {
+      candidates = rows;
+    }
+  }
+
+  std::vector<Tuple> out;
+  auto verify_and_collect = [&](size_t row) -> Status {
+    AIMQ_ASSIGN_OR_RETURN(bool match,
+                          query.Matches(data_.schema(), data_.tuple(row)));
+    if (match) out.push_back(data_.tuple(row));
+    return Status::OK();
+  };
+  if (candidates != nullptr) {
+    for (uint32_t row : *candidates) {
+      AIMQ_RETURN_NOT_OK(verify_and_collect(row));
+    }
+  } else {
+    for (size_t row = 0; row < data_.NumTuples(); ++row) {
+      AIMQ_RETURN_NOT_OK(verify_and_collect(row));
+    }
+  }
+  ++stats_.queries_issued;
+  stats_.tuples_returned += out.size();
+  return out;
+}
+
+Result<std::vector<Value>> WebDatabase::FormValues(
+    const std::string& attribute) const {
+  AIMQ_ASSIGN_OR_RETURN(size_t index, schema().IndexOf(attribute));
+  if (schema().attribute(index).type != AttrType::kCategorical) {
+    return Status::InvalidArgument(
+        "form drop-downs exist only for categorical attributes; '" +
+        attribute + "' is numeric");
+  }
+  std::vector<Value> values = data_.DistinctValues(index);
+  std::sort(values.begin(), values.end());
+  return values;
+}
+
+}  // namespace aimq

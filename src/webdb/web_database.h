@@ -1,0 +1,91 @@
+// WebDatabase: the simulated autonomous Web database.
+//
+// The paper's setting (§3.1) constrains the source to (1) a boolean query
+// processing model and (2) no access to internals. This facade enforces that:
+// clients can only issue precise conjunctive selection queries and observe
+// the returned tuples. Probe accounting (queries issued, tuples shipped)
+// backs the efficiency experiments (Figures 6 and 7).
+
+#ifndef AIMQ_WEBDB_WEB_DATABASE_H_
+#define AIMQ_WEBDB_WEB_DATABASE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "query/selection_query.h"
+#include "relation/relation.h"
+#include "util/status.h"
+
+namespace aimq {
+
+/// Cumulative probe statistics for one client session.
+struct ProbeStats {
+  uint64_t queries_issued = 0;
+  uint64_t tuples_returned = 0;
+
+  void Reset() { *this = ProbeStats{}; }
+};
+
+/// \brief Boolean-query-only facade over a hidden relation.
+///
+/// Execute/FormValues are virtual so tests and adapters can substitute other
+/// transports (an HTTP form scraper, a flaky source for failure-injection
+/// tests) behind the same probing interface.
+class WebDatabase {
+ public:
+  /// Takes ownership of the hidden relation. \p name labels the source
+  /// ("CarDB", "CensusDB") in diagnostics.
+  WebDatabase(std::string name, Relation data)
+      : name_(std::move(name)), data_(std::move(data)) {
+    BuildIndexes();
+  }
+  virtual ~WebDatabase() = default;
+
+  const std::string& name() const { return name_; }
+
+  /// The projected schema is public (it is visible on the Web form).
+  const Schema& schema() const { return data_.schema(); }
+
+  /// Cardinality of the hidden relation. Exposed for experiment setup and
+  /// reporting only; AIMQ's algorithms do not consult it.
+  size_t NumTuples() const { return data_.NumTuples(); }
+
+  /// Executes a precise conjunctive query and returns the matching tuples.
+  /// Queries containing 'like' predicates are rejected: the source only
+  /// supports the boolean model.
+  virtual Result<std::vector<Tuple>> Execute(const SelectionQuery& query) const;
+
+  /// The option list a Web form exposes in the drop-down for a categorical
+  /// attribute (sorted, distinct, non-null). This is public metadata on real
+  /// form interfaces and is what the Data Collector uses to build spanning
+  /// queries. Errors for numeric or unknown attributes.
+  virtual Result<std::vector<Value>> FormValues(
+      const std::string& attribute) const;
+
+  /// Probe accounting across all Execute calls.
+  const ProbeStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+  /// Test/experiment backdoor: direct read access to the hidden relation.
+  /// Used only by evaluation harnesses that need ground truth (e.g. to pick
+  /// query tuples); never by the AIMQ pipeline itself.
+  const Relation& hidden_relation_for_testing() const { return data_; }
+
+ private:
+  // The source maintains per-attribute value indexes, as any backing RDBMS
+  // would; clients cannot observe them except through response times.
+  void BuildIndexes();
+
+  std::string name_;
+  Relation data_;
+  // index_[attr][value] -> ascending row ids.
+  std::vector<std::unordered_map<Value, std::vector<uint32_t>, ValueHash>>
+      index_;
+  mutable ProbeStats stats_;
+};
+
+}  // namespace aimq
+
+#endif  // AIMQ_WEBDB_WEB_DATABASE_H_

@@ -1,0 +1,84 @@
+#include "workload/query_log.h"
+
+#include "util/csv.h"
+
+namespace aimq {
+
+Status QueryLog::Record(const ImpreciseQuery& query) {
+  // Validate everything before mutating any state.
+  std::vector<size_t> bound;
+  for (const ImpreciseQuery::Binding& b : query.bindings()) {
+    AIMQ_ASSIGN_OR_RETURN(size_t attr, schema_->IndexOf(b.attribute));
+    bound.push_back(attr);
+  }
+  for (size_t attr : bound) ++bind_counts_[attr];
+  ++num_queries_;
+  return Status::OK();
+}
+
+std::vector<double> QueryLog::ImportanceWeights(double smoothing) const {
+  const size_t n = bind_counts_.size();
+  std::vector<double> weights(n, 0.0);
+  double total = 0.0;
+  for (size_t a = 0; a < n; ++a) {
+    weights[a] = static_cast<double>(bind_counts_[a]) + smoothing;
+    total += weights[a];
+  }
+  if (total <= 0.0) {
+    return std::vector<double>(n, n > 0 ? 1.0 / static_cast<double>(n) : 0.0);
+  }
+  for (double& w : weights) w /= total;
+  return weights;
+}
+
+Status QueryLog::Save(const std::string& path) const {
+  std::vector<std::vector<std::string>> rows{{"attribute", "bind_count"}};
+  for (size_t a = 0; a < bind_counts_.size(); ++a) {
+    rows.push_back({schema_->attribute(a).name,
+                    std::to_string(bind_counts_[a])});
+  }
+  rows.push_back({"#total_queries", std::to_string(num_queries_)});
+  return CsvWriteFile(path, rows);
+}
+
+Result<QueryLog> QueryLog::Load(const Schema* schema,
+                                const std::string& path) {
+  AIMQ_ASSIGN_OR_RETURN(auto rows, CsvReadFile(path));
+  QueryLog log(schema);
+  for (size_t r = 1; r < rows.size(); ++r) {
+    if (rows[r].size() != 2) {
+      return Status::InvalidArgument("malformed query log row");
+    }
+    if (rows[r][0] == "#total_queries") {
+      log.num_queries_ = static_cast<size_t>(std::stoull(rows[r][1]));
+      continue;
+    }
+    AIMQ_ASSIGN_OR_RETURN(size_t attr, schema->IndexOf(rows[r][0]));
+    log.bind_counts_[attr] =
+        static_cast<uint64_t>(std::stoull(rows[r][1]));
+  }
+  return log;
+}
+
+Result<std::vector<double>> BlendWeights(
+    const std::vector<double>& data_driven,
+    const std::vector<double>& query_driven, double alpha) {
+  if (data_driven.size() != query_driven.size()) {
+    return Status::InvalidArgument("weight vectors differ in size");
+  }
+  if (alpha < 0.0 || alpha > 1.0) {
+    return Status::InvalidArgument("alpha must be in [0,1]");
+  }
+  std::vector<double> blended(data_driven.size());
+  double total = 0.0;
+  for (size_t a = 0; a < blended.size(); ++a) {
+    blended[a] = (1.0 - alpha) * data_driven[a] + alpha * query_driven[a];
+    total += blended[a];
+  }
+  if (total > 0.0) {
+    for (double& w : blended) w /= total;
+  }
+  return blended;
+}
+
+}  // namespace aimq

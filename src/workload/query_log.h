@@ -1,0 +1,69 @@
+// Query-driven attribute importance — the complementary approach the paper
+// contrasts with in §7:
+//
+//   "Approaches for estimating attribute importance can be divided into two
+//    classes: (1) data driven [this paper's AIMQ] ... and (2) query driven —
+//    where the importance of an attribute is decided by the frequency with
+//    which it appears in a user query. ... query driven approaches are able
+//    to exploit user interest when the query workloads become available."
+//
+// QueryLog records the imprecise queries a deployment actually served; from
+// it, query-driven importance weights are the (smoothed) frequency with
+// which users constrain each attribute. BlendWeights combines both sources,
+// realizing the hybrid the paper sketches: data-driven to bootstrap a new
+// system, query-driven once workloads accumulate.
+
+#ifndef AIMQ_WORKLOAD_QUERY_LOG_H_
+#define AIMQ_WORKLOAD_QUERY_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "query/imprecise_query.h"
+#include "relation/schema.h"
+#include "util/status.h"
+
+namespace aimq {
+
+/// \brief Records served imprecise queries and summarizes attribute usage.
+class QueryLog {
+ public:
+  explicit QueryLog(const Schema* schema)
+      : schema_(schema), bind_counts_(schema->NumAttributes(), 0) {}
+
+  /// Appends one served query. Unknown attributes are rejected.
+  Status Record(const ImpreciseQuery& query);
+
+  /// Total queries recorded.
+  size_t NumQueries() const { return num_queries_; }
+
+  /// How many recorded queries bound the attribute at \p attr.
+  uint64_t BindCount(size_t attr) const { return bind_counts_[attr]; }
+
+  /// Query-driven importance weights: per-attribute bind frequency with
+  /// Laplace smoothing (\p smoothing pseudo-counts per attribute),
+  /// normalized to sum to 1. With an empty log this degenerates to uniform.
+  std::vector<double> ImportanceWeights(double smoothing = 1.0) const;
+
+  /// Serializes the log to CSV (one row per attribute: name, bind count,
+  /// plus a total row) and restores it.
+  Status Save(const std::string& path) const;
+  static Result<QueryLog> Load(const Schema* schema, const std::string& path);
+
+ private:
+  const Schema* schema_;
+  std::vector<uint64_t> bind_counts_;
+  size_t num_queries_ = 0;
+};
+
+/// Convex combination of data-driven (mined Wimp) and query-driven weights:
+/// (1−alpha)·data + alpha·query, renormalized. alpha = 0 is pure AIMQ,
+/// alpha = 1 is pure workload. Errors on size mismatch or alpha ∉ [0,1].
+Result<std::vector<double>> BlendWeights(const std::vector<double>& data_driven,
+                                         const std::vector<double>& query_driven,
+                                         double alpha);
+
+}  // namespace aimq
+
+#endif  // AIMQ_WORKLOAD_QUERY_LOG_H_

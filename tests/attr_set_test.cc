@@ -1,0 +1,94 @@
+#include "afd/attr_set.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace aimq {
+namespace {
+
+TEST(AttrSetTest, BitBasics) {
+  EXPECT_EQ(AttrBit(0), 1u);
+  EXPECT_EQ(AttrBit(3), 8u);
+  AttrSet s = AttrBit(0) | AttrBit(2);
+  EXPECT_TRUE(AttrSetContains(s, 0));
+  EXPECT_FALSE(AttrSetContains(s, 1));
+  EXPECT_TRUE(AttrSetContains(s, 2));
+  EXPECT_EQ(AttrSetSize(s), 2u);
+}
+
+TEST(AttrSetTest, SubsetRelation) {
+  AttrSet sub = AttrBit(1) | AttrBit(3);
+  AttrSet super = sub | AttrBit(5);
+  EXPECT_TRUE(AttrSetIsSubset(sub, super));
+  EXPECT_FALSE(AttrSetIsSubset(super, sub));
+  EXPECT_TRUE(AttrSetIsSubset(sub, sub));
+  EXPECT_TRUE(AttrSetIsSubset(0, sub));
+}
+
+TEST(AttrSetTest, Members) {
+  EXPECT_EQ(AttrSetMembers(AttrBit(4) | AttrBit(1)),
+            (std::vector<size_t>{1, 4}));
+  EXPECT_TRUE(AttrSetMembers(0).empty());
+}
+
+TEST(AttrSetTest, FullSet) {
+  EXPECT_EQ(FullAttrSet(0), 0u);
+  EXPECT_EQ(FullAttrSet(3), 0b111u);
+  EXPECT_EQ(AttrSetSize(FullAttrSet(7)), 7u);
+  EXPECT_EQ(FullAttrSet(32), ~AttrSet{0});
+}
+
+TEST(AttrSetTest, ToStringUsesSchemaNames) {
+  auto schema = Schema::Make({{"Make", AttrType::kCategorical},
+                              {"Model", AttrType::kCategorical},
+                              {"Price", AttrType::kNumeric}});
+  EXPECT_EQ(AttrSetToString(AttrBit(0) | AttrBit(2), *schema),
+            "{Make, Price}");
+  EXPECT_EQ(AttrSetToString(0, *schema), "{}");
+}
+
+TEST(SubsetsOfSizeTest, EnumeratesAllCombinations) {
+  AttrSet universe = FullAttrSet(5);
+  EXPECT_EQ(SubsetsOfSize(universe, 1).size(), 5u);
+  EXPECT_EQ(SubsetsOfSize(universe, 2).size(), 10u);
+  EXPECT_EQ(SubsetsOfSize(universe, 3).size(), 10u);
+  EXPECT_EQ(SubsetsOfSize(universe, 5).size(), 1u);
+  EXPECT_TRUE(SubsetsOfSize(universe, 6).empty());
+  EXPECT_TRUE(SubsetsOfSize(universe, 0).empty());
+}
+
+TEST(SubsetsOfSizeTest, AllSubsetsHaveRequestedSize) {
+  for (size_t k = 1; k <= 4; ++k) {
+    for (AttrSet s : SubsetsOfSize(FullAttrSet(6), k)) {
+      EXPECT_EQ(AttrSetSize(s), k);
+      EXPECT_TRUE(AttrSetIsSubset(s, FullAttrSet(6)));
+    }
+  }
+}
+
+TEST(SubsetsOfSizeTest, SubsetsAreDistinct) {
+  auto subsets = SubsetsOfSize(FullAttrSet(7), 3);
+  std::set<AttrSet> unique(subsets.begin(), subsets.end());
+  EXPECT_EQ(unique.size(), subsets.size());
+  EXPECT_EQ(unique.size(), 35u);
+}
+
+TEST(SubsetsOfSizeTest, WorksOnSparseUniverse) {
+  AttrSet universe = AttrBit(1) | AttrBit(4) | AttrBit(6);
+  auto pairs = SubsetsOfSize(universe, 2);
+  ASSERT_EQ(pairs.size(), 3u);
+  for (AttrSet p : pairs) {
+    EXPECT_TRUE(AttrSetIsSubset(p, universe));
+    EXPECT_EQ(AttrSetSize(p), 2u);
+  }
+}
+
+TEST(SubsetsOfSizeTest, SingletonUniverse) {
+  auto subsets = SubsetsOfSize(AttrBit(3), 1);
+  ASSERT_EQ(subsets.size(), 1u);
+  EXPECT_EQ(subsets[0], AttrBit(3));
+}
+
+}  // namespace
+}  // namespace aimq

@@ -1,0 +1,179 @@
+#include "ordering/attribute_ordering.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace aimq {
+namespace {
+
+Schema Abcd() {
+  return Schema::Make({{"A", AttrType::kCategorical},
+                       {"B", AttrType::kCategorical},
+                       {"C", AttrType::kCategorical},
+                       {"D", AttrType::kCategorical}})
+      .ValueOrDie();
+}
+
+// Hand-built dependency set: best key {A}; B strongly depends on A; C weakly;
+// D not at all.
+MinedDependencies HandDeps() {
+  MinedDependencies deps;
+  deps.num_attributes = 4;
+  deps.keys.push_back(AKey{AttrBit(0), 0.0, true});
+  deps.keys.push_back(AKey{AttrBit(0) | AttrBit(1), 0.0, false});
+  deps.afds.push_back(Afd{AttrBit(0), 1, 0.05});          // A → B (0.95)
+  deps.afds.push_back(Afd{AttrBit(0), 2, 0.40});          // A → C (0.60)
+  deps.afds.push_back(Afd{AttrBit(2), 1, 0.30});          // C → B (0.70)
+  return deps;
+}
+
+TEST(AttributeOrderingTest, PartitionsByBestKey) {
+  auto ordering = AttributeOrdering::Derive(Abcd(), HandDeps());
+  ASSERT_TRUE(ordering.ok());
+  EXPECT_EQ(ordering->best_key().attrs, AttrBit(0));
+  EXPECT_TRUE(ordering->importance()[0].deciding);
+  EXPECT_FALSE(ordering->importance()[1].deciding);
+  EXPECT_FALSE(ordering->importance()[2].deciding);
+  EXPECT_FALSE(ordering->importance()[3].deciding);
+}
+
+TEST(AttributeOrderingTest, DependentGroupRelaxedBeforeDeciding) {
+  auto ordering = AttributeOrdering::Derive(Abcd(), HandDeps());
+  ASSERT_TRUE(ordering.ok());
+  const auto& order = ordering->relaxation_order();
+  ASSERT_EQ(order.size(), 4u);
+  // A (the deciding attribute) must come last.
+  EXPECT_EQ(order.back(), 0u);
+}
+
+TEST(AttributeOrderingTest, WtDependsComputedFromAfdSupports) {
+  auto ordering = AttributeOrdering::Derive(Abcd(), HandDeps());
+  ASSERT_TRUE(ordering.ok());
+  // B: (1−0.05)/1 + (1−0.30)/1 = 1.65; C: (1−0.40)/1 = 0.6; D: 0.
+  EXPECT_NEAR(ordering->WtDepends(1), 1.65, 1e-12);
+  EXPECT_NEAR(ordering->WtDepends(2), 0.60, 1e-12);
+  EXPECT_DOUBLE_EQ(ordering->WtDepends(3), 0.0);
+}
+
+TEST(AttributeOrderingTest, DependentsSortedAscendingByWtDepends) {
+  auto ordering = AttributeOrdering::Derive(Abcd(), HandDeps());
+  ASSERT_TRUE(ordering.ok());
+  const auto& order = ordering->relaxation_order();
+  // Dependent group sorted ascending: D (0) < C (0.6) < B (1.65), then A.
+  EXPECT_EQ(order[0], 3u);
+  EXPECT_EQ(order[1], 2u);
+  EXPECT_EQ(order[2], 1u);
+  EXPECT_EQ(order[3], 0u);
+}
+
+TEST(AttributeOrderingTest, RelaxPositionsAreOneBased) {
+  auto ordering = AttributeOrdering::Derive(Abcd(), HandDeps());
+  ASSERT_TRUE(ordering.ok());
+  EXPECT_EQ(ordering->importance()[3].relax_position, 1u);
+  EXPECT_EQ(ordering->importance()[0].relax_position, 4u);
+}
+
+TEST(AttributeOrderingTest, WimpSumsToOne) {
+  auto ordering = AttributeOrdering::Derive(Abcd(), HandDeps());
+  ASSERT_TRUE(ordering.ok());
+  double sum = 0.0;
+  for (const auto& imp : ordering->importance()) sum += imp.wimp;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  for (const auto& imp : ordering->importance()) {
+    EXPECT_GE(imp.wimp, 0.0);
+  }
+}
+
+TEST(AttributeOrderingTest, LaterRelaxedDependentWithMoreWeightGetsMoreWimp) {
+  auto ordering = AttributeOrdering::Derive(Abcd(), HandDeps());
+  ASSERT_TRUE(ordering.ok());
+  // B is relaxed later and has more dependence weight than C, so B's Wimp
+  // must exceed C's.
+  EXPECT_GT(ordering->Wimp(1), ordering->Wimp(2));
+}
+
+TEST(AttributeOrderingTest, FailsWithoutKeys) {
+  MinedDependencies deps;
+  deps.num_attributes = 4;
+  auto ordering = AttributeOrdering::Derive(Abcd(), deps);
+  EXPECT_FALSE(ordering.ok());
+}
+
+TEST(AttributeOrderingTest, FailsOnAttributeCountMismatch) {
+  MinedDependencies deps = HandDeps();
+  deps.num_attributes = 3;
+  EXPECT_FALSE(AttributeOrdering::Derive(Abcd(), deps).ok());
+}
+
+TEST(AttributeOrderingTest, ZeroWeightGroupsFallBackToUniform) {
+  MinedDependencies deps;
+  deps.num_attributes = 4;
+  deps.keys.push_back(AKey{AttrBit(0) | AttrBit(1), 0.0, true});
+  // No AFDs at all.
+  auto ordering = AttributeOrdering::Derive(Abcd(), deps);
+  ASSERT_TRUE(ordering.ok());
+  double sum = 0.0;
+  for (const auto& imp : ordering->importance()) {
+    sum += imp.wimp;
+    EXPECT_GT(imp.wimp, 0.0);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(AttributeOrderingTest, FromPartsRoundTripsDerivedOrdering) {
+  auto derived = AttributeOrdering::Derive(Abcd(), HandDeps());
+  ASSERT_TRUE(derived.ok());
+  auto rebuilt = AttributeOrdering::FromParts(derived->importance(),
+                                              derived->best_key());
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(rebuilt->relaxation_order(), derived->relaxation_order());
+  for (size_t a = 0; a < 4; ++a) {
+    EXPECT_DOUBLE_EQ(rebuilt->Wimp(a), derived->Wimp(a));
+  }
+}
+
+TEST(AttributeOrderingTest, FromPartsValidatesPositions) {
+  auto derived = AttributeOrdering::Derive(Abcd(), HandDeps());
+  ASSERT_TRUE(derived.ok());
+  // Duplicate relax positions.
+  auto imps = derived->importance();
+  imps[0].relax_position = imps[1].relax_position;
+  EXPECT_FALSE(
+      AttributeOrdering::FromParts(imps, derived->best_key()).ok());
+  // Out-of-range position.
+  imps = derived->importance();
+  imps[2].relax_position = 99;
+  EXPECT_FALSE(
+      AttributeOrdering::FromParts(imps, derived->best_key()).ok());
+  // Mis-indexed attribute.
+  imps = derived->importance();
+  imps[3].attr = 0;
+  EXPECT_FALSE(
+      AttributeOrdering::FromParts(imps, derived->best_key()).ok());
+}
+
+TEST(AttributeOrderingTest, SetWimpValidatesAndNormalizes) {
+  auto ordering = AttributeOrdering::Derive(Abcd(), HandDeps());
+  ASSERT_TRUE(ordering.ok());
+  EXPECT_FALSE(ordering->SetWimp({0.5, 0.5}).ok());          // wrong size
+  EXPECT_FALSE(ordering->SetWimp({0.5, -0.1, 0.3, 0.3}).ok());  // negative
+  EXPECT_FALSE(ordering->SetWimp({0, 0, 0, 0}).ok());        // all zero
+  ASSERT_TRUE(ordering->SetWimp({2, 2, 2, 2}).ok());
+  for (size_t a = 0; a < 4; ++a) {
+    EXPECT_DOUBLE_EQ(ordering->Wimp(a), 0.25);
+  }
+}
+
+TEST(AttributeOrderingTest, ToStringMentionsEveryAttribute) {
+  auto ordering = AttributeOrdering::Derive(Abcd(), HandDeps());
+  ASSERT_TRUE(ordering.ok());
+  std::string s = ordering->ToString(Abcd());
+  for (const char* name : {"A", "B", "C", "D"}) {
+    EXPECT_NE(s.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(s.find("Best key"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aimq

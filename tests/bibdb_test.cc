@@ -1,0 +1,151 @@
+#include "datagen/bibdb.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+
+#include "core/knowledge.h"
+#include "webdb/web_database.h"
+
+namespace aimq {
+namespace {
+
+BibDbGenerator SmallGen() {
+  BibDbSpec spec;
+  spec.num_tuples = 8000;
+  spec.seed = 2;
+  return BibDbGenerator(spec);
+}
+
+TEST(BibDbTest, SchemaShape) {
+  Schema s = BibDbGenerator::MakeSchema();
+  ASSERT_EQ(s.NumAttributes(), 6u);
+  EXPECT_EQ(s.attribute(BibDbGenerator::kVenue).name, "Venue");
+  EXPECT_EQ(s.attribute(BibDbGenerator::kPages).type, AttrType::kNumeric);
+  EXPECT_EQ(s.attribute(BibDbGenerator::kCitations).type, AttrType::kNumeric);
+  EXPECT_EQ(s.attribute(BibDbGenerator::kYear).type, AttrType::kCategorical);
+}
+
+TEST(BibDbTest, GeneratesRequestedCountDeterministically) {
+  Relation a = SmallGen().Generate();
+  Relation b = SmallGen().Generate();
+  EXPECT_EQ(a.NumTuples(), 8000u);
+  EXPECT_EQ(a.tuples(), b.tuples());
+}
+
+TEST(BibDbTest, VenueDeterminesArea) {
+  Relation r = SmallGen().Generate();
+  std::unordered_map<std::string, std::string> venue_to_area;
+  for (const Tuple& t : r.tuples()) {
+    auto [it, inserted] = venue_to_area.emplace(
+        t.At(BibDbGenerator::kVenue).AsCat(),
+        t.At(BibDbGenerator::kArea).AsCat());
+    EXPECT_EQ(it->second, t.At(BibDbGenerator::kArea).AsCat());
+  }
+  EXPECT_GT(venue_to_area.size(), 20u);
+}
+
+TEST(BibDbTest, KeywordsMostlyMatchArea) {
+  // Keyword → Area is approximate: mostly consistent, with deliberate
+  // cross-disciplinary leakage.
+  Relation r = SmallGen().Generate();
+  size_t consistent = 0;
+  std::unordered_map<std::string, std::unordered_map<std::string, size_t>>
+      keyword_areas;
+  for (const Tuple& t : r.tuples()) {
+    ++keyword_areas[t.At(BibDbGenerator::kKeyword).AsCat()]
+                   [t.At(BibDbGenerator::kArea).AsCat()];
+  }
+  size_t majority_total = 0, total = 0;
+  for (const auto& [kw, areas] : keyword_areas) {
+    size_t best = 0, sum = 0;
+    for (const auto& [area, cnt] : areas) {
+      best = std::max(best, cnt);
+      sum += cnt;
+    }
+    majority_total += best;
+    total += sum;
+  }
+  (void)consistent;
+  double majority_rate = static_cast<double>(majority_total) / total;
+  EXPECT_GT(majority_rate, 0.55);
+  EXPECT_LT(majority_rate, 0.98);
+}
+
+TEST(BibDbTest, VenueFoundingYearsRespected) {
+  Relation r = SmallGen().Generate();
+  for (const Tuple& t : r.tuples()) {
+    if (t.At(BibDbGenerator::kVenue).AsCat() == "NSDI") {
+      EXPECT_GE(std::stoi(t.At(BibDbGenerator::kYear).AsCat()), 2004);
+    }
+    if (t.At(BibDbGenerator::kVenue).AsCat() == "JMLR") {
+      EXPECT_GE(std::stoi(t.At(BibDbGenerator::kYear).AsCat()), 2000);
+    }
+  }
+}
+
+TEST(BibDbTest, JournalsRunLongerPapers) {
+  Relation r = SmallGen().Generate();
+  double journal_sum = 0, conf_sum = 0;
+  size_t journal_n = 0, conf_n = 0;
+  for (const Tuple& t : r.tuples()) {
+    const std::string& venue = t.At(BibDbGenerator::kVenue).AsCat();
+    double pages = t.At(BibDbGenerator::kPages).AsNum();
+    if (venue == "TODS" || venue == "JACM" || venue == "TOG") {
+      journal_sum += pages;
+      ++journal_n;
+    } else if (venue == "SIGMOD" || venue == "STOC" || venue == "SIGGRAPH") {
+      conf_sum += pages;
+      ++conf_n;
+    }
+  }
+  ASSERT_GT(journal_n, 20u);
+  ASSERT_GT(conf_n, 100u);
+  EXPECT_GT(journal_sum / journal_n, 1.5 * (conf_sum / conf_n));
+}
+
+TEST(BibDbTest, OracleVenueSimilaritySane) {
+  BibDbGenerator gen = SmallGen();
+  EXPECT_DOUBLE_EQ(gen.VenueSimilarity("SIGMOD", "SIGMOD"), 1.0);
+  double sigmod_vldb = gen.VenueSimilarity("SIGMOD", "VLDB");
+  double sigmod_siggraph = gen.VenueSimilarity("SIGMOD", "SIGGRAPH");
+  EXPECT_GT(sigmod_vldb, sigmod_siggraph);
+  // IR bridges Databases and AI.
+  EXPECT_GT(gen.VenueSimilarity("SIGMOD", "SIGIR"),
+            gen.VenueSimilarity("SIGMOD", "SOSP"));
+  EXPECT_DOUBLE_EQ(gen.VenueSimilarity("SIGMOD", "Unknown"), 0.0);
+}
+
+TEST(BibDbTest, MinedVenueSimilarityRecoversAreas) {
+  // The domain-independence check: with zero bibliography-specific input,
+  // the mined similarity must put VLDB closer to SIGMOD than SIGGRAPH is.
+  BibDbSpec spec;
+  spec.num_tuples = 20000;
+  spec.seed = 6;
+  BibDbGenerator gen(spec);
+  WebDatabase db("BibDB", gen.Generate());
+  AimqOptions options;
+  options.collector.sample_size = 10000;
+  auto k = BuildKnowledge(db, options);
+  ASSERT_TRUE(k.ok()) << k.status().ToString();
+  double sigmod_vldb = k->vsim.VSim(BibDbGenerator::kVenue,
+                                    Value::Cat("SIGMOD"), Value::Cat("VLDB"));
+  double sigmod_siggraph = k->vsim.VSim(
+      BibDbGenerator::kVenue, Value::Cat("SIGMOD"), Value::Cat("SIGGRAPH"));
+  EXPECT_GT(sigmod_vldb, sigmod_siggraph);
+
+  // Venue → Area must be mined as a (near-)exact AFD.
+  bool found = false;
+  for (const Afd& afd : k->dependencies.afds) {
+    if (afd.lhs == AttrBit(BibDbGenerator::kVenue) &&
+        afd.rhs == BibDbGenerator::kArea) {
+      found = true;
+      EXPECT_LT(afd.error, 0.01);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace aimq

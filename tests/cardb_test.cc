@@ -1,0 +1,178 @@
+#include "datagen/cardb.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+namespace aimq {
+namespace {
+
+CarDbGenerator SmallGen() {
+  CarDbSpec spec;
+  spec.num_tuples = 5000;
+  spec.seed = 1;
+  return CarDbGenerator(spec);
+}
+
+TEST(CarDbTest, SchemaMatchesPaper) {
+  Schema s = CarDbGenerator::MakeSchema();
+  ASSERT_EQ(s.NumAttributes(), 7u);
+  EXPECT_EQ(s.attribute(CarDbGenerator::kMake).name, "Make");
+  EXPECT_EQ(s.attribute(CarDbGenerator::kModel).name, "Model");
+  EXPECT_EQ(s.attribute(CarDbGenerator::kYear).name, "Year");
+  EXPECT_EQ(s.attribute(CarDbGenerator::kPrice).name, "Price");
+  EXPECT_EQ(s.attribute(CarDbGenerator::kMileage).name, "Mileage");
+  // Paper §6.1: Make, Model, Year, Location, Color are categorical.
+  EXPECT_EQ(s.attribute(CarDbGenerator::kYear).type, AttrType::kCategorical);
+  EXPECT_EQ(s.attribute(CarDbGenerator::kPrice).type, AttrType::kNumeric);
+  EXPECT_EQ(s.attribute(CarDbGenerator::kMileage).type, AttrType::kNumeric);
+}
+
+TEST(CarDbTest, GeneratesRequestedCount) {
+  Relation r = SmallGen().Generate();
+  EXPECT_EQ(r.NumTuples(), 5000u);
+}
+
+TEST(CarDbTest, DeterministicPerSeed) {
+  CarDbSpec spec;
+  spec.num_tuples = 500;
+  spec.seed = 42;
+  Relation a = CarDbGenerator(spec).Generate();
+  Relation b = CarDbGenerator(spec).Generate();
+  EXPECT_EQ(a.tuples(), b.tuples());
+  spec.seed = 43;
+  Relation c = CarDbGenerator(spec).Generate();
+  EXPECT_NE(a.tuples(), c.tuples());
+}
+
+TEST(CarDbTest, ModelFunctionallyDeterminesMake) {
+  CarDbGenerator gen = SmallGen();
+  Relation r = gen.Generate();
+  std::unordered_map<std::string, std::string> model_to_make;
+  for (const Tuple& t : r.tuples()) {
+    const std::string& model = t.At(CarDbGenerator::kModel).AsCat();
+    const std::string& make = t.At(CarDbGenerator::kMake).AsCat();
+    auto [it, inserted] = model_to_make.emplace(model, make);
+    EXPECT_EQ(it->second, make) << "Model→Make violated for " << model;
+  }
+  EXPECT_GT(model_to_make.size(), 50u);
+}
+
+TEST(CarDbTest, YearsWithinSpecRange) {
+  CarDbSpec spec;
+  spec.num_tuples = 2000;
+  spec.min_year = 1990;
+  spec.max_year = 2003;
+  Relation r = CarDbGenerator(spec).Generate();
+  for (const Tuple& t : r.tuples()) {
+    int year = std::stoi(t.At(CarDbGenerator::kYear).AsCat());
+    EXPECT_GE(year, 1990);
+    EXPECT_LE(year, 2003);
+  }
+}
+
+TEST(CarDbTest, PricesPositiveAndRounded) {
+  Relation r = SmallGen().Generate();
+  for (const Tuple& t : r.tuples()) {
+    double price = t.At(CarDbGenerator::kPrice).AsNum();
+    EXPECT_GE(price, 500.0);
+    EXPECT_DOUBLE_EQ(price, std::round(price / 100.0) * 100.0);
+    double miles = t.At(CarDbGenerator::kMileage).AsNum();
+    EXPECT_GE(miles, 1000.0);
+    EXPECT_DOUBLE_EQ(miles, std::round(miles / 500.0) * 500.0);
+  }
+}
+
+TEST(CarDbTest, OlderCarsCheaperOnAverage) {
+  Relation r = SmallGen().Generate();
+  double old_sum = 0, new_sum = 0;
+  size_t old_n = 0, new_n = 0;
+  for (const Tuple& t : r.tuples()) {
+    int year = std::stoi(t.At(CarDbGenerator::kYear).AsCat());
+    double price = t.At(CarDbGenerator::kPrice).AsNum();
+    if (year <= 1995) {
+      old_sum += price;
+      ++old_n;
+    } else if (year >= 2002) {
+      new_sum += price;
+      ++new_n;
+    }
+  }
+  ASSERT_GT(old_n, 50u);
+  ASSERT_GT(new_n, 50u);
+  EXPECT_LT(old_sum / old_n, 0.5 * (new_sum / new_n));
+}
+
+TEST(CarDbTest, OlderCarsHaveMoreMiles) {
+  Relation r = SmallGen().Generate();
+  double old_sum = 0, new_sum = 0;
+  size_t old_n = 0, new_n = 0;
+  for (const Tuple& t : r.tuples()) {
+    int year = std::stoi(t.At(CarDbGenerator::kYear).AsCat());
+    double miles = t.At(CarDbGenerator::kMileage).AsNum();
+    if (year <= 1995) {
+      old_sum += miles;
+      ++old_n;
+    } else if (year >= 2002) {
+      new_sum += miles;
+      ++new_n;
+    }
+  }
+  EXPECT_GT(old_sum / old_n, 2.0 * (new_sum / new_n));
+}
+
+TEST(CarDbTest, CatalogCoversPaperTable3Models) {
+  CarDbGenerator gen = SmallGen();
+  std::set<std::string> models;
+  std::set<std::string> makes;
+  for (const CarModelInfo& m : gen.catalog()) {
+    models.insert(m.model);
+    makes.insert(m.make);
+  }
+  // Values the paper's Table 3 and Figure 5 mention.
+  for (const char* m : {"Bronco", "Aerostar", "F-350", "Econoline Van"}) {
+    EXPECT_TRUE(models.count(m)) << m;
+  }
+  for (const char* m : {"Kia", "Hyundai", "Isuzu", "Subaru", "Ford",
+                        "Chevrolet", "Toyota", "Honda", "BMW", "Nissan",
+                        "Dodge"}) {
+    EXPECT_TRUE(makes.count(m)) << m;
+  }
+}
+
+TEST(CarDbTest, ModelSimilarityOracleSaneOrdering) {
+  CarDbGenerator gen = SmallGen();
+  EXPECT_DOUBLE_EQ(gen.ModelSimilarity("Camry", "Camry"), 1.0);
+  double camry_accord = gen.ModelSimilarity("Camry", "Accord");
+  double camry_f350 = gen.ModelSimilarity("Camry", "F-350");
+  EXPECT_GT(camry_accord, camry_f350);
+  EXPECT_DOUBLE_EQ(gen.ModelSimilarity("Camry", "NotACar"), 0.0);
+  // Symmetry.
+  EXPECT_DOUBLE_EQ(gen.ModelSimilarity("Camry", "Accord"),
+                   gen.ModelSimilarity("Accord", "Camry"));
+}
+
+TEST(CarDbTest, MakeSimilarityOracleKiaHyundai) {
+  CarDbGenerator gen = SmallGen();
+  // Paper Table 3: Kia's most similar make is Hyundai.
+  double kia_hyundai = gen.MakeSimilarity("Kia", "Hyundai");
+  double kia_bmw = gen.MakeSimilarity("Kia", "BMW");
+  EXPECT_GT(kia_hyundai, kia_bmw);
+  EXPECT_DOUBLE_EQ(gen.MakeSimilarity("Kia", "Kia"), 1.0);
+}
+
+TEST(CarDbTest, TupleSimilarityOracleBounds) {
+  CarDbGenerator gen = SmallGen();
+  Relation r = gen.Generate();
+  for (size_t i = 0; i < 50; ++i) {
+    double s = gen.TupleSimilarity(r.tuple(i), r.tuple(i + 50));
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+  EXPECT_NEAR(gen.TupleSimilarity(r.tuple(0), r.tuple(0)), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace aimq

@@ -1,0 +1,142 @@
+#include "datagen/censusdb.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace aimq {
+namespace {
+
+CensusDataset SmallCensus() {
+  CensusDbSpec spec;
+  spec.num_tuples = 8000;
+  spec.seed = 4;
+  return CensusDbGenerator(spec).Generate();
+}
+
+TEST(CensusDbTest, SchemaMatchesPaper) {
+  Schema s = CensusDbGenerator::MakeSchema();
+  ASSERT_EQ(s.NumAttributes(), 13u);
+  EXPECT_EQ(s.attribute(CensusDbGenerator::kAge).name, "Age");
+  EXPECT_EQ(s.attribute(CensusDbGenerator::kAge).type, AttrType::kNumeric);
+  EXPECT_EQ(s.attribute(CensusDbGenerator::kEducation).type,
+            AttrType::kCategorical);
+  EXPECT_EQ(s.attribute(CensusDbGenerator::kDemographicWeight).name,
+            "Demographic-weight");
+  EXPECT_EQ(s.attribute(CensusDbGenerator::kHoursPerWeek).type,
+            AttrType::kNumeric);
+  EXPECT_EQ(s.attribute(CensusDbGenerator::kNativeCountry).name,
+            "Native-Country");
+}
+
+TEST(CensusDbTest, GeneratesRequestedCountWithLabels) {
+  CensusDataset d = SmallCensus();
+  EXPECT_EQ(d.relation.NumTuples(), 8000u);
+  EXPECT_EQ(d.labels.size(), 8000u);
+  for (int l : d.labels) {
+    EXPECT_TRUE(l == 0 || l == 1);
+  }
+}
+
+TEST(CensusDbTest, PositiveRateRealistic) {
+  // The Adult dataset has ~24% ">50K"; our planted structure should land in
+  // a similar band.
+  CensusDataset d = SmallCensus();
+  EXPECT_GT(d.PositiveRate(), 0.10);
+  EXPECT_LT(d.PositiveRate(), 0.45);
+}
+
+TEST(CensusDbTest, DeterministicPerSeed) {
+  CensusDbSpec spec;
+  spec.num_tuples = 500;
+  spec.seed = 7;
+  CensusDataset a = CensusDbGenerator(spec).Generate();
+  CensusDataset b = CensusDbGenerator(spec).Generate();
+  EXPECT_EQ(a.relation.tuples(), b.relation.tuples());
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(CensusDbTest, AgesInRange) {
+  CensusDataset d = SmallCensus();
+  for (const Tuple& t : d.relation.tuples()) {
+    double age = t.At(CensusDbGenerator::kAge).AsNum();
+    EXPECT_GE(age, 17.0);
+    EXPECT_LE(age, 90.0);
+  }
+}
+
+TEST(CensusDbTest, HoursSpikeAtForty) {
+  CensusDataset d = SmallCensus();
+  size_t at_40 = 0;
+  for (const Tuple& t : d.relation.tuples()) {
+    at_40 += (t.At(CensusDbGenerator::kHoursPerWeek).AsNum() == 40.0);
+  }
+  EXPECT_GT(at_40, d.relation.NumTuples() / 3);
+}
+
+TEST(CensusDbTest, MaritalStatusDeterminesSpouseRelationship) {
+  CensusDataset d = SmallCensus();
+  for (const Tuple& t : d.relation.tuples()) {
+    const std::string& marital =
+        t.At(CensusDbGenerator::kMaritalStatus).AsCat();
+    const std::string& rel = t.At(CensusDbGenerator::kRelationship).AsCat();
+    if (rel == "Husband" || rel == "Wife") {
+      EXPECT_EQ(marital, "Married-civ-spouse");
+    }
+  }
+}
+
+TEST(CensusDbTest, EducationCorrelatesWithIncome) {
+  CensusDataset d = SmallCensus();
+  size_t deg_pos = 0, deg_n = 0, low_pos = 0, low_n = 0;
+  for (size_t i = 0; i < d.relation.NumTuples(); ++i) {
+    const std::string& edu =
+        d.relation.tuple(i).At(CensusDbGenerator::kEducation).AsCat();
+    if (edu == "Masters" || edu == "Doctorate" || edu == "Prof-school") {
+      deg_pos += d.labels[i];
+      ++deg_n;
+    } else if (edu == "HS-grad" || edu == "11th" || edu == "9th") {
+      low_pos += d.labels[i];
+      ++low_n;
+    }
+  }
+  ASSERT_GT(deg_n, 100u);
+  ASSERT_GT(low_n, 100u);
+  EXPECT_GT(static_cast<double>(deg_pos) / deg_n,
+            2.0 * static_cast<double>(low_pos) / low_n);
+}
+
+TEST(CensusDbTest, DemographicWeightHighCardinality) {
+  CensusDataset d = SmallCensus();
+  std::set<double> distinct;
+  for (const Tuple& t : d.relation.tuples()) {
+    distinct.insert(t.At(CensusDbGenerator::kDemographicWeight).AsNum());
+  }
+  // fnlwgt-like: most values unique.
+  EXPECT_GT(distinct.size(), d.relation.NumTuples() / 2);
+}
+
+TEST(CensusDbTest, CapitalGainMostlyZero) {
+  CensusDataset d = SmallCensus();
+  size_t zero = 0;
+  for (const Tuple& t : d.relation.tuples()) {
+    zero += (t.At(CensusDbGenerator::kCapitalGain).AsNum() == 0.0);
+  }
+  EXPECT_GT(zero, d.relation.NumTuples() * 8 / 10);
+}
+
+TEST(CensusDbTest, OccupationRespectsEducationFloor) {
+  CensusDataset d = SmallCensus();
+  for (const Tuple& t : d.relation.tuples()) {
+    if (t.At(CensusDbGenerator::kOccupation).AsCat() == "Prof-specialty") {
+      const std::string& edu = t.At(CensusDbGenerator::kEducation).AsCat();
+      EXPECT_TRUE(edu == "Bachelors" || edu == "Masters" ||
+                  edu == "Prof-school" || edu == "Doctorate")
+          << edu;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aimq

@@ -1,0 +1,94 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <unistd.h>
+
+namespace aimq {
+namespace {
+
+TEST(CsvEncodeTest, PlainFields) {
+  EXPECT_EQ(CsvEncodeRow({"a", "b", "c"}), "a,b,c");
+}
+
+TEST(CsvEncodeTest, QuotesSpecialFields) {
+  EXPECT_EQ(CsvEncodeRow({"a,b", "c"}), "\"a,b\",c");
+  EXPECT_EQ(CsvEncodeRow({"say \"hi\""}), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEncodeRow({"line\nbreak"}), "\"line\nbreak\"");
+}
+
+TEST(CsvDecodeTest, PlainFields) {
+  auto r = CsvDecodeRow("a,b,c");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(CsvDecodeTest, QuotedFields) {
+  auto r = CsvDecodeRow("\"a,b\",\"say \"\"hi\"\"\"");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<std::string>{"a,b", "say \"hi\""}));
+}
+
+TEST(CsvDecodeTest, EmptyFields) {
+  auto r = CsvDecodeRow(",,");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(CsvDecodeTest, UnbalancedQuotesError) {
+  EXPECT_FALSE(CsvDecodeRow("\"oops").ok());
+}
+
+TEST(CsvRoundTripTest, EncodeDecodeIdentity) {
+  std::vector<std::string> fields{"plain", "with,comma", "with\"quote",
+                                  "", "multi\nline"};
+  auto decoded = CsvDecodeRow(CsvEncodeRow(fields));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, fields);
+}
+
+class CsvFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("aimq_csv_test_" + std::to_string(::getpid()) + ".csv");
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::filesystem::path path_;
+};
+
+TEST_F(CsvFileTest, WriteReadRoundTrip) {
+  std::vector<std::vector<std::string>> rows{
+      {"Make", "Model"},
+      {"Toyota", "Camry"},
+      {"Ford", "F-150"},
+      {"weird", "has,comma"},
+  };
+  ASSERT_TRUE(CsvWriteFile(path_.string(), rows).ok());
+  auto read = CsvReadFile(path_.string());
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, rows);
+}
+
+TEST_F(CsvFileTest, QuotedNewlineRoundTrip) {
+  std::vector<std::vector<std::string>> rows{{"a\nb", "c"}};
+  ASSERT_TRUE(CsvWriteFile(path_.string(), rows).ok());
+  auto read = CsvReadFile(path_.string());
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, rows);
+}
+
+TEST_F(CsvFileTest, MissingFileErrors) {
+  auto read = CsvReadFile("/nonexistent/dir/file.csv");
+  EXPECT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(CsvFileTest, WriteToBadPathErrors) {
+  EXPECT_FALSE(CsvWriteFile("/nonexistent/dir/file.csv", {{"a"}}).ok());
+}
+
+}  // namespace
+}  // namespace aimq

@@ -1,0 +1,142 @@
+#include "webdb/data_collector.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace aimq {
+namespace {
+
+Schema TestSchema() {
+  return Schema::Make({{"Make", AttrType::kCategorical},
+                       {"Color", AttrType::kCategorical},
+                       {"Price", AttrType::kNumeric}})
+      .ValueOrDie();
+}
+
+WebDatabase MakeDb(size_t n) {
+  Relation r(TestSchema());
+  const char* makes[] = {"Toyota", "Honda", "Ford", "Kia"};
+  const char* colors[] = {"Red", "Blue"};
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(r.Append(Tuple({Value::Cat(makes[i % 4]),
+                                Value::Cat(colors[i % 2]),
+                                Value::Num(static_cast<double>(i))}))
+                    .ok());
+  }
+  return WebDatabase("TestDB", std::move(r));
+}
+
+TEST(DataCollectorTest, SpansWholeSourceWithoutSampling) {
+  WebDatabase db = MakeDb(40);
+  DataCollectorOptions opts;
+  DataCollector collector(opts);
+  auto sample = collector.Collect(db);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample->NumTuples(), 40u);
+}
+
+TEST(DataCollectorTest, PicksSmallestDropDown) {
+  WebDatabase db = MakeDb(40);
+  DataCollector collector(DataCollectorOptions{});
+  ASSERT_TRUE(collector.Collect(db).ok());
+  // Color has 2 values, Make has 4: Color needs fewer spanning probes.
+  EXPECT_EQ(collector.last_spanning_attribute(), "Color");
+  EXPECT_EQ(collector.last_spanning_values().size(), 2u);
+}
+
+TEST(DataCollectorTest, HonorsExplicitSpanningAttribute) {
+  WebDatabase db = MakeDb(40);
+  DataCollectorOptions opts;
+  opts.spanning_attribute = "Make";
+  DataCollector collector(opts);
+  auto sample = collector.Collect(db);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(collector.last_spanning_attribute(), "Make");
+  EXPECT_EQ(collector.last_spanning_values().size(), 4u);
+  EXPECT_EQ(sample->NumTuples(), 40u);
+  EXPECT_EQ(db.stats().queries_issued, 4u);
+}
+
+TEST(DataCollectorTest, SamplesDownToRequestedSize) {
+  WebDatabase db = MakeDb(100);
+  DataCollectorOptions opts;
+  opts.sample_size = 25;
+  DataCollector collector(opts);
+  auto sample = collector.Collect(db);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample->NumTuples(), 25u);
+  // Sampled tuples are distinct rows of the source (Price is unique here).
+  std::unordered_set<double> seen;
+  for (const Tuple& t : sample->tuples()) {
+    EXPECT_TRUE(seen.insert(t.At(2).AsNum()).second);
+  }
+}
+
+TEST(DataCollectorTest, SampleSizeLargerThanSourceKeepsAll) {
+  WebDatabase db = MakeDb(10);
+  DataCollectorOptions opts;
+  opts.sample_size = 1000;
+  DataCollector collector(opts);
+  auto sample = collector.Collect(db);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample->NumTuples(), 10u);
+}
+
+TEST(DataCollectorTest, DeterministicPerSeed) {
+  WebDatabase db = MakeDb(100);
+  DataCollectorOptions opts;
+  opts.sample_size = 20;
+  opts.seed = 3;
+  auto a = DataCollector(opts).Collect(db);
+  auto b = DataCollector(opts).Collect(db);
+  opts.seed = 4;
+  auto c = DataCollector(opts).Collect(db);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(a->tuples(), b->tuples());
+  EXPECT_NE(a->tuples(), c->tuples());
+}
+
+TEST(DataCollectorTest, ErrorsWithoutCategoricalAttribute) {
+  auto schema = Schema::Make({{"Price", AttrType::kNumeric}});
+  Relation r(*schema);
+  ASSERT_TRUE(r.Append(Tuple({Value::Num(1)})).ok());
+  WebDatabase db("NumOnly", std::move(r));
+  DataCollector collector(DataCollectorOptions{});
+  auto sample = collector.Collect(db);
+  EXPECT_FALSE(sample.ok());
+  EXPECT_EQ(sample.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DataCollectorTest, ProbeBudgetLimitsQueries) {
+  WebDatabase db = MakeDb(40);
+  DataCollectorOptions opts;
+  opts.spanning_attribute = "Make";  // 4 spanning values
+  opts.max_queries = 2;
+  DataCollector collector(opts);
+  auto sample = collector.Collect(db);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(db.stats().queries_issued, 2u);
+  // Partial span: only the tuples of the first two spanning values.
+  EXPECT_EQ(sample->NumTuples(), 20u);
+}
+
+TEST(DataCollectorTest, ZeroBudgetErrors) {
+  WebDatabase db = MakeDb(10);
+  DataCollectorOptions opts;
+  opts.spanning_attribute = "Make";
+  opts.max_queries = 0;  // 0 = unlimited, must still work
+  auto full = DataCollector(opts).Collect(db);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->NumTuples(), 10u);
+}
+
+TEST(DataCollectorTest, UnknownSpanningAttributeErrors) {
+  WebDatabase db = MakeDb(10);
+  DataCollectorOptions opts;
+  opts.spanning_attribute = "Bogus";
+  EXPECT_FALSE(DataCollector(opts).Collect(db).ok());
+}
+
+}  // namespace
+}  // namespace aimq

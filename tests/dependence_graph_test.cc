@@ -1,0 +1,117 @@
+#include "ordering/dependence_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace aimq {
+namespace {
+
+Schema Abcd() {
+  return Schema::Make({{"A", AttrType::kCategorical},
+                       {"B", AttrType::kCategorical},
+                       {"C", AttrType::kCategorical},
+                       {"D", AttrType::kCategorical}})
+      .ValueOrDie();
+}
+
+MinedDependencies AcyclicDeps() {
+  MinedDependencies deps;
+  deps.num_attributes = 4;
+  deps.afds.push_back(Afd{AttrBit(0), 1, 0.1});              // A → B (0.9)
+  deps.afds.push_back(Afd{AttrBit(0) | AttrBit(1), 2, 0.2}); // AB → C (0.8)
+  return deps;
+}
+
+MinedDependencies CyclicDeps() {
+  MinedDependencies deps = AcyclicDeps();
+  deps.afds.push_back(Afd{AttrBit(2), 0, 0.3});  // C → A closes a cycle
+  return deps;
+}
+
+TEST(DependenceGraphTest, EdgeWeightsApportionAfdSupport) {
+  DependenceGraph g =
+      DependenceGraph::FromDependencies(Abcd(), AcyclicDeps());
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 1), 0.9);       // A → B
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 2), 0.4);       // half of AB → C
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(1, 2), 0.4);       // half of AB → C
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(1, 0), 0.0);
+  EXPECT_NEAR(g.TotalWeight(), 0.9 + 0.8, 1e-12);
+}
+
+TEST(DependenceGraphTest, CycleDetection) {
+  EXPECT_FALSE(
+      DependenceGraph::FromDependencies(Abcd(), AcyclicDeps()).HasCycle());
+  EXPECT_TRUE(
+      DependenceGraph::FromDependencies(Abcd(), CyclicDeps()).HasCycle());
+}
+
+TEST(DependenceGraphTest, SccSummary) {
+  DependenceGraph acyclic =
+      DependenceGraph::FromDependencies(Abcd(), AcyclicDeps());
+  EXPECT_EQ(acyclic.Sccs().num_nontrivial, 0u);
+
+  DependenceGraph cyclic =
+      DependenceGraph::FromDependencies(Abcd(), CyclicDeps());
+  auto summary = cyclic.Sccs();
+  EXPECT_EQ(summary.num_nontrivial, 1u);
+  EXPECT_EQ(summary.largest, 3u);  // A, B?... A→B, AB→C, C→A: A,C strongly
+                                   // connected; B in the cycle via A→B? B→C
+                                   // edge exists, C→A, A→B: yes {A,B,C}.
+}
+
+TEST(DependenceGraphTest, TopoOrderOnDagDropsNothing) {
+  DependenceGraph g =
+      DependenceGraph::FromDependencies(Abcd(), AcyclicDeps());
+  auto topo = g.GreedyTopologicalOrder();
+  EXPECT_DOUBLE_EQ(topo.dropped_weight, 0.0);
+  ASSERT_EQ(topo.relax_order.size(), 4u);
+  // A decides the most, so it must be relaxed last; C and D decide nothing.
+  EXPECT_EQ(topo.relax_order.back(), 0u);
+  auto pos = [&](size_t attr) {
+    return std::find(topo.relax_order.begin(), topo.relax_order.end(), attr) -
+           topo.relax_order.begin();
+  };
+  EXPECT_LT(pos(2), pos(1));  // C relaxed before B (B decides C)
+}
+
+TEST(DependenceGraphTest, TopoOrderOnCycleDropsWeight) {
+  DependenceGraph g =
+      DependenceGraph::FromDependencies(Abcd(), CyclicDeps());
+  auto topo = g.GreedyTopologicalOrder();
+  EXPECT_GT(topo.dropped_weight, 0.0);
+  EXPECT_GT(topo.dropped_fraction, 0.0);
+  EXPECT_LT(topo.dropped_fraction, 1.0);
+  EXPECT_EQ(topo.relax_order.size(), 4u);
+}
+
+TEST(DependenceGraphTest, EmptyGraphBehaves) {
+  MinedDependencies deps;
+  deps.num_attributes = 4;
+  DependenceGraph g = DependenceGraph::FromDependencies(Abcd(), deps);
+  EXPECT_FALSE(g.HasCycle());
+  EXPECT_DOUBLE_EQ(g.TotalWeight(), 0.0);
+  auto topo = g.GreedyTopologicalOrder();
+  EXPECT_EQ(topo.relax_order.size(), 4u);
+  EXPECT_DOUBLE_EQ(topo.dropped_fraction, 0.0);
+}
+
+TEST(DependenceGraphTest, DotContainsNodesAndEdges) {
+  DependenceGraph g =
+      DependenceGraph::FromDependencies(Abcd(), AcyclicDeps());
+  std::string dot = g.ToDot(Abcd());
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"A\" -> \"B\""), std::string::npos);
+  EXPECT_EQ(dot.find("\"B\" -> \"A\""), std::string::npos);
+}
+
+TEST(DependenceGraphTest, DotMinWeightFiltersEdges) {
+  DependenceGraph g =
+      DependenceGraph::FromDependencies(Abcd(), AcyclicDeps());
+  std::string dot = g.ToDot(Abcd(), 0.5);
+  EXPECT_NE(dot.find("\"A\" -> \"B\""), std::string::npos);   // 0.9 > 0.5
+  EXPECT_EQ(dot.find("\"A\" -> \"C\""), std::string::npos);   // 0.4 <= 0.5
+}
+
+}  // namespace
+}  // namespace aimq

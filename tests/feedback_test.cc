@@ -1,0 +1,139 @@
+#include "core/feedback.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <numeric>
+
+#include "afd/afd.h"
+#include "ordering/attribute_ordering.h"
+#include "similarity/value_similarity.h"
+
+namespace aimq {
+namespace {
+
+Schema TwoAttr() {
+  return Schema::Make({{"Model", AttrType::kCategorical},
+                       {"Price", AttrType::kNumeric}})
+      .ValueOrDie();
+}
+
+// Fixture with an empty similarity model: categorical AttributeSim is 1 on
+// equality, 0 otherwise — convenient for controlled feedback scenarios.
+class FeedbackTest : public ::testing::Test {
+ protected:
+  FeedbackTest() : schema_(TwoAttr()) {
+    MinedDependencies deps;
+    deps.num_attributes = 2;
+    deps.keys.push_back(AKey{AttrBit(0) | AttrBit(1), 0.0, true});
+    ordering_ = AttributeOrdering::Derive(schema_, deps).TakeValue();
+    sim_ = std::make_unique<SimilarityFunction>(&schema_, &ordering_, &vsim_);
+  }
+
+  Tuple T(const char* model, double price) {
+    return Tuple({Value::Cat(model), Value::Num(price)});
+  }
+
+  Schema schema_;
+  AttributeOrdering ordering_;
+  ValueSimilarityModel vsim_;
+  std::unique_ptr<SimilarityFunction> sim_;
+};
+
+TEST_F(FeedbackTest, NoViolationsLeaveWeightsUnchanged) {
+  RelevanceFeedback feedback;
+  Tuple q = T("Camry", 10000);
+  // User agrees with the system order.
+  std::vector<JudgedAnswer> judged{{T("Camry", 10000), 1},
+                                   {T("Camry", 12000), 2}};
+  auto updated = feedback.Round(*sim_, schema_, q, judged, {0.5, 0.5});
+  ASSERT_TRUE(updated.ok());
+  EXPECT_DOUBLE_EQ((*updated)[0], 0.5);
+  EXPECT_DOUBLE_EQ((*updated)[1], 0.5);
+}
+
+TEST_F(FeedbackTest, ViolationShiftsWeightTowardAgreeingAttribute) {
+  RelevanceFeedback feedback;
+  Tuple q = T("Camry", 10000);
+  // System put the model-match first; the user preferred the price-match.
+  // Price similarity argues for the user's choice, so Price gains weight.
+  std::vector<JudgedAnswer> judged{{T("Camry", 30000), 2},
+                                   {T("Accord", 10000), 1}};
+  auto updated = feedback.Round(*sim_, schema_, q, judged, {0.5, 0.5});
+  ASSERT_TRUE(updated.ok());
+  EXPECT_GT((*updated)[1], 0.5);
+  EXPECT_LT((*updated)[0], 0.5);
+  EXPECT_NEAR((*updated)[0] + (*updated)[1], 1.0, 1e-12);
+}
+
+TEST_F(FeedbackTest, IrrelevantAnswerCountsAsWorstRank) {
+  RelevanceFeedback feedback;
+  Tuple q = T("Camry", 10000);
+  // First answer judged irrelevant (rank 0): the user prefers the second,
+  // which matches on price.
+  std::vector<JudgedAnswer> judged{{T("Camry", 30000), 0},
+                                   {T("Accord", 10000), 1}};
+  EXPECT_EQ(RelevanceFeedback::CountViolations(judged), 1u);
+  auto updated = feedback.Round(*sim_, schema_, q, judged, {0.5, 0.5});
+  ASSERT_TRUE(updated.ok());
+  EXPECT_GT((*updated)[1], 0.5);
+}
+
+TEST_F(FeedbackTest, RepeatedRoundsConverge) {
+  RelevanceFeedback feedback;
+  Tuple q = T("Camry", 10000);
+  std::vector<JudgedAnswer> judged{{T("Camry", 30000), 2},
+                                   {T("Accord", 10000), 1}};
+  std::vector<double> w{0.5, 0.5};
+  for (int round = 0; round < 30; ++round) {
+    auto updated = feedback.Round(*sim_, schema_, q, judged, w);
+    ASSERT_TRUE(updated.ok());
+    w = updated.TakeValue();
+  }
+  // Price dominates but Model keeps its floor.
+  EXPECT_GT(w[1], 0.9);
+  EXPECT_GT(w[0], 0.0);
+  EXPECT_NEAR(w[0] + w[1], 1.0, 1e-12);
+}
+
+TEST_F(FeedbackTest, WeightsStayNormalizedAndPositive) {
+  RelevanceFeedback feedback;
+  Tuple q = T("Camry", 10000);
+  std::vector<JudgedAnswer> judged{{T("Viper", 30000), 3},
+                                   {T("Accord", 10000), 1},
+                                   {T("Camry", 60000), 2}};
+  auto updated = feedback.Round(*sim_, schema_, q, judged, {0.99, 0.01});
+  ASSERT_TRUE(updated.ok());
+  double total = std::accumulate(updated->begin(), updated->end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  for (double w : *updated) EXPECT_GT(w, 0.0);
+}
+
+TEST_F(FeedbackTest, CountViolations) {
+  // System order: a, b, c. User: c best, a second, b irrelevant.
+  std::vector<JudgedAnswer> judged{{T("a", 1), 2}, {T("b", 1), 0},
+                                   {T("c", 1), 1}};
+  // Violations: (a,c): user prefers c → 1; (b,c): user prefers c → 1;
+  // (a,b): user prefers a (b irrelevant) → not a violation.
+  EXPECT_EQ(RelevanceFeedback::CountViolations(judged), 2u);
+  EXPECT_EQ(RelevanceFeedback::CountViolations({}), 0u);
+}
+
+TEST_F(FeedbackTest, InputValidation) {
+  RelevanceFeedback feedback;
+  Tuple q = T("Camry", 10000);
+  std::vector<JudgedAnswer> judged{{T("Camry", 10000), 1}};
+  EXPECT_FALSE(feedback.Round(*sim_, schema_, q, judged, {0.5}).ok());
+  EXPECT_FALSE(
+      feedback.Round(*sim_, schema_, Tuple({Value::Num(1)}), judged,
+                     {0.5, 0.5})
+          .ok());
+  std::vector<JudgedAnswer> bad{{T("Camry", 10000), -1}};
+  EXPECT_FALSE(feedback.Round(*sim_, schema_, q, bad, {0.5, 0.5}).ok());
+  std::vector<JudgedAnswer> arity{{Tuple({Value::Cat("x")}), 1}};
+  EXPECT_FALSE(feedback.Round(*sim_, schema_, q, arity, {0.5, 0.5}).ok());
+}
+
+}  // namespace
+}  // namespace aimq

@@ -1,0 +1,143 @@
+// Randomized round-trip ("fuzz-lite") tests: CSV encode/decode, relation
+// write/read, and query parse/print survive arbitrary content including
+// delimiters, quotes, newlines and unicode bytes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <string>
+#include <unistd.h>
+
+#include "query/parser.h"
+#include "relation/relation.h"
+#include "util/csv.h"
+#include "util/rng.h"
+
+namespace aimq {
+namespace {
+
+std::string RandomField(Rng* rng) {
+  static const char kAlphabet[] =
+      "abcXYZ 09,\"'\n\r\t|;:{}()\\\xc3\xa9\xe2\x82\xac-_";
+  std::string out;
+  size_t len = rng->Uniform(12);
+  for (size_t i = 0; i < len; ++i) {
+    out += kAlphabet[rng->Uniform(sizeof(kAlphabet) - 1)];
+  }
+  return out;
+}
+
+class CsvFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CsvFuzzTest, EncodeDecodeRowRoundTrip) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::string> fields;
+    size_t n = 1 + rng.Uniform(6);
+    for (size_t i = 0; i < n; ++i) fields.push_back(RandomField(&rng));
+    auto decoded = CsvDecodeRow(CsvEncodeRow(fields));
+    ASSERT_TRUE(decoded.ok());
+    // Single-row decode cannot represent embedded newlines (those need the
+    // file-level reader), so compare with newline-bearing fields skipped.
+    bool has_newline = false;
+    for (const std::string& f : fields) {
+      if (f.find('\n') != std::string::npos ||
+          f.find('\r') != std::string::npos) {
+        has_newline = true;
+      }
+    }
+    if (!has_newline) {
+      EXPECT_EQ(*decoded, fields);
+    }
+  }
+}
+
+TEST_P(CsvFuzzTest, FileRoundTripWithNastyFields) {
+  Rng rng(GetParam() + 500);
+  auto path = std::filesystem::temp_directory_path() /
+              ("aimq_fuzz_" + std::to_string(::getpid()) + "_" +
+               std::to_string(GetParam()) + ".csv");
+  std::vector<std::vector<std::string>> rows;
+  size_t cols = 1 + rng.Uniform(4);
+  for (int r = 0; r < 40; ++r) {
+    std::vector<std::string> row;
+    for (size_t c = 0; c < cols; ++c) {
+      std::string f = RandomField(&rng);
+      // The file reader treats \r\n and \n as row terminators inside quoted
+      // fields identically only for \n; normalize CR out of the payload.
+      std::string clean;
+      for (char ch : f) {
+        if (ch != '\r') clean += ch;
+      }
+      row.push_back(clean);
+    }
+    rows.push_back(std::move(row));
+  }
+  ASSERT_TRUE(CsvWriteFile(path.string(), rows).ok());
+  auto back = CsvReadFile(path.string());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, rows);
+  std::filesystem::remove(path);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvFuzzTest, ::testing::Values(1, 2, 3, 4));
+
+class RelationFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RelationFuzzTest, CsvRoundTripPreservesTuples) {
+  Rng rng(GetParam());
+  auto schema = Schema::Make({{"C", AttrType::kCategorical},
+                              {"N", AttrType::kNumeric}});
+  Relation r(*schema);
+  for (int i = 0; i < 60; ++i) {
+    // Categorical payloads avoid raw newlines (normalized by the reader) but
+    // keep commas/quotes; empty string parses back as null, so skip it too.
+    std::string f;
+    do {
+      f.clear();
+      for (char ch : RandomField(&rng)) {
+        if (ch != '\n' && ch != '\r') f += ch;
+      }
+    } while (f.empty());
+    double num = std::round(rng.Gaussian(0, 1000) * 4.0) / 4.0;  // .25 steps
+    ASSERT_TRUE(r.Append(Tuple({Value::Cat(f), Value::Num(num)})).ok());
+  }
+  auto path = std::filesystem::temp_directory_path() /
+              ("aimq_relfuzz_" + std::to_string(::getpid()) + "_" +
+               std::to_string(GetParam()) + ".csv");
+  ASSERT_TRUE(r.WriteCsv(path.string()).ok());
+  auto back = Relation::ReadCsv(path.string(), *schema);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->NumTuples(), r.NumTuples());
+  for (size_t i = 0; i < r.NumTuples(); ++i) {
+    EXPECT_EQ(back->tuple(i).At(0), r.tuple(i).At(0)) << i;
+    EXPECT_DOUBLE_EQ(back->tuple(i).At(1).AsNum(), r.tuple(i).At(1).AsNum());
+  }
+  std::filesystem::remove(path);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RelationFuzzTest, ::testing::Values(7, 8, 9));
+
+class ParserFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzzTest, ArbitraryInputNeverCrashes) {
+  Rng rng(GetParam());
+  auto schema = Schema::Make({{"Make", AttrType::kCategorical},
+                              {"Price", AttrType::kNumeric}});
+  QueryParser parser(&*schema);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string input = RandomField(&rng) + RandomField(&rng);
+    // Any outcome is fine; it must simply not crash and errors must carry a
+    // message.
+    auto p = parser.ParsePrecise(input);
+    if (!p.ok()) EXPECT_FALSE(p.status().message().empty());
+    auto i = parser.ParseImprecise(input);
+    if (!i.ok()) EXPECT_FALSE(i.status().message().empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest, ::testing::Values(11, 12));
+
+}  // namespace
+}  // namespace aimq

@@ -1,0 +1,93 @@
+#include "query/imprecise_query.h"
+
+#include <gtest/gtest.h>
+
+namespace aimq {
+namespace {
+
+Schema TestSchema() {
+  return Schema::Make({{"Model", AttrType::kCategorical},
+                       {"Price", AttrType::kNumeric}})
+      .ValueOrDie();
+}
+
+TEST(ImpreciseQueryTest, BindAccumulates) {
+  ImpreciseQuery q;
+  EXPECT_TRUE(q.Empty());
+  q.Bind("Model", Value::Cat("Camry"));
+  q.Bind("Price", Value::Num(10000));
+  EXPECT_EQ(q.NumBindings(), 2u);
+  EXPECT_FALSE(q.Empty());
+}
+
+TEST(ImpreciseQueryTest, BindingIndex) {
+  ImpreciseQuery q;
+  q.Bind("Model", Value::Cat("Camry"));
+  q.Bind("Price", Value::Num(10000));
+  EXPECT_EQ(*q.BindingIndex("Price"), 1u);
+  EXPECT_FALSE(q.BindingIndex("Make").ok());
+}
+
+TEST(ImpreciseQueryTest, ValidateAcceptsWellTyped) {
+  ImpreciseQuery q;
+  q.Bind("Model", Value::Cat("Camry"));
+  q.Bind("Price", Value::Num(10000));
+  EXPECT_TRUE(q.Validate(TestSchema()).ok());
+}
+
+TEST(ImpreciseQueryTest, ValidateRejectsUnknownAttribute) {
+  ImpreciseQuery q;
+  q.Bind("Bogus", Value::Cat("x"));
+  EXPECT_FALSE(q.Validate(TestSchema()).ok());
+}
+
+TEST(ImpreciseQueryTest, ValidateRejectsTypeMismatch) {
+  ImpreciseQuery q1;
+  q1.Bind("Model", Value::Num(1));
+  EXPECT_FALSE(q1.Validate(TestSchema()).ok());
+  ImpreciseQuery q2;
+  q2.Bind("Price", Value::Cat("cheap"));
+  EXPECT_FALSE(q2.Validate(TestSchema()).ok());
+}
+
+TEST(ImpreciseQueryTest, ValidateRejectsNullBinding) {
+  ImpreciseQuery q;
+  q.Bind("Model", Value());
+  EXPECT_FALSE(q.Validate(TestSchema()).ok());
+}
+
+TEST(ImpreciseQueryTest, ValidateRejectsDuplicateAttribute) {
+  ImpreciseQuery q;
+  q.Bind("Model", Value::Cat("Camry"));
+  q.Bind("Model", Value::Cat("Accord"));
+  EXPECT_FALSE(q.Validate(TestSchema()).ok());
+}
+
+TEST(ImpreciseQueryTest, ToBaseQueryTightensLikeToEquality) {
+  ImpreciseQuery q;
+  q.Bind("Model", Value::Cat("Camry"));
+  q.Bind("Price", Value::Num(10000));
+  SelectionQuery base = q.ToBaseQuery();
+  ASSERT_EQ(base.NumPredicates(), 2u);
+  EXPECT_EQ(base.predicates()[0].op, CompareOp::kEq);
+  EXPECT_EQ(base.predicates()[1].op, CompareOp::kEq);
+  EXPECT_EQ(base.predicates()[0].value, Value::Cat("Camry"));
+}
+
+TEST(ImpreciseQueryTest, ToStringUsesLike) {
+  ImpreciseQuery q;
+  q.Bind("Model", Value::Cat("Camry"));
+  EXPECT_EQ(q.ToString(), "Q(Model like Camry)");
+}
+
+TEST(ImpreciseQueryTest, Equality) {
+  ImpreciseQuery a, b;
+  a.Bind("Model", Value::Cat("Camry"));
+  b.Bind("Model", Value::Cat("Camry"));
+  EXPECT_EQ(a, b);
+  b.Bind("Price", Value::Num(1));
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace aimq

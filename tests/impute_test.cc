@@ -1,0 +1,113 @@
+#include "core/impute.h"
+
+#include <gtest/gtest.h>
+
+#include "afd/tane.h"
+#include "datagen/cardb.h"
+
+namespace aimq {
+namespace {
+
+class ImputeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CarDbSpec spec;
+    spec.num_tuples = 5000;
+    spec.seed = 19;
+    sample_ = new Relation(CarDbGenerator(spec).Generate());
+    TaneOptions opts;  // defaults mine Model→Make and friends
+    auto deps = Tane::Mine(*sample_, opts);
+    ASSERT_TRUE(deps.ok());
+    deps_ = new MinedDependencies(deps.TakeValue());
+  }
+  static void TearDownTestSuite() {
+    delete deps_;
+    delete sample_;
+    deps_ = nullptr;
+    sample_ = nullptr;
+  }
+
+  // A CarDB tuple with chosen values; pass nullptr to null an attribute.
+  static Tuple Car(const char* make, const char* model, const char* year) {
+    std::vector<Value> v(7);
+    if (make) v[CarDbGenerator::kMake] = Value::Cat(make);
+    if (model) v[CarDbGenerator::kModel] = Value::Cat(model);
+    if (year) v[CarDbGenerator::kYear] = Value::Cat(year);
+    v[CarDbGenerator::kPrice] = Value::Num(9000);
+    v[CarDbGenerator::kMileage] = Value::Num(60000);
+    v[CarDbGenerator::kLocation] = Value::Cat("Chicago");
+    v[CarDbGenerator::kColor] = Value::Cat("White");
+    return Tuple(std::move(v));
+  }
+
+  static Relation* sample_;
+  static MinedDependencies* deps_;
+};
+
+Relation* ImputeTest::sample_ = nullptr;
+MinedDependencies* ImputeTest::deps_ = nullptr;
+
+TEST_F(ImputeTest, ModelPredictsMissingMake) {
+  AfdImputer imputer(sample_, deps_);
+  Tuple t = Car(nullptr, "Camry", "2000");
+  auto imputation = imputer.ImputeAttribute(t, CarDbGenerator::kMake);
+  ASSERT_TRUE(imputation.ok()) << imputation.status().ToString();
+  EXPECT_EQ(imputation->value, Value::Cat("Toyota"));
+  EXPECT_DOUBLE_EQ(imputation->confidence, 1.0);  // Model→Make is exact
+  EXPECT_GT(imputation->evidence, 10u);
+  EXPECT_EQ(imputation->rule.rhs, CarDbGenerator::kMake);
+  EXPECT_TRUE(AttrSetContains(imputation->rule.lhs, CarDbGenerator::kModel));
+}
+
+TEST_F(ImputeTest, RejectsNonNullAttribute) {
+  AfdImputer imputer(sample_, deps_);
+  Tuple t = Car("Toyota", "Camry", "2000");
+  EXPECT_FALSE(imputer.ImputeAttribute(t, CarDbGenerator::kMake).ok());
+}
+
+TEST_F(ImputeTest, NoRuleForUnpredictableAttribute) {
+  // Nothing (reliably) determines Color in CarDB.
+  AfdImputer imputer(sample_, deps_);
+  std::vector<Value> v = Car("Toyota", "Camry", "2000").values();
+  v[CarDbGenerator::kColor] = Value();
+  auto imputation =
+      imputer.ImputeAttribute(Tuple(std::move(v)), CarDbGenerator::kColor);
+  EXPECT_FALSE(imputation.ok());
+  EXPECT_EQ(imputation.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ImputeTest, UnknownAntecedentValueLacksEvidence) {
+  AfdImputer imputer(sample_, deps_);
+  Tuple t = Car(nullptr, "NotARealModel", "2000");
+  EXPECT_FALSE(imputer.ImputeAttribute(t, CarDbGenerator::kMake).ok());
+}
+
+TEST_F(ImputeTest, ImputeTupleFillsWhatItCan) {
+  AfdImputer imputer(sample_, deps_);
+  std::vector<Value> v = Car(nullptr, "F-150", "1999").values();
+  v[CarDbGenerator::kColor] = Value();  // not imputable
+  Tuple t(std::move(v));
+  auto applied = imputer.ImputeTuple(&t);
+  ASSERT_TRUE(applied.ok());
+  ASSERT_EQ(applied->size(), 1u);
+  EXPECT_EQ(t.At(CarDbGenerator::kMake), Value::Cat("Ford"));
+  EXPECT_TRUE(t.At(CarDbGenerator::kColor).is_null());
+}
+
+TEST_F(ImputeTest, PolicyThresholdsRespected) {
+  ImputeOptions strict;
+  strict.min_evidence = 1000000;  // impossible
+  AfdImputer imputer(sample_, deps_, strict);
+  Tuple t = Car(nullptr, "Camry", "2000");
+  EXPECT_FALSE(imputer.ImputeAttribute(t, CarDbGenerator::kMake).ok());
+}
+
+TEST_F(ImputeTest, ArityValidation) {
+  AfdImputer imputer(sample_, deps_);
+  Tuple bad({Value::Cat("x")});
+  EXPECT_FALSE(imputer.ImputeAttribute(bad, 0).ok());
+  EXPECT_FALSE(imputer.ImputeTuple(&bad).ok());
+}
+
+}  // namespace
+}  // namespace aimq

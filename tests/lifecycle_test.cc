@@ -1,0 +1,122 @@
+// Full product-lifecycle integration test: generate data → probe under a
+// budget → mine → persist → restart (load) → answer parsed text queries →
+// log the workload → collect feedback → persist again → verify the tuned
+// model survives the round trip. Exercises every public subsystem together.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <unistd.h>
+
+#include "core/engine.h"
+#include "core/persist.h"
+#include "core/report.h"
+#include "datagen/cardb.h"
+#include "eval/simulated_user.h"
+#include "query/parser.h"
+#include "workload/query_log.h"
+
+namespace aimq {
+namespace {
+
+TEST(LifecycleTest, EndToEndMinePersistQueryFeedbackPersist) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("aimq_lifecycle_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+
+  // --- Day 0: stand up the source and learn under a probe budget. ---------
+  CarDbSpec spec;
+  spec.num_tuples = 6000;
+  spec.seed = 55;
+  CarDbGenerator generator(spec);
+  WebDatabase db("CarDB", generator.Generate());
+
+  AimqOptions options;
+  options.collector.sample_size = 2500;
+  options.collector.spanning_attribute = "Make";
+  options.collector.max_queries = 10;  // rate-limited source
+  auto knowledge = BuildKnowledge(db, options);
+  ASSERT_TRUE(knowledge.ok()) << knowledge.status().ToString();
+  ASSERT_LE(db.stats().queries_issued, 10u);
+
+  // The mining report renders.
+  EXPECT_FALSE(RenderMiningReport(*knowledge, db.schema()).empty());
+
+  ASSERT_TRUE(SaveKnowledge(*knowledge, db.schema(), dir.string()).ok());
+
+  // --- Day 1: restart, load, serve parsed queries, log them. --------------
+  auto loaded = LoadKnowledge(db.schema(), dir.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  AimqEngine engine(&db, loaded.TakeValue(), options);
+
+  QueryParser parser(&db.schema());
+  QueryLog log(&db.schema());
+  const char* raw_queries[] = {
+      "CarDB(Model like Camry, Price like 9000)",
+      "CarDB(Make like Kia)",
+      "CarDB(Model like F-150, Mileage like 90000)",
+  };
+  std::vector<RankedAnswer> last_answers;
+  ImpreciseQuery last_query;
+  for (const char* raw : raw_queries) {
+    auto q = parser.ParseImprecise(raw);
+    ASSERT_TRUE(q.ok()) << raw;
+    ASSERT_TRUE(log.Record(*q).ok());
+    auto answers = engine.Answer(*q);
+    ASSERT_TRUE(answers.ok()) << raw << ": " << answers.status().ToString();
+    ASSERT_FALSE(answers->empty()) << raw;
+    // Every answer must be explainable and its explanation consistent.
+    for (const RankedAnswer& a : *answers) {
+      auto explanation = engine.Explain(*q, a.tuple);
+      ASSERT_TRUE(explanation.ok());
+      EXPECT_NEAR(explanation->total, a.similarity, 1e-9);
+    }
+    last_answers = *answers;
+    last_query = *q;
+  }
+  EXPECT_EQ(log.NumQueries(), 3u);
+  ASSERT_TRUE(log.Save((dir / "workload.csv").string()).ok());
+
+  // --- Day 2: a user re-ranks one answer list; tune and persist. ----------
+  SimulatedUserOptions uopts;
+  uopts.noise_stddev = 0.0;
+  SimulatedUser judge(
+      [&generator](const Tuple& a, const Tuple& b) {
+        return generator.TupleSimilarity(a, b);
+      },
+      uopts);
+  // Judge against the query's base tuple proxy: use the top answer as the
+  // user's reference point.
+  std::vector<int> user_ranks =
+      judge.RankAnswers(last_answers[0].tuple, last_answers);
+  std::vector<JudgedAnswer> judged;
+  for (size_t i = 0; i < last_answers.size(); ++i) {
+    judged.push_back(JudgedAnswer{last_answers[i].tuple, user_ranks[i]});
+  }
+  RelevanceFeedback feedback;
+  auto tuned = engine.ApplyFeedback(feedback, last_answers[0].tuple, judged);
+  ASSERT_TRUE(tuned.ok());
+
+  ASSERT_TRUE(
+      SaveKnowledge(engine.knowledge(), db.schema(), dir.string()).ok());
+
+  // --- Day 3: restart again; the tuned weights survived. ------------------
+  auto reloaded = LoadKnowledge(db.schema(), dir.string());
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded->WimpVector(), *tuned);
+  auto reloaded_log = QueryLog::Load(&db.schema(),
+                                     (dir / "workload.csv").string());
+  ASSERT_TRUE(reloaded_log.ok());
+  EXPECT_EQ(reloaded_log->NumQueries(), 3u);
+
+  // And the reloaded engine still answers.
+  AimqEngine engine2(&db, reloaded.TakeValue(), options);
+  auto again = engine2.Answer(last_query);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->empty());
+
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace aimq

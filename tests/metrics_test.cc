@@ -1,0 +1,185 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace aimq {
+namespace {
+
+TEST(PaperMrrTest, PerfectAgreementIsOne) {
+  // User ranks exactly match system ranks 1..5.
+  EXPECT_DOUBLE_EQ(PaperMrr({1, 2, 3, 4, 5}), 1.0);
+}
+
+TEST(PaperMrrTest, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(PaperMrr({}), 0.0);
+}
+
+TEST(PaperMrrTest, OffByOneEverywhere) {
+  // |user − system| = 1 for each → every term 1/2.
+  EXPECT_DOUBLE_EQ(PaperMrr({2, 1, 4, 3}), 0.5);
+}
+
+TEST(PaperMrrTest, IrrelevantAnswersUseRankZero) {
+  // Single answer judged irrelevant: |0 − 1| + 1 = 2 → 0.5.
+  EXPECT_DOUBLE_EQ(PaperMrr({0}), 0.5);
+  // Deep irrelevant answers hurt more: |0 − 10| + 1 = 11.
+  std::vector<int> ranks(10, 0);
+  double mrr = PaperMrr(ranks);
+  EXPECT_LT(mrr, 0.31);
+  EXPECT_GT(mrr, 0.0);
+}
+
+TEST(PaperMrrTest, SwappedPairScoresBelowPerfect) {
+  double swapped = PaperMrr({2, 1, 3});
+  EXPECT_LT(swapped, 1.0);
+  EXPECT_GT(swapped, 0.5);
+}
+
+TEST(PaperMrrTest, MonotoneInDisplacement) {
+  EXPECT_GT(PaperMrr({1}), PaperMrr({2}));
+  EXPECT_GT(PaperMrr({2}), PaperMrr({5}));
+}
+
+TEST(ClassicRrTest, FirstRelevantPosition) {
+  EXPECT_DOUBLE_EQ(ClassicReciprocalRank({1, 0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(ClassicReciprocalRank({0, 3, 0}), 0.5);
+  EXPECT_DOUBLE_EQ(ClassicReciprocalRank({0, 0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(ClassicReciprocalRank({}), 0.0);
+}
+
+TEST(TopKAccuracyTest, CountsAgreementInPrefix) {
+  std::vector<int> labels{1, 1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(TopKClassAccuracy(labels, 1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(TopKClassAccuracy(labels, 1, 2), 1.0);
+  EXPECT_DOUBLE_EQ(TopKClassAccuracy(labels, 1, 4), 0.75);
+  EXPECT_DOUBLE_EQ(TopKClassAccuracy(labels, 1, 5), 0.6);
+  EXPECT_DOUBLE_EQ(TopKClassAccuracy(labels, 0, 5), 0.4);
+}
+
+TEST(TopKAccuracyTest, KLargerThanListUsesAll) {
+  EXPECT_DOUBLE_EQ(TopKClassAccuracy({1, 0}, 1, 10), 0.5);
+}
+
+TEST(TopKAccuracyTest, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(TopKClassAccuracy({}, 1, 5), 0.0);
+  EXPECT_DOUBLE_EQ(TopKClassAccuracy({1}, 1, 0), 0.0);
+}
+
+TEST(PermutationTest, ClearDifferenceIsSignificant) {
+  std::vector<double> a(20, 0.9), b(20, 0.1);
+  EXPECT_LT(PairedPermutationPValue(a, b, 2000, 1), 0.01);
+}
+
+TEST(PermutationTest, IdenticalSamplesNotSignificant) {
+  std::vector<double> a{0.2, 0.5, 0.9, 0.4, 0.7};
+  EXPECT_DOUBLE_EQ(PairedPermutationPValue(a, a, 2000, 1), 1.0);
+}
+
+TEST(PermutationTest, NoisyTieNotSignificant) {
+  // Differences alternate in sign and cancel: no evidence.
+  std::vector<double> a{0.5, 0.3, 0.5, 0.3, 0.5, 0.3};
+  std::vector<double> b{0.3, 0.5, 0.3, 0.5, 0.3, 0.5};
+  EXPECT_GT(PairedPermutationPValue(a, b, 2000, 1), 0.2);
+}
+
+TEST(PermutationTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(PairedPermutationPValue({}, {}, 100, 1), 1.0);
+  EXPECT_DOUBLE_EQ(PairedPermutationPValue({1.0}, {1.0, 2.0}, 100, 1), 1.0);
+}
+
+TEST(PermutationTest, DeterministicPerSeed) {
+  std::vector<double> a{0.6, 0.7, 0.5, 0.8, 0.4, 0.9};
+  std::vector<double> b{0.5, 0.5, 0.6, 0.6, 0.5, 0.6};
+  EXPECT_DOUBLE_EQ(PairedPermutationPValue(a, b, 1000, 9),
+                   PairedPermutationPValue(a, b, 1000, 9));
+}
+
+TEST(KendallTauTest, IdenticalAndReversedOrders) {
+  EXPECT_DOUBLE_EQ(KendallTau({1, 2, 3, 4}, {1, 2, 3, 4}), 1.0);
+  EXPECT_DOUBLE_EQ(KendallTau({1, 2, 3, 4}, {4, 3, 2, 1}), -1.0);
+}
+
+TEST(KendallTauTest, PartialAgreement) {
+  // One adjacent swap in 4 items: 5 concordant, 1 discordant of 6 pairs.
+  EXPECT_NEAR(KendallTau({1, 2, 3, 4}, {2, 1, 3, 4}), 4.0 / 6.0, 1e-12);
+}
+
+TEST(KendallTauTest, IrrelevantRankIsWorst) {
+  // Rank 0 sits below every positive rank in both orderings.
+  EXPECT_DOUBLE_EQ(KendallTau({1, 0}, {1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(KendallTau({1, 0}, {0, 1}), -1.0);
+}
+
+TEST(KendallTauTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(KendallTau({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(KendallTau({1}, {1}), 0.0);
+  EXPECT_DOUBLE_EQ(KendallTau({1, 2}, {1, 2, 3}), 0.0);
+  // All ties: no information.
+  EXPECT_DOUBLE_EQ(KendallTau({0, 0, 0}, {1, 2, 3}), 0.0);
+}
+
+TEST(MeanTest, Basics) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(PrecisionRecallTest, PrecisionAtK) {
+  std::vector<bool> rel{true, false, true, true, false};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(rel, 1), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(rel, 2), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(rel, 4), 0.75);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(rel, 10), 0.6);  // clamped to list size
+  EXPECT_DOUBLE_EQ(PrecisionAtK({}, 3), 0.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(rel, 0), 0.0);
+}
+
+TEST(PrecisionRecallTest, RecallAtK) {
+  std::vector<bool> rel{true, false, true, true, false};
+  EXPECT_DOUBLE_EQ(RecallAtK(rel, 1, 6), 1.0 / 6.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(rel, 5, 6), 0.5);
+  EXPECT_DOUBLE_EQ(RecallAtK(rel, 5, 3), 1.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(rel, 3, 0), 0.0);
+}
+
+TEST(BootstrapCiTest, IntervalBracketsMean) {
+  std::vector<double> values;
+  for (int i = 0; i < 50; ++i) values.push_back(0.4 + 0.01 * (i % 10));
+  MeanCI ci = BootstrapMeanCI(values);
+  EXPECT_LE(ci.lo, ci.mean);
+  EXPECT_GE(ci.hi, ci.mean);
+  EXPECT_NEAR(ci.mean, Mean(values), 1e-12);
+  EXPECT_GT(ci.hi - ci.lo, 0.0);
+  EXPECT_LT(ci.hi - ci.lo, 0.05);
+}
+
+TEST(BootstrapCiTest, DegenerateInputsCollapse) {
+  MeanCI empty = BootstrapMeanCI({});
+  EXPECT_DOUBLE_EQ(empty.lo, empty.hi);
+  MeanCI single = BootstrapMeanCI({3.0});
+  EXPECT_DOUBLE_EQ(single.mean, 3.0);
+  EXPECT_DOUBLE_EQ(single.lo, 3.0);
+  EXPECT_DOUBLE_EQ(single.hi, 3.0);
+  // Constant samples: zero-width interval.
+  MeanCI constant = BootstrapMeanCI({2.0, 2.0, 2.0, 2.0});
+  EXPECT_DOUBLE_EQ(constant.lo, 2.0);
+  EXPECT_DOUBLE_EQ(constant.hi, 2.0);
+}
+
+TEST(BootstrapCiTest, DeterministicPerSeed) {
+  std::vector<double> values{0.1, 0.9, 0.4, 0.6, 0.2, 0.8};
+  MeanCI a = BootstrapMeanCI(values, 500, 0.05, 7);
+  MeanCI b = BootstrapMeanCI(values, 500, 0.05, 7);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(BootstrapCiTest, WiderAlphaNarrowsInterval) {
+  std::vector<double> values{0.1, 0.9, 0.4, 0.6, 0.2, 0.8, 0.3, 0.7};
+  MeanCI ci95 = BootstrapMeanCI(values, 2000, 0.05);
+  MeanCI ci50 = BootstrapMeanCI(values, 2000, 0.50);
+  EXPECT_LE(ci50.hi - ci50.lo, ci95.hi - ci95.lo);
+}
+
+}  // namespace
+}  // namespace aimq

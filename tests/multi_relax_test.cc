@@ -1,0 +1,103 @@
+#include "ordering/multi_relax.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace aimq {
+namespace {
+
+TEST(MultiAttributeOrderTest, MatchesPaperExample) {
+  // Paper §4: 1-attribute order ⟨a1, a3, a4, a2⟩ gives 2-attribute order
+  // a1a3, a1a4, a1a2, a3a4, a3a2, a4a2.
+  std::vector<size_t> order{1, 3, 4, 2};
+  auto combos = MultiAttributeOrder(order, 2);
+  ASSERT_EQ(combos.size(), 6u);
+  EXPECT_EQ(combos[0], (std::vector<size_t>{1, 3}));
+  EXPECT_EQ(combos[1], (std::vector<size_t>{1, 4}));
+  EXPECT_EQ(combos[2], (std::vector<size_t>{1, 2}));
+  EXPECT_EQ(combos[3], (std::vector<size_t>{3, 4}));
+  EXPECT_EQ(combos[4], (std::vector<size_t>{3, 2}));
+  EXPECT_EQ(combos[5], (std::vector<size_t>{4, 2}));
+}
+
+TEST(MultiAttributeOrderTest, SizeOneIsTheOrderItself) {
+  std::vector<size_t> order{5, 0, 2};
+  auto combos = MultiAttributeOrder(order, 1);
+  ASSERT_EQ(combos.size(), 3u);
+  EXPECT_EQ(combos[0], (std::vector<size_t>{5}));
+  EXPECT_EQ(combos[1], (std::vector<size_t>{0}));
+  EXPECT_EQ(combos[2], (std::vector<size_t>{2}));
+}
+
+TEST(MultiAttributeOrderTest, FullSizeSingleCombo) {
+  std::vector<size_t> order{2, 0, 1};
+  auto combos = MultiAttributeOrder(order, 3);
+  ASSERT_EQ(combos.size(), 1u);
+  EXPECT_EQ(combos[0], order);
+}
+
+TEST(MultiAttributeOrderTest, DegenerateInputs) {
+  EXPECT_TRUE(MultiAttributeOrder({1, 2}, 0).empty());
+  EXPECT_TRUE(MultiAttributeOrder({1, 2}, 3).empty());
+  EXPECT_TRUE(MultiAttributeOrder({}, 1).empty());
+}
+
+TEST(MultiAttributeOrderTest, CombinationCountIsBinomial) {
+  std::vector<size_t> order{0, 1, 2, 3, 4, 5, 6};
+  EXPECT_EQ(MultiAttributeOrder(order, 2).size(), 21u);
+  EXPECT_EQ(MultiAttributeOrder(order, 3).size(), 35u);
+  EXPECT_EQ(MultiAttributeOrder(order, 7).size(), 1u);
+}
+
+TEST(RelaxationSequenceTest, StreamsLevelsInOrder) {
+  RelaxationSequence seq({1, 3, 4, 2}, 2);
+  std::vector<std::vector<size_t>> all;
+  while (seq.HasNext()) all.push_back(seq.Next());
+  ASSERT_EQ(all.size(), 10u);  // 4 singles + 6 pairs
+  EXPECT_EQ(all[0], (std::vector<size_t>{1}));
+  EXPECT_EQ(all[3], (std::vector<size_t>{2}));
+  EXPECT_EQ(all[4], (std::vector<size_t>{1, 3}));
+  EXPECT_EQ(all[9], (std::vector<size_t>{4, 2}));
+}
+
+TEST(RelaxationSequenceTest, MaxAttrsClampedToOrderSize) {
+  RelaxationSequence seq({0, 1}, 99);
+  size_t count = 0;
+  while (seq.HasNext()) {
+    seq.Next();
+    ++count;
+  }
+  EXPECT_EQ(count, 3u);  // {0}, {1}, {0,1}
+}
+
+TEST(RelaxationSequenceTest, TotalCombinationsMatchesStream) {
+  RelaxationSequence seq({0, 1, 2, 3, 4}, 3);
+  size_t count = 0;
+  RelaxationSequence counter({0, 1, 2, 3, 4}, 3);
+  while (counter.HasNext()) {
+    counter.Next();
+    ++count;
+  }
+  EXPECT_EQ(seq.TotalCombinations(), count);
+  EXPECT_EQ(count, 5u + 10u + 10u);
+}
+
+TEST(RelaxationSequenceTest, EmptyOrderYieldsNothing) {
+  RelaxationSequence seq({}, 3);
+  EXPECT_FALSE(seq.HasNext());
+  EXPECT_EQ(seq.TotalCombinations(), 0u);
+}
+
+TEST(RelaxationSequenceTest, NoDuplicateCombinations) {
+  RelaxationSequence seq({0, 1, 2, 3, 4, 5}, 4);
+  std::set<std::set<size_t>> seen;
+  while (seq.HasNext()) {
+    auto combo = seq.Next();
+    EXPECT_TRUE(seen.insert(std::set<size_t>(combo.begin(), combo.end()))
+                    .second);
+  }
+}
+
+}  // namespace
+}  // namespace aimq

@@ -1,0 +1,128 @@
+// Null handling across the stack: real Web databases have missing fields
+// everywhere, so every stage — partitions, supertuples, relaxation, the full
+// pipeline — must tolerate null attribute values.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/knowledge.h"
+#include "datagen/cardb.h"
+#include "util/rng.h"
+
+namespace aimq {
+namespace {
+
+// CarDB with ~15% of Location and Color values nulled out.
+Relation SparseCarDb(size_t n) {
+  CarDbSpec spec;
+  spec.num_tuples = n;
+  spec.seed = 77;
+  Relation dense = CarDbGenerator(spec).Generate();
+  Relation sparse(dense.schema());
+  Rng rng(88);
+  for (const Tuple& t : dense.tuples()) {
+    std::vector<Value> values = t.values();
+    if (rng.Bernoulli(0.15)) values[CarDbGenerator::kLocation] = Value();
+    if (rng.Bernoulli(0.15)) values[CarDbGenerator::kColor] = Value();
+    sparse.AppendUnchecked(Tuple(std::move(values)));
+  }
+  return sparse;
+}
+
+TEST(NullHandlingTest, PipelineMinesOverSparseData) {
+  WebDatabase db("SparseCarDB", SparseCarDb(3000));
+  AimqOptions options;
+  options.collector.sample_size = 1500;
+  auto knowledge = BuildKnowledge(db, options);
+  ASSERT_TRUE(knowledge.ok()) << knowledge.status().ToString();
+  // Model→Make must still be found.
+  bool found = false;
+  for (const Afd& afd : knowledge->dependencies.afds) {
+    if (afd.lhs == AttrBit(CarDbGenerator::kModel) &&
+        afd.rhs == CarDbGenerator::kMake) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(NullHandlingTest, AnswersWorkAndNeverCrash) {
+  WebDatabase db("SparseCarDB", SparseCarDb(3000));
+  AimqOptions options;
+  options.collector.sample_size = 1500;
+  auto knowledge = BuildKnowledge(db, options);
+  ASSERT_TRUE(knowledge.ok());
+  AimqEngine engine(&db, knowledge.TakeValue(), options);
+
+  ImpreciseQuery q;
+  q.Bind("Model", Value::Cat("Camry"));
+  q.Bind("Price", Value::Num(9000));
+  auto answers = engine.Answer(q);
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  EXPECT_FALSE(answers->empty());
+  for (const RankedAnswer& a : *answers) {
+    EXPECT_GE(a.similarity, 0.0);
+    EXPECT_LE(a.similarity, 1.0 + 1e-12);
+  }
+}
+
+TEST(NullHandlingTest, FindSimilarFromNullBearingAnchor) {
+  Relation data = SparseCarDb(3000);
+  // Find an anchor that actually has a null.
+  size_t anchor_row = SIZE_MAX;
+  for (size_t r = 0; r < data.NumTuples(); ++r) {
+    if (data.tuple(r).At(CarDbGenerator::kLocation).is_null()) {
+      anchor_row = r;
+      break;
+    }
+  }
+  ASSERT_NE(anchor_row, SIZE_MAX);
+
+  WebDatabase db("SparseCarDB", data);
+  AimqOptions options;
+  options.collector.sample_size = 1500;
+  auto knowledge = BuildKnowledge(db, options);
+  ASSERT_TRUE(knowledge.ok());
+  AimqEngine engine(&db, knowledge.TakeValue(), options);
+
+  auto similar = engine.FindSimilar(data.tuple(anchor_row), 5, 0.3,
+                                    RelaxationStrategy::kGuided);
+  ASSERT_TRUE(similar.ok()) << similar.status().ToString();
+  // The null attribute is simply never bound; similar tuples still arrive.
+  EXPECT_FALSE(similar->empty());
+}
+
+TEST(NullHandlingTest, ExplainToleratesNullAnswerValues) {
+  Relation data = SparseCarDb(2000);
+  WebDatabase db("SparseCarDB", data);
+  AimqOptions options;
+  options.collector.sample_size = 1000;
+  auto knowledge = BuildKnowledge(db, options);
+  ASSERT_TRUE(knowledge.ok());
+  AimqEngine engine(&db, knowledge.TakeValue(), options);
+
+  // Query on an attribute that is null in some answers.
+  ImpreciseQuery q;
+  q.Bind("Color", Value::Cat("Red"));
+  q.Bind("Model", Value::Cat("Camry"));
+  size_t null_color_row = SIZE_MAX;
+  for (size_t r = 0; r < data.NumTuples(); ++r) {
+    if (data.tuple(r).At(CarDbGenerator::kColor).is_null()) {
+      null_color_row = r;
+      break;
+    }
+  }
+  ASSERT_NE(null_color_row, SIZE_MAX);
+  auto explanation = engine.Explain(q, data.tuple(null_color_row));
+  ASSERT_TRUE(explanation.ok());
+  // Null answer value contributes zero similarity but keeps its weight.
+  for (const AttributeContribution& c : explanation->contributions) {
+    if (c.attribute == "Color") {
+      EXPECT_DOUBLE_EQ(c.similarity, 0.0);
+      EXPECT_GT(c.weight, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aimq

@@ -1,0 +1,70 @@
+#include "util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace aimq {
+namespace {
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  for (size_t threads : {size_t{0}, size_t{1}, size_t{2}, size_t{7}}) {
+    std::vector<std::atomic<int>> visits(257);
+    ParallelFor(visits.size(), threads,
+                [&](size_t i) { visits[i].fetch_add(1); });
+    for (size_t i = 0; i < visits.size(); ++i) {
+      EXPECT_EQ(visits[i].load(), 1) << "i=" << i << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelForTest, EmptyAndSingleton) {
+  int calls = 0;
+  ParallelFor(0, 4, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  ParallelFor(1, 4, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelForTest, DeterministicPerSlotResults) {
+  // Workers write only their own slot: the result must be identical no
+  // matter how many threads run.
+  auto compute = [](size_t threads) {
+    std::vector<double> out(100);
+    ParallelFor(out.size(), threads, [&](size_t i) {
+      out[i] = static_cast<double>(i * i % 97);
+    });
+    return out;
+  };
+  EXPECT_EQ(compute(1), compute(4));
+  EXPECT_EQ(compute(1), compute(0));
+}
+
+TEST(ParallelForTest, MoreThreadsThanWork) {
+  std::atomic<int> total{0};
+  ParallelFor(3, 16, [&](size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(ResolveThreadsTest, Basics) {
+  EXPECT_EQ(ResolveThreads(5), 5u);
+  EXPECT_GE(ResolveThreads(0), 1u);
+  EXPECT_LE(ResolveThreads(0), 8u);
+}
+
+TEST(ParallelForTest, ParallelSumMatchesSerial) {
+  std::vector<long> values(10000);
+  std::iota(values.begin(), values.end(), 1);
+  std::atomic<long> parallel_sum{0};
+  ParallelFor(values.size(), 4,
+              [&](size_t i) { parallel_sum.fetch_add(values[i]); });
+  long serial_sum = std::accumulate(values.begin(), values.end(), 0L);
+  EXPECT_EQ(parallel_sum.load(), serial_sum);
+}
+
+}  // namespace
+}  // namespace aimq

@@ -1,0 +1,134 @@
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace aimq {
+namespace {
+
+Schema CarSchema() {
+  return Schema::Make({{"Make", AttrType::kCategorical},
+                       {"Model", AttrType::kCategorical},
+                       {"Price", AttrType::kNumeric}})
+      .ValueOrDie();
+}
+
+class ParserTest : public ::testing::Test {
+ protected:
+  ParserTest() : schema_(CarSchema()), parser_(&schema_) {}
+  Schema schema_;
+  QueryParser parser_;
+};
+
+TEST_F(ParserTest, ParsesPreciseEquality) {
+  auto q = parser_.ParsePrecise("CarDB(Make = Ford, Price = 10000)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->NumPredicates(), 2u);
+  EXPECT_EQ(q->predicates()[0], Predicate::Eq("Make", Value::Cat("Ford")));
+  EXPECT_EQ(q->predicates()[1], Predicate::Eq("Price", Value::Num(10000)));
+}
+
+TEST_F(ParserTest, ParsesRangeOperators) {
+  auto q = parser_.ParsePrecise("CarDB(Price < 10000, Price >= 5000)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->predicates()[0].op, CompareOp::kLt);
+  EXPECT_EQ(q->predicates()[1].op, CompareOp::kGe);
+  EXPECT_DOUBLE_EQ(q->predicates()[1].value.AsNum(), 5000.0);
+}
+
+TEST_F(ParserTest, RelationNameIsOptional) {
+  auto q = parser_.ParsePrecise("(Make = Kia)");
+  ASSERT_TRUE(q.ok());
+  auto bare = parser_.ParsePrecise("Make = Kia");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(*q, *bare);
+}
+
+TEST_F(ParserTest, QuotedValuesKeepSpacesAndCommas) {
+  auto q = parser_.ParsePrecise("CarDB(Model = 'Econoline Van')");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->predicates()[0].value, Value::Cat("Econoline Van"));
+
+  auto comma = parser_.ParsePrecise("CarDB(Model = 'a,b', Make = Ford)");
+  ASSERT_TRUE(comma.ok());
+  ASSERT_EQ(comma->NumPredicates(), 2u);
+  EXPECT_EQ(comma->predicates()[0].value, Value::Cat("a,b"));
+}
+
+TEST_F(ParserTest, ParsesImpreciseQuery) {
+  auto q = parser_.ParseImprecise("CarDB(Model like Camry, Price like 10000)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->NumBindings(), 2u);
+  EXPECT_EQ(q->bindings()[0].attribute, "Model");
+  EXPECT_EQ(q->bindings()[0].value, Value::Cat("Camry"));
+  EXPECT_EQ(q->bindings()[1].value, Value::Num(10000));
+}
+
+TEST_F(ParserTest, LikeIsCaseInsensitive) {
+  EXPECT_TRUE(parser_.ParseImprecise("(Model LIKE Camry)").ok());
+  EXPECT_TRUE(parser_.ParseImprecise("(Model Like Camry)").ok());
+}
+
+TEST_F(ParserTest, PreciseRejectsLike) {
+  EXPECT_FALSE(parser_.ParsePrecise("(Model like Camry)").ok());
+}
+
+TEST_F(ParserTest, ImpreciseRejectsPreciseOps) {
+  EXPECT_FALSE(parser_.ParseImprecise("(Price < 10000)").ok());
+}
+
+TEST_F(ParserTest, HybridSplitsConstraints) {
+  SelectionQuery precise;
+  ImpreciseQuery imprecise;
+  ASSERT_TRUE(parser_
+                  .ParseHybrid("CarDB(Model like Camry, Price < 12000)",
+                               &precise, &imprecise)
+                  .ok());
+  EXPECT_EQ(imprecise.NumBindings(), 1u);
+  EXPECT_EQ(precise.NumPredicates(), 1u);
+  EXPECT_EQ(precise.predicates()[0].op, CompareOp::kLt);
+}
+
+TEST_F(ParserTest, RejectsMalformedInput) {
+  EXPECT_FALSE(parser_.ParsePrecise("").ok());
+  EXPECT_FALSE(parser_.ParsePrecise("CarDB(").ok());
+  EXPECT_FALSE(parser_.ParsePrecise("CarDB()").ok());
+  EXPECT_FALSE(parser_.ParsePrecise("CarDB(Make =)").ok());
+  EXPECT_FALSE(parser_.ParsePrecise("CarDB(= Ford)").ok());
+  EXPECT_FALSE(parser_.ParsePrecise("CarDB(Make ~ Ford)").ok());
+  EXPECT_FALSE(parser_.ParsePrecise("CarDB(Make is Ford)").ok());
+  EXPECT_FALSE(parser_.ParsePrecise("CarDB(Make = Ford,)").ok());
+}
+
+TEST_F(ParserTest, RejectsUnknownAttribute) {
+  auto q = parser_.ParsePrecise("CarDB(Bogus = 1)");
+  EXPECT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ParserTest, RejectsTypeMismatch) {
+  EXPECT_FALSE(parser_.ParsePrecise("CarDB(Price = cheap)").ok());
+  // Numeric text for a categorical attribute is a valid categorical value.
+  auto q = parser_.ParsePrecise("CarDB(Make = 2005)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->predicates()[0].value, Value::Cat("2005"));
+}
+
+TEST_F(ParserTest, WhitespaceInsensitive) {
+  auto a = parser_.ParseImprecise("  CarDB (  Model like Camry ,Price like 9000 ) ");
+  auto b = parser_.ParseImprecise("CarDB(Model like Camry, Price like 9000)");
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST_F(ParserTest, RoundTripsWithToString) {
+  ImpreciseQuery q;
+  q.Bind("Model", Value::Cat("Camry"));
+  q.Bind("Price", Value::Num(10000));
+  auto parsed = parser_.ParseImprecise(q.ToString());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, q);
+}
+
+}  // namespace
+}  // namespace aimq

@@ -1,0 +1,163 @@
+#include "afd/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace aimq {
+namespace {
+
+Schema AbSchema() {
+  return Schema::Make({{"A", AttrType::kCategorical},
+                       {"B", AttrType::kCategorical},
+                       {"C", AttrType::kNumeric}})
+      .ValueOrDie();
+}
+
+Relation AbRelation(const std::vector<std::tuple<const char*, const char*,
+                                                 double>>& rows) {
+  Relation r(AbSchema());
+  for (const auto& [a, b, c] : rows) {
+    EXPECT_TRUE(
+        r.Append(Tuple({Value::Cat(a), Value::Cat(b), Value::Num(c)})).ok());
+  }
+  return r;
+}
+
+TEST(StrippedPartitionTest, UniverseHasOneClass) {
+  StrippedPartition p = StrippedPartition::Universe(5);
+  EXPECT_EQ(p.num_rows(), 5u);
+  ASSERT_EQ(p.classes().size(), 1u);
+  EXPECT_EQ(p.classes()[0].size(), 5u);
+  EXPECT_EQ(p.NumClasses(), 1u);
+}
+
+TEST(StrippedPartitionTest, UniverseOfOneRowIsStripped) {
+  StrippedPartition p = StrippedPartition::Universe(1);
+  EXPECT_TRUE(p.classes().empty());
+  EXPECT_EQ(p.NumClasses(), 1u);
+}
+
+TEST(StrippedPartitionTest, FromColumnGroupsEqualValues) {
+  Relation r = AbRelation({{"x", "1", 0},
+                           {"y", "1", 1},
+                           {"x", "2", 2},
+                           {"z", "2", 3},
+                           {"x", "3", 4}});
+  StrippedPartition p = StrippedPartition::FromColumn(r, 0);
+  // x → {0,2,4}; y and z are singletons (stripped).
+  ASSERT_EQ(p.classes().size(), 1u);
+  EXPECT_EQ(p.classes()[0], (std::vector<size_t>{0, 2, 4}));
+  EXPECT_EQ(p.NumClasses(), 3u);
+  EXPECT_EQ(p.NumCoveredRows(), 3u);
+}
+
+TEST(StrippedPartitionTest, NullsFormOneClass) {
+  Relation r(AbSchema());
+  ASSERT_TRUE(r.Append(Tuple({Value(), Value::Cat("1"), Value::Num(0)})).ok());
+  ASSERT_TRUE(r.Append(Tuple({Value(), Value::Cat("2"), Value::Num(1)})).ok());
+  ASSERT_TRUE(
+      r.Append(Tuple({Value::Cat("x"), Value::Cat("3"), Value::Num(2)})).ok());
+  StrippedPartition p = StrippedPartition::FromColumn(r, 0);
+  ASSERT_EQ(p.classes().size(), 1u);
+  EXPECT_EQ(p.classes()[0], (std::vector<size_t>{0, 1}));
+}
+
+TEST(StrippedPartitionTest, ProductRefines) {
+  Relation r = AbRelation({{"x", "1", 0},
+                           {"x", "1", 1},
+                           {"x", "2", 2},
+                           {"y", "1", 3},
+                           {"y", "1", 4}});
+  StrippedPartition pa = StrippedPartition::FromColumn(r, 0);
+  StrippedPartition pb = StrippedPartition::FromColumn(r, 1);
+  StrippedPartition pab = pa.Product(pb);
+  // Classes on {A,B}: {0,1} (x,1), {3,4} (y,1); singletons: 2.
+  ASSERT_EQ(pab.classes().size(), 2u);
+  EXPECT_EQ(pab.classes()[0], (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(pab.classes()[1], (std::vector<size_t>{3, 4}));
+  EXPECT_EQ(pab.NumClasses(), 3u);
+}
+
+TEST(StrippedPartitionTest, ProductIsCommutativeInClasses) {
+  Relation r = AbRelation({{"x", "1", 0},
+                           {"x", "2", 1},
+                           {"y", "1", 2},
+                           {"x", "1", 3},
+                           {"y", "2", 4},
+                           {"y", "1", 5}});
+  StrippedPartition pa = StrippedPartition::FromColumn(r, 0);
+  StrippedPartition pb = StrippedPartition::FromColumn(r, 1);
+  EXPECT_EQ(pa.Product(pb).classes(), pb.Product(pa).classes());
+}
+
+TEST(StrippedPartitionTest, ProductWithUniverseIsIdentity) {
+  Relation r = AbRelation(
+      {{"x", "1", 0}, {"x", "2", 1}, {"y", "1", 2}, {"x", "1", 3}});
+  StrippedPartition pa = StrippedPartition::FromColumn(r, 0);
+  StrippedPartition universe = StrippedPartition::Universe(r.NumTuples());
+  EXPECT_EQ(universe.Product(pa).classes(), pa.classes());
+  EXPECT_EQ(pa.Product(universe).classes(), pa.classes());
+}
+
+TEST(StrippedPartitionTest, KeyErrorZeroForUniqueColumn) {
+  Relation r = AbRelation({{"x", "1", 0}, {"y", "2", 1}, {"z", "3", 2}});
+  StrippedPartition p = StrippedPartition::FromColumn(r, 0);
+  EXPECT_DOUBLE_EQ(p.KeyError(), 0.0);
+}
+
+TEST(StrippedPartitionTest, KeyErrorCountsDuplicates) {
+  // 6 rows, A values: x,x,x,y,y,z → |π| = 3 → error = (6−3)/6 = 0.5.
+  Relation r = AbRelation({{"x", "1", 0},
+                           {"x", "2", 1},
+                           {"x", "3", 2},
+                           {"y", "4", 3},
+                           {"y", "5", 4},
+                           {"z", "6", 5}});
+  StrippedPartition p = StrippedPartition::FromColumn(r, 0);
+  EXPECT_DOUBLE_EQ(p.KeyError(), 0.5);
+}
+
+TEST(StrippedPartitionTest, FdErrorZeroWhenFdHolds) {
+  // A → B holds exactly.
+  Relation r = AbRelation({{"x", "1", 0},
+                           {"x", "1", 1},
+                           {"y", "2", 2},
+                           {"y", "2", 3}});
+  StrippedPartition pa = StrippedPartition::FromColumn(r, 0);
+  StrippedPartition pab =
+      pa.Product(StrippedPartition::FromColumn(r, 1));
+  EXPECT_DOUBLE_EQ(pa.FdError(pab), 0.0);
+}
+
+TEST(StrippedPartitionTest, FdErrorCountsMinorityRows) {
+  // A=x maps to B=1,1,2: one violating row out of 5 total.
+  Relation r = AbRelation({{"x", "1", 0},
+                           {"x", "1", 1},
+                           {"x", "2", 2},
+                           {"y", "3", 3},
+                           {"y", "3", 4}});
+  StrippedPartition pa = StrippedPartition::FromColumn(r, 0);
+  StrippedPartition pab = pa.Product(StrippedPartition::FromColumn(r, 1));
+  EXPECT_DOUBLE_EQ(pa.FdError(pab), 0.2);
+}
+
+TEST(StrippedPartitionTest, FdErrorAllSingletonRhs) {
+  // A=x class of 4 rows, B all distinct: keep one row, remove 3 of 4.
+  Relation r = AbRelation({{"x", "1", 0},
+                           {"x", "2", 1},
+                           {"x", "3", 2},
+                           {"x", "4", 3}});
+  StrippedPartition pa = StrippedPartition::FromColumn(r, 0);
+  StrippedPartition pab = pa.Product(StrippedPartition::FromColumn(r, 1));
+  EXPECT_DOUBLE_EQ(pa.FdError(pab), 0.75);
+}
+
+TEST(StrippedPartitionTest, EmptyRelationEdgeCases) {
+  StrippedPartition p = StrippedPartition::Universe(0);
+  EXPECT_DOUBLE_EQ(p.KeyError(), 0.0);
+  EXPECT_EQ(p.NumClasses(), 0u);
+}
+
+}  // namespace
+}  // namespace aimq

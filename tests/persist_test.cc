@@ -1,0 +1,155 @@
+#include "core/persist.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <unistd.h>
+
+#include "core/engine.h"
+#include "util/csv.h"
+#include "datagen/cardb.h"
+
+namespace aimq {
+namespace {
+
+class PersistTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("aimq_persist_test_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+
+    CarDbSpec spec;
+    spec.num_tuples = 4000;
+    spec.seed = 3;
+    CarDbGenerator generator(spec);
+    db_ = std::make_unique<WebDatabase>("CarDB", generator.Generate());
+    options_.collector.sample_size = 2000;
+    auto knowledge = BuildKnowledge(*db_, options_);
+    ASSERT_TRUE(knowledge.ok()) << knowledge.status().ToString();
+    knowledge_ = std::make_unique<MinedKnowledge>(knowledge.TakeValue());
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+  std::unique_ptr<WebDatabase> db_;
+  std::unique_ptr<MinedKnowledge> knowledge_;
+  AimqOptions options_;
+};
+
+TEST_F(PersistTest, RoundTripsDependencies) {
+  ASSERT_TRUE(SaveKnowledge(*knowledge_, db_->schema(), dir_.string()).ok());
+  auto loaded = LoadKnowledge(db_->schema(), dir_.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  const MinedDependencies& a = knowledge_->dependencies;
+  const MinedDependencies& b = loaded->dependencies;
+  ASSERT_EQ(a.afds.size(), b.afds.size());
+  for (size_t i = 0; i < a.afds.size(); ++i) {
+    EXPECT_EQ(a.afds[i].lhs, b.afds[i].lhs);
+    EXPECT_EQ(a.afds[i].rhs, b.afds[i].rhs);
+    EXPECT_DOUBLE_EQ(a.afds[i].error, b.afds[i].error);
+  }
+  ASSERT_EQ(a.keys.size(), b.keys.size());
+  for (size_t i = 0; i < a.keys.size(); ++i) {
+    EXPECT_EQ(a.keys[i].attrs, b.keys[i].attrs);
+    EXPECT_DOUBLE_EQ(a.keys[i].error, b.keys[i].error);
+    EXPECT_EQ(a.keys[i].minimal, b.keys[i].minimal);
+  }
+}
+
+TEST_F(PersistTest, RoundTripsOrdering) {
+  ASSERT_TRUE(SaveKnowledge(*knowledge_, db_->schema(), dir_.string()).ok());
+  auto loaded = LoadKnowledge(db_->schema(), dir_.string());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->ordering.relaxation_order(),
+            knowledge_->ordering.relaxation_order());
+  EXPECT_EQ(loaded->ordering.best_key().attrs,
+            knowledge_->ordering.best_key().attrs);
+  for (size_t a = 0; a < db_->schema().NumAttributes(); ++a) {
+    EXPECT_DOUBLE_EQ(loaded->ordering.Wimp(a), knowledge_->ordering.Wimp(a));
+    EXPECT_DOUBLE_EQ(loaded->ordering.WtDepends(a),
+                     knowledge_->ordering.WtDepends(a));
+  }
+}
+
+TEST_F(PersistTest, RoundTripsSimilarityModel) {
+  ASSERT_TRUE(SaveKnowledge(*knowledge_, db_->schema(), dir_.string()).ok());
+  auto loaded = LoadKnowledge(db_->schema(), dir_.string());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->vsim.NumStoredPairs(), knowledge_->vsim.NumStoredPairs());
+  for (size_t attr : db_->schema().CategoricalIndices()) {
+    auto values = knowledge_->vsim.MinedValues(attr);
+    ASSERT_EQ(loaded->vsim.MinedValues(attr).size(), values.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+      for (size_t j = i + 1; j < values.size() && j < i + 5; ++j) {
+        EXPECT_DOUBLE_EQ(loaded->vsim.VSim(attr, values[i], values[j]),
+                         knowledge_->vsim.VSim(attr, values[i], values[j]));
+      }
+    }
+  }
+}
+
+TEST_F(PersistTest, RoundTripsSample) {
+  ASSERT_TRUE(SaveKnowledge(*knowledge_, db_->schema(), dir_.string()).ok());
+  auto loaded = LoadKnowledge(db_->schema(), dir_.string());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->sample.tuples(), knowledge_->sample.tuples());
+}
+
+TEST_F(PersistTest, SampleCanBeOmitted) {
+  SaveOptions opts;
+  opts.include_sample = false;
+  ASSERT_TRUE(
+      SaveKnowledge(*knowledge_, db_->schema(), dir_.string(), opts).ok());
+  auto loaded = LoadKnowledge(db_->schema(), dir_.string());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->sample.NumTuples(), 0u);
+}
+
+TEST_F(PersistTest, LoadedKnowledgeAnswersIdentically) {
+  ASSERT_TRUE(SaveKnowledge(*knowledge_, db_->schema(), dir_.string()).ok());
+  auto loaded = LoadKnowledge(db_->schema(), dir_.string());
+  ASSERT_TRUE(loaded.ok());
+
+  AimqEngine original(db_.get(), std::move(*knowledge_), options_);
+  AimqEngine restored(db_.get(), loaded.TakeValue(), options_);
+
+  ImpreciseQuery q;
+  q.Bind("Model", Value::Cat("Civic"));
+  q.Bind("Price", Value::Num(8000));
+  auto a = original.Answer(q);
+  auto b = restored.Answer(q);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].tuple, (*b)[i].tuple);
+    EXPECT_DOUBLE_EQ((*a)[i].similarity, (*b)[i].similarity);
+  }
+}
+
+TEST_F(PersistTest, SchemaMismatchRejected) {
+  ASSERT_TRUE(SaveKnowledge(*knowledge_, db_->schema(), dir_.string()).ok());
+  auto other = Schema::Make({{"A", AttrType::kCategorical},
+                             {"B", AttrType::kNumeric}});
+  EXPECT_FALSE(LoadKnowledge(*other, dir_.string()).ok());
+}
+
+TEST_F(PersistTest, LoadFromMissingDirectoryErrors) {
+  EXPECT_FALSE(LoadKnowledge(db_->schema(), "/nonexistent/aimq").ok());
+}
+
+TEST_F(PersistTest, CorruptedFileSurfacesError) {
+  ASSERT_TRUE(SaveKnowledge(*knowledge_, db_->schema(), dir_.string()).ok());
+  // Truncate dependencies.csv mid-row.
+  ASSERT_TRUE(CsvWriteFile((dir_ / "dependencies.csv").string(),
+                           {{"kind", "lhs_or_attrs", "rhs", "error",
+                             "minimal"},
+                            {"afd", "Make"}})
+                  .ok());
+  EXPECT_FALSE(LoadKnowledge(db_->schema(), dir_.string()).ok());
+}
+
+}  // namespace
+}  // namespace aimq

@@ -1,0 +1,92 @@
+#include "query/predicate.h"
+
+#include <gtest/gtest.h>
+
+namespace aimq {
+namespace {
+
+Schema TestSchema() {
+  return Schema::Make({{"Make", AttrType::kCategorical},
+                       {"Price", AttrType::kNumeric}})
+      .ValueOrDie();
+}
+
+Tuple Row(const std::string& make, double price) {
+  return Tuple({Value::Cat(make), Value::Num(price)});
+}
+
+TEST(PredicateTest, EqualityOnCategorical) {
+  Schema s = TestSchema();
+  Predicate p = Predicate::Eq("Make", Value::Cat("Ford"));
+  EXPECT_TRUE(*p.Matches(s, Row("Ford", 1)));
+  EXPECT_FALSE(*p.Matches(s, Row("Kia", 1)));
+}
+
+TEST(PredicateTest, EqualityOnNumeric) {
+  Schema s = TestSchema();
+  Predicate p = Predicate::Eq("Price", Value::Num(10000));
+  EXPECT_TRUE(*p.Matches(s, Row("Ford", 10000)));
+  EXPECT_FALSE(*p.Matches(s, Row("Ford", 10001)));
+}
+
+TEST(PredicateTest, RangeOperators) {
+  Schema s = TestSchema();
+  Tuple t = Row("Ford", 10.0);
+  EXPECT_TRUE(*Predicate("Price", CompareOp::kLt, Value::Num(11)).Matches(s, t));
+  EXPECT_FALSE(*Predicate("Price", CompareOp::kLt, Value::Num(10)).Matches(s, t));
+  EXPECT_TRUE(*Predicate("Price", CompareOp::kLe, Value::Num(10)).Matches(s, t));
+  EXPECT_TRUE(*Predicate("Price", CompareOp::kGt, Value::Num(9)).Matches(s, t));
+  EXPECT_FALSE(*Predicate("Price", CompareOp::kGt, Value::Num(10)).Matches(s, t));
+  EXPECT_TRUE(*Predicate("Price", CompareOp::kGe, Value::Num(10)).Matches(s, t));
+}
+
+TEST(PredicateTest, RangeOnCategoricalErrors) {
+  Schema s = TestSchema();
+  Predicate p("Make", CompareOp::kLt, Value::Cat("Ford"));
+  EXPECT_FALSE(p.Matches(s, Row("Ford", 1)).ok());
+}
+
+TEST(PredicateTest, LikeIsNotExecutable) {
+  Schema s = TestSchema();
+  Predicate p = Predicate::Like("Make", Value::Cat("Ford"));
+  auto r = p.Matches(s, Row("Ford", 1));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PredicateTest, NullTupleValueNeverMatches) {
+  Schema s = TestSchema();
+  Tuple t({Value(), Value::Num(5)});
+  EXPECT_FALSE(*Predicate::Eq("Make", Value::Cat("Ford")).Matches(s, t));
+}
+
+TEST(PredicateTest, NullPredicateValueNeverMatches) {
+  Schema s = TestSchema();
+  EXPECT_FALSE(*Predicate::Eq("Make", Value()).Matches(s, Row("Ford", 1)));
+}
+
+TEST(PredicateTest, UnknownAttributeErrors) {
+  Schema s = TestSchema();
+  auto r = Predicate::Eq("Bogus", Value::Num(1)).Matches(s, Row("Ford", 1));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(PredicateTest, ToStringRendersOperator) {
+  EXPECT_EQ(Predicate::Eq("Make", Value::Cat("Ford")).ToString(),
+            "Make = Ford");
+  EXPECT_EQ(Predicate("Price", CompareOp::kLe, Value::Num(5)).ToString(),
+            "Price <= 5");
+  EXPECT_EQ(Predicate::Like("Make", Value::Cat("Ford")).ToString(),
+            "Make like Ford");
+}
+
+TEST(CompareOpTest, Symbols) {
+  EXPECT_STREQ(CompareOpSymbol(CompareOp::kEq), "=");
+  EXPECT_STREQ(CompareOpSymbol(CompareOp::kLt), "<");
+  EXPECT_STREQ(CompareOpSymbol(CompareOp::kGe), ">=");
+  EXPECT_STREQ(CompareOpSymbol(CompareOp::kLike), "like");
+}
+
+}  // namespace
+}  // namespace aimq

@@ -1,0 +1,120 @@
+#include "workload/query_log.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <numeric>
+#include <unistd.h>
+
+namespace aimq {
+namespace {
+
+Schema CarSchema() {
+  return Schema::Make({{"Make", AttrType::kCategorical},
+                       {"Model", AttrType::kCategorical},
+                       {"Price", AttrType::kNumeric}})
+      .ValueOrDie();
+}
+
+ImpreciseQuery Q(std::initializer_list<const char*> attrs) {
+  ImpreciseQuery q;
+  for (const char* a : attrs) {
+    q.Bind(a, std::string(a) == "Price" ? Value::Num(1) : Value::Cat("x"));
+  }
+  return q;
+}
+
+TEST(QueryLogTest, RecordsBindCounts) {
+  Schema s = CarSchema();
+  QueryLog log(&s);
+  ASSERT_TRUE(log.Record(Q({"Model", "Price"})).ok());
+  ASSERT_TRUE(log.Record(Q({"Model"})).ok());
+  ASSERT_TRUE(log.Record(Q({"Make", "Model", "Price"})).ok());
+  EXPECT_EQ(log.NumQueries(), 3u);
+  EXPECT_EQ(log.BindCount(0), 1u);  // Make
+  EXPECT_EQ(log.BindCount(1), 3u);  // Model
+  EXPECT_EQ(log.BindCount(2), 2u);  // Price
+}
+
+TEST(QueryLogTest, RejectsUnknownAttributeAtomically) {
+  Schema s = CarSchema();
+  QueryLog log(&s);
+  ImpreciseQuery bad;
+  bad.Bind("Model", Value::Cat("x"));
+  bad.Bind("Bogus", Value::Cat("y"));
+  EXPECT_FALSE(log.Record(bad).ok());
+  // Nothing was recorded, not even the valid binding.
+  EXPECT_EQ(log.NumQueries(), 0u);
+  EXPECT_EQ(log.BindCount(1), 0u);
+}
+
+TEST(QueryLogTest, ImportanceWeightsFollowFrequency) {
+  Schema s = CarSchema();
+  QueryLog log(&s);
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(log.Record(Q({"Model"})).ok());
+  for (int i = 0; i < 2; ++i) ASSERT_TRUE(log.Record(Q({"Price"})).ok());
+  auto w = log.ImportanceWeights(/*smoothing=*/0.0);
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w[0], 0.0);
+  EXPECT_DOUBLE_EQ(w[1], 0.8);
+  EXPECT_DOUBLE_EQ(w[2], 0.2);
+  EXPECT_NEAR(std::accumulate(w.begin(), w.end(), 0.0), 1.0, 1e-12);
+}
+
+TEST(QueryLogTest, SmoothingKeepsUnqueriedAttributesAlive) {
+  Schema s = CarSchema();
+  QueryLog log(&s);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(log.Record(Q({"Model"})).ok());
+  auto w = log.ImportanceWeights(1.0);
+  EXPECT_GT(w[0], 0.0);
+  EXPECT_GT(w[1], w[0]);
+}
+
+TEST(QueryLogTest, EmptyLogIsUniform) {
+  Schema s = CarSchema();
+  QueryLog log(&s);
+  auto w = log.ImportanceWeights();
+  for (double x : w) EXPECT_DOUBLE_EQ(x, 1.0 / 3.0);
+}
+
+TEST(QueryLogTest, SaveLoadRoundTrip) {
+  Schema s = CarSchema();
+  QueryLog log(&s);
+  ASSERT_TRUE(log.Record(Q({"Model", "Price"})).ok());
+  ASSERT_TRUE(log.Record(Q({"Make"})).ok());
+  auto path = std::filesystem::temp_directory_path() /
+              ("aimq_qlog_" + std::to_string(::getpid()) + ".csv");
+  ASSERT_TRUE(log.Save(path.string()).ok());
+  auto loaded = QueryLog::Load(&s, path.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->NumQueries(), 2u);
+  for (size_t a = 0; a < 3; ++a) {
+    EXPECT_EQ(loaded->BindCount(a), log.BindCount(a)) << a;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(BlendWeightsTest, ConvexCombination) {
+  std::vector<double> data{0.8, 0.2, 0.0};
+  std::vector<double> query{0.0, 0.5, 0.5};
+  auto pure_data = BlendWeights(data, query, 0.0);
+  ASSERT_TRUE(pure_data.ok());
+  EXPECT_EQ(*pure_data, data);
+  auto pure_query = BlendWeights(data, query, 1.0);
+  ASSERT_TRUE(pure_query.ok());
+  EXPECT_EQ(*pure_query, query);
+  auto half = BlendWeights(data, query, 0.5);
+  ASSERT_TRUE(half.ok());
+  EXPECT_NEAR((*half)[0], 0.4, 1e-12);
+  EXPECT_NEAR((*half)[1], 0.35, 1e-12);
+  EXPECT_NEAR((*half)[2], 0.25, 1e-12);
+}
+
+TEST(BlendWeightsTest, Validation) {
+  EXPECT_FALSE(BlendWeights({0.5}, {0.5, 0.5}, 0.5).ok());
+  EXPECT_FALSE(BlendWeights({1.0}, {1.0}, -0.1).ok());
+  EXPECT_FALSE(BlendWeights({1.0}, {1.0}, 1.1).ok());
+}
+
+}  // namespace
+}  // namespace aimq

@@ -1,0 +1,175 @@
+#include "relation/relation.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <unordered_set>
+#include <unistd.h>
+
+namespace aimq {
+namespace {
+
+Schema TestSchema() {
+  return Schema::Make({{"Make", AttrType::kCategorical},
+                       {"Price", AttrType::kNumeric}})
+      .ValueOrDie();
+}
+
+Tuple Row(const std::string& make, double price) {
+  return Tuple({Value::Cat(make), Value::Num(price)});
+}
+
+TEST(RelationTest, AppendValidatesArity) {
+  Relation r(TestSchema());
+  EXPECT_TRUE(r.Append(Row("Ford", 1)).ok());
+  EXPECT_FALSE(r.Append(Tuple({Value::Cat("Ford")})).ok());
+  EXPECT_EQ(r.NumTuples(), 1u);
+}
+
+TEST(RelationTest, AppendValidatesTypes) {
+  Relation r(TestSchema());
+  EXPECT_FALSE(r.Append(Tuple({Value::Num(1), Value::Num(2)})).ok());
+  EXPECT_FALSE(r.Append(Tuple({Value::Cat("a"), Value::Cat("b")})).ok());
+}
+
+TEST(RelationTest, NullsAllowedAnywhere) {
+  Relation r(TestSchema());
+  EXPECT_TRUE(r.Append(Tuple({Value(), Value()})).ok());
+}
+
+TEST(RelationTest, TupleAccess) {
+  Relation r(TestSchema());
+  ASSERT_TRUE(r.Append(Row("Kia", 9000)).ok());
+  EXPECT_EQ(r.tuple(0).At(0).AsCat(), "Kia");
+  EXPECT_FALSE(r.Empty());
+}
+
+TEST(RelationTest, DistinctValuesFirstSeenOrder) {
+  Relation r(TestSchema());
+  for (const char* m : {"Ford", "Kia", "Ford", "BMW", "Kia"}) {
+    ASSERT_TRUE(r.Append(Row(m, 1)).ok());
+  }
+  auto distinct = r.DistinctValues(0);
+  ASSERT_EQ(distinct.size(), 3u);
+  EXPECT_EQ(distinct[0], Value::Cat("Ford"));
+  EXPECT_EQ(distinct[1], Value::Cat("Kia"));
+  EXPECT_EQ(distinct[2], Value::Cat("BMW"));
+  EXPECT_EQ(r.DistinctCount(0), 3u);
+}
+
+TEST(RelationTest, DistinctValuesSkipNulls) {
+  Relation r(TestSchema());
+  ASSERT_TRUE(r.Append(Tuple({Value(), Value::Num(1)})).ok());
+  ASSERT_TRUE(r.Append(Row("Ford", 2)).ok());
+  EXPECT_EQ(r.DistinctCount(0), 1u);
+}
+
+TEST(RelationTest, DistinctNumericValues) {
+  Relation r(TestSchema());
+  for (double p : {1.0, 2.0, 1.0, 3.0}) {
+    ASSERT_TRUE(r.Append(Row("x", p)).ok());
+  }
+  EXPECT_EQ(r.DistinctCount(1), 3u);
+}
+
+TEST(RelationTest, SampleWithoutReplacementSizeAndMembership) {
+  Relation r(TestSchema());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(r.Append(Row("m" + std::to_string(i), i)).ok());
+  }
+  Rng rng(5);
+  Relation s = r.SampleWithoutReplacement(30, &rng);
+  EXPECT_EQ(s.NumTuples(), 30u);
+  EXPECT_EQ(s.schema(), r.schema());
+  // All sampled tuples exist in the original, and are distinct.
+  std::set<double> prices;
+  for (const Tuple& t : s.tuples()) {
+    double p = t.At(1).AsNum();
+    EXPECT_TRUE(prices.insert(p).second);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LT(p, 100.0);
+  }
+}
+
+TEST(RelationTest, SampleLargerThanRelationReturnsAll) {
+  Relation r(TestSchema());
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(r.Append(Row("x", i)).ok());
+  Rng rng(5);
+  EXPECT_EQ(r.SampleWithoutReplacement(50, &rng).NumTuples(), 5u);
+}
+
+TEST(RelationTest, SamplingIsDeterministicPerSeed) {
+  Relation r(TestSchema());
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(r.Append(Row("x", i)).ok());
+  Rng rng1(9), rng2(9), rng3(10);
+  Relation a = r.SampleWithoutReplacement(10, &rng1);
+  Relation b = r.SampleWithoutReplacement(10, &rng2);
+  Relation c = r.SampleWithoutReplacement(10, &rng3);
+  EXPECT_EQ(a.tuples(), b.tuples());
+  EXPECT_NE(a.tuples(), c.tuples());
+}
+
+TEST(RelationTest, Head) {
+  Relation r(TestSchema());
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(r.Append(Row("x", i)).ok());
+  Relation h = r.Head(3);
+  ASSERT_EQ(h.NumTuples(), 3u);
+  EXPECT_DOUBLE_EQ(h.tuple(2).At(1).AsNum(), 2.0);
+  EXPECT_EQ(r.Head(99).NumTuples(), 10u);
+  EXPECT_EQ(r.Head(0).NumTuples(), 0u);
+}
+
+class RelationCsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("aimq_relation_test_" + std::to_string(::getpid()) + ".csv");
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::filesystem::path path_;
+};
+
+TEST_F(RelationCsvTest, WriteReadRoundTrip) {
+  Relation r(TestSchema());
+  ASSERT_TRUE(r.Append(Row("Toyota", 10000)).ok());
+  ASSERT_TRUE(r.Append(Tuple({Value(), Value::Num(1.5)})).ok());
+  ASSERT_TRUE(r.WriteCsv(path_.string()).ok());
+
+  auto back = Relation::ReadCsv(path_.string(), TestSchema());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->NumTuples(), 2u);
+  EXPECT_EQ(back->tuple(0), r.tuple(0));
+  EXPECT_TRUE(back->tuple(1).At(0).is_null());
+  EXPECT_DOUBLE_EQ(back->tuple(1).At(1).AsNum(), 1.5);
+}
+
+TEST_F(RelationCsvTest, HeaderMismatchErrors) {
+  Relation r(TestSchema());
+  ASSERT_TRUE(r.WriteCsv(path_.string()).ok());
+  auto other = Schema::Make({{"A", AttrType::kCategorical},
+                             {"B", AttrType::kNumeric}});
+  auto back = Relation::ReadCsv(path_.string(), *other);
+  EXPECT_FALSE(back.ok());
+}
+
+TEST(TupleTest, ToStringAndHash) {
+  Tuple t({Value::Cat("Ford"), Value::Num(5)});
+  EXPECT_EQ(t.ToString(), "<Ford, 5>");
+  Tuple same({Value::Cat("Ford"), Value::Num(5)});
+  Tuple diff({Value::Cat("Ford"), Value::Num(6)});
+  EXPECT_EQ(t, same);
+  EXPECT_EQ(t.Hash(), same.Hash());
+  EXPECT_NE(t, diff);
+}
+
+TEST(TupleTest, HashUsableInUnorderedSet) {
+  std::unordered_set<Tuple, TupleHash> set;
+  set.insert(Tuple({Value::Cat("a")}));
+  set.insert(Tuple({Value::Cat("a")}));
+  set.insert(Tuple({Value::Cat("b")}));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace aimq

@@ -1,0 +1,86 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/cardb.h"
+#include "webdb/web_database.h"
+
+namespace aimq {
+namespace {
+
+class ReportTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CarDbSpec spec;
+    spec.num_tuples = 3000;
+    spec.seed = 33;
+    db_ = new WebDatabase("CarDB", CarDbGenerator(spec).Generate());
+    AimqOptions options;
+    options.collector.sample_size = 1500;
+    auto k = BuildKnowledge(*db_, options);
+    ASSERT_TRUE(k.ok());
+    knowledge_ = new MinedKnowledge(k.TakeValue());
+  }
+  static void TearDownTestSuite() {
+    delete knowledge_;
+    delete db_;
+    knowledge_ = nullptr;
+    db_ = nullptr;
+  }
+
+  static WebDatabase* db_;
+  static MinedKnowledge* knowledge_;
+};
+
+WebDatabase* ReportTest::db_ = nullptr;
+MinedKnowledge* ReportTest::knowledge_ = nullptr;
+
+TEST_F(ReportTest, ContainsAllSections) {
+  std::string md = RenderMiningReport(*knowledge_, db_->schema());
+  for (const char* section :
+       {"# AIMQ mining report", "## Sample", "## Dependencies",
+        "## Attribute ordering", "## Learned value similarity"}) {
+    EXPECT_NE(md.find(section), std::string::npos) << section;
+  }
+}
+
+TEST_F(ReportTest, MentionsEveryAttributeInOrderingTable) {
+  std::string md = RenderMiningReport(*knowledge_, db_->schema());
+  for (const Attribute& a : db_->schema().attributes()) {
+    EXPECT_NE(md.find("| " + a.name + " |"), std::string::npos) << a.name;
+  }
+}
+
+TEST_F(ReportTest, ReportsSampleSizeAndCounts) {
+  std::string md = RenderMiningReport(*knowledge_, db_->schema());
+  EXPECT_NE(md.find("Tuples: 1500"), std::string::npos);
+  EXPECT_NE(md.find("AFDs mined: " + std::to_string(
+                        knowledge_->dependencies.afds.size())),
+            std::string::npos);
+}
+
+TEST_F(ReportTest, ContainsModelToMakeAfd) {
+  std::string md = RenderMiningReport(*knowledge_, db_->schema());
+  EXPECT_NE(md.find("{Model} -> Make"), std::string::npos);
+}
+
+TEST_F(ReportTest, OptionsLimitListLengths) {
+  ReportOptions opts;
+  opts.max_afds = 1;
+  opts.values_per_attribute = 1;
+  opts.neighbors_per_value = 1;
+  std::string small = RenderMiningReport(*knowledge_, db_->schema(), opts);
+  std::string large = RenderMiningReport(*knowledge_, db_->schema());
+  EXPECT_LT(small.size(), large.size());
+}
+
+TEST_F(ReportTest, ProfilesPopularValuesWithNeighbors) {
+  std::string md = RenderMiningReport(*knowledge_, db_->schema());
+  // The most popular make/model should be profiled with bold markers.
+  EXPECT_NE(md.find("**Toyota**"), std::string::npos);
+  EXPECT_NE(md.find("### Make"), std::string::npos);
+  EXPECT_NE(md.find("### Model"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aimq

@@ -1,0 +1,149 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <cmath>
+#include <set>
+
+namespace aimq {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int differ = 0;
+  for (int i = 0; i < 32; ++i) {
+    differ += (a.Next() != b.Next());
+  }
+  EXPECT_GT(differ, 30);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    double d = rng.UniformDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMeanAndSpread) {
+  Rng rng(17);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.Gaussian(10.0, 2.0);
+    sum += g;
+    sq += g * g;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(29);
+  std::vector<double> weights{1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.02);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.02);
+}
+
+TEST(RngTest, CategoricalAllZeroReturnsFirst) {
+  Rng rng(31);
+  EXPECT_EQ(rng.Categorical({0.0, 0.0, 0.0}), 0u);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(37);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(41);
+  auto sample = rng.SampleWithoutReplacement(100, 30);
+  ASSERT_EQ(sample.size(), 30u);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (size_t s : sample) EXPECT_LT(s, 100u);
+}
+
+TEST(RngTest, SampleWithoutReplacementClampsToN) {
+  Rng rng(43);
+  auto sample = rng.SampleWithoutReplacement(5, 50);
+  ASSERT_EQ(sample.size(), 5u);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique, (std::set<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(RngTest, SampleZeroFromEmpty) {
+  Rng rng(47);
+  EXPECT_TRUE(rng.SampleWithoutReplacement(0, 0).empty());
+  EXPECT_TRUE(rng.SampleWithoutReplacement(10, 0).empty());
+}
+
+}  // namespace
+}  // namespace aimq

@@ -1,0 +1,123 @@
+#include "rock/rock_engine.h"
+
+#include <gtest/gtest.h>
+
+namespace aimq {
+namespace {
+
+Schema CarSchema() {
+  return Schema::Make({{"Make", AttrType::kCategorical},
+                       {"Model", AttrType::kCategorical},
+                       {"Color", AttrType::kCategorical}})
+      .ValueOrDie();
+}
+
+Relation CarData() {
+  Relation r(CarSchema());
+  auto add = [&](const char* make, const char* model, const char* color,
+                 int copies) {
+    for (int i = 0; i < copies; ++i) {
+      ASSERT_TRUE(r.Append(Tuple({Value::Cat(make), Value::Cat(model),
+                                  Value::Cat(color)}))
+                      .ok());
+    }
+  };
+  add("Toyota", "Camry", "White", 6);
+  add("Toyota", "Camry", "Black", 6);
+  add("Toyota", "Corolla", "White", 6);
+  add("Ford", "F150", "Red", 6);
+  add("Ford", "Ranger", "Red", 6);
+  return r;
+}
+
+RockEngine BuildEngine() {
+  RockOptions opts;
+  opts.theta = 0.45;
+  opts.num_clusters = 2;
+  opts.sample_size = 30;
+  auto engine = RockEngine::Build(CarData(), opts);
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  return engine.TakeValue();
+}
+
+TEST(RockEngineTest, FindSimilarReturnsClusterMates) {
+  RockEngine engine = BuildEngine();
+  Tuple anchor({Value::Cat("Toyota"), Value::Cat("Camry"),
+                Value::Cat("White")});
+  auto similar = engine.FindSimilar(anchor, 5);
+  ASSERT_TRUE(similar.ok()) << similar.status().ToString();
+  ASSERT_FALSE(similar->empty());
+  // Cluster mates of a Camry are Toyotas, not Fords.
+  for (const RankedAnswer& a : *similar) {
+    EXPECT_EQ(a.tuple.At(0).AsCat(), "Toyota");
+  }
+}
+
+TEST(RockEngineTest, FindSimilarSortedDescending) {
+  RockEngine engine = BuildEngine();
+  Tuple anchor({Value::Cat("Ford"), Value::Cat("F150"), Value::Cat("Red")});
+  auto similar = engine.FindSimilar(anchor, 10);
+  ASSERT_TRUE(similar.ok());
+  for (size_t i = 1; i < similar->size(); ++i) {
+    EXPECT_GE((*similar)[i - 1].similarity, (*similar)[i].similarity);
+  }
+}
+
+TEST(RockEngineTest, FindSimilarExcludesAnchorRow) {
+  RockEngine engine = BuildEngine();
+  Tuple anchor({Value::Cat("Toyota"), Value::Cat("Corolla"),
+                Value::Cat("White")});
+  auto similar = engine.FindSimilar(anchor, 3);
+  ASSERT_TRUE(similar.ok());
+  EXPECT_LE(similar->size(), 3u);
+}
+
+TEST(RockEngineTest, FindSimilarUnseenAnchorFallsBackToClosestCluster) {
+  RockEngine engine = BuildEngine();
+  Tuple anchor({Value::Cat("Toyota"), Value::Cat("Camry"),
+                Value::Cat("Green")});  // color never seen
+  auto similar = engine.FindSimilar(anchor, 5);
+  ASSERT_TRUE(similar.ok());
+  ASSERT_FALSE(similar->empty());
+  EXPECT_EQ((*similar)[0].tuple.At(0).AsCat(), "Toyota");
+}
+
+TEST(RockEngineTest, FindSimilarRejectsArityMismatch) {
+  RockEngine engine = BuildEngine();
+  EXPECT_FALSE(engine.FindSimilar(Tuple({Value::Cat("x")}), 5).ok());
+}
+
+TEST(RockEngineTest, AnswerRanksByQueryItems) {
+  RockEngine engine = BuildEngine();
+  ImpreciseQuery q;
+  q.Bind("Model", Value::Cat("Camry"));
+  auto answers = engine.Answer(q, 5);
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  ASSERT_FALSE(answers->empty());
+  EXPECT_EQ((*answers)[0].tuple.At(1).AsCat(), "Camry");
+  for (size_t i = 1; i < answers->size(); ++i) {
+    EXPECT_GE((*answers)[i - 1].similarity, (*answers)[i].similarity);
+  }
+}
+
+TEST(RockEngineTest, AnswerWithNoExactMatchStillAnswers) {
+  RockEngine engine = BuildEngine();
+  ImpreciseQuery q;
+  q.Bind("Model", Value::Cat("Camry"));
+  q.Bind("Color", Value::Cat("Red"));  // no red Camry exists
+  auto answers = engine.Answer(q, 5);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_FALSE(answers->empty());
+}
+
+TEST(RockEngineTest, AnswerValidatesQuery) {
+  RockEngine engine = BuildEngine();
+  ImpreciseQuery empty;
+  EXPECT_FALSE(engine.Answer(empty, 5).ok());
+  ImpreciseQuery bad;
+  bad.Bind("Bogus", Value::Cat("x"));
+  EXPECT_FALSE(engine.Answer(bad, 5).ok());
+}
+
+}  // namespace
+}  // namespace aimq

@@ -1,0 +1,187 @@
+#include "rock/rock.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace aimq {
+namespace {
+
+Schema TwoCatSchema() {
+  return Schema::Make({{"A", AttrType::kCategorical},
+                       {"B", AttrType::kCategorical},
+                       {"C", AttrType::kCategorical}})
+      .ValueOrDie();
+}
+
+// Two clean clusters of identical-ish tuples plus one outlier.
+Relation TwoClusters() {
+  Relation r(TwoCatSchema());
+  auto add = [&](const char* a, const char* b, const char* c) {
+    ASSERT_TRUE(
+        r.Append(Tuple({Value::Cat(a), Value::Cat(b), Value::Cat(c)})).ok());
+  };
+  for (int i = 0; i < 10; ++i) add("x", "y", i % 2 ? "z" : "w");
+  for (int i = 0; i < 10; ++i) add("p", "q", i % 2 ? "r" : "s");
+  add("lone", "wolf", "tuple");
+  return r;
+}
+
+TEST(RockTest, FTheta) {
+  EXPECT_DOUBLE_EQ(RockClustering::FTheta(0.5), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(RockClustering::FTheta(0.0), 1.0);
+  EXPECT_NEAR(RockClustering::FTheta(1.0), 0.0, 1e-12);
+}
+
+TEST(RockTest, GoodnessDenominatorPositiveAndGrowing) {
+  double d11 = RockClustering::GoodnessDenominator(1, 1, 0.5);
+  double d55 = RockClustering::GoodnessDenominator(5, 5, 0.5);
+  EXPECT_GT(d11, 0.0);
+  EXPECT_GT(d55, d11);
+  // Matches the closed form (n1+n2)^(1+2f) − n1^(1+2f) − n2^(1+2f).
+  double e = 1.0 + 2.0 / 3.0;
+  EXPECT_NEAR(d55, std::pow(10.0, e) - 2.0 * std::pow(5.0, e), 1e-9);
+}
+
+TEST(RockTest, SeparatesObviousClusters) {
+  Relation r = TwoClusters();
+  RockOptions opts;
+  opts.theta = 0.5;
+  opts.num_clusters = 2;
+  opts.sample_size = r.NumTuples();
+  auto rock = RockClustering::Build(r, opts);
+  ASSERT_TRUE(rock.ok()) << rock.status().ToString();
+  const auto& labels = rock->labels();
+  ASSERT_EQ(labels.size(), 21u);
+  // Rows 0-9 share a label; rows 10-19 share a different one.
+  for (int i = 1; i < 10; ++i) EXPECT_EQ(labels[i], labels[0]);
+  for (int i = 11; i < 20; ++i) EXPECT_EQ(labels[i], labels[10]);
+  EXPECT_NE(labels[0], labels[10]);
+}
+
+TEST(RockTest, OutlierWithNoNeighborsUnlabeledOrOwnCluster) {
+  Relation r = TwoClusters();
+  RockOptions opts;
+  opts.theta = 0.5;
+  opts.num_clusters = 2;
+  opts.sample_size = 20;  // outlier row 20 may or may not be sampled
+  opts.seed = 3;
+  auto rock = RockClustering::Build(r, opts);
+  ASSERT_TRUE(rock.ok());
+  // The lone tuple must not join either big cluster via labeling.
+  int32_t lone = rock->labels()[20];
+  if (lone >= 0) {
+    EXPECT_NE(lone, rock->labels()[0]);
+    EXPECT_NE(lone, rock->labels()[10]);
+  }
+}
+
+TEST(RockTest, ClusterMembersConsistentWithLabels) {
+  Relation r = TwoClusters();
+  RockOptions opts;
+  opts.theta = 0.5;
+  opts.num_clusters = 2;
+  opts.sample_size = r.NumTuples();
+  auto rock = RockClustering::Build(r, opts);
+  ASSERT_TRUE(rock.ok());
+  size_t total = 0;
+  for (size_t c = 0; c < rock->num_clusters(); ++c) {
+    for (size_t row : rock->ClusterMembers(static_cast<int32_t>(c))) {
+      EXPECT_EQ(rock->labels()[row], static_cast<int32_t>(c));
+      ++total;
+    }
+  }
+  size_t labeled = 0;
+  for (int32_t l : rock->labels()) labeled += (l >= 0);
+  EXPECT_EQ(total, labeled);
+}
+
+TEST(RockTest, RowSimilarityMatchesItemOverlap) {
+  Relation r = TwoClusters();
+  RockOptions opts;
+  opts.sample_size = r.NumTuples();
+  opts.num_clusters = 2;
+  auto rock = RockClustering::Build(r, opts);
+  ASSERT_TRUE(rock.ok());
+  // Rows 0 and 2 agree on all three attributes ("x","y","w").
+  EXPECT_DOUBLE_EQ(rock->RowSimilarity(0, 2), 1.0);
+  // Rows 0 and 1 agree on 2 of 3 → Jaccard 2/4 = 0.5.
+  EXPECT_DOUBLE_EQ(rock->RowSimilarity(0, 1), 0.5);
+  // Cross-cluster rows share nothing.
+  EXPECT_DOUBLE_EQ(rock->RowSimilarity(0, 10), 0.0);
+}
+
+TEST(RockTest, ItemsForTupleHandlesUnknownValues) {
+  Relation r = TwoClusters();
+  RockOptions opts;
+  opts.sample_size = r.NumTuples();
+  opts.num_clusters = 2;
+  auto rock = RockClustering::Build(r, opts);
+  ASSERT_TRUE(rock.ok());
+  Tuple unknown({Value::Cat("never"), Value::Cat("seen"), Value::Cat("this")});
+  auto items = rock->ItemsForTuple(unknown);
+  EXPECT_EQ(items.size(), 3u);
+  EXPECT_DOUBLE_EQ(rock->ItemsSimilarity(items, 0), 0.0);
+
+  Tuple known({Value::Cat("x"), Value::Cat("y"), Value::Cat("w")});
+  EXPECT_DOUBLE_EQ(rock->ItemsSimilarity(rock->ItemsForTuple(known), 0), 1.0);
+}
+
+TEST(RockTest, NumericAttributesBinned) {
+  auto schema = Schema::Make({{"Cat", AttrType::kCategorical},
+                              {"Num", AttrType::kNumeric}});
+  Relation r(*schema);
+  for (double d : {1.0, 2.0, 100.0, 101.0}) {
+    ASSERT_TRUE(r.Append(Tuple({Value::Cat("c"), Value::Num(d)})).ok());
+  }
+  RockOptions opts;
+  opts.numeric_bins = 2;
+  opts.sample_size = 4;
+  opts.num_clusters = 2;
+  auto rock = RockClustering::Build(r, opts);
+  ASSERT_TRUE(rock.ok());
+  // 1 and 2 share the low bin; 1 and 100 do not.
+  EXPECT_DOUBLE_EQ(rock->RowSimilarity(0, 1), 1.0);
+  EXPECT_LT(rock->RowSimilarity(0, 2), 1.0);
+}
+
+TEST(RockTest, TimingsReported) {
+  Relation r = TwoClusters();
+  RockOptions opts;
+  opts.sample_size = r.NumTuples();
+  opts.num_clusters = 2;
+  RockTimings t;
+  ASSERT_TRUE(RockClustering::Build(r, opts, &t).ok());
+  EXPECT_GE(t.link_seconds, 0.0);
+  EXPECT_GE(t.cluster_seconds, 0.0);
+  EXPECT_GE(t.label_seconds, 0.0);
+}
+
+TEST(RockTest, InputValidation) {
+  Relation empty(TwoCatSchema());
+  EXPECT_FALSE(RockClustering::Build(empty, RockOptions{}).ok());
+
+  Relation r = TwoClusters();
+  RockOptions bad;
+  bad.theta = 0.0;
+  EXPECT_FALSE(RockClustering::Build(r, bad).ok());
+  bad = RockOptions{};
+  bad.num_clusters = 0;
+  EXPECT_FALSE(RockClustering::Build(r, bad).ok());
+}
+
+TEST(RockTest, DeterministicPerSeed) {
+  Relation r = TwoClusters();
+  RockOptions opts;
+  opts.sample_size = 15;
+  opts.num_clusters = 2;
+  opts.seed = 5;
+  auto a = RockClustering::Build(r, opts);
+  auto b = RockClustering::Build(r, opts);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->labels(), b->labels());
+}
+
+}  // namespace
+}  // namespace aimq

@@ -1,0 +1,72 @@
+#include "relation/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace aimq {
+namespace {
+
+Schema CarSchema() {
+  return Schema::Make({{"Make", AttrType::kCategorical},
+                       {"Model", AttrType::kCategorical},
+                       {"Price", AttrType::kNumeric}})
+      .ValueOrDie();
+}
+
+TEST(SchemaTest, MakeValidSchema) {
+  Schema s = CarSchema();
+  EXPECT_EQ(s.NumAttributes(), 3u);
+  EXPECT_EQ(s.attribute(0).name, "Make");
+  EXPECT_EQ(s.attribute(2).type, AttrType::kNumeric);
+}
+
+TEST(SchemaTest, DuplicateNamesRejected) {
+  auto r = Schema::Make({{"A", AttrType::kCategorical},
+                         {"A", AttrType::kNumeric}});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, EmptyNameRejected) {
+  auto r = Schema::Make({{"", AttrType::kCategorical}});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SchemaTest, EmptySchemaIsValid) {
+  auto r = Schema::Make({});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumAttributes(), 0u);
+}
+
+TEST(SchemaTest, IndexOfFindsAttributes) {
+  Schema s = CarSchema();
+  EXPECT_EQ(*s.IndexOf("Make"), 0u);
+  EXPECT_EQ(*s.IndexOf("Price"), 2u);
+  EXPECT_FALSE(s.IndexOf("Nope").ok());
+  EXPECT_EQ(s.IndexOf("Nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, Contains) {
+  Schema s = CarSchema();
+  EXPECT_TRUE(s.Contains("Model"));
+  EXPECT_FALSE(s.Contains("model"));  // case sensitive
+}
+
+TEST(SchemaTest, TypeIndexLists) {
+  Schema s = CarSchema();
+  EXPECT_EQ(s.CategoricalIndices(), (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(s.NumericIndices(), (std::vector<size_t>{2}));
+}
+
+TEST(SchemaTest, ToStringListsAttributes) {
+  EXPECT_EQ(CarSchema().ToString(),
+            "(Make:categorical, Model:categorical, Price:numeric)");
+}
+
+TEST(SchemaTest, EqualityComparesAttributes) {
+  EXPECT_EQ(CarSchema(), CarSchema());
+  auto other = Schema::Make({{"Make", AttrType::kCategorical}});
+  EXPECT_FALSE(CarSchema() == *other);
+}
+
+}  // namespace
+}  // namespace aimq

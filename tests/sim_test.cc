@@ -1,0 +1,228 @@
+#include "core/sim.h"
+
+#include <gtest/gtest.h>
+
+namespace aimq {
+namespace {
+
+Schema CarSchema() {
+  return Schema::Make({{"Model", AttrType::kCategorical},
+                       {"Price", AttrType::kNumeric}})
+      .ValueOrDie();
+}
+
+// Fixture wiring a hand-built ordering + similarity model.
+class SimTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = CarSchema();
+    Relation r(schema_);
+    auto add = [&](const char* model, double price) {
+      ASSERT_TRUE(
+          r.Append(Tuple({Value::Cat(model), Value::Num(price)})).ok());
+    };
+    // Camry and Accord share the price band; Viper is far away.
+    add("Camry", 10000);
+    add("Camry", 10400);
+    add("Accord", 10100);
+    add("Accord", 10600);
+    add("Viper", 60000);
+    add("Viper", 61000);
+
+    MinedDependencies deps;
+    deps.num_attributes = 2;
+    deps.keys.push_back(AKey{AttrBit(0) | AttrBit(1), 0.0, true});
+    deps.afds.push_back(Afd{AttrBit(0), 1, 0.2});
+    // Give Price some antecedent mass too so both Wimp weights are nonzero.
+    deps.afds.push_back(Afd{AttrBit(1), 0, 0.5});
+    auto ordering = AttributeOrdering::Derive(schema_, deps);
+    ASSERT_TRUE(ordering.ok());
+    ordering_ = ordering.TakeValue();
+
+    auto vsim = SimilarityMiner().Mine(r, {0.5, 0.5});
+    ASSERT_TRUE(vsim.ok());
+    vsim_ = vsim.TakeValue();
+  }
+
+  SimilarityFunction MakeSim() const {
+    return SimilarityFunction(&schema_, &ordering_, &vsim_);
+  }
+
+  Schema schema_;
+  AttributeOrdering ordering_;
+  ValueSimilarityModel vsim_;
+};
+
+TEST_F(SimTest, CategoricalUsesVSim) {
+  SimilarityFunction sim = MakeSim();
+  double same = sim.AttributeSim(0, Value::Cat("Camry"), Value::Cat("Camry"));
+  double close = sim.AttributeSim(0, Value::Cat("Camry"), Value::Cat("Accord"));
+  double far = sim.AttributeSim(0, Value::Cat("Camry"), Value::Cat("Viper"));
+  EXPECT_DOUBLE_EQ(same, 1.0);
+  EXPECT_GT(close, far);
+}
+
+TEST_F(SimTest, NumericUsesRelativeDistance) {
+  SimilarityFunction sim = MakeSim();
+  EXPECT_DOUBLE_EQ(sim.AttributeSim(1, Value::Num(10000), Value::Num(10000)),
+                   1.0);
+  EXPECT_NEAR(sim.AttributeSim(1, Value::Num(10000), Value::Num(10500)),
+              0.95, 1e-12);
+  EXPECT_NEAR(sim.AttributeSim(1, Value::Num(10000), Value::Num(9500)),
+              0.95, 1e-12);
+}
+
+TEST_F(SimTest, NumericDistanceClampedToZeroSimilarity) {
+  SimilarityFunction sim = MakeSim();
+  // |10000 − 60000| / 10000 = 5 → clamped distance 1 → similarity 0.
+  EXPECT_DOUBLE_EQ(sim.AttributeSim(1, Value::Num(10000), Value::Num(60000)),
+                   0.0);
+}
+
+TEST_F(SimTest, ZeroQueryValueUsesAbsoluteScale) {
+  SimilarityFunction sim = MakeSim();
+  EXPECT_DOUBLE_EQ(sim.AttributeSim(1, Value::Num(0), Value::Num(0)), 1.0);
+  EXPECT_NEAR(sim.AttributeSim(1, Value::Num(0), Value::Num(0.5)), 0.5,
+              1e-12);
+}
+
+TEST_F(SimTest, NullValuesScoreZero) {
+  SimilarityFunction sim = MakeSim();
+  EXPECT_DOUBLE_EQ(sim.AttributeSim(0, Value(), Value::Cat("Camry")), 0.0);
+  EXPECT_DOUBLE_EQ(sim.AttributeSim(0, Value::Cat("Camry"), Value()), 0.0);
+}
+
+TEST_F(SimTest, QueryTupleSimWeightsOverBoundAttributes) {
+  SimilarityFunction sim = MakeSim();
+  ImpreciseQuery q;
+  q.Bind("Model", Value::Cat("Camry"));
+  q.Bind("Price", Value::Num(10000));
+  Tuple exact({Value::Cat("Camry"), Value::Num(10000)});
+  auto s = sim.QueryTupleSim(q, exact);
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(*s, 1.0);
+}
+
+TEST_F(SimTest, QueryTupleSimBetweenZeroAndOne) {
+  SimilarityFunction sim = MakeSim();
+  ImpreciseQuery q;
+  q.Bind("Model", Value::Cat("Camry"));
+  q.Bind("Price", Value::Num(10000));
+  for (const char* model : {"Camry", "Accord", "Viper"}) {
+    for (double price : {9000.0, 10000.0, 60000.0}) {
+      Tuple t({Value::Cat(model), Value::Num(price)});
+      auto s = sim.QueryTupleSim(q, t);
+      ASSERT_TRUE(s.ok());
+      EXPECT_GE(*s, 0.0);
+      EXPECT_LE(*s, 1.0);
+    }
+  }
+}
+
+TEST_F(SimTest, QueryTupleSimMonotoneInAttributeSim) {
+  SimilarityFunction sim = MakeSim();
+  ImpreciseQuery q;
+  q.Bind("Model", Value::Cat("Camry"));
+  q.Bind("Price", Value::Num(10000));
+  Tuple closer({Value::Cat("Accord"), Value::Num(10000)});
+  Tuple farther({Value::Cat("Viper"), Value::Num(10000)});
+  EXPECT_GT(*sim.QueryTupleSim(q, closer), *sim.QueryTupleSim(q, farther));
+}
+
+TEST_F(SimTest, PartialBindingUsesOnlyBoundAttrs) {
+  SimilarityFunction sim = MakeSim();
+  ImpreciseQuery q;
+  q.Bind("Price", Value::Num(10000));
+  // Model mismatch is invisible to a price-only query.
+  Tuple t({Value::Cat("Viper"), Value::Num(10000)});
+  EXPECT_DOUBLE_EQ(*sim.QueryTupleSim(q, t), 1.0);
+}
+
+TEST_F(SimTest, UnknownAttributeErrors) {
+  SimilarityFunction sim = MakeSim();
+  ImpreciseQuery q;
+  q.Bind("Bogus", Value::Num(1));
+  EXPECT_FALSE(sim.QueryTupleSim(q, Tuple({Value::Cat("x"), Value::Num(1)}))
+                   .ok());
+}
+
+TEST_F(SimTest, EmptyQueryScoresZero) {
+  SimilarityFunction sim = MakeSim();
+  ImpreciseQuery q;
+  EXPECT_DOUBLE_EQ(*sim.QueryTupleSim(q, Tuple({Value::Cat("x"),
+                                                Value::Num(1)})),
+                   0.0);
+}
+
+TEST_F(SimTest, TupleTupleSimMatchesFullyBoundQuery) {
+  SimilarityFunction sim = MakeSim();
+  Tuple anchor({Value::Cat("Camry"), Value::Num(10000)});
+  Tuple other({Value::Cat("Accord"), Value::Num(10500)});
+  ImpreciseQuery q;
+  q.Bind("Model", Value::Cat("Camry"));
+  q.Bind("Price", Value::Num(10000));
+  EXPECT_NEAR(sim.TupleTupleSim(anchor, other, {0, 1}),
+              *sim.QueryTupleSim(q, other), 1e-12);
+}
+
+TEST_F(SimTest, TupleTupleSimRestrictedAttrs) {
+  SimilarityFunction sim = MakeSim();
+  Tuple anchor({Value::Cat("Camry"), Value::Num(10000)});
+  Tuple other({Value::Cat("Viper"), Value::Num(10000)});
+  EXPECT_DOUBLE_EQ(sim.TupleTupleSim(anchor, other, {1}), 1.0);
+  EXPECT_LT(sim.TupleTupleSim(anchor, other, {0}), 0.5);
+  EXPECT_DOUBLE_EQ(sim.TupleTupleSim(anchor, other, {}), 0.0);
+}
+
+TEST_F(SimTest, MinMaxScaledUsesSampleRanges) {
+  SimilarityFunction sim(&schema_, &ordering_, &vsim_,
+                         NumericSimKind::kMinMaxScaled);
+  sim.SetNumericRanges({{0, 0}, {0, 100000}});
+  // |10000 − 60000| / 100000 = 0.5 → similarity 0.5, where the paper's
+  // query-relative form would clamp to 0.
+  EXPECT_NEAR(sim.AttributeSim(1, Value::Num(10000), Value::Num(60000)), 0.5,
+              1e-12);
+  EXPECT_DOUBLE_EQ(sim.AttributeSim(1, Value::Num(5), Value::Num(5)), 1.0);
+}
+
+TEST_F(SimTest, MinMaxWithoutRangeFallsBackToQueryRelative) {
+  SimilarityFunction sim(&schema_, &ordering_, &vsim_,
+                         NumericSimKind::kMinMaxScaled);
+  // No ranges set → behave like the paper's formula.
+  EXPECT_NEAR(sim.AttributeSim(1, Value::Num(10000), Value::Num(10500)), 0.95,
+              1e-12);
+}
+
+TEST_F(SimTest, GaussianKernelDecaysSmoothly) {
+  SimilarityFunction sim(&schema_, &ordering_, &vsim_,
+                         NumericSimKind::kGaussian);
+  double same = sim.AttributeSim(1, Value::Num(10000), Value::Num(10000));
+  double close = sim.AttributeSim(1, Value::Num(10000), Value::Num(11000));
+  double far = sim.AttributeSim(1, Value::Num(10000), Value::Num(20000));
+  EXPECT_DOUBLE_EQ(same, 1.0);
+  EXPECT_GT(close, far);
+  EXPECT_GT(far, 0.0);  // never exactly zero
+  EXPECT_LT(far, 0.01);
+}
+
+TEST_F(SimTest, NumericKindsAgreeOnExactMatch) {
+  for (NumericSimKind kind : {NumericSimKind::kQueryRelative,
+                              NumericSimKind::kMinMaxScaled,
+                              NumericSimKind::kGaussian}) {
+    SimilarityFunction sim(&schema_, &ordering_, &vsim_, kind);
+    EXPECT_DOUBLE_EQ(sim.AttributeSim(1, Value::Num(123), Value::Num(123)),
+                     1.0);
+  }
+}
+
+TEST_F(SimTest, NullAnchorAttributeKeepsWeightButScoresZero) {
+  SimilarityFunction sim = MakeSim();
+  Tuple anchor({Value(), Value::Num(10000)});
+  Tuple other({Value::Cat("Camry"), Value::Num(10000)});
+  double s = sim.TupleTupleSim(anchor, other, {0, 1});
+  EXPECT_LT(s, 1.0);
+  EXPECT_GT(s, 0.0);
+}
+
+}  // namespace
+}  // namespace aimq

@@ -1,0 +1,105 @@
+#include "similarity/similarity_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace aimq {
+namespace {
+
+Schema CarSchema() {
+  return Schema::Make({{"Make", AttrType::kCategorical},
+                       {"Segment", AttrType::kCategorical}})
+      .ValueOrDie();
+}
+
+Relation TestData() {
+  Relation r(CarSchema());
+  auto add = [&](const char* make, const char* seg) {
+    ASSERT_TRUE(
+        r.Append(Tuple({Value::Cat(make), Value::Cat(seg)})).ok());
+  };
+  add("Toyota", "sedan");
+  add("Toyota", "suv");
+  add("Honda", "sedan");
+  add("Honda", "suv");
+  add("Harley", "bike");
+  add("Harley", "bike");
+  return r;
+}
+
+ValueSimilarityModel MineModel() {
+  Relation r = TestData();
+  auto model = SimilarityMiner().Mine(r, {0.5, 0.5});
+  EXPECT_TRUE(model.ok());
+  return model.TakeValue();
+}
+
+TEST(SimilarityGraphTest, ThresholdPrunesEdges) {
+  ValueSimilarityModel model = MineModel();
+  SimilarityGraph all = SimilarityGraph::Extract(model, 0, 0.0);
+  SimilarityGraph strict = SimilarityGraph::Extract(model, 0, 0.9);
+  EXPECT_GE(all.edges().size(), strict.edges().size());
+  for (const SimilarityEdge& e : strict.edges()) {
+    EXPECT_GE(e.similarity, 0.9);
+  }
+}
+
+TEST(SimilarityGraphTest, NodesAreAllMinedValues) {
+  ValueSimilarityModel model = MineModel();
+  SimilarityGraph g = SimilarityGraph::Extract(model, 0, 0.5);
+  EXPECT_EQ(g.nodes().size(), 3u);
+}
+
+TEST(SimilarityGraphTest, EdgesSortedByDescendingSimilarity) {
+  ValueSimilarityModel model = MineModel();
+  SimilarityGraph g = SimilarityGraph::Extract(model, 0, 0.0);
+  for (size_t i = 1; i < g.edges().size(); ++i) {
+    EXPECT_GE(g.edges()[i - 1].similarity, g.edges()[i].similarity);
+  }
+}
+
+TEST(SimilarityGraphTest, ToyotaHondaEdgeSurvives) {
+  ValueSimilarityModel model = MineModel();
+  // Toyota and Honda share the segment mix exactly; Harley is disconnected
+  // at a moderate threshold.
+  SimilarityGraph g = SimilarityGraph::Extract(model, 0, 0.5);
+  bool found = false;
+  for (const SimilarityEdge& e : g.edges()) {
+    EXPECT_NE(e.a.ToString(), "Harley");
+    EXPECT_NE(e.b.ToString(), "Harley");
+    if ((e.a == Value::Cat("Honda") && e.b == Value::Cat("Toyota")) ||
+        (e.a == Value::Cat("Toyota") && e.b == Value::Cat("Honda"))) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SimilarityGraphTest, EdgesOfFiltersIncidentEdges) {
+  ValueSimilarityModel model = MineModel();
+  SimilarityGraph g = SimilarityGraph::Extract(model, 0, 0.0);
+  auto edges = g.EdgesOf(Value::Cat("Toyota"));
+  for (const SimilarityEdge& e : edges) {
+    EXPECT_TRUE(e.a == Value::Cat("Toyota") || e.b == Value::Cat("Toyota"));
+  }
+  EXPECT_TRUE(g.EdgesOf(Value::Cat("Nope")).empty());
+}
+
+TEST(SimilarityGraphTest, DotOutputWellFormed) {
+  ValueSimilarityModel model = MineModel();
+  SimilarityGraph g = SimilarityGraph::Extract(model, 0, 0.0);
+  std::string dot = g.ToDot("makes");
+  EXPECT_EQ(dot.find("graph \"makes\" {"), 0u);
+  EXPECT_NE(dot.find("\"Toyota\""), std::string::npos);
+  EXPECT_NE(dot.find("--"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(SimilarityGraphTest, EmptyModelYieldsEmptyGraph) {
+  ValueSimilarityModel model;
+  SimilarityGraph g = SimilarityGraph::Extract(model, 0, 0.5);
+  EXPECT_TRUE(g.nodes().empty());
+  EXPECT_TRUE(g.edges().empty());
+}
+
+}  // namespace
+}  // namespace aimq

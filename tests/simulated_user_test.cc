@@ -1,0 +1,97 @@
+#include "eval/simulated_user.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace aimq {
+namespace {
+
+Tuple T(double x) { return Tuple({Value::Num(x)}); }
+
+// Oracle: similarity decays with numeric distance.
+double Oracle(const Tuple& q, const Tuple& t) {
+  double d = std::abs(q.At(0).AsNum() - t.At(0).AsNum()) / 10.0;
+  return d > 1.0 ? 0.0 : 1.0 - d;
+}
+
+std::vector<RankedAnswer> Answers(std::initializer_list<double> xs) {
+  std::vector<RankedAnswer> out;
+  for (double x : xs) out.push_back(RankedAnswer{T(x), 0.0});
+  return out;
+}
+
+SimulatedUserOptions NoNoise() {
+  SimulatedUserOptions opts;
+  opts.noise_stddev = 0.0;
+  opts.irrelevant_below = 0.3;
+  return opts;
+}
+
+TEST(SimulatedUserTest, RanksByOracleSimilarity) {
+  SimulatedUser user(Oracle, NoNoise());
+  // Query 0; answers at distances 3, 1, 2. The user's best answer is the
+  // one at distance 1 (rank 1), then distance 2 (rank 2), then 3 (rank 3),
+  // reported aligned with the system's answer order.
+  auto ranks = user.RankAnswers(T(0), Answers({3, 1, 2}));
+  EXPECT_EQ(ranks, (std::vector<int>{3, 1, 2}));
+}
+
+TEST(SimulatedUserTest, PerfectSystemOrderGetsIdentityRanks) {
+  SimulatedUser user(Oracle, NoNoise());
+  auto ranks = user.RankAnswers(T(0), Answers({0.5, 1, 2, 3}));
+  EXPECT_EQ(ranks, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(SimulatedUserTest, IrrelevantAnswersGetRankZero) {
+  SimulatedUser user(Oracle, NoNoise());
+  // Distance 9 → similarity 0.1 < 0.3 floor.
+  auto ranks = user.RankAnswers(T(0), Answers({1, 9}));
+  EXPECT_EQ(ranks[0], 1);
+  EXPECT_EQ(ranks[1], 0);
+}
+
+TEST(SimulatedUserTest, RanksAreDensePermutationOfRelevant) {
+  SimulatedUser user(Oracle, NoNoise());
+  auto ranks = user.RankAnswers(T(0), Answers({5, 1, 9, 2, 3}));
+  std::multiset<int> nonzero;
+  for (int r : ranks) {
+    if (r != 0) nonzero.insert(r);
+  }
+  // Exactly ranks 1..4 among the four relevant answers.
+  EXPECT_EQ(nonzero, (std::multiset<int>{1, 2, 3, 4}));
+}
+
+TEST(SimulatedUserTest, EmptyAnswerList) {
+  SimulatedUser user(Oracle, NoNoise());
+  EXPECT_TRUE(user.RankAnswers(T(0), {}).empty());
+}
+
+TEST(SimulatedUserTest, NoiseIsDeterministicPerSeed) {
+  SimulatedUserOptions opts;
+  opts.noise_stddev = 0.1;
+  opts.seed = 21;
+  SimulatedUser a(Oracle, opts), b(Oracle, opts);
+  auto answers = Answers({1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(a.RankAnswers(T(0), answers), b.RankAnswers(T(0), answers));
+}
+
+TEST(SimulatedUserTest, HighNoiseCanReorder) {
+  SimulatedUserOptions opts;
+  opts.noise_stddev = 1.0;
+  opts.irrelevant_below = -10.0;  // nothing is irrelevant
+  opts.seed = 33;
+  SimulatedUser noisy(Oracle, opts);
+  // With huge noise across many trials, at least one ranking must deviate
+  // from the oracle order.
+  bool deviated = false;
+  for (int trial = 0; trial < 20 && !deviated; ++trial) {
+    auto ranks = noisy.RankAnswers(T(0), Answers({1, 2, 3, 4}));
+    deviated = (ranks != std::vector<int>{1, 2, 3, 4});
+  }
+  EXPECT_TRUE(deviated);
+}
+
+}  // namespace
+}  // namespace aimq

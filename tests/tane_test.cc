@@ -1,0 +1,319 @@
+#include "afd/tane.h"
+
+#include <gtest/gtest.h>
+
+#include "afd/miner.h"
+
+namespace aimq {
+namespace {
+
+Schema Abc() {
+  return Schema::Make({{"A", AttrType::kCategorical},
+                       {"B", AttrType::kCategorical},
+                       {"C", AttrType::kCategorical}})
+      .ValueOrDie();
+}
+
+Relation FromRows(const Schema& schema,
+                  const std::vector<std::vector<const char*>>& rows) {
+  Relation r(schema);
+  for (const auto& row : rows) {
+    std::vector<Value> vals;
+    for (const char* c : row) vals.push_back(Value::Cat(c));
+    EXPECT_TRUE(r.Append(Tuple(std::move(vals))).ok());
+  }
+  return r;
+}
+
+const Afd* FindAfd(const MinedDependencies& deps, AttrSet lhs, size_t rhs) {
+  for (const Afd& a : deps.afds) {
+    if (a.lhs == lhs && a.rhs == rhs) return &a;
+  }
+  return nullptr;
+}
+
+const AKey* FindKey(const MinedDependencies& deps, AttrSet attrs) {
+  for (const AKey& k : deps.keys) {
+    if (k.attrs == attrs) return &k;
+  }
+  return nullptr;
+}
+
+TEST(TaneTest, FindsExactFd) {
+  // A → B holds exactly; B → A does not (B=1 maps to x and y).
+  Relation r = FromRows(Abc(), {{"x", "1", "p"},
+                                {"x", "1", "q"},
+                                {"y", "1", "p"},
+                                {"y", "1", "q"},
+                                {"z", "2", "p"},
+                                {"z", "2", "q"}});
+  TaneOptions opts;
+  opts.error_threshold = 0.0;
+  opts.prune_key_lhs = false;
+  auto deps = Tane::Mine(r, opts);
+  ASSERT_TRUE(deps.ok());
+  const Afd* ab = FindAfd(*deps, AttrBit(0), 1);
+  ASSERT_NE(ab, nullptr);
+  EXPECT_DOUBLE_EQ(ab->error, 0.0);
+  EXPECT_DOUBLE_EQ(ab->Support(), 1.0);
+  EXPECT_EQ(FindAfd(*deps, AttrBit(1), 0), nullptr);
+}
+
+TEST(TaneTest, ApproximateFdWithinThreshold) {
+  // A → B violated by exactly 1 of 8 rows (error 0.125).
+  Relation r = FromRows(Abc(), {{"x", "1", "a"},
+                                {"x", "1", "b"},
+                                {"x", "1", "c"},
+                                {"x", "2", "d"},
+                                {"y", "3", "a"},
+                                {"y", "3", "b"},
+                                {"y", "3", "c"},
+                                {"y", "3", "d"}});
+  TaneOptions opts;
+  opts.error_threshold = 0.15;
+  opts.prune_key_lhs = false;
+  auto deps = Tane::Mine(r, opts);
+  ASSERT_TRUE(deps.ok());
+  const Afd* ab = FindAfd(*deps, AttrBit(0), 1);
+  ASSERT_NE(ab, nullptr);
+  EXPECT_NEAR(ab->error, 0.125, 1e-12);
+
+  // A lower threshold rejects it.
+  opts.error_threshold = 0.10;
+  auto strict = Tane::Mine(r, opts);
+  ASSERT_TRUE(strict.ok());
+  EXPECT_EQ(FindAfd(*strict, AttrBit(0), 1), nullptr);
+}
+
+TEST(TaneTest, FindsCompositeLhsFd) {
+  // Neither A nor B alone determines C, but {A,B} does.
+  Relation r = FromRows(Abc(), {{"x", "1", "p"},
+                                {"x", "1", "p"},
+                                {"x", "2", "q"},
+                                {"y", "1", "q"},
+                                {"y", "1", "q"},
+                                {"y", "2", "p"}});
+  TaneOptions opts;
+  opts.error_threshold = 0.0;
+  opts.prune_key_lhs = false;
+  auto deps = Tane::Mine(r, opts);
+  ASSERT_TRUE(deps.ok());
+  EXPECT_EQ(FindAfd(*deps, AttrBit(0), 2), nullptr);
+  EXPECT_EQ(FindAfd(*deps, AttrBit(1), 2), nullptr);
+  const Afd* abc = FindAfd(*deps, AttrBit(0) | AttrBit(1), 2);
+  ASSERT_NE(abc, nullptr);
+  EXPECT_DOUBLE_EQ(abc->error, 0.0);
+}
+
+TEST(TaneTest, FindsExactAndApproximateKeys) {
+  // A unique → exact key. B has one duplicate pair among 4 rows.
+  Relation r = FromRows(Abc(), {{"w", "1", "p"},
+                                {"x", "1", "p"},
+                                {"y", "2", "p"},
+                                {"z", "3", "p"}});
+  TaneOptions opts;
+  opts.error_threshold = 0.3;
+  auto deps = Tane::Mine(r, opts);
+  ASSERT_TRUE(deps.ok());
+  const AKey* ka = FindKey(*deps, AttrBit(0));
+  ASSERT_NE(ka, nullptr);
+  EXPECT_DOUBLE_EQ(ka->error, 0.0);
+  EXPECT_TRUE(ka->minimal);
+  const AKey* kb = FindKey(*deps, AttrBit(1));
+  ASSERT_NE(kb, nullptr);
+  EXPECT_DOUBLE_EQ(kb->error, 0.25);  // remove 1 of 4 rows
+  // C is constant: terrible key, not mined at threshold 0.3.
+  EXPECT_EQ(FindKey(*deps, AttrBit(2)), nullptr);
+}
+
+TEST(TaneTest, SupersetsOfKeysAreNonMinimal) {
+  Relation r = FromRows(Abc(), {{"w", "1", "p"},
+                                {"x", "1", "q"},
+                                {"y", "2", "p"},
+                                {"z", "3", "q"}});
+  TaneOptions opts;
+  opts.error_threshold = 0.0;
+  opts.max_key_size = 3;
+  auto deps = Tane::Mine(r, opts);
+  ASSERT_TRUE(deps.ok());
+  const AKey* ab = FindKey(*deps, AttrBit(0) | AttrBit(1));
+  ASSERT_NE(ab, nullptr);
+  EXPECT_FALSE(ab->minimal);  // A alone is already a key
+}
+
+TEST(TaneTest, PruneKeyLhsDropsVacuousAfds) {
+  // A is unique → every A→X AFD is vacuous.
+  Relation r = FromRows(Abc(), {{"w", "1", "p"},
+                                {"x", "1", "q"},
+                                {"y", "2", "p"},
+                                {"z", "2", "q"}});
+  TaneOptions opts;
+  opts.error_threshold = 0.0;
+  opts.prune_key_lhs = true;
+  auto pruned = Tane::Mine(r, opts);
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_EQ(FindAfd(*pruned, AttrBit(0), 1), nullptr);
+
+  opts.prune_key_lhs = false;
+  auto unpruned = Tane::Mine(r, opts);
+  ASSERT_TRUE(unpruned.ok());
+  EXPECT_NE(FindAfd(*unpruned, AttrBit(0), 1), nullptr);
+}
+
+TEST(TaneTest, MinimalOnlySuppressesRedundantSupersets) {
+  // A → C exactly; then {A,B} → C is non-minimal.
+  Relation r = FromRows(Abc(), {{"x", "1", "p"},
+                                {"x", "2", "p"},
+                                {"y", "1", "q"},
+                                {"y", "2", "q"}});
+  TaneOptions opts;
+  opts.error_threshold = 0.0;
+  opts.prune_key_lhs = false;
+  opts.minimal_afds_only = true;
+  auto deps = Tane::Mine(r, opts);
+  ASSERT_TRUE(deps.ok());
+  EXPECT_NE(FindAfd(*deps, AttrBit(0), 2), nullptr);
+  EXPECT_EQ(FindAfd(*deps, AttrBit(0) | AttrBit(1), 2), nullptr);
+
+  opts.minimal_afds_only = false;
+  auto all = Tane::Mine(r, opts);
+  ASSERT_TRUE(all.ok());
+  EXPECT_NE(FindAfd(*all, AttrBit(0) | AttrBit(1), 2), nullptr);
+}
+
+TEST(TaneTest, MaxLhsSizeLimitsSearch) {
+  Relation r = FromRows(Abc(), {{"x", "1", "p"},
+                                {"x", "2", "q"},
+                                {"y", "1", "q"},
+                                {"y", "2", "p"}});
+  TaneOptions opts;
+  opts.error_threshold = 0.0;
+  opts.max_lhs_size = 1;
+  opts.prune_key_lhs = false;
+  auto deps = Tane::Mine(r, opts);
+  ASSERT_TRUE(deps.ok());
+  for (const Afd& a : deps->afds) {
+    EXPECT_LE(a.LhsSize(), 1u);
+  }
+}
+
+TEST(TaneTest, MinGainFiltersSkewDominatedAfds) {
+  // C is "p" for 7 of 8 rows: every X→C holds at error <= 0.125 merely
+  // because of the skew; min_gain must discard those vacuous AFDs while an
+  // informative one (A→B) survives.
+  Relation r = FromRows(Abc(), {{"x", "1", "p"},
+                                {"x", "1", "p"},
+                                {"x", "1", "p"},
+                                {"x", "1", "p"},
+                                {"y", "2", "p"},
+                                {"y", "2", "p"},
+                                {"y", "2", "p"},
+                                {"y", "2", "q"}});
+  TaneOptions opts;
+  opts.error_threshold = 0.2;
+  opts.prune_key_lhs = false;
+  opts.min_gain = 0.3;
+  auto deps = Tane::Mine(r, opts);
+  ASSERT_TRUE(deps.ok());
+  EXPECT_EQ(FindAfd(*deps, AttrBit(0), 2), nullptr);  // A→C vacuous
+  EXPECT_NE(FindAfd(*deps, AttrBit(0), 1), nullptr);  // A→B real
+
+  opts.min_gain = 0.0;
+  auto unfiltered = Tane::Mine(r, opts);
+  ASSERT_TRUE(unfiltered.ok());
+  EXPECT_NE(FindAfd(*unfiltered, AttrBit(0), 2), nullptr);
+}
+
+TEST(TaneTest, SeparateKeyThreshold) {
+  // B has 1 duplicate in 4 rows (key error 0.25). A wide AFD threshold must
+  // not force that weak key in when key_error_threshold is strict.
+  Relation r = FromRows(Abc(), {{"w", "1", "p"},
+                                {"x", "1", "q"},
+                                {"y", "2", "r"},
+                                {"z", "3", "s"}});
+  TaneOptions opts;
+  opts.error_threshold = 0.5;
+  opts.key_error_threshold = 0.1;
+  auto deps = Tane::Mine(r, opts);
+  ASSERT_TRUE(deps.ok());
+  EXPECT_NE(FindKey(*deps, AttrBit(0)), nullptr);  // A unique
+  EXPECT_EQ(FindKey(*deps, AttrBit(1)), nullptr);  // B error 0.25 > 0.1
+
+  opts.key_error_threshold = -1.0;  // fall back to error_threshold
+  auto loose = Tane::Mine(r, opts);
+  ASSERT_TRUE(loose.ok());
+  EXPECT_NE(FindKey(*loose, AttrBit(1)), nullptr);
+}
+
+TEST(TaneTest, RejectsBadInputs) {
+  Relation empty(Abc());
+  EXPECT_FALSE(Tane::Mine(empty, TaneOptions{}).ok());
+
+  Relation r = FromRows(Abc(), {{"x", "1", "p"}});
+  TaneOptions bad;
+  bad.error_threshold = 1.5;
+  EXPECT_FALSE(Tane::Mine(r, bad).ok());
+  bad = TaneOptions{};
+  bad.max_lhs_size = 0;
+  EXPECT_FALSE(Tane::Mine(r, bad).ok());
+}
+
+TEST(TaneTest, DeterministicOutputOrder) {
+  Relation r = FromRows(Abc(), {{"x", "1", "p"},
+                                {"x", "1", "q"},
+                                {"y", "2", "p"},
+                                {"y", "2", "q"},
+                                {"z", "2", "p"}});
+  TaneOptions opts;
+  opts.error_threshold = 0.4;
+  auto a = Tane::Mine(r, opts);
+  auto b = Tane::Mine(r, opts);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->afds.size(), b->afds.size());
+  for (size_t i = 0; i < a->afds.size(); ++i) {
+    EXPECT_EQ(a->afds[i].lhs, b->afds[i].lhs);
+    EXPECT_EQ(a->afds[i].rhs, b->afds[i].rhs);
+  }
+  // Sorted by LHS size first.
+  for (size_t i = 1; i < a->afds.size(); ++i) {
+    EXPECT_LE(a->afds[i - 1].LhsSize(), a->afds[i].LhsSize());
+  }
+}
+
+TEST(MinedDependenciesTest, BestKeyPrefersSupportThenSize) {
+  MinedDependencies deps;
+  deps.num_attributes = 3;
+  deps.keys.push_back(AKey{AttrBit(0), 0.2, true});
+  deps.keys.push_back(AKey{AttrBit(1) | AttrBit(2), 0.0, true});
+  deps.keys.push_back(AKey{AttrBit(0) | AttrBit(1) | AttrBit(2), 0.0, false});
+  auto best = deps.BestKey();
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best->attrs, AttrBit(1) | AttrBit(2));  // support 1.0, size 2
+}
+
+TEST(MinedDependenciesTest, BestKeyErrorsWhenEmpty) {
+  MinedDependencies deps;
+  EXPECT_FALSE(deps.BestKey().ok());
+}
+
+TEST(MinedDependenciesTest, FilterHelpers) {
+  MinedDependencies deps;
+  deps.afds.push_back(Afd{AttrBit(0), 1, 0.0});
+  deps.afds.push_back(Afd{AttrBit(0) | AttrBit(2), 1, 0.1});
+  deps.afds.push_back(Afd{AttrBit(2), 0, 0.05});
+  EXPECT_EQ(deps.AfdsWithRhs(1).size(), 2u);
+  EXPECT_EQ(deps.AfdsWithRhs(0).size(), 1u);
+  EXPECT_EQ(deps.AfdsWithLhsContaining(0).size(), 2u);
+  EXPECT_EQ(deps.AfdsWithLhsContaining(2).size(), 2u);
+}
+
+TEST(AfdRenderTest, ToStringShowsSupport) {
+  Schema s = Abc();
+  Afd afd{AttrBit(0) | AttrBit(1), 2, 0.25};
+  EXPECT_EQ(afd.ToString(s), "{A, B} -> C (support 0.750)");
+  AKey key{AttrBit(0), 0.0, true};
+  EXPECT_EQ(key.ToString(s), "{A} (support 1.000, quality 1.000, minimal)");
+}
+
+}  // namespace
+}  // namespace aimq

@@ -1,0 +1,112 @@
+#include "util/topk.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace aimq {
+namespace {
+
+TEST(TopKTest, KeepsHighestScores) {
+  TopK<std::string> topk(2);
+  topk.Add(0.3, "low");
+  topk.Add(0.9, "high");
+  topk.Add(0.6, "mid");
+  auto out = topk.Extract();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].second, "high");
+  EXPECT_EQ(out[1].second, "mid");
+}
+
+TEST(TopKTest, ExtractSortedDescending) {
+  TopK<int> topk(5);
+  for (int i = 0; i < 5; ++i) topk.Add(i * 0.1, i);
+  auto out = topk.Extract();
+  ASSERT_EQ(out.size(), 5u);
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_GE(out[i - 1].first, out[i].first);
+  }
+}
+
+TEST(TopKTest, FewerItemsThanK) {
+  TopK<int> topk(10);
+  topk.Add(1.0, 1);
+  topk.Add(2.0, 2);
+  EXPECT_EQ(topk.Size(), 2u);
+  EXPECT_EQ(topk.Extract().size(), 2u);
+}
+
+TEST(TopKTest, ZeroCapacityKeepsNothing) {
+  TopK<int> topk(0);
+  topk.Add(1.0, 1);
+  EXPECT_EQ(topk.Size(), 0u);
+  EXPECT_TRUE(topk.Extract().empty());
+}
+
+TEST(TopKTest, TiesFavorEarlierInsertion) {
+  TopK<std::string> topk(1);
+  topk.Add(0.5, "first");
+  topk.Add(0.5, "second");
+  auto out = topk.Extract();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].second, "first");
+}
+
+TEST(TopKTest, TieOrderInExtractIsInsertionOrder) {
+  TopK<int> topk(3);
+  topk.Add(0.5, 1);
+  topk.Add(0.5, 2);
+  topk.Add(0.5, 3);
+  auto out = topk.Extract();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].second, 1);
+  EXPECT_EQ(out[1].second, 2);
+  EXPECT_EQ(out[2].second, 3);
+}
+
+TEST(TopKTest, MinScoreTracksWorstKept) {
+  TopK<int> topk(2);
+  topk.Add(0.9, 1);
+  topk.Add(0.4, 2);
+  EXPECT_DOUBLE_EQ(topk.MinScore(), 0.4);
+  topk.Add(0.7, 3);
+  EXPECT_DOUBLE_EQ(topk.MinScore(), 0.7);
+}
+
+TEST(TopKTest, WouldRejectWhenFullAndScoreTooLow) {
+  TopK<int> topk(2);
+  EXPECT_FALSE(topk.WouldReject(0.0));  // not full yet
+  topk.Add(0.5, 1);
+  topk.Add(0.8, 2);
+  EXPECT_TRUE(topk.WouldReject(0.5));   // equal loses ties
+  EXPECT_TRUE(topk.WouldReject(0.3));
+  EXPECT_FALSE(topk.WouldReject(0.6));
+}
+
+TEST(TopKTest, MatchesFullSortReference) {
+  TopK<int> topk(10);
+  std::vector<std::pair<double, int>> all;
+  // Deterministic pseudo-random scores.
+  uint64_t x = 88172645463325252ULL;
+  for (int i = 0; i < 1000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    double score = static_cast<double>(x % 10007) / 10007.0;
+    topk.Add(score, i);
+    all.emplace_back(score, i);
+  }
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  auto out = topk.Extract();
+  ASSERT_EQ(out.size(), 10u);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(out[i].first, all[i].first);
+    EXPECT_EQ(out[i].second, all[i].second);
+  }
+}
+
+}  // namespace
+}  // namespace aimq

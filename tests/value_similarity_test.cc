@@ -1,0 +1,167 @@
+#include "similarity/value_similarity.h"
+
+#include <gtest/gtest.h>
+
+namespace aimq {
+namespace {
+
+Schema CarSchema() {
+  return Schema::Make({{"Make", AttrType::kCategorical},
+                       {"Segment", AttrType::kCategorical},
+                       {"Price", AttrType::kNumeric}})
+      .ValueOrDie();
+}
+
+// Toyota and Honda sell sedans in the same price band; Harley sells bikes at
+// a very different price point.
+Relation ThreeMakes() {
+  Relation r(CarSchema());
+  auto add = [&](const char* make, const char* seg, double price) {
+    ASSERT_TRUE(
+        r.Append(Tuple({Value::Cat(make), Value::Cat(seg), Value::Num(price)}))
+            .ok());
+  };
+  add("Toyota", "sedan", 10000);
+  add("Toyota", "sedan", 11000);
+  add("Toyota", "suv", 20000);
+  add("Honda", "sedan", 10500);
+  add("Honda", "sedan", 11500);
+  add("Honda", "suv", 21000);
+  add("Harley", "bike", 52000);
+  add("Harley", "bike", 53000);
+  add("Harley", "bike", 54000);
+  return r;
+}
+
+std::vector<double> UniformWimp(size_t n) {
+  return std::vector<double>(n, 1.0 / static_cast<double>(n));
+}
+
+TEST(SimilarityMinerTest, SimilarDistributionsScoreHigher) {
+  Relation r = ThreeMakes();
+  SimilarityMiner miner;
+  auto model = miner.Mine(r, UniformWimp(3));
+  ASSERT_TRUE(model.ok());
+  double toyota_honda =
+      model->VSim(0, Value::Cat("Toyota"), Value::Cat("Honda"));
+  double toyota_harley =
+      model->VSim(0, Value::Cat("Toyota"), Value::Cat("Harley"));
+  EXPECT_GT(toyota_honda, toyota_harley);
+  EXPECT_GT(toyota_honda, 0.3);
+  EXPECT_LT(toyota_harley, 0.2);
+}
+
+TEST(SimilarityMinerTest, IdenticalValuesHaveSimilarityOne) {
+  Relation r = ThreeMakes();
+  auto model = SimilarityMiner().Mine(r, UniformWimp(3));
+  ASSERT_TRUE(model.ok());
+  EXPECT_DOUBLE_EQ(model->VSim(0, Value::Cat("Toyota"), Value::Cat("Toyota")),
+                   1.0);
+}
+
+TEST(SimilarityMinerTest, SimilarityIsSymmetric) {
+  Relation r = ThreeMakes();
+  auto model = SimilarityMiner().Mine(r, UniformWimp(3));
+  ASSERT_TRUE(model.ok());
+  EXPECT_DOUBLE_EQ(model->VSim(0, Value::Cat("Toyota"), Value::Cat("Honda")),
+                   model->VSim(0, Value::Cat("Honda"), Value::Cat("Toyota")));
+}
+
+TEST(SimilarityMinerTest, SimilarityInUnitInterval) {
+  Relation r = ThreeMakes();
+  auto model = SimilarityMiner().Mine(r, UniformWimp(3));
+  ASSERT_TRUE(model.ok());
+  for (const Value& a : model->MinedValues(0)) {
+    for (const Value& b : model->MinedValues(0)) {
+      double s = model->VSim(0, a, b);
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0);
+    }
+  }
+}
+
+TEST(SimilarityMinerTest, UnknownValuesScoreZero) {
+  Relation r = ThreeMakes();
+  auto model = SimilarityMiner().Mine(r, UniformWimp(3));
+  ASSERT_TRUE(model.ok());
+  EXPECT_DOUBLE_EQ(model->VSim(0, Value::Cat("Toyota"), Value::Cat("BMW")),
+                   0.0);
+  // Unknown attribute entirely.
+  EXPECT_DOUBLE_EQ(model->VSim(2, Value::Cat("a"), Value::Cat("b")), 0.0);
+}
+
+TEST(SimilarityMinerTest, TopSimilarSortedDescending) {
+  Relation r = ThreeMakes();
+  auto model = SimilarityMiner().Mine(r, UniformWimp(3));
+  ASSERT_TRUE(model.ok());
+  auto top = model->TopSimilar(0, Value::Cat("Toyota"), 5);
+  ASSERT_GE(top.size(), 1u);
+  EXPECT_EQ(top[0].first, Value::Cat("Honda"));
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].second, top[i].second);
+  }
+}
+
+TEST(SimilarityMinerTest, TopSimilarRespectsK) {
+  Relation r = ThreeMakes();
+  auto model = SimilarityMiner().Mine(r, UniformWimp(3));
+  ASSERT_TRUE(model.ok());
+  EXPECT_LE(model->TopSimilar(0, Value::Cat("Toyota"), 1).size(), 1u);
+  EXPECT_TRUE(model->TopSimilar(0, Value::Cat("Unknown"), 3).empty());
+}
+
+TEST(SimilarityMinerTest, MineAttributesSubset) {
+  Relation r = ThreeMakes();
+  SimilarityMiner miner;
+  auto model = miner.MineAttributes(r, UniformWimp(3), {1});
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE(model->MinedValues(1).empty());
+  EXPECT_TRUE(model->MinedValues(0).empty());
+}
+
+TEST(SimilarityMinerTest, WimpWeightsShiftScores) {
+  Relation r = ThreeMakes();
+  SimilarityMiner miner;
+  // All weight on Segment: Toyota/Honda share the sedan+suv mix exactly.
+  auto seg_model = miner.Mine(r, {0.0, 1.0, 0.0});
+  ASSERT_TRUE(seg_model.ok());
+  double seg_sim = seg_model->VSim(0, Value::Cat("Toyota"),
+                                   Value::Cat("Honda"));
+  // All weight on Price: bins are close but not identical.
+  auto price_model = miner.Mine(r, {0.0, 0.0, 1.0});
+  ASSERT_TRUE(price_model.ok());
+  double price_sim =
+      price_model->VSim(0, Value::Cat("Toyota"), Value::Cat("Honda"));
+  EXPECT_GT(seg_sim, 0.99);
+  EXPECT_LT(price_sim, seg_sim);
+}
+
+TEST(SimilarityMinerTest, TimingsReported) {
+  Relation r = ThreeMakes();
+  SimilarityTimings timings;
+  auto model = SimilarityMiner().Mine(r, UniformWimp(3), &timings);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GE(timings.supertuple_seconds, 0.0);
+  EXPECT_GE(timings.estimation_seconds, 0.0);
+}
+
+TEST(SimilarityMinerTest, InputValidation) {
+  Relation r = ThreeMakes();
+  SimilarityMiner miner;
+  EXPECT_FALSE(miner.Mine(r, UniformWimp(2)).ok());  // wrong wimp size
+  Relation empty(CarSchema());
+  EXPECT_FALSE(miner.Mine(empty, UniformWimp(3)).ok());
+  EXPECT_FALSE(miner.MineAttributes(r, UniformWimp(3), {99}).ok());
+}
+
+TEST(SimilarityMinerTest, NumStoredPairsCountsOffDiagonal) {
+  Relation r = ThreeMakes();
+  auto model = SimilarityMiner().Mine(r, UniformWimp(3));
+  ASSERT_TRUE(model.ok());
+  // Make: 3 values → at most 3 pairs; Segment: 3 values → at most 3 pairs.
+  EXPECT_LE(model->NumStoredPairs(), 6u);
+  EXPECT_GE(model->NumStoredPairs(), 1u);
+}
+
+}  // namespace
+}  // namespace aimq

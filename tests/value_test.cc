@@ -1,0 +1,112 @@
+#include "relation/value.h"
+
+#include <gtest/gtest.h>
+
+namespace aimq {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_FALSE(v.is_categorical());
+  EXPECT_FALSE(v.is_numeric());
+}
+
+TEST(ValueTest, CategoricalPayload) {
+  Value v = Value::Cat("Camry");
+  EXPECT_TRUE(v.is_categorical());
+  EXPECT_EQ(v.AsCat(), "Camry");
+  EXPECT_EQ(v.ToString(), "Camry");
+}
+
+TEST(ValueTest, NumericPayload) {
+  Value v = Value::Num(10000);
+  EXPECT_TRUE(v.is_numeric());
+  EXPECT_DOUBLE_EQ(v.AsNum(), 10000.0);
+}
+
+TEST(ValueTest, IntegralNumericPrintsWithoutDecimal) {
+  EXPECT_EQ(Value::Num(10000).ToString(), "10000");
+  EXPECT_EQ(Value::Num(-42).ToString(), "-42");
+  EXPECT_EQ(Value::Num(0).ToString(), "0");
+}
+
+TEST(ValueTest, FractionalNumericPrints) {
+  EXPECT_EQ(Value::Num(3.5).ToString(), "3.5");
+}
+
+TEST(ValueTest, NullPrintsEmpty) {
+  EXPECT_EQ(Value().ToString(), "");
+}
+
+TEST(ValueTest, EqualityWithinKinds) {
+  EXPECT_EQ(Value::Cat("a"), Value::Cat("a"));
+  EXPECT_NE(Value::Cat("a"), Value::Cat("b"));
+  EXPECT_EQ(Value::Num(1), Value::Num(1));
+  EXPECT_NE(Value::Num(1), Value::Num(2));
+  EXPECT_EQ(Value(), Value());
+}
+
+TEST(ValueTest, EqualityAcrossKindsIsFalse) {
+  EXPECT_NE(Value::Cat("1"), Value::Num(1));
+  EXPECT_NE(Value(), Value::Num(0));
+  EXPECT_NE(Value(), Value::Cat(""));
+}
+
+TEST(ValueTest, OrderingNullNumericCategorical) {
+  EXPECT_LT(Value(), Value::Num(-1e300));
+  EXPECT_LT(Value::Num(1e300), Value::Cat(""));
+  EXPECT_LT(Value::Num(1), Value::Num(2));
+  EXPECT_LT(Value::Cat("a"), Value::Cat("b"));
+  EXPECT_FALSE(Value() < Value());
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Cat("x").Hash(), Value::Cat("x").Hash());
+  EXPECT_EQ(Value::Num(5).Hash(), Value::Num(5).Hash());
+  EXPECT_EQ(Value().Hash(), Value().Hash());
+  // Different kinds with "same" content should (very likely) differ.
+  EXPECT_NE(Value::Num(0).Hash(), Value().Hash());
+}
+
+TEST(ValueParseTest, ParsesCategorical) {
+  auto v = Value::Parse("Accord", AttrType::kCategorical);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, Value::Cat("Accord"));
+}
+
+TEST(ValueParseTest, ParsesNumeric) {
+  auto v = Value::Parse("12.5", AttrType::kNumeric);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, Value::Num(12.5));
+}
+
+TEST(ValueParseTest, EmptyParsesToNull) {
+  auto v = Value::Parse("", AttrType::kNumeric);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_null());
+  auto c = Value::Parse("", AttrType::kCategorical);
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c->is_null());
+}
+
+TEST(ValueParseTest, BadNumericErrors) {
+  EXPECT_FALSE(Value::Parse("abc", AttrType::kNumeric).ok());
+  EXPECT_FALSE(Value::Parse("12x", AttrType::kNumeric).ok());
+}
+
+TEST(ValueParseTest, RoundTripsToString) {
+  for (double d : {0.0, 1.0, -17.0, 10000.0, 2.25}) {
+    auto v = Value::Parse(Value::Num(d).ToString(), AttrType::kNumeric);
+    ASSERT_TRUE(v.ok());
+    EXPECT_DOUBLE_EQ(v->AsNum(), d);
+  }
+}
+
+TEST(AttrTypeTest, Names) {
+  EXPECT_STREQ(AttrTypeName(AttrType::kCategorical), "categorical");
+  EXPECT_STREQ(AttrTypeName(AttrType::kNumeric), "numeric");
+}
+
+}  // namespace
+}  // namespace aimq
