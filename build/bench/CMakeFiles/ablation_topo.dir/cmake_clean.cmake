@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_topo.dir/ablation_topo.cc.o"
+  "CMakeFiles/ablation_topo.dir/ablation_topo.cc.o.d"
+  "ablation_topo"
+  "ablation_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_workload.dir/ablation_workload.cc.o"
+  "CMakeFiles/ablation_workload.dir/ablation_workload.cc.o.d"
+  "ablation_workload"
+  "ablation_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

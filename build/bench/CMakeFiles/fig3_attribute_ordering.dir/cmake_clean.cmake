@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_attribute_ordering.dir/fig3_attribute_ordering.cc.o"
+  "CMakeFiles/fig3_attribute_ordering.dir/fig3_attribute_ordering.cc.o.d"
+  "fig3_attribute_ordering"
+  "fig3_attribute_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_attribute_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

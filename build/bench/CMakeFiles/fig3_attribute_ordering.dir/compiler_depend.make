@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3_attribute_ordering.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_key_quality.dir/fig4_key_quality.cc.o"
+  "CMakeFiles/fig4_key_quality.dir/fig4_key_quality.cc.o.d"
+  "fig4_key_quality"
+  "fig4_key_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_key_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

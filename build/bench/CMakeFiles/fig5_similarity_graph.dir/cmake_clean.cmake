@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_similarity_graph.dir/fig5_similarity_graph.cc.o"
+  "CMakeFiles/fig5_similarity_graph.dir/fig5_similarity_graph.cc.o.d"
+  "fig5_similarity_graph"
+  "fig5_similarity_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_similarity_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_guided_relax.dir/fig6_guided_relax.cc.o"
+  "CMakeFiles/fig6_guided_relax.dir/fig6_guided_relax.cc.o.d"
+  "fig6_guided_relax"
+  "fig6_guided_relax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_guided_relax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

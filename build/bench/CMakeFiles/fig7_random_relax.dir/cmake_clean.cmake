@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_random_relax.dir/fig7_random_relax.cc.o"
+  "CMakeFiles/fig7_random_relax.dir/fig7_random_relax.cc.o.d"
+  "fig7_random_relax"
+  "fig7_random_relax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_random_relax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_user_study_mrr.dir/fig8_user_study_mrr.cc.o"
+  "CMakeFiles/fig8_user_study_mrr.dir/fig8_user_study_mrr.cc.o.d"
+  "fig8_user_study_mrr"
+  "fig8_user_study_mrr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_user_study_mrr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

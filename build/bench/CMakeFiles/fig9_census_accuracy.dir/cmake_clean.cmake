@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_census_accuracy.dir/fig9_census_accuracy.cc.o"
+  "CMakeFiles/fig9_census_accuracy.dir/fig9_census_accuracy.cc.o.d"
+  "fig9_census_accuracy"
+  "fig9_census_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_census_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

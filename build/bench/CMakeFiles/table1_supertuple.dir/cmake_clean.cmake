@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_supertuple.dir/table1_supertuple.cc.o"
+  "CMakeFiles/table1_supertuple.dir/table1_supertuple.cc.o.d"
+  "table1_supertuple"
+  "table1_supertuple.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_supertuple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

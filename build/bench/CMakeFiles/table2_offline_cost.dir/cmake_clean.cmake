@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_offline_cost.dir/table2_offline_cost.cc.o"
+  "CMakeFiles/table2_offline_cost.dir/table2_offline_cost.cc.o.d"
+  "table2_offline_cost"
+  "table2_offline_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_offline_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

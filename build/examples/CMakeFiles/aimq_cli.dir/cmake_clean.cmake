@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aimq_cli.dir/aimq_cli.cpp.o"
+  "CMakeFiles/aimq_cli.dir/aimq_cli.cpp.o.d"
+  "aimq_cli"
+  "aimq_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aimq_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

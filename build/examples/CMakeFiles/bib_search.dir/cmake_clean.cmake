@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bib_search.dir/bib_search.cpp.o"
+  "CMakeFiles/bib_search.dir/bib_search.cpp.o.d"
+  "bib_search"
+  "bib_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bib_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/car_search.dir/car_search.cpp.o"
+  "CMakeFiles/car_search.dir/car_search.cpp.o.d"
+  "car_search"
+  "car_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/car_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/census_explore.dir/census_explore.cpp.o"
+  "CMakeFiles/census_explore.dir/census_explore.cpp.o.d"
+  "census_explore"
+  "census_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/census_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

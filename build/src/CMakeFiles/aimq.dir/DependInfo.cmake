@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/afd/attr_set.cc" "src/CMakeFiles/aimq.dir/afd/attr_set.cc.o" "gcc" "src/CMakeFiles/aimq.dir/afd/attr_set.cc.o.d"
+  "/root/repo/src/afd/miner.cc" "src/CMakeFiles/aimq.dir/afd/miner.cc.o" "gcc" "src/CMakeFiles/aimq.dir/afd/miner.cc.o.d"
+  "/root/repo/src/afd/partition.cc" "src/CMakeFiles/aimq.dir/afd/partition.cc.o" "gcc" "src/CMakeFiles/aimq.dir/afd/partition.cc.o.d"
+  "/root/repo/src/afd/tane.cc" "src/CMakeFiles/aimq.dir/afd/tane.cc.o" "gcc" "src/CMakeFiles/aimq.dir/afd/tane.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/aimq.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/aimq.dir/core/engine.cc.o.d"
+  "/root/repo/src/core/explain.cc" "src/CMakeFiles/aimq.dir/core/explain.cc.o" "gcc" "src/CMakeFiles/aimq.dir/core/explain.cc.o.d"
+  "/root/repo/src/core/feedback.cc" "src/CMakeFiles/aimq.dir/core/feedback.cc.o" "gcc" "src/CMakeFiles/aimq.dir/core/feedback.cc.o.d"
+  "/root/repo/src/core/impute.cc" "src/CMakeFiles/aimq.dir/core/impute.cc.o" "gcc" "src/CMakeFiles/aimq.dir/core/impute.cc.o.d"
+  "/root/repo/src/core/knowledge.cc" "src/CMakeFiles/aimq.dir/core/knowledge.cc.o" "gcc" "src/CMakeFiles/aimq.dir/core/knowledge.cc.o.d"
+  "/root/repo/src/core/persist.cc" "src/CMakeFiles/aimq.dir/core/persist.cc.o" "gcc" "src/CMakeFiles/aimq.dir/core/persist.cc.o.d"
+  "/root/repo/src/core/relaxation.cc" "src/CMakeFiles/aimq.dir/core/relaxation.cc.o" "gcc" "src/CMakeFiles/aimq.dir/core/relaxation.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/aimq.dir/core/report.cc.o" "gcc" "src/CMakeFiles/aimq.dir/core/report.cc.o.d"
+  "/root/repo/src/core/sim.cc" "src/CMakeFiles/aimq.dir/core/sim.cc.o" "gcc" "src/CMakeFiles/aimq.dir/core/sim.cc.o.d"
+  "/root/repo/src/datagen/bibdb.cc" "src/CMakeFiles/aimq.dir/datagen/bibdb.cc.o" "gcc" "src/CMakeFiles/aimq.dir/datagen/bibdb.cc.o.d"
+  "/root/repo/src/datagen/cardb.cc" "src/CMakeFiles/aimq.dir/datagen/cardb.cc.o" "gcc" "src/CMakeFiles/aimq.dir/datagen/cardb.cc.o.d"
+  "/root/repo/src/datagen/censusdb.cc" "src/CMakeFiles/aimq.dir/datagen/censusdb.cc.o" "gcc" "src/CMakeFiles/aimq.dir/datagen/censusdb.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/aimq.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/aimq.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/simulated_user.cc" "src/CMakeFiles/aimq.dir/eval/simulated_user.cc.o" "gcc" "src/CMakeFiles/aimq.dir/eval/simulated_user.cc.o.d"
+  "/root/repo/src/ordering/attribute_ordering.cc" "src/CMakeFiles/aimq.dir/ordering/attribute_ordering.cc.o" "gcc" "src/CMakeFiles/aimq.dir/ordering/attribute_ordering.cc.o.d"
+  "/root/repo/src/ordering/dependence_graph.cc" "src/CMakeFiles/aimq.dir/ordering/dependence_graph.cc.o" "gcc" "src/CMakeFiles/aimq.dir/ordering/dependence_graph.cc.o.d"
+  "/root/repo/src/ordering/multi_relax.cc" "src/CMakeFiles/aimq.dir/ordering/multi_relax.cc.o" "gcc" "src/CMakeFiles/aimq.dir/ordering/multi_relax.cc.o.d"
+  "/root/repo/src/query/imprecise_query.cc" "src/CMakeFiles/aimq.dir/query/imprecise_query.cc.o" "gcc" "src/CMakeFiles/aimq.dir/query/imprecise_query.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/CMakeFiles/aimq.dir/query/parser.cc.o" "gcc" "src/CMakeFiles/aimq.dir/query/parser.cc.o.d"
+  "/root/repo/src/query/predicate.cc" "src/CMakeFiles/aimq.dir/query/predicate.cc.o" "gcc" "src/CMakeFiles/aimq.dir/query/predicate.cc.o.d"
+  "/root/repo/src/query/selection_query.cc" "src/CMakeFiles/aimq.dir/query/selection_query.cc.o" "gcc" "src/CMakeFiles/aimq.dir/query/selection_query.cc.o.d"
+  "/root/repo/src/relation/relation.cc" "src/CMakeFiles/aimq.dir/relation/relation.cc.o" "gcc" "src/CMakeFiles/aimq.dir/relation/relation.cc.o.d"
+  "/root/repo/src/relation/schema.cc" "src/CMakeFiles/aimq.dir/relation/schema.cc.o" "gcc" "src/CMakeFiles/aimq.dir/relation/schema.cc.o.d"
+  "/root/repo/src/relation/tuple.cc" "src/CMakeFiles/aimq.dir/relation/tuple.cc.o" "gcc" "src/CMakeFiles/aimq.dir/relation/tuple.cc.o.d"
+  "/root/repo/src/relation/value.cc" "src/CMakeFiles/aimq.dir/relation/value.cc.o" "gcc" "src/CMakeFiles/aimq.dir/relation/value.cc.o.d"
+  "/root/repo/src/rock/rock.cc" "src/CMakeFiles/aimq.dir/rock/rock.cc.o" "gcc" "src/CMakeFiles/aimq.dir/rock/rock.cc.o.d"
+  "/root/repo/src/rock/rock_engine.cc" "src/CMakeFiles/aimq.dir/rock/rock_engine.cc.o" "gcc" "src/CMakeFiles/aimq.dir/rock/rock_engine.cc.o.d"
+  "/root/repo/src/similarity/similarity_graph.cc" "src/CMakeFiles/aimq.dir/similarity/similarity_graph.cc.o" "gcc" "src/CMakeFiles/aimq.dir/similarity/similarity_graph.cc.o.d"
+  "/root/repo/src/similarity/supertuple.cc" "src/CMakeFiles/aimq.dir/similarity/supertuple.cc.o" "gcc" "src/CMakeFiles/aimq.dir/similarity/supertuple.cc.o.d"
+  "/root/repo/src/similarity/value_similarity.cc" "src/CMakeFiles/aimq.dir/similarity/value_similarity.cc.o" "gcc" "src/CMakeFiles/aimq.dir/similarity/value_similarity.cc.o.d"
+  "/root/repo/src/util/bag.cc" "src/CMakeFiles/aimq.dir/util/bag.cc.o" "gcc" "src/CMakeFiles/aimq.dir/util/bag.cc.o.d"
+  "/root/repo/src/util/csv.cc" "src/CMakeFiles/aimq.dir/util/csv.cc.o" "gcc" "src/CMakeFiles/aimq.dir/util/csv.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/aimq.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/aimq.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/aimq.dir/util/status.cc.o" "gcc" "src/CMakeFiles/aimq.dir/util/status.cc.o.d"
+  "/root/repo/src/util/strings.cc" "src/CMakeFiles/aimq.dir/util/strings.cc.o" "gcc" "src/CMakeFiles/aimq.dir/util/strings.cc.o.d"
+  "/root/repo/src/webdb/data_collector.cc" "src/CMakeFiles/aimq.dir/webdb/data_collector.cc.o" "gcc" "src/CMakeFiles/aimq.dir/webdb/data_collector.cc.o.d"
+  "/root/repo/src/webdb/web_database.cc" "src/CMakeFiles/aimq.dir/webdb/web_database.cc.o" "gcc" "src/CMakeFiles/aimq.dir/webdb/web_database.cc.o.d"
+  "/root/repo/src/workload/query_log.cc" "src/CMakeFiles/aimq.dir/workload/query_log.cc.o" "gcc" "src/CMakeFiles/aimq.dir/workload/query_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attribute_ordering_test.dir/attribute_ordering_test.cc.o"
+  "CMakeFiles/attribute_ordering_test.dir/attribute_ordering_test.cc.o.d"
+  "attribute_ordering_test"
+  "attribute_ordering_test.pdb"
+  "attribute_ordering_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attribute_ordering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bag_test.dir/bag_test.cc.o"
+  "CMakeFiles/bag_test.dir/bag_test.cc.o.d"
+  "bag_test"
+  "bag_test.pdb"
+  "bag_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bag_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

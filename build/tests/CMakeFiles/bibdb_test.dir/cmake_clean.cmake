@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bibdb_test.dir/bibdb_test.cc.o"
+  "CMakeFiles/bibdb_test.dir/bibdb_test.cc.o.d"
+  "bibdb_test"
+  "bibdb_test.pdb"
+  "bibdb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bibdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cardb_test.dir/cardb_test.cc.o"
+  "CMakeFiles/cardb_test.dir/cardb_test.cc.o.d"
+  "cardb_test"
+  "cardb_test.pdb"
+  "cardb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cardb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/censusdb_test.dir/censusdb_test.cc.o"
+  "CMakeFiles/censusdb_test.dir/censusdb_test.cc.o.d"
+  "censusdb_test"
+  "censusdb_test.pdb"
+  "censusdb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/censusdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

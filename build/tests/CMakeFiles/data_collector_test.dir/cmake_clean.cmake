@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_collector_test.dir/data_collector_test.cc.o"
+  "CMakeFiles/data_collector_test.dir/data_collector_test.cc.o.d"
+  "data_collector_test"
+  "data_collector_test.pdb"
+  "data_collector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_collector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dependence_graph_test.dir/dependence_graph_test.cc.o"
+  "CMakeFiles/dependence_graph_test.dir/dependence_graph_test.cc.o.d"
+  "dependence_graph_test"
+  "dependence_graph_test.pdb"
+  "dependence_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dependence_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imprecise_query_test.dir/imprecise_query_test.cc.o"
+  "CMakeFiles/imprecise_query_test.dir/imprecise_query_test.cc.o.d"
+  "imprecise_query_test"
+  "imprecise_query_test.pdb"
+  "imprecise_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imprecise_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_relax_test.dir/multi_relax_test.cc.o"
+  "CMakeFiles/multi_relax_test.dir/multi_relax_test.cc.o.d"
+  "multi_relax_test"
+  "multi_relax_test.pdb"
+  "multi_relax_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_relax_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/null_handling_test.dir/null_handling_test.cc.o"
+  "CMakeFiles/null_handling_test.dir/null_handling_test.cc.o.d"
+  "null_handling_test"
+  "null_handling_test.pdb"
+  "null_handling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/null_handling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rock_engine_test.dir/rock_engine_test.cc.o"
+  "CMakeFiles/rock_engine_test.dir/rock_engine_test.cc.o.d"
+  "rock_engine_test"
+  "rock_engine_test.pdb"
+  "rock_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rock_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selection_query_test.dir/selection_query_test.cc.o"
+  "CMakeFiles/selection_query_test.dir/selection_query_test.cc.o.d"
+  "selection_query_test"
+  "selection_query_test.pdb"
+  "selection_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selection_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

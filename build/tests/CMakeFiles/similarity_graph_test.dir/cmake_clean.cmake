@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/similarity_graph_test.dir/similarity_graph_test.cc.o"
+  "CMakeFiles/similarity_graph_test.dir/similarity_graph_test.cc.o.d"
+  "similarity_graph_test"
+  "similarity_graph_test.pdb"
+  "similarity_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/similarity_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

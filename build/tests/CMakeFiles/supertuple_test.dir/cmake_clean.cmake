@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supertuple_test.dir/supertuple_test.cc.o"
+  "CMakeFiles/supertuple_test.dir/supertuple_test.cc.o.d"
+  "supertuple_test"
+  "supertuple_test.pdb"
+  "supertuple_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supertuple_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

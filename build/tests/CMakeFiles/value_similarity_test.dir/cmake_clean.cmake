@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_similarity_test.dir/value_similarity_test.cc.o"
+  "CMakeFiles/value_similarity_test.dir/value_similarity_test.cc.o.d"
+  "value_similarity_test"
+  "value_similarity_test.pdb"
+  "value_similarity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_similarity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[LifecycleTest.EndToEndMinePersistQueryFeedbackPersist]=]  /root/repo/build/tests/lifecycle_test [==[--gtest_filter=LifecycleTest.EndToEndMinePersistQueryFeedbackPersist]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[LifecycleTest.EndToEndMinePersistQueryFeedbackPersist]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  lifecycle_test_TESTS LifecycleTest.EndToEndMinePersistQueryFeedbackPersist)
