@@ -1,8 +1,15 @@
 // Figure 7 — Efficiency of RandomRelax (see relax_efficiency.h).
+//
+// Usage: fig7_random_relax [parallel_threads]   (default 8)
+
+#include <cstdlib>
 
 #include "relax_efficiency.h"
 
-int main() {
-  return aimq::bench::RunRelaxEfficiency(
-      aimq::RelaxationStrategy::kRandom);
+int main(int argc, char** argv) {
+  size_t threads = 8;
+  if (argc > 1) threads = static_cast<size_t>(std::strtoul(argv[1], nullptr, 10));
+  if (threads == 0) threads = 1;
+  return aimq::bench::RunRelaxEfficiency(aimq::RelaxationStrategy::kRandom,
+                                         threads);
 }

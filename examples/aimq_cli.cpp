@@ -8,6 +8,11 @@
 //   aimq_cli ask <data.csv|cardb:N> <model-dir> '<query>'
 //   aimq_cli show <model-dir>                     print mined knowledge
 //
+// Flags (anywhere on the command line):
+//   --threads=N   worker threads for query answering (0 = auto, default 1)
+//   --cache=N     shared probe-cache capacity in entries (0 disables)
+//   --stats       print relaxation statistics after an ask
+//
 // Query syntax: CarDB(Model like Camry, Price like 10000)
 // Data can be a CSV written by gen-cardb (schema inferred as CarDB), or
 // "cardb:N" to generate N tuples on the fly.
@@ -16,6 +21,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/engine.h"
 #include "core/knowledge.h"
@@ -28,6 +34,12 @@
 using namespace aimq;
 
 namespace {
+
+struct CliFlags {
+  size_t num_threads = 1;
+  size_t probe_cache_capacity = 1024;
+  bool print_stats = false;
+};
 
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
@@ -47,10 +59,12 @@ Result<Relation> LoadData(const std::string& source) {
   return Relation::ReadCsv(source, CarDbGenerator::MakeSchema());
 }
 
-AimqOptions DefaultOptions() {
+AimqOptions DefaultOptions(const CliFlags& flags) {
   AimqOptions options;
   options.tsim = 0.5;
   options.top_k = 10;
+  options.num_threads = flags.num_threads;
+  options.probe_cache_capacity = flags.probe_cache_capacity;
   return options;
 }
 
@@ -64,11 +78,12 @@ int GenCarDb(const std::string& path, size_t tuples) {
   return 0;
 }
 
-int Mine(const std::string& source, const std::string& dir) {
+int Mine(const std::string& source, const std::string& dir,
+         const CliFlags& flags) {
   auto data = LoadData(source);
   if (!data.ok()) return Fail(data.status());
   WebDatabase db("CarDB", data.TakeValue());
-  AimqOptions options = DefaultOptions();
+  AimqOptions options = DefaultOptions(flags);
   options.collector.sample_size = db.NumTuples() / 3;
 
   OfflineTimings timings;
@@ -93,7 +108,7 @@ int Show(const std::string& dir) {
 }
 
 int Ask(const std::string& source, const std::string& dir,
-        const std::string& query_text) {
+        const std::string& query_text, const CliFlags& flags) {
   auto data = LoadData(source);
   if (!data.ok()) return Fail(data.status());
   WebDatabase db("CarDB", data.TakeValue());
@@ -105,8 +120,9 @@ int Ask(const std::string& source, const std::string& dir,
   auto query = parser.ParseImprecise(query_text);
   if (!query.ok()) return Fail(query.status());
 
-  AimqEngine engine(&db, knowledge.TakeValue(), DefaultOptions());
-  auto answers = engine.Answer(*query);
+  AimqEngine engine(&db, knowledge.TakeValue(), DefaultOptions(flags));
+  RelaxationStats stats;
+  auto answers = engine.Answer(*query, RelaxationStrategy::kGuided, &stats);
   if (!answers.ok()) return Fail(answers.status());
 
   std::printf("%s -> %zu answers\n", query->ToString().c_str(),
@@ -116,31 +132,72 @@ int Ask(const std::string& source, const std::string& dir,
     std::printf("%2d. [%.3f] %s\n", rank++, a.similarity,
                 a.tuple.ToString().c_str());
   }
+  if (flags.print_stats) {
+    std::printf(
+        "stats: threads=%zu probes=%llu cache_hits=%llu deduped=%llu "
+        "extracted=%llu relevant=%llu\n",
+        flags.num_threads,
+        static_cast<unsigned long long>(stats.queries_issued.load()),
+        static_cast<unsigned long long>(stats.cache_hits.load()),
+        static_cast<unsigned long long>(stats.deduped_probes.load()),
+        static_cast<unsigned long long>(stats.tuples_extracted.load()),
+        static_cast<unsigned long long>(stats.tuples_relevant.load()));
+    std::printf(
+        "time: base_set=%.3fs relax=%.3fs rank=%.3fs\n",
+        stats.base_set_seconds, stats.relax_seconds, stats.rank_seconds);
+  }
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc >= 3 && std::strcmp(argv[1], "gen-cardb") == 0) {
-    return GenCarDb(argv[2],
-                    argc > 3 ? static_cast<size_t>(std::atoll(argv[3]))
-                             : 25000);
-  }
-  if (argc == 4 && std::strcmp(argv[1], "mine") == 0) {
-    return Mine(argv[2], argv[3]);
-  }
-  if (argc == 3 && std::strcmp(argv[1], "show") == 0) {
-    return Show(argv[2]);
-  }
-  if (argc == 5 && std::strcmp(argv[1], "ask") == 0) {
-    return Ask(argv[2], argv[3], argv[4]);
-  }
+int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  aimq_cli gen-cardb <out.csv> [tuples]\n"
                "  aimq_cli mine <data.csv|cardb:N> <model-dir>\n"
                "  aimq_cli show <model-dir>\n"
-               "  aimq_cli ask <data.csv|cardb:N> <model-dir> '<query>'\n");
+               "  aimq_cli ask <data.csv|cardb:N> <model-dir> '<query>'\n"
+               "flags: --threads=N (0 = auto)  --cache=N (entries, 0 = off)"
+               "  --stats\n");
   return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (StartsWith(arg, "--threads=")) {
+      flags.num_threads =
+          static_cast<size_t>(std::strtoul(arg.c_str() + 10, nullptr, 10));
+    } else if (StartsWith(arg, "--cache=")) {
+      flags.probe_cache_capacity =
+          static_cast<size_t>(std::strtoul(arg.c_str() + 8, nullptr, 10));
+    } else if (arg == "--stats") {
+      flags.print_stats = true;
+    } else if (StartsWith(arg, "--")) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage();
+    } else {
+      args.push_back(arg);
+    }
+  }
+
+  if (args.size() >= 2 && args[0] == "gen-cardb") {
+    return GenCarDb(args[1], args.size() > 2
+                                 ? static_cast<size_t>(
+                                       std::atoll(args[2].c_str()))
+                                 : 25000);
+  }
+  if (args.size() == 3 && args[0] == "mine") {
+    return Mine(args[1], args[2], flags);
+  }
+  if (args.size() == 2 && args[0] == "show") {
+    return Show(args[1]);
+  }
+  if (args.size() == 4 && args[0] == "ask") {
+    return Ask(args[1], args[2], args[3], flags);
+  }
+  return Usage();
 }

@@ -3,10 +3,29 @@
 #include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
+#include "util/parallel.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
 #include "util/topk.h"
 
 namespace aimq {
+
+namespace {
+
+// splitmix64-style mixer: derives an independent, well-distributed Rng seed
+// for one unit of work (a base-set position, an anchor hash) so stochastic
+// relaxation orders are a pure function of (engine seed, work item) and
+// never of thread scheduling or call order.
+uint64_t MixSeed(uint64_t seed, uint64_t salt) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (salt + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
 
 AimqEngine::AimqEngine(const WebDatabase* source, MinedKnowledge knowledge,
                        AimqOptions options)
@@ -15,7 +34,10 @@ AimqEngine::AimqEngine(const WebDatabase* source, MinedKnowledge knowledge,
       options_(options),
       sim_(&source->schema(), &knowledge_.ordering, &knowledge_.vsim,
            options.numeric_sim),
-      rng_(options.seed) {
+      answer_cache_(0) {
+  if (options_.probe_cache_capacity > 0) {
+    probe_cache_ = std::make_shared<ProbeCache>(options_.probe_cache_capacity);
+  }
   const Schema& schema = source_->schema();
   for (size_t i = 0; i < schema.NumAttributes(); ++i) {
     all_attrs_.push_back(i);
@@ -50,18 +72,64 @@ std::vector<size_t> AimqEngine::MinedOrderFor(const Tuple& tuple) const {
   return order;
 }
 
+Result<std::vector<Tuple>> AimqEngine::Probe(const SelectionQuery& query,
+                                             RelaxationStats* stats,
+                                             ProbeContext* ctx, bool* fresh) {
+  if (fresh != nullptr) *fresh = false;
+  if (probe_cache_ != nullptr && probe_cache_->capacity() > 0) {
+    bool hit = false;
+    AIMQ_ASSIGN_OR_RETURN(std::vector<Tuple> tuples,
+                          probe_cache_->Execute(*source_, query, &hit));
+    if (stats != nullptr) {
+      if (hit) {
+        ++stats->cache_hits;
+        ++stats->deduped_probes;
+      } else {
+        ++stats->queries_issued;
+      }
+    }
+    if (fresh != nullptr) *fresh = !hit;
+    return tuples;
+  }
+
+  // No shared cache: a per-call memo still folds identical relaxed queries
+  // (base tuples of the same model share deep relaxations) into one probe.
+  const std::string key = ProbeCache::CanonicalKey(query);
+  if (ctx != nullptr) {
+    std::lock_guard<std::mutex> lock(ctx->mu);
+    auto it = ctx->memo.find(key);
+    if (it != ctx->memo.end()) {
+      if (stats != nullptr) ++stats->deduped_probes;
+      return it->second;
+    }
+  }
+  AIMQ_ASSIGN_OR_RETURN(std::vector<Tuple> tuples, source_->Execute(query));
+  if (stats != nullptr) ++stats->queries_issued;
+  if (fresh != nullptr) *fresh = true;
+  if (ctx != nullptr) {
+    std::lock_guard<std::mutex> lock(ctx->mu);
+    ctx->memo.emplace(key, tuples);
+  }
+  return tuples;
+}
+
 Result<std::vector<Tuple>> AimqEngine::DeriveBaseSet(
     const ImpreciseQuery& query, RelaxationStats* stats) {
+  ProbeContext ctx;
+  return DeriveBaseSetImpl(query, stats, &ctx);
+}
+
+Result<std::vector<Tuple>> AimqEngine::DeriveBaseSetImpl(
+    const ImpreciseQuery& query, RelaxationStats* stats, ProbeContext* ctx) {
   AIMQ_RETURN_NOT_OK(query.Validate(source_->schema()));
   if (query.Empty()) {
     return Status::InvalidArgument("imprecise query binds no attribute");
   }
   const SelectionQuery base = query.ToBaseQuery();
-  AIMQ_ASSIGN_OR_RETURN(std::vector<Tuple> answers, source_->Execute(base));
-  if (stats != nullptr) {
-    ++stats->queries_issued;
-    stats->tuples_extracted += answers.size();
-  }
+  bool fresh = false;
+  AIMQ_ASSIGN_OR_RETURN(std::vector<Tuple> answers,
+                        Probe(base, stats, ctx, &fresh));
+  if (stats != nullptr && fresh) stats->tuples_extracted += answers.size();
   if (!answers.empty()) return answers;
 
   // Footnote 2: generalize Qpr along the attribute ordering until some
@@ -85,9 +153,8 @@ Result<std::vector<Tuple>> AimqEngine::DeriveBaseSet(
     }
     SelectionQuery generalized = base.DropAttributes(drop);
     AIMQ_ASSIGN_OR_RETURN(std::vector<Tuple> relaxed_answers,
-                          source_->Execute(generalized));
-    if (stats != nullptr) {
-      ++stats->queries_issued;
+                          Probe(generalized, stats, ctx, &fresh));
+    if (stats != nullptr && fresh) {
       stats->tuples_extracted += relaxed_answers.size();
     }
     if (!relaxed_answers.empty()) return relaxed_answers;
@@ -101,39 +168,101 @@ Result<std::vector<RankedAnswer>> AimqEngine::Answer(
     RelaxationStats* stats) {
   AIMQ_RETURN_NOT_OK(query.Validate(source_->schema()));
   if (query_log_ != nullptr && !query.Empty()) {
+    std::lock_guard<std::mutex> lock(query_log_mu_);
     AIMQ_RETURN_NOT_OK(query_log_->Record(query));
   }
-  // RandomRelax is stochastic: never cache it.
-  const bool cacheable =
-      cache_capacity_ > 0 && strategy == RelaxationStrategy::kGuided;
+  // RandomRelax is stochastic under seed changes: never cache it.
+  const bool cacheable = strategy == RelaxationStrategy::kGuided;
   std::string key;
   if (cacheable) {
     key = query.ToString();
-    auto it = answer_cache_.find(key);
-    if (it != answer_cache_.end()) {
-      ++cache_hits_;
-      return it->second;
+    std::lock_guard<std::mutex> lock(answer_cache_mu_);
+    if (const std::vector<RankedAnswer>* cached = answer_cache_.Get(key)) {
+      answer_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return *cached;
     }
   }
   AIMQ_ASSIGN_OR_RETURN(std::vector<RankedAnswer> answers,
                         AnswerUncached(query, strategy, stats));
   if (cacheable) {
-    if (answer_cache_.size() >= cache_capacity_) answer_cache_.clear();
-    answer_cache_.emplace(std::move(key), answers);
+    std::lock_guard<std::mutex> lock(answer_cache_mu_);
+    answer_cache_.Put(std::move(key), answers);
   }
   return answers;
 }
 
 void AimqEngine::SetAnswerCacheCapacity(size_t capacity) {
-  cache_capacity_ = capacity;
-  if (capacity == 0) answer_cache_.clear();
+  std::lock_guard<std::mutex> lock(answer_cache_mu_);
+  answer_cache_.set_capacity(capacity);
+  if (capacity == 0) answer_cache_.Clear();
+}
+
+size_t AimqEngine::answer_cache_size() const {
+  std::lock_guard<std::mutex> lock(answer_cache_mu_);
+  return answer_cache_.size();
+}
+
+AimqEngine::TupleExpansion AimqEngine::ExpandBaseTuple(
+    const ImpreciseQuery& query, const Tuple& tuple, size_t base_index,
+    RelaxationStrategy strategy, RelaxationStats* stats, ProbeContext* ctx) {
+  TupleExpansion out;
+  std::unordered_set<Tuple, TupleHash> offered;
+  auto offer = [&](const Tuple& t) -> Status {
+    if (!offered.insert(t).second) return Status::OK();
+    AIMQ_ASSIGN_OR_RETURN(double score, sim_.QueryTupleSim(query, t));
+    out.offers.emplace_back(t, score);
+    return Status::OK();
+  };
+
+  // Base-set tuples match Q exactly on every bound attribute; the base tuple
+  // leads its own expansion so merge order equals base-set order.
+  out.status = offer(tuple);
+  if (!out.status.ok()) return out;
+
+  // RandomRelax order: a pure function of (seed, base-set position), never
+  // of scheduling — answers stay identical at any thread count.
+  Rng rng(MixSeed(options_.seed, base_index));
+  std::vector<size_t> order = StrategyOrder(strategy, MinedOrderFor(tuple),
+                                            &rng);
+  TupleRelaxer relaxer(source_->schema(), tuple, std::move(order),
+                       options_.max_relax_attrs, options_.numeric_band);
+  size_t relevant_for_tuple = 0;
+  while (relaxer.HasNext()) {
+    if (options_.relax_stop_after > 0 &&
+        relevant_for_tuple >= options_.relax_stop_after) {
+      break;
+    }
+    SelectionQuery q = relaxer.Next();
+    bool fresh = false;
+    Result<std::vector<Tuple>> extracted = Probe(q, stats, ctx, &fresh);
+    if (!extracted.ok()) {
+      out.status = extracted.status();
+      return out;
+    }
+    if (stats != nullptr && fresh) {
+      stats->tuples_extracted += extracted->size();
+    }
+    for (const Tuple& candidate : *extracted) {
+      if (candidate == tuple) continue;
+      double s = sim_.TupleTupleSim(tuple, candidate, all_attrs_);
+      if (s > options_.tsim) {
+        ++relevant_for_tuple;
+        if (stats != nullptr) ++stats->tuples_relevant;
+        out.status = offer(candidate);
+        if (!out.status.ok()) return out;
+      }
+    }
+  }
+  return out;
 }
 
 Result<std::vector<RankedAnswer>> AimqEngine::AnswerUncached(
     const ImpreciseQuery& query, RelaxationStrategy strategy,
     RelaxationStats* stats) {
+  Stopwatch phase;
+  ProbeContext ctx;
   AIMQ_ASSIGN_OR_RETURN(std::vector<Tuple> base_set,
-                        DeriveBaseSet(query, stats));
+                        DeriveBaseSetImpl(query, stats, &ctx));
   if (options_.base_set_limit > 0 &&
       base_set.size() > options_.base_set_limit) {
     // Keep the base tuples closest to Q (matters when the base query had to
@@ -148,64 +277,41 @@ Result<std::vector<RankedAnswer>> AimqEngine::AnswerUncached(
       base_set.push_back(std::move(t));
     }
   }
+  if (stats != nullptr) stats->base_set_seconds += phase.ElapsedSeconds();
 
-  // Deduplicated candidate pool: tuple -> best Sim(Q, t).
-  std::unordered_map<Tuple, double, TupleHash> pool;
-  auto offer = [&](const Tuple& t) -> Status {
-    if (pool.count(t)) return Status::OK();
-    AIMQ_ASSIGN_OR_RETURN(double score, sim_.QueryTupleSim(query, t));
-    pool.emplace(t, score);
-    return Status::OK();
-  };
-
-  // Base-set tuples match Q exactly on every bound attribute.
-  for (const Tuple& t : base_set) {
-    AIMQ_RETURN_NOT_OK(offer(t));
+  // Steps 2-8: expand each base tuple through relaxation queries, fanned out
+  // over the worker pool. Workers share only thread-safe state (the probe
+  // cache / memo, atomic stats); each expansion is a pure function of its
+  // base tuple, so the result is independent of scheduling.
+  phase.Reset();
+  std::vector<TupleExpansion> expansions(base_set.size());
+  ParallelFor(base_set.size(), options_.num_threads, [&](size_t i) {
+    expansions[i] = ExpandBaseTuple(query, base_set[i], i, strategy, stats,
+                                    &ctx);
+  });
+  for (const TupleExpansion& e : expansions) {
+    AIMQ_RETURN_NOT_OK(e.status);
   }
+  if (stats != nullptr) stats->relax_seconds += phase.ElapsedSeconds();
 
-  // Steps 2-8: expand each base tuple through relaxation queries. Base
-  // tuples sharing values produce identical relaxed queries once most
-  // attributes are dropped (a deep relaxation of any Camry keeps only
-  // Model = Camry), so issued queries are deduplicated per Answer() call —
-  // every probe against the autonomous source costs real latency.
-  std::unordered_set<std::string> probed_queries;
-  for (const Tuple& t : base_set) {
-    std::vector<size_t> order =
-        StrategyOrder(strategy, MinedOrderFor(t), &rng_);
-    TupleRelaxer relaxer(source_->schema(), t, std::move(order),
-                         options_.max_relax_attrs, options_.numeric_band);
-    size_t relevant_for_tuple = 0;
-    while (relaxer.HasNext()) {
-      if (options_.relax_stop_after > 0 &&
-          relevant_for_tuple >= options_.relax_stop_after) {
-        break;
-      }
-      SelectionQuery q = relaxer.Next();
-      if (!probed_queries.insert(q.ToString()).second) continue;
-      AIMQ_ASSIGN_OR_RETURN(std::vector<Tuple> extracted, source_->Execute(q));
-      if (stats != nullptr) {
-        ++stats->queries_issued;
-        stats->tuples_extracted += extracted.size();
-      }
-      for (const Tuple& candidate : extracted) {
-        if (candidate == t) continue;
-        double s = sim_.TupleTupleSim(t, candidate, all_attrs_);
-        if (s > options_.tsim) {
-          ++relevant_for_tuple;
-          if (stats != nullptr) ++stats->tuples_relevant;
-          AIMQ_RETURN_NOT_OK(offer(candidate));
-        }
-      }
+  // Step 9: top-k by similarity to Q. Offers are merged in base-set order
+  // (then discovery order within one tuple), so the pool's insertion
+  // sequence — and therefore TopK's deterministic tie-breaking — is
+  // bit-identical to the serial path at any thread count.
+  phase.Reset();
+  std::unordered_set<Tuple, TupleHash> pool;
+  TopK<Tuple> topk(options_.top_k);
+  for (const TupleExpansion& e : expansions) {
+    for (const auto& [candidate, score] : e.offers) {
+      if (!pool.insert(candidate).second) continue;
+      topk.Add(score, candidate);
     }
   }
-
-  // Step 9: top-k by similarity to Q.
-  TopK<Tuple> topk(options_.top_k);
-  for (auto& [tuple, score] : pool) topk.Add(score, tuple);
   std::vector<RankedAnswer> out;
   for (auto& [score, tuple] : topk.Extract()) {
     out.push_back(RankedAnswer{std::move(tuple), score});
   }
+  if (stats != nullptr) stats->rank_seconds += phase.ElapsedSeconds();
   return out;
 }
 
@@ -215,15 +321,18 @@ Result<std::vector<RankedAnswer>> AimqEngine::FindSimilar(
   if (anchor.Size() != source_->schema().NumAttributes()) {
     return Status::InvalidArgument("anchor tuple arity mismatch");
   }
+  ProbeContext ctx;
   std::unordered_set<Tuple, TupleHash> seen;
   std::vector<RankedAnswer> relevant;
 
   // Progressive descent (paper §6.3 protocol): keep weakening one query —
   // relax one more attribute per step, in strategy order — until enough
   // relevant tuples have been extracted. Work counts each *distinct* tuple
-  // the user would have to look at.
-  std::vector<size_t> order =
-      StrategyOrder(strategy, MinedOrderFor(anchor), &rng_);
+  // the user would have to look at. The RandomRelax order derives from the
+  // anchor itself, so concurrent FindSimilar calls are deterministic.
+  Rng rng(MixSeed(options_.seed, TupleHash{}(anchor)));
+  std::vector<size_t> order = StrategyOrder(strategy, MinedOrderFor(anchor),
+                                            &rng);
   TupleRelaxer relaxer(source_->schema(), anchor, std::move(order),
                        /*max_relax_attrs=*/0, options_.numeric_band,
                        RelaxationMode::kProgressive);
@@ -232,8 +341,8 @@ Result<std::vector<RankedAnswer>> AimqEngine::FindSimilar(
   // satisfied the target, not an arbitrary first-come subset of it.
   while (relaxer.HasNext() && relevant.size() < target) {
     SelectionQuery q = relaxer.Next();
-    AIMQ_ASSIGN_OR_RETURN(std::vector<Tuple> extracted, source_->Execute(q));
-    if (stats != nullptr) ++stats->queries_issued;
+    AIMQ_ASSIGN_OR_RETURN(std::vector<Tuple> extracted,
+                          Probe(q, stats, &ctx));
     for (const Tuple& candidate : extracted) {
       if (candidate == anchor) continue;
       if (!seen.insert(candidate).second) continue;
@@ -264,7 +373,13 @@ Result<std::vector<double>> AimqEngine::ApplyFeedback(
       feedback.Round(sim_, source_->schema(), query_tuple, judged,
                      knowledge_.WimpVector()));
   AIMQ_RETURN_NOT_OK(knowledge_.ordering.SetWimp(updated));
-  answer_cache_.clear();  // rankings under the old weights are stale
+  // Rankings under the old weights are stale.
+  {
+    std::lock_guard<std::mutex> lock(answer_cache_mu_);
+    const size_t capacity = answer_cache_.capacity();
+    answer_cache_.Clear();
+    answer_cache_.set_capacity(capacity);
+  }
   return knowledge_.WimpVector();
 }
 

@@ -4,9 +4,13 @@
 #ifndef AIMQ_CORE_ENGINE_H_
 #define AIMQ_CORE_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/explain.h"
@@ -16,7 +20,8 @@
 #include "core/relaxation.h"
 #include "core/sim.h"
 #include "query/imprecise_query.h"
-#include "util/rng.h"
+#include "util/lru.h"
+#include "webdb/probe_cache.h"
 #include "webdb/web_database.h"
 #include "workload/query_log.h"
 
@@ -30,16 +35,72 @@ struct RankedAnswer {
 
 /// Probe-level accounting of one relaxation run (Figures 6 and 7 report
 /// Work/RelevantTuple = tuples extracted / tuples relevant).
+///
+/// Counters are atomic so one stats object can be shared across the parallel
+/// relaxation fan-out (and across concurrent engine calls); the struct stays
+/// copyable with snapshot semantics. Counter values are order-independent
+/// sums, but `queries_issued` / `cache_hits` may vary by ±a few under
+/// concurrency when two workers race to probe the same fresh query — ranked
+/// answers never vary.
+///
+///  - queries_issued:  physical probes sent to the source
+///  - tuples_extracted: tuples shipped back by those physical probes
+///  - tuples_relevant: extracted tuples above Tsim
+///  - cache_hits:      logical probes served by the shared ProbeCache
+///  - deduped_probes:  logical probes answered without a fresh source probe
+///                     (shared-cache hits plus per-call memo hits when the
+///                     shared cache is disabled)
+///
+/// The `*_seconds` phase timers are written only by the coordinating thread
+/// of Answer() (base-set derivation / relaxation fan-out / ranking).
 struct RelaxationStats {
-  uint64_t queries_issued = 0;
-  uint64_t tuples_extracted = 0;
-  uint64_t tuples_relevant = 0;
+  std::atomic<uint64_t> queries_issued{0};
+  std::atomic<uint64_t> tuples_extracted{0};
+  std::atomic<uint64_t> tuples_relevant{0};
+  std::atomic<uint64_t> cache_hits{0};
+  std::atomic<uint64_t> deduped_probes{0};
+  double base_set_seconds = 0.0;
+  double relax_seconds = 0.0;
+  double rank_seconds = 0.0;
+
+  RelaxationStats() = default;
+  RelaxationStats(const RelaxationStats& other) { *this = other; }
+  RelaxationStats& operator=(const RelaxationStats& other) {
+    queries_issued.store(other.queries_issued.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    tuples_extracted.store(
+        other.tuples_extracted.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    tuples_relevant.store(other.tuples_relevant.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+    cache_hits.store(other.cache_hits.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    deduped_probes.store(other.deduped_probes.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    base_set_seconds = other.base_set_seconds;
+    relax_seconds = other.relax_seconds;
+    rank_seconds = other.rank_seconds;
+    return *this;
+  }
+
+  /// Merges another run's counters and timers into this one.
+  void Accumulate(const RelaxationStats& other) {
+    queries_issued += other.queries_issued.load(std::memory_order_relaxed);
+    tuples_extracted += other.tuples_extracted.load(std::memory_order_relaxed);
+    tuples_relevant += other.tuples_relevant.load(std::memory_order_relaxed);
+    cache_hits += other.cache_hits.load(std::memory_order_relaxed);
+    deduped_probes += other.deduped_probes.load(std::memory_order_relaxed);
+    base_set_seconds += other.base_set_seconds;
+    relax_seconds += other.relax_seconds;
+    rank_seconds += other.rank_seconds;
+  }
 
   double WorkPerRelevantTuple() const {
-    return tuples_relevant == 0
-               ? static_cast<double>(tuples_extracted)
-               : static_cast<double>(tuples_extracted) /
-                     static_cast<double>(tuples_relevant);
+    const uint64_t extracted = tuples_extracted.load(std::memory_order_relaxed);
+    const uint64_t relevant = tuples_relevant.load(std::memory_order_relaxed);
+    return relevant == 0 ? static_cast<double>(extracted)
+                         : static_cast<double>(extracted) /
+                               static_cast<double>(relevant);
   }
 };
 
@@ -67,6 +128,15 @@ class AimqEngine {
   /// Algorithm 1: map Q to a base query, expand the base set via relaxation
   /// queries, keep tuples above Tsim, return the top-k ranked by Sim(Q, t).
   /// \p stats (optional) accumulates probe accounting.
+  ///
+  /// The per-base-tuple relaxation loop fans out over options().num_threads
+  /// workers; ranked answers are bit-identical at any thread count (see
+  /// DESIGN.md, "Query-time concurrency model"). RandomRelax orders are
+  /// derived deterministically from options().seed and the base-set
+  /// position, so they too are independent of scheduling; vary the seed for
+  /// different shuffles. Safe to call concurrently with other Answer() /
+  /// FindSimilar() calls on the same engine (but not with ApplyFeedback,
+  /// which retunes the weights the rankers read).
   Result<std::vector<RankedAnswer>> Answer(
       const ImpreciseQuery& query,
       RelaxationStrategy strategy = RelaxationStrategy::kGuided,
@@ -76,6 +146,9 @@ class AimqEngine {
   /// extract tuples until \p target distinct ones with Sim(anchor, t) >=
   /// \p tsim are found or the relaxation sequence is exhausted. The anchor
   /// itself is excluded. Results are sorted by descending similarity.
+  /// Safe to call concurrently for distinct or identical anchors; RandomRelax
+  /// orders derive deterministically from options().seed and the anchor, so
+  /// results never depend on call order or scheduling.
   Result<std::vector<RankedAnswer>> FindSimilar(const Tuple& anchor,
                                                 size_t target, double tsim,
                                                 RelaxationStrategy strategy,
@@ -103,14 +176,33 @@ class AimqEngine {
       const RelevanceFeedback& feedback, const Tuple& query_tuple,
       const std::vector<JudgedAnswer>& judged);
 
-  /// Enables caching of Answer() results for repeated identical queries
+  /// Enables LRU caching of Answer() results for repeated identical queries
   /// (imprecise workloads are highly repetitive). The cache is invalidated
-  /// by ApplyFeedback. 0 disables caching (the default).
+  /// by ApplyFeedback. 0 disables caching (the default). Thread-safe.
   void SetAnswerCacheCapacity(size_t capacity);
 
   /// Cache accounting (testing/diagnostics).
-  size_t answer_cache_hits() const { return cache_hits_; }
-  size_t answer_cache_size() const { return answer_cache_.size(); }
+  size_t answer_cache_hits() const {
+    return answer_cache_hits_.load(std::memory_order_relaxed);
+  }
+  size_t answer_cache_size() const;
+
+  /// Replaces the shared probe cache. Sharing one ProbeCache across engines
+  /// over the same source dedupes relaxation probes across sessions; pass
+  /// nullptr to probe the source directly (per-call dedup still applies).
+  /// Not thread-safe against in-flight queries — set it between calls.
+  void SetProbeCache(std::shared_ptr<ProbeCache> cache) {
+    probe_cache_ = std::move(cache);
+  }
+
+  /// The probe cache in front of WebDatabase::Execute (never null unless
+  /// options().probe_cache_capacity was 0 and no cache was attached).
+  const std::shared_ptr<ProbeCache>& probe_cache() const {
+    return probe_cache_;
+  }
+
+  /// Adjusts the relaxation fan-out width (see AimqOptions::num_threads).
+  void SetNumThreads(size_t num_threads) { options_.num_threads = num_threads; }
 
   /// Attaches a query log: every valid Answer() call is recorded (the
   /// workload later feeds query-driven importance, src/workload). Pass
@@ -118,8 +210,42 @@ class AimqEngine {
   void AttachQueryLog(QueryLog* log) { query_log_ = log; }
 
  private:
+  // Per-call probe bookkeeping: when no shared ProbeCache is attached, memo
+  // preserves the historical per-Answer dedup of identical relaxed queries.
+  // Guarded by mu so parallel workers share it.
+  struct ProbeContext {
+    std::mutex mu;
+    std::unordered_map<std::string, std::vector<Tuple>> memo;
+  };
+
+  // One base tuple's contribution to the candidate pool, produced by a
+  // worker of the relaxation fan-out and merged in base-set order.
+  struct TupleExpansion {
+    Status status = Status::OK();
+    // (candidate, Sim(Q, candidate)) in discovery order, deduped per worker.
+    std::vector<std::pair<Tuple, double>> offers;
+  };
+
   // Bound (non-null) attribute order for relaxation, least important first.
   std::vector<size_t> MinedOrderFor(const Tuple& tuple) const;
+
+  // All source probes of the query path go through here: shared ProbeCache
+  // if attached, per-call memo otherwise. \p fresh (optional) reports
+  // whether the source was physically probed.
+  Result<std::vector<Tuple>> Probe(const SelectionQuery& query,
+                                   RelaxationStats* stats, ProbeContext* ctx,
+                                   bool* fresh = nullptr);
+
+  // Algorithm 1 steps 2-8 for one base tuple (runs on a worker thread).
+  TupleExpansion ExpandBaseTuple(const ImpreciseQuery& query,
+                                 const Tuple& tuple, size_t base_index,
+                                 RelaxationStrategy strategy,
+                                 RelaxationStats* stats, ProbeContext* ctx);
+
+  // DeriveBaseSet against an existing probe context.
+  Result<std::vector<Tuple>> DeriveBaseSetImpl(const ImpreciseQuery& query,
+                                               RelaxationStats* stats,
+                                               ProbeContext* ctx);
 
   // Uncached Algorithm 1.
   Result<std::vector<RankedAnswer>> AnswerUncached(const ImpreciseQuery& query,
@@ -131,11 +257,15 @@ class AimqEngine {
   AimqOptions options_;
   SimilarityFunction sim_;
   std::vector<size_t> all_attrs_;
-  Rng rng_;
-  // Answer cache: key = strategy tag + query rendering.
-  size_t cache_capacity_ = 0;
-  size_t cache_hits_ = 0;
-  std::unordered_map<std::string, std::vector<RankedAnswer>> answer_cache_;
+  // Probe dedup layer shared by every query this engine (and any engine
+  // sharing the pointer) answers.
+  std::shared_ptr<ProbeCache> probe_cache_;
+  // Answer cache: key = query rendering (GuidedRelax only). LRU, guarded by
+  // answer_cache_mu_ so concurrent Answer() calls are safe.
+  mutable std::mutex answer_cache_mu_;
+  LruCache<std::string, std::vector<RankedAnswer>> answer_cache_;
+  std::atomic<size_t> answer_cache_hits_{0};
+  std::mutex query_log_mu_;
   QueryLog* query_log_ = nullptr;
 };
 

@@ -52,6 +52,18 @@ struct AimqOptions {
   /// default; min-max scaled and Gaussian variants available).
   NumericSimKind numeric_sim = NumericSimKind::kQueryRelative;
 
+  /// Worker threads for Answer()'s per-base-tuple relaxation fan-out
+  /// (1 = serial; 0 = auto, hardware concurrency capped at 8). Ranked
+  /// answers are bit-identical at any setting — see DESIGN.md, "Query-time
+  /// concurrency model".
+  size_t num_threads = 1;
+
+  /// Capacity (distinct canonicalized queries) of the engine's shared probe
+  /// cache, which dedupes identical relaxation probes across base tuples,
+  /// Answer() calls, and engines sharing one cache. 0 disables the shared
+  /// cache; per-call probe dedup still applies.
+  size_t probe_cache_capacity = 1024;
+
   /// Seed for stochastic components (RandomRelax attribute orders).
   uint64_t seed = 42;
 };

@@ -1,0 +1,72 @@
+#include "webdb/probe_cache.h"
+
+#include <algorithm>
+
+namespace aimq {
+
+std::string ProbeCache::CanonicalKey(const SelectionQuery& query) {
+  std::vector<std::string> parts;
+  parts.reserve(query.NumPredicates());
+  for (const Predicate& p : query.predicates()) {
+    parts.push_back(p.ToString());
+  }
+  std::sort(parts.begin(), parts.end());
+  std::string key;
+  for (const std::string& part : parts) {
+    key += part;
+    key += '\x1f';  // unit separator: cannot appear in a rendered predicate
+  }
+  return key;
+}
+
+Result<std::vector<Tuple>> ProbeCache::Execute(const WebDatabase& db,
+                                               const SelectionQuery& query,
+                                               bool* hit) {
+  if (hit != nullptr) *hit = false;
+  if (capacity_ == 0) return db.Execute(query);
+
+  std::string key = CanonicalKey(query);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.lookups;
+    if (const std::vector<Tuple>* cached = cache_.Get(key)) {
+      ++stats_.hits;
+      if (hit != nullptr) *hit = true;
+      return *cached;  // copy out under the lock; entries are immutable
+    }
+    ++stats_.misses;
+  }
+
+  // Probe outside the lock: source latency must never serialize workers.
+  AIMQ_ASSIGN_OR_RETURN(std::vector<Tuple> tuples, db.Execute(query));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t before = cache_.evictions();
+    cache_.Put(std::move(key), tuples);
+    stats_.evictions += cache_.evictions() - before;
+  }
+  return tuples;
+}
+
+bool ProbeCache::Contains(const SelectionQuery& query) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.Peek(CanonicalKey(query)) != nullptr;
+}
+
+void ProbeCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.Clear();
+  stats_ = ProbeCacheStats{};
+}
+
+size_t ProbeCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+ProbeCacheStats ProbeCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace aimq

@@ -1,0 +1,84 @@
+// ProbeCache: a shared, thread-safe memoization layer in front of
+// WebDatabase::Execute.
+//
+// Algorithm 1 turns every base-set tuple into a fully-bound selection query
+// and relaxes it attribute-by-attribute, so distinct base tuples frequently
+// emit the *same* relaxed query (a deep relaxation of any Camry keeps only
+// Model = Camry). Against an autonomous source each duplicate probe costs
+// real network latency; the cache folds them into one physical probe. Keys
+// are canonicalized (predicate order does not matter), so syntactically
+// different but equivalent conjunctions share an entry.
+//
+// The cache is safe for concurrent Execute() calls — the engine's parallel
+// relaxation fan-out and concurrent query sessions share one instance. The
+// mutex guards only map bookkeeping, never the source probe itself: two
+// threads that miss the same key simultaneously may both probe the source
+// (the second insert overwrites with identical data), which trades a rare
+// duplicate probe for never serializing probe latency.
+
+#ifndef AIMQ_WEBDB_PROBE_CACHE_H_
+#define AIMQ_WEBDB_PROBE_CACHE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "query/selection_query.h"
+#include "util/lru.h"
+#include "webdb/web_database.h"
+
+namespace aimq {
+
+/// Snapshot of cache accounting (all counters since construction or the
+/// last Clear()).
+struct ProbeCacheStats {
+  uint64_t lookups = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+};
+
+/// \brief Thread-safe LRU cache over canonicalized selection queries.
+class ProbeCache {
+ public:
+  /// \p capacity is the number of distinct queries retained; 0 makes the
+  /// cache a pass-through (every Execute probes the source).
+  explicit ProbeCache(size_t capacity)
+      : capacity_(capacity), cache_(capacity) {}
+
+  ProbeCache(const ProbeCache&) = delete;
+  ProbeCache& operator=(const ProbeCache&) = delete;
+
+  /// Canonical cache key: the query's predicates rendered and sorted, so
+  /// predicate order does not produce distinct entries.
+  static std::string CanonicalKey(const SelectionQuery& query);
+
+  /// Serves \p query from the cache, or forwards it to \p db and caches the
+  /// answer. \p hit (optional) reports whether the source was spared.
+  /// Errors are never cached.
+  Result<std::vector<Tuple>> Execute(const WebDatabase& db,
+                                     const SelectionQuery& query,
+                                     bool* hit = nullptr);
+
+  /// True iff the canonical key of \p query is currently cached (does not
+  /// refresh recency; diagnostics/tests).
+  bool Contains(const SelectionQuery& query) const;
+
+  /// Drops all entries and resets the counters.
+  void Clear();
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const;
+  ProbeCacheStats stats() const;
+
+ private:
+  const size_t capacity_;  // immutable; readable without mu_
+  mutable std::mutex mu_;
+  LruCache<std::string, std::vector<Tuple>> cache_;  // guarded by mu_
+  ProbeCacheStats stats_;                            // guarded by mu_
+};
+
+}  // namespace aimq
+
+#endif  // AIMQ_WEBDB_PROBE_CACHE_H_

@@ -9,6 +9,7 @@
 #ifndef AIMQ_WEBDB_WEB_DATABASE_H_
 #define AIMQ_WEBDB_WEB_DATABASE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -20,12 +21,28 @@
 
 namespace aimq {
 
-/// Cumulative probe statistics for one client session.
+/// Cumulative probe statistics for one client session. Counters are atomic
+/// so concurrent Execute() calls (the engine's parallel relaxation fan-out,
+/// concurrent query sessions) account without data races; the struct stays
+/// copyable with snapshot semantics.
 struct ProbeStats {
-  uint64_t queries_issued = 0;
-  uint64_t tuples_returned = 0;
+  std::atomic<uint64_t> queries_issued{0};
+  std::atomic<uint64_t> tuples_returned{0};
 
-  void Reset() { *this = ProbeStats{}; }
+  ProbeStats() = default;
+  ProbeStats(const ProbeStats& other) { *this = other; }
+  ProbeStats& operator=(const ProbeStats& other) {
+    queries_issued.store(other.queries_issued.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    tuples_returned.store(other.tuples_returned.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+    return *this;
+  }
+
+  void Reset() {
+    queries_issued.store(0, std::memory_order_relaxed);
+    tuples_returned.store(0, std::memory_order_relaxed);
+  }
 };
 
 /// \brief Boolean-query-only facade over a hidden relation.
@@ -54,7 +71,8 @@ class WebDatabase {
 
   /// Executes a precise conjunctive query and returns the matching tuples.
   /// Queries containing 'like' predicates are rejected: the source only
-  /// supports the boolean model.
+  /// supports the boolean model. Safe to call concurrently: the per-attribute
+  /// indexes are immutable after construction and probe accounting is atomic.
   virtual Result<std::vector<Tuple>> Execute(const SelectionQuery& query) const;
 
   /// The option list a Web form exposes in the drop-down for a categorical

@@ -131,9 +131,13 @@ TEST_P(ParserFuzzTest, ArbitraryInputNeverCrashes) {
     // Any outcome is fine; it must simply not crash and errors must carry a
     // message.
     auto p = parser.ParsePrecise(input);
-    if (!p.ok()) EXPECT_FALSE(p.status().message().empty());
+    if (!p.ok()) {
+      EXPECT_FALSE(p.status().message().empty());
+    }
     auto i = parser.ParseImprecise(input);
-    if (!i.ok()) EXPECT_FALSE(i.status().message().empty());
+    if (!i.ok()) {
+      EXPECT_FALSE(i.status().message().empty());
+    }
   }
 }
 

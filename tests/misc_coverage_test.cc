@@ -76,7 +76,7 @@ TEST(StopwatchTest, MeasuresElapsedTimeMonotonically) {
   double t1 = watch.ElapsedSeconds();
   // Burn a little CPU deterministically.
   volatile double sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += i * 0.5;
+  for (int i = 0; i < 100000; ++i) sink = sink + i * 0.5;
   double t2 = watch.ElapsedSeconds();
   EXPECT_GE(t1, 0.0);
   EXPECT_GE(t2, t1);

@@ -1,0 +1,187 @@
+#include "webdb/probe_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "util/parallel.h"
+
+namespace aimq {
+namespace {
+
+Schema TwoColumnSchema() {
+  return Schema::Make({{"Make", AttrType::kCategorical},
+                       {"Model", AttrType::kCategorical}})
+      .ValueOrDie();
+}
+
+WebDatabase MakeDb() {
+  Relation data(TwoColumnSchema());
+  EXPECT_TRUE(
+      data.Append(Tuple({Value::Cat("Toyota"), Value::Cat("Camry")})).ok());
+  EXPECT_TRUE(
+      data.Append(Tuple({Value::Cat("Toyota"), Value::Cat("Corolla")})).ok());
+  EXPECT_TRUE(
+      data.Append(Tuple({Value::Cat("Honda"), Value::Cat("Civic")})).ok());
+  return WebDatabase("ToyDB", std::move(data));
+}
+
+SelectionQuery MakeQuery(const std::string& make) {
+  return SelectionQuery({Predicate::Eq("Make", Value::Cat(make))});
+}
+
+TEST(ProbeCacheTest, MissProbesThenHitSparesTheSource) {
+  WebDatabase db = MakeDb();
+  ProbeCache cache(8);
+
+  bool hit = true;
+  auto first = cache.Execute(db, MakeQuery("Toyota"), &hit);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(first->size(), 2u);
+  EXPECT_EQ(db.stats().queries_issued, 1u);
+
+  auto second = cache.Execute(db, MakeQuery("Toyota"), &hit);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(second->size(), 2u);
+  // The source was not probed again.
+  EXPECT_EQ(db.stats().queries_issued, 1u);
+  for (size_t i = 0; i < first->size(); ++i) {
+    EXPECT_EQ((*first)[i], (*second)[i]);
+  }
+
+  ProbeCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.lookups, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(ProbeCacheTest, EquivalentQueriesShareOneEntry) {
+  WebDatabase db = MakeDb();
+  ProbeCache cache(8);
+
+  SelectionQuery forward({Predicate::Eq("Make", Value::Cat("Toyota")),
+                          Predicate::Eq("Model", Value::Cat("Camry"))});
+  SelectionQuery reversed({Predicate::Eq("Model", Value::Cat("Camry")),
+                           Predicate::Eq("Make", Value::Cat("Toyota"))});
+  EXPECT_EQ(ProbeCache::CanonicalKey(forward),
+            ProbeCache::CanonicalKey(reversed));
+
+  ASSERT_TRUE(cache.Execute(db, forward).ok());
+  bool hit = false;
+  auto answers = cache.Execute(db, reversed, &hit);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(answers->size(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(db.stats().queries_issued, 1u);
+}
+
+TEST(ProbeCacheTest, DistinctQueriesDoNotCollide) {
+  WebDatabase db = MakeDb();
+  ProbeCache cache(8);
+  ASSERT_TRUE(cache.Execute(db, MakeQuery("Toyota")).ok());
+  bool hit = true;
+  auto honda = cache.Execute(db, MakeQuery("Honda"), &hit);
+  ASSERT_TRUE(honda.ok());
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(honda->size(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ProbeCacheTest, LruEvictionDropsTheColdestEntry) {
+  WebDatabase db = MakeDb();
+  ProbeCache cache(2);
+
+  SelectionQuery toyota = MakeQuery("Toyota");
+  SelectionQuery honda = MakeQuery("Honda");
+  SelectionQuery camry({Predicate::Eq("Model", Value::Cat("Camry"))});
+
+  ASSERT_TRUE(cache.Execute(db, toyota).ok());  // LRU order: [toyota]
+  ASSERT_TRUE(cache.Execute(db, honda).ok());   // [honda, toyota]
+  ASSERT_TRUE(cache.Execute(db, toyota).ok());  // refresh: [toyota, honda]
+  ASSERT_TRUE(cache.Execute(db, camry).ok());   // evicts honda
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.Contains(toyota));
+  EXPECT_TRUE(cache.Contains(camry));
+  EXPECT_FALSE(cache.Contains(honda));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  // The evicted query must be re-probed.
+  const uint64_t probes_before = db.stats().queries_issued;
+  bool hit = true;
+  ASSERT_TRUE(cache.Execute(db, honda, &hit).ok());
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(db.stats().queries_issued, probes_before + 1);
+}
+
+TEST(ProbeCacheTest, ZeroCapacityIsAPassThrough) {
+  WebDatabase db = MakeDb();
+  ProbeCache cache(0);
+  bool hit = true;
+  ASSERT_TRUE(cache.Execute(db, MakeQuery("Toyota"), &hit).ok());
+  EXPECT_FALSE(hit);
+  ASSERT_TRUE(cache.Execute(db, MakeQuery("Toyota"), &hit).ok());
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(db.stats().queries_issued, 2u);
+}
+
+TEST(ProbeCacheTest, ErrorsAreNotCached) {
+  WebDatabase db = MakeDb();
+  ProbeCache cache(8);
+  SelectionQuery bad({Predicate::Eq("Nope", Value::Cat("x"))});
+  EXPECT_FALSE(cache.Execute(db, bad).ok());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ProbeCacheTest, ClearResetsEntriesAndCounters) {
+  WebDatabase db = MakeDb();
+  ProbeCache cache(8);
+  ASSERT_TRUE(cache.Execute(db, MakeQuery("Toyota")).ok());
+  ASSERT_TRUE(cache.Execute(db, MakeQuery("Toyota")).ok());
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().lookups, 0u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(ProbeCacheTest, ConcurrentMixedWorkloadStaysConsistent) {
+  WebDatabase db = MakeDb();
+  ProbeCache cache(16);
+  const std::vector<std::string> makes{"Toyota", "Honda", "Toyota", "Honda"};
+  const size_t kRounds = 400;
+
+  std::atomic<size_t> wrong_answers{0};
+  ParallelFor(kRounds, 8, [&](size_t i) {
+    const std::string& make = makes[i % makes.size()];
+    auto result = cache.Execute(db, MakeQuery(make));
+    if (!result.ok()) {
+      ++wrong_answers;
+      return;
+    }
+    const size_t expected = make == "Toyota" ? 2 : 1;
+    if (result->size() != expected) ++wrong_answers;
+    for (const Tuple& t : *result) {
+      if (t.At(0).AsCat() != make) ++wrong_answers;
+    }
+  });
+  EXPECT_EQ(wrong_answers.load(), 0u);
+
+  ProbeCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.lookups, kRounds);
+  EXPECT_EQ(stats.hits + stats.misses, kRounds);
+  // Every miss is one physical probe; racing first-misses may duplicate a
+  // probe but never lose one, and steady state serves from the cache.
+  EXPECT_EQ(db.stats().queries_issued, stats.misses);
+  EXPECT_GE(stats.misses, 2u);
+  EXPECT_GT(stats.hits, kRounds / 2);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+}  // namespace
+}  // namespace aimq
