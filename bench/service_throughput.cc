@@ -1,0 +1,279 @@
+// service_throughput: replay a recorded query-log trace against the
+// concurrent AimqService at a target arrival rate and report serving
+// metrics — p50/p95/p99 latency, rejection rate, probe-cache hit rate.
+//
+// The bench is also a correctness harness: every accepted request's ranked
+// answers are compared bit-for-bit against a serial (1-thread, cold-cache)
+// reference engine; any divergence makes the process exit non-zero. Run it
+// under -DAIMQ_SANITIZE=thread to shake the serving layer's locking.
+//
+// Usage:
+//   service_throughput [--queries=500] [--threads=8] [--qps=0]
+//                      [--tuples=5000] [--queue-depth=256]
+//                      [--deadline-ms=0]
+//
+// --qps=0 replays unpaced (as fast as admission control admits); a nonzero
+// target paces submissions at that many requests per second. A nonzero
+// --deadline-ms lets requests come back truncated; truncated responses are
+// excluded from the bit-identical check (they are partial by design).
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "service/service.h"
+#include "util/stopwatch.h"
+#include "util/strings.h"
+#include "workload/query_log.h"
+
+using namespace aimq;
+
+namespace {
+
+struct BenchFlags {
+  size_t queries = 500;
+  size_t threads = 8;
+  double qps = 0.0;
+  size_t tuples = 5000;
+  size_t queue_depth = 256;
+  uint64_t deadline_ms = 0;
+};
+
+// Synthesizes an imprecise workload the way users query a car listing site:
+// mostly by model, sometimes with a price, sometimes make-only.
+std::vector<ImpreciseQuery> MakeWorkload(const Relation& data, size_t count,
+                                         uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<size_t> pick_row(0, data.NumTuples() - 1);
+  std::uniform_int_distribution<int> pick_shape(0, 9);
+  std::vector<ImpreciseQuery> workload;
+  workload.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const Tuple& row = data.tuple(pick_row(rng));
+    ImpreciseQuery q;
+    const int shape = pick_shape(rng);
+    if (shape < 6) {  // Model like X
+      q.Bind("Model", row.At(1));
+    } else if (shape < 8) {  // Model + Price
+      q.Bind("Model", row.At(1));
+      q.Bind("Price", row.At(3));
+    } else {  // Make like Y
+      q.Bind("Make", row.At(0));
+    }
+    workload.push_back(std::move(q));
+  }
+  return workload;
+}
+
+bool SameAnswers(const std::vector<RankedAnswer>& a,
+                 const std::vector<RankedAnswer>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].tuple != b[i].tuple || a[i].similarity != b[i].similarity) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (StartsWith(arg, "--queries=")) {
+      flags.queries = std::strtoul(arg.c_str() + 10, nullptr, 10);
+    } else if (StartsWith(arg, "--threads=")) {
+      flags.threads = std::strtoul(arg.c_str() + 10, nullptr, 10);
+    } else if (StartsWith(arg, "--qps=")) {
+      flags.qps = std::atof(arg.c_str() + 6);
+    } else if (StartsWith(arg, "--tuples=")) {
+      flags.tuples = std::strtoul(arg.c_str() + 9, nullptr, 10);
+    } else if (StartsWith(arg, "--queue-depth=")) {
+      flags.queue_depth = std::strtoul(arg.c_str() + 14, nullptr, 10);
+    } else if (StartsWith(arg, "--deadline-ms=")) {
+      flags.deadline_ms = std::strtoull(arg.c_str() + 14, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  bench::PrintHeader("AIMQ service throughput");
+  CarDbSpec spec;
+  spec.num_tuples = flags.tuples;
+  spec.seed = 2006;
+  Relation data = CarDbGenerator(spec).Generate();
+  WebDatabase db("CarDB", data);
+
+  AimqOptions options;
+  options.collector.sample_size = db.NumTuples() / 3;
+  options.num_threads = 2;  // per-query fan-out; concurrency comes from pool
+  auto knowledge = BuildKnowledge(db, options);
+  if (!knowledge.ok()) {
+    std::fprintf(stderr, "mining failed: %s\n",
+                 knowledge.status().ToString().c_str());
+    return 1;
+  }
+
+  // Record the workload through a QueryLog trace and replay the *trace*, so
+  // the bench exercises the same log files a deployment would keep.
+  QueryLog log(&db.schema());
+  log.EnableTrace(flags.queries);
+  for (const ImpreciseQuery& q :
+       MakeWorkload(data, flags.queries, /*seed=*/7)) {
+    Status st = log.Record(q);
+    if (!st.ok()) {
+      std::fprintf(stderr, "record failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  const std::vector<ImpreciseQuery>& trace = log.trace();
+  std::printf("workload: %zu queries over %zu tuples\n", trace.size(),
+              db.NumTuples());
+
+  // Serial reference: one thread, no shared probe cache reuse across runs.
+  AimqOptions serial_options = options;
+  serial_options.num_threads = 1;
+  AimqEngine reference(&db, *knowledge, serial_options);
+  std::map<std::string, std::vector<RankedAnswer>> expected;
+  {
+    Stopwatch watch;
+    for (const ImpreciseQuery& q : trace) {
+      const std::string key = q.ToString();
+      if (expected.count(key)) continue;
+      auto answers = reference.Answer(q);
+      if (!answers.ok()) {
+        std::fprintf(stderr, "reference failed on %s: %s\n", key.c_str(),
+                     answers.status().ToString().c_str());
+        return 1;
+      }
+      expected.emplace(key, answers.TakeValue());
+    }
+    std::printf("serial reference: %zu distinct queries in %.2fs\n",
+                expected.size(), watch.ElapsedSeconds());
+  }
+
+  ServiceOptions sopts;
+  sopts.num_workers = flags.threads;
+  sopts.queue_depth = flags.queue_depth;
+  sopts.default_deadline_ms = flags.deadline_ms;
+  AimqService service(&db, knowledge.TakeValue(), options, sopts);
+  Status st = service.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  struct Outcome {
+    std::atomic<int> state{0};  // 0 pending, 1 ok, 2 failed, 3 truncated
+    std::vector<RankedAnswer> answers;
+  };
+  std::vector<Outcome> outcomes(trace.size());
+  std::atomic<size_t> rejected{0};
+
+  Stopwatch replay_watch;
+  const double interval =
+      flags.qps > 0.0 ? 1.0 / flags.qps : 0.0;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    if (interval > 0.0) {
+      const double next_send = static_cast<double>(i) * interval;
+      const double now = replay_watch.ElapsedSeconds();
+      if (next_send > now) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(next_send - now));
+      }
+    }
+    Outcome* out = &outcomes[i];
+    Status submit = service.Submit(trace[i], [out](Result<QueryResponse> r) {
+      if (!r.ok()) {
+        out->state.store(2, std::memory_order_release);
+        return;
+      }
+      out->answers = std::move(r->answers);
+      out->state.store(r->truncated ? 3 : 1, std::memory_order_release);
+    });
+    if (!submit.ok()) {
+      ++rejected;
+      out->state.store(-1, std::memory_order_release);
+    }
+  }
+  service.Drain();
+  const double replay_seconds = replay_watch.ElapsedSeconds();
+  service.Stop();
+
+  // Verify: every accepted, untruncated request must match the serial
+  // reference bit for bit.
+  size_t compared = 0;
+  size_t mismatches = 0;
+  size_t truncated = 0;
+  size_t failed = 0;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const int state = outcomes[i].state.load(std::memory_order_acquire);
+    if (state == -1) continue;  // rejected at admission
+    if (state == 2) {
+      ++failed;
+      continue;
+    }
+    if (state == 3) {
+      ++truncated;
+      continue;
+    }
+    ++compared;
+    const auto it = expected.find(trace[i].ToString());
+    if (it == expected.end() || !SameAnswers(outcomes[i].answers, it->second)) {
+      ++mismatches;
+    }
+  }
+
+  const ServiceMetrics& m = service.metrics();
+  const size_t accepted = static_cast<size_t>(m.accepted());
+  std::printf("replayed %zu queries in %.2fs (%.1f accepted qps, target %s)\n",
+              trace.size(), replay_seconds,
+              replay_seconds > 0 ? static_cast<double>(accepted) /
+                                       replay_seconds
+                                 : 0.0,
+              flags.qps > 0 ? std::to_string(flags.qps).c_str() : "unpaced");
+  std::vector<std::vector<std::string>> rows;
+  char buf[64];
+  auto fmt = [&buf](const char* f, double v) {
+    std::snprintf(buf, sizeof(buf), f, v);
+    return std::string(buf);
+  };
+  rows.push_back({"accepted", std::to_string(accepted)});
+  rows.push_back({"rejected", std::to_string(rejected.load())});
+  rows.push_back({"rejection_rate", fmt("%.3f", m.RejectionRate())});
+  rows.push_back({"truncated", std::to_string(truncated)});
+  rows.push_back({"failed", std::to_string(failed)});
+  rows.push_back({"p50_ms", fmt("%.2f", m.latency().Percentile(0.50) * 1e3)});
+  rows.push_back({"p95_ms", fmt("%.2f", m.latency().Percentile(0.95) * 1e3)});
+  rows.push_back({"p99_ms", fmt("%.2f", m.latency().Percentile(0.99) * 1e3)});
+  rows.push_back(
+      {"queue_wait_p99_ms",
+       fmt("%.2f", m.queue_wait().Percentile(0.99) * 1e3)});
+  const auto& cache = service.engine().probe_cache();
+  if (cache != nullptr) {
+    rows.push_back({"cache_hit_rate", fmt("%.3f", cache->stats().HitRate())});
+  }
+  rows.push_back({"verified_vs_serial", std::to_string(compared)});
+  rows.push_back({"mismatches", std::to_string(mismatches)});
+  bench::PrintTable({"metric", "value"}, rows);
+
+  if (mismatches > 0 || failed > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %zu mismatched answers, %zu failed requests\n",
+                 mismatches, failed);
+    return 1;
+  }
+  std::printf("all accepted answers bit-identical to the serial engine\n");
+  return 0;
+}

@@ -25,6 +25,25 @@ uint64_t MixSeed(uint64_t seed, uint64_t salt) {
   return z ^ (z >> 31);
 }
 
+// Accumulates the elapsed time of one Answer() phase into *out when the
+// scope exits — on success, error return, cancellation, or deadline alike.
+// Phase timers must never be finalized only on the happy path: a cancelled
+// session still has to account the time it burned (the serving layer bills
+// it against the request's deadline budget).
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(double* out) : out_(out) {}
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+  ~PhaseTimer() {
+    if (out_ != nullptr) *out_ += watch_.ElapsedSeconds();
+  }
+
+ private:
+  Stopwatch watch_;
+  double* out_;
+};
+
 }  // namespace
 
 AimqEngine::AimqEngine(const WebDatabase* source, MinedKnowledge knowledge,
@@ -114,18 +133,23 @@ Result<std::vector<Tuple>> AimqEngine::Probe(const SelectionQuery& query,
 }
 
 Result<std::vector<Tuple>> AimqEngine::DeriveBaseSet(
-    const ImpreciseQuery& query, RelaxationStats* stats) {
+    const ImpreciseQuery& query, RelaxationStats* stats,
+    const QueryControl* control) {
   ProbeContext ctx;
-  return DeriveBaseSetImpl(query, stats, &ctx);
+  return DeriveBaseSetImpl(query, stats, &ctx, control);
 }
 
 Result<std::vector<Tuple>> AimqEngine::DeriveBaseSetImpl(
-    const ImpreciseQuery& query, RelaxationStats* stats, ProbeContext* ctx) {
+    const ImpreciseQuery& query, RelaxationStats* stats, ProbeContext* ctx,
+    const QueryControl* control) {
   AIMQ_RETURN_NOT_OK(query.Validate(source_->schema()));
   if (query.Empty()) {
     return Status::InvalidArgument("imprecise query binds no attribute");
   }
   const SelectionQuery base = query.ToBaseQuery();
+  if (control != nullptr) {
+    AIMQ_RETURN_NOT_OK(control->Check("base-set derivation"));
+  }
   bool fresh = false;
   AIMQ_ASSIGN_OR_RETURN(std::vector<Tuple> answers,
                         Probe(base, stats, ctx, &fresh));
@@ -145,6 +169,9 @@ Result<std::vector<Tuple>> AimqEngine::DeriveBaseSetImpl(
   RelaxationSequence sequence(bound_order,
                               bound_order.empty() ? 0 : bound_order.size() - 1);
   while (sequence.HasNext()) {
+    if (control != nullptr) {
+      AIMQ_RETURN_NOT_OK(control->Check("base-set generalization"));
+    }
     std::vector<size_t> combo = sequence.Next();
     std::vector<std::string> drop;
     drop.reserve(combo.size());
@@ -165,7 +192,8 @@ Result<std::vector<Tuple>> AimqEngine::DeriveBaseSetImpl(
 
 Result<std::vector<RankedAnswer>> AimqEngine::Answer(
     const ImpreciseQuery& query, RelaxationStrategy strategy,
-    RelaxationStats* stats) {
+    RelaxationStats* stats, const QueryControl* control, bool* truncated) {
+  if (truncated != nullptr) *truncated = false;
   AIMQ_RETURN_NOT_OK(query.Validate(source_->schema()));
   if (query_log_ != nullptr && !query.Empty()) {
     std::lock_guard<std::mutex> lock(query_log_mu_);
@@ -182,9 +210,14 @@ Result<std::vector<RankedAnswer>> AimqEngine::Answer(
       return *cached;
     }
   }
-  AIMQ_ASSIGN_OR_RETURN(std::vector<RankedAnswer> answers,
-                        AnswerUncached(query, strategy, stats));
-  if (cacheable) {
+  bool was_truncated = false;
+  AIMQ_ASSIGN_OR_RETURN(
+      std::vector<RankedAnswer> answers,
+      AnswerUncached(query, strategy, stats, control, &was_truncated));
+  if (truncated != nullptr) *truncated = was_truncated;
+  // A truncated run saw only part of the relaxation space — caching it would
+  // serve the partial answer to future unconstrained callers.
+  if (cacheable && !was_truncated) {
     std::lock_guard<std::mutex> lock(answer_cache_mu_);
     answer_cache_.Put(std::move(key), answers);
   }
@@ -204,7 +237,8 @@ size_t AimqEngine::answer_cache_size() const {
 
 AimqEngine::TupleExpansion AimqEngine::ExpandBaseTuple(
     const ImpreciseQuery& query, const Tuple& tuple, size_t base_index,
-    RelaxationStrategy strategy, RelaxationStats* stats, ProbeContext* ctx) {
+    RelaxationStrategy strategy, RelaxationStats* stats, ProbeContext* ctx,
+    const QueryControl* control) {
   TupleExpansion out;
   std::unordered_set<Tuple, TupleHash> offered;
   auto offer = [&](const Tuple& t) -> Status {
@@ -230,6 +264,12 @@ AimqEngine::TupleExpansion AimqEngine::ExpandBaseTuple(
   while (relaxer.HasNext()) {
     if (options_.relax_stop_after > 0 &&
         relevant_for_tuple >= options_.relax_stop_after) {
+      break;
+    }
+    // Cooperative stop between probes: keep the candidates gathered so far
+    // (they still rank into a useful partial top-k) and flag the truncation.
+    if (control != nullptr && control->ShouldStop()) {
+      out.truncated = true;
       break;
     }
     SelectionQuery q = relaxer.Next();
@@ -258,47 +298,58 @@ AimqEngine::TupleExpansion AimqEngine::ExpandBaseTuple(
 
 Result<std::vector<RankedAnswer>> AimqEngine::AnswerUncached(
     const ImpreciseQuery& query, RelaxationStrategy strategy,
-    RelaxationStats* stats) {
-  Stopwatch phase;
+    RelaxationStats* stats, const QueryControl* control, bool* truncated) {
   ProbeContext ctx;
-  AIMQ_ASSIGN_OR_RETURN(std::vector<Tuple> base_set,
-                        DeriveBaseSetImpl(query, stats, &ctx));
-  if (options_.base_set_limit > 0 &&
-      base_set.size() > options_.base_set_limit) {
-    // Keep the base tuples closest to Q (matters when the base query had to
-    // be generalized and its answers no longer satisfy Q exactly).
-    TopK<Tuple> best(options_.base_set_limit);
-    for (Tuple& t : base_set) {
-      AIMQ_ASSIGN_OR_RETURN(double score, sim_.QueryTupleSim(query, t));
-      best.Add(score, std::move(t));
-    }
-    base_set.clear();
-    for (auto& [score, t] : best.Extract()) {
-      base_set.push_back(std::move(t));
+  std::vector<Tuple> base_set;
+  {
+    PhaseTimer phase(stats == nullptr ? nullptr : &stats->base_set_seconds);
+    AIMQ_ASSIGN_OR_RETURN(base_set,
+                          DeriveBaseSetImpl(query, stats, &ctx, control));
+    if (options_.base_set_limit > 0 &&
+        base_set.size() > options_.base_set_limit) {
+      // Keep the base tuples closest to Q (matters when the base query had to
+      // be generalized and its answers no longer satisfy Q exactly).
+      TopK<Tuple> best(options_.base_set_limit);
+      for (Tuple& t : base_set) {
+        AIMQ_ASSIGN_OR_RETURN(double score, sim_.QueryTupleSim(query, t));
+        best.Add(score, std::move(t));
+      }
+      base_set.clear();
+      for (auto& [score, t] : best.Extract()) {
+        base_set.push_back(std::move(t));
+      }
     }
   }
-  if (stats != nullptr) stats->base_set_seconds += phase.ElapsedSeconds();
 
   // Steps 2-8: expand each base tuple through relaxation queries, fanned out
   // over the worker pool. Workers share only thread-safe state (the probe
   // cache / memo, atomic stats); each expansion is a pure function of its
   // base tuple, so the result is independent of scheduling.
-  phase.Reset();
   std::vector<TupleExpansion> expansions(base_set.size());
-  ParallelFor(base_set.size(), options_.num_threads, [&](size_t i) {
-    expansions[i] = ExpandBaseTuple(query, base_set[i], i, strategy, stats,
-                                    &ctx);
-  });
-  for (const TupleExpansion& e : expansions) {
-    AIMQ_RETURN_NOT_OK(e.status);
+  {
+    PhaseTimer phase(stats == nullptr ? nullptr : &stats->relax_seconds);
+    ParallelFor(base_set.size(), options_.num_threads, [&](size_t i) {
+      expansions[i] = ExpandBaseTuple(query, base_set[i], i, strategy, stats,
+                                      &ctx, control);
+    });
+    for (const TupleExpansion& e : expansions) {
+      AIMQ_RETURN_NOT_OK(e.status);
+    }
   }
-  if (stats != nullptr) stats->relax_seconds += phase.ElapsedSeconds();
+  if (truncated != nullptr) {
+    for (const TupleExpansion& e : expansions) {
+      if (e.truncated) {
+        *truncated = true;
+        break;
+      }
+    }
+  }
 
   // Step 9: top-k by similarity to Q. Offers are merged in base-set order
   // (then discovery order within one tuple), so the pool's insertion
   // sequence — and therefore TopK's deterministic tie-breaking — is
   // bit-identical to the serial path at any thread count.
-  phase.Reset();
+  PhaseTimer phase(stats == nullptr ? nullptr : &stats->rank_seconds);
   std::unordered_set<Tuple, TupleHash> pool;
   TopK<Tuple> topk(options_.top_k);
   for (const TupleExpansion& e : expansions) {
@@ -311,13 +362,13 @@ Result<std::vector<RankedAnswer>> AimqEngine::AnswerUncached(
   for (auto& [score, tuple] : topk.Extract()) {
     out.push_back(RankedAnswer{std::move(tuple), score});
   }
-  if (stats != nullptr) stats->rank_seconds += phase.ElapsedSeconds();
   return out;
 }
 
 Result<std::vector<RankedAnswer>> AimqEngine::FindSimilar(
     const Tuple& anchor, size_t target, double tsim,
-    RelaxationStrategy strategy, RelaxationStats* stats) {
+    RelaxationStrategy strategy, RelaxationStats* stats,
+    const QueryControl* control) {
   if (anchor.Size() != source_->schema().NumAttributes()) {
     return Status::InvalidArgument("anchor tuple arity mismatch");
   }
@@ -340,6 +391,9 @@ Result<std::vector<RankedAnswer>> AimqEngine::FindSimilar(
   // the answer set is the *most similar* relevant tuples of the step that
   // satisfied the target, not an arbitrary first-come subset of it.
   while (relaxer.HasNext() && relevant.size() < target) {
+    // Cooperative stop between descent steps: the protocol is inherently
+    // progressive, so the tuples gathered so far are the answer.
+    if (control != nullptr && control->ShouldStop()) break;
     SelectionQuery q = relaxer.Next();
     AIMQ_ASSIGN_OR_RETURN(std::vector<Tuple> extracted,
                           Probe(q, stats, &ctx));

@@ -13,6 +13,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/control.h"
 #include "core/explain.h"
 #include "core/feedback.h"
 #include "core/knowledge.h"
@@ -52,7 +53,10 @@ struct RankedAnswer {
 ///                     shared cache is disabled)
 ///
 /// The `*_seconds` phase timers are written only by the coordinating thread
-/// of Answer() (base-set derivation / relaxation fan-out / ranking).
+/// of Answer() (base-set derivation / relaxation fan-out / ranking). Each
+/// phase timer is flushed when the phase ends for *any* reason — success,
+/// error, cancellation, or deadline — so a cancelled session still accounts
+/// the time it burned.
 struct RelaxationStats {
   std::atomic<uint64_t> queries_issued{0};
   std::atomic<uint64_t> tuples_extracted{0};
@@ -137,10 +141,18 @@ class AimqEngine {
   /// different shuffles. Safe to call concurrently with other Answer() /
   /// FindSimilar() calls on the same engine (but not with ApplyFeedback,
   /// which retunes the weights the rankers read).
+  ///
+  /// \p control (optional) carries a cooperative cancel flag and deadline,
+  /// checked between relaxation probes. Cancellation during base-set
+  /// derivation aborts with kCancelled / kDeadlineExceeded (there is nothing
+  /// useful to return yet); cancellation during the relaxation fan-out stops
+  /// probing and ranks the candidates gathered so far, returning a *partial*
+  /// top-k and setting \p truncated. Truncated results are never cached.
   Result<std::vector<RankedAnswer>> Answer(
       const ImpreciseQuery& query,
       RelaxationStrategy strategy = RelaxationStrategy::kGuided,
-      RelaxationStats* stats = nullptr);
+      RelaxationStats* stats = nullptr, const QueryControl* control = nullptr,
+      bool* truncated = nullptr);
 
   /// The Figures 6/7 protocol: starting from \p anchor (a database tuple),
   /// extract tuples until \p target distinct ones with Sim(anchor, t) >=
@@ -148,17 +160,23 @@ class AimqEngine {
   /// itself is excluded. Results are sorted by descending similarity.
   /// Safe to call concurrently for distinct or identical anchors; RandomRelax
   /// orders derive deterministically from options().seed and the anchor, so
-  /// results never depend on call order or scheduling.
+  /// results never depend on call order or scheduling. \p control stops the
+  /// descent between probes, returning what was gathered so far.
   Result<std::vector<RankedAnswer>> FindSimilar(const Tuple& anchor,
                                                 size_t target, double tsim,
                                                 RelaxationStrategy strategy,
                                                 RelaxationStats* stats =
+                                                    nullptr,
+                                                const QueryControl* control =
                                                     nullptr);
 
   /// Derives the base set for Q: execute Qpr, and if the answer set is empty
   /// generalize Qpr along the relaxation order until it is not (footnote 2).
+  /// \p control aborts the derivation between probes.
   Result<std::vector<Tuple>> DeriveBaseSet(const ImpreciseQuery& query,
-                                           RelaxationStats* stats = nullptr);
+                                           RelaxationStats* stats = nullptr,
+                                           const QueryControl* control =
+                                               nullptr);
 
   /// Per-attribute breakdown of one answer's similarity score (why was this
   /// tuple returned?). The contributions sum to the similarity Answer()
@@ -224,6 +242,9 @@ class AimqEngine {
     Status status = Status::OK();
     // (candidate, Sim(Q, candidate)) in discovery order, deduped per worker.
     std::vector<std::pair<Tuple, double>> offers;
+    // The expansion stopped early because the query was cancelled or
+    // deadlined; offers hold only what was gathered before the stop.
+    bool truncated = false;
   };
 
   // Bound (non-null) attribute order for relaxation, least important first.
@@ -240,17 +261,21 @@ class AimqEngine {
   TupleExpansion ExpandBaseTuple(const ImpreciseQuery& query,
                                  const Tuple& tuple, size_t base_index,
                                  RelaxationStrategy strategy,
-                                 RelaxationStats* stats, ProbeContext* ctx);
+                                 RelaxationStats* stats, ProbeContext* ctx,
+                                 const QueryControl* control);
 
   // DeriveBaseSet against an existing probe context.
   Result<std::vector<Tuple>> DeriveBaseSetImpl(const ImpreciseQuery& query,
                                                RelaxationStats* stats,
-                                               ProbeContext* ctx);
+                                               ProbeContext* ctx,
+                                               const QueryControl* control);
 
   // Uncached Algorithm 1.
   Result<std::vector<RankedAnswer>> AnswerUncached(const ImpreciseQuery& query,
                                                    RelaxationStrategy strategy,
-                                                   RelaxationStats* stats);
+                                                   RelaxationStats* stats,
+                                                   const QueryControl* control,
+                                                   bool* truncated);
 
   const WebDatabase* source_;
   MinedKnowledge knowledge_;

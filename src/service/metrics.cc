@@ -1,0 +1,51 @@
+#include "service/metrics.h"
+
+namespace aimq {
+
+namespace {
+
+Json HistogramJson(const LatencyHistogram& h) {
+  Json out = Json::Obj();
+  const HistogramSnapshot snap = h.Snapshot();
+  out.Set("count", Json::Num(static_cast<double>(snap.count)));
+  out.Set("mean_ms", Json::Num(snap.MeanSeconds() * 1e3));
+  out.Set("p50_ms", Json::Num(h.Percentile(0.50) * 1e3));
+  out.Set("p95_ms", Json::Num(h.Percentile(0.95) * 1e3));
+  out.Set("p99_ms", Json::Num(h.Percentile(0.99) * 1e3));
+  out.Set("max_ms", Json::Num(snap.max_seconds * 1e3));
+  return out;
+}
+
+}  // namespace
+
+double ServiceMetrics::RejectionRate() const {
+  const uint64_t a = accepted();
+  const uint64_t r = rejected();
+  const uint64_t total = a + r;
+  return total == 0 ? 0.0
+                    : static_cast<double>(r) / static_cast<double>(total);
+}
+
+Json ServiceMetrics::Snapshot(const ProbeCacheStats* cache_stats) const {
+  Json out = Json::Obj();
+  out.Set("accepted", Json::Num(static_cast<double>(accepted())));
+  out.Set("rejected", Json::Num(static_cast<double>(rejected())));
+  out.Set("completed", Json::Num(static_cast<double>(completed())));
+  out.Set("failed", Json::Num(static_cast<double>(failed())));
+  out.Set("truncated", Json::Num(static_cast<double>(truncated())));
+  out.Set("in_flight", Json::Num(static_cast<double>(InFlight())));
+  out.Set("rejection_rate", Json::Num(RejectionRate()));
+  out.Set("latency", HistogramJson(latency_));
+  out.Set("queue_wait", HistogramJson(queue_wait_));
+  if (cache_stats != nullptr) {
+    Json cache = Json::Obj();
+    cache.Set("lookups", Json::Num(static_cast<double>(cache_stats->lookups)));
+    cache.Set("hits", Json::Num(static_cast<double>(cache_stats->hits)));
+    cache.Set("misses", Json::Num(static_cast<double>(cache_stats->misses)));
+    cache.Set("hit_rate", Json::Num(cache_stats->HitRate()));
+    out.Set("probe_cache", cache);
+  }
+  return out;
+}
+
+}  // namespace aimq

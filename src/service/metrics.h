@@ -1,0 +1,102 @@
+// ServiceMetrics: live counters and latency distributions for the query
+// service. Everything on the hot path is an atomic or a LatencyHistogram
+// record — worker threads account without taking a lock. Snapshot() renders
+// the whole registry as one JSON object, which is what a STATS request
+// returns over the wire and what the throughput bench prints.
+
+#ifndef AIMQ_SERVICE_METRICS_H_
+#define AIMQ_SERVICE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/histogram.h"
+#include "util/json.h"
+#include "webdb/probe_cache.h"
+
+namespace aimq {
+
+/// \brief Thread-safe metrics registry for one AimqService instance.
+class ServiceMetrics {
+ public:
+  ServiceMetrics() = default;
+  ServiceMetrics(const ServiceMetrics&) = delete;
+  ServiceMetrics& operator=(const ServiceMetrics&) = delete;
+
+  /// Admission control outcomes.
+  void OnAccepted() { accepted_.fetch_add(1, std::memory_order_relaxed); }
+  void OnRejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// One request finished. \p queue_seconds is the time spent waiting for a
+  /// worker, \p total_seconds the full submit-to-completion latency.
+  void OnCompleted(double queue_seconds, double total_seconds) {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    queue_wait_.Record(queue_seconds);
+    latency_.Record(total_seconds);
+  }
+
+  /// One request finished with a non-OK status (still records latency —
+  /// a deadlined request burned real worker time).
+  void OnFailed(double queue_seconds, double total_seconds) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    queue_wait_.Record(queue_seconds);
+    latency_.Record(total_seconds);
+  }
+
+  /// The request completed OK but its top-k was cut short by a deadline or
+  /// cancellation (counted in addition to OnCompleted).
+  void OnTruncated() { truncated_.fetch_add(1, std::memory_order_relaxed); }
+
+  uint64_t accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+  uint64_t rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+  uint64_t completed() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+  uint64_t failed() const { return failed_.load(std::memory_order_relaxed); }
+  uint64_t truncated() const {
+    return truncated_.load(std::memory_order_relaxed);
+  }
+
+  /// Requests admitted but not yet finished (either queued or in a worker).
+  /// Clamped at 0: under concurrent updates the three counters may be read
+  /// at slightly different instants.
+  uint64_t InFlight() const {
+    const uint64_t done = completed() + failed();
+    const uint64_t admitted = accepted();
+    return admitted > done ? admitted - done : 0;
+  }
+
+  /// rejected / (accepted + rejected); 0 before any submission.
+  double RejectionRate() const;
+
+  const LatencyHistogram& latency() const { return latency_; }
+  const LatencyHistogram& queue_wait() const { return queue_wait_; }
+
+  /// The full registry as a JSON object:
+  ///   {"accepted":..,"rejected":..,"completed":..,"failed":..,
+  ///    "truncated":..,"in_flight":..,"rejection_rate":..,
+  ///    "latency":{"count":..,"mean_ms":..,"p50_ms":..,"p95_ms":..,
+  ///               "p99_ms":..,"max_ms":..},
+  ///    "queue_wait":{...same shape...},
+  ///    "probe_cache":{"lookups":..,"hits":..,"hit_rate":..}}   (if given)
+  /// Concurrent updates may tear across counters (each is individually
+  /// consistent), which live monitoring accepts.
+  Json Snapshot(const ProbeCacheStats* cache_stats = nullptr) const;
+
+ private:
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> truncated_{0};
+  LatencyHistogram latency_;
+  LatencyHistogram queue_wait_;
+};
+
+}  // namespace aimq
+
+#endif  // AIMQ_SERVICE_METRICS_H_

@@ -1,0 +1,143 @@
+#include "service/server.h"
+
+#include <utility>
+
+#include "query/parser.h"
+#include "service/wire.h"
+#include "util/socket.h"
+
+namespace aimq {
+
+AimqServer::~AimqServer() { Stop(); }
+
+Status AimqServer::Start() {
+  if (listen_fd_ >= 0) {
+    return Status::FailedPrecondition("server already started");
+  }
+  AIMQ_ASSIGN_OR_RETURN(listen_fd_, TcpListen(port_));
+  auto bound = TcpBoundPort(listen_fd_);
+  if (!bound.ok()) {
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    return bound.status();
+  }
+  port_ = *bound;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void AimqServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  if (listen_fd_ >= 0) {
+    ShutdownFd(listen_fd_);  // unblocks the accept loop
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+  }
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [fd, thread] : sessions_) {
+      ShutdownFd(fd);  // unblocks the session's blocking read
+      to_join.push_back(std::move(thread));
+    }
+    sessions_.clear();
+    for (std::thread& thread : finished_sessions_) {
+      to_join.push_back(std::move(thread));
+    }
+    finished_sessions_.clear();
+  }
+  // A session inside a long service_->Execute() finishes that request
+  // first: wire shutdown is graceful with respect to in-flight queries.
+  for (std::thread& thread : to_join) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+void AimqServer::AcceptLoop() {
+  for (;;) {
+    auto accepted = TcpAccept(listen_fd_);
+    if (!accepted.ok()) return;  // Cancelled by Stop(), or fatal
+    const int fd = *accepted;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      CloseFd(fd);
+      return;
+    }
+    sessions_.emplace(fd, std::thread([this, fd] { Session(fd); }));
+  }
+}
+
+void AimqServer::Session(int fd) {
+  LineReader reader(fd);
+  for (;;) {
+    auto line = reader.ReadLine();
+    if (!line.ok() || !line->has_value()) break;  // error or peer closed
+    const std::string response = HandleLine(**line);
+    if (!SendAll(fd, response + "\n").ok()) break;
+  }
+  // Deregister before closing so the accept loop can never observe a reused
+  // fd number colliding with a stale session entry.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(fd);
+    if (it != sessions_.end()) {
+      finished_sessions_.push_back(std::move(it->second));
+      sessions_.erase(it);
+    }
+  }
+  CloseFd(fd);
+}
+
+std::string AimqServer::HandleLine(const std::string& line) {
+  auto parsed = ParseWireRequest(line);
+  if (!parsed.ok()) {
+    return MakeErrorResponse(WireRequest{}, parsed.status()).Dump();
+  }
+  const WireRequest& request = *parsed;
+  switch (request.op) {
+    case WireRequest::Op::kPing: {
+      Json out = Json::Obj();
+      if (request.has_id) out.Set("id", Json::Num(request.id));
+      out.Set("ok", Json::Bool(true));
+      out.Set("pong", Json::Bool(true));
+      return out.Dump();
+    }
+    case WireRequest::Op::kStats: {
+      Json out = Json::Obj();
+      if (request.has_id) out.Set("id", Json::Num(request.id));
+      out.Set("ok", Json::Bool(true));
+      out.Set("stats", service_->StatsJson());
+      return out.Dump();
+    }
+    case WireRequest::Op::kQuery:
+      break;
+  }
+  QueryParser parser(&service_->schema());
+  auto query = parser.ParseImprecise(request.query_text);
+  if (!query.ok()) {
+    return MakeErrorResponse(request, query.status()).Dump();
+  }
+  auto response = service_->Execute(*query, request.deadline_ms);
+  if (!response.ok()) {
+    return MakeErrorResponse(request, response.status()).Dump();
+  }
+  Json out = Json::Obj();
+  if (request.has_id) out.Set("id", Json::Num(request.id));
+  out.Set("ok", Json::Bool(true));
+  out.Set("truncated", Json::Bool(response->truncated));
+  out.Set("elapsed_ms", Json::Num(response->total_seconds * 1e3));
+  Json answers = Json::Arr();
+  for (const RankedAnswer& a : response->answers) {
+    answers.Push(RankedAnswerToJson(service_->schema(), a));
+  }
+  out.Set("answers", std::move(answers));
+  return out.Dump();
+}
+
+}  // namespace aimq

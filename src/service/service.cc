@@ -1,0 +1,161 @@
+#include "service/service.h"
+
+#include <future>
+#include <utility>
+
+namespace aimq {
+
+AimqService::AimqService(const WebDatabase* source, MinedKnowledge knowledge,
+                         AimqOptions engine_options,
+                         ServiceOptions service_options)
+    : source_(source),
+      engine_(source, std::move(knowledge), std::move(engine_options)),
+      service_options_(service_options) {}
+
+AimqService::~AimqService() { Stop(); }
+
+Status AimqService::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) {
+    return Status::FailedPrecondition("service already started");
+  }
+  started_ = true;
+  stopping_ = false;
+  const size_t n = service_options_.num_workers == 0
+                       ? 1
+                       : service_options_.num_workers;
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+Status AimqService::Submit(ImpreciseQuery query, Callback done,
+                           uint64_t deadline_ms) {
+  Request request;
+  request.query = std::move(query);
+  request.done = std::move(done);
+  request.control = std::make_shared<QueryControl>();
+  const uint64_t effective_deadline =
+      deadline_ms != 0 ? deadline_ms : service_options_.default_deadline_ms;
+  if (effective_deadline != 0) {
+    // The clock starts now: time spent queued counts against the deadline.
+    request.control->SetDeadlineAfterMillis(effective_deadline);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stopping_) {
+      metrics_.OnRejected();
+      return Status::Unavailable("service is not accepting requests")
+          .WithContext("AimqService::Submit");
+    }
+    if (queue_.size() >= service_options_.queue_depth) {
+      metrics_.OnRejected();
+      return Status::Unavailable("request queue full")
+          .WithContext("queue_depth=" +
+                       std::to_string(service_options_.queue_depth));
+    }
+    metrics_.OnAccepted();
+    queue_.push_back(std::move(request));
+  }
+  work_cv_.notify_one();
+  return Status::OK();
+}
+
+Result<QueryResponse> AimqService::Execute(const ImpreciseQuery& query,
+                                           uint64_t deadline_ms) {
+  auto promise = std::make_shared<std::promise<Result<QueryResponse>>>();
+  auto future = promise->get_future();
+  AIMQ_RETURN_NOT_OK(Submit(
+      query,
+      [promise](Result<QueryResponse> r) { promise->set_value(std::move(r)); },
+      deadline_ms));
+  return future.get();
+}
+
+void AimqService::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock,
+                 [this] { return queue_.empty() && active_workers_ == 0; });
+}
+
+void AimqService::Stop() {
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    stopping_ = true;  // admission closes; queued requests still run
+    // Claim the threads under the lock so a concurrent Stop() never
+    // double-joins.
+    workers = std::move(workers_);
+    workers_.clear();
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers) {
+    if (w.joinable()) w.join();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  started_ = false;
+}
+
+bool AimqService::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return started_ && !stopping_;
+}
+
+Json AimqService::StatsJson() const {
+  const auto& cache = engine_.probe_cache();
+  if (cache != nullptr) {
+    const ProbeCacheStats stats = cache->stats();
+    return metrics_.Snapshot(&stats);
+  }
+  return metrics_.Snapshot();
+}
+
+size_t AimqService::QueueSize() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void AimqService::WorkerLoop() {
+  for (;;) {
+    Request request;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ && drained: exit
+      request = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_workers_;
+    }
+    RunRequest(std::move(request));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_workers_;
+    }
+    drain_cv_.notify_all();
+  }
+}
+
+void AimqService::RunRequest(Request request) {
+  QueryResponse response;
+  response.queue_seconds = request.since_submit.ElapsedSeconds();
+  bool truncated = false;
+  auto answers =
+      engine_.Answer(request.query, service_options_.strategy, &response.stats,
+                     request.control.get(), &truncated);
+  response.total_seconds = request.since_submit.ElapsedSeconds();
+  response.truncated = truncated;
+  if (answers.ok()) {
+    response.answers = answers.TakeValue();
+    metrics_.OnCompleted(response.queue_seconds, response.total_seconds);
+    if (truncated) metrics_.OnTruncated();
+    request.done(std::move(response));
+  } else {
+    metrics_.OnFailed(response.queue_seconds, response.total_seconds);
+    request.done(answers.status());
+  }
+}
+
+}  // namespace aimq

@@ -1,0 +1,163 @@
+// AimqService: an embeddable concurrent query service over one autonomous
+// source. Owns one AimqEngine (mined knowledge + shared ProbeCache) and
+// serves many concurrent sessions through a bounded request queue and a
+// fixed worker pool.
+//
+// Threading / ownership model (see DESIGN.md, "Serving layer"):
+//
+//   callers ──Submit──▶ [bounded queue] ──▶ worker pool ──▶ AimqEngine
+//                │                              │
+//                └── kUnavailable when full     └── callback(Result)
+//
+//  - Admission control: Submit() never blocks. A full queue (or a stopping
+//    service) answers Status::Unavailable immediately; the caller decides
+//    whether to retry. This keeps a slow engine from wedging the listener.
+//  - Deadlines: each request carries a QueryControl whose deadline starts at
+//    *submit* time, so queue wait counts against it. Workers pass the
+//    control into AimqEngine::Answer, which checks it between relaxation
+//    probes; a deadline that fires mid-relaxation yields a partial top-k
+//    flagged `truncated`.
+//  - Shutdown: Stop() drains — admission closes, queued requests still run
+//    to completion, workers then exit and are joined. Every accepted
+//    request's callback fires exactly once, Stop() or not.
+//  - The engine is shared by all workers; Answer() is concurrency-safe and
+//    bit-deterministic, so the same query answered by any worker (or by a
+//    serial reference engine) ranks identically.
+
+#ifndef AIMQ_SERVICE_SERVICE_H_
+#define AIMQ_SERVICE_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/control.h"
+#include "core/engine.h"
+#include "service/metrics.h"
+#include "util/json.h"
+#include "util/stopwatch.h"
+
+namespace aimq {
+
+/// Tunables of the serving layer (the engine has its own AimqOptions).
+struct ServiceOptions {
+  /// Worker threads executing queries (>= 1).
+  size_t num_workers = 4;
+
+  /// Bounded queue depth; a Submit() beyond this is rejected kUnavailable.
+  size_t queue_depth = 64;
+
+  /// Deadline applied to requests that do not carry their own, in ms from
+  /// submission. 0 = no default deadline.
+  uint64_t default_deadline_ms = 0;
+
+  /// Relaxation strategy used for every request.
+  RelaxationStrategy strategy = RelaxationStrategy::kGuided;
+};
+
+/// Everything one answered request returns.
+struct QueryResponse {
+  std::vector<RankedAnswer> answers;
+  /// The top-k was cut short by a deadline/cancel mid-relaxation.
+  bool truncated = false;
+  /// Probe accounting for this request.
+  RelaxationStats stats;
+  /// Time the request waited for a worker.
+  double queue_seconds = 0.0;
+  /// Submit-to-completion latency.
+  double total_seconds = 0.0;
+};
+
+/// \brief Concurrent query service: bounded queue + worker pool over one
+/// AimqEngine.
+class AimqService {
+ public:
+  using Callback = std::function<void(Result<QueryResponse>)>;
+
+  /// \p source must outlive the service. Worker threads do not start until
+  /// Start().
+  AimqService(const WebDatabase* source, MinedKnowledge knowledge,
+              AimqOptions engine_options, ServiceOptions service_options);
+
+  /// Joins all workers (calls Stop() if still running).
+  ~AimqService();
+
+  AimqService(const AimqService&) = delete;
+  AimqService& operator=(const AimqService&) = delete;
+
+  /// Spawns the worker pool. FailedPrecondition when already started.
+  Status Start();
+
+  /// Enqueues \p query; \p done fires exactly once from a worker thread with
+  /// the outcome. Never blocks: a full queue or a stopped/stopping service
+  /// returns kUnavailable *and \p done is not invoked*. \p deadline_ms
+  /// overrides the service default (0 = use the default); the clock starts
+  /// now, so time spent queued counts against it.
+  Status Submit(ImpreciseQuery query, Callback done, uint64_t deadline_ms = 0);
+
+  /// Synchronous convenience over Submit(): blocks the calling thread until
+  /// the request completes. Queue-full rejections surface as kUnavailable
+  /// without blocking.
+  Result<QueryResponse> Execute(const ImpreciseQuery& query,
+                                uint64_t deadline_ms = 0);
+
+  /// Blocks until every accepted request has completed (queue empty, all
+  /// workers idle). New submissions remain allowed; a steady stream of them
+  /// can extend the wait.
+  void Drain();
+
+  /// Graceful drain-then-stop: closes admission, lets queued requests run to
+  /// completion, then joins the workers. Idempotent.
+  void Stop();
+
+  bool running() const;
+
+  /// The source's schema (what wire sessions parse query text against).
+  const Schema& schema() const { return source_->schema(); }
+
+  const AimqEngine& engine() const { return engine_; }
+  const ServiceOptions& service_options() const { return service_options_; }
+  ServiceMetrics& metrics() { return metrics_; }
+  const ServiceMetrics& metrics() const { return metrics_; }
+
+  /// Live metrics + probe-cache stats as one JSON object (the STATS wire
+  /// response body).
+  Json StatsJson() const;
+
+  /// Queued-but-not-yet-running requests (diagnostics).
+  size_t QueueSize() const;
+
+ private:
+  struct Request {
+    ImpreciseQuery query;
+    Callback done;
+    std::shared_ptr<QueryControl> control;
+    Stopwatch since_submit;  // runs from admission
+  };
+
+  void WorkerLoop();
+  void RunRequest(Request request);
+
+  const WebDatabase* source_;
+  AimqEngine engine_;
+  const ServiceOptions service_options_;
+  ServiceMetrics metrics_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // queue became non-empty / stopping
+  std::condition_variable drain_cv_;  // a request finished / queue emptied
+  std::deque<Request> queue_;         // guarded by mu_
+  size_t active_workers_ = 0;         // requests currently inside a worker
+  bool started_ = false;              // guarded by mu_
+  bool stopping_ = false;             // admission closed
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace aimq
+
+#endif  // AIMQ_SERVICE_SERVICE_H_

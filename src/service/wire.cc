@@ -1,0 +1,106 @@
+#include "service/wire.h"
+
+namespace aimq {
+
+Json StatusToJson(const Status& status) {
+  Json out = Json::Obj();
+  out.Set("code", Json::Str(StatusCodeName(status.code())));
+  if (!status.message().empty()) {
+    out.Set("message", Json::Str(status.message()));
+  }
+  if (!status.context().empty()) {
+    out.Set("context", Json::Str(status.context()));
+  }
+  return out;
+}
+
+Status StatusFromJson(const Json& json, Status* decoded) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("status must be a JSON object");
+  }
+  AIMQ_ASSIGN_OR_RETURN(std::string code_name, json.GetStr("code"));
+  AIMQ_ASSIGN_OR_RETURN(StatusCode code, StatusCodeFromName(code_name));
+  if (code == StatusCode::kOk) {
+    *decoded = Status::OK();
+    return Status::OK();
+  }
+  std::string message;
+  if (const Json* m = json.Find("message"); m != nullptr && m->is_string()) {
+    message = m->AsStr();
+  }
+  Status out(code, std::move(message));
+  if (const Json* c = json.Find("context"); c != nullptr && c->is_string()) {
+    out = out.WithContext(c->AsStr());
+  }
+  *decoded = std::move(out);
+  return Status::OK();
+}
+
+Json TupleToJson(const Schema& schema, const Tuple& tuple) {
+  Json out = Json::Obj();
+  for (size_t a = 0; a < tuple.Size() && a < schema.NumAttributes(); ++a) {
+    const Value& v = tuple.At(a);
+    Json encoded;
+    if (v.is_numeric()) {
+      encoded = Json::Num(v.AsNum());
+    } else if (v.is_categorical()) {
+      encoded = Json::Str(v.AsCat());
+    }  // null stays Json::Null()
+    out.Set(schema.attribute(a).name, std::move(encoded));
+  }
+  return out;
+}
+
+Json RankedAnswerToJson(const Schema& schema, const RankedAnswer& answer) {
+  Json out = Json::Obj();
+  out.Set("tuple", TupleToJson(schema, answer.tuple));
+  out.Set("similarity", Json::Num(answer.similarity));
+  return out;
+}
+
+Result<WireRequest> ParseWireRequest(const std::string& line) {
+  auto parsed = Json::Parse(line);
+  if (!parsed.ok()) {
+    return parsed.status().WithContext("request line");
+  }
+  const Json& json = *parsed;
+  if (!json.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  WireRequest req;
+  AIMQ_ASSIGN_OR_RETURN(std::string op, json.GetStr("op"));
+  if (op == "ping") {
+    req.op = WireRequest::Op::kPing;
+  } else if (op == "stats") {
+    req.op = WireRequest::Op::kStats;
+  } else if (op == "query") {
+    req.op = WireRequest::Op::kQuery;
+    AIMQ_ASSIGN_OR_RETURN(req.query_text, json.GetStr("q"));
+  } else {
+    return Status::InvalidArgument("unknown op \"" + op + "\"");
+  }
+  if (const Json* d = json.Find("deadline_ms"); d != nullptr) {
+    if (!d->is_number() || d->AsNum() < 0) {
+      return Status::InvalidArgument("deadline_ms must be a number >= 0");
+    }
+    req.deadline_ms = static_cast<uint64_t>(d->AsNum());
+  }
+  if (const Json* id = json.Find("id"); id != nullptr) {
+    if (!id->is_number()) {
+      return Status::InvalidArgument("id must be a number");
+    }
+    req.has_id = true;
+    req.id = id->AsNum();
+  }
+  return req;
+}
+
+Json MakeErrorResponse(const WireRequest& request, const Status& status) {
+  Json out = Json::Obj();
+  if (request.has_id) out.Set("id", Json::Num(request.id));
+  out.Set("ok", Json::Bool(false));
+  out.Set("status", StatusToJson(status));
+  return out;
+}
+
+}  // namespace aimq

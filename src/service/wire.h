@@ -1,0 +1,74 @@
+// The query service's newline-delimited JSON wire protocol.
+//
+// One request per line, one response line per request, over a plain TCP
+// stream — testable with `nc localhost 7777`. Three operations:
+//
+//   {"op":"ping"}
+//     -> {"ok":true,"pong":true}
+//   {"op":"stats"}
+//     -> {"ok":true,"stats":{...ServiceMetrics snapshot...}}
+//   {"op":"query","q":"Q(Model like 'Camry')","deadline_ms":500,"id":7}
+//     -> {"id":7,"ok":true,"truncated":false,"elapsed_ms":12.4,
+//         "answers":[{"tuple":{"Make":"Toyota",...},"similarity":0.93},...]}
+//
+// Failures answer {"ok":false,"status":{...}} where the status object
+// round-trips aimq::Status losslessly: code (by name), message, and context
+// all survive StatusToJson -> StatusFromJson. "id", when present in a
+// request, is echoed verbatim in the response so clients may pipeline.
+
+#ifndef AIMQ_SERVICE_WIRE_H_
+#define AIMQ_SERVICE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "query/imprecise_query.h"
+#include "relation/schema.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace aimq {
+
+/// Lossless Status <-> JSON: {"code":"DeadlineExceeded","message":"...",
+/// "context":"..."} (context omitted when empty). OK encodes as
+/// {"code":"Ok"} and decodes back to Status::OK().
+Json StatusToJson(const Status& status);
+
+/// Decodes \p json into \p decoded. The return value reports whether the
+/// *decoding* succeeded (Result<Status> would make the two indistinguishable);
+/// \p decoded may itself be any status, including OK.
+Status StatusFromJson(const Json& json, Status* decoded);
+
+/// One tuple as {"Attr":value,...} in schema order (numeric attributes as
+/// JSON numbers, categorical as strings, nulls as null).
+Json TupleToJson(const Schema& schema, const Tuple& tuple);
+
+/// {"tuple":{...},"similarity":0.93}
+Json RankedAnswerToJson(const Schema& schema, const RankedAnswer& answer);
+
+/// A decoded request line.
+struct WireRequest {
+  enum class Op { kPing, kStats, kQuery };
+  Op op = Op::kPing;
+  /// Query text ("Q(Model like 'Camry')"); only for kQuery.
+  std::string query_text;
+  /// Per-request deadline override in ms; 0 = use the service default.
+  uint64_t deadline_ms = 0;
+  /// Client correlation id, echoed in the response when present.
+  bool has_id = false;
+  double id = 0.0;
+};
+
+/// Parses one request line. Unknown "op" values and malformed JSON are
+/// InvalidArgument.
+Result<WireRequest> ParseWireRequest(const std::string& line);
+
+/// Builds the error response line ({"ok":false,"status":{...}}), echoing
+/// \p request's id when it has one.
+Json MakeErrorResponse(const WireRequest& request, const Status& status);
+
+}  // namespace aimq
+
+#endif  // AIMQ_SERVICE_WIRE_H_

@@ -1,0 +1,93 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aimq {
+
+namespace {
+
+constexpr double kFirstUpperBound = 1e-6;  // bucket 0: [0, 1µs)
+constexpr double kGrowth = 1.25;
+
+}  // namespace
+
+double LatencyHistogram::BucketUpperBound(size_t i) {
+  return kFirstUpperBound * std::pow(kGrowth, static_cast<double>(i));
+}
+
+size_t LatencyHistogram::BucketIndex(double seconds) {
+  if (seconds < kFirstUpperBound) return 0;
+  // seconds >= 1µs: index such that upper_bound(index-1) <= s < upper_bound.
+  const double idx =
+      std::floor(std::log(seconds / kFirstUpperBound) / std::log(kGrowth)) + 1;
+  if (idx >= static_cast<double>(kNumBuckets)) return kNumBuckets - 1;
+  return static_cast<size_t>(idx);
+}
+
+void LatencyHistogram::Record(double seconds) {
+  if (seconds < 0.0) seconds = 0.0;
+  const uint64_t nanos = static_cast<uint64_t>(seconds * 1e9);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+  buckets_[BucketIndex(seconds)].fetch_add(1, std::memory_order_relaxed);
+  uint64_t observed = min_nanos_.load(std::memory_order_relaxed);
+  while (nanos < observed &&
+         !min_nanos_.compare_exchange_weak(observed, nanos,
+                                           std::memory_order_relaxed)) {
+  }
+  observed = max_nanos_.load(std::memory_order_relaxed);
+  while (nanos > observed &&
+         !max_nanos_.compare_exchange_weak(observed, nanos,
+                                           std::memory_order_relaxed)) {
+  }
+}
+
+double LatencyHistogram::Percentile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t total = count_.load(std::memory_order_relaxed);
+  if (total == 0) return 0.0;
+  const uint64_t target = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(total))));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= target) {
+      // Clamp the coarse bucket bound by the exact observed extremes so
+      // single-value histograms report that value, not a bucket edge.
+      const double upper = BucketUpperBound(i);
+      const double max_s =
+          static_cast<double>(max_nanos_.load(std::memory_order_relaxed)) /
+          1e9;
+      return std::min(upper, max_s);
+    }
+  }
+  return static_cast<double>(max_nanos_.load(std::memory_order_relaxed)) / 1e9;
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum_seconds =
+      static_cast<double>(sum_nanos_.load(std::memory_order_relaxed)) / 1e9;
+  const uint64_t min_nanos = min_nanos_.load(std::memory_order_relaxed);
+  snap.min_seconds =
+      min_nanos == UINT64_MAX ? 0.0 : static_cast<double>(min_nanos) / 1e9;
+  snap.max_seconds =
+      static_cast<double>(max_nanos_.load(std::memory_order_relaxed)) / 1e9;
+  snap.bucket_counts.reserve(kNumBuckets);
+  for (const auto& b : buckets_) {
+    snap.bucket_counts.push_back(b.load(std::memory_order_relaxed));
+  }
+  return snap;
+}
+
+void LatencyHistogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_nanos_.store(0, std::memory_order_relaxed);
+  min_nanos_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_nanos_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace aimq

@@ -1,0 +1,334 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace aimq {
+
+namespace {
+
+// Recursive-descent parser over a raw character range.
+class Parser {
+ public:
+  Parser(const char* begin, const char* end) : p_(begin), end_(end) {}
+
+  Result<Json> ParseDocument() {
+    AIMQ_ASSIGN_OR_RETURN(Json value, ParseValue(0));
+    SkipWhitespace();
+    if (p_ != end_) {
+      return Status::InvalidArgument("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void SkipWhitespace() {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                          *p_ == '\r')) {
+      ++p_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (p_ != end_ && *p_ == c) {
+      ++p_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(const char* word) {
+    const char* q = p_;
+    for (const char* w = word; *w != '\0'; ++w, ++q) {
+      if (q == end_ || *q != *w) return false;
+    }
+    p_ = q;
+    return true;
+  }
+
+  Result<Json> ParseValue(int depth) {
+    if (depth > kMaxDepth) {
+      return Status::InvalidArgument("JSON nesting too deep");
+    }
+    SkipWhitespace();
+    if (p_ == end_) return Status::InvalidArgument("unexpected end of JSON");
+    switch (*p_) {
+      case 'n':
+        if (ConsumeWord("null")) return Json::Null();
+        break;
+      case 't':
+        if (ConsumeWord("true")) return Json::Bool(true);
+        break;
+      case 'f':
+        if (ConsumeWord("false")) return Json::Bool(false);
+        break;
+      case '"':
+        return ParseString();
+      case '[':
+        return ParseArray(depth);
+      case '{':
+        return ParseObject(depth);
+      default:
+        if (*p_ == '-' || (*p_ >= '0' && *p_ <= '9')) return ParseNumber();
+        break;
+    }
+    return Status::InvalidArgument(std::string("unexpected character '") +
+                                   *p_ + "' in JSON");
+  }
+
+  Result<Json> ParseNumber() {
+    const char* start = p_;
+    if (p_ != end_ && *p_ == '-') ++p_;
+    while (p_ != end_ && ((*p_ >= '0' && *p_ <= '9') || *p_ == '.' ||
+                          *p_ == 'e' || *p_ == 'E' || *p_ == '+' ||
+                          *p_ == '-')) {
+      ++p_;
+    }
+    const std::string text(start, p_);
+    char* parse_end = nullptr;
+    const double d = std::strtod(text.c_str(), &parse_end);
+    if (parse_end != text.c_str() + text.size() || !std::isfinite(d)) {
+      return Status::InvalidArgument("malformed JSON number: " + text);
+    }
+    return Json::Num(d);
+  }
+
+  Result<Json> ParseString() {
+    AIMQ_ASSIGN_OR_RETURN(std::string s, ParseRawString());
+    return Json::Str(std::move(s));
+  }
+
+  Result<std::string> ParseRawString() {
+    if (!Consume('"')) return Status::InvalidArgument("expected '\"'");
+    std::string out;
+    while (true) {
+      if (p_ == end_) {
+        return Status::InvalidArgument("unterminated JSON string");
+      }
+      const char c = *p_++;
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Status::InvalidArgument("raw control character in JSON string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (p_ == end_) {
+        return Status::InvalidArgument("unterminated escape in JSON string");
+      }
+      const char esc = *p_++;
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (p_ == end_ ||
+                !std::isxdigit(static_cast<unsigned char>(*p_))) {
+              return Status::InvalidArgument("malformed \\u escape");
+            }
+            const char h = *p_++;
+            code = code * 16 +
+                   static_cast<unsigned>(
+                       h <= '9' ? h - '0'
+                                : (h | 0x20) - 'a' + 10);
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs land as two
+          // 3-byte sequences; good enough for diagnostics-grade text).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return Status::InvalidArgument(
+              std::string("unknown escape '\\") + esc + "' in JSON string");
+      }
+    }
+  }
+
+  Result<Json> ParseArray(int depth) {
+    Consume('[');
+    Json arr = Json::Arr();
+    SkipWhitespace();
+    if (Consume(']')) return arr;
+    while (true) {
+      AIMQ_ASSIGN_OR_RETURN(Json item, ParseValue(depth + 1));
+      arr.Push(std::move(item));
+      SkipWhitespace();
+      if (Consume(']')) return arr;
+      if (!Consume(',')) {
+        return Status::InvalidArgument("expected ',' or ']' in JSON array");
+      }
+    }
+  }
+
+  Result<Json> ParseObject(int depth) {
+    Consume('{');
+    Json obj = Json::Obj();
+    SkipWhitespace();
+    if (Consume('}')) return obj;
+    while (true) {
+      SkipWhitespace();
+      AIMQ_ASSIGN_OR_RETURN(std::string key, ParseRawString());
+      SkipWhitespace();
+      if (!Consume(':')) {
+        return Status::InvalidArgument("expected ':' in JSON object");
+      }
+      AIMQ_ASSIGN_OR_RETURN(Json value, ParseValue(depth + 1));
+      obj.Set(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) return obj;
+      if (!Consume(',')) {
+        return Status::InvalidArgument("expected ',' or '}' in JSON object");
+      }
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+const Json* Json::Find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Result<double> Json::GetNum(const std::string& key) const {
+  const Json* v = Find(key);
+  if (v == nullptr || !v->is_number()) {
+    return Status::InvalidArgument("missing or non-numeric member '" + key +
+                                   "'");
+  }
+  return v->AsNum();
+}
+
+Result<std::string> Json::GetStr(const std::string& key) const {
+  const Json* v = Find(key);
+  if (v == nullptr || !v->is_string()) {
+    return Status::InvalidArgument("missing or non-string member '" + key +
+                                   "'");
+  }
+  return v->AsStr();
+}
+
+Result<bool> Json::GetBool(const std::string& key) const {
+  const Json* v = Find(key);
+  if (v == nullptr || !v->is_bool()) {
+    return Status::InvalidArgument("missing or non-boolean member '" + key +
+                                   "'");
+  }
+  return v->AsBool();
+}
+
+void Json::DumpTo(std::string* out) const {
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      return;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Kind::kNumber: {
+      // Integers up to 2^53 print exactly; everything else uses %.17g so a
+      // parse→dump→parse round trip is lossless.
+      const double d = num_;
+      char buf[32];
+      if (d == static_cast<double>(static_cast<long long>(d)) &&
+          std::fabs(d) < 9.007199254740992e15) {
+        std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", d);
+      }
+      *out += buf;
+      return;
+    }
+    case Kind::kString:
+      *out += JsonEscape(str_);
+      return;
+    case Kind::kArray: {
+      *out += '[';
+      for (size_t i = 0; i < arr_.size(); ++i) {
+        if (i > 0) *out += ',';
+        arr_[i].DumpTo(out);
+      }
+      *out += ']';
+      return;
+    }
+    case Kind::kObject: {
+      *out += '{';
+      for (size_t i = 0; i < obj_.size(); ++i) {
+        if (i > 0) *out += ',';
+        *out += JsonEscape(obj_[i].first);
+        *out += ':';
+        obj_[i].second.DumpTo(out);
+      }
+      *out += '}';
+      return;
+    }
+  }
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpTo(&out);
+  return out;
+}
+
+Result<Json> Json::Parse(const std::string& text) {
+  Parser parser(text.data(), text.data() + text.size());
+  return parser.ParseDocument();
+}
+
+}  // namespace aimq

@@ -1,0 +1,117 @@
+// Minimal JSON value, parser, and serializer for the service wire protocol
+// (newline-delimited JSON requests/responses) and metrics snapshots.
+//
+// Deliberately small: objects preserve insertion order (deterministic
+// serialization, stable golden tests) and are backed by a vector of pairs —
+// lookups are linear, which is fine for the handful of keys a wire message
+// carries. Numbers are doubles; 64-bit counters above 2^53 lose precision,
+// which the metrics snapshot accepts (they are monotonic gauges, not ids).
+
+#ifndef AIMQ_UTIL_JSON_H_
+#define AIMQ_UTIL_JSON_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace aimq {
+
+/// \brief A JSON value: null, bool, number, string, array, or object.
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  /// Null value.
+  Json() : kind_(Kind::kNull) {}
+
+  static Json Null() { return Json(); }
+  static Json Bool(bool b) {
+    Json j;
+    j.kind_ = Kind::kBool;
+    j.bool_ = b;
+    return j;
+  }
+  static Json Num(double d) {
+    Json j;
+    j.kind_ = Kind::kNumber;
+    j.num_ = d;
+    return j;
+  }
+  static Json Str(std::string s) {
+    Json j;
+    j.kind_ = Kind::kString;
+    j.str_ = std::move(s);
+    return j;
+  }
+  static Json Arr(Array items = {}) {
+    Json j;
+    j.kind_ = Kind::kArray;
+    j.arr_ = std::move(items);
+    return j;
+  }
+  static Json Obj(Object members = {}) {
+    Json j;
+    j.kind_ = Kind::kObject;
+    j.obj_ = std::move(members);
+    return j;
+  }
+
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsNum() const { return num_; }
+  const std::string& AsStr() const { return str_; }
+  const Array& AsArr() const { return arr_; }
+  const Object& AsObj() const { return obj_; }
+
+  /// Appends to an array value.
+  void Push(Json item) { arr_.push_back(std::move(item)); }
+
+  /// Appends a member to an object value (no duplicate-key check).
+  void Set(std::string key, Json value) {
+    obj_.emplace_back(std::move(key), std::move(value));
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Json* Find(const std::string& key) const;
+
+  /// Typed object member accessors for protocol decoding: error when the
+  /// member is missing or has the wrong kind.
+  Result<double> GetNum(const std::string& key) const;
+  Result<std::string> GetStr(const std::string& key) const;
+  Result<bool> GetBool(const std::string& key) const;
+
+  /// Compact single-line serialization (no whitespace).
+  std::string Dump() const;
+
+  /// Parses one JSON document; trailing non-whitespace is an error. Nesting
+  /// deeper than 64 levels is rejected.
+  static Result<Json> Parse(const std::string& text);
+
+ private:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  void DumpTo(std::string* out) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+/// Escapes \p s as a JSON string literal including the surrounding quotes.
+std::string JsonEscape(const std::string& s);
+
+}  // namespace aimq
+
+#endif  // AIMQ_UTIL_JSON_H_

@@ -1,0 +1,57 @@
+// Thin POSIX TCP helpers for the query service's wire transport. IPv4 only,
+// blocking I/O; concurrency comes from the server's thread-per-connection
+// model, not from non-blocking sockets.
+
+#ifndef AIMQ_UTIL_SOCKET_H_
+#define AIMQ_UTIL_SOCKET_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace aimq {
+
+/// Opens a listening IPv4 TCP socket on \p port (0 = kernel-assigned) bound
+/// to all interfaces, with SO_REUSEADDR. Returns the listening fd.
+Result<int> TcpListen(int port, int backlog = 64);
+
+/// The port a listening socket is actually bound to (resolves port 0).
+Result<int> TcpBoundPort(int listen_fd);
+
+/// Accepts one connection; blocks. Returns Cancelled when the listening
+/// socket has been shut down or closed (the server's stop path).
+Result<int> TcpAccept(int listen_fd);
+
+/// Connects to \p host ("localhost" or a dotted quad) : \p port.
+Result<int> TcpConnect(const std::string& host, int port);
+
+/// Writes all of \p data, retrying short writes. IOError on broken pipe.
+Status SendAll(int fd, std::string_view data);
+
+/// Shuts down both directions (unblocks a peer/reader thread), keeping the
+/// fd valid until CloseFd.
+void ShutdownFd(int fd);
+
+/// Closes the fd (EINTR-safe, idempotent for fd < 0).
+void CloseFd(int fd);
+
+/// \brief Buffered '\n'-delimited line reader over a socket.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// Blocks until one full line arrives, the peer closes (std::nullopt), or
+  /// an error occurs. The trailing '\n' (and any '\r' before it) is
+  /// stripped. Lines longer than 1 MiB are rejected.
+  Result<std::optional<std::string>> ReadLine();
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+}  // namespace aimq
+
+#endif  // AIMQ_UTIL_SOCKET_H_

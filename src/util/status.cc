@@ -22,8 +22,29 @@ const char* StatusCodeName(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
+}
+
+Result<StatusCode> StatusCodeFromName(const std::string& name) {
+  static constexpr StatusCode kAllCodes[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,     StatusCode::kOutOfRange,
+      StatusCode::kAlreadyExists, StatusCode::kFailedPrecondition,
+      StatusCode::kIOError,      StatusCode::kUnimplemented,
+      StatusCode::kInternal,     StatusCode::kCancelled,
+      StatusCode::kDeadlineExceeded, StatusCode::kUnavailable,
+  };
+  for (StatusCode code : kAllCodes) {
+    if (name == StatusCodeName(code)) return code;
+  }
+  return Status::InvalidArgument("unknown status code name: " + name);
 }
 
 std::string Status::ToString() const {
@@ -31,6 +52,11 @@ std::string Status::ToString() const {
   std::string out = StatusCodeName(code_);
   out += ": ";
   out += message_;
+  if (!context_.empty()) {
+    out += " [";
+    out += context_;
+    out += ']';
+  }
   return out;
 }
 

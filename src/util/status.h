@@ -23,6 +23,9 @@ enum class StatusCode {
   kIOError,
   kUnimplemented,
   kInternal,
+  kCancelled,          ///< the caller asked the operation to stop
+  kDeadlineExceeded,   ///< the per-request deadline expired mid-operation
+  kUnavailable,        ///< transient overload (full queue); safe to retry
 };
 
 /// Returns a human-readable name for a status code ("InvalidArgument", ...).
@@ -68,21 +71,44 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
-  /// "OK" or "<CodeName>: <message>".
+  /// Free-form origin tag ("AimqService::Submit", "queue_depth=64"), carried
+  /// alongside the message so wire transports can round-trip it separately.
+  const std::string& context() const { return context_; }
+
+  /// Returns a copy of this status carrying \p context (replacing any
+  /// previous context). The code and message are unchanged.
+  Status WithContext(std::string context) const {
+    Status out = *this;
+    out.context_ = std::move(context);
+    return out;
+  }
+
+  /// "OK" or "<CodeName>: <message>" ("... [context]" when context is set).
   std::string ToString() const;
 
   bool operator==(const Status& other) const {
-    return code_ == other.code_ && message_ == other.message_;
+    return code_ == other.code_ && message_ == other.message_ &&
+           context_ == other.context_;
   }
 
  private:
   StatusCode code_ = StatusCode::kOk;
   std::string message_;
+  std::string context_;
 };
 
 /// \brief Either a value of type T or an error Status.
@@ -126,6 +152,11 @@ class Result {
   Status status_;
   std::optional<T> value_;
 };
+
+/// Inverse of StatusCodeName: "InvalidArgument" -> kInvalidArgument, ....
+/// Unknown names yield an InvalidArgument error, so status codes round-trip
+/// losslessly through text protocols (the service wire format).
+Result<StatusCode> StatusCodeFromName(const std::string& name);
 
 }  // namespace aimq
 

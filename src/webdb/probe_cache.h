@@ -37,6 +37,14 @@ struct ProbeCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;
+
+  /// Fraction of lookups spared a source probe (0 when no lookups yet).
+  /// The serving layer reports this per metrics snapshot.
+  double HitRate() const {
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
 };
 
 /// \brief Thread-safe LRU cache over canonicalized selection queries.

@@ -1,8 +1,35 @@
 #include "workload/query_log.h"
 
+#include <fstream>
+
+#include "query/parser.h"
 #include "util/csv.h"
+#include "util/strings.h"
 
 namespace aimq {
+
+namespace {
+
+// Renders one query for the trace file: the paper's text syntax with
+// categorical values single-quoted so values containing spaces or commas
+// survive the round trip through QueryParser.
+std::string RenderTraceLine(const ImpreciseQuery& query) {
+  std::string out = "Q(";
+  const auto& bindings = query.bindings();
+  for (size_t i = 0; i < bindings.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += bindings[i].attribute + " like ";
+    if (bindings[i].value.is_categorical()) {
+      out += "'" + bindings[i].value.AsCat() + "'";
+    } else {
+      out += bindings[i].value.ToString();
+    }
+  }
+  out += ')';
+  return out;
+}
+
+}  // namespace
 
 Status QueryLog::Record(const ImpreciseQuery& query) {
   // Validate everything before mutating any state.
@@ -13,7 +40,44 @@ Status QueryLog::Record(const ImpreciseQuery& query) {
   }
   for (size_t attr : bound) ++bind_counts_[attr];
   ++num_queries_;
+  if (trace_.size() < trace_capacity_) trace_.push_back(query);
   return Status::OK();
+}
+
+void QueryLog::EnableTrace(size_t capacity) {
+  trace_capacity_ = capacity;
+  if (trace_.size() > capacity) trace_.resize(capacity);
+}
+
+Status QueryLog::SaveTrace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  for (const ImpreciseQuery& q : trace_) {
+    out << RenderTraceLine(q) << '\n';
+  }
+  if (!out) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+Result<std::vector<ImpreciseQuery>> QueryLog::LoadTrace(
+    const Schema* schema, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  QueryParser parser(schema);
+  std::vector<ImpreciseQuery> trace;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (Trim(line).empty()) continue;
+    auto query = parser.ParseImprecise(line);
+    if (!query.ok()) {
+      return query.status().WithContext(path + ":" +
+                                        std::to_string(line_no));
+    }
+    trace.push_back(query.TakeValue());
+  }
+  return trace;
 }
 
 std::vector<double> QueryLog::ImportanceWeights(double smoothing) const {

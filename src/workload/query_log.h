@@ -35,6 +35,24 @@ class QueryLog {
   /// Appends one served query. Unknown attributes are rejected.
   Status Record(const ImpreciseQuery& query);
 
+  /// Retains up to \p capacity recorded queries verbatim (in arrival order)
+  /// so the workload can be replayed — the service-throughput bench feeds on
+  /// such traces. 0 (the default) disables retention; aggregate bind counts
+  /// are always kept either way. Shrinking the capacity drops the tail.
+  void EnableTrace(size_t capacity);
+
+  /// The retained queries, oldest first (at most the trace capacity).
+  const std::vector<ImpreciseQuery>& trace() const { return trace_; }
+
+  /// Writes the retained trace, one query per line in the paper's text
+  /// syntax with categorical values single-quoted
+  /// ("Q(Model like 'Camry', Price like 10000)"), and parses it back.
+  /// Values containing single quotes do not round-trip (the query syntax has
+  /// no escape); none of the bundled datasets produce them.
+  Status SaveTrace(const std::string& path) const;
+  static Result<std::vector<ImpreciseQuery>> LoadTrace(
+      const Schema* schema, const std::string& path);
+
   /// Total queries recorded.
   size_t NumQueries() const { return num_queries_; }
 
@@ -55,6 +73,8 @@ class QueryLog {
   const Schema* schema_;
   std::vector<uint64_t> bind_counts_;
   size_t num_queries_ = 0;
+  size_t trace_capacity_ = 0;
+  std::vector<ImpreciseQuery> trace_;
 };
 
 /// Convex combination of data-driven (mined Wimp) and query-driven weights:

@@ -1,0 +1,113 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/parallel.h"
+
+namespace aimq {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyHistogramReportsZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(0.5), 0.0);
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.min_seconds, 0.0);
+  EXPECT_EQ(snap.max_seconds, 0.0);
+  EXPECT_EQ(snap.MeanSeconds(), 0.0);
+}
+
+TEST(LatencyHistogramTest, SingleValueClampsPercentilesToObservedMax) {
+  LatencyHistogram h;
+  h.Record(0.010);  // 10ms
+  EXPECT_EQ(h.count(), 1u);
+  // Every percentile of a single-value histogram is that value, not the
+  // (coarser) bucket upper bound.
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 0.010);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.99), 0.010);
+}
+
+TEST(LatencyHistogramTest, PercentilesAreMonotoneAndBracketData) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) {
+    h.Record(static_cast<double>(i) * 1e-4);  // 0.1ms .. 100ms uniform
+  }
+  const double p50 = h.Percentile(0.50);
+  const double p95 = h.Percentile(0.95);
+  const double p99 = h.Percentile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // Bucket resolution is 25%: p50 of uniform(0, 100ms) must land near 50ms.
+  EXPECT_GT(p50, 0.030);
+  EXPECT_LT(p50, 0.070);
+  EXPECT_GT(p99, 0.070);
+  EXPECT_LE(p99, 0.100);
+}
+
+TEST(LatencyHistogramTest, SnapshotAggregatesMatch) {
+  LatencyHistogram h;
+  h.Record(0.001);
+  h.Record(0.003);
+  h.Record(0.002);
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_NEAR(snap.sum_seconds, 0.006, 1e-6);
+  EXPECT_NEAR(snap.min_seconds, 0.001, 1e-6);
+  EXPECT_NEAR(snap.max_seconds, 0.003, 1e-6);
+  EXPECT_NEAR(snap.MeanSeconds(), 0.002, 1e-6);
+  uint64_t bucket_total = 0;
+  for (uint64_t c : snap.bucket_counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, 3u);
+}
+
+TEST(LatencyHistogramTest, NegativeAndHugeDurationsAreClamped) {
+  LatencyHistogram h;
+  h.Record(-1.0);     // clamps to 0
+  h.Record(1e6);      // lands in the last bucket
+  EXPECT_EQ(h.count(), 2u);
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.min_seconds, 0.0);
+  EXPECT_EQ(snap.bucket_counts.front(), 1u);
+  EXPECT_EQ(snap.bucket_counts.back(), 1u);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordsAllLand) {
+  LatencyHistogram h;
+  constexpr size_t kPerThread = 5000;
+  ParallelFor(8, 8, [&](size_t t) {
+    for (size_t i = 0; i < kPerThread; ++i) {
+      h.Record(static_cast<double>(t + 1) * 1e-3);
+    }
+  });
+  EXPECT_EQ(h.count(), 8 * kPerThread);
+  HistogramSnapshot snap = h.Snapshot();
+  uint64_t bucket_total = 0;
+  for (uint64_t c : snap.bucket_counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, 8 * kPerThread);
+  EXPECT_NEAR(snap.min_seconds, 0.001, 1e-6);
+  EXPECT_NEAR(snap.max_seconds, 0.008, 1e-6);
+}
+
+TEST(LatencyHistogramTest, ResetClearsEverything) {
+  LatencyHistogram h;
+  h.Record(0.5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(0.99), 0.0);
+  EXPECT_EQ(h.Snapshot().max_seconds, 0.0);
+}
+
+TEST(LatencyHistogramTest, BucketBoundsGrowGeometrically) {
+  EXPECT_NEAR(LatencyHistogram::BucketUpperBound(0), 1e-6, 1e-12);
+  for (size_t i = 1; i < LatencyHistogram::kNumBuckets; ++i) {
+    EXPECT_NEAR(LatencyHistogram::BucketUpperBound(i) /
+                    LatencyHistogram::BucketUpperBound(i - 1),
+                1.25, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace aimq

@@ -1,0 +1,100 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+namespace aimq {
+namespace {
+
+TEST(JsonTest, BuildsAndDumpsScalars) {
+  EXPECT_EQ(Json::Null().Dump(), "null");
+  EXPECT_EQ(Json::Bool(true).Dump(), "true");
+  EXPECT_EQ(Json::Bool(false).Dump(), "false");
+  EXPECT_EQ(Json::Num(42).Dump(), "42");
+  EXPECT_EQ(Json::Num(-7).Dump(), "-7");
+  EXPECT_EQ(Json::Num(2.5).Dump(), "2.5");
+  EXPECT_EQ(Json::Str("hi").Dump(), "\"hi\"");
+}
+
+TEST(JsonTest, ObjectsPreserveInsertionOrder) {
+  Json obj = Json::Obj();
+  obj.Set("z", Json::Num(1));
+  obj.Set("a", Json::Num(2));
+  EXPECT_EQ(obj.Dump(), "{\"z\":1,\"a\":2}");
+}
+
+TEST(JsonTest, EscapesSpecialCharacters) {
+  Json s = Json::Str("a\"b\\c\nd\te\x01");
+  EXPECT_EQ(s.Dump(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+  auto parsed = Json::Parse(s.Dump());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->AsStr(), "a\"b\\c\nd\te\x01");
+}
+
+TEST(JsonTest, ParsesNestedDocument) {
+  auto r = Json::Parse(
+      "{\"id\": 3, \"ok\": true, \"answers\": [{\"sim\": 0.5}, null], "
+      "\"note\": \"x\"}");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(*r->GetNum("id"), 3.0);
+  EXPECT_EQ(*r->GetBool("ok"), true);
+  EXPECT_EQ(*r->GetStr("note"), "x");
+  const Json* answers = r->Find("answers");
+  ASSERT_NE(answers, nullptr);
+  ASSERT_TRUE(answers->is_array());
+  ASSERT_EQ(answers->AsArr().size(), 2u);
+  EXPECT_EQ(*answers->AsArr()[0].GetNum("sim"), 0.5);
+  EXPECT_TRUE(answers->AsArr()[1].is_null());
+}
+
+TEST(JsonTest, RoundTripsThroughDumpAndParse) {
+  Json obj = Json::Obj();
+  obj.Set("text", Json::Str("Econoline Van, 'quoted'"));
+  obj.Set("n", Json::Num(123456789.25));
+  obj.Set("flags", Json::Arr({Json::Bool(true), Json::Null()}));
+  auto reparsed = Json::Parse(obj.Dump());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->Dump(), obj.Dump());
+}
+
+TEST(JsonTest, TypedAccessorsReportErrors) {
+  auto r = Json::Parse("{\"a\": \"text\"}");
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->GetNum("a").ok());
+  EXPECT_FALSE(r->GetNum("missing").ok());
+  EXPECT_FALSE(r->GetBool("a").ok());
+  EXPECT_TRUE(r->GetStr("a").ok());
+  EXPECT_EQ(r->Find("missing"), nullptr);
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "tru", "{\"a\" 1}", "\"unterminated",
+        "1 2", "{\"a\":1}x", "nul", "[1 2]", "\"bad\\q\""}) {
+    EXPECT_FALSE(Json::Parse(bad).ok()) << bad;
+  }
+}
+
+TEST(JsonTest, RejectsAbsurdNesting) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  for (int i = 0; i < 200; ++i) deep += ']';
+  EXPECT_FALSE(Json::Parse(deep).ok());
+}
+
+TEST(JsonTest, ParsesUnicodeEscapes) {
+  auto r = Json::Parse("\"\\u0041\\u00e9\"");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->AsStr(), "A\xc3\xa9");  // "Aé" in UTF-8
+}
+
+TEST(JsonTest, LargeCountersSurviveRoundTrip) {
+  // Metrics counters are uint64 but ride as doubles; integers below 2^53
+  // must round-trip exactly.
+  const double big = 9007199254740992.0 - 1;  // 2^53 - 1
+  auto r = Json::Parse(Json::Num(big).Dump());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->AsNum(), big);
+}
+
+}  // namespace
+}  // namespace aimq

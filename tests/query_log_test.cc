@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <numeric>
 #include <unistd.h>
 
@@ -91,6 +92,73 @@ TEST(QueryLogTest, SaveLoadRoundTrip) {
   for (size_t a = 0; a < 3; ++a) {
     EXPECT_EQ(loaded->BindCount(a), log.BindCount(a)) << a;
   }
+  std::filesystem::remove(path);
+}
+
+TEST(QueryLogTest, TraceDisabledByDefault) {
+  Schema s = CarSchema();
+  QueryLog log(&s);
+  ASSERT_TRUE(log.Record(Q({"Model"})).ok());
+  EXPECT_TRUE(log.trace().empty());
+}
+
+TEST(QueryLogTest, TraceRetainsQueriesUpToCapacity) {
+  Schema s = CarSchema();
+  QueryLog log(&s);
+  log.EnableTrace(2);
+  ASSERT_TRUE(log.Record(Q({"Model"})).ok());
+  ASSERT_TRUE(log.Record(Q({"Price"})).ok());
+  ASSERT_TRUE(log.Record(Q({"Make"})).ok());  // beyond capacity: dropped
+  EXPECT_EQ(log.NumQueries(), 3u);  // aggregate counts keep going
+  ASSERT_EQ(log.trace().size(), 2u);
+  EXPECT_EQ(log.trace()[0].bindings()[0].attribute, "Model");
+  EXPECT_EQ(log.trace()[1].bindings()[0].attribute, "Price");
+  // Shrinking drops the tail.
+  log.EnableTrace(1);
+  ASSERT_EQ(log.trace().size(), 1u);
+  EXPECT_EQ(log.trace()[0].bindings()[0].attribute, "Model");
+}
+
+TEST(QueryLogTest, TraceSaveLoadRoundTrip) {
+  Schema s = CarSchema();
+  QueryLog log(&s);
+  log.EnableTrace(16);
+  ImpreciseQuery q1;
+  q1.Bind("Model", Value::Cat("Econoline Van"));  // space must survive
+  q1.Bind("Price", Value::Num(10000));
+  ImpreciseQuery q2;
+  q2.Bind("Make", Value::Cat("Toyota"));
+  ASSERT_TRUE(log.Record(q1).ok());
+  ASSERT_TRUE(log.Record(q2).ok());
+  auto path = std::filesystem::temp_directory_path() /
+              ("aimq_trace_" + std::to_string(::getpid()) + ".txt");
+  ASSERT_TRUE(log.SaveTrace(path.string()).ok());
+  auto loaded = QueryLog::LoadTrace(&s, path.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 2u);
+  ASSERT_EQ((*loaded)[0].bindings().size(), 2u);
+  EXPECT_EQ((*loaded)[0].bindings()[0].attribute, "Model");
+  EXPECT_EQ((*loaded)[0].bindings()[0].value.AsCat(), "Econoline Van");
+  EXPECT_EQ((*loaded)[0].bindings()[1].attribute, "Price");
+  EXPECT_DOUBLE_EQ((*loaded)[0].bindings()[1].value.AsNum(), 10000.0);
+  EXPECT_EQ((*loaded)[1].bindings()[0].value.AsCat(), "Toyota");
+  std::filesystem::remove(path);
+}
+
+TEST(QueryLogTest, LoadTraceReportsLineOfMalformedQuery) {
+  Schema s = CarSchema();
+  auto path = std::filesystem::temp_directory_path() /
+              ("aimq_trace_bad_" + std::to_string(::getpid()) + ".txt");
+  {
+    std::ofstream out(path);
+    out << "Q(Model like 'Camry')\n";
+    out << "\n";  // blank lines are skipped
+    out << "Q(Bogus like 'x')\n";
+  }
+  auto loaded = QueryLog::LoadTrace(&s, path.string());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().context().find(":3"), std::string::npos)
+      << loaded.status().ToString();
   std::filesystem::remove(path);
 }
 

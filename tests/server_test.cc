@@ -1,0 +1,202 @@
+// AimqServer over a real socket: the NDJSON wire protocol end to end,
+// including error responses and shutdown with open connections.
+
+#include "service/server.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "datagen/cardb.h"
+#include "service/wire.h"
+#include "util/socket.h"
+#include "util/stopwatch.h"
+
+namespace aimq {
+namespace {
+
+class ServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CarDbSpec spec;
+    spec.num_tuples = 600;
+    spec.seed = 11;
+    db_ = new WebDatabase("CarDB", CarDbGenerator(spec).Generate());
+    AimqOptions options;
+    options.collector.sample_size = 300;
+    options.tsim = 0.4;
+    options.top_k = 5;
+    options.num_threads = 2;
+    auto knowledge = BuildKnowledge(*db_, options);
+    ASSERT_TRUE(knowledge.ok()) << knowledge.status().ToString();
+    ServiceOptions sopts;
+    sopts.num_workers = 2;
+    sopts.queue_depth = 16;
+    service_ = new AimqService(db_, knowledge.TakeValue(), options, sopts);
+    ASSERT_TRUE(service_->Start().ok());
+    server_ = new AimqServer(service_, /*port=*/0);
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_GT(server_->port(), 0);
+  }
+  static void TearDownTestSuite() {
+    server_->Stop();
+    service_->Stop();
+    delete server_;
+    delete service_;
+    delete db_;
+    server_ = nullptr;
+    service_ = nullptr;
+    db_ = nullptr;
+  }
+
+  // Opens a client connection; the fixture's fd is closed per test.
+  static int Connect() {
+    auto fd = TcpConnect("localhost", server_->port());
+    EXPECT_TRUE(fd.ok()) << fd.status().ToString();
+    return fd.ok() ? *fd : -1;
+  }
+
+  // One request line out, one response line (parsed) back.
+  static Json RoundTrip(int fd, LineReader* reader, const std::string& line) {
+    EXPECT_TRUE(SendAll(fd, line + "\n").ok());
+    auto response = reader->ReadLine();
+    EXPECT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_TRUE(response->has_value());
+    auto json = Json::Parse(**response);
+    EXPECT_TRUE(json.ok()) << json.status().ToString();
+    return json.ok() ? json.TakeValue() : Json::Null();
+  }
+
+  static WebDatabase* db_;
+  static AimqService* service_;
+  static AimqServer* server_;
+};
+
+WebDatabase* ServerTest::db_ = nullptr;
+AimqService* ServerTest::service_ = nullptr;
+AimqServer* ServerTest::server_ = nullptr;
+
+TEST_F(ServerTest, PingPongEchoesId) {
+  const int fd = Connect();
+  ASSERT_GE(fd, 0);
+  LineReader reader(fd);
+  const Json r = RoundTrip(fd, &reader, R"js({"op":"ping","id":42})js");
+  EXPECT_EQ(r.Dump(), R"js({"id":42,"ok":true,"pong":true})js");
+  CloseFd(fd);
+}
+
+TEST_F(ServerTest, QueryReturnsRankedAnswersOverTheWire) {
+  const int fd = Connect();
+  ASSERT_GE(fd, 0);
+  LineReader reader(fd);
+  const Json r =
+      RoundTrip(fd, &reader, R"js({"op":"query","q":"Q(Model like 'Camry')"})js");
+  auto ok = r.GetBool("ok");
+  ASSERT_TRUE(ok.ok() && *ok) << r.Dump();
+  auto truncated = r.GetBool("truncated");
+  ASSERT_TRUE(truncated.ok());
+  EXPECT_FALSE(*truncated);
+  const Json* answers = r.Find("answers");
+  ASSERT_NE(answers, nullptr);
+  ASSERT_TRUE(answers->is_array());
+  ASSERT_GT(answers->AsArr().size(), 0u);
+  for (const Json& a : answers->AsArr()) {
+    const Json* tuple = a.Find("tuple");
+    ASSERT_NE(tuple, nullptr);
+    // Every answer tuple carries the full CarDB schema.
+    EXPECT_NE(tuple->Find("Model"), nullptr);
+    EXPECT_TRUE(a.GetNum("similarity").ok());
+  }
+  // Answers arrive ranked (descending similarity).
+  const auto& arr = answers->AsArr();
+  for (size_t i = 1; i < arr.size(); ++i) {
+    EXPECT_GE(*arr[i - 1].GetNum("similarity"), *arr[i].GetNum("similarity"));
+  }
+  CloseFd(fd);
+}
+
+TEST_F(ServerTest, StatsReflectsServedQueries) {
+  const int fd = Connect();
+  ASSERT_GE(fd, 0);
+  LineReader reader(fd);
+  RoundTrip(fd, &reader, R"js({"op":"query","q":"Q(Model like 'Civic')"})js");
+  const Json r = RoundTrip(fd, &reader, R"js({"op":"stats"})js");
+  auto ok = r.GetBool("ok");
+  ASSERT_TRUE(ok.ok() && *ok) << r.Dump();
+  const Json* stats = r.Find("stats");
+  ASSERT_NE(stats, nullptr);
+  auto completed = stats->GetNum("completed");
+  ASSERT_TRUE(completed.ok());
+  EXPECT_GE(*completed, 1.0);
+  ASSERT_NE(stats->Find("latency"), nullptr);
+  CloseFd(fd);
+}
+
+TEST_F(ServerTest, ProtocolErrorsAnswerInBandAndKeepTheConnection) {
+  const int fd = Connect();
+  ASSERT_GE(fd, 0);
+  LineReader reader(fd);
+  // Malformed JSON: in-band error, socket stays usable.
+  Json r = RoundTrip(fd, &reader, "this is not json");
+  auto ok = r.GetBool("ok");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_FALSE(*ok);
+  const Json* status_json = r.Find("status");
+  ASSERT_NE(status_json, nullptr);
+  Status decoded;
+  ASSERT_TRUE(StatusFromJson(*status_json, &decoded).ok());
+  EXPECT_EQ(decoded.code(), StatusCode::kInvalidArgument);
+
+  // Unknown attribute: typed error with the id echoed.
+  r = RoundTrip(fd, &reader,
+                R"js({"op":"query","q":"Q(Bogus like 'x')","id":9})js");
+  ASSERT_NE(r.Find("id"), nullptr);
+  EXPECT_DOUBLE_EQ(r.Find("id")->AsNum(), 9.0);
+  ASSERT_TRUE(r.GetBool("ok").ok());
+  EXPECT_FALSE(*r.GetBool("ok"));
+  ASSERT_NE(r.Find("status"), nullptr);
+  Status wire_status;
+  ASSERT_TRUE(StatusFromJson(*r.Find("status"), &wire_status).ok());
+  EXPECT_FALSE(wire_status.ok());
+
+  // The connection survived both errors.
+  r = RoundTrip(fd, &reader, R"js({"op":"ping"})js");
+  EXPECT_EQ(r.Dump(), R"js({"ok":true,"pong":true})js");
+  CloseFd(fd);
+}
+
+TEST_F(ServerTest, StopWithIdleConnectionDoesNotHang) {
+  // A dedicated server so Stop() here cannot disturb the shared fixture.
+  ServiceOptions sopts;
+  sopts.num_workers = 1;
+  AimqOptions options;
+  options.collector.sample_size = 300;
+  options.tsim = 0.4;
+  auto knowledge = BuildKnowledge(*db_, options);
+  ASSERT_TRUE(knowledge.ok());
+  AimqService service(db_, knowledge.TakeValue(), options, sopts);
+  ASSERT_TRUE(service.Start().ok());
+  AimqServer server(&service, /*port=*/0);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto fd = TcpConnect("localhost", server.port());
+  ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+  LineReader reader(*fd);
+  // Handshake once so the session thread is definitely up.
+  EXPECT_TRUE(SendAll(*fd, "{\"op\":\"ping\"}\n").ok());
+  ASSERT_TRUE(reader.ReadLine().ok());
+
+  Stopwatch watch;
+  server.Stop();  // must unblock the idle session's read
+  EXPECT_LT(watch.ElapsedSeconds(), 5.0);
+  // The peer observes the shutdown as EOF (or a reset error).
+  auto eof = reader.ReadLine();
+  if (eof.ok()) {
+    EXPECT_FALSE(eof->has_value());
+  }
+  CloseFd(*fd);
+  service.Stop();
+}
+
+}  // namespace
+}  // namespace aimq

@@ -22,7 +22,39 @@ TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
   EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
   EXPECT_EQ(Status::NotFound("missing thing").message(), "missing thing");
+}
+
+TEST(StatusTest, WithContextCarriesContextSeparately) {
+  Status s = Status::Unavailable("queue full").WithContext("queue_depth=8");
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(s.message(), "queue full");
+  EXPECT_EQ(s.context(), "queue_depth=8");
+  EXPECT_EQ(s.ToString(), "Unavailable: queue full [queue_depth=8]");
+  // Context participates in equality: a status with context differs from the
+  // same status without it.
+  EXPECT_FALSE(s == Status::Unavailable("queue full"));
+  EXPECT_EQ(s, Status::Unavailable("queue full").WithContext("queue_depth=8"));
+}
+
+TEST(StatusTest, CodeNamesRoundTripThroughFromName) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kOutOfRange, StatusCode::kAlreadyExists,
+        StatusCode::kFailedPrecondition, StatusCode::kIOError,
+        StatusCode::kUnimplemented, StatusCode::kInternal,
+        StatusCode::kCancelled, StatusCode::kDeadlineExceeded,
+        StatusCode::kUnavailable}) {
+    auto parsed = StatusCodeFromName(StatusCodeName(code));
+    ASSERT_TRUE(parsed.ok()) << StatusCodeName(code);
+    EXPECT_EQ(*parsed, code);
+  }
+  EXPECT_FALSE(StatusCodeFromName("NoSuchCode").ok());
+  EXPECT_FALSE(StatusCodeFromName("").ok());
 }
 
 TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
