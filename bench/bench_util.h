@@ -6,6 +6,7 @@
 #define AIMQ_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "core/knowledge.h"
 #include "datagen/cardb.h"
 #include "datagen/censusdb.h"
+#include "util/json.h"
 
 namespace aimq {
 namespace bench {
@@ -45,6 +47,42 @@ inline void PrintTable(const std::vector<std::string>& header,
   for (size_t w : width) rule.push_back(std::string(w, '-'));
   print_row(rule);
   for (const auto& row : rows) print_row(row);
+}
+
+/// The git commit the binary was built from, for machine-readable bench
+/// baselines: GITHUB_SHA when set (CI), else `git rev-parse HEAD`, else
+/// "unknown". Never fails.
+inline std::string GitSha() {
+  if (const char* sha = std::getenv("GITHUB_SHA");
+      sha != nullptr && sha[0] != '\0') {
+    return sha;
+  }
+  std::string out;
+  if (std::FILE* p = ::popen("git rev-parse HEAD 2>/dev/null", "r")) {
+    char buf[128];
+    if (std::fgets(buf, sizeof(buf), p) != nullptr) out = buf;
+    ::pclose(p);
+  }
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  return out.empty() ? "unknown" : out;
+}
+
+/// Writes \p doc to \p path as one JSON document + newline. A baseline file
+/// CI archives as an artifact, so regressions are diffable across commits.
+inline bool WriteJsonFile(const std::string& path, const Json& doc) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  const std::string dump = doc.Dump();
+  std::fwrite(dump.data(), 1, dump.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("baseline written to %s\n", path.c_str());
+  return true;
 }
 
 /// The canonical 100k CarDB instance every CarDB experiment derives from

@@ -1,15 +1,25 @@
 // Figure 6 — Efficiency of GuidedRelax (see relax_efficiency.h).
 //
-// Usage: fig6_guided_relax [parallel_threads]   (default 8)
+// Usage: fig6_guided_relax [parallel_threads] [--json=<path>]
 
 #include <cstdlib>
+#include <string>
 
 #include "relax_efficiency.h"
+#include "util/strings.h"
 
 int main(int argc, char** argv) {
   size_t threads = 8;
-  if (argc > 1) threads = static_cast<size_t>(std::strtoul(argv[1], nullptr, 10));
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (aimq::StartsWith(arg, "--json=")) {
+      json_path = arg.substr(7);
+    } else {
+      threads = static_cast<size_t>(std::strtoul(arg.c_str(), nullptr, 10));
+    }
+  }
   if (threads == 0) threads = 1;
   return aimq::bench::RunRelaxEfficiency(aimq::RelaxationStrategy::kGuided,
-                                         threads);
+                                         threads, json_path);
 }

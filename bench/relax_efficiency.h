@@ -115,8 +115,12 @@ inline bool IdenticalAnswers(const RelaxProtocolRun& a,
   return true;
 }
 
+/// \p json_path, when non-empty, receives the run's headline numbers as one
+/// JSON baseline document (work-per-relevant per threshold, wall clock,
+/// speedup, determinism verdict, git sha).
 inline int RunRelaxEfficiency(RelaxationStrategy strategy,
-                              size_t parallel_threads = 8) {
+                              size_t parallel_threads = 8,
+                              const std::string& json_path = "") {
   std::string title = "Efficiency of ";
   title += RelaxationStrategyName(strategy);
   title += " (CarDB 100k)";
@@ -220,6 +224,35 @@ inline int RunRelaxEfficiency(RelaxationStrategy strategy,
   std::printf("%s averages: 0.5 -> %.1f, 0.6 -> %.1f, 0.7 -> %.1f\n",
               RelaxationStrategyName(strategy), avg_work_per_threshold[0],
               avg_work_per_threshold[1], avg_work_per_threshold[2]);
+
+  if (!json_path.empty()) {
+    Json doc = Json::Obj();
+    doc.Set("bench", Json::Str(strategy == RelaxationStrategy::kGuided
+                                   ? "fig6_guided_relax"
+                                   : "fig7_random_relax"));
+    doc.Set("git_sha", Json::Str(GitSha()));
+    doc.Set("strategy", Json::Str(RelaxationStrategyName(strategy)));
+    Json work = Json::Obj();
+    for (size_t ti = 0; ti < thresholds.size(); ++ti) {
+      char key[16];
+      std::snprintf(key, sizeof(key), "%.1f", thresholds[ti]);
+      work.Set(key, Json::Num(avg_work_per_threshold[ti]));
+    }
+    doc.Set("work_per_relevant", std::move(work));
+    doc.Set("serial_seconds", Json::Num(serial.seconds));
+    doc.Set("parallel_seconds", Json::Num(parallel.seconds));
+    doc.Set("parallel_threads",
+            Json::Num(static_cast<double>(parallel_threads)));
+    doc.Set("speedup", Json::Num(speedup));
+    doc.Set("probes_serial",
+            Json::Num(static_cast<double>(
+                serial_totals.queries_issued.load())));
+    doc.Set("deduped_probes_serial",
+            Json::Num(static_cast<double>(
+                serial_totals.deduped_probes.load())));
+    doc.Set("deterministic", Json::Bool(identical));
+    if (!WriteJsonFile(json_path, doc)) return 1;
+  }
   return identical ? 0 : 1;
 }
 

@@ -10,7 +10,11 @@
 // Usage:
 //   service_throughput [--queries=500] [--threads=8] [--qps=0]
 //                      [--tuples=5000] [--queue-depth=256]
-//                      [--deadline-ms=0]
+//                      [--deadline-ms=0] [--json=<path>]
+//
+// --json=<path> additionally writes the run's metrics as one JSON document
+// (latency percentiles, qps, cache hit rate, git sha) — the machine-readable
+// baseline CI archives per commit.
 //
 // --qps=0 replays unpaced (as fast as admission control admits); a nonzero
 // target paces submissions at that many requests per second. A nonzero
@@ -45,6 +49,7 @@ struct BenchFlags {
   size_t tuples = 5000;
   size_t queue_depth = 256;
   uint64_t deadline_ms = 0;
+  std::string json_path;
 };
 
 // Synthesizes an imprecise workload the way users query a car listing site:
@@ -102,6 +107,8 @@ int main(int argc, char** argv) {
       flags.queue_depth = std::strtoul(arg.c_str() + 14, nullptr, 10);
     } else if (StartsWith(arg, "--deadline-ms=")) {
       flags.deadline_ms = std::strtoull(arg.c_str() + 14, nullptr, 10);
+    } else if (StartsWith(arg, "--json=")) {
+      flags.json_path = arg.substr(7);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return 2;
@@ -267,6 +274,36 @@ int main(int argc, char** argv) {
   rows.push_back({"verified_vs_serial", std::to_string(compared)});
   rows.push_back({"mismatches", std::to_string(mismatches)});
   bench::PrintTable({"metric", "value"}, rows);
+
+  if (!flags.json_path.empty()) {
+    Json doc = Json::Obj();
+    doc.Set("bench", Json::Str("service_throughput"));
+    doc.Set("git_sha", Json::Str(bench::GitSha()));
+    doc.Set("queries", Json::Num(static_cast<double>(trace.size())));
+    doc.Set("tuples", Json::Num(static_cast<double>(flags.tuples)));
+    doc.Set("threads", Json::Num(static_cast<double>(flags.threads)));
+    doc.Set("qps_target", Json::Num(flags.qps));
+    doc.Set("accepted", Json::Num(static_cast<double>(accepted)));
+    doc.Set("rejected", Json::Num(static_cast<double>(rejected.load())));
+    doc.Set("rejection_rate", Json::Num(m.RejectionRate()));
+    doc.Set("truncated", Json::Num(static_cast<double>(truncated)));
+    doc.Set("failed", Json::Num(static_cast<double>(failed)));
+    doc.Set("p50_ms", Json::Num(m.latency().Percentile(0.50) * 1e3));
+    doc.Set("p95_ms", Json::Num(m.latency().Percentile(0.95) * 1e3));
+    doc.Set("p99_ms", Json::Num(m.latency().Percentile(0.99) * 1e3));
+    doc.Set("queue_wait_p99_ms",
+            Json::Num(m.queue_wait().Percentile(0.99) * 1e3));
+    doc.Set("replay_seconds", Json::Num(replay_seconds));
+    doc.Set("qps",
+            Json::Num(replay_seconds > 0
+                          ? static_cast<double>(accepted) / replay_seconds
+                          : 0.0));
+    doc.Set("cache_hit_rate",
+            Json::Num(cache != nullptr ? cache->stats().HitRate() : 0.0));
+    doc.Set("verified_vs_serial", Json::Num(static_cast<double>(compared)));
+    doc.Set("mismatches", Json::Num(static_cast<double>(mismatches)));
+    if (!bench::WriteJsonFile(flags.json_path, doc)) return 1;
+  }
 
   if (mismatches > 0 || failed > 0) {
     std::fprintf(stderr,

@@ -19,6 +19,15 @@
 //   --deadline-ms=N  default per-request deadline, queue wait included
 //                    (0 = none, default 0)
 //   --cache=N        shared probe-cache capacity in entries (default 4096)
+//   --trace          enable end-to-end span tracing (GET /trace serves the
+//                    Chrome trace-event dump while running)
+//   --trace-out=F    on shutdown, write the retained trace to F (implies
+//                    --trace); load the file in Perfetto
+//   --slow-ms=N      log any request slower than N ms (fractions allowed)
+//   --slow-log=F     append slow-query NDJSON records to F
+//
+// Prometheus can scrape the wire port directly: GET /metrics answers text
+// exposition format 0.0.4 on the same TCP port as the NDJSON protocol.
 //
 // Without --model the knowledge is mined at startup from a 1/3 sample of
 // the data (a few seconds for cardb:25000); with --model a directory saved
@@ -51,6 +60,10 @@ struct ServeFlags {
   size_t queue_depth = 64;
   uint64_t deadline_ms = 0;
   size_t cache_capacity = 4096;
+  bool trace = false;
+  std::string trace_out;
+  double slow_ms = 0.0;
+  std::string slow_log;
   std::string data;
   std::string model_dir;
 };
@@ -83,7 +96,9 @@ int Usage() {
       stderr,
       "usage: aimq_serve --data=<data.csv|cardb:N> [--model=<dir>]\n"
       "       [--port=N] [--threads=N] [--engine-threads=N]\n"
-      "       [--queue-depth=N] [--deadline-ms=N] [--cache=N]\n");
+      "       [--queue-depth=N] [--deadline-ms=N] [--cache=N]\n"
+      "       [--trace] [--trace-out=<file>] [--slow-ms=N]\n"
+      "       [--slow-log=<file>]\n");
   return 2;
 }
 
@@ -109,6 +124,15 @@ int main(int argc, char** argv) {
     } else if (StartsWith(arg, "--cache=")) {
       flags.cache_capacity =
           static_cast<size_t>(std::strtoul(arg.c_str() + 8, nullptr, 10));
+    } else if (arg == "--trace") {
+      flags.trace = true;
+    } else if (StartsWith(arg, "--trace-out=")) {
+      flags.trace = true;
+      flags.trace_out = arg.substr(12);
+    } else if (StartsWith(arg, "--slow-ms=")) {
+      flags.slow_ms = std::atof(arg.c_str() + 10);
+    } else if (StartsWith(arg, "--slow-log=")) {
+      flags.slow_log = arg.substr(11);
     } else if (StartsWith(arg, "--data=")) {
       flags.data = arg.substr(7);
     } else if (StartsWith(arg, "--model=")) {
@@ -143,6 +167,9 @@ int main(int argc, char** argv) {
   sopts.num_workers = flags.workers;
   sopts.queue_depth = flags.queue_depth;
   sopts.default_deadline_ms = flags.deadline_ms;
+  sopts.enable_tracing = flags.trace;
+  sopts.slow_query_ms = flags.slow_ms;
+  sopts.slow_query_log_path = flags.slow_log;
   AimqService service(&db, knowledge.TakeValue(), options, sopts);
   Status st = service.Start();
   if (!st.ok()) return Fail(st);
@@ -164,5 +191,17 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "shutting down\n");
   server.Stop();
   service.Stop();  // drain-then-stop: queued requests finish first
+
+  if (!flags.trace_out.empty()) {
+    if (std::FILE* f = std::fopen(flags.trace_out.c_str(), "w")) {
+      const std::string dump = service.ChromeTraceJson().Dump();
+      std::fwrite(dump.data(), 1, dump.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      std::fprintf(stderr, "trace written to %s\n", flags.trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "could not open %s\n", flags.trace_out.c_str());
+    }
+  }
   return 0;
 }

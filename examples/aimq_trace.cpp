@@ -1,0 +1,185 @@
+// aimq_trace: human-readable per-phase time breakdown of slow-query NDJSON.
+//
+// Reads the slow-query log aimq_serve writes with --slow-log (one JSON
+// record per line, each carrying the request's span tree) and prints where
+// each slow request spent its time — or, with --aggregate, where the whole
+// log did:
+//
+//   $ aimq_trace slow.ndjson
+//   request 17  Q(Model like 'Camry')  total 212.4ms  queue 1.2ms
+//     span              count   total_ms   % of request
+//     relax                 1      180.3          84.9
+//     probe                41      162.0          76.3
+//     ...
+//
+//   $ aimq_trace --aggregate slow.ndjson
+//
+// Reads stdin when the file argument is `-`. Records without spans (tracing
+// was off) fall back to the coarse phases object.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+using namespace aimq;
+
+namespace {
+
+struct SpanRollup {
+  int count = 0;
+  double total_ms = 0.0;
+};
+
+// Sums span durations by name; spans nest, so percentages can exceed 100
+// across rows (a probe's time is also inside relax's).
+std::map<std::string, SpanRollup> RollupSpans(const Json& spans) {
+  std::map<std::string, SpanRollup> by_name;
+  for (const Json& span : spans.AsArr()) {
+    const Json* name = span.Find("name");
+    const Json* dur = span.Find("dur_us");
+    if (name == nullptr || !name->is_string() || dur == nullptr ||
+        !dur->is_number()) {
+      continue;
+    }
+    SpanRollup& r = by_name[name->AsStr()];
+    ++r.count;
+    r.total_ms += dur->AsNum() / 1e3;
+  }
+  return by_name;
+}
+
+void PrintRollup(const std::map<std::string, SpanRollup>& by_name,
+                 double total_ms) {
+  std::printf("  %-18s %7s %12s %14s\n", "span", "count", "total_ms",
+              "% of request");
+  // Largest first reads as "where did the time go".
+  std::vector<std::pair<std::string, SpanRollup>> rows(by_name.begin(),
+                                                       by_name.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.total_ms > b.second.total_ms;
+  });
+  for (const auto& [name, r] : rows) {
+    std::printf("  %-18s %7d %12.2f %14.1f\n", name.c_str(), r.count,
+                r.total_ms,
+                total_ms > 0.0 ? 100.0 * r.total_ms / total_ms : 0.0);
+  }
+}
+
+// Coarse fallback when the record has no spans (service ran untraced).
+std::map<std::string, SpanRollup> RollupPhases(const Json& phases) {
+  std::map<std::string, SpanRollup> by_name;
+  for (const auto& [key, value] : phases.AsObj()) {
+    if (!value.is_number()) continue;
+    // "base_set_ms" -> "base_set"
+    std::string name = key;
+    if (name.size() > 3 && name.compare(name.size() - 3, 3, "_ms") == 0) {
+      name.resize(name.size() - 3);
+    }
+    by_name[name] = SpanRollup{1, value.AsNum()};
+  }
+  return by_name;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: aimq_trace [--aggregate] <slow.ndjson | ->\n"
+               "  per-request (default) or aggregate per-phase breakdown of\n"
+               "  a slow-query NDJSON log written by aimq_serve --slow-log\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool aggregate = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--aggregate") {
+      aggregate = true;
+    } else if (!arg.empty() && (arg[0] != '-' || arg == "-")) {
+      if (!path.empty()) return Usage();
+      path = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (path.empty()) return Usage();
+
+  std::ifstream file;
+  if (path != "-") {
+    file.open(path);
+    if (!file.is_open()) {
+      std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+      return 1;
+    }
+  }
+  std::istream& in = path == "-" ? std::cin : file;
+
+  std::map<std::string, SpanRollup> aggregated;
+  double aggregated_total_ms = 0.0;
+  int records = 0;
+  int skipped = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto parsed = Json::Parse(line);
+    if (!parsed.ok() || !parsed->is_object()) {
+      ++skipped;
+      continue;
+    }
+    const Json& record = *parsed;
+    ++records;
+    const Json* total = record.Find("total_ms");
+    const double total_ms =
+        total != nullptr && total->is_number() ? total->AsNum() : 0.0;
+    const Json* spans = record.Find("spans");
+    const Json* phases = record.Find("phases");
+    std::map<std::string, SpanRollup> by_name;
+    if (spans != nullptr && spans->is_array() && !spans->AsArr().empty()) {
+      by_name = RollupSpans(*spans);
+    } else if (phases != nullptr && phases->is_object()) {
+      by_name = RollupPhases(*phases);
+    }
+    if (aggregate) {
+      aggregated_total_ms += total_ms;
+      for (const auto& [name, r] : by_name) {
+        aggregated[name].count += r.count;
+        aggregated[name].total_ms += r.total_ms;
+      }
+      continue;
+    }
+    const Json* id = record.Find("request_id");
+    const Json* query = record.Find("query");
+    const Json* queue = record.Find("queue_ms");
+    std::printf("request %.0f  %s  total %.1fms  queue %.1fms\n",
+                id != nullptr && id->is_number() ? id->AsNum() : 0.0,
+                query != nullptr && query->is_string() ? query->AsStr().c_str()
+                                                       : "?",
+                total_ms,
+                queue != nullptr && queue->is_number() ? queue->AsNum() : 0.0);
+    PrintRollup(by_name, total_ms);
+    std::printf("\n");
+  }
+
+  if (aggregate) {
+    std::printf("%d slow quer%s, %.1fms total\n", records,
+                records == 1 ? "y" : "ies", aggregated_total_ms);
+    PrintRollup(aggregated, aggregated_total_ms);
+  }
+  if (skipped > 0) {
+    std::fprintf(stderr, "warning: %d malformed line%s skipped\n", skipped,
+                 skipped == 1 ? "" : "s");
+  }
+  if (records == 0) {
+    std::fprintf(stderr, "no records in %s\n", path.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -93,12 +93,15 @@ std::vector<size_t> AimqEngine::MinedOrderFor(const Tuple& tuple) const {
 
 Result<std::vector<Tuple>> AimqEngine::Probe(const SelectionQuery& query,
                                              RelaxationStats* stats,
-                                             ProbeContext* ctx, bool* fresh) {
+                                             ProbeContext* ctx, bool* fresh,
+                                             uint64_t trace_id) {
+  TraceSpan span(trace_, "probe", "engine", trace_id);
   if (fresh != nullptr) *fresh = false;
   if (probe_cache_ != nullptr && probe_cache_->capacity() > 0) {
     bool hit = false;
     AIMQ_ASSIGN_OR_RETURN(std::vector<Tuple> tuples,
                           probe_cache_->Execute(*source_, query, &hit));
+    span.AddArg("cache_hit", hit ? 1.0 : 0.0);
     if (stats != nullptr) {
       if (hit) {
         ++stats->cache_hits;
@@ -119,10 +122,12 @@ Result<std::vector<Tuple>> AimqEngine::Probe(const SelectionQuery& query,
     auto it = ctx->memo.find(key);
     if (it != ctx->memo.end()) {
       if (stats != nullptr) ++stats->deduped_probes;
+      span.AddArg("cache_hit", 1.0);
       return it->second;
     }
   }
   AIMQ_ASSIGN_OR_RETURN(std::vector<Tuple> tuples, source_->Execute(query));
+  span.AddArg("cache_hit", 0.0);
   if (stats != nullptr) ++stats->queries_issued;
   if (fresh != nullptr) *fresh = true;
   if (ctx != nullptr) {
@@ -146,13 +151,14 @@ Result<std::vector<Tuple>> AimqEngine::DeriveBaseSetImpl(
   if (query.Empty()) {
     return Status::InvalidArgument("imprecise query binds no attribute");
   }
+  const uint64_t trace_id = control != nullptr ? control->trace_id() : 0;
   const SelectionQuery base = query.ToBaseQuery();
   if (control != nullptr) {
     AIMQ_RETURN_NOT_OK(control->Check("base-set derivation"));
   }
   bool fresh = false;
   AIMQ_ASSIGN_OR_RETURN(std::vector<Tuple> answers,
-                        Probe(base, stats, ctx, &fresh));
+                        Probe(base, stats, ctx, &fresh, trace_id));
   if (stats != nullptr && fresh) stats->tuples_extracted += answers.size();
   if (!answers.empty()) return answers;
 
@@ -180,7 +186,7 @@ Result<std::vector<Tuple>> AimqEngine::DeriveBaseSetImpl(
     }
     SelectionQuery generalized = base.DropAttributes(drop);
     AIMQ_ASSIGN_OR_RETURN(std::vector<Tuple> relaxed_answers,
-                          Probe(generalized, stats, ctx, &fresh));
+                          Probe(generalized, stats, ctx, &fresh, trace_id));
     if (stats != nullptr && fresh) {
       stats->tuples_extracted += relaxed_answers.size();
     }
@@ -239,6 +245,9 @@ AimqEngine::TupleExpansion AimqEngine::ExpandBaseTuple(
     const ImpreciseQuery& query, const Tuple& tuple, size_t base_index,
     RelaxationStrategy strategy, RelaxationStats* stats, ProbeContext* ctx,
     const QueryControl* control) {
+  const uint64_t trace_id = control != nullptr ? control->trace_id() : 0;
+  TraceSpan span(trace_, "relax_tuple", "engine", trace_id);
+  span.AddArg("base_index", static_cast<double>(base_index));
   TupleExpansion out;
   std::unordered_set<Tuple, TupleHash> offered;
   auto offer = [&](const Tuple& t) -> Status {
@@ -274,7 +283,8 @@ AimqEngine::TupleExpansion AimqEngine::ExpandBaseTuple(
     }
     SelectionQuery q = relaxer.Next();
     bool fresh = false;
-    Result<std::vector<Tuple>> extracted = Probe(q, stats, ctx, &fresh);
+    Result<std::vector<Tuple>> extracted =
+        Probe(q, stats, ctx, &fresh, trace_id);
     if (!extracted.ok()) {
       out.status = extracted.status();
       return out;
@@ -299,10 +309,12 @@ AimqEngine::TupleExpansion AimqEngine::ExpandBaseTuple(
 Result<std::vector<RankedAnswer>> AimqEngine::AnswerUncached(
     const ImpreciseQuery& query, RelaxationStrategy strategy,
     RelaxationStats* stats, const QueryControl* control, bool* truncated) {
+  const uint64_t trace_id = control != nullptr ? control->trace_id() : 0;
   ProbeContext ctx;
   std::vector<Tuple> base_set;
   {
     PhaseTimer phase(stats == nullptr ? nullptr : &stats->base_set_seconds);
+    TraceSpan span(trace_, "base_set", "engine", trace_id);
     AIMQ_ASSIGN_OR_RETURN(base_set,
                           DeriveBaseSetImpl(query, stats, &ctx, control));
     if (options_.base_set_limit > 0 &&
@@ -328,6 +340,8 @@ Result<std::vector<RankedAnswer>> AimqEngine::AnswerUncached(
   std::vector<TupleExpansion> expansions(base_set.size());
   {
     PhaseTimer phase(stats == nullptr ? nullptr : &stats->relax_seconds);
+    TraceSpan span(trace_, "relax", "engine", trace_id);
+    span.AddArg("base_set_size", static_cast<double>(base_set.size()));
     ParallelFor(base_set.size(), options_.num_threads, [&](size_t i) {
       expansions[i] = ExpandBaseTuple(query, base_set[i], i, strategy, stats,
                                       &ctx, control);
@@ -350,6 +364,7 @@ Result<std::vector<RankedAnswer>> AimqEngine::AnswerUncached(
   // sequence — and therefore TopK's deterministic tie-breaking — is
   // bit-identical to the serial path at any thread count.
   PhaseTimer phase(stats == nullptr ? nullptr : &stats->rank_seconds);
+  TraceSpan span(trace_, "similarity_rank", "engine", trace_id);
   std::unordered_set<Tuple, TupleHash> pool;
   TopK<Tuple> topk(options_.top_k);
   for (const TupleExpansion& e : expansions) {
@@ -372,6 +387,8 @@ Result<std::vector<RankedAnswer>> AimqEngine::FindSimilar(
   if (anchor.Size() != source_->schema().NumAttributes()) {
     return Status::InvalidArgument("anchor tuple arity mismatch");
   }
+  const uint64_t trace_id = control != nullptr ? control->trace_id() : 0;
+  TraceSpan span(trace_, "find_similar", "engine", trace_id);
   ProbeContext ctx;
   std::unordered_set<Tuple, TupleHash> seen;
   std::vector<RankedAnswer> relevant;
@@ -396,7 +413,7 @@ Result<std::vector<RankedAnswer>> AimqEngine::FindSimilar(
     if (control != nullptr && control->ShouldStop()) break;
     SelectionQuery q = relaxer.Next();
     AIMQ_ASSIGN_OR_RETURN(std::vector<Tuple> extracted,
-                          Probe(q, stats, &ctx));
+                          Probe(q, stats, &ctx, nullptr, trace_id));
     for (const Tuple& candidate : extracted) {
       if (candidate == anchor) continue;
       if (!seen.insert(candidate).second) continue;

@@ -22,6 +22,7 @@
 #include "core/sim.h"
 #include "query/imprecise_query.h"
 #include "util/lru.h"
+#include "util/trace.h"
 #include "webdb/probe_cache.h"
 #include "webdb/web_database.h"
 #include "workload/query_log.h"
@@ -227,6 +228,13 @@ class AimqEngine {
   /// nullptr to detach. The log must outlive the engine.
   void AttachQueryLog(QueryLog* log) { query_log_ = log; }
 
+  /// Attaches a span recorder: every Answer()/FindSimilar() phase and every
+  /// probe emits a trace span tagged with the QueryControl's trace_id (0 for
+  /// untraced calls). Pass nullptr to detach (the default — spans then cost
+  /// one pointer test). The recorder must outlive the engine; not
+  /// thread-safe against in-flight queries, set it before serving.
+  void SetTraceRecorder(TraceRecorder* recorder) { trace_ = recorder; }
+
  private:
   // Per-call probe bookkeeping: when no shared ProbeCache is attached, memo
   // preserves the historical per-Answer dedup of identical relaxed queries.
@@ -252,10 +260,12 @@ class AimqEngine {
 
   // All source probes of the query path go through here: shared ProbeCache
   // if attached, per-call memo otherwise. \p fresh (optional) reports
-  // whether the source was physically probed.
+  // whether the source was physically probed. \p trace_id tags the probe's
+  // trace span with the request being served.
   Result<std::vector<Tuple>> Probe(const SelectionQuery& query,
                                    RelaxationStats* stats, ProbeContext* ctx,
-                                   bool* fresh = nullptr);
+                                   bool* fresh = nullptr,
+                                   uint64_t trace_id = 0);
 
   // Algorithm 1 steps 2-8 for one base tuple (runs on a worker thread).
   TupleExpansion ExpandBaseTuple(const ImpreciseQuery& query,
@@ -292,6 +302,8 @@ class AimqEngine {
   std::atomic<size_t> answer_cache_hits_{0};
   std::mutex query_log_mu_;
   QueryLog* query_log_ = nullptr;
+  // Span recorder for end-to-end tracing; nullptr = tracing off (default).
+  TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace aimq

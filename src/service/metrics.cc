@@ -37,6 +37,11 @@ Json ServiceMetrics::Snapshot(const ProbeCacheStats* cache_stats) const {
   out.Set("rejection_rate", Json::Num(RejectionRate()));
   out.Set("latency", HistogramJson(latency_));
   out.Set("queue_wait", HistogramJson(queue_wait_));
+  Json phases = Json::Obj();
+  phases.Set("base_set", HistogramJson(phase_base_set_));
+  phases.Set("relax", HistogramJson(phase_relax_));
+  phases.Set("rank", HistogramJson(phase_rank_));
+  out.Set("phases", std::move(phases));
   if (cache_stats != nullptr) {
     Json cache = Json::Obj();
     cache.Set("lookups", Json::Num(static_cast<double>(cache_stats->lookups)));

@@ -47,6 +47,17 @@ class ServiceMetrics {
   /// cancellation (counted in addition to OnCompleted).
   void OnTruncated() { truncated_.fetch_add(1, std::memory_order_relaxed); }
 
+  /// Per-phase engine time of one finished request (the RelaxationStats
+  /// phase timers): base-set derivation, relaxation fan-out, similarity
+  /// ranking. Answers "was the fleet slow probing or slow scoring?" without
+  /// tracing individual requests.
+  void OnPhases(double base_set_seconds, double relax_seconds,
+                double rank_seconds) {
+    phase_base_set_.Record(base_set_seconds);
+    phase_relax_.Record(relax_seconds);
+    phase_rank_.Record(rank_seconds);
+  }
+
   uint64_t accepted() const {
     return accepted_.load(std::memory_order_relaxed);
   }
@@ -75,6 +86,9 @@ class ServiceMetrics {
 
   const LatencyHistogram& latency() const { return latency_; }
   const LatencyHistogram& queue_wait() const { return queue_wait_; }
+  const LatencyHistogram& phase_base_set() const { return phase_base_set_; }
+  const LatencyHistogram& phase_relax() const { return phase_relax_; }
+  const LatencyHistogram& phase_rank() const { return phase_rank_; }
 
   /// The full registry as a JSON object:
   ///   {"accepted":..,"rejected":..,"completed":..,"failed":..,
@@ -82,6 +96,7 @@ class ServiceMetrics {
   ///    "latency":{"count":..,"mean_ms":..,"p50_ms":..,"p95_ms":..,
   ///               "p99_ms":..,"max_ms":..},
   ///    "queue_wait":{...same shape...},
+  ///    "phases":{"base_set":{...},"relax":{...},"rank":{...}},
   ///    "probe_cache":{"lookups":..,"hits":..,"hit_rate":..}}   (if given)
   /// Concurrent updates may tear across counters (each is individually
   /// consistent), which live monitoring accepts.
@@ -95,6 +110,9 @@ class ServiceMetrics {
   std::atomic<uint64_t> truncated_{0};
   LatencyHistogram latency_;
   LatencyHistogram queue_wait_;
+  LatencyHistogram phase_base_set_;
+  LatencyHistogram phase_relax_;
+  LatencyHistogram phase_rank_;
 };
 
 }  // namespace aimq

@@ -1,0 +1,128 @@
+#include "service/prometheus.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "util/histogram.h"
+
+namespace aimq {
+
+namespace {
+
+void AppendHeader(std::string* out, const char* name, const char* help,
+                  const char* type) {
+  *out += "# HELP ";
+  *out += name;
+  *out += ' ';
+  *out += help;
+  *out += "\n# TYPE ";
+  *out += name;
+  *out += ' ';
+  *out += type;
+  *out += '\n';
+}
+
+void AppendCounter(std::string* out, const char* name, const char* help,
+                   uint64_t value) {
+  AppendHeader(out, name, help, "counter");
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s %" PRIu64 "\n", name, value);
+  *out += buf;
+}
+
+void AppendGauge(std::string* out, const char* name, const char* help,
+                 double value) {
+  AppendHeader(out, name, help, "gauge");
+  if (!std::isfinite(value)) value = 0.0;
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s %.10g\n", name, value);
+  *out += buf;
+}
+
+// Every 8th geometric bound keeps the exposition at 12 buckets + +Inf.
+constexpr size_t kBucketStride = 8;
+
+void AppendHistogram(std::string* out, const char* name, const char* help,
+                     const LatencyHistogram& histogram) {
+  AppendHeader(out, name, help, "histogram");
+  const HistogramSnapshot snap = histogram.Snapshot();
+  char buf[128];
+  uint64_t cumulative = 0;
+  size_t next_emit = kBucketStride - 1;
+  for (size_t i = 0; i < snap.bucket_counts.size(); ++i) {
+    cumulative += snap.bucket_counts[i];
+    if (i == next_emit) {
+      std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"%.6g\"} %" PRIu64 "\n",
+                    name, LatencyHistogram::BucketUpperBound(i), cumulative);
+      *out += buf;
+      next_emit += kBucketStride;
+    }
+  }
+  std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n",
+                name, snap.count);
+  *out += buf;
+  std::snprintf(buf, sizeof(buf), "%s_sum %.10g\n", name, snap.sum_seconds);
+  *out += buf;
+  std::snprintf(buf, sizeof(buf), "%s_count %" PRIu64 "\n", name, snap.count);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string PrometheusMetricsText(const ServiceMetrics& metrics,
+                                  const ProbeCacheStats* cache_stats) {
+  std::string out;
+  out.reserve(4096);
+  AppendCounter(&out, "aimq_requests_accepted_total",
+                "Requests admitted to the queue.", metrics.accepted());
+  AppendCounter(&out, "aimq_requests_rejected_total",
+                "Submissions refused by admission control.",
+                metrics.rejected());
+  AppendCounter(&out, "aimq_requests_completed_total",
+                "Requests answered OK.", metrics.completed());
+  AppendCounter(&out, "aimq_requests_failed_total",
+                "Requests finished with a non-OK status.", metrics.failed());
+  AppendCounter(&out, "aimq_requests_truncated_total",
+                "OK requests whose top-k was cut short by deadline/cancel.",
+                metrics.truncated());
+  AppendGauge(&out, "aimq_requests_in_flight",
+              "Requests admitted but not yet finished.",
+              static_cast<double>(metrics.InFlight()));
+  AppendGauge(&out, "aimq_request_rejection_rate",
+              "rejected / (accepted + rejected); 0 before any submission.",
+              metrics.RejectionRate());
+  AppendHistogram(&out, "aimq_request_latency_seconds",
+                  "Submit-to-completion latency.", metrics.latency());
+  AppendHistogram(&out, "aimq_queue_wait_seconds",
+                  "Time a request waited for a worker.",
+                  metrics.queue_wait());
+  AppendHistogram(&out, "aimq_phase_base_set_seconds",
+                  "Per-request base-set derivation time.",
+                  metrics.phase_base_set());
+  AppendHistogram(&out, "aimq_phase_relax_seconds",
+                  "Per-request relaxation fan-out (probe) time.",
+                  metrics.phase_relax());
+  AppendHistogram(&out, "aimq_phase_rank_seconds",
+                  "Per-request similarity scoring/ranking time.",
+                  metrics.phase_rank());
+  if (cache_stats != nullptr) {
+    AppendCounter(&out, "aimq_probe_cache_lookups_total",
+                  "Logical probes that consulted the shared cache.",
+                  cache_stats->lookups);
+    AppendCounter(&out, "aimq_probe_cache_hits_total",
+                  "Logical probes served without touching the source.",
+                  cache_stats->hits);
+    AppendCounter(&out, "aimq_probe_cache_misses_total",
+                  "Logical probes that had to probe the source.",
+                  cache_stats->misses);
+    AppendCounter(&out, "aimq_probe_cache_evictions_total",
+                  "Entries evicted by LRU pressure.", cache_stats->evictions);
+    AppendGauge(&out, "aimq_probe_cache_hit_rate",
+                "hits / lookups; 0 before any lookup.",
+                cache_stats->HitRate());
+  }
+  return out;
+}
+
+}  // namespace aimq

@@ -1,0 +1,36 @@
+// Prometheus text-format exposition (version 0.0.4) of the service metrics.
+//
+// Renders one scrape body covering every ServiceMetrics counter, the
+// per-phase and end-to-end latency histograms, and (when available) the
+// shared probe-cache counters. Served by AimqServer on `GET /metrics`, so a
+// stock Prometheus scrape_config pointed at the wire port just works:
+//
+//   aimq_requests_accepted_total 1042
+//   aimq_request_latency_seconds_bucket{le="0.004"} 963
+//   aimq_request_latency_seconds_sum 3.41
+//   aimq_request_latency_seconds_count 1042
+//
+// Histogram buckets are cumulative, as the format demands; the 96 internal
+// geometric buckets are coarsened to every 8th bound (rel. error <= ~6x one
+// bucket's 25%, still far finer than typical scrape dashboards need) plus
+// the mandatory +Inf bound.
+
+#ifndef AIMQ_SERVICE_PROMETHEUS_H_
+#define AIMQ_SERVICE_PROMETHEUS_H_
+
+#include <string>
+
+#include "service/metrics.h"
+#include "webdb/probe_cache.h"
+
+namespace aimq {
+
+/// One full scrape body, `\n`-terminated. \p cache_stats may be null (the
+/// probe-cache families are then omitted). Never emits NaN/Inf — rates with
+/// an empty denominator render as 0.
+std::string PrometheusMetricsText(const ServiceMetrics& metrics,
+                                  const ProbeCacheStats* cache_stats);
+
+}  // namespace aimq
+
+#endif  // AIMQ_SERVICE_PROMETHEUS_H_

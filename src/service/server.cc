@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "query/parser.h"
+#include "service/prometheus.h"
 #include "service/wire.h"
 #include "util/socket.h"
 
@@ -75,9 +76,17 @@ void AimqServer::AcceptLoop() {
 
 void AimqServer::Session(int fd) {
   LineReader reader(fd);
+  bool first = true;
   for (;;) {
     auto line = reader.ReadLine();
     if (!line.ok() || !line->has_value()) break;  // error or peer closed
+    if (first && line->value().compare(0, 4, "GET ") == 0) {
+      // An HTTP request line can never be valid JSON, so sniffing the first
+      // line lets Prometheus scrape the wire port directly.
+      ServeHttp(fd, **line, &reader);
+      break;  // Connection: close — HTTP sessions are one-shot
+    }
+    first = false;
     const std::string response = HandleLine(**line);
     if (!SendAll(fd, response + "\n").ok()) break;
   }
@@ -115,6 +124,13 @@ std::string AimqServer::HandleLine(const std::string& line) {
       out.Set("stats", service_->StatsJson());
       return out.Dump();
     }
+    case WireRequest::Op::kMetrics: {
+      Json out = Json::Obj();
+      if (request.has_id) out.Set("id", Json::Num(request.id));
+      out.Set("ok", Json::Bool(true));
+      out.Set("metrics", service_->StatsJson());
+      return out.Dump();
+    }
     case WireRequest::Op::kQuery:
       break;
   }
@@ -123,13 +139,16 @@ std::string AimqServer::HandleLine(const std::string& line) {
   if (!query.ok()) {
     return MakeErrorResponse(request, query.status()).Dump();
   }
-  auto response = service_->Execute(*query, request.deadline_ms);
+  auto response = service_->Execute(*query, request.deadline_ms,
+                                    request.request_id);
   if (!response.ok()) {
     return MakeErrorResponse(request, response.status()).Dump();
   }
   Json out = Json::Obj();
   if (request.has_id) out.Set("id", Json::Num(request.id));
   out.Set("ok", Json::Bool(true));
+  out.Set("request_id",
+          Json::Num(static_cast<double>(response->request_id)));
   out.Set("truncated", Json::Bool(response->truncated));
   out.Set("elapsed_ms", Json::Num(response->total_seconds * 1e3));
   Json answers = Json::Arr();
@@ -138,6 +157,59 @@ std::string AimqServer::HandleLine(const std::string& line) {
   }
   out.Set("answers", std::move(answers));
   return out.Dump();
+}
+
+void AimqServer::ServeHttp(int fd, const std::string& request_line,
+                           LineReader* reader) {
+  // Drain the header block; scrape requests carry nothing we need.
+  for (;;) {
+    auto line = reader->ReadLine();
+    if (!line.ok() || !line->has_value() || (*line)->empty()) break;
+  }
+  // "GET /path HTTP/1.1" -> "/path" (query strings ignored).
+  std::string path = request_line.substr(4);
+  if (const size_t sp = path.find(' '); sp != std::string::npos) {
+    path.resize(sp);
+  }
+  if (const size_t q = path.find('?'); q != std::string::npos) {
+    path.resize(q);
+  }
+  const char* status_line = "HTTP/1.1 200 OK";
+  std::string content_type = "text/plain; version=0.0.4; charset=utf-8";
+  std::string body;
+  if (path == "/metrics") {
+    const auto& cache = service_->engine().probe_cache();
+    if (cache != nullptr) {
+      const ProbeCacheStats stats = cache->stats();
+      body = PrometheusMetricsText(service_->metrics(), &stats);
+    } else {
+      body = PrometheusMetricsText(service_->metrics(), nullptr);
+    }
+  } else if (path == "/metrics.json") {
+    content_type = "application/json";
+    body = service_->StatsJson().Dump() + "\n";
+  } else if (path == "/trace") {
+    if (service_->trace() == nullptr) {
+      status_line = "HTTP/1.1 404 Not Found";
+      content_type = "text/plain; charset=utf-8";
+      body = "tracing disabled; start with ServiceOptions::enable_tracing\n";
+    } else {
+      content_type = "application/json";
+      body = service_->ChromeTraceJson().Dump() + "\n";
+    }
+  } else {
+    status_line = "HTTP/1.1 404 Not Found";
+    content_type = "text/plain; charset=utf-8";
+    body = "not found; endpoints: /metrics /metrics.json /trace\n";
+  }
+  std::string response = status_line;
+  response += "\r\nContent-Type: ";
+  response += content_type;
+  response += "\r\nContent-Length: ";
+  response += std::to_string(body.size());
+  response += "\r\nConnection: close\r\n\r\n";
+  response += body;
+  SendAll(fd, response);  // best effort; the session closes either way
 }
 
 }  // namespace aimq

@@ -4,6 +4,13 @@
 // line; protocol errors answer {"ok":false,...} and keep the connection
 // open, transport errors close it.
 //
+// The same port also speaks just enough HTTP/1.1 for observability tooling:
+// a first line starting with "GET " (never valid JSON) switches the session
+// into one-shot HTTP mode. `GET /metrics` answers Prometheus text format
+// 0.0.4, `GET /metrics.json` the StatsJson() snapshot, `GET /trace` the
+// Chrome trace-event dump (404 while tracing is disabled). The response
+// carries Content-Length and Connection: close; the socket then closes.
+//
 // Stop() shuts the listening socket (unblocking accept), then shuts every
 // live session socket (unblocking their reads) and joins all threads. The
 // underlying AimqService is not stopped — it is owned by the caller and may
@@ -18,6 +25,7 @@
 #include <vector>
 
 #include "service/service.h"
+#include "util/socket.h"
 #include "util/status.h"
 
 namespace aimq {
@@ -49,6 +57,10 @@ class AimqServer {
 
   /// Handles one request line; returns the response line (sans '\n').
   std::string HandleLine(const std::string& line);
+
+  /// Answers one HTTP GET (\p request_line already consumed) and returns;
+  /// the caller closes the connection.
+  void ServeHttp(int fd, const std::string& request_line, LineReader* reader);
 
   AimqService* service_;
   int port_;

@@ -1,16 +1,29 @@
 #include "service/service.h"
 
+#include <cstdio>
 #include <future>
 #include <utility>
 
 namespace aimq {
+
+namespace {
+
+// In-memory slow-query records retained for SlowQueries().
+constexpr size_t kSlowQueryRingCap = 128;
+
+}  // namespace
 
 AimqService::AimqService(const WebDatabase* source, MinedKnowledge knowledge,
                          AimqOptions engine_options,
                          ServiceOptions service_options)
     : source_(source),
       engine_(source, std::move(knowledge), std::move(engine_options)),
-      service_options_(service_options) {}
+      service_options_(service_options) {
+  if (service_options_.enable_tracing) {
+    trace_ = std::make_unique<TraceRecorder>(service_options_.trace_capacity);
+    engine_.SetTraceRecorder(trace_.get());
+  }
+}
 
 AimqService::~AimqService() { Stop(); }
 
@@ -32,11 +45,17 @@ Status AimqService::Start() {
 }
 
 Status AimqService::Submit(ImpreciseQuery query, Callback done,
-                           uint64_t deadline_ms) {
+                           uint64_t deadline_ms, uint64_t request_id) {
   Request request;
   request.query = std::move(query);
   request.done = std::move(done);
   request.control = std::make_shared<QueryControl>();
+  request.request_id = request_id != 0
+                           ? request_id
+                           : next_request_id_.fetch_add(
+                                 1, std::memory_order_relaxed);
+  request.control->set_trace_id(request.request_id);
+  if (trace_ != nullptr) request.submit_nanos = trace_->NowNanos();
   const uint64_t effective_deadline =
       deadline_ms != 0 ? deadline_ms : service_options_.default_deadline_ms;
   if (effective_deadline != 0) {
@@ -45,13 +64,22 @@ Status AimqService::Submit(ImpreciseQuery query, Callback done,
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (!started_ || stopping_) {
+    if (!started_ || stopping_ ||
+        queue_.size() >= service_options_.queue_depth) {
       metrics_.OnRejected();
-      return Status::Unavailable("service is not accepting requests")
-          .WithContext("AimqService::Submit");
-    }
-    if (queue_.size() >= service_options_.queue_depth) {
-      metrics_.OnRejected();
+      if (trace_ != nullptr && trace_->enabled()) {
+        TraceEvent e;
+        e.name = "rejected";
+        e.category = "service";
+        e.request_id = request.request_id;
+        e.thread_id = TraceRecorder::CurrentThreadId();
+        e.start_nanos = request.submit_nanos;
+        trace_->Record(std::move(e));
+      }
+      if (!started_ || stopping_) {
+        return Status::Unavailable("service is not accepting requests")
+            .WithContext("AimqService::Submit");
+      }
       return Status::Unavailable("request queue full")
           .WithContext("queue_depth=" +
                        std::to_string(service_options_.queue_depth));
@@ -64,13 +92,14 @@ Status AimqService::Submit(ImpreciseQuery query, Callback done,
 }
 
 Result<QueryResponse> AimqService::Execute(const ImpreciseQuery& query,
-                                           uint64_t deadline_ms) {
+                                           uint64_t deadline_ms,
+                                           uint64_t request_id) {
   auto promise = std::make_shared<std::promise<Result<QueryResponse>>>();
   auto future = promise->get_future();
   AIMQ_RETURN_NOT_OK(Submit(
       query,
       [promise](Result<QueryResponse> r) { promise->set_value(std::move(r)); },
-      deadline_ms));
+      deadline_ms, request_id));
   return future.get();
 }
 
@@ -139,14 +168,55 @@ void AimqService::WorkerLoop() {
 }
 
 void AimqService::RunRequest(Request request) {
+  const bool tracing = trace_ != nullptr && trace_->enabled();
+  if (tracing) {
+    // Queue wait, reconstructed at pickup: submit time was stamped on the
+    // request, so the span covers exactly the time no worker had it.
+    TraceEvent e;
+    e.name = "queue_wait";
+    e.category = "service";
+    e.request_id = request.request_id;
+    e.thread_id = TraceRecorder::CurrentThreadId();
+    e.start_nanos = request.submit_nanos;
+    const uint64_t now = trace_->NowNanos();
+    e.duration_nanos = now > request.submit_nanos
+                           ? now - request.submit_nanos
+                           : 0;
+    trace_->Record(std::move(e));
+  }
   QueryResponse response;
+  response.request_id = request.request_id;
   response.queue_seconds = request.since_submit.ElapsedSeconds();
   bool truncated = false;
-  auto answers =
-      engine_.Answer(request.query, service_options_.strategy, &response.stats,
-                     request.control.get(), &truncated);
+  Result<std::vector<RankedAnswer>> answers = Status::OK();
+  {
+    TraceSpan execute(trace_.get(), "execute", "service", request.request_id);
+    answers = engine_.Answer(request.query, service_options_.strategy,
+                             &response.stats, request.control.get(),
+                             &truncated);
+  }
   response.total_seconds = request.since_submit.ElapsedSeconds();
   response.truncated = truncated;
+  if (tracing) {
+    // The whole request, submit to completion — the root of the span tree.
+    TraceEvent e;
+    e.name = "request";
+    e.category = "service";
+    e.request_id = request.request_id;
+    e.thread_id = TraceRecorder::CurrentThreadId();
+    e.start_nanos = request.submit_nanos;
+    const uint64_t now = trace_->NowNanos();
+    e.duration_nanos = now > request.submit_nanos
+                           ? now - request.submit_nanos
+                           : 0;
+    e.args.emplace_back("ok", answers.ok() ? 1.0 : 0.0);
+    e.args.emplace_back("truncated", truncated ? 1.0 : 0.0);
+    trace_->Record(std::move(e));
+  }
+  metrics_.OnPhases(response.stats.base_set_seconds,
+                    response.stats.relax_seconds,
+                    response.stats.rank_seconds);
+  RecordSlowQuery(request, response, answers.status());
   if (answers.ok()) {
     response.answers = answers.TakeValue();
     metrics_.OnCompleted(response.queue_seconds, response.total_seconds);
@@ -156,6 +226,66 @@ void AimqService::RunRequest(Request request) {
     metrics_.OnFailed(response.queue_seconds, response.total_seconds);
     request.done(answers.status());
   }
+}
+
+void AimqService::RecordSlowQuery(const Request& request,
+                                  const QueryResponse& response,
+                                  const Status& status) {
+  if (service_options_.slow_query_ms <= 0.0) return;
+  const double total_ms = response.total_seconds * 1e3;
+  if (total_ms < service_options_.slow_query_ms) return;
+  Json record = Json::Obj();
+  record.Set("request_id",
+             Json::Num(static_cast<double>(request.request_id)));
+  record.Set("query", Json::Str(request.query.ToString()));
+  record.Set("ok", Json::Bool(status.ok()));
+  record.Set("truncated", Json::Bool(response.truncated));
+  record.Set("total_ms", Json::Num(total_ms));
+  record.Set("queue_ms", Json::Num(response.queue_seconds * 1e3));
+  Json phases = Json::Obj();
+  phases.Set("base_set_ms", Json::Num(response.stats.base_set_seconds * 1e3));
+  phases.Set("relax_ms", Json::Num(response.stats.relax_seconds * 1e3));
+  phases.Set("rank_ms", Json::Num(response.stats.rank_seconds * 1e3));
+  record.Set("phases", std::move(phases));
+  Json spans = Json::Arr();
+  if (trace_ != nullptr) {
+    // Slow path only: one O(ring) scan per slow request is the price of
+    // keeping Record() free of per-request indexing.
+    for (const TraceEvent& e : trace_->Snapshot()) {
+      if (e.request_id != request.request_id) continue;
+      Json span = Json::Obj();
+      span.Set("name", Json::Str(e.name));
+      span.Set("cat", Json::Str(e.category));
+      span.Set("tid", Json::Num(static_cast<double>(e.thread_id)));
+      span.Set("ts_us", Json::Num(static_cast<double>(e.start_nanos) / 1e3));
+      span.Set("dur_us",
+               Json::Num(static_cast<double>(e.duration_nanos) / 1e3));
+      spans.Push(std::move(span));
+    }
+  }
+  record.Set("spans", std::move(spans));
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  if (!service_options_.slow_query_log_path.empty()) {
+    if (std::FILE* f = std::fopen(
+            service_options_.slow_query_log_path.c_str(), "a")) {
+      const std::string line = record.Dump();
+      std::fwrite(line.data(), 1, line.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+    }
+  }
+  slow_queries_.push_back(std::move(record));
+  while (slow_queries_.size() > kSlowQueryRingCap) slow_queries_.pop_front();
+}
+
+Json AimqService::ChromeTraceJson() const {
+  return trace_ != nullptr ? trace_->ChromeTraceJson()
+                           : TraceRecorder::ToChromeTraceJson({});
+}
+
+std::vector<Json> AimqService::SlowQueries() const {
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  return std::vector<Json>(slow_queries_.begin(), slow_queries_.end());
 }
 
 }  // namespace aimq

@@ -27,12 +27,14 @@
 #ifndef AIMQ_SERVICE_SERVICE_H_
 #define AIMQ_SERVICE_SERVICE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -41,6 +43,7 @@
 #include "service/metrics.h"
 #include "util/json.h"
 #include "util/stopwatch.h"
+#include "util/trace.h"
 
 namespace aimq {
 
@@ -58,10 +61,31 @@ struct ServiceOptions {
 
   /// Relaxation strategy used for every request.
   RelaxationStrategy strategy = RelaxationStrategy::kGuided;
+
+  /// End-to-end tracing: when true the service owns a TraceRecorder, wires
+  /// it into the engine, and every request emits a span tree (queue wait,
+  /// execution, engine phases, probes) correlated by its request id. Off by
+  /// default — disabled tracing costs one pointer test per span site.
+  bool enable_tracing = false;
+
+  /// Ring capacity, in events, of the trace recorder (oldest overwritten).
+  size_t trace_capacity = 1 << 16;
+
+  /// Slow-query log: a finished request whose total latency (queue wait
+  /// included) is >= this threshold is captured — with its span tree when
+  /// tracing is on — as one NDJSON record. 0 disables.
+  double slow_query_ms = 0.0;
+
+  /// File the slow-query NDJSON is appended to. Empty keeps records only in
+  /// the in-memory ring (AimqService::SlowQueries()).
+  std::string slow_query_log_path;
 };
 
 /// Everything one answered request returns.
 struct QueryResponse {
+  /// Correlation id of this request (assigned at admission unless the
+  /// caller supplied one); tags every trace span and slow-query record.
+  uint64_t request_id = 0;
   std::vector<RankedAnswer> answers;
   /// The top-k was cut short by a deadline/cancel mid-relaxation.
   bool truncated = false;
@@ -97,14 +121,18 @@ class AimqService {
   /// the outcome. Never blocks: a full queue or a stopped/stopping service
   /// returns kUnavailable *and \p done is not invoked*. \p deadline_ms
   /// overrides the service default (0 = use the default); the clock starts
-  /// now, so time spent queued counts against it.
-  Status Submit(ImpreciseQuery query, Callback done, uint64_t deadline_ms = 0);
+  /// now, so time spent queued counts against it. \p request_id correlates
+  /// the request's trace spans and slow-query record (0 = service-assigned;
+  /// the id used is echoed in QueryResponse::request_id either way).
+  Status Submit(ImpreciseQuery query, Callback done, uint64_t deadline_ms = 0,
+                uint64_t request_id = 0);
 
   /// Synchronous convenience over Submit(): blocks the calling thread until
   /// the request completes. Queue-full rejections surface as kUnavailable
   /// without blocking.
   Result<QueryResponse> Execute(const ImpreciseQuery& query,
-                                uint64_t deadline_ms = 0);
+                                uint64_t deadline_ms = 0,
+                                uint64_t request_id = 0);
 
   /// Blocks until every accepted request has completed (queue empty, all
   /// workers idle). New submissions remain allowed; a steady stream of them
@@ -129,6 +157,19 @@ class AimqService {
   /// response body).
   Json StatsJson() const;
 
+  /// The span recorder, or nullptr when ServiceOptions::enable_tracing was
+  /// false. Owned by the service; shared read-only with the engine.
+  TraceRecorder* trace() { return trace_.get(); }
+  const TraceRecorder* trace() const { return trace_.get(); }
+
+  /// Every retained span as one Chrome trace-event JSON document (empty
+  /// traceEvents when tracing is off). Load the dump in Perfetto.
+  Json ChromeTraceJson() const;
+
+  /// The most recent slow-query records (newest last, bounded ring), each
+  /// {"request_id":..,"query":..,"total_ms":..,"spans":[...]}.
+  std::vector<Json> SlowQueries() const;
+
   /// Queued-but-not-yet-running requests (diagnostics).
   size_t QueueSize() const;
 
@@ -137,16 +178,26 @@ class AimqService {
     ImpreciseQuery query;
     Callback done;
     std::shared_ptr<QueryControl> control;
-    Stopwatch since_submit;  // runs from admission
+    Stopwatch since_submit;   // runs from admission
+    uint64_t request_id = 0;  // trace/slow-log correlation id
+    uint64_t submit_nanos = 0;  // recorder clock at admission (0: untraced)
   };
 
   void WorkerLoop();
   void RunRequest(Request request);
+  void RecordSlowQuery(const Request& request, const QueryResponse& response,
+                       const Status& status);
 
   const WebDatabase* source_;
   AimqEngine engine_;
   const ServiceOptions service_options_;
   ServiceMetrics metrics_;
+  // Span recorder (created iff enable_tracing); the engine holds a raw
+  // pointer into it, so it lives exactly as long as the service.
+  std::unique_ptr<TraceRecorder> trace_;
+  std::atomic<uint64_t> next_request_id_{1};
+  mutable std::mutex slow_mu_;
+  std::deque<Json> slow_queries_;  // bounded ring, guarded by slow_mu_
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   // queue became non-empty / stopping

@@ -73,6 +73,8 @@ Result<WireRequest> ParseWireRequest(const std::string& line) {
     req.op = WireRequest::Op::kPing;
   } else if (op == "stats") {
     req.op = WireRequest::Op::kStats;
+  } else if (op == "metrics") {
+    req.op = WireRequest::Op::kMetrics;
   } else if (op == "query") {
     req.op = WireRequest::Op::kQuery;
     AIMQ_ASSIGN_OR_RETURN(req.query_text, json.GetStr("q"));
@@ -84,6 +86,12 @@ Result<WireRequest> ParseWireRequest(const std::string& line) {
       return Status::InvalidArgument("deadline_ms must be a number >= 0");
     }
     req.deadline_ms = static_cast<uint64_t>(d->AsNum());
+  }
+  if (const Json* rid = json.Find("request_id"); rid != nullptr) {
+    if (!rid->is_number() || rid->AsNum() < 0) {
+      return Status::InvalidArgument("request_id must be a number >= 0");
+    }
+    req.request_id = static_cast<uint64_t>(rid->AsNum());
   }
   if (const Json* id = json.Find("id"); id != nullptr) {
     if (!id->is_number()) {

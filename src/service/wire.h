@@ -1,20 +1,30 @@
 // The query service's newline-delimited JSON wire protocol.
 //
 // One request per line, one response line per request, over a plain TCP
-// stream — testable with `nc localhost 7777`. Three operations:
+// stream — testable with `nc localhost 7777`. Four operations:
 //
 //   {"op":"ping"}
 //     -> {"ok":true,"pong":true}
 //   {"op":"stats"}
 //     -> {"ok":true,"stats":{...ServiceMetrics snapshot...}}
-//   {"op":"query","q":"Q(Model like 'Camry')","deadline_ms":500,"id":7}
-//     -> {"id":7,"ok":true,"truncated":false,"elapsed_ms":12.4,
+//   {"op":"metrics"}
+//     -> {"ok":true,"metrics":{...ServiceMetrics snapshot...}}
+//   {"op":"query","q":"Q(Model like 'Camry')","deadline_ms":500,"id":7,
+//    "request_id":42}
+//     -> {"id":7,"ok":true,"request_id":42,"truncated":false,
+//         "elapsed_ms":12.4,
 //         "answers":[{"tuple":{"Make":"Toyota",...},"similarity":0.93},...]}
 //
 // Failures answer {"ok":false,"status":{...}} where the status object
 // round-trips aimq::Status losslessly: code (by name), message, and context
 // all survive StatusToJson -> StatusFromJson. "id", when present in a
 // request, is echoed verbatim in the response so clients may pipeline.
+// "request_id" is the trace/slow-log correlation id: optional on the way in
+// (the service assigns one when absent), always present in a query response,
+// so a client can join its answer against /metrics scrapes and trace dumps.
+//
+// The same TCP port also answers plain HTTP GETs (Prometheus scraping); see
+// service/server.h.
 
 #ifndef AIMQ_SERVICE_WIRE_H_
 #define AIMQ_SERVICE_WIRE_H_
@@ -50,12 +60,14 @@ Json RankedAnswerToJson(const Schema& schema, const RankedAnswer& answer);
 
 /// A decoded request line.
 struct WireRequest {
-  enum class Op { kPing, kStats, kQuery };
+  enum class Op { kPing, kStats, kMetrics, kQuery };
   Op op = Op::kPing;
   /// Query text ("Q(Model like 'Camry')"); only for kQuery.
   std::string query_text;
   /// Per-request deadline override in ms; 0 = use the service default.
   uint64_t deadline_ms = 0;
+  /// Trace correlation id; 0 = let the service assign one. Only for kQuery.
+  uint64_t request_id = 0;
   /// Client correlation id, echoed in the response when present.
   bool has_id = false;
   double id = 0.0;

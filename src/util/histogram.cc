@@ -82,6 +82,31 @@ HistogramSnapshot LatencyHistogram::Snapshot() const {
   return snap;
 }
 
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  const HistogramSnapshot snap = other.Snapshot();
+  if (snap.count == 0) return;
+  count_.fetch_add(snap.count, std::memory_order_relaxed);
+  sum_nanos_.fetch_add(static_cast<uint64_t>(snap.sum_seconds * 1e9),
+                       std::memory_order_relaxed);
+  for (size_t i = 0; i < kNumBuckets && i < snap.bucket_counts.size(); ++i) {
+    if (snap.bucket_counts[i] != 0) {
+      buckets_[i].fetch_add(snap.bucket_counts[i], std::memory_order_relaxed);
+    }
+  }
+  const uint64_t other_min = static_cast<uint64_t>(snap.min_seconds * 1e9);
+  uint64_t observed = min_nanos_.load(std::memory_order_relaxed);
+  while (other_min < observed &&
+         !min_nanos_.compare_exchange_weak(observed, other_min,
+                                           std::memory_order_relaxed)) {
+  }
+  const uint64_t other_max = static_cast<uint64_t>(snap.max_seconds * 1e9);
+  observed = max_nanos_.load(std::memory_order_relaxed);
+  while (other_max > observed &&
+         !max_nanos_.compare_exchange_weak(observed, other_max,
+                                           std::memory_order_relaxed)) {
+  }
+}
+
 void LatencyHistogram::Reset() {
   count_.store(0, std::memory_order_relaxed);
   sum_nanos_.store(0, std::memory_order_relaxed);

@@ -56,6 +56,14 @@ class LatencyHistogram {
   /// Record() calls — quiesce writers first (used between bench phases).
   void Reset();
 
+  /// Folds \p other's records into this histogram (counts, sum, extremes,
+  /// buckets). Lets each worker record into a private histogram and the
+  /// aggregator combine them afterwards, instead of every Record() hitting
+  /// one shared set of atomics. Tolerates concurrent Record() on either side
+  /// with the usual torn-snapshot semantics; merging a histogram into itself
+  /// is undefined.
+  void Merge(const LatencyHistogram& other);
+
   /// Upper bound in seconds of bucket \p i (shared with snapshot consumers).
   static double BucketUpperBound(size_t i);
 

@@ -282,8 +282,15 @@ void Json::DumpTo(std::string* out) const {
       return;
     case Kind::kNumber: {
       // Integers up to 2^53 print exactly; everything else uses %.17g so a
-      // parse→dump→parse round trip is lossless.
+      // parse→dump→parse round trip is lossless. JSON has no NaN/Infinity
+      // literal — a non-finite value (a division-by-zero rate sneaking into
+      // a metrics snapshot) serializes as null rather than corrupting the
+      // document.
       const double d = num_;
+      if (!std::isfinite(d)) {
+        *out += "null";
+        return;
+      }
       char buf[32];
       if (d == static_cast<double>(static_cast<long long>(d)) &&
           std::fabs(d) < 9.007199254740992e15) {

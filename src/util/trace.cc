@@ -1,0 +1,132 @@
+#include "util/trace.h"
+
+#include <chrono>
+
+namespace aimq {
+
+uint64_t TraceClock::NowNanos() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+namespace {
+
+const TraceClock& DefaultClock() {
+  static const TraceClock clock;
+  return clock;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(size_t capacity, const TraceClock* clock)
+    : capacity_(capacity), clock_(clock) {
+  ring_.resize(capacity_);
+}
+
+uint64_t TraceRecorder::NowNanos() const {
+  return (clock_ != nullptr ? *clock_ : DefaultClock()).NowNanos();
+}
+
+void TraceRecorder::Record(TraceEvent event) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity_ == 0) {
+    ++total_;  // nothing retained; everything counts as dropped
+    return;
+  }
+  ring_[next_] = std::move(event);
+  next_ = (next_ + 1) % capacity_;
+  ++total_;
+}
+
+std::vector<TraceEvent> TraceRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  const size_t retained = total_ < capacity_ ? static_cast<size_t>(total_)
+                                             : capacity_;
+  out.reserve(retained);
+  // Oldest first: when the ring has wrapped, the oldest slot is next_.
+  const size_t start = total_ < capacity_ ? 0 : next_;
+  for (size_t i = 0; i < retained; ++i) {
+    out.push_back(ring_[(start + i) % capacity_]);
+  }
+  return out;
+}
+
+uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ > capacity_ ? total_ - capacity_ : 0;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.assign(capacity_, TraceEvent{});
+  next_ = 0;
+  total_ = 0;
+}
+
+Json TraceRecorder::ToChromeTraceJson(const std::vector<TraceEvent>& events) {
+  Json trace_events = Json::Arr();
+  for (const TraceEvent& e : events) {
+    Json event = Json::Obj();
+    event.Set("name", Json::Str(e.name));
+    event.Set("cat", Json::Str(e.category));
+    event.Set("ph", Json::Str("X"));
+    // Chrome trace-event timestamps are microseconds.
+    event.Set("ts", Json::Num(static_cast<double>(e.start_nanos) / 1e3));
+    event.Set("dur", Json::Num(static_cast<double>(e.duration_nanos) / 1e3));
+    event.Set("pid", Json::Num(1));
+    event.Set("tid", Json::Num(static_cast<double>(e.thread_id)));
+    Json args = Json::Obj();
+    args.Set("request_id", Json::Num(static_cast<double>(e.request_id)));
+    for (const auto& [key, value] : e.args) {
+      args.Set(key, Json::Num(value));
+    }
+    event.Set("args", std::move(args));
+    trace_events.Push(std::move(event));
+  }
+  Json out = Json::Obj();
+  out.Set("displayTimeUnit", Json::Str("ms"));
+  out.Set("traceEvents", std::move(trace_events));
+  return out;
+}
+
+Json TraceRecorder::ChromeTraceJson() const {
+  return ToChromeTraceJson(Snapshot());
+}
+
+uint64_t TraceRecorder::CurrentThreadId() {
+  static std::atomic<uint64_t> next_id{1};
+  thread_local const uint64_t id =
+      next_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+TraceSpan::TraceSpan(TraceRecorder* recorder, const char* name,
+                     const char* category, uint64_t request_id)
+    : recorder_(recorder != nullptr && recorder->enabled() ? recorder
+                                                           : nullptr) {
+  if (recorder_ == nullptr) return;
+  event_.name = name;
+  event_.category = category;
+  event_.request_id = request_id;
+  event_.thread_id = TraceRecorder::CurrentThreadId();
+  event_.start_nanos = recorder_->NowNanos();
+}
+
+TraceSpan::~TraceSpan() {
+  if (recorder_ == nullptr) return;
+  const uint64_t end = recorder_->NowNanos();
+  event_.duration_nanos =
+      end > event_.start_nanos ? end - event_.start_nanos : 0;
+  recorder_->Record(std::move(event_));
+}
+
+void TraceSpan::AddArg(const char* key, double value) {
+  if (recorder_ == nullptr) return;
+  event_.args.emplace_back(key, value);
+}
+
+}  // namespace aimq

@@ -100,6 +100,99 @@ TEST(LatencyHistogramTest, ResetClearsEverything) {
   EXPECT_EQ(h.Snapshot().max_seconds, 0.0);
 }
 
+TEST(LatencyHistogramTest, MergeFoldsCountsSumAndExtremes) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.Record(0.001);
+  a.Record(0.004);
+  b.Record(0.002);
+  b.Record(0.050);
+  a.Merge(b);
+  HistogramSnapshot snap = a.Snapshot();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_NEAR(snap.sum_seconds, 0.057, 1e-6);
+  EXPECT_NEAR(snap.min_seconds, 0.001, 1e-6);
+  EXPECT_NEAR(snap.max_seconds, 0.050, 1e-6);
+  uint64_t bucket_total = 0;
+  for (uint64_t c : snap.bucket_counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, 4u);
+  // The source is untouched.
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(LatencyHistogramTest, MergeMinTakesSmallerSource) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.Record(0.010);
+  b.Record(0.0001);  // other's min is smaller — the CAS path must take it
+  a.Merge(b);
+  EXPECT_NEAR(a.Snapshot().min_seconds, 0.0001, 1e-7);
+}
+
+TEST(LatencyHistogramTest, MergeEmptySourceIsANoOp) {
+  LatencyHistogram a;
+  LatencyHistogram empty;
+  a.Record(0.003);
+  a.Merge(empty);
+  HistogramSnapshot snap = a.Snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_NEAR(snap.min_seconds, 0.003, 1e-6);
+  EXPECT_NEAR(snap.max_seconds, 0.003, 1e-6);
+}
+
+TEST(LatencyHistogramTest, MergeIntoEmptyAdoptsSourceExtremes) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  b.Record(0.002);
+  b.Record(0.008);
+  a.Merge(b);
+  HistogramSnapshot snap = a.Snapshot();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_NEAR(snap.min_seconds, 0.002, 1e-6);
+  EXPECT_NEAR(snap.max_seconds, 0.008, 1e-6);
+}
+
+TEST(LatencyHistogramTest, QuantilesAfterMergeMatchUnifiedRecording) {
+  // Per-worker histograms merged into one must answer quantile queries the
+  // same as a single shared histogram fed every record.
+  LatencyHistogram unified;
+  LatencyHistogram workers[4];
+  for (int w = 0; w < 4; ++w) {
+    for (int i = 1; i <= 250; ++i) {
+      const double v = static_cast<double>(w * 250 + i) * 1e-4;
+      workers[w].Record(v);
+      unified.Record(v);
+    }
+  }
+  LatencyHistogram merged;
+  for (LatencyHistogram& w : workers) merged.Merge(w);
+  EXPECT_EQ(merged.count(), unified.count());
+  for (double q : {0.5, 0.9, 0.95, 0.99}) {
+    EXPECT_DOUBLE_EQ(merged.Percentile(q), unified.Percentile(q)) << q;
+  }
+  HistogramSnapshot ms = merged.Snapshot();
+  HistogramSnapshot us = unified.Snapshot();
+  EXPECT_NEAR(ms.sum_seconds, us.sum_seconds, 1e-6);
+  EXPECT_EQ(ms.bucket_counts, us.bucket_counts);
+}
+
+TEST(LatencyHistogramTest, MergeConcurrentWithRecords) {
+  LatencyHistogram target;
+  LatencyHistogram sources[4];
+  for (LatencyHistogram& s : sources) {
+    for (int i = 0; i < 100; ++i) s.Record(0.001);
+  }
+  // Merges racing Record() on the target: counts must all land.
+  ParallelFor(8, 8, [&](size_t t) {
+    if (t < 4) {
+      target.Merge(sources[t]);
+    } else {
+      for (int i = 0; i < 100; ++i) target.Record(0.002);
+    }
+  });
+  EXPECT_EQ(target.count(), 800u);
+}
+
 TEST(LatencyHistogramTest, BucketBoundsGrowGeometrically) {
   EXPECT_NEAR(LatencyHistogram::BucketUpperBound(0), 1e-6, 1e-12);
   for (size_t i = 1; i < LatencyHistogram::kNumBuckets; ++i) {

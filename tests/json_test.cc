@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 namespace aimq {
 namespace {
 
@@ -85,6 +88,21 @@ TEST(JsonTest, ParsesUnicodeEscapes) {
   auto r = Json::Parse("\"\\u0041\\u00e9\"");
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->AsStr(), "A\xc3\xa9");  // "Aé" in UTF-8
+}
+
+TEST(JsonTest, NonFiniteNumbersDumpAsNull) {
+  // A NaN rate (0/0 before any traffic) must never leak an invalid `nan`
+  // token into a wire response or metrics scrape.
+  EXPECT_EQ(Json::Num(std::nan("")).Dump(), "null");
+  EXPECT_EQ(Json::Num(std::numeric_limits<double>::infinity()).Dump(),
+            "null");
+  EXPECT_EQ(Json::Num(-std::numeric_limits<double>::infinity()).Dump(),
+            "null");
+  Json obj = Json::Obj();
+  obj.Set("rate", Json::Num(std::nan("")));
+  const std::string dump = obj.Dump();
+  EXPECT_EQ(dump, R"js({"rate":null})js");
+  EXPECT_TRUE(Json::Parse(dump).ok());
 }
 
 TEST(JsonTest, LargeCountersSurviveRoundTrip) {

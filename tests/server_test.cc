@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 #include "datagen/cardb.h"
 #include "service/wire.h"
@@ -65,6 +66,33 @@ class ServerTest : public ::testing::Test {
     auto json = Json::Parse(**response);
     EXPECT_TRUE(json.ok()) << json.status().ToString();
     return json.ok() ? json.TakeValue() : Json::Null();
+  }
+
+  // One HTTP GET against the wire port; returns every line (headers + body,
+  // '\r' stripped) until the server closes the connection.
+  static std::vector<std::string> HttpGet(int port, const std::string& path) {
+    std::vector<std::string> lines;
+    auto fd = TcpConnect("localhost", port);
+    EXPECT_TRUE(fd.ok()) << fd.status().ToString();
+    if (!fd.ok()) return lines;
+    EXPECT_TRUE(
+        SendAll(*fd, "GET " + path + " HTTP/1.1\r\nHost: test\r\n\r\n").ok());
+    LineReader reader(*fd);
+    for (;;) {
+      auto line = reader.ReadLine();
+      if (!line.ok() || !line->has_value()) break;  // Connection: close
+      lines.push_back(**line);
+    }
+    CloseFd(*fd);
+    return lines;
+  }
+
+  static bool HasLinePrefix(const std::vector<std::string>& lines,
+                            const std::string& prefix) {
+    for (const std::string& line : lines) {
+      if (line.compare(0, prefix.size(), prefix) == 0) return true;
+    }
+    return false;
   }
 
   static WebDatabase* db_;
@@ -163,6 +191,135 @@ TEST_F(ServerTest, ProtocolErrorsAnswerInBandAndKeepTheConnection) {
   r = RoundTrip(fd, &reader, R"js({"op":"ping"})js");
   EXPECT_EQ(r.Dump(), R"js({"ok":true,"pong":true})js");
   CloseFd(fd);
+}
+
+TEST_F(ServerTest, QueryResponseCarriesRequestId) {
+  const int fd = Connect();
+  ASSERT_GE(fd, 0);
+  LineReader reader(fd);
+  // Client-chosen correlation id round-trips.
+  Json r = RoundTrip(
+      fd, &reader,
+      R"js({"op":"query","q":"Q(Model like 'Camry')","request_id":4242})js");
+  ASSERT_TRUE(r.GetBool("ok").ok() && *r.GetBool("ok")) << r.Dump();
+  ASSERT_NE(r.Find("request_id"), nullptr);
+  EXPECT_DOUBLE_EQ(r.Find("request_id")->AsNum(), 4242.0);
+  // Without one, the service assigns and reports a nonzero id.
+  r = RoundTrip(fd, &reader,
+                R"js({"op":"query","q":"Q(Model like 'Camry')"})js");
+  ASSERT_NE(r.Find("request_id"), nullptr);
+  EXPECT_GT(r.Find("request_id")->AsNum(), 0.0);
+  CloseFd(fd);
+}
+
+TEST_F(ServerTest, MetricsOpAnswersSnapshot) {
+  const int fd = Connect();
+  ASSERT_GE(fd, 0);
+  LineReader reader(fd);
+  RoundTrip(fd, &reader, R"js({"op":"query","q":"Q(Model like 'Civic')"})js");
+  const Json r = RoundTrip(fd, &reader, R"js({"op":"metrics","id":5})js");
+  ASSERT_TRUE(r.GetBool("ok").ok() && *r.GetBool("ok")) << r.Dump();
+  EXPECT_DOUBLE_EQ(r.Find("id")->AsNum(), 5.0);
+  const Json* metrics = r.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_GE(*metrics->GetNum("completed"), 1.0);
+  ASSERT_NE(metrics->Find("phases"), nullptr);
+  EXPECT_NE(metrics->Find("phases")->Find("relax"), nullptr);
+  CloseFd(fd);
+}
+
+TEST_F(ServerTest, HttpMetricsServesPrometheusText) {
+  // Serve at least one query first so histograms have samples.
+  const int fd = Connect();
+  ASSERT_GE(fd, 0);
+  LineReader reader(fd);
+  RoundTrip(fd, &reader, R"js({"op":"query","q":"Q(Model like 'Camry')"})js");
+  CloseFd(fd);
+
+  const auto lines = HttpGet(server_->port(), "/metrics");
+  ASSERT_FALSE(lines.empty());
+  EXPECT_EQ(lines[0], "HTTP/1.1 200 OK");
+  EXPECT_TRUE(HasLinePrefix(lines, "Content-Type: text/plain; version=0.0.4"));
+  EXPECT_TRUE(HasLinePrefix(lines, "Content-Length: "));
+  for (const char* family :
+       {"# TYPE aimq_requests_accepted_total counter",
+        "# TYPE aimq_request_latency_seconds histogram",
+        "# TYPE aimq_phase_relax_seconds histogram",
+        "# TYPE aimq_probe_cache_hit_rate gauge"}) {
+    EXPECT_TRUE(HasLinePrefix(lines, family)) << "missing: " << family;
+  }
+  bool accepted_nonzero = false;
+  for (const std::string& line : lines) {
+    const std::string name = "aimq_requests_accepted_total ";
+    if (line.compare(0, name.size(), name) == 0) {
+      accepted_nonzero = std::stod(line.substr(name.size())) >= 1.0;
+    }
+  }
+  EXPECT_TRUE(accepted_nonzero);
+}
+
+TEST_F(ServerTest, HttpMetricsJsonAndUnknownPath) {
+  const auto json_lines = HttpGet(server_->port(), "/metrics.json");
+  ASSERT_FALSE(json_lines.empty());
+  EXPECT_EQ(json_lines[0], "HTTP/1.1 200 OK");
+  EXPECT_TRUE(HasLinePrefix(json_lines, "Content-Type: application/json"));
+  // Body is the last line: one JSON document.
+  auto parsed = Json::Parse(json_lines.back());
+  ASSERT_TRUE(parsed.ok()) << json_lines.back();
+  EXPECT_NE(parsed->Find("accepted"), nullptr);
+
+  const auto missing = HttpGet(server_->port(), "/nope");
+  ASSERT_FALSE(missing.empty());
+  EXPECT_EQ(missing[0], "HTTP/1.1 404 Not Found");
+
+  // Tracing is off on the shared fixture, so /trace 404s.
+  const auto trace = HttpGet(server_->port(), "/trace");
+  ASSERT_FALSE(trace.empty());
+  EXPECT_EQ(trace[0], "HTTP/1.1 404 Not Found");
+
+  // NDJSON sessions still work after HTTP ones.
+  const int fd = Connect();
+  ASSERT_GE(fd, 0);
+  LineReader reader(fd);
+  const Json r = RoundTrip(fd, &reader, R"js({"op":"ping"})js");
+  EXPECT_EQ(r.Dump(), R"js({"ok":true,"pong":true})js");
+  CloseFd(fd);
+}
+
+TEST_F(ServerTest, HttpTraceServesChromeJsonWhenTracingEnabled) {
+  // Dedicated traced server; the shared fixture keeps tracing off.
+  AimqOptions options;
+  options.collector.sample_size = 300;
+  options.tsim = 0.4;
+  options.num_threads = 2;
+  auto knowledge = BuildKnowledge(*db_, options);
+  ASSERT_TRUE(knowledge.ok());
+  ServiceOptions sopts;
+  sopts.num_workers = 2;
+  sopts.enable_tracing = true;
+  AimqService service(db_, knowledge.TakeValue(), options, sopts);
+  ASSERT_TRUE(service.Start().ok());
+  AimqServer server(&service, /*port=*/0);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto traced_fd = TcpConnect("localhost", server.port());
+  ASSERT_TRUE(traced_fd.ok());
+  LineReader reader(*traced_fd);
+  RoundTrip(*traced_fd, &reader,
+            R"js({"op":"query","q":"Q(Model like 'Camry')"})js");
+  CloseFd(*traced_fd);
+
+  const auto lines = HttpGet(server.port(), "/trace");
+  ASSERT_FALSE(lines.empty());
+  EXPECT_EQ(lines[0], "HTTP/1.1 200 OK");
+  auto parsed = Json::Parse(lines.back());
+  ASSERT_TRUE(parsed.ok()) << lines.back();
+  const Json* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_FALSE(events->AsArr().empty());
+
+  server.Stop();
+  service.Stop();
 }
 
 TEST_F(ServerTest, StopWithIdleConnectionDoesNotHang) {

@@ -1,0 +1,70 @@
+// ServiceMetrics snapshot tests, including the zero-lookup probe-cache
+// regression: an empty cache must render hit_rate 0 inside *valid* JSON (a
+// NaN here used to serialize as a bare `nan` token no parser accepts).
+
+#include "service/metrics.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "util/json.h"
+#include "webdb/probe_cache.h"
+
+namespace aimq {
+namespace {
+
+TEST(ServiceMetricsTest, ZeroLookupCacheSnapshotIsValidJsonWithZeroHitRate) {
+  ServiceMetrics metrics;
+  ProbeCacheStats stats;  // no lookups yet
+  const Json snapshot = metrics.Snapshot(&stats);
+  const std::string dump = snapshot.Dump();
+  auto parsed = Json::Parse(dump);
+  ASSERT_TRUE(parsed.ok()) << "snapshot did not round-trip: " << dump;
+  const Json* cache = parsed->Find("probe_cache");
+  ASSERT_NE(cache, nullptr);
+  const Json* hit_rate = cache->Find("hit_rate");
+  ASSERT_NE(hit_rate, nullptr);
+  ASSERT_TRUE(hit_rate->is_number());
+  EXPECT_DOUBLE_EQ(hit_rate->AsNum(), 0.0);
+}
+
+TEST(ServiceMetricsTest, EmptyRegistrySnapshotRoundTrips) {
+  ServiceMetrics metrics;
+  const std::string dump = metrics.Snapshot().Dump();
+  auto parsed = Json::Parse(dump);
+  ASSERT_TRUE(parsed.ok()) << dump;
+  EXPECT_EQ(dump.find("nan"), std::string::npos);
+  EXPECT_DOUBLE_EQ(parsed->Find("accepted")->AsNum(), 0.0);
+  EXPECT_DOUBLE_EQ(parsed->Find("rejection_rate")->AsNum(), 0.0);
+}
+
+TEST(ServiceMetricsTest, SnapshotExposesPhaseHistograms) {
+  ServiceMetrics metrics;
+  metrics.OnPhases(0.001, 0.005, 0.0002);
+  metrics.OnPhases(0.002, 0.007, 0.0003);
+  const Json snapshot = metrics.Snapshot();
+  const Json* phases = snapshot.Find("phases");
+  ASSERT_NE(phases, nullptr);
+  for (const char* phase : {"base_set", "relax", "rank"}) {
+    const Json* h = phases->Find(phase);
+    ASSERT_NE(h, nullptr) << phase;
+    EXPECT_DOUBLE_EQ(h->Find("count")->AsNum(), 2.0) << phase;
+    EXPECT_GT(h->Find("p95_ms")->AsNum(), 0.0) << phase;
+  }
+  // Phase accessors track the same distributions.
+  EXPECT_EQ(metrics.phase_base_set().Snapshot().count, 2u);
+  EXPECT_EQ(metrics.phase_relax().Snapshot().count, 2u);
+  EXPECT_EQ(metrics.phase_rank().Snapshot().count, 2u);
+}
+
+TEST(ServiceMetricsTest, InFlightClampsAtZero) {
+  ServiceMetrics metrics;
+  metrics.OnCompleted(0.0, 0.001);  // completed without a matching accept
+  EXPECT_EQ(metrics.InFlight(), 0u);
+  metrics.OnAccepted();
+  metrics.OnAccepted();
+  EXPECT_EQ(metrics.InFlight(), 1u);
+}
+
+}  // namespace
+}  // namespace aimq

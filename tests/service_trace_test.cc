@@ -1,0 +1,274 @@
+// End-to-end tracing through the service: a traced request must yield a
+// well-formed span tree (request ⊇ queue_wait, execute ⊇ engine phases ⊇
+// probes), correlated by request id, at full worker concurrency. Also the
+// slow-query log (in-memory ring + NDJSON file) and the disabled fast path.
+//
+// The 8-worker test doubles as the TSan exercise for the tracing hot path.
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datagen/cardb.h"
+#include "gtest/gtest.h"
+#include "service/service.h"
+#include "util/json.h"
+#include "util/trace.h"
+
+namespace aimq {
+namespace {
+
+ImpreciseQuery ModelQuery(const std::string& model) {
+  ImpreciseQuery q;
+  q.Bind("Model", Value::Cat(model));
+  return q;
+}
+
+class ServiceTraceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CarDbSpec spec;
+    spec.num_tuples = 400;
+    spec.seed = 17;
+    Relation data = CarDbGenerator(spec).Generate();
+    db_ = new WebDatabase("CarDB", std::move(data));
+    options_ = new AimqOptions();
+    options_->collector.sample_size = 200;
+    options_->tsim = 0.4;
+    options_->top_k = 10;
+    options_->num_threads = 2;
+    auto knowledge = BuildKnowledge(*db_, *options_);
+    ASSERT_TRUE(knowledge.ok()) << knowledge.status().ToString();
+    knowledge_ = new MinedKnowledge(knowledge.TakeValue());
+  }
+  static void TearDownTestSuite() {
+    delete knowledge_;
+    delete options_;
+    delete db_;
+    knowledge_ = nullptr;
+    options_ = nullptr;
+    db_ = nullptr;
+  }
+
+  static std::unique_ptr<AimqService> MakeService(ServiceOptions sopts) {
+    auto service =
+        std::make_unique<AimqService>(db_, *knowledge_, *options_, sopts);
+    EXPECT_TRUE(service->Start().ok());
+    return service;
+  }
+
+  static WebDatabase* db_;
+  static AimqOptions* options_;
+  static MinedKnowledge* knowledge_;
+};
+
+WebDatabase* ServiceTraceTest::db_ = nullptr;
+AimqOptions* ServiceTraceTest::options_ = nullptr;
+MinedKnowledge* ServiceTraceTest::knowledge_ = nullptr;
+
+// [start, end] containment with identical endpoints allowed.
+bool Contains(const TraceEvent& outer, const TraceEvent& inner) {
+  const uint64_t outer_end = outer.start_nanos + outer.duration_nanos;
+  const uint64_t inner_end = inner.start_nanos + inner.duration_nanos;
+  return inner.start_nanos >= outer.start_nanos && inner_end <= outer_end;
+}
+
+TEST_F(ServiceTraceTest, EightWorkersYieldWellFormedSpanTreePerRequest) {
+  ServiceOptions sopts;
+  sopts.num_workers = 8;
+  sopts.queue_depth = 256;
+  sopts.enable_tracing = true;
+  auto service = MakeService(sopts);
+
+  const char* kModels[] = {"Camry", "Civic", "Altima", "Outback"};
+  constexpr int kPerSubmitter = 6;
+  std::atomic<int> completed{0};
+  std::vector<uint64_t> ids(4 * kPerSubmitter, 0);
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < 4; ++s) {
+    submitters.emplace_back([&, s] {
+      for (int i = 0; i < kPerSubmitter; ++i) {
+        const int slot = s * kPerSubmitter + i;
+        const Status submitted = service->Submit(
+            ModelQuery(kModels[(s + i) % 4]),
+            [&, slot](Result<QueryResponse> r) {
+              ASSERT_TRUE(r.ok()) << r.status().ToString();
+              ids[slot] = r->request_id;
+              completed.fetch_add(1);
+            });
+        ASSERT_TRUE(submitted.ok()) << submitted.ToString();
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  service->Drain();
+  ASSERT_EQ(completed.load(), 4 * kPerSubmitter);
+
+  ASSERT_NE(service->trace(), nullptr);
+  const std::vector<TraceEvent> events = service->trace()->Snapshot();
+  EXPECT_EQ(service->trace()->dropped(), 0u);
+
+  std::map<uint64_t, std::vector<const TraceEvent*>> by_request;
+  for (const TraceEvent& e : events) by_request[e.request_id].push_back(&e);
+
+  for (const uint64_t id : ids) {
+    ASSERT_NE(id, 0u);
+    auto it = by_request.find(id);
+    ASSERT_NE(it, by_request.end()) << "no spans for request " << id;
+    const TraceEvent* request = nullptr;
+    const TraceEvent* queue_wait = nullptr;
+    const TraceEvent* execute = nullptr;
+    std::map<std::string, int> counts;
+    for (const TraceEvent* e : it->second) {
+      ++counts[e->name];
+      if (e->name == "request") request = e;
+      if (e->name == "queue_wait") queue_wait = e;
+      if (e->name == "execute") execute = e;
+    }
+    // Exactly one root and one of each service-level child.
+    ASSERT_NE(request, nullptr) << id;
+    EXPECT_EQ(counts["request"], 1) << id;
+    EXPECT_EQ(counts["queue_wait"], 1) << id;
+    EXPECT_EQ(counts["execute"], 1) << id;
+    // Engine phases present, probes issued.
+    EXPECT_EQ(counts["base_set"], 1) << id;
+    EXPECT_EQ(counts["relax"], 1) << id;
+    EXPECT_EQ(counts["similarity_rank"], 1) << id;
+    EXPECT_GE(counts["probe"], 1) << id;
+    // Tree shape: every span nests inside the request; queue_wait and
+    // execute partition it front-to-back; engine spans nest inside execute.
+    ASSERT_NE(queue_wait, nullptr);
+    ASSERT_NE(execute, nullptr);
+    for (const TraceEvent* e : it->second) {
+      EXPECT_TRUE(Contains(*request, *e))
+          << e->name << " escapes request " << id;
+      if (e->category == "engine") {
+        EXPECT_TRUE(Contains(*execute, *e))
+            << e->name << " escapes execute for request " << id;
+      }
+    }
+    EXPECT_EQ(queue_wait->start_nanos, request->start_nanos) << id;
+    EXPECT_GE(execute->start_nanos,
+              queue_wait->start_nanos + queue_wait->duration_nanos)
+        << id;
+  }
+}
+
+TEST_F(ServiceTraceTest, ExplicitRequestIdRoundTrips) {
+  ServiceOptions sopts;
+  sopts.num_workers = 2;
+  sopts.enable_tracing = true;
+  auto service = MakeService(sopts);
+  auto response = service->Execute(ModelQuery("Camry"), /*deadline_ms=*/0,
+                                   /*request_id=*/777);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->request_id, 777u);
+  bool saw_tagged_span = false;
+  for (const TraceEvent& e : service->trace()->Snapshot()) {
+    if (e.request_id == 777u) saw_tagged_span = true;
+  }
+  EXPECT_TRUE(saw_tagged_span);
+}
+
+TEST_F(ServiceTraceTest, ChromeTraceJsonIsLoadable) {
+  ServiceOptions sopts;
+  sopts.num_workers = 2;
+  sopts.enable_tracing = true;
+  auto service = MakeService(sopts);
+  ASSERT_TRUE(service->Execute(ModelQuery("Civic")).ok());
+  const std::string dump = service->ChromeTraceJson().Dump();
+  auto parsed = Json::Parse(dump);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Json* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  EXPECT_FALSE(events->AsArr().empty());
+  for (const Json& e : events->AsArr()) {
+    EXPECT_EQ(e.Find("ph")->AsStr(), "X");
+    EXPECT_TRUE(e.Find("ts")->is_number());
+    EXPECT_TRUE(e.Find("dur")->is_number());
+    EXPECT_TRUE(e.Find("args")->Find("request_id")->is_number());
+  }
+}
+
+TEST_F(ServiceTraceTest, TracingDisabledRecordsNothingAndIdsStillAssigned) {
+  ServiceOptions sopts;
+  sopts.num_workers = 2;
+  auto service = MakeService(sopts);  // enable_tracing defaults to false
+  EXPECT_EQ(service->trace(), nullptr);
+  auto response = service->Execute(ModelQuery("Camry"));
+  ASSERT_TRUE(response.ok());
+  EXPECT_GT(response->request_id, 0u);  // correlation ids cost nothing
+  auto parsed = Json::Parse(service->ChromeTraceJson().Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->Find("traceEvents")->AsArr().empty());
+  EXPECT_TRUE(service->SlowQueries().empty());
+}
+
+TEST_F(ServiceTraceTest, SlowQueryLogCapturesSpanTreeInMemoryAndOnDisk) {
+  const std::string log_path =
+      ::testing::TempDir() + "/aimq_slow_query_test.ndjson";
+  std::remove(log_path.c_str());
+  ServiceOptions sopts;
+  sopts.num_workers = 2;
+  sopts.enable_tracing = true;
+  sopts.slow_query_ms = 1e-6;  // everything is "slow"
+  sopts.slow_query_log_path = log_path;
+  auto service = MakeService(sopts);
+  ASSERT_TRUE(service->Execute(ModelQuery("Camry")).ok());
+  ASSERT_TRUE(service->Execute(ModelQuery("Civic")).ok());
+  service->Drain();
+
+  const std::vector<Json> records = service->SlowQueries();
+  ASSERT_EQ(records.size(), 2u);
+  for (const Json& record : records) {
+    EXPECT_TRUE(record.Find("request_id")->is_number());
+    EXPECT_TRUE(record.Find("query")->is_string());
+    EXPECT_TRUE(record.Find("ok")->AsBool());
+    EXPECT_GT(record.Find("total_ms")->AsNum(), 0.0);
+    const Json* phases = record.Find("phases");
+    ASSERT_NE(phases, nullptr);
+    EXPECT_TRUE(phases->Find("relax_ms")->is_number());
+    const Json* spans = record.Find("spans");
+    ASSERT_NE(spans, nullptr);
+    ASSERT_TRUE(spans->is_array());
+    EXPECT_FALSE(spans->AsArr().empty());
+    bool saw_request_span = false;
+    for (const Json& span : spans->AsArr()) {
+      if (span.Find("name")->AsStr() == "request") saw_request_span = true;
+    }
+    EXPECT_TRUE(saw_request_span);
+  }
+
+  // Each NDJSON line on disk parses independently and mirrors the ring.
+  std::ifstream in(log_path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    auto parsed = Json::Parse(line);
+    ASSERT_TRUE(parsed.ok()) << line;
+    EXPECT_TRUE(parsed->Find("spans")->is_array());
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2);
+  std::remove(log_path.c_str());
+}
+
+TEST_F(ServiceTraceTest, BelowThresholdQueriesAreNotLogged) {
+  ServiceOptions sopts;
+  sopts.num_workers = 2;
+  sopts.enable_tracing = true;
+  sopts.slow_query_ms = 60'000.0;  // a minute — nothing qualifies
+  auto service = MakeService(sopts);
+  ASSERT_TRUE(service->Execute(ModelQuery("Camry")).ok());
+  EXPECT_TRUE(service->SlowQueries().empty());
+}
+
+}  // namespace
+}  // namespace aimq

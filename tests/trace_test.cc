@@ -1,0 +1,216 @@
+// TraceRecorder / TraceSpan unit tests: exact timestamps via a fake clock,
+// ring overwrite semantics, the disabled fast path, and the Chrome
+// trace-event JSON shape.
+
+#include "util/trace.h"
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/json.h"
+
+namespace aimq {
+namespace {
+
+// Hand-advanced clock: every NowNanos() call returns the current value and
+// advances by `step`, so span timestamps/durations are exact.
+class FakeClock : public TraceClock {
+ public:
+  explicit FakeClock(uint64_t start = 1000, uint64_t step = 0)
+      : now_(start), step_(step) {}
+
+  uint64_t NowNanos() const override {
+    return now_.fetch_add(step_, std::memory_order_relaxed);
+  }
+
+  void Advance(uint64_t nanos) {
+    now_.fetch_add(nanos, std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::atomic<uint64_t> now_;
+  const uint64_t step_;
+};
+
+TraceEvent MakeEvent(const char* name, uint64_t request_id = 0) {
+  TraceEvent e;
+  e.name = name;
+  e.category = "test";
+  e.request_id = request_id;
+  return e;
+}
+
+TEST(TraceRecorderTest, RecordsAndSnapshotsInOrder) {
+  TraceRecorder recorder(8);
+  recorder.Record(MakeEvent("a", 1));
+  recorder.Record(MakeEvent("b", 2));
+  recorder.Record(MakeEvent("c", 3));
+  const auto events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].name, "a");
+  EXPECT_EQ(events[1].name, "b");
+  EXPECT_EQ(events[2].name, "c");
+  EXPECT_EQ(events[2].request_id, 3u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+}
+
+TEST(TraceRecorderTest, RingOverwritesOldestAndCountsDropped) {
+  TraceRecorder recorder(3);
+  recorder.Record(MakeEvent("a"));
+  recorder.Record(MakeEvent("b"));
+  recorder.Record(MakeEvent("c"));
+  recorder.Record(MakeEvent("d"));
+  recorder.Record(MakeEvent("e"));
+  const auto events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].name, "c");  // oldest survivor
+  EXPECT_EQ(events[1].name, "d");
+  EXPECT_EQ(events[2].name, "e");
+  EXPECT_EQ(recorder.dropped(), 2u);
+}
+
+TEST(TraceRecorderTest, ZeroCapacityRetainsNothing) {
+  TraceRecorder recorder(0);
+  recorder.Record(MakeEvent("a"));
+  EXPECT_TRUE(recorder.Snapshot().empty());
+  EXPECT_EQ(recorder.dropped(), 1u);
+}
+
+TEST(TraceRecorderTest, DisabledRecorderDropsSilently) {
+  TraceRecorder recorder(8);
+  recorder.set_enabled(false);
+  EXPECT_FALSE(recorder.enabled());
+  recorder.Record(MakeEvent("a"));
+  EXPECT_TRUE(recorder.Snapshot().empty());
+  EXPECT_EQ(recorder.dropped(), 0u);
+  recorder.set_enabled(true);
+  recorder.Record(MakeEvent("b"));
+  ASSERT_EQ(recorder.Snapshot().size(), 1u);
+}
+
+TEST(TraceRecorderTest, ClearResetsRingAndDropCounter) {
+  TraceRecorder recorder(2);
+  recorder.Record(MakeEvent("a"));
+  recorder.Record(MakeEvent("b"));
+  recorder.Record(MakeEvent("c"));
+  EXPECT_EQ(recorder.dropped(), 1u);
+  recorder.Clear();
+  EXPECT_TRUE(recorder.Snapshot().empty());
+  EXPECT_EQ(recorder.dropped(), 0u);
+  recorder.Record(MakeEvent("d"));
+  ASSERT_EQ(recorder.Snapshot().size(), 1u);
+  EXPECT_EQ(recorder.Snapshot()[0].name, "d");
+}
+
+TEST(TraceSpanTest, FakeClockYieldsExactTimestamps) {
+  FakeClock clock(/*start=*/5000, /*step=*/0);
+  TraceRecorder recorder(8, &clock);
+  {
+    TraceSpan span(&recorder, "work", "test", 7);
+    clock.Advance(2500);
+    span.AddArg("items", 3.0);
+  }
+  const auto events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "work");
+  EXPECT_EQ(events[0].category, "test");
+  EXPECT_EQ(events[0].request_id, 7u);
+  EXPECT_EQ(events[0].start_nanos, 5000u);
+  EXPECT_EQ(events[0].duration_nanos, 2500u);
+  ASSERT_EQ(events[0].args.size(), 1u);
+  EXPECT_EQ(events[0].args[0].first, "items");
+  EXPECT_DOUBLE_EQ(events[0].args[0].second, 3.0);
+}
+
+TEST(TraceSpanTest, NullRecorderIsInert) {
+  TraceSpan span(nullptr, "work", "test", 1);
+  span.AddArg("x", 1.0);  // must not crash
+}
+
+TEST(TraceSpanTest, DisabledRecorderArmsNothing) {
+  FakeClock clock;
+  TraceRecorder recorder(8, &clock);
+  recorder.set_enabled(false);
+  { TraceSpan span(&recorder, "work", "test", 1); }
+  EXPECT_TRUE(recorder.Snapshot().empty());
+}
+
+TEST(TraceRecorderTest, ChromeTraceJsonShape) {
+  FakeClock clock(/*start=*/1'000'000, /*step=*/0);
+  TraceRecorder recorder(8, &clock);
+  {
+    TraceSpan span(&recorder, "probe", "engine", 42);
+    clock.Advance(3'000);  // 3 µs
+    span.AddArg("cache_hit", 1.0);
+  }
+  // The dump must parse back as JSON with the documented shape.
+  const std::string dump = recorder.ChromeTraceJson().Dump();
+  auto parsed = Json::Parse(dump);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Json& doc = *parsed;
+  ASSERT_TRUE(doc.is_object());
+  const Json* unit = doc.Find("displayTimeUnit");
+  ASSERT_NE(unit, nullptr);
+  EXPECT_EQ(unit->AsStr(), "ms");
+  const Json* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->AsArr().size(), 1u);
+  const Json& e = events->AsArr()[0];
+  EXPECT_EQ(e.Find("name")->AsStr(), "probe");
+  EXPECT_EQ(e.Find("cat")->AsStr(), "engine");
+  EXPECT_EQ(e.Find("ph")->AsStr(), "X");
+  EXPECT_DOUBLE_EQ(e.Find("ts")->AsNum(), 1'000.0);  // µs
+  EXPECT_DOUBLE_EQ(e.Find("dur")->AsNum(), 3.0);     // µs
+  EXPECT_DOUBLE_EQ(e.Find("pid")->AsNum(), 1.0);
+  const Json* args = e.Find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_DOUBLE_EQ(args->Find("request_id")->AsNum(), 42.0);
+  EXPECT_DOUBLE_EQ(args->Find("cache_hit")->AsNum(), 1.0);
+}
+
+TEST(TraceRecorderTest, EmptyChromeTraceJsonIsValid) {
+  const std::string dump = TraceRecorder::ToChromeTraceJson({}).Dump();
+  auto parsed = Json::Parse(dump);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->Find("traceEvents")->AsArr().empty());
+}
+
+TEST(TraceRecorderTest, ThreadIdsAreDistinctAndStable) {
+  const uint64_t mine = TraceRecorder::CurrentThreadId();
+  EXPECT_EQ(TraceRecorder::CurrentThreadId(), mine);  // stable per thread
+  std::set<uint64_t> ids;
+  std::mutex mu;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&] {
+      const uint64_t id = TraceRecorder::CurrentThreadId();
+      std::lock_guard<std::mutex> lock(mu);
+      ids.insert(id);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ids.size(), 4u);
+  EXPECT_EQ(ids.count(mine), 0u);
+}
+
+TEST(TraceRecorderTest, ConcurrentRecordsAllLand) {
+  TraceRecorder recorder(1024);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&recorder, t] {
+      for (int i = 0; i < 100; ++i) {
+        recorder.Record(MakeEvent("e", static_cast<uint64_t>(t)));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(recorder.Snapshot().size(), 400u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace aimq

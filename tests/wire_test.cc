@@ -123,6 +123,31 @@ TEST(WireRequestTest, ParsesPingAndStats) {
   EXPECT_EQ(stats->op, WireRequest::Op::kStats);
 }
 
+TEST(WireRequestTest, ParsesMetricsOp) {
+  auto req = ParseWireRequest(R"js({"op":"metrics","id":9})js");
+  ASSERT_TRUE(req.ok()) << req.status().ToString();
+  EXPECT_EQ(req->op, WireRequest::Op::kMetrics);
+  EXPECT_TRUE(req->has_id);
+  EXPECT_DOUBLE_EQ(req->id, 9.0);
+}
+
+TEST(WireRequestTest, ParsesOptionalRequestId) {
+  auto req = ParseWireRequest(
+      R"js({"op":"query","q":"Q(Model like 'Camry')","request_id":42})js");
+  ASSERT_TRUE(req.ok()) << req.status().ToString();
+  EXPECT_EQ(req->request_id, 42u);
+  auto without = ParseWireRequest(
+      R"js({"op":"query","q":"Q(Model like 'Camry')"})js");
+  ASSERT_TRUE(without.ok());
+  EXPECT_EQ(without->request_id, 0u);  // 0 = service-assigned
+  EXPECT_FALSE(ParseWireRequest(
+                   R"js({"op":"query","q":"x","request_id":-1})js")
+                   .ok());
+  EXPECT_FALSE(ParseWireRequest(
+                   R"js({"op":"query","q":"x","request_id":"abc"})js")
+                   .ok());
+}
+
 TEST(WireRequestTest, RejectsMalformedRequests) {
   const char* kBad[] = {
       "",                                   // empty line
