@@ -1,19 +1,39 @@
 // Microbenchmarks (google-benchmark) for the library's hot kernels:
-// stripped-partition construction and products, g3 error evaluation,
-// bag-Jaccard, supertuple construction, value-similarity mining, TANE, and
-// ROCK link computation. These quantify where the offline phases of Table 2
-// spend their time.
+// dictionary encoding, stripped-partition construction (row-store vs coded),
+// partition products, g3 error evaluation, bag-Jaccard (string vs coded),
+// probe scans (Value comparisons vs compiled code comparisons), supertuple
+// construction, value-similarity mining, TANE, and ROCK link computation.
+// These quantify where the offline phases of Table 2 spend their time and
+// prove the dictionary-encoded storage core's win over the row-store
+// baselines it replaced.
+//
+// Usage: micro_kernels [--json=<path>] [benchmark flags]
+//
+// --json= writes a machine-readable baseline (headline ns/op per kernel plus
+// the row-store/coded speedups and the git sha) in the same shape as the
+// fig6/fig7/service_throughput baselines; CI archives it as an artifact.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
 #include "afd/partition.h"
 #include "afd/tane.h"
+#include "bench_util.h"
 #include "datagen/cardb.h"
+#include "query/selection_query.h"
+#include "relation/columnar.h"
 #include "rock/rock.h"
 #include "similarity/supertuple.h"
 #include "similarity/value_similarity.h"
 #include "util/bag.h"
+#include "util/coded_bag.h"
 #include "util/rng.h"
+#include "util/strings.h"
+#include "webdb/coded_query.h"
 
 namespace aimq {
 namespace {
@@ -26,11 +46,40 @@ const Relation& CarSample(size_t n) {
     spec.num_tuples = n;
     spec.seed = 2006;
     it = cache->emplace(n, CarDbGenerator(spec).Generate()).first;
+    // Pre-build the columnar snapshot so coded kernels measure their own
+    // work, not first-touch encoding (BM_EncodeColumnar measures that).
+    (void)it->second.columnar();
   }
   return it->second;
 }
 
-void BM_PartitionFromColumn(benchmark::State& state) {
+// --- Storage core: encode ---------------------------------------------------
+
+void BM_EncodeColumnar(benchmark::State& state) {
+  const Relation& r = CarSample(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    ColumnarRelation cols(r);
+    benchmark::DoNotOptimize(cols);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(r.NumTuples()));
+}
+BENCHMARK(BM_EncodeColumnar)->Arg(25000)->Arg(100000);
+
+// --- Partition construction: row-store baseline vs coded --------------------
+
+void BM_PartitionBuildRow(benchmark::State& state) {
+  const Relation& r = CarSample(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        StrippedPartition::FromColumnRowStore(r, CarDbGenerator::kModel));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(r.NumTuples()));
+}
+BENCHMARK(BM_PartitionBuildRow)->Arg(10000)->Arg(50000)->Arg(100000);
+
+void BM_PartitionBuildCoded(benchmark::State& state) {
   const Relation& r = CarSample(static_cast<size_t>(state.range(0)));
   for (auto _ : state) {
     benchmark::DoNotOptimize(
@@ -39,7 +88,7 @@ void BM_PartitionFromColumn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(r.NumTuples()));
 }
-BENCHMARK(BM_PartitionFromColumn)->Arg(10000)->Arg(50000)->Arg(100000);
+BENCHMARK(BM_PartitionBuildCoded)->Arg(10000)->Arg(50000)->Arg(100000);
 
 void BM_PartitionProduct(benchmark::State& state) {
   const Relation& r = CarSample(static_cast<size_t>(state.range(0)));
@@ -67,6 +116,8 @@ void BM_FdError(benchmark::State& state) {
 }
 BENCHMARK(BM_FdError)->Arg(10000)->Arg(100000);
 
+// --- Bag Jaccard: string-keyed baseline vs sorted coded arrays --------------
+
 void BM_BagJaccard(benchmark::State& state) {
   Rng rng(7);
   Bag a, b;
@@ -79,6 +130,61 @@ void BM_BagJaccard(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BagJaccard)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_BagJaccardCoded(benchmark::State& state) {
+  // Same logical bags as BM_BagJaccard (same rng draws), keyword ids instead
+  // of rendered keyword strings.
+  Rng rng(7);
+  CodedBag a, b;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    a.Add(static_cast<uint32_t>(rng.Uniform(state.range(0))),
+          1 + rng.Uniform(9));
+    b.Add(static_cast<uint32_t>(rng.Uniform(state.range(0))),
+          1 + rng.Uniform(9));
+  }
+  a.Finalize();
+  b.Finalize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.JaccardSimilarity(b));
+  }
+}
+BENCHMARK(BM_BagJaccardCoded)->Arg(16)->Arg(256)->Arg(4096);
+
+// --- Probe scan: Value comparisons vs compiled code comparisons -------------
+
+SelectionQuery ProbeQuery() {
+  SelectionQuery q;
+  q.AddPredicate(Predicate::Eq("Make", Value::Cat("Toyota")));
+  q.AddPredicate(Predicate("Price", CompareOp::kLe, Value::Num(15000)));
+  return q;
+}
+
+void BM_ProbeScanRow(benchmark::State& state) {
+  const Relation& r = CarSample(static_cast<size_t>(state.range(0)));
+  const SelectionQuery q = ProbeQuery();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.Evaluate(r));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(r.NumTuples()));
+}
+BENCHMARK(BM_ProbeScanRow)->Arg(25000)->Arg(100000);
+
+void BM_ProbeScanCoded(benchmark::State& state) {
+  const Relation& r = CarSample(static_cast<size_t>(state.range(0)));
+  const SelectionQuery q = ProbeQuery();
+  const ColumnarRelation& cols = *r.columnar();
+  for (auto _ : state) {
+    // Compile + scan, as WebDatabase::ExecuteRows does per probe.
+    const CodedConjunction compiled = CodedConjunction::Compile(q, cols);
+    benchmark::DoNotOptimize(compiled.EvaluateAll());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(r.NumTuples()));
+}
+BENCHMARK(BM_ProbeScanCoded)->Arg(25000)->Arg(100000);
+
+// --- Offline phases ---------------------------------------------------------
 
 void BM_SuperTupleBuildAll(benchmark::State& state) {
   const Relation& r = CarSample(static_cast<size_t>(state.range(0)));
@@ -132,7 +238,99 @@ void BM_RockBuild2k(benchmark::State& state) {
 }
 BENCHMARK(BM_RockBuild2k)->Arg(10000)->Arg(25000)->Unit(benchmark::kMillisecond);
 
+// --- JSON baseline ----------------------------------------------------------
+
+// Records every per-iteration run's ns/op alongside the console output, so
+// one pass both prints the familiar table and feeds the JSON baseline.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      ns_per_op_[run.benchmark_name()] =
+          run.real_accumulated_time / iters * 1e9;
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::map<std::string, double>& ns_per_op() const { return ns_per_op_; }
+
+ private:
+  std::map<std::string, double> ns_per_op_;
+};
+
+// Row-store-ns / coded-ns at the largest argument both variants ran with.
+double SpeedupAtLargestArg(const std::map<std::string, double>& ns,
+                           const std::string& row_name,
+                           const std::string& coded_name) {
+  double best_arg = -1.0, row = 0.0, coded = 0.0;
+  for (const auto& [name, value] : ns) {
+    const size_t slash = name.rfind('/');
+    if (slash == std::string::npos) continue;
+    const std::string base = name.substr(0, slash);
+    if (base != row_name) continue;
+    const std::string arg = name.substr(slash);
+    const auto it = ns.find(coded_name + arg);
+    if (it == ns.end()) continue;
+    const double arg_value = std::strtod(arg.c_str() + 1, nullptr);
+    if (arg_value > best_arg) {
+      best_arg = arg_value;
+      row = value;
+      coded = it->second;
+    }
+  }
+  return coded > 0.0 ? row / coded : 0.0;
+}
+
+int RunMicroKernels(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (StartsWith(argv[i], "--json=")) {
+      json_path = std::string(argv[i]).substr(7);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (json_path.empty()) return 0;
+  Json kernels = Json::Obj();
+  for (const auto& [name, value] : reporter.ns_per_op()) {
+    kernels.Set(name, Json::Num(value));
+  }
+  Json speedups = Json::Obj();
+  speedups.Set("partition_build",
+               Json::Num(SpeedupAtLargestArg(reporter.ns_per_op(),
+                                             "BM_PartitionBuildRow",
+                                             "BM_PartitionBuildCoded")));
+  speedups.Set("bag_jaccard",
+               Json::Num(SpeedupAtLargestArg(reporter.ns_per_op(),
+                                             "BM_BagJaccard",
+                                             "BM_BagJaccardCoded")));
+  speedups.Set("probe_scan",
+               Json::Num(SpeedupAtLargestArg(reporter.ns_per_op(),
+                                             "BM_ProbeScanRow",
+                                             "BM_ProbeScanCoded")));
+  Json doc = Json::Obj();
+  doc.Set("bench", Json::Str("micro_kernels"));
+  doc.Set("git_sha", Json::Str(bench::GitSha()));
+  doc.Set("kernels", kernels);
+  doc.Set("speedups", speedups);
+  return bench::WriteJsonFile(json_path, doc) ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace aimq
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return aimq::RunMicroKernels(argc, argv); }

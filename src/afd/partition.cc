@@ -28,6 +28,40 @@ StrippedPartition StrippedPartition::Universe(size_t num_rows) {
 
 StrippedPartition StrippedPartition::FromColumn(const Relation& relation,
                                                 size_t attr_index) {
+  return FromColumnCoded(*relation.columnar(), attr_index);
+}
+
+StrippedPartition StrippedPartition::FromColumnCoded(
+    const ColumnarRelation& data, size_t attr_index) {
+  const std::vector<ValueId>& codes = data.codes(attr_index);
+  const size_t card = data.dict(attr_index).size();
+  // Dense counting: one bucket per dictionary code, plus one for null. Each
+  // NaN occurrence owns a fresh code, so NaN rows land in singleton buckets
+  // and are stripped — the same classes the Value-keyed grouping produced.
+  std::vector<uint32_t> counts(card + 1, 0);
+  for (ValueId code : codes) {
+    counts[code == ValueDict::kNullCode ? card : code]++;
+  }
+  std::vector<std::vector<size_t>> buckets(card + 1);
+  for (size_t slot = 0; slot <= card; ++slot) {
+    if (counts[slot] >= 2) buckets[slot].reserve(counts[slot]);
+  }
+  for (size_t r = 0; r < codes.size(); ++r) {
+    const size_t slot = codes[r] == ValueDict::kNullCode ? card : codes[r];
+    if (counts[slot] >= 2) buckets[slot].push_back(r);
+  }
+  std::vector<std::vector<size_t>> classes;
+  for (auto& rows : buckets) {
+    if (rows.size() >= 2) classes.push_back(std::move(rows));
+  }
+  // Deterministic class order (by first row), matching the row-store build.
+  std::sort(classes.begin(), classes.end(),
+            [](const auto& a, const auto& b) { return a[0] < b[0]; });
+  return StrippedPartition(data.NumRows(), std::move(classes));
+}
+
+StrippedPartition StrippedPartition::FromColumnRowStore(
+    const Relation& relation, size_t attr_index) {
   std::unordered_map<Value, std::vector<size_t>, ValueHash> groups;
   groups.reserve(relation.NumTuples());
   for (size_t r = 0; r < relation.NumTuples(); ++r) {

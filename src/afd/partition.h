@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "relation/columnar.h"
 #include "relation/relation.h"
 
 namespace aimq {
@@ -23,9 +24,20 @@ class StrippedPartition {
   static StrippedPartition Universe(size_t num_rows);
 
   /// π_{A}: rows grouped by the value of the attribute at \p attr_index.
-  /// Nulls compare equal to each other (they form one class).
+  /// Nulls compare equal to each other (they form one class). Runs over the
+  /// relation's dictionary-encoded columnar snapshot: rows are grouped by
+  /// dense value code with a counting pass, not a Value-keyed hash map.
   static StrippedPartition FromColumn(const Relation& relation,
                                       size_t attr_index);
+
+  /// As FromColumn, over an existing columnar snapshot.
+  static StrippedPartition FromColumnCoded(const ColumnarRelation& data,
+                                           size_t attr_index);
+
+  /// Historical row-store grouping (Value-keyed hash map). Kept as the
+  /// benchmark baseline and equivalence oracle for FromColumnCoded.
+  static StrippedPartition FromColumnRowStore(const Relation& relation,
+                                              size_t attr_index);
 
   /// π_{X∪Y} from π_X (this) and π_Y (\p other): TANE's linear-time
   /// partition product.

@@ -62,13 +62,17 @@ AimqEngine::AimqEngine(const WebDatabase* source, MinedKnowledge knowledge,
     all_attrs_.push_back(i);
   }
   // Numeric attribute ranges observed in the sample, for min-max scaling.
+  // The sample's dictionaries list each distinct value once in first-seen
+  // order, which folds to the same extrema as a full row scan.
   std::vector<std::pair<double, double>> ranges(schema.NumAttributes(),
                                                 {0.0, 0.0});
+  const std::shared_ptr<const ColumnarRelation> sample_cols =
+      knowledge_.sample.columnar();
   for (size_t attr : schema.NumericIndices()) {
     bool seen = false;
-    for (const Tuple& t : knowledge_.sample.tuples()) {
-      if (!t.At(attr).is_numeric()) continue;
-      double d = t.At(attr).AsNum();
+    for (const Value& v : sample_cols->dict(attr).values()) {
+      if (!v.is_numeric()) continue;
+      double d = v.AsNum();
       if (!seen) {
         ranges[attr] = {d, d};
         seen = true;
@@ -79,6 +83,7 @@ AimqEngine::AimqEngine(const WebDatabase* source, MinedKnowledge knowledge,
     }
   }
   sim_.SetNumericRanges(std::move(ranges));
+  coded_sim_ = CodedSimilarityFunction(&sim_, source_->columnar());
 }
 
 std::vector<size_t> AimqEngine::MinedOrderFor(const Tuple& tuple) const {
@@ -91,16 +96,16 @@ std::vector<size_t> AimqEngine::MinedOrderFor(const Tuple& tuple) const {
   return order;
 }
 
-Result<std::vector<Tuple>> AimqEngine::Probe(const SelectionQuery& query,
-                                             RelaxationStats* stats,
-                                             ProbeContext* ctx, bool* fresh,
-                                             uint64_t trace_id) {
+Result<std::vector<uint32_t>> AimqEngine::Probe(const SelectionQuery& query,
+                                                RelaxationStats* stats,
+                                                ProbeContext* ctx, bool* fresh,
+                                                uint64_t trace_id) {
   TraceSpan span(trace_, "probe", "engine", trace_id);
   if (fresh != nullptr) *fresh = false;
   if (probe_cache_ != nullptr && probe_cache_->capacity() > 0) {
     bool hit = false;
-    AIMQ_ASSIGN_OR_RETURN(std::vector<Tuple> tuples,
-                          probe_cache_->Execute(*source_, query, &hit));
+    AIMQ_ASSIGN_OR_RETURN(std::vector<uint32_t> rows,
+                          probe_cache_->ExecuteRows(*source_, query, &hit));
     span.AddArg("cache_hit", hit ? 1.0 : 0.0);
     if (stats != nullptr) {
       if (hit) {
@@ -111,12 +116,12 @@ Result<std::vector<Tuple>> AimqEngine::Probe(const SelectionQuery& query,
       }
     }
     if (fresh != nullptr) *fresh = !hit;
-    return tuples;
+    return rows;
   }
 
   // No shared cache: a per-call memo still folds identical relaxed queries
   // (base tuples of the same model share deep relaxations) into one probe.
-  const std::string key = ProbeCache::CanonicalKey(query);
+  const std::string key = source_->CodedProbeKey(query);
   if (ctx != nullptr) {
     std::lock_guard<std::mutex> lock(ctx->mu);
     auto it = ctx->memo.find(key);
@@ -126,25 +131,28 @@ Result<std::vector<Tuple>> AimqEngine::Probe(const SelectionQuery& query,
       return it->second;
     }
   }
-  AIMQ_ASSIGN_OR_RETURN(std::vector<Tuple> tuples, source_->Execute(query));
+  AIMQ_ASSIGN_OR_RETURN(std::vector<uint32_t> rows,
+                        source_->ExecuteRows(query));
   span.AddArg("cache_hit", 0.0);
   if (stats != nullptr) ++stats->queries_issued;
   if (fresh != nullptr) *fresh = true;
   if (ctx != nullptr) {
     std::lock_guard<std::mutex> lock(ctx->mu);
-    ctx->memo.emplace(key, tuples);
+    ctx->memo.emplace(key, rows);
   }
-  return tuples;
+  return rows;
 }
 
 Result<std::vector<Tuple>> AimqEngine::DeriveBaseSet(
     const ImpreciseQuery& query, RelaxationStats* stats,
     const QueryControl* control) {
   ProbeContext ctx;
-  return DeriveBaseSetImpl(query, stats, &ctx, control);
+  AIMQ_ASSIGN_OR_RETURN(std::vector<uint32_t> rows,
+                        DeriveBaseSetImpl(query, stats, &ctx, control));
+  return source_->Materialize(rows);
 }
 
-Result<std::vector<Tuple>> AimqEngine::DeriveBaseSetImpl(
+Result<std::vector<uint32_t>> AimqEngine::DeriveBaseSetImpl(
     const ImpreciseQuery& query, RelaxationStats* stats, ProbeContext* ctx,
     const QueryControl* control) {
   AIMQ_RETURN_NOT_OK(query.Validate(source_->schema()));
@@ -157,7 +165,7 @@ Result<std::vector<Tuple>> AimqEngine::DeriveBaseSetImpl(
     AIMQ_RETURN_NOT_OK(control->Check("base-set derivation"));
   }
   bool fresh = false;
-  AIMQ_ASSIGN_OR_RETURN(std::vector<Tuple> answers,
+  AIMQ_ASSIGN_OR_RETURN(std::vector<uint32_t> answers,
                         Probe(base, stats, ctx, &fresh, trace_id));
   if (stats != nullptr && fresh) stats->tuples_extracted += answers.size();
   if (!answers.empty()) return answers;
@@ -185,7 +193,7 @@ Result<std::vector<Tuple>> AimqEngine::DeriveBaseSetImpl(
       drop.push_back(source_->schema().attribute(attr).name);
     }
     SelectionQuery generalized = base.DropAttributes(drop);
-    AIMQ_ASSIGN_OR_RETURN(std::vector<Tuple> relaxed_answers,
+    AIMQ_ASSIGN_OR_RETURN(std::vector<uint32_t> relaxed_answers,
                           Probe(generalized, stats, ctx, &fresh, trace_id));
     if (stats != nullptr && fresh) {
       stats->tuples_extracted += relaxed_answers.size();
@@ -242,25 +250,31 @@ size_t AimqEngine::answer_cache_size() const {
 }
 
 AimqEngine::TupleExpansion AimqEngine::ExpandBaseTuple(
-    const ImpreciseQuery& query, const Tuple& tuple, size_t base_index,
-    RelaxationStrategy strategy, RelaxationStats* stats, ProbeContext* ctx,
-    const QueryControl* control) {
+    const CodedSimilarityFunction::EncodedQuery& enc_query, uint32_t base_row,
+    size_t base_index, RelaxationStrategy strategy, RelaxationStats* stats,
+    ProbeContext* ctx, const QueryControl* control) {
   const uint64_t trace_id = control != nullptr ? control->trace_id() : 0;
   TraceSpan span(trace_, "relax_tuple", "engine", trace_id);
   span.AddArg("base_index", static_cast<double>(base_index));
+  const ColumnarRelation& cols = *coded_sim_.cols();
   TupleExpansion out;
-  std::unordered_set<Tuple, TupleHash> offered;
-  auto offer = [&](const Tuple& t) -> Status {
-    if (!offered.insert(t).second) return Status::OK();
-    AIMQ_ASSIGN_OR_RETURN(double score, sim_.QueryTupleSim(query, t));
-    out.offers.emplace_back(t, score);
-    return Status::OK();
+  std::unordered_set<uint32_t> offered;
+  auto offer = [&](uint32_t row) {
+    const uint32_t canon = cols.CanonicalRow(row);
+    if (!offered.insert(canon).second) return;
+    out.offers.emplace_back(canon, coded_sim_.Score(enc_query, canon));
   };
 
   // Base-set tuples match Q exactly on every bound attribute; the base tuple
   // leads its own expansion so merge order equals base-set order.
-  out.status = offer(tuple);
-  if (!out.status.ok()) return out;
+  offer(base_row);
+
+  // The relaxer and the mined order need the tuple's values; everything else
+  // in the loop runs on codes.
+  const Tuple& tuple = source_->tuple(base_row);
+  const uint32_t base_canon = cols.CanonicalRow(base_row);
+  const CodedSimilarityFunction::EncodedQuery enc_anchor =
+      coded_sim_.EncodeAnchorRow(base_row, all_attrs_);
 
   // RandomRelax order: a pure function of (seed, base-set position), never
   // of scheduling — answers stay identical at any thread count.
@@ -283,7 +297,7 @@ AimqEngine::TupleExpansion AimqEngine::ExpandBaseTuple(
     }
     SelectionQuery q = relaxer.Next();
     bool fresh = false;
-    Result<std::vector<Tuple>> extracted =
+    Result<std::vector<uint32_t>> extracted =
         Probe(q, stats, ctx, &fresh, trace_id);
     if (!extracted.ok()) {
       out.status = extracted.status();
@@ -292,14 +306,13 @@ AimqEngine::TupleExpansion AimqEngine::ExpandBaseTuple(
     if (stats != nullptr && fresh) {
       stats->tuples_extracted += extracted->size();
     }
-    for (const Tuple& candidate : *extracted) {
-      if (candidate == tuple) continue;
-      double s = sim_.TupleTupleSim(tuple, candidate, all_attrs_);
+    for (const uint32_t candidate : *extracted) {
+      if (cols.CanonicalRow(candidate) == base_canon) continue;
+      double s = coded_sim_.Score(enc_anchor, candidate);
       if (s > options_.tsim) {
         ++relevant_for_tuple;
         if (stats != nullptr) ++stats->tuples_relevant;
-        out.status = offer(candidate);
-        if (!out.status.ok()) return out;
+        offer(candidate);
       }
     }
   }
@@ -311,7 +324,11 @@ Result<std::vector<RankedAnswer>> AimqEngine::AnswerUncached(
     RelaxationStats* stats, const QueryControl* control, bool* truncated) {
   const uint64_t trace_id = control != nullptr ? control->trace_id() : 0;
   ProbeContext ctx;
-  std::vector<Tuple> base_set;
+  // Q is already validated (Answer's entry check), so encoding cannot fail;
+  // encode once and share the integer-resolved bindings with every worker.
+  AIMQ_ASSIGN_OR_RETURN(const CodedSimilarityFunction::EncodedQuery enc_query,
+                        coded_sim_.EncodeQuery(query));
+  std::vector<uint32_t> base_set;
   {
     PhaseTimer phase(stats == nullptr ? nullptr : &stats->base_set_seconds);
     TraceSpan span(trace_, "base_set", "engine", trace_id);
@@ -321,14 +338,13 @@ Result<std::vector<RankedAnswer>> AimqEngine::AnswerUncached(
         base_set.size() > options_.base_set_limit) {
       // Keep the base tuples closest to Q (matters when the base query had to
       // be generalized and its answers no longer satisfy Q exactly).
-      TopK<Tuple> best(options_.base_set_limit);
-      for (Tuple& t : base_set) {
-        AIMQ_ASSIGN_OR_RETURN(double score, sim_.QueryTupleSim(query, t));
-        best.Add(score, std::move(t));
+      TopK<uint32_t> best(options_.base_set_limit);
+      for (uint32_t row : base_set) {
+        best.Add(coded_sim_.Score(enc_query, row), row);
       }
       base_set.clear();
-      for (auto& [score, t] : best.Extract()) {
-        base_set.push_back(std::move(t));
+      for (auto& [score, row] : best.Extract()) {
+        base_set.push_back(row);
       }
     }
   }
@@ -343,8 +359,8 @@ Result<std::vector<RankedAnswer>> AimqEngine::AnswerUncached(
     TraceSpan span(trace_, "relax", "engine", trace_id);
     span.AddArg("base_set_size", static_cast<double>(base_set.size()));
     ParallelFor(base_set.size(), options_.num_threads, [&](size_t i) {
-      expansions[i] = ExpandBaseTuple(query, base_set[i], i, strategy, stats,
-                                      &ctx, control);
+      expansions[i] = ExpandBaseTuple(enc_query, base_set[i], i, strategy,
+                                      stats, &ctx, control);
     });
     for (const TupleExpansion& e : expansions) {
       AIMQ_RETURN_NOT_OK(e.status);
@@ -365,8 +381,8 @@ Result<std::vector<RankedAnswer>> AimqEngine::AnswerUncached(
   // bit-identical to the serial path at any thread count.
   PhaseTimer phase(stats == nullptr ? nullptr : &stats->rank_seconds);
   TraceSpan span(trace_, "similarity_rank", "engine", trace_id);
-  std::unordered_set<Tuple, TupleHash> pool;
-  TopK<Tuple> topk(options_.top_k);
+  std::unordered_set<uint32_t> pool;  // canonical rows: equality of tuples
+  TopK<uint32_t> topk(options_.top_k);
   for (const TupleExpansion& e : expansions) {
     for (const auto& [candidate, score] : e.offers) {
       if (!pool.insert(candidate).second) continue;
@@ -374,8 +390,8 @@ Result<std::vector<RankedAnswer>> AimqEngine::AnswerUncached(
     }
   }
   std::vector<RankedAnswer> out;
-  for (auto& [score, tuple] : topk.Extract()) {
-    out.push_back(RankedAnswer{std::move(tuple), score});
+  for (auto& [score, row] : topk.Extract()) {
+    out.push_back(RankedAnswer{source_->tuple(row), score});
   }
   return out;
 }
@@ -390,7 +406,24 @@ Result<std::vector<RankedAnswer>> AimqEngine::FindSimilar(
   const uint64_t trace_id = control != nullptr ? control->trace_id() : 0;
   TraceSpan span(trace_, "find_similar", "engine", trace_id);
   ProbeContext ctx;
-  std::unordered_set<Tuple, TupleHash> seen;
+  const ColumnarRelation& cols = *coded_sim_.cols();
+  // The anchor is an arbitrary caller tuple: resolve it against the source's
+  // dictionaries once. Values the source never stored get the absent code,
+  // which no row carries — exactly Tuple inequality (including NaN ≠ NaN).
+  const CodedSimilarityFunction::EncodedQuery enc_anchor =
+      coded_sim_.EncodeAnchor(anchor, all_attrs_);
+  std::vector<ValueId> anchor_codes;
+  anchor_codes.reserve(anchor.Size());
+  for (size_t a = 0; a < anchor.Size(); ++a) {
+    anchor_codes.push_back(cols.dict(a).Lookup(anchor.At(a)));
+  }
+  auto equals_anchor = [&](uint32_t row) {
+    for (size_t a = 0; a < anchor_codes.size(); ++a) {
+      if (cols.codes(a)[row] != anchor_codes[a]) return false;
+    }
+    return true;
+  };
+  std::unordered_set<uint32_t> seen;  // canonical rows
   std::vector<RankedAnswer> relevant;
 
   // Progressive descent (paper §6.3 protocol): keep weakening one query —
@@ -412,15 +445,15 @@ Result<std::vector<RankedAnswer>> AimqEngine::FindSimilar(
     // progressive, so the tuples gathered so far are the answer.
     if (control != nullptr && control->ShouldStop()) break;
     SelectionQuery q = relaxer.Next();
-    AIMQ_ASSIGN_OR_RETURN(std::vector<Tuple> extracted,
+    AIMQ_ASSIGN_OR_RETURN(std::vector<uint32_t> extracted,
                           Probe(q, stats, &ctx, nullptr, trace_id));
-    for (const Tuple& candidate : extracted) {
-      if (candidate == anchor) continue;
-      if (!seen.insert(candidate).second) continue;
+    for (const uint32_t candidate : extracted) {
+      if (equals_anchor(candidate)) continue;
+      if (!seen.insert(cols.CanonicalRow(candidate)).second) continue;
       if (stats != nullptr) ++stats->tuples_extracted;
-      double s = sim_.TupleTupleSim(anchor, candidate, all_attrs_);
+      double s = coded_sim_.Score(enc_anchor, candidate);
       if (s >= tsim) {
-        relevant.push_back(RankedAnswer{candidate, s});
+        relevant.push_back(RankedAnswer{source_->tuple(candidate), s});
         if (stats != nullptr) ++stats->tuples_relevant;
       }
     }

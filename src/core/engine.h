@@ -238,18 +238,21 @@ class AimqEngine {
  private:
   // Per-call probe bookkeeping: when no shared ProbeCache is attached, memo
   // preserves the historical per-Answer dedup of identical relaxed queries.
-  // Guarded by mu so parallel workers share it.
+  // Entries are row-id vectors keyed on coded probe keys, like the shared
+  // cache. Guarded by mu so parallel workers share it.
   struct ProbeContext {
     std::mutex mu;
-    std::unordered_map<std::string, std::vector<Tuple>> memo;
+    std::unordered_map<std::string, std::vector<uint32_t>> memo;
   };
 
   // One base tuple's contribution to the candidate pool, produced by a
   // worker of the relaxation fan-out and merged in base-set order.
   struct TupleExpansion {
     Status status = Status::OK();
-    // (candidate, Sim(Q, candidate)) in discovery order, deduped per worker.
-    std::vector<std::pair<Tuple, double>> offers;
+    // (canonical candidate row, Sim(Q, candidate)) in discovery order,
+    // deduped per worker. Rows are canonicalized so duplicate tuples under
+    // distinct row ids merge exactly as Tuple-keyed dedup did.
+    std::vector<std::pair<uint32_t, double>> offers;
     // The expansion stopped early because the query was cancelled or
     // deadlined; offers hold only what was gathered before the stop.
     bool truncated = false;
@@ -259,26 +262,28 @@ class AimqEngine {
   std::vector<size_t> MinedOrderFor(const Tuple& tuple) const;
 
   // All source probes of the query path go through here: shared ProbeCache
-  // if attached, per-call memo otherwise. \p fresh (optional) reports
-  // whether the source was physically probed. \p trace_id tags the probe's
-  // trace span with the request being served.
-  Result<std::vector<Tuple>> Probe(const SelectionQuery& query,
-                                   RelaxationStats* stats, ProbeContext* ctx,
-                                   bool* fresh = nullptr,
-                                   uint64_t trace_id = 0);
+  // if attached, per-call memo otherwise. Probes travel as row ids end to
+  // end; nothing materializes until the API edge. \p fresh (optional)
+  // reports whether the source was physically probed. \p trace_id tags the
+  // probe's trace span with the request being served.
+  Result<std::vector<uint32_t>> Probe(const SelectionQuery& query,
+                                      RelaxationStats* stats,
+                                      ProbeContext* ctx, bool* fresh = nullptr,
+                                      uint64_t trace_id = 0);
 
   // Algorithm 1 steps 2-8 for one base tuple (runs on a worker thread).
-  TupleExpansion ExpandBaseTuple(const ImpreciseQuery& query,
-                                 const Tuple& tuple, size_t base_index,
-                                 RelaxationStrategy strategy,
-                                 RelaxationStats* stats, ProbeContext* ctx,
-                                 const QueryControl* control);
+  // \p enc_query is Q pre-encoded against the source's columnar snapshot,
+  // shared read-only by all workers of one Answer() call.
+  TupleExpansion ExpandBaseTuple(
+      const CodedSimilarityFunction::EncodedQuery& enc_query,
+      uint32_t base_row, size_t base_index, RelaxationStrategy strategy,
+      RelaxationStats* stats, ProbeContext* ctx, const QueryControl* control);
 
-  // DeriveBaseSet against an existing probe context.
-  Result<std::vector<Tuple>> DeriveBaseSetImpl(const ImpreciseQuery& query,
-                                               RelaxationStats* stats,
-                                               ProbeContext* ctx,
-                                               const QueryControl* control);
+  // DeriveBaseSet against an existing probe context, as row ids.
+  Result<std::vector<uint32_t>> DeriveBaseSetImpl(const ImpreciseQuery& query,
+                                                  RelaxationStats* stats,
+                                                  ProbeContext* ctx,
+                                                  const QueryControl* control);
 
   // Uncached Algorithm 1.
   Result<std::vector<RankedAnswer>> AnswerUncached(const ImpreciseQuery& query,
@@ -291,6 +296,10 @@ class AimqEngine {
   MinedKnowledge knowledge_;
   AimqOptions options_;
   SimilarityFunction sim_;
+  // Code-level scorer over the source's columnar snapshot: the hot paths
+  // (base-set ranking, relaxation scoring) run on dictionary codes and
+  // produce bit-identical doubles to sim_.
+  CodedSimilarityFunction coded_sim_;
   std::vector<size_t> all_attrs_;
   // Probe dedup layer shared by every query this engine (and any engine
   // sharing the pointer) answers.

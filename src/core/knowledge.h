@@ -21,13 +21,16 @@ namespace aimq {
 /// supertuple-generation and similarity-estimation components).
 struct OfflineTimings {
   double collect_seconds = 0.0;
+  /// Building the sample's dictionary-encoded columnar snapshot (every later
+  /// phase — partitions, supertuple bags — runs on its codes).
+  double encode_seconds = 0.0;
   double dependency_mining_seconds = 0.0;
   double supertuple_seconds = 0.0;
   double similarity_estimation_seconds = 0.0;
 
   double TotalSeconds() const {
-    return collect_seconds + dependency_mining_seconds + supertuple_seconds +
-           similarity_estimation_seconds;
+    return collect_seconds + encode_seconds + dependency_mining_seconds +
+           supertuple_seconds + similarity_estimation_seconds;
   }
 };
 

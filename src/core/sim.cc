@@ -10,31 +10,12 @@ double SimilarityFunction::AttributeSim(size_t attr, const Value& query_value,
   if (schema_->attribute(attr).type == AttrType::kCategorical) {
     return vsim_->VSim(attr, query_value, tuple_value);
   }
-  const double q = query_value.AsNum();
-  const double t = tuple_value.AsNum();
-  // A zero scale falls back to 1 to avoid dividing by zero.
-  const double rel_scale = std::abs(q) == 0.0 ? 1.0 : std::abs(q);
-
-  switch (numeric_kind_) {
-    case NumericSimKind::kMinMaxScaled:
-      if (attr < ranges_.size() && ranges_[attr].second > ranges_[attr].first) {
-        double span = ranges_[attr].second - ranges_[attr].first;
-        double distance = std::abs(q - t) / span;
-        return distance > 1.0 ? 0.0 : 1.0 - distance;
-      }
-      [[fallthrough]];  // no range known: use the paper's formula
-    case NumericSimKind::kQueryRelative: {
-      // 1 − |q − t| / |q|, clamped to [0,1] (the paper caps the distance).
-      double distance = std::abs(q - t) / rel_scale;
-      if (distance > 1.0) distance = 1.0;
-      return 1.0 - distance;
-    }
-    case NumericSimKind::kGaussian: {
-      double z = std::abs(q - t) / (0.25 * rel_scale);
-      return std::exp(-z * z);
-    }
-  }
-  return 0.0;
+  const bool has_range =
+      attr < ranges_.size() && ranges_[attr].second > ranges_[attr].first;
+  return NumericAttributeSim(numeric_kind_, has_range,
+                             has_range ? ranges_[attr].first : 0.0,
+                             has_range ? ranges_[attr].second : 0.0,
+                             query_value.AsNum(), tuple_value.AsNum());
 }
 
 Result<double> SimilarityFunction::QueryTupleSim(const ImpreciseQuery& query,
@@ -78,6 +59,138 @@ double SimilarityFunction::TupleTupleSim(const Tuple& anchor,
     return total / static_cast<double>(attrs.size());
   }
   return sim / weight_sum;
+}
+
+CodedSimilarityFunction::CodedSimilarityFunction(
+    const SimilarityFunction* base, std::shared_ptr<const ColumnarRelation> cols)
+    : base_(base), cols_(std::move(cols)) {
+  const Schema& schema = cols_->schema();
+  code_to_model_.resize(schema.NumAttributes());
+  for (size_t a = 0; a < schema.NumAttributes(); ++a) {
+    if (schema.attribute(a).type != AttrType::kCategorical) continue;
+    const ValueDict& dict = cols_->dict(a);
+    code_to_model_[a].resize(dict.size());
+    for (ValueId c = 0; c < dict.size(); ++c) {
+      code_to_model_[a][c] =
+          static_cast<int32_t>(base_->vsim_model().ModelIndexOf(a, dict.value(c)));
+    }
+  }
+}
+
+Result<CodedSimilarityFunction::EncodedQuery>
+CodedSimilarityFunction::EncodeQuery(const ImpreciseQuery& query) const {
+  const Schema& schema = cols_->schema();
+  EncodedQuery out;
+  out.bindings.reserve(query.NumBindings());
+  for (const ImpreciseQuery::Binding& b : query.bindings()) {
+    AIMQ_ASSIGN_OR_RETURN(size_t attr, schema.IndexOf(b.attribute));
+    EncodedBinding e;
+    e.attr = attr;
+    e.weight = base_->ordering().Wimp(attr);
+    e.categorical = schema.attribute(attr).type == AttrType::kCategorical;
+    e.is_null = b.value.is_null();
+    if (!e.is_null) {
+      if (e.categorical) {
+        e.code = cols_->dict(attr).Lookup(b.value);
+        e.model_index = base_->vsim_model().ModelIndexOf(attr, b.value);
+      } else {
+        e.num = b.value.AsNum();
+      }
+    }
+    out.bindings.push_back(e);
+  }
+  return out;
+}
+
+CodedSimilarityFunction::EncodedQuery CodedSimilarityFunction::EncodeAnchor(
+    const Tuple& anchor, const std::vector<size_t>& attrs) const {
+  const Schema& schema = cols_->schema();
+  EncodedQuery out;
+  out.bindings.reserve(attrs.size());
+  for (size_t attr : attrs) {
+    const Value& v = anchor.At(attr);
+    EncodedBinding e;
+    e.attr = attr;
+    e.weight = base_->ordering().Wimp(attr);
+    e.categorical = schema.attribute(attr).type == AttrType::kCategorical;
+    e.is_null = v.is_null();
+    if (!e.is_null) {
+      if (e.categorical) {
+        e.code = cols_->dict(attr).Lookup(v);
+        e.model_index = base_->vsim_model().ModelIndexOf(attr, v);
+      } else {
+        e.num = v.AsNum();
+      }
+    }
+    out.bindings.push_back(e);
+  }
+  return out;
+}
+
+CodedSimilarityFunction::EncodedQuery CodedSimilarityFunction::EncodeAnchorRow(
+    uint32_t row, const std::vector<size_t>& attrs) const {
+  const Schema& schema = cols_->schema();
+  EncodedQuery out;
+  out.bindings.reserve(attrs.size());
+  for (size_t attr : attrs) {
+    const ValueId code = cols_->codes(attr)[row];
+    EncodedBinding e;
+    e.attr = attr;
+    e.weight = base_->ordering().Wimp(attr);
+    e.categorical = schema.attribute(attr).type == AttrType::kCategorical;
+    e.is_null = code == ValueDict::kNullCode;
+    if (!e.is_null) {
+      if (e.categorical) {
+        e.code = code;
+        e.model_index = code_to_model_[attr][code];
+      } else {
+        e.num = cols_->nums(attr)[row];
+      }
+    }
+    out.bindings.push_back(e);
+  }
+  return out;
+}
+
+double CodedSimilarityFunction::AttrSim(const EncodedBinding& b,
+                                        uint32_t row) const {
+  if (b.is_null) return 0.0;
+  const ValueId tc = cols_->codes(b.attr)[row];
+  if (tc == ValueDict::kNullCode) return 0.0;
+  if (b.categorical) {
+    // VSim(a, b): equal values score 1 even when unmined; code equality is
+    // value equality within one dictionary.
+    if (tc == b.code) return 1.0;
+    if (b.model_index < 0) return 0.0;
+    const int32_t tm = code_to_model_[b.attr][tc];
+    if (tm < 0) return 0.0;
+    return base_->vsim_model().VSimByIndex(
+        b.attr, static_cast<size_t>(b.model_index), static_cast<size_t>(tm));
+  }
+  const std::vector<std::pair<double, double>>& ranges = base_->numeric_ranges();
+  const bool has_range =
+      b.attr < ranges.size() && ranges[b.attr].second > ranges[b.attr].first;
+  return NumericAttributeSim(base_->numeric_kind(), has_range,
+                             has_range ? ranges[b.attr].first : 0.0,
+                             has_range ? ranges[b.attr].second : 0.0, b.num,
+                             cols_->nums(b.attr)[row]);
+}
+
+double CodedSimilarityFunction::Score(const EncodedQuery& query,
+                                      uint32_t row) const {
+  double weight_sum = 0.0;
+  double sim = 0.0;
+  for (const EncodedBinding& b : query.bindings) {
+    weight_sum += b.weight;
+    sim += b.weight * AttrSim(b, row);
+  }
+  if (weight_sum > 0.0) return sim / weight_sum;
+  if (query.bindings.empty()) return 0.0;
+  double total = 0.0;
+  for (const EncodedBinding& b : query.bindings) {
+    total += AttrSim(b, row);
+  }
+  return total / static_cast<double>(query.bindings.size());
 }
 
 }  // namespace aimq

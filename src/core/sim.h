@@ -6,15 +6,27 @@
 // with the numeric distance clamped so the per-attribute similarity stays in
 // [0,1], and Wimp renormalized over the attributes the query binds
 // (Σ Wimp = 1 per the paper).
+//
+// Two evaluators share the same arithmetic: SimilarityFunction works on
+// Values (edges: Explain, feedback, tests), and CodedSimilarityFunction
+// works on dictionary codes against a ColumnarRelation (the engine's hot
+// path). Query bindings encode once per call — attribute index, weight,
+// dictionary code, mined model index — so scoring a candidate row is integer
+// compares plus the identical floating-point ops, and both evaluators
+// produce bit-identical doubles.
 
 #ifndef AIMQ_CORE_SIM_H_
 #define AIMQ_CORE_SIM_H_
 
+#include <cmath>
+#include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "ordering/attribute_ordering.h"
 #include "query/imprecise_query.h"
+#include "relation/columnar.h"
 #include "relation/relation.h"
 #include "similarity/value_similarity.h"
 #include "util/status.h"
@@ -35,6 +47,36 @@ enum class NumericSimKind {
   kGaussian,
 };
 
+/// Numeric attribute similarity for one (query value, tuple value) pair.
+/// The single definition both evaluators call, so the refactored coded path
+/// performs the exact same IEEE operation sequence as the row path.
+inline double NumericAttributeSim(NumericSimKind kind, bool has_range,
+                                  double range_lo, double range_hi, double q,
+                                  double t) {
+  // A zero scale falls back to 1 to avoid dividing by zero.
+  const double rel_scale = std::abs(q) == 0.0 ? 1.0 : std::abs(q);
+  switch (kind) {
+    case NumericSimKind::kMinMaxScaled:
+      if (has_range) {
+        double span = range_hi - range_lo;
+        double distance = std::abs(q - t) / span;
+        return distance > 1.0 ? 0.0 : 1.0 - distance;
+      }
+      [[fallthrough]];  // no range known: use the paper's formula
+    case NumericSimKind::kQueryRelative: {
+      // 1 − |q − t| / |q|, clamped to [0,1] (the paper caps the distance).
+      double distance = std::abs(q - t) / rel_scale;
+      if (distance > 1.0) distance = 1.0;
+      return 1.0 - distance;
+    }
+    case NumericSimKind::kGaussian: {
+      double z = std::abs(q - t) / (0.25 * rel_scale);
+      return std::exp(-z * z);
+    }
+  }
+  return 0.0;
+}
+
 /// \brief Evaluates Sim(Q, t) and tuple-tuple similarity using mined
 /// importance weights and value similarities.
 class SimilarityFunction {
@@ -51,11 +93,21 @@ class SimilarityFunction {
   /// The ordering whose Wimp weights this function applies.
   const AttributeOrdering& ordering() const { return *ordering_; }
 
+  /// The mined value-similarity model this function consults.
+  const ValueSimilarityModel& vsim_model() const { return *vsim_; }
+
+  NumericSimKind numeric_kind() const { return numeric_kind_; }
+
   /// Supplies per-attribute [min, max] ranges (one pair per schema
   /// attribute; ignored entries for categorical attributes) for
   /// kMinMaxScaled.
   void SetNumericRanges(std::vector<std::pair<double, double>> ranges) {
     ranges_ = std::move(ranges);
+  }
+
+  /// The ranges supplied via SetNumericRanges (possibly empty).
+  const std::vector<std::pair<double, double>>& numeric_ranges() const {
+    return ranges_;
   }
 
   /// Similarity of one attribute pair (unweighted, in [0,1]).
@@ -79,6 +131,72 @@ class SimilarityFunction {
   const ValueSimilarityModel* vsim_;
   NumericSimKind numeric_kind_;
   std::vector<std::pair<double, double>> ranges_;
+};
+
+/// \brief Code-level Sim(Q, t) evaluator over one ColumnarRelation.
+///
+/// Bound to a SimilarityFunction (for weights, model, ranges — weights are
+/// read live at encode time, so relevance feedback applies to subsequent
+/// queries) and to the columnar snapshot the candidate rows live in.
+/// Scoring a row performs the identical floating-point operation sequence
+/// as the Value-based evaluator, so scores are bit-identical.
+class CodedSimilarityFunction {
+ public:
+  CodedSimilarityFunction() = default;
+
+  /// \p base must outlive this object; \p cols is the snapshot candidate
+  /// row ids refer to. Pre-resolves every dictionary code's mined model
+  /// index so categorical VSim lookups never touch the value itself.
+  CodedSimilarityFunction(const SimilarityFunction* base,
+                          std::shared_ptr<const ColumnarRelation> cols);
+
+  /// One pre-resolved query binding (or anchor attribute).
+  struct EncodedBinding {
+    size_t attr = 0;
+    double weight = 0.0;
+    bool categorical = false;
+    bool is_null = false;
+    // Categorical: the value's dictionary code in the candidate relation
+    // (kAbsentCode when never stored there) and its mined model index
+    // (-1 when unmined).
+    ValueId code = ValueDict::kAbsentCode;
+    int64_t model_index = -1;
+    // Numeric: the raw query-side operand.
+    double num = 0.0;
+  };
+
+  /// A query (or anchor) with every binding resolved against the snapshot.
+  struct EncodedQuery {
+    std::vector<EncodedBinding> bindings;
+  };
+
+  /// Encodes Q's bindings in binding order. Errors if Q binds an unknown
+  /// attribute (mirrors QueryTupleSim's error surface).
+  Result<EncodedQuery> EncodeQuery(const ImpreciseQuery& query) const;
+
+  /// Encodes \p anchor as a fully-bound query over \p attrs (the
+  /// TupleTupleSim form; null anchor values keep their weight).
+  EncodedQuery EncodeAnchor(const Tuple& anchor,
+                            const std::vector<size_t>& attrs) const;
+
+  /// As EncodeAnchor for a row of the snapshot itself (no Value hashing).
+  EncodedQuery EncodeAnchorRow(uint32_t row,
+                               const std::vector<size_t>& attrs) const;
+
+  /// Sim(Q, t) of the encoded query against row \p row. Bit-identical to
+  /// QueryTupleSim / TupleTupleSim on the materialized tuple.
+  double Score(const EncodedQuery& query, uint32_t row) const;
+
+  const std::shared_ptr<const ColumnarRelation>& cols() const { return cols_; }
+
+ private:
+  double AttrSim(const EncodedBinding& b, uint32_t row) const;
+
+  const SimilarityFunction* base_ = nullptr;
+  std::shared_ptr<const ColumnarRelation> cols_;
+  // Per attribute (categorical only): dictionary code -> mined model index,
+  // -1 when the value was not mined. Empty vector for numeric attributes.
+  std::vector<std::vector<int32_t>> code_to_model_;
 };
 
 }  // namespace aimq

@@ -1,0 +1,82 @@
+#include "relation/columnar.h"
+
+#include <unordered_map>
+
+#include "relation/relation.h"
+
+namespace aimq {
+namespace {
+
+// Hash/equality over full code vectors, addressed by row index, for the
+// canonical-row grouping below.
+struct RowCodesHash {
+  const std::vector<std::vector<ValueId>>* codes;
+  size_t operator()(uint32_t row) const {
+    uint64_t h = 0x9e3779b97f4a7c15ull;
+    for (const auto& column : *codes) {
+      h ^= column[row] + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+struct RowCodesEq {
+  const std::vector<std::vector<ValueId>>* codes;
+  bool operator()(uint32_t a, uint32_t b) const {
+    for (const auto& column : *codes) {
+      if (column[a] != column[b]) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+ColumnarRelation::ColumnarRelation(const Relation& relation)
+    : schema_(relation.schema()), num_rows_(relation.NumTuples()) {
+  const size_t num_attrs = schema_.NumAttributes();
+  dicts_.resize(num_attrs);
+  codes_.resize(num_attrs);
+  nums_.resize(num_attrs);
+  for (size_t a = 0; a < num_attrs; ++a) {
+    codes_[a].reserve(num_rows_);
+    if (schema_.attribute(a).type == AttrType::kNumeric) {
+      nums_[a].reserve(num_rows_);
+    }
+  }
+  for (size_t row = 0; row < num_rows_; ++row) {
+    const Tuple& tuple = relation.tuple(row);
+    for (size_t a = 0; a < num_attrs; ++a) {
+      const Value& v = tuple.At(a);
+      codes_[a].push_back(dicts_[a].Intern(v));
+      if (schema_.attribute(a).type == AttrType::kNumeric) {
+        nums_[a].push_back(v.is_numeric() ? v.AsNum() : 0.0);
+      }
+    }
+  }
+
+  canonical_.resize(num_rows_);
+  std::unordered_map<uint32_t, uint32_t, RowCodesHash, RowCodesEq> first_row(
+      /*bucket_count=*/num_rows_ + 1, RowCodesHash{&codes_},
+      RowCodesEq{&codes_});
+  for (uint32_t row = 0; row < num_rows_; ++row) {
+    canonical_[row] = first_row.emplace(row, row).first->second;
+  }
+}
+
+Tuple ColumnarRelation::MaterializeTuple(size_t row) const {
+  std::vector<Value> values;
+  values.reserve(codes_.size());
+  for (size_t a = 0; a < codes_.size(); ++a) {
+    values.push_back(ValueAt(a, row));
+  }
+  return Tuple(std::move(values));
+}
+
+Value ColumnarRelation::ValueAt(size_t attr, size_t row) const {
+  const ValueId code = codes_[attr][row];
+  if (code == ValueDict::kNullCode) return Value();
+  return dicts_[attr].value(code);
+}
+
+}  // namespace aimq

@@ -1,0 +1,79 @@
+// ColumnarRelation: the dictionary-encoded columnar view of a Relation.
+//
+// Every attribute — categorical and numeric alike — is stored as one dense
+// ValueId column, interned through a per-attribute ValueDict in first-seen
+// order. Numeric attributes additionally keep a raw double column (0.0 at
+// nulls; nullness is carried by the code column) so arithmetic never has to
+// go back through the dictionary. The encoding is built once per relation
+// snapshot; all hot paths (partition refinement, supertuple bags, probe
+// evaluation, Sim lookups) then compare 32-bit integers instead of hashing
+// std::string payloads.
+//
+// Row identity: rows whose full code vectors are equal hold equal Tuples and
+// vice versa (each NaN occurrence gets a fresh dictionary code, so NaN != NaN
+// is preserved). CanonicalRow maps every row to the first row with the same
+// code vector, giving the engine an O(1) integer substitute for
+// unordered_set<Tuple> deduplication.
+
+#ifndef AIMQ_RELATION_COLUMNAR_H_
+#define AIMQ_RELATION_COLUMNAR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "relation/schema.h"
+#include "relation/tuple.h"
+#include "relation/value_dict.h"
+
+namespace aimq {
+
+class Relation;
+
+/// \brief Immutable dictionary-encoded snapshot of a Relation's rows.
+class ColumnarRelation {
+ public:
+  /// Encodes all rows of \p relation. The columnar snapshot copies the
+  /// schema and interned values; it does not retain a pointer to the source.
+  explicit ColumnarRelation(const Relation& relation);
+
+  const Schema& schema() const { return schema_; }
+  size_t NumRows() const { return num_rows_; }
+  size_t NumAttributes() const { return codes_.size(); }
+
+  /// Per-attribute dictionary (code -> Value, first-seen order).
+  const ValueDict& dict(size_t attr) const { return dicts_[attr]; }
+
+  /// Dense code column of one attribute; codes[row] == ValueDict::kNullCode
+  /// marks null.
+  const std::vector<ValueId>& codes(size_t attr) const { return codes_[attr]; }
+
+  /// Raw double column of a numeric attribute (0.0 at nulls — consult
+  /// codes() for nullness). Empty for categorical attributes.
+  const std::vector<double>& nums(size_t attr) const { return nums_[attr]; }
+
+  bool is_null(size_t attr, size_t row) const {
+    return codes_[attr][row] == ValueDict::kNullCode;
+  }
+
+  /// Index of the first row whose full code vector equals \p row's. Two rows
+  /// share a canonical row iff their materialized Tuples compare equal.
+  uint32_t CanonicalRow(uint32_t row) const { return canonical_[row]; }
+
+  /// Rebuilds the row-oriented Tuple for \p row from the dictionaries.
+  Tuple MaterializeTuple(size_t row) const;
+
+  /// The Value at (attr, row), decoded through the dictionary.
+  Value ValueAt(size_t attr, size_t row) const;
+
+ private:
+  Schema schema_;
+  size_t num_rows_ = 0;
+  std::vector<ValueDict> dicts_;             // one per attribute
+  std::vector<std::vector<ValueId>> codes_;  // [attr][row]
+  std::vector<std::vector<double>> nums_;    // [attr][row]; numeric attrs only
+  std::vector<uint32_t> canonical_;          // [row] -> first identical row
+};
+
+}  // namespace aimq
+
+#endif  // AIMQ_RELATION_COLUMNAR_H_

@@ -1,10 +1,48 @@
 #include "relation/relation.h"
 
-#include <unordered_set>
-
 #include "util/csv.h"
 
 namespace aimq {
+
+Relation::Relation(const Relation& other) {
+  std::lock_guard<std::mutex> lock(other.columnar_mu_);
+  schema_ = other.schema_;
+  tuples_ = other.tuples_;
+  columnar_ = other.columnar_;
+}
+
+Relation& Relation::operator=(const Relation& other) {
+  if (this == &other) return *this;
+  std::scoped_lock lock(columnar_mu_, other.columnar_mu_);
+  schema_ = other.schema_;
+  tuples_ = other.tuples_;
+  columnar_ = other.columnar_;
+  return *this;
+}
+
+Relation::Relation(Relation&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.columnar_mu_);
+  schema_ = std::move(other.schema_);
+  tuples_ = std::move(other.tuples_);
+  columnar_ = std::move(other.columnar_);
+}
+
+Relation& Relation::operator=(Relation&& other) noexcept {
+  if (this == &other) return *this;
+  std::scoped_lock lock(columnar_mu_, other.columnar_mu_);
+  schema_ = std::move(other.schema_);
+  tuples_ = std::move(other.tuples_);
+  columnar_ = std::move(other.columnar_);
+  return *this;
+}
+
+std::shared_ptr<const ColumnarRelation> Relation::columnar() const {
+  std::lock_guard<std::mutex> lock(columnar_mu_);
+  if (!columnar_) {
+    columnar_ = std::make_shared<const ColumnarRelation>(*this);
+  }
+  return columnar_;
+}
 
 Status Relation::Append(Tuple tuple) {
   if (tuple.Size() != schema_.NumAttributes()) {
@@ -26,36 +64,20 @@ Status Relation::Append(Tuple tuple) {
                                      "' expects a numeric value");
     }
   }
+  InvalidateColumnar();
   tuples_.push_back(std::move(tuple));
   return Status::OK();
 }
 
 std::vector<Value> Relation::DistinctValues(size_t attr_index) const {
-  std::vector<Value> out;
-  std::unordered_set<size_t> seen_hashes;
-  // Hash pre-filter plus exact check keeps this O(n) in practice.
-  for (const Tuple& t : tuples_) {
-    const Value& v = t.At(attr_index);
-    if (v.is_null()) continue;
-    size_t h = v.Hash();
-    if (seen_hashes.count(h)) {
-      bool duplicate = false;
-      for (const Value& existing : out) {
-        if (existing == v) {
-          duplicate = true;
-          break;
-        }
-      }
-      if (duplicate) continue;
-    }
-    seen_hashes.insert(h);
-    out.push_back(v);
-  }
-  return out;
+  // The dictionary interns non-null values in first-seen order, so its value
+  // list is exactly the historical answer — without the per-collision rescan
+  // of the old hash-prefilter implementation.
+  return columnar()->dict(attr_index).values();
 }
 
 size_t Relation::DistinctCount(size_t attr_index) const {
-  return DistinctValues(attr_index).size();
+  return columnar()->dict(attr_index).size();
 }
 
 Relation Relation::SampleWithoutReplacement(size_t sample_size,

@@ -6,9 +6,12 @@
 #define AIMQ_RELATION_RELATION_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "relation/columnar.h"
 #include "relation/schema.h"
 #include "relation/tuple.h"
 #include "util/rng.h"
@@ -22,6 +25,13 @@ class Relation {
   Relation() = default;
   explicit Relation(Schema schema) : schema_(std::move(schema)) {}
 
+  // The columnar snapshot is immutable once built, so copies share it;
+  // appends to either copy drop only that copy's reference.
+  Relation(const Relation& other);
+  Relation& operator=(const Relation& other);
+  Relation(Relation&& other) noexcept;
+  Relation& operator=(Relation&& other) noexcept;
+
   const Schema& schema() const { return schema_; }
   size_t NumTuples() const { return tuples_.size(); }
   bool Empty() const { return tuples_.empty(); }
@@ -34,10 +44,18 @@ class Relation {
   Status Append(Tuple tuple);
 
   /// Appends without validation; for trusted bulk loads (generators).
-  void AppendUnchecked(Tuple tuple) { tuples_.push_back(std::move(tuple)); }
+  void AppendUnchecked(Tuple tuple) {
+    InvalidateColumnar();
+    tuples_.push_back(std::move(tuple));
+  }
+
+  /// Dictionary-encoded columnar snapshot of the current rows, built lazily
+  /// on first use and cached until the relation is mutated. Thread-safe; the
+  /// returned snapshot stays valid after the relation mutates or dies.
+  std::shared_ptr<const ColumnarRelation> columnar() const;
 
   /// Distinct non-null values of the attribute at \p attr_index, in first-seen
-  /// order.
+  /// order. Served from the attribute dictionary of columnar().
   std::vector<Value> DistinctValues(size_t attr_index) const;
 
   /// Number of distinct non-null values of the attribute at \p attr_index.
@@ -59,8 +77,15 @@ class Relation {
                                   const Schema& schema);
 
  private:
+  void InvalidateColumnar() {
+    std::lock_guard<std::mutex> lock(columnar_mu_);
+    columnar_.reset();
+  }
+
   Schema schema_;
   std::vector<Tuple> tuples_;
+  mutable std::mutex columnar_mu_;
+  mutable std::shared_ptr<const ColumnarRelation> columnar_;
 };
 
 }  // namespace aimq

@@ -1,0 +1,19 @@
+#include "relation/value_dict.h"
+
+namespace aimq {
+
+ValueId ValueDict::Intern(const Value& v) {
+  if (v.is_null()) return kNullCode;
+  auto [it, inserted] =
+      index_.emplace(v, static_cast<ValueId>(values_.size()));
+  if (inserted) values_.push_back(v);
+  return it->second;
+}
+
+ValueId ValueDict::Lookup(const Value& v) const {
+  if (v.is_null()) return kNullCode;
+  auto it = index_.find(v);
+  return it == index_.end() ? kAbsentCode : it->second;
+}
+
+}  // namespace aimq

@@ -1,0 +1,68 @@
+// ValueDict: a per-attribute dictionary interning distinct attribute values
+// into dense integer codes (ValueId). The dictionary is the heart of the
+// columnar storage core: every hot path (TANE partition refinement,
+// supertuple bags, boolean probe evaluation, categorical Sim lookups)
+// compares integer codes instead of re-hashing string payloads.
+//
+// Codes are assigned in first-seen order, so code order reproduces the
+// historical first-seen semantics of Relation::DistinctValues exactly. Null
+// is never interned; it is represented by the reserved code kNullCode.
+
+#ifndef AIMQ_RELATION_VALUE_DICT_H_
+#define AIMQ_RELATION_VALUE_DICT_H_
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "relation/value.h"
+
+namespace aimq {
+
+/// Dense integer code of one interned attribute value.
+using ValueId = uint32_t;
+
+/// \brief String/double ↔ dense code dictionary for one attribute.
+///
+/// Non-null values get codes 0..size()-1 in first-seen order; equality of
+/// codes is equivalent to Value equality (same variant alternative and
+/// payload). Numeric values are interned too so partition construction and
+/// row-identity grouping are uniform integer operations across all column
+/// types; arithmetic stays on the raw doubles held by the columnar store.
+class ValueDict {
+ public:
+  /// Reserved code for SQL-null; never assigned to an interned value.
+  static constexpr ValueId kNullCode = std::numeric_limits<ValueId>::max();
+  /// Returned by Lookup for values never interned; never stored in columns.
+  static constexpr ValueId kAbsentCode = kNullCode - 1;
+
+  ValueDict() = default;
+
+  /// Interns \p v, returning its code (existing or freshly assigned).
+  /// Null interns to kNullCode without creating an entry.
+  ValueId Intern(const Value& v);
+
+  /// Code of \p v if already interned, kNullCode for null, kAbsentCode
+  /// otherwise. Never mutates the dictionary.
+  ValueId Lookup(const Value& v) const;
+
+  /// The value behind a code; requires code < size().
+  const Value& value(ValueId code) const { return values_[code]; }
+
+  /// All interned values in code (= first-seen) order.
+  const std::vector<Value>& values() const { return values_; }
+
+  /// Number of distinct interned values.
+  size_t size() const { return values_.size(); }
+
+  bool Empty() const { return values_.empty(); }
+
+ private:
+  std::vector<Value> values_;
+  std::unordered_map<Value, ValueId, ValueHash> index_;
+};
+
+}  // namespace aimq
+
+#endif  // AIMQ_RELATION_VALUE_DICT_H_

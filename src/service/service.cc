@@ -188,7 +188,8 @@ void AimqService::RunRequest(Request request) {
   response.request_id = request.request_id;
   response.queue_seconds = request.since_submit.ElapsedSeconds();
   bool truncated = false;
-  Result<std::vector<RankedAnswer>> answers = Status::OK();
+  // Seeded with an empty value, not a Status: Result asserts on OK statuses.
+  Result<std::vector<RankedAnswer>> answers{std::vector<RankedAnswer>{}};
   {
     TraceSpan execute(trace_.get(), "execute", "service", request.request_id);
     answers = engine_.Answer(request.query, service_options_.strategy,

@@ -6,14 +6,24 @@
 
 namespace aimq {
 
+Bag SuperTuple::bag(size_t attr) const {
+  Bag out;
+  if (vocab_ == nullptr) return out;
+  const std::vector<std::string>& keywords = vocab_->keywords[attr];
+  for (const auto& [id, count] : coded_bags_[attr].entries()) {
+    out.Add(keywords[id], count);
+  }
+  return out;
+}
+
 std::string SuperTuple::ToString(const Schema& schema,
                                  size_t max_keywords) const {
   std::string out = av_.ToString(schema) + " (support " +
                     std::to_string(support_) + ")\n";
-  for (size_t i = 0; i < bags_.size(); ++i) {
-    if (i == av_.attr || bags_[i].Empty()) continue;
+  for (size_t i = 0; i < coded_bags_.size(); ++i) {
+    if (i == av_.attr || coded_bags_[i].Empty()) continue;
     out += "  " + schema.attribute(i).name + ": ";
-    auto entries = bags_[i].SortedEntries();
+    auto entries = bag(i).SortedEntries();
     for (size_t j = 0; j < entries.size() && j < max_keywords; ++j) {
       if (j > 0) out += ", ";
       out += entries[j].first + ":" + std::to_string(entries[j].second);
@@ -26,17 +36,18 @@ std::string SuperTuple::ToString(const Schema& schema,
 
 SuperTupleBuilder::SuperTupleBuilder(const Relation& sample,
                                      SuperTupleOptions options)
-    : sample_(sample), options_(options) {
+    : sample_(sample), cols_(sample.columnar()), options_(options) {
   const size_t n = sample.schema().NumAttributes();
   bin_min_.assign(n, 0.0);
   bin_width_.assign(n, 0.0);
   if (options_.numeric_bins == 0) options_.numeric_bins = 1;
   for (size_t i = 0; i < n; ++i) {
     if (sample.schema().attribute(i).type != AttrType::kNumeric) continue;
+    // Min/max over the dictionary's distinct values equals min/max over the
+    // column (first-seen order keeps the seeding value identical too).
     double lo = 0.0, hi = 0.0;
     bool seen = false;
-    for (const Tuple& t : sample.tuples()) {
-      const Value& v = t.At(i);
+    for (const Value& v : cols_->dict(i).values()) {
       if (!v.is_numeric()) continue;
       double d = v.AsNum();
       if (!seen) {
@@ -51,6 +62,28 @@ SuperTupleBuilder::SuperTupleBuilder(const Relation& sample,
     double width = (hi - lo) / static_cast<double>(options_.numeric_bins);
     bin_width_[i] = width > 0.0 ? width : 1.0;
   }
+
+  // Vocabulary: render every distinct value's keyword once (per-row work in
+  // BuildAll is then a pair of table lookups). Keyword ids are deduplicated
+  // by label in dictionary-code order, so colliding bin labels merge exactly
+  // as they merged in the string-keyed bags.
+  auto vocab = std::make_shared<SuperTupleVocab>();
+  vocab->code_to_keyword.resize(n);
+  vocab->keywords.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const ValueDict& dict = cols_->dict(i);
+    vocab->code_to_keyword[i].resize(dict.size(), SuperTupleVocab::kNoKeyword);
+    std::unordered_map<std::string, uint32_t> label_id;
+    for (ValueId code = 0; code < dict.size(); ++code) {
+      std::string kw = KeywordFor(i, dict.value(code));
+      if (kw.empty()) continue;
+      auto [it, inserted] = label_id.emplace(
+          kw, static_cast<uint32_t>(vocab->keywords[i].size()));
+      if (inserted) vocab->keywords[i].push_back(std::move(kw));
+      vocab->code_to_keyword[i][code] = it->second;
+    }
+  }
+  vocab_ = std::move(vocab);
 }
 
 double SuperTupleBuilder::BinLower(size_t attr, size_t b) const {
@@ -85,21 +118,31 @@ Result<std::vector<SuperTuple>> SuperTupleBuilder::BuildAll(
         schema.attribute(attr).name + "' is numeric");
   }
   const size_t n = schema.NumAttributes();
+  const ValueDict& bound_dict = cols_->dict(attr);
+  const std::vector<ValueId>& bound_codes = cols_->codes(attr);
+
+  // One supertuple per distinct bound value; position == dictionary code,
+  // which is first-seen order — the order DistinctValues reports.
   std::vector<SuperTuple> supertuples;
-  std::unordered_map<Value, size_t, ValueHash> index;
-  for (const Tuple& t : sample_.tuples()) {
-    const Value& v = t.At(attr);
-    if (v.is_null()) continue;
-    auto [it, inserted] = index.emplace(v, supertuples.size());
-    if (inserted) supertuples.emplace_back(AVPair(attr, v), n);
-    SuperTuple& st = supertuples[it->second];
+  supertuples.reserve(bound_dict.size());
+  for (ValueId code = 0; code < bound_dict.size(); ++code) {
+    supertuples.emplace_back(AVPair(attr, bound_dict.value(code)), n, vocab_);
+  }
+  const size_t num_rows = cols_->NumRows();
+  for (size_t r = 0; r < num_rows; ++r) {
+    const ValueId bound = bound_codes[r];
+    if (bound == ValueDict::kNullCode) continue;
+    SuperTuple& st = supertuples[bound];
     st.IncrementSupport();
     for (size_t j = 0; j < n; ++j) {
       if (j == attr) continue;
-      std::string kw = KeywordFor(j, t.At(j));
-      if (!kw.empty()) st.mutable_bag(j).Add(kw);
+      const ValueId code = cols_->codes(j)[r];
+      if (code == ValueDict::kNullCode) continue;
+      const uint32_t kw = vocab_->code_to_keyword[j][code];
+      if (kw != SuperTupleVocab::kNoKeyword) st.AddKeyword(j, kw);
     }
   }
+  for (SuperTuple& st : supertuples) st.FinalizeBags();
   return supertuples;
 }
 

@@ -5,16 +5,27 @@
 // Mileage contributes keywords like "10k-15k" exactly as in the paper's
 // Table 1. Bin boundaries are computed once per sample so every supertuple
 // of that sample shares the same vocabulary.
+//
+// Bags are dictionary-encoded: each keyword is a dense integer id drawn from
+// a per-sample vocabulary (keyword ids are deduplicated by rendered label,
+// so two bins whose labels collide merge exactly as the historical
+// string-keyed bags merged them). Bag-Jaccard is then a merge of two sorted
+// (id, count) arrays. The string-keyed Bag view is still available through
+// bag() for reporting and tests; similarity estimation runs on coded_bag().
 
 #ifndef AIMQ_SIMILARITY_SUPERTUPLE_H_
 #define AIMQ_SIMILARITY_SUPERTUPLE_H_
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "relation/columnar.h"
 #include "relation/relation.h"
 #include "similarity/av_pair.h"
 #include "util/bag.h"
+#include "util/coded_bag.h"
 #include "util/status.h"
 
 namespace aimq {
@@ -27,13 +38,33 @@ struct SuperTupleOptions {
   size_t numeric_bins = 20;
 };
 
+/// \brief Per-sample keyword vocabulary shared by all supertuples built from
+/// one SuperTupleBuilder: keyword id -> rendered keyword string, per
+/// attribute, plus the dictionary-code -> keyword-id translation used while
+/// scanning.
+struct SuperTupleVocab {
+  /// Sentinel in code_to_keyword for values whose keyword is empty (null or
+  /// the empty categorical string): the value contributes nothing to bags.
+  static constexpr uint32_t kNoKeyword = UINT32_MAX;
+
+  /// [attr][dictionary code] -> keyword id (or kNoKeyword).
+  std::vector<std::vector<uint32_t>> code_to_keyword;
+  /// [attr][keyword id] -> rendered keyword.
+  std::vector<std::vector<std::string>> keywords;
+};
+
 /// \brief One supertuple: per-attribute keyword bags describing the tuples
 /// that match an AV-pair.
 class SuperTuple {
  public:
   SuperTuple() = default;
   SuperTuple(AVPair av, size_t num_attrs) : av_(std::move(av)) {
-    bags_.resize(num_attrs);
+    coded_bags_.resize(num_attrs);
+  }
+  SuperTuple(AVPair av, size_t num_attrs,
+             std::shared_ptr<const SuperTupleVocab> vocab)
+      : av_(std::move(av)), vocab_(std::move(vocab)) {
+    coded_bags_.resize(num_attrs);
   }
 
   const AVPair& av() const { return av_; }
@@ -41,11 +72,25 @@ class SuperTuple {
   /// Number of sample tuples matching the AV-pair.
   size_t support() const { return support_; }
 
-  /// Keyword bag of the attribute at \p attr (empty for the bound attribute).
-  const Bag& bag(size_t attr) const { return bags_[attr]; }
-  Bag& mutable_bag(size_t attr) { return bags_[attr]; }
+  /// Keyword bag of the attribute at \p attr (empty for the bound
+  /// attribute), materialized to strings through the vocabulary. This is the
+  /// reporting/testing view; hot paths use coded_bag().
+  Bag bag(size_t attr) const;
+
+  /// The coded bag of the attribute at \p attr.
+  const CodedBag& coded_bag(size_t attr) const { return coded_bags_[attr]; }
 
   void IncrementSupport() { ++support_; }
+
+  /// Adds one occurrence of keyword \p keyword_id to attribute \p attr's bag.
+  void AddKeyword(size_t attr, uint32_t keyword_id) {
+    coded_bags_[attr].Add(keyword_id);
+  }
+
+  /// Sort-aggregates all bags; call once after the last AddKeyword.
+  void FinalizeBags() {
+    for (CodedBag& b : coded_bags_) b.Finalize();
+  }
 
   /// Table-1-style rendering (top keywords of every unbound attribute).
   std::string ToString(const Schema& schema, size_t max_keywords = 5) const;
@@ -53,14 +98,15 @@ class SuperTuple {
  private:
   AVPair av_;
   size_t support_ = 0;
-  std::vector<Bag> bags_;
+  std::vector<CodedBag> coded_bags_;
+  std::shared_ptr<const SuperTupleVocab> vocab_;
 };
 
 /// \brief Shared discretization + supertuple construction over one sample.
 class SuperTupleBuilder {
  public:
-  /// Computes numeric bin boundaries from \p sample. The sample must stay
-  /// alive while the builder is used.
+  /// Computes numeric bin boundaries and the keyword vocabulary from
+  /// \p sample. The sample must stay alive while the builder is used.
   SuperTupleBuilder(const Relation& sample, SuperTupleOptions options);
 
   /// The keyword a value of attribute \p attr contributes to a bag:
@@ -78,12 +124,19 @@ class SuperTupleBuilder {
   /// Lower edge of bin \p b for numeric attribute \p attr (testing).
   double BinLower(size_t attr, size_t b) const;
 
+  /// The shared keyword vocabulary (testing/inspection).
+  const std::shared_ptr<const SuperTupleVocab>& vocab() const {
+    return vocab_;
+  }
+
  private:
   const Relation& sample_;
+  std::shared_ptr<const ColumnarRelation> cols_;
   SuperTupleOptions options_;
   // Per attribute: [min, width] for numeric attributes, unused otherwise.
   std::vector<double> bin_min_;
   std::vector<double> bin_width_;
+  std::shared_ptr<const SuperTupleVocab> vocab_;
 };
 
 }  // namespace aimq

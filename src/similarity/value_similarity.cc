@@ -28,6 +28,26 @@ double ValueSimilarityModel::VSim(size_t attr, const Value& a,
   return it == m->sim.end() ? 0.0 : it->second;
 }
 
+int64_t ValueSimilarityModel::ModelIndexOf(size_t attr,
+                                           const Value& v) const {
+  const AttrModel* m = ModelFor(attr);
+  if (m == nullptr) return -1;
+  auto it = m->index.find(v);
+  return it == m->index.end() ? -1 : static_cast<int64_t>(it->second);
+}
+
+double ValueSimilarityModel::VSimByIndex(size_t attr, size_t i,
+                                         size_t j) const {
+  if (i == j) return 1.0;
+  const AttrModel* m = ModelFor(attr);
+  if (m == nullptr) return 0.0;
+  uint64_t lo = i;
+  uint64_t hi = j;
+  if (lo > hi) std::swap(lo, hi);
+  auto it = m->sim.find(lo * m->values.size() + hi);
+  return it == m->sim.end() ? 0.0 : it->second;
+}
+
 std::vector<std::pair<Value, double>> ValueSimilarityModel::TopSimilar(
     size_t attr, const Value& v, size_t k) const {
   std::vector<std::pair<Value, double>> out;
@@ -206,7 +226,7 @@ Result<ValueSimilarityModel> SimilarityMiner::MineAttributes(
         for (size_t f = 0; f < n; ++f) {
           if (f == attr || feature_weight[f] <= 0.0) continue;
           vsim += feature_weight[f] *
-                  sts[i].bag(f).JaccardSimilarity(sts[j].bag(f));
+                  sts[i].coded_bag(f).JaccardSimilarity(sts[j].coded_bag(f));
         }
         if (vsim >= options_.min_store_similarity) {
           am.sim.emplace(i * k + j, vsim);

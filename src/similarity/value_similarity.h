@@ -42,6 +42,15 @@ class ValueSimilarityModel {
   /// themselves).
   double VSim(size_t attr, const Value& a, const Value& b) const;
 
+  /// Index of \p v in attribute \p attr's mined value universe, or -1 if the
+  /// value (or attribute) was never mined. Lets callers resolve a value once
+  /// and use VSimByIndex afterwards.
+  int64_t ModelIndexOf(size_t attr, const Value& v) const;
+
+  /// VSim between the mined values at indices \p i and \p j (as returned by
+  /// ModelIndexOf). i == j yields 1.0; unstored pairs yield 0.0.
+  double VSimByIndex(size_t attr, size_t i, size_t j) const;
+
   /// The \p k values most similar to \p v (excluding v itself), sorted by
   /// descending similarity then ascending value.
   std::vector<std::pair<Value, double>> TopSimilar(size_t attr, const Value& v,

@@ -1,0 +1,69 @@
+#include "util/coded_bag.h"
+
+#include <algorithm>
+
+namespace aimq {
+
+void CodedBag::Add(uint32_t id, uint64_t count) {
+  if (count == 0) return;
+  entries_.emplace_back(id, count);
+  total_ += count;
+  finalized_ = false;
+}
+
+void CodedBag::Finalize() {
+  if (finalized_) return;
+  std::sort(entries_.begin(), entries_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  size_t out = 0;
+  for (size_t i = 0; i < entries_.size();) {
+    uint32_t id = entries_[i].first;
+    uint64_t count = 0;
+    while (i < entries_.size() && entries_[i].first == id) {
+      count += entries_[i].second;
+      ++i;
+    }
+    entries_[out++] = {id, count};
+  }
+  entries_.resize(out);
+  finalized_ = true;
+}
+
+uint64_t CodedBag::Count(uint32_t id) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), id,
+      [](const auto& e, uint32_t target) { return e.first < target; });
+  return it != entries_.end() && it->first == id ? it->second : 0;
+}
+
+uint64_t CodedBag::IntersectionSize(const CodedBag& other) const {
+  uint64_t inter = 0;
+  size_t i = 0, j = 0;
+  while (i < entries_.size() && j < other.entries_.size()) {
+    const uint32_t a = entries_[i].first;
+    const uint32_t b = other.entries_[j].first;
+    if (a < b) {
+      ++i;
+    } else if (b < a) {
+      ++j;
+    } else {
+      inter += std::min(entries_[i].second, other.entries_[j].second);
+      ++i;
+      ++j;
+    }
+  }
+  return inter;
+}
+
+uint64_t CodedBag::UnionSize(const CodedBag& other) const {
+  return total_ + other.total_ - IntersectionSize(other);
+}
+
+double CodedBag::JaccardSimilarity(const CodedBag& other) const {
+  const uint64_t uni = UnionSize(other);
+  if (uni == 0) return 0.0;
+  return static_cast<double>(IntersectionSize(other)) /
+         static_cast<double>(uni);
+}
+
+}  // namespace aimq

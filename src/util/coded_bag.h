@@ -1,0 +1,65 @@
+// CodedBag: the dictionary-encoded counterpart of util/bag.h. Keywords are
+// dense integer ids (attribute-dictionary codes, or bin-label ids for
+// numeric attributes); the bag is a sorted (id, count) array, so bag-Jaccard
+// becomes a merge-style walk over two sorted arrays instead of hashing
+// strings through an unordered_map.
+//
+// Integer results (intersection/union sizes) are defined identically to
+// Bag's, so JaccardSimilarity performs the same single double division and
+// returns bit-identical values whenever ids are in bijection with keywords.
+
+#ifndef AIMQ_UTIL_CODED_BAG_H_
+#define AIMQ_UTIL_CODED_BAG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace aimq {
+
+/// \brief A bag of integer-coded keywords as a sorted (id, count) array.
+class CodedBag {
+ public:
+  CodedBag() = default;
+
+  /// Records \p count occurrences of \p id. Ids may arrive in any order and
+  /// repeat; call Finalize() once after the last Add before querying.
+  void Add(uint32_t id, uint64_t count = 1);
+
+  /// Sort-aggregates the accumulated ids into the canonical sorted unique
+  /// form. Idempotent.
+  void Finalize();
+
+  /// Occurrence count of \p id (0 if absent). Requires Finalize().
+  uint64_t Count(uint32_t id) const;
+
+  size_t DistinctSize() const { return entries_.size(); }
+  uint64_t TotalSize() const { return total_; }
+  bool Empty() const { return entries_.empty(); }
+
+  /// Bag-semantics intersection size Σ min — a linear merge of the two
+  /// sorted arrays. Requires Finalize() on both sides.
+  uint64_t IntersectionSize(const CodedBag& other) const;
+
+  /// Bag-semantics union size: |A| + |B| − |A ∩ B|.
+  uint64_t UnionSize(const CodedBag& other) const;
+
+  /// Jaccard coefficient with bag semantics; 0 when both bags are empty.
+  /// Same arithmetic as Bag::JaccardSimilarity.
+  double JaccardSimilarity(const CodedBag& other) const;
+
+  /// Sorted-by-id entries. Requires Finalize().
+  const std::vector<std::pair<uint32_t, uint64_t>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<std::pair<uint32_t, uint64_t>> entries_;
+  uint64_t total_ = 0;
+  bool finalized_ = true;  // an empty bag is trivially canonical
+};
+
+}  // namespace aimq
+
+#endif  // AIMQ_UTIL_CODED_BAG_H_

@@ -1,0 +1,129 @@
+#include "webdb/coded_query.h"
+
+namespace aimq {
+
+CodedConjunction CodedConjunction::Compile(const SelectionQuery& query,
+                                           const ColumnarRelation& data) {
+  CodedConjunction out;
+  out.data_ = &data;
+  out.preds_.reserve(query.NumPredicates());
+  for (const Predicate& p : query.predicates()) {
+    Pred c;
+    c.op = p.op;
+    auto index = data.schema().IndexOf(p.attribute);
+    if (!index.ok()) {
+      c.kind = Kind::kCompileError;
+      c.error = index.status();
+      out.preds_.push_back(std::move(c));
+      continue;
+    }
+    c.attr = index.ValueOrDie();
+    if (p.value.is_null()) {
+      // Null query value: Predicate::Matches returns false before looking at
+      // the operator, even for kLike.
+      c.kind = Kind::kNeverMatch;
+    } else if (p.op == CompareOp::kEq) {
+      c.kind = Kind::kEqCode;
+      // Lookup resolves through Value equality, so NaN yields the absent
+      // sentinel (matches nothing) and -0.0 finds 0.0's code.
+      c.target = data.dict(c.attr).Lookup(p.value);
+    } else if (p.op == CompareOp::kLike) {
+      c.kind = Kind::kErrorUnlessNull;
+      c.error = Status::InvalidArgument(
+          "'like' predicate is not executable under the boolean query model; "
+          "map the imprecise query to a precise base query first");
+    } else if (!p.value.is_numeric()) {
+      c.kind = Kind::kErrorUnlessNull;
+      c.error = Status::InvalidArgument(
+          "range predicate on non-numeric attribute '" + p.attribute + "'");
+    } else {
+      c.kind = Kind::kRange;
+      c.threshold = p.value.AsNum();
+      const ValueDict& dict = data.dict(c.attr);
+      c.code_numeric.resize(dict.size());
+      c.code_num.resize(dict.size());
+      bool all_numeric = true;
+      for (ValueId code = 0; code < dict.size(); ++code) {
+        const Value& v = dict.value(code);
+        c.code_numeric[code] = v.is_numeric() ? 1 : 0;
+        c.code_num[code] = v.is_numeric() ? v.AsNum() : 0.0;
+        all_numeric = all_numeric && v.is_numeric();
+      }
+      if (!all_numeric) {
+        // Only reachable through unvalidated appends; the error matches the
+        // row-store message for a non-numeric stored operand.
+        c.error = Status::InvalidArgument(
+            "range predicate on non-numeric attribute '" + p.attribute + "'");
+      }
+    }
+    out.preds_.push_back(std::move(c));
+  }
+  return out;
+}
+
+Result<bool> CodedConjunction::EvaluateRow(uint32_t row) const {
+  for (const Pred& p : preds_) {
+    switch (p.kind) {
+      case Kind::kCompileError:
+        return p.error;
+      case Kind::kNeverMatch:
+        return false;
+      case Kind::kEqCode: {
+        if (data_->codes(p.attr)[row] != p.target) return false;
+        break;
+      }
+      case Kind::kErrorUnlessNull: {
+        if (data_->codes(p.attr)[row] == ValueDict::kNullCode) return false;
+        return p.error;
+      }
+      case Kind::kRange: {
+        const ValueId code = data_->codes(p.attr)[row];
+        if (code == ValueDict::kNullCode) return false;
+        if (!p.code_numeric[code]) return p.error;
+        const double a = p.code_num[code];
+        bool match = false;
+        switch (p.op) {
+          case CompareOp::kLt:
+            match = a < p.threshold;
+            break;
+          case CompareOp::kLe:
+            match = a <= p.threshold;
+            break;
+          case CompareOp::kGt:
+            match = a > p.threshold;
+            break;
+          case CompareOp::kGe:
+            match = a >= p.threshold;
+            break;
+          default:
+            return Status::Internal("unhandled compare op");
+        }
+        if (!match) return false;
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+Result<std::vector<uint32_t>> CodedConjunction::EvaluateAll() const {
+  std::vector<uint32_t> rows;
+  const uint32_t n = static_cast<uint32_t>(data_->NumRows());
+  for (uint32_t r = 0; r < n; ++r) {
+    AIMQ_ASSIGN_OR_RETURN(bool match, EvaluateRow(r));
+    if (match) rows.push_back(r);
+  }
+  return rows;
+}
+
+Result<std::vector<uint32_t>> CodedConjunction::EvaluateCandidates(
+    const std::vector<uint32_t>& candidates) const {
+  std::vector<uint32_t> rows;
+  for (uint32_t r : candidates) {
+    AIMQ_ASSIGN_OR_RETURN(bool match, EvaluateRow(r));
+    if (match) rows.push_back(r);
+  }
+  return rows;
+}
+
+}  // namespace aimq

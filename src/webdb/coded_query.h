@@ -1,0 +1,83 @@
+// CodedConjunction: a conjunctive SelectionQuery compiled against one
+// ColumnarRelation's dictionaries, so per-row evaluation is pure integer and
+// double comparisons — no string hashing, no Value variant dispatch.
+//
+// The compiled form replicates Predicate::Matches / SelectionQuery::Matches
+// semantics bit-for-bit, including the quirky corners:
+//   - a null query value makes the predicate false (never an error), even
+//     for kLike;
+//   - equality never errors: a type-mismatched or never-seen value simply
+//     matches nothing (each query value is resolved through the dictionary
+//     once, so NaN matches nothing and -0.0 matches 0.0, exactly as the
+//     row-store Value comparison behaves);
+//   - a range (or kLike) predicate errors only for rows whose stored value
+//     is non-null — null rows short-circuit to false first — and an earlier
+//     false predicate in query order suppresses a later predicate's error;
+//   - an unknown attribute reproduces Schema::IndexOf's error status, but
+//     only when a row is actually evaluated (an empty relation scans clean).
+
+#ifndef AIMQ_WEBDB_CODED_QUERY_H_
+#define AIMQ_WEBDB_CODED_QUERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/selection_query.h"
+#include "relation/columnar.h"
+#include "util/status.h"
+
+namespace aimq {
+
+/// \brief A SelectionQuery pre-resolved to integer codes for one relation.
+///
+/// Holds a pointer to the ColumnarRelation it was compiled against; the
+/// caller keeps that snapshot alive for the conjunction's lifetime.
+class CodedConjunction {
+ public:
+  /// Compiles \p query against \p data. Total: malformed predicates compile
+  /// to forms that reproduce their row-store evaluation errors lazily.
+  static CodedConjunction Compile(const SelectionQuery& query,
+                                  const ColumnarRelation& data);
+
+  /// Conjunctive evaluation of one row; mirrors SelectionQuery::Matches.
+  Result<bool> EvaluateRow(uint32_t row) const;
+
+  /// Full scan; mirrors SelectionQuery::Evaluate (row indices ascending).
+  Result<std::vector<uint32_t>> EvaluateAll() const;
+
+  /// Evaluates only \p candidates (in the given order), keeping matches.
+  Result<std::vector<uint32_t>> EvaluateCandidates(
+      const std::vector<uint32_t>& candidates) const;
+
+  size_t NumPredicates() const { return preds_.size(); }
+
+ private:
+  enum class Kind : uint8_t {
+    kNeverMatch,       // null query value: always false, never errors
+    kEqCode,           // code == target (target may be the absent sentinel)
+    kRange,            // numeric comparison via per-code tables
+    kErrorUnlessNull,  // false on null rows, a fixed error otherwise
+    kCompileError,     // unknown attribute: errors on any row
+  };
+
+  struct Pred {
+    Kind kind = Kind::kNeverMatch;
+    CompareOp op = CompareOp::kEq;
+    size_t attr = 0;
+    ValueId target = 0;        // kEqCode
+    double threshold = 0.0;    // kRange
+    // kRange: per-dictionary-code operand table. code_numeric[c] says whether
+    // the interned value behind code c is numeric (it can be false only for
+    // relations that bypassed type validation); code_num[c] is its double.
+    std::vector<uint8_t> code_numeric;
+    std::vector<double> code_num;
+    Status error = Status::OK();  // kErrorUnlessNull / kCompileError payload
+  };
+
+  const ColumnarRelation* data_ = nullptr;
+  std::vector<Pred> preds_;
+};
+
+}  // namespace aimq
+
+#endif  // AIMQ_WEBDB_CODED_QUERY_H_

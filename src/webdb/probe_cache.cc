@@ -19,17 +19,17 @@ std::string ProbeCache::CanonicalKey(const SelectionQuery& query) {
   return key;
 }
 
-Result<std::vector<Tuple>> ProbeCache::Execute(const WebDatabase& db,
-                                               const SelectionQuery& query,
-                                               bool* hit) {
+Result<std::vector<uint32_t>> ProbeCache::ExecuteRows(const WebDatabase& db,
+                                                      const SelectionQuery& query,
+                                                      bool* hit) {
   if (hit != nullptr) *hit = false;
-  if (capacity_ == 0) return db.Execute(query);
+  if (capacity_ == 0) return db.ExecuteRows(query);
 
-  std::string key = CanonicalKey(query);
+  std::string key = db.CodedProbeKey(query);
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.lookups;
-    if (const std::vector<Tuple>* cached = cache_.Get(key)) {
+    if (const std::vector<uint32_t>* cached = cache_.Get(key)) {
       ++stats_.hits;
       if (hit != nullptr) *hit = true;
       return *cached;  // copy out under the lock; entries are immutable
@@ -38,19 +38,28 @@ Result<std::vector<Tuple>> ProbeCache::Execute(const WebDatabase& db,
   }
 
   // Probe outside the lock: source latency must never serialize workers.
-  AIMQ_ASSIGN_OR_RETURN(std::vector<Tuple> tuples, db.Execute(query));
+  AIMQ_ASSIGN_OR_RETURN(std::vector<uint32_t> rows, db.ExecuteRows(query));
   {
     std::lock_guard<std::mutex> lock(mu_);
     const uint64_t before = cache_.evictions();
-    cache_.Put(std::move(key), tuples);
+    cache_.Put(std::move(key), rows);
     stats_.evictions += cache_.evictions() - before;
   }
-  return tuples;
+  return rows;
 }
 
-bool ProbeCache::Contains(const SelectionQuery& query) const {
+Result<std::vector<Tuple>> ProbeCache::Execute(const WebDatabase& db,
+                                               const SelectionQuery& query,
+                                               bool* hit) {
+  AIMQ_ASSIGN_OR_RETURN(std::vector<uint32_t> rows,
+                        ExecuteRows(db, query, hit));
+  return db.Materialize(rows);
+}
+
+bool ProbeCache::Contains(const WebDatabase& db,
+                          const SelectionQuery& query) const {
   std::lock_guard<std::mutex> lock(mu_);
-  return cache_.Peek(CanonicalKey(query)) != nullptr;
+  return cache_.Peek(db.CodedProbeKey(query)) != nullptr;
 }
 
 void ProbeCache::Clear() {

@@ -1,13 +1,15 @@
 // ProbeCache: a shared, thread-safe memoization layer in front of
-// WebDatabase::Execute.
+// WebDatabase::ExecuteRows.
 //
 // Algorithm 1 turns every base-set tuple into a fully-bound selection query
 // and relaxes it attribute-by-attribute, so distinct base tuples frequently
 // emit the *same* relaxed query (a deep relaxation of any Camry keeps only
 // Model = Camry). Against an autonomous source each duplicate probe costs
 // real network latency; the cache folds them into one physical probe. Keys
-// are canonicalized (predicate order does not matter), so syntactically
-// different but equivalent conjunctions share an entry.
+// are the source's coded probe keys: predicates pre-resolved to dictionary
+// codes and sorted, so syntactically different but equivalent conjunctions
+// share an entry, and entries are plain row-id vectors — an answerset of
+// 10k tuples caches as 40 kB of integers, not 10k materialized Tuples.
 //
 // The cache is safe for concurrent Execute() calls — the engine's parallel
 // relaxation fan-out and concurrent query sessions share one instance. The
@@ -47,7 +49,7 @@ struct ProbeCacheStats {
   }
 };
 
-/// \brief Thread-safe LRU cache over canonicalized selection queries.
+/// \brief Thread-safe LRU cache over coded selection-query keys.
 class ProbeCache {
  public:
   /// \p capacity is the number of distinct queries retained; 0 makes the
@@ -58,20 +60,27 @@ class ProbeCache {
   ProbeCache(const ProbeCache&) = delete;
   ProbeCache& operator=(const ProbeCache&) = delete;
 
-  /// Canonical cache key: the query's predicates rendered and sorted, so
-  /// predicate order does not produce distinct entries.
+  /// Source-independent canonical key: the query's predicates rendered and
+  /// sorted, so predicate order does not produce distinct entries. Kept for
+  /// callers that memoize without a WebDatabase at hand; the cache itself
+  /// keys on WebDatabase::CodedProbeKey.
   static std::string CanonicalKey(const SelectionQuery& query);
 
-  /// Serves \p query from the cache, or forwards it to \p db and caches the
-  /// answer. \p hit (optional) reports whether the source was spared.
-  /// Errors are never cached.
+  /// Serves \p query's row ids from the cache, or forwards the probe to
+  /// \p db and caches the answer. \p hit (optional) reports whether the
+  /// source was spared. Errors are never cached.
+  Result<std::vector<uint32_t>> ExecuteRows(const WebDatabase& db,
+                                            const SelectionQuery& query,
+                                            bool* hit = nullptr);
+
+  /// ExecuteRows materialized through the source's dictionaries.
   Result<std::vector<Tuple>> Execute(const WebDatabase& db,
                                      const SelectionQuery& query,
                                      bool* hit = nullptr);
 
-  /// True iff the canonical key of \p query is currently cached (does not
+  /// True iff \p query (against \p db) is currently cached (does not
   /// refresh recency; diagnostics/tests).
-  bool Contains(const SelectionQuery& query) const;
+  bool Contains(const WebDatabase& db, const SelectionQuery& query) const;
 
   /// Drops all entries and resets the counters.
   void Clear();
@@ -83,8 +92,8 @@ class ProbeCache {
  private:
   const size_t capacity_;  // immutable; readable without mu_
   mutable std::mutex mu_;
-  LruCache<std::string, std::vector<Tuple>> cache_;  // guarded by mu_
-  ProbeCacheStats stats_;                            // guarded by mu_
+  LruCache<std::string, std::vector<uint32_t>> cache_;  // guarded by mu_
+  ProbeCacheStats stats_;                               // guarded by mu_
 };
 
 }  // namespace aimq

@@ -2,22 +2,40 @@
 
 #include <algorithm>
 
+#include "webdb/coded_query.h"
+
 namespace aimq {
+namespace {
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+}  // namespace
 
 void WebDatabase::BuildIndexes() {
-  const size_t n = data_.schema().NumAttributes();
-  index_.assign(n, {});
-  for (size_t r = 0; r < data_.NumTuples(); ++r) {
-    const Tuple& t = data_.tuple(r);
-    for (size_t i = 0; i < n; ++i) {
-      const Value& v = t.At(i);
-      if (v.is_null()) continue;
-      index_[i][v].push_back(static_cast<uint32_t>(r));
+  cols_ = data_.columnar();
+  const size_t n = cols_->NumAttributes();
+  postings_.assign(n, {});
+  for (size_t a = 0; a < n; ++a) {
+    const std::vector<ValueId>& codes = cols_->codes(a);
+    postings_[a].resize(cols_->dict(a).size());
+    for (size_t r = 0; r < codes.size(); ++r) {
+      if (codes[r] == ValueDict::kNullCode) continue;
+      postings_[a][codes[r]].push_back(static_cast<uint32_t>(r));
     }
   }
 }
 
-Result<std::vector<Tuple>> WebDatabase::Execute(
+Result<std::vector<uint32_t>> WebDatabase::ExecuteRows(
     const SelectionQuery& query) const {
   for (const Predicate& p : query.predicates()) {
     if (p.op == CompareOp::kLike) {
@@ -34,39 +52,107 @@ Result<std::vector<Tuple>> WebDatabase::Execute(
   }
 
   // Index-assisted evaluation: drive the scan from the most selective
-  // equality predicate, verify the rest per candidate row.
+  // equality predicate's posting list, verify the rest per candidate row.
   const std::vector<uint32_t>* candidates = nullptr;
   static const std::vector<uint32_t> kEmpty;
   for (const Predicate& p : query.predicates()) {
     if (p.op != CompareOp::kEq || p.value.is_null()) continue;
     size_t attr = schema().IndexOf(p.attribute).ValueOrDie();
-    auto it = index_[attr].find(p.value);
-    const std::vector<uint32_t>* rows = it == index_[attr].end() ? &kEmpty
-                                                                 : &it->second;
+    const ValueId code = cols_->dict(attr).Lookup(p.value);
+    const std::vector<uint32_t>* rows =
+        code < cols_->dict(attr).size() ? &postings_[attr][code] : &kEmpty;
     if (candidates == nullptr || rows->size() < candidates->size()) {
       candidates = rows;
     }
   }
 
-  std::vector<Tuple> out;
-  auto verify_and_collect = [&](size_t row) -> Status {
-    AIMQ_ASSIGN_OR_RETURN(bool match,
-                          query.Matches(data_.schema(), data_.tuple(row)));
-    if (match) out.push_back(data_.tuple(row));
-    return Status::OK();
-  };
-  if (candidates != nullptr) {
-    for (uint32_t row : *candidates) {
-      AIMQ_RETURN_NOT_OK(verify_and_collect(row));
-    }
-  } else {
-    for (size_t row = 0; row < data_.NumTuples(); ++row) {
-      AIMQ_RETURN_NOT_OK(verify_and_collect(row));
-    }
-  }
+  const CodedConjunction compiled = CodedConjunction::Compile(query, *cols_);
+  Result<std::vector<uint32_t>> out =
+      candidates != nullptr ? compiled.EvaluateCandidates(*candidates)
+                            : compiled.EvaluateAll();
+  if (!out.ok()) return out;
   ++stats_.queries_issued;
-  stats_.tuples_returned += out.size();
+  stats_.tuples_returned += out.ValueOrDie().size();
   return out;
+}
+
+Result<std::vector<Tuple>> WebDatabase::Execute(
+    const SelectionQuery& query) const {
+  AIMQ_ASSIGN_OR_RETURN(std::vector<uint32_t> rows, ExecuteRows(query));
+  return Materialize(rows);
+}
+
+std::vector<Tuple> WebDatabase::Materialize(
+    const std::vector<uint32_t>& rows) const {
+  std::vector<Tuple> out;
+  out.reserve(rows.size());
+  for (uint32_t row : rows) out.push_back(data_.tuple(row));
+  return out;
+}
+
+std::string WebDatabase::CodedProbeKey(const SelectionQuery& query) const {
+  std::vector<std::string> parts;
+  parts.reserve(query.NumPredicates());
+  for (const Predicate& p : query.predicates()) {
+    std::string part;
+    size_t attr = SIZE_MAX;
+    if (auto index = schema().IndexOf(p.attribute); index.ok()) {
+      attr = index.ValueOrDie();
+    }
+    if (attr == SIZE_MAX) {
+      // Unknown attribute (rejected at execution): key on the raw name.
+      part.push_back('A');
+      part += p.attribute;
+    } else {
+      part.push_back('a');
+      AppendU32(&part, static_cast<uint32_t>(attr));
+    }
+    part.push_back(static_cast<char>(p.op));
+    if (p.value.is_null()) {
+      part.push_back('0');
+    } else if (p.op == CompareOp::kEq) {
+      const ValueId code =
+          attr == SIZE_MAX ? ValueDict::kAbsentCode
+                           : cols_->dict(attr).Lookup(p.value);
+      if (code != ValueDict::kAbsentCode) {
+        // Resolving through the dictionary makes equal values share a key
+        // (-0.0 finds 0.0's code, exactly as equality evaluates them).
+        part.push_back('c');
+        AppendU32(&part, code);
+      } else if (p.value.is_numeric()) {
+        part.push_back('n');
+        uint64_t bits = 0;
+        static_assert(sizeof(bits) == sizeof(double), "double is 64-bit");
+        const double d = p.value.AsNum();
+        __builtin_memcpy(&bits, &d, sizeof(bits));
+        AppendU64(&part, bits);
+      } else {
+        part.push_back('s');
+        part += p.value.AsCat();
+      }
+    } else if (p.value.is_numeric()) {
+      part.push_back('n');
+      uint64_t bits = 0;
+      const double d = p.value.AsNum();
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      AppendU64(&part, bits);
+    } else {
+      part.push_back('s');
+      part += p.value.AsCat();
+    }
+    parts.push_back(std::move(part));
+  }
+  std::sort(parts.begin(), parts.end());
+  // Prefix with the columnar snapshot's identity: codes and row ids are only
+  // meaningful relative to one snapshot, so a cache shared across sources
+  // can never cross-hit.
+  std::string key;
+  AppendU64(&key, reinterpret_cast<uintptr_t>(cols_.get()));
+  for (const std::string& part : parts) {
+    AppendU32(&key, static_cast<uint32_t>(part.size()));
+    key += part;
+  }
+  return key;
 }
 
 Result<std::vector<Value>> WebDatabase::FormValues(

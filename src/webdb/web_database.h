@@ -5,17 +5,25 @@
 // clients can only issue precise conjunctive selection queries and observe
 // the returned tuples. Probe accounting (queries issued, tuples shipped)
 // backs the efficiency experiments (Figures 6 and 7).
+//
+// Internally the source evaluates queries over its dictionary-encoded
+// columnar snapshot: each query compiles to a CodedConjunction once, and the
+// candidate scan is driven from per-code posting lists, so per-row work is
+// integer comparison. ExecuteRows is the primary (row-id) entry point; the
+// Tuple-returning Execute is a materializing wrapper kept for edges (wire
+// protocol, reports, data collection).
 
 #ifndef AIMQ_WEBDB_WEB_DATABASE_H_
 #define AIMQ_WEBDB_WEB_DATABASE_H_
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "query/selection_query.h"
+#include "relation/columnar.h"
 #include "relation/relation.h"
 #include "util/status.h"
 
@@ -47,9 +55,11 @@ struct ProbeStats {
 
 /// \brief Boolean-query-only facade over a hidden relation.
 ///
-/// Execute/FormValues are virtual so tests and adapters can substitute other
-/// transports (an HTTP form scraper, a flaky source for failure-injection
-/// tests) behind the same probing interface.
+/// ExecuteRows/Execute/FormValues are virtual so tests and adapters can
+/// substitute other transports (an HTTP form scraper, a flaky source for
+/// failure-injection tests) behind the same probing interface. Overriding
+/// ExecuteRows covers both entry points: the default Execute routes through
+/// it.
 class WebDatabase {
  public:
   /// Takes ownership of the hidden relation. \p name labels the source
@@ -69,11 +79,23 @@ class WebDatabase {
   /// reporting only; AIMQ's algorithms do not consult it.
   size_t NumTuples() const { return data_.NumTuples(); }
 
-  /// Executes a precise conjunctive query and returns the matching tuples.
-  /// Queries containing 'like' predicates are rejected: the source only
-  /// supports the boolean model. Safe to call concurrently: the per-attribute
-  /// indexes are immutable after construction and probe accounting is atomic.
+  /// Executes a precise conjunctive query and returns the ids of matching
+  /// rows (ascending). Queries containing 'like' predicates are rejected:
+  /// the source only supports the boolean model. Safe to call concurrently:
+  /// the per-code posting lists are immutable after construction and probe
+  /// accounting is atomic.
+  virtual Result<std::vector<uint32_t>> ExecuteRows(
+      const SelectionQuery& query) const;
+
+  /// Executes a precise conjunctive query and returns the matching tuples —
+  /// ExecuteRows materialized through the dictionaries.
   virtual Result<std::vector<Tuple>> Execute(const SelectionQuery& query) const;
+
+  /// Materializes row ids (as returned by ExecuteRows) into tuples.
+  std::vector<Tuple> Materialize(const std::vector<uint32_t>& rows) const;
+
+  /// Materializes one row id (as returned by ExecuteRows).
+  const Tuple& tuple(uint32_t row) const { return data_.tuple(row); }
 
   /// The option list a Web form exposes in the drop-down for a categorical
   /// attribute (sorted, distinct, non-null). This is public metadata on real
@@ -81,6 +103,17 @@ class WebDatabase {
   /// queries. Errors for numeric or unknown attributes.
   virtual Result<std::vector<Value>> FormValues(
       const std::string& attribute) const;
+
+  /// Canonical cache key for \p query against this source: predicates
+  /// pre-resolved to dictionary codes and sorted, prefixed with the identity
+  /// of the columnar snapshot the codes (and any cached row ids) are
+  /// relative to. Predicate order never produces distinct keys.
+  std::string CodedProbeKey(const SelectionQuery& query) const;
+
+  /// The dictionary-encoded snapshot the source evaluates against.
+  const std::shared_ptr<const ColumnarRelation>& columnar() const {
+    return cols_;
+  }
 
   /// Probe accounting across all Execute calls.
   const ProbeStats& stats() const { return stats_; }
@@ -98,9 +131,9 @@ class WebDatabase {
 
   std::string name_;
   Relation data_;
-  // index_[attr][value] -> ascending row ids.
-  std::vector<std::unordered_map<Value, std::vector<uint32_t>, ValueHash>>
-      index_;
+  std::shared_ptr<const ColumnarRelation> cols_;
+  // postings_[attr][code] -> ascending row ids holding that code.
+  std::vector<std::vector<std::vector<uint32_t>>> postings_;
   mutable ProbeStats stats_;
 };
 

@@ -24,10 +24,10 @@ class SlowDb : public WebDatabase {
   SlowDb(std::string name, Relation data, std::chrono::milliseconds delay)
       : WebDatabase(std::move(name), std::move(data)), delay_(delay) {}
 
-  Result<std::vector<Tuple>> Execute(
+  Result<std::vector<uint32_t>> ExecuteRows(
       const SelectionQuery& query) const override {
     std::this_thread::sleep_for(delay_);
-    return WebDatabase::Execute(query);
+    return WebDatabase::ExecuteRows(query);
   }
 
  private:

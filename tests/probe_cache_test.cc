@@ -106,9 +106,9 @@ TEST(ProbeCacheTest, LruEvictionDropsTheColdestEntry) {
   ASSERT_TRUE(cache.Execute(db, toyota).ok());  // refresh: [toyota, honda]
   ASSERT_TRUE(cache.Execute(db, camry).ok());   // evicts honda
   EXPECT_EQ(cache.size(), 2u);
-  EXPECT_TRUE(cache.Contains(toyota));
-  EXPECT_TRUE(cache.Contains(camry));
-  EXPECT_FALSE(cache.Contains(honda));
+  EXPECT_TRUE(cache.Contains(db, toyota));
+  EXPECT_TRUE(cache.Contains(db, camry));
+  EXPECT_FALSE(cache.Contains(db, honda));
   EXPECT_EQ(cache.stats().evictions, 1u);
 
   // The evicted query must be re-probed.

@@ -1,0 +1,104 @@
+#include "relation/value_dict.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace aimq {
+namespace {
+
+TEST(ValueDictTest, CodesAssignedInFirstSeenOrder) {
+  ValueDict dict;
+  EXPECT_EQ(dict.Intern(Value::Cat("Toyota")), 0u);
+  EXPECT_EQ(dict.Intern(Value::Cat("Honda")), 1u);
+  EXPECT_EQ(dict.Intern(Value::Cat("Toyota")), 0u);
+  EXPECT_EQ(dict.Intern(Value::Cat("Ford")), 2u);
+  ASSERT_EQ(dict.size(), 3u);
+  EXPECT_EQ(dict.value(0), Value::Cat("Toyota"));
+  EXPECT_EQ(dict.value(1), Value::Cat("Honda"));
+  EXPECT_EQ(dict.value(2), Value::Cat("Ford"));
+}
+
+TEST(ValueDictTest, NullInternsToReservedCodeWithoutEntry) {
+  ValueDict dict;
+  EXPECT_EQ(dict.Intern(Value()), ValueDict::kNullCode);
+  EXPECT_TRUE(dict.Empty());
+  EXPECT_EQ(dict.Intern(Value::Cat("x")), 0u);
+  EXPECT_EQ(dict.Intern(Value()), ValueDict::kNullCode);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(ValueDictTest, EmptyStringIsDistinctFromNull) {
+  ValueDict dict;
+  ValueId empty = dict.Intern(Value::Cat(""));
+  EXPECT_NE(empty, ValueDict::kNullCode);
+  EXPECT_EQ(empty, 0u);
+  EXPECT_EQ(dict.Intern(Value()), ValueDict::kNullCode);
+  EXPECT_EQ(dict.Lookup(Value::Cat("")), empty);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(ValueDictTest, LookupNeverMutates) {
+  ValueDict dict;
+  dict.Intern(Value::Cat("a"));
+  EXPECT_EQ(dict.Lookup(Value::Cat("a")), 0u);
+  EXPECT_EQ(dict.Lookup(Value::Cat("b")), ValueDict::kAbsentCode);
+  EXPECT_EQ(dict.Lookup(Value()), ValueDict::kNullCode);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(ValueDictTest, NumericValuesIntern) {
+  ValueDict dict;
+  EXPECT_EQ(dict.Intern(Value::Num(10000)), 0u);
+  EXPECT_EQ(dict.Intern(Value::Num(12000)), 1u);
+  EXPECT_EQ(dict.Intern(Value::Num(10000)), 0u);
+  EXPECT_EQ(dict.Lookup(Value::Num(12000)), 1u);
+}
+
+TEST(ValueDictTest, NegativeZeroSharesCodeWithZero) {
+  // Value equality is IEEE ==, under which -0.0 == 0.0; the dictionary must
+  // agree or code equality would diverge from Tuple equality.
+  ValueDict dict;
+  ValueId zero = dict.Intern(Value::Num(0.0));
+  EXPECT_EQ(dict.Intern(Value::Num(-0.0)), zero);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(ValueDictTest, EachNanOccurrenceGetsAFreshCode) {
+  // Value equality is IEEE ==, under which NaN != NaN — including itself.
+  // Interning must preserve that: two NaN occurrences may not share a code,
+  // otherwise code-vector equality would claim two NaN-bearing tuples equal
+  // when Tuple::operator== says they are not.
+  const double nan = std::nan("");
+  ValueDict dict;
+  ValueId first = dict.Intern(Value::Num(nan));
+  ValueId second = dict.Intern(Value::Num(nan));
+  EXPECT_NE(first, second);
+  EXPECT_EQ(dict.size(), 2u);
+  // Lookup can never match a NaN either.
+  EXPECT_EQ(dict.Lookup(Value::Num(nan)), ValueDict::kAbsentCode);
+}
+
+TEST(ValueDictTest, CategoricalAndNumericPayloadsNeverCollide) {
+  ValueDict dict;
+  ValueId num = dict.Intern(Value::Num(5));
+  ValueId cat = dict.Intern(Value::Cat("5"));
+  EXPECT_NE(num, cat);
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(ValueDictTest, ValuesListMatchesCodes) {
+  ValueDict dict;
+  dict.Intern(Value::Cat("b"));
+  dict.Intern(Value::Cat("a"));
+  dict.Intern(Value::Cat("c"));
+  const std::vector<Value>& values = dict.values();
+  ASSERT_EQ(values.size(), 3u);
+  for (ValueId c = 0; c < dict.size(); ++c) {
+    EXPECT_EQ(values[c], dict.value(c));
+    EXPECT_EQ(dict.Lookup(values[c]), c);
+  }
+}
+
+}  // namespace
+}  // namespace aimq

@@ -131,12 +131,12 @@ class FlakyWebDatabase : public WebDatabase {
   FlakyWebDatabase(Relation data, int budget)
       : WebDatabase("FlakyDB", std::move(data)), budget_(budget) {}
 
-  Result<std::vector<Tuple>> Execute(
+  Result<std::vector<uint32_t>> ExecuteRows(
       const SelectionQuery& query) const override {
     if (budget_-- <= 0) {
       return Status::IOError("connection reset by peer");
     }
-    return WebDatabase::Execute(query);
+    return WebDatabase::ExecuteRows(query);
   }
 
  private:
