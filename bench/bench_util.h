@@ -85,6 +85,39 @@ inline bool WriteJsonFile(const std::string& path, const Json& doc) {
   return true;
 }
 
+/// Peak resident set size of this process (Linux VmHWM), in bytes; 0 when
+/// unavailable. Recorded into bench baselines so memory regressions are as
+/// diffable as ns/op regressions.
+inline size_t PeakRssBytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  size_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %zu", &kb) == 1) break;
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+
+/// Code-column footprint of one columnar snapshot as bytes per tuple:
+/// "plain" is the resident 4-bytes-per-code layout; packed snapshots add
+/// "packed" (bit-packed payloads) and "stored" (post-codec, what actually
+/// occupies memory or spill) from the block store's stats.
+inline Json BytesPerTupleJson(const ColumnarRelation& cols) {
+  Json j = Json::Obj();
+  const double rows =
+      cols.NumRows() > 0 ? static_cast<double>(cols.NumRows()) : 1.0;
+  j.Set("plain", Json::Num(4.0 * static_cast<double>(cols.NumAttributes())));
+  if (cols.packed()) {
+    const storage::BlockStoreStats stats = cols.block_store()->GetStats();
+    j.Set("packed", Json::Num(static_cast<double>(stats.packed_bytes) / rows));
+    j.Set("stored", Json::Num(static_cast<double>(stats.stored_bytes) / rows));
+    j.Set("codec", Json::Str(storage::CodecName(stats.codec)));
+  }
+  return j;
+}
+
 /// The canonical 100k CarDB instance every CarDB experiment derives from
 /// (paper §6.1). Seed fixed so all benches see the same database.
 inline Relation FullCarDb() {

@@ -251,6 +251,9 @@ inline int RunRelaxEfficiency(RelaxationStrategy strategy,
             Json::Num(static_cast<double>(
                 serial_totals.deduped_probes.load())));
     doc.Set("deterministic", Json::Bool(identical));
+    doc.Set("bytes_per_tuple", BytesPerTupleJson(*db.columnar()));
+    doc.Set("peak_rss_bytes",
+            Json::Num(static_cast<double>(PeakRssBytes())));
     if (!WriteJsonFile(json_path, doc)) return 1;
   }
   return identical ? 0 : 1;

@@ -33,22 +33,30 @@ StrippedPartition StrippedPartition::FromColumn(const Relation& relation,
 
 StrippedPartition StrippedPartition::FromColumnCoded(
     const ColumnarRelation& data, size_t attr_index) {
-  const std::vector<ValueId>& codes = data.codes(attr_index);
   const size_t card = data.dict(attr_index).size();
   // Dense counting: one bucket per dictionary code, plus one for null. Each
   // NaN occurrence owns a fresh code, so NaN rows land in singleton buckets
   // and are stripped — the same classes the Value-keyed grouping produced.
+  // Two block-window scans (count, then fill) keep the pass sequential in
+  // either storage mode; packed snapshots decode one block at a time.
   std::vector<uint32_t> counts(card + 1, 0);
-  for (ValueId code : codes) {
-    counts[code == ValueDict::kNullCode ? card : code]++;
+  ColumnarRelation::CodeWindow w;
+  for (auto cur = data.ScanBlocks({attr_index}); cur.Next(&w);) {
+    for (size_t i = 0; i < w.num_rows; ++i) {
+      const ValueId code = w.codes[0][i];
+      counts[code == ValueDict::kNullCode ? card : code]++;
+    }
   }
   std::vector<std::vector<size_t>> buckets(card + 1);
   for (size_t slot = 0; slot <= card; ++slot) {
     if (counts[slot] >= 2) buckets[slot].reserve(counts[slot]);
   }
-  for (size_t r = 0; r < codes.size(); ++r) {
-    const size_t slot = codes[r] == ValueDict::kNullCode ? card : codes[r];
-    if (counts[slot] >= 2) buckets[slot].push_back(r);
+  for (auto cur = data.ScanBlocks({attr_index}); cur.Next(&w);) {
+    for (size_t i = 0; i < w.num_rows; ++i) {
+      const ValueId code = w.codes[0][i];
+      const size_t slot = code == ValueDict::kNullCode ? card : code;
+      if (counts[slot] >= 2) buckets[slot].push_back(w.begin_row + i);
+    }
   }
   std::vector<std::vector<size_t>> classes;
   for (auto& rows : buckets) {

@@ -271,7 +271,7 @@ AimqEngine::TupleExpansion AimqEngine::ExpandBaseTuple(
 
   // The relaxer and the mined order need the tuple's values; everything else
   // in the loop runs on codes.
-  const Tuple& tuple = source_->tuple(base_row);
+  const Tuple tuple = source_->MaterializeRow(base_row);
   const uint32_t base_canon = cols.CanonicalRow(base_row);
   const CodedSimilarityFunction::EncodedQuery enc_anchor =
       coded_sim_.EncodeAnchorRow(base_row, all_attrs_);
@@ -391,7 +391,7 @@ Result<std::vector<RankedAnswer>> AimqEngine::AnswerUncached(
   }
   std::vector<RankedAnswer> out;
   for (auto& [score, row] : topk.Extract()) {
-    out.push_back(RankedAnswer{source_->tuple(row), score});
+    out.push_back(RankedAnswer{source_->MaterializeRow(row), score});
   }
   return out;
 }
@@ -419,7 +419,7 @@ Result<std::vector<RankedAnswer>> AimqEngine::FindSimilar(
   }
   auto equals_anchor = [&](uint32_t row) {
     for (size_t a = 0; a < anchor_codes.size(); ++a) {
-      if (cols.codes(a)[row] != anchor_codes[a]) return false;
+      if (cols.CodeAt(a, row) != anchor_codes[a]) return false;
     }
     return true;
   };
@@ -453,7 +453,7 @@ Result<std::vector<RankedAnswer>> AimqEngine::FindSimilar(
       if (stats != nullptr) ++stats->tuples_extracted;
       double s = coded_sim_.Score(enc_anchor, candidate);
       if (s >= tsim) {
-        relevant.push_back(RankedAnswer{source_->tuple(candidate), s});
+        relevant.push_back(RankedAnswer{source_->MaterializeRow(candidate), s});
         if (stats != nullptr) ++stats->tuples_relevant;
       }
     }

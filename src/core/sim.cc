@@ -133,7 +133,7 @@ CodedSimilarityFunction::EncodedQuery CodedSimilarityFunction::EncodeAnchorRow(
   EncodedQuery out;
   out.bindings.reserve(attrs.size());
   for (size_t attr : attrs) {
-    const ValueId code = cols_->codes(attr)[row];
+    const ValueId code = cols_->CodeAt(attr, row);
     EncodedBinding e;
     e.attr = attr;
     e.weight = base_->ordering().Wimp(attr);
@@ -144,7 +144,7 @@ CodedSimilarityFunction::EncodedQuery CodedSimilarityFunction::EncodeAnchorRow(
         e.code = code;
         e.model_index = code_to_model_[attr][code];
       } else {
-        e.num = cols_->nums(attr)[row];
+        e.num = cols_->NumAt(attr, row);
       }
     }
     out.bindings.push_back(e);
@@ -155,7 +155,7 @@ CodedSimilarityFunction::EncodedQuery CodedSimilarityFunction::EncodeAnchorRow(
 double CodedSimilarityFunction::AttrSim(const EncodedBinding& b,
                                         uint32_t row) const {
   if (b.is_null) return 0.0;
-  const ValueId tc = cols_->codes(b.attr)[row];
+  const ValueId tc = cols_->CodeAt(b.attr, row);
   if (tc == ValueDict::kNullCode) return 0.0;
   if (b.categorical) {
     // VSim(a, b): equal values score 1 even when unmined; code equality is
@@ -173,7 +173,7 @@ double CodedSimilarityFunction::AttrSim(const EncodedBinding& b,
   return NumericAttributeSim(base_->numeric_kind(), has_range,
                              has_range ? ranges[b.attr].first : 0.0,
                              has_range ? ranges[b.attr].second : 0.0, b.num,
-                             cols_->nums(b.attr)[row]);
+                             cols_->NumAt(b.attr, row));
 }
 
 double CodedSimilarityFunction::Score(const EncodedQuery& query,

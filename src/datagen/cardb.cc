@@ -363,8 +363,30 @@ Schema CarDbGenerator::MakeSchema() {
 }
 
 Relation CarDbGenerator::Generate() const {
-  Rng rng(spec_.seed);
   Relation rel(MakeSchema());
+  // StreamTuples makes the same RNG calls in the same order, so the
+  // materialized relation is identical to the historical in-place loop.
+  Status st = StreamTuples([&rel](std::vector<Value>&& values) {
+    rel.AppendUnchecked(Tuple(std::move(values)));
+    return Status::OK();
+  });
+  (void)st;  // the appending emitter never fails
+  return rel;
+}
+
+Result<std::shared_ptr<const ColumnarRelation>> CarDbGenerator::
+    GenerateColumnar(ColumnarBuilder::Options opts) const {
+  AIMQ_ASSIGN_OR_RETURN(std::unique_ptr<ColumnarBuilder> builder,
+                        ColumnarBuilder::Create(MakeSchema(), opts));
+  AIMQ_RETURN_NOT_OK(StreamTuples([&builder](std::vector<Value>&& values) {
+    return builder->AppendRow(values);
+  }));
+  return builder->Finish();
+}
+
+Status CarDbGenerator::StreamTuples(
+    const std::function<Status(std::vector<Value>&&)>& emit) const {
+  Rng rng(spec_.seed);
 
   // Listing volume is Zipf-like in the real world: mainstream models
   // outnumber niche ones by orders of magnitude. The power transform
@@ -431,7 +453,7 @@ Relation CarDbGenerator::Generate() const {
     const std::string& color =
         Colors()[rng.Categorical(color_weights[mi])].name;
 
-    rel.AppendUnchecked(Tuple({
+    AIMQ_RETURN_NOT_OK(emit({
         Value::Cat(m.make),
         Value::Cat(m.model),
         Value::Cat(std::to_string(year)),
@@ -441,7 +463,7 @@ Relation CarDbGenerator::Generate() const {
         Value::Cat(color),
     }));
   }
-  return rel;
+  return Status::OK();
 }
 
 const CarModelInfo* CarDbGenerator::FindModel(const std::string& model) const {

@@ -14,9 +14,12 @@
 #define AIMQ_DATAGEN_CARDB_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "relation/columnar.h"
 #include "relation/relation.h"
 #include "util/status.h"
 
@@ -77,6 +80,19 @@ class CarDbGenerator {
 
   /// Generates the dataset (deterministic per spec).
   Relation Generate() const;
+
+  /// Streams the dataset row-by-row into \p emit — the exact tuple sequence
+  /// Generate() materializes (same RNG call pattern, so the two are
+  /// value-identical). A non-OK status from \p emit aborts the stream and is
+  /// returned. Peak memory is one row.
+  Status StreamTuples(
+      const std::function<Status(std::vector<Value>&&)>& emit) const;
+
+  /// Streams the dataset straight into a packed columnar snapshot (block
+  /// bit-packing, optional codec/spill/budget per \p opts) without ever
+  /// materializing a row-store Relation — the 10M–100M tuple path.
+  Result<std::shared_ptr<const ColumnarRelation>> GenerateColumnar(
+      ColumnarBuilder::Options opts) const;
 
   /// The hidden catalog.
   const std::vector<CarModelInfo>& catalog() const { return catalog_; }

@@ -1,11 +1,20 @@
 #include "relation/columnar.h"
 
+#include <algorithm>
 #include <unordered_map>
+#include <utility>
 
 #include "relation/relation.h"
 
 namespace aimq {
 namespace {
+
+// The storage layer restates the dictionary sentinels to stay
+// dependency-free; packed columns are only correct if they agree.
+static_assert(storage::kNullCode == ValueDict::kNullCode,
+              "storage null sentinel must match ValueDict");
+static_assert(storage::kAbsentCode == ValueDict::kAbsentCode,
+              "storage absent sentinel must match ValueDict");
 
 // Hash/equality over full code vectors, addressed by row index, for the
 // canonical-row grouping below.
@@ -39,7 +48,10 @@ ColumnarRelation::ColumnarRelation(const Relation& relation)
   codes_.resize(num_attrs);
   nums_.resize(num_attrs);
   for (size_t a = 0; a < num_attrs; ++a) {
+    // Pre-size columns exactly and dictionaries heuristically (most
+    // attributes have far fewer distinct values than rows).
     codes_[a].reserve(num_rows_);
+    dicts_[a].Reserve(std::min<size_t>(num_rows_, 4096));
     if (schema_.attribute(a).type == AttrType::kNumeric) {
       nums_[a].reserve(num_rows_);
     }
@@ -64,19 +76,170 @@ ColumnarRelation::ColumnarRelation(const Relation& relation)
   }
 }
 
+ColumnarRelation::WindowCursor::WindowCursor(const ColumnarRelation* rel,
+                                             std::vector<size_t> attrs)
+    : rel_(rel), attrs_(std::move(attrs)) {
+  if (rel_->packed()) {
+    cursors_.reserve(attrs_.size());
+    for (size_t a : attrs_) {
+      cursors_.push_back(rel_->store_->ColumnCursor(a));
+    }
+  }
+}
+
+bool ColumnarRelation::WindowCursor::Next(CodeWindow* w) {
+  if (done_) return false;
+  w->codes.resize(attrs_.size());
+  if (!rel_->packed()) {
+    // Plain mode: the whole relation is one window of resident columns.
+    done_ = true;
+    if (rel_->num_rows_ == 0) return false;
+    w->begin_row = 0;
+    w->num_rows = rel_->num_rows_;
+    for (size_t i = 0; i < attrs_.size(); ++i) {
+      w->codes[i] = rel_->codes_[attrs_[i]].data();
+    }
+    return true;
+  }
+  if (attrs_.empty()) {
+    done_ = true;
+    return false;
+  }
+  for (size_t i = 0; i < cursors_.size(); ++i) {
+    if (!cursors_[i].Next()) {
+      done_ = true;
+      return false;
+    }
+    w->codes[i] = cursors_[i].data();
+  }
+  w->begin_row = cursors_[0].begin_row();
+  w->num_rows = cursors_[0].size();
+  return true;
+}
+
+void ColumnarRelation::EnsureCanonical() const {
+  std::call_once(canonical_once_, [this] {
+    canonical_.resize(num_rows_);
+    const size_t num_attrs = dicts_.size();
+    std::vector<size_t> attrs(num_attrs);
+    for (size_t a = 0; a < num_attrs; ++a) attrs[a] = a;
+
+    // Streaming pass: hash every row's code vector, bucket rows by hash,
+    // and verify candidate matches code-by-code so a hash collision can
+    // never merge distinct rows. First row in stream order wins, exactly as
+    // the plain constructor's insertion order does.
+    auto rows_equal = [this, num_attrs](uint32_t a, uint32_t b) {
+      for (size_t attr = 0; attr < num_attrs; ++attr) {
+        if (store_->At(attr, a) != store_->At(attr, b)) return false;
+      }
+      return true;
+    };
+
+    std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
+    buckets.reserve(num_rows_ + 1);
+    WindowCursor cur = ScanBlocks(attrs);
+    CodeWindow w;
+    while (cur.Next(&w)) {
+      for (size_t i = 0; i < w.num_rows; ++i) {
+        const uint32_t row = static_cast<uint32_t>(w.begin_row + i);
+        uint64_t h = 0x9e3779b97f4a7c15ull;
+        for (size_t a = 0; a < num_attrs; ++a) {
+          h ^= w.codes[a][i] + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+        }
+        std::vector<uint32_t>& bucket = buckets[h];
+        uint32_t canon = row;
+        for (uint32_t rep : bucket) {
+          if (rows_equal(rep, row)) {
+            canon = rep;
+            break;
+          }
+        }
+        if (canon == row) bucket.push_back(row);
+        canonical_[row] = canon;
+      }
+    }
+  });
+}
+
 Tuple ColumnarRelation::MaterializeTuple(size_t row) const {
+  const size_t num_attrs = dicts_.size();
   std::vector<Value> values;
-  values.reserve(codes_.size());
-  for (size_t a = 0; a < codes_.size(); ++a) {
+  values.reserve(num_attrs);
+  for (size_t a = 0; a < num_attrs; ++a) {
     values.push_back(ValueAt(a, row));
   }
   return Tuple(std::move(values));
 }
 
 Value ColumnarRelation::ValueAt(size_t attr, size_t row) const {
-  const ValueId code = codes_[attr][row];
+  const ValueId code = CodeAt(attr, row);
   if (code == ValueDict::kNullCode) return Value();
   return dicts_[attr].value(code);
+}
+
+Result<std::unique_ptr<ColumnarBuilder>> ColumnarBuilder::Create(Schema schema,
+                                                                 Options opts) {
+  const size_t num_attrs = schema.NumAttributes();
+  AIMQ_ASSIGN_OR_RETURN(
+      std::unique_ptr<storage::CodeBlockStore> store,
+      storage::CodeBlockStore::Create(opts.store, num_attrs));
+  std::unique_ptr<ColumnarBuilder> b(new ColumnarBuilder());
+  b->schema_ = std::move(schema);
+  b->dicts_.resize(num_attrs);
+  b->code_num_.resize(num_attrs);
+  b->is_numeric_.resize(num_attrs);
+  for (size_t a = 0; a < num_attrs; ++a) {
+    b->is_numeric_[a] =
+        b->schema_.attribute(a).type == AttrType::kNumeric ? 1 : 0;
+    if (opts.expected_distinct_per_attr > 0) {
+      b->dicts_[a].Reserve(opts.expected_distinct_per_attr);
+      if (b->is_numeric_[a]) {
+        b->code_num_[a].reserve(opts.expected_distinct_per_attr);
+      }
+    }
+  }
+  b->store_ = std::move(store);
+  return b;
+}
+
+Status ColumnarBuilder::AppendRow(const std::vector<Value>& values) {
+  if (finished_) {
+    return Status::FailedPrecondition("ColumnarBuilder: append after Finish");
+  }
+  if (values.size() != dicts_.size()) {
+    return Status::InvalidArgument(
+        "ColumnarBuilder: row arity does not match schema");
+  }
+  for (size_t a = 0; a < values.size(); ++a) {
+    const Value& v = values[a];
+    const ValueId code = dicts_[a].Intern(v);
+    if (is_numeric_[a] && code != ValueDict::kNullCode &&
+        code == code_num_[a].size()) {
+      // First sighting of this value: extend the code -> double table with
+      // the same conversion the plain constructor applies per row.
+      code_num_[a].push_back(v.is_numeric() ? v.AsNum() : 0.0);
+    }
+    AIMQ_RETURN_NOT_OK(store_->Append(a, &code, 1));
+  }
+  ++rows_;
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const ColumnarRelation>> ColumnarBuilder::Finish() {
+  if (finished_) {
+    return Status::FailedPrecondition("ColumnarBuilder: Finish called twice");
+  }
+  finished_ = true;
+  AIMQ_RETURN_NOT_OK(store_->FinishBuild());
+  auto rel = std::shared_ptr<ColumnarRelation>(new ColumnarRelation());
+  rel->schema_ = std::move(schema_);
+  rel->num_rows_ = rows_;
+  rel->dicts_ = std::move(dicts_);
+  rel->codes_.resize(rel->dicts_.size());   // empty: packed mode
+  rel->nums_.resize(rel->dicts_.size());    // empty: packed mode
+  rel->code_num_ = std::move(code_num_);
+  rel->store_ = std::move(store_);
+  return std::shared_ptr<const ColumnarRelation>(std::move(rel));
 }
 
 }  // namespace aimq

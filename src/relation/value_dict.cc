@@ -2,6 +2,11 @@
 
 namespace aimq {
 
+void ValueDict::Reserve(size_t expected_values) {
+  values_.reserve(expected_values);
+  index_.reserve(expected_values);
+}
+
 ValueId ValueDict::Intern(const Value& v) {
   if (v.is_null()) return kNullCode;
   auto [it, inserted] =

@@ -39,6 +39,10 @@ class ValueDict {
 
   ValueDict() = default;
 
+  /// Pre-sizes the dictionary for about \p expected_values distinct values.
+  /// Purely a capacity hint: code assignment order is unaffected.
+  void Reserve(size_t expected_values);
+
   /// Interns \p v, returning its code (existing or freshly assigned).
   /// Null interns to kNullCode without creating an entry.
   ValueId Intern(const Value& v);

@@ -1,0 +1,100 @@
+#include "storage/bitpack.h"
+
+#include <bit>
+#include <cassert>
+
+namespace aimq {
+namespace storage {
+namespace {
+
+// code -> packed-domain value under the given frame of reference.
+inline uint32_t MapCode(uint32_t code, uint32_t base) {
+  if (code == kNullCode) return 0;
+  if (code == kAbsentCode) return 1;
+  return (code - base) + 2;
+}
+
+// packed-domain value -> code.
+inline uint32_t UnmapCode(uint32_t mapped, uint32_t base) {
+  if (mapped == 0) return kNullCode;
+  if (mapped == 1) return kAbsentCode;
+  return base + (mapped - 2);
+}
+
+}  // namespace
+
+PackSpec Analyze(const uint32_t* codes, size_t n) {
+  uint32_t min_code = kAbsentCode;  // > any real code
+  uint32_t max_code = 0;
+  bool any_absent = false;
+  bool any_real = false;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t c = codes[i];
+    if (c == kNullCode) continue;
+    if (c == kAbsentCode) {
+      any_absent = true;
+      continue;
+    }
+    any_real = true;
+    if (c < min_code) min_code = c;
+    if (c > max_code) max_code = c;
+  }
+  PackSpec spec;
+  if (!any_real) {
+    spec.base = 0;
+    // Nulls map to 0 (width 0 payload); an absent occurrence maps to 1.
+    spec.width = any_absent ? 1 : 0;
+    return spec;
+  }
+  spec.base = min_code;
+  const uint32_t max_mapped = (max_code - min_code) + 2;
+  spec.width = static_cast<uint8_t>(std::bit_width(max_mapped));
+  return spec;
+}
+
+void Pack(const uint32_t* codes, size_t n, const PackSpec& spec, uint8_t* out) {
+  const uint8_t width = spec.width;
+  if (width == 0) return;  // every entry maps to 0: no payload
+  uint64_t acc = 0;  // bits not yet flushed, LSB-first
+  int acc_bits = 0;
+  size_t out_pos = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t mapped = MapCode(codes[i], spec.base);
+    assert(width == 32 || mapped < (1ull << width));
+    acc |= mapped << acc_bits;
+    acc_bits += width;
+    while (acc_bits >= 8) {
+      out[out_pos++] = static_cast<uint8_t>(acc & 0xff);
+      acc >>= 8;
+      acc_bits -= 8;
+    }
+  }
+  if (acc_bits > 0) out[out_pos++] = static_cast<uint8_t>(acc & 0xff);
+  assert(out_pos == PackedBytes(width, n));
+}
+
+void Unpack(const uint8_t* packed, size_t n, const PackSpec& spec,
+            uint32_t* out) {
+  const uint8_t width = spec.width;
+  if (width == 0) {
+    for (size_t i = 0; i < n; ++i) out[i] = kNullCode;
+    return;
+  }
+  const uint64_t mask =
+      width == 64 ? ~0ull : ((1ull << width) - 1);  // width <= 32 in practice
+  uint64_t acc = 0;
+  int acc_bits = 0;
+  size_t in_pos = 0;
+  for (size_t i = 0; i < n; ++i) {
+    while (acc_bits < width) {
+      acc |= static_cast<uint64_t>(packed[in_pos++]) << acc_bits;
+      acc_bits += 8;
+    }
+    out[i] = UnmapCode(static_cast<uint32_t>(acc & mask), spec.base);
+    acc >>= width;
+    acc_bits -= width;
+  }
+}
+
+}  // namespace storage
+}  // namespace aimq

@@ -1,0 +1,66 @@
+// Bit-packed, frame-of-reference encoding for one block of dictionary codes.
+//
+// Dictionary codes are dense small integers, so a block of them rarely needs
+// anywhere near 32 bits per entry. Each block is encoded against a PackSpec:
+// `base` is the smallest real code in the block (frame of reference — sorted
+// or clustered runs of a skewed generator pack to a handful of bits), and
+// `width` is the number of bits per packed entry. The two reserved sentinels
+// survive the round-trip by mapping into the low end of the packed domain:
+//
+//   packed 0          -> kNullCode   (SQL null)
+//   packed 1          -> kAbsentCode (never stored by ValueDict, but legal)
+//   packed v >= 2     -> base + (v - 2)
+//
+// so an all-null block packs to width 0 (no payload at all), and a block
+// whose codes span [base, base+1] packs to 2 bits per row. Width 32 is the
+// ceiling: the mapped domain tops out at (kAbsentCode - 1) - 0 + 2 = 2^32 - 1.
+//
+// Bits are packed LSB-first into little-endian bytes; entry i occupies bits
+// [i*width, (i+1)*width) of the payload. Packing is branch-light and the
+// round-trip is exact for every code column the dictionaries can produce —
+// the property tests sweep widths 1..32, block-boundary offsets, and
+// sentinel-heavy blocks.
+
+#ifndef AIMQ_STORAGE_BITPACK_H_
+#define AIMQ_STORAGE_BITPACK_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace aimq {
+namespace storage {
+
+/// Reserved code for SQL-null. Mirrors ValueDict::kNullCode; the storage
+/// layer depends only on raw uint32_t codes, so the constant is restated here
+/// and static_assert-ed equal where the two layers meet (columnar.cc).
+inline constexpr uint32_t kNullCode = 0xFFFFFFFFu;
+/// Reserved "never interned" code. Mirrors ValueDict::kAbsentCode.
+inline constexpr uint32_t kAbsentCode = 0xFFFFFFFEu;
+
+/// Frame-of-reference parameters for one packed block.
+struct PackSpec {
+  uint32_t base = 0;  ///< smallest non-sentinel code in the block (0 if none)
+  uint8_t width = 0;  ///< bits per packed entry, 0..32
+};
+
+/// Computes the tightest PackSpec for \p n codes.
+PackSpec Analyze(const uint32_t* codes, size_t n);
+
+/// Payload bytes needed to pack \p n entries at \p width bits each.
+inline size_t PackedBytes(uint8_t width, size_t n) {
+  return (n * static_cast<size_t>(width) + 7) / 8;
+}
+
+/// Packs \p n codes into \p out (which must hold PackedBytes(spec.width, n)
+/// bytes, zero-initialization not required). Every code must fit \p spec:
+/// a sentinel, or a real code in [spec.base, spec.base + 2^width - 2 - 1].
+void Pack(const uint32_t* codes, size_t n, const PackSpec& spec, uint8_t* out);
+
+/// Inverse of Pack: decodes \p n entries from \p packed into \p out.
+void Unpack(const uint8_t* packed, size_t n, const PackSpec& spec,
+            uint32_t* out);
+
+}  // namespace storage
+}  // namespace aimq
+
+#endif  // AIMQ_STORAGE_BITPACK_H_

@@ -1,0 +1,223 @@
+#include "storage/block_codec.h"
+
+#include <cstring>
+
+#if defined(AIMQ_HAVE_ZSTD)
+#include <zstd.h>
+#endif
+
+namespace aimq {
+namespace storage {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lite: greedy LZ77 with an LZ4-style token stream.
+//
+// Sequence = token byte (hi nibble: literal length, lo nibble: match length
+// minus 4; nibble 15 extends with 255-run bytes) + literals + 2-byte LE
+// offset + extended match length. The final sequence carries only literals —
+// the decoder knows it is last because the output is complete. Offsets are
+// limited to 65535, minimum match is 4 bytes.
+// ---------------------------------------------------------------------------
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxOffset = 65535;
+constexpr int kHashBits = 15;
+
+inline uint32_t Hash4(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void EmitRunLength(size_t len, std::vector<uint8_t>* out) {
+  while (len >= 255) {
+    out->push_back(255);
+    len -= 255;
+  }
+  out->push_back(static_cast<uint8_t>(len));
+}
+
+void EmitSequence(const uint8_t* in, size_t anchor, size_t lit_end,
+                  size_t match_len, size_t offset, std::vector<uint8_t>* out) {
+  const size_t lit_len = lit_end - anchor;
+  const bool has_match = match_len >= kMinMatch;
+  const size_t mcode = has_match ? match_len - kMinMatch : 0;
+  const uint8_t token =
+      static_cast<uint8_t>((lit_len < 15 ? lit_len : 15) << 4 |
+                           (mcode < 15 ? mcode : 15));
+  out->push_back(token);
+  if (lit_len >= 15) EmitRunLength(lit_len - 15, out);
+  out->insert(out->end(), in + anchor, in + lit_end);
+  if (!has_match) return;
+  out->push_back(static_cast<uint8_t>(offset & 0xff));
+  out->push_back(static_cast<uint8_t>(offset >> 8));
+  if (mcode >= 15) EmitRunLength(mcode - 15, out);
+}
+
+class LiteCodec final : public BlockCodec {
+ public:
+  const char* name() const override { return "lite"; }
+
+  void Compress(const uint8_t* in, size_t n,
+                std::vector<uint8_t>* out) const override {
+    out->clear();
+    if (n == 0) return;
+    std::vector<uint32_t> table(size_t{1} << kHashBits, 0xFFFFFFFFu);
+    size_t i = 0;
+    size_t anchor = 0;
+    while (i + kMinMatch <= n) {
+      const uint32_t h = Hash4(in + i);
+      const uint32_t cand = table[h];
+      table[h] = static_cast<uint32_t>(i);
+      if (cand != 0xFFFFFFFFu && i - cand <= kMaxOffset &&
+          std::memcmp(in + cand, in + i, kMinMatch) == 0) {
+        size_t match_len = kMinMatch;
+        while (i + match_len < n && in[cand + match_len] == in[i + match_len]) {
+          ++match_len;
+        }
+        EmitSequence(in, anchor, i, match_len, i - cand, out);
+        i += match_len;
+        anchor = i;
+      } else {
+        ++i;
+      }
+    }
+    if (anchor < n) EmitSequence(in, anchor, n, 0, 0, out);
+  }
+
+  Status Decompress(const uint8_t* in, size_t n, size_t decoded_size,
+                    std::vector<uint8_t>* out) const override {
+    out->clear();
+    out->reserve(decoded_size);
+    size_t ip = 0;
+    auto corrupt = [] {
+      return Status::IOError("lite codec: corrupt block payload");
+    };
+    auto read_run = [&](size_t* len) -> bool {
+      uint8_t b;
+      do {
+        if (ip >= n) return false;
+        b = in[ip++];
+        *len += b;
+      } while (b == 255);
+      return true;
+    };
+    while (out->size() < decoded_size) {
+      if (ip >= n) return corrupt();
+      const uint8_t token = in[ip++];
+      size_t lit_len = token >> 4;
+      if (lit_len == 15 && !read_run(&lit_len)) return corrupt();
+      if (ip + lit_len > n || out->size() + lit_len > decoded_size) {
+        return corrupt();
+      }
+      out->insert(out->end(), in + ip, in + ip + lit_len);
+      ip += lit_len;
+      if (out->size() == decoded_size) break;  // final, literal-only sequence
+      if (ip + 2 > n) return corrupt();
+      const size_t offset = in[ip] | static_cast<size_t>(in[ip + 1]) << 8;
+      ip += 2;
+      if (offset == 0 || offset > out->size()) return corrupt();
+      size_t match_len = token & 0x0f;
+      if (match_len == 15 && !read_run(&match_len)) return corrupt();
+      match_len += kMinMatch;
+      if (out->size() + match_len > decoded_size) return corrupt();
+      // Byte-wise copy: matches may overlap their own output (run encoding).
+      size_t src = out->size() - offset;
+      for (size_t k = 0; k < match_len; ++k) {
+        out->push_back((*out)[src + k]);
+      }
+    }
+    if (ip != n) return corrupt();
+    return Status::OK();
+  }
+};
+
+#if defined(AIMQ_HAVE_ZSTD)
+class ZstdCodec final : public BlockCodec {
+ public:
+  const char* name() const override { return "zstd"; }
+
+  void Compress(const uint8_t* in, size_t n,
+                std::vector<uint8_t>* out) const override {
+    out->resize(ZSTD_compressBound(n));
+    const size_t written =
+        ZSTD_compress(out->data(), out->size(), in, n, /*level=*/3);
+    // Compression into a compressBound-sized buffer cannot fail; a failure
+    // here means memory corruption, so surface it as an oversized "result"
+    // the store will reject by keeping the raw bytes.
+    out->resize(ZSTD_isError(written) ? 0 : written);
+    if (out->empty() && n > 0) out->assign(in, in + n);
+  }
+
+  Status Decompress(const uint8_t* in, size_t n, size_t decoded_size,
+                    std::vector<uint8_t>* out) const override {
+    out->resize(decoded_size);
+    const size_t written = ZSTD_decompress(out->data(), decoded_size, in, n);
+    if (ZSTD_isError(written) || written != decoded_size) {
+      return Status::IOError("zstd codec: corrupt block payload");
+    }
+    return Status::OK();
+  }
+};
+#endif  // AIMQ_HAVE_ZSTD
+
+}  // namespace
+
+const BlockCodec* CodecFor(CodecKind kind) {
+  static const LiteCodec lite;
+#if defined(AIMQ_HAVE_ZSTD)
+  static const ZstdCodec zstd;
+#endif
+  switch (kind) {
+    case CodecKind::kNone:
+      return nullptr;
+    case CodecKind::kLite:
+      return &lite;
+    case CodecKind::kZstd:
+#if defined(AIMQ_HAVE_ZSTD)
+      return &zstd;
+#else
+      break;
+#endif
+  }
+  // Unreachable when callers gate on ZstdAvailable(); fail loudly otherwise.
+  return nullptr;
+}
+
+bool ZstdAvailable() {
+#if defined(AIMQ_HAVE_ZSTD)
+  return true;
+#else
+  return false;
+#endif
+}
+
+Result<CodecKind> CodecFromName(const std::string& name) {
+  if (name == "none") return CodecKind::kNone;
+  if (name == "lite") return CodecKind::kLite;
+  if (name == "zstd") {
+    if (!ZstdAvailable()) {
+      return Status::InvalidArgument(
+          "codec 'zstd' requested but this build has no zstd support");
+    }
+    return CodecKind::kZstd;
+  }
+  return Status::InvalidArgument("unknown codec '" + name +
+                                 "' (expected none|lite|zstd)");
+}
+
+const char* CodecName(CodecKind kind) {
+  switch (kind) {
+    case CodecKind::kNone:
+      return "none";
+    case CodecKind::kLite:
+      return "lite";
+    case CodecKind::kZstd:
+      return "zstd";
+  }
+  return "unknown";
+}
+
+}  // namespace storage
+}  // namespace aimq

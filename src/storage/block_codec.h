@@ -1,0 +1,73 @@
+// BlockCodec: optional general-purpose byte compression applied to a packed
+// block before it is stored or spilled. Bit-packing removes the per-entry
+// width waste; the codec layer squeezes the remaining byte-level redundancy
+// (long runs in clustered columns, repeated supertuple bag entries).
+//
+// Two codecs ship:
+//  - kLite: a dependency-free LZ77 byte codec (greedy hash-table matcher,
+//    LZ4-style token stream). Always available; this is what local builds
+//    and the CI spill smoke exercise.
+//  - kZstd: real zstd, compiled in only when CMake finds the headers and
+//    library (AIMQ_HAVE_ZSTD). Requesting it without support is a build-time
+//    capability the caller can query via ZstdAvailable().
+//
+// Codecs are stateless and safe to share across threads. A codec never
+// "fails" to compress — if the output would not shrink, the block store
+// keeps the raw packed bytes and records that no codec was applied — but
+// Decompress validates its input and returns an error on corruption rather
+// than reading out of bounds.
+
+#ifndef AIMQ_STORAGE_BLOCK_CODEC_H_
+#define AIMQ_STORAGE_BLOCK_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace aimq {
+namespace storage {
+
+/// Identifies a codec in options, stats, and per-block flags.
+enum class CodecKind : uint8_t {
+  kNone = 0,  ///< store packed bytes as-is
+  kLite = 1,  ///< built-in LZ77 (dependency-free)
+  kZstd = 2,  ///< zstd, if compiled in
+};
+
+/// Stateless block compressor.
+class BlockCodec {
+ public:
+  virtual ~BlockCodec() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Compresses \p n bytes of \p in, appending to \p out (cleared first).
+  virtual void Compress(const uint8_t* in, size_t n,
+                        std::vector<uint8_t>* out) const = 0;
+
+  /// Decompresses \p n bytes of \p in into exactly \p decoded_size bytes
+  /// (cleared first). Errors on malformed input instead of overrunning.
+  virtual Status Decompress(const uint8_t* in, size_t n, size_t decoded_size,
+                            std::vector<uint8_t>* out) const = 0;
+};
+
+/// The shared instance for \p kind; nullptr for kNone. Dies if \p kind is
+/// kZstd in a build without zstd — gate on ZstdAvailable() first.
+const BlockCodec* CodecFor(CodecKind kind);
+
+/// True when this build can service CodecKind::kZstd.
+bool ZstdAvailable();
+
+/// Parses "none" / "lite" / "zstd" (error if zstd is unavailable).
+Result<CodecKind> CodecFromName(const std::string& name);
+
+/// Inverse of CodecFromName, for stats and JSON baselines.
+const char* CodecName(CodecKind kind);
+
+}  // namespace storage
+}  // namespace aimq
+
+#endif  // AIMQ_STORAGE_BLOCK_CODEC_H_

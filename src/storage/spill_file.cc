@@ -1,0 +1,80 @@
+#include "storage/spill_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace aimq {
+namespace storage {
+namespace {
+
+std::string Errno(const std::string& what, const std::string& path) {
+  return what + " '" + path + "': " + std::strerror(errno);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SpillFile>> SpillFile::Create(std::string path) {
+  const int fd =
+      ::open(path.c_str(), O_CREAT | O_TRUNC | O_RDWR | O_CLOEXEC, 0600);
+  if (fd < 0) {
+    return Status::IOError(Errno("cannot create spill file", path));
+  }
+  return std::unique_ptr<SpillFile>(new SpillFile(std::move(path), fd));
+}
+
+SpillFile::~SpillFile() {
+  if (fd_ >= 0) ::close(fd_);
+  if (unlink_on_destroy_) ::unlink(path_.c_str());
+}
+
+Result<uint64_t> SpillFile::Append(const uint8_t* data, size_t n) {
+  if (!writable_) {
+    return Status::FailedPrecondition("spill file '" + path_ +
+                                      "' was reopened read-only");
+  }
+  const uint64_t offset = size_;
+  size_t written = 0;
+  while (written < n) {
+    const ssize_t rc = ::write(fd_, data + written, n - written);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(Errno("spill write failed", path_));
+    }
+    written += static_cast<size_t>(rc);
+  }
+  size_ += n;
+  return offset;
+}
+
+Status SpillFile::ReadAt(uint64_t offset, size_t n, uint8_t* out) const {
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t rc = ::pread(fd_, out + done, n - done,
+                               static_cast<off_t>(offset + done));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(Errno("spill read failed", path_));
+    }
+    if (rc == 0) {
+      return Status::IOError("spill read past end of '" + path_ + "'");
+    }
+    done += static_cast<size_t>(rc);
+  }
+  return Status::OK();
+}
+
+Status SpillFile::Reopen() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = ::open(path_.c_str(), O_RDONLY | O_CLOEXEC);
+  writable_ = false;
+  if (fd_ < 0) {
+    return Status::IOError(Errno("cannot reopen spill file", path_));
+  }
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace aimq

@@ -1,0 +1,69 @@
+// SpillFile: an append-only on-disk byte log with positional reads, in the
+// style of a DiskTable/SSTable data file. The block store appends each cold
+// block's stored bytes once during the build and pages them back in with
+// pread() on cache misses; supertuple bags spill the same way.
+//
+// Writes are single-threaded (the build is sequential); reads are positional
+// and thread-safe (pread does not touch the file offset), so concurrent
+// scoring threads can fault blocks in simultaneously. Reopen() closes and
+// reopens the descriptor read-only — the crash/restart seam the spill tests
+// drive to prove answers survive a cold start byte-identically.
+
+#ifndef AIMQ_STORAGE_SPILL_FILE_H_
+#define AIMQ_STORAGE_SPILL_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+
+namespace aimq {
+namespace storage {
+
+/// Append-only spill log with positional reads.
+class SpillFile {
+ public:
+  /// Creates (or truncates) the file at \p path for writing.
+  static Result<std::unique_ptr<SpillFile>> Create(std::string path);
+
+  /// Closes the descriptor. Unlinks the file iff unlink_on_destroy(true)
+  /// was requested (the default: spill files are scratch space).
+  ~SpillFile();
+
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+
+  /// Appends \p n bytes, returning the offset they start at.
+  Result<uint64_t> Append(const uint8_t* data, size_t n);
+
+  /// Reads exactly \p n bytes starting at \p offset into \p out.
+  Status ReadAt(uint64_t offset, size_t n, uint8_t* out) const;
+
+  /// Closes and reopens the file read-only. Further Appends fail; reads see
+  /// exactly the bytes written before the call.
+  Status Reopen();
+
+  /// Bytes appended so far.
+  uint64_t size() const { return size_; }
+
+  const std::string& path() const { return path_; }
+
+  /// Whether the destructor removes the file (default true).
+  void set_unlink_on_destroy(bool unlink) { unlink_on_destroy_ = unlink; }
+
+ private:
+  SpillFile(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+
+  std::string path_;
+  int fd_ = -1;
+  uint64_t size_ = 0;
+  bool writable_ = true;
+  bool unlink_on_destroy_ = true;
+};
+
+}  // namespace storage
+}  // namespace aimq
+
+#endif  // AIMQ_STORAGE_SPILL_FILE_H_

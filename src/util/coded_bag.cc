@@ -4,6 +4,15 @@
 
 namespace aimq {
 
+CodedBag CodedBag::FromSortedEntries(
+    std::vector<std::pair<uint32_t, uint64_t>> entries) {
+  CodedBag bag;
+  bag.entries_ = std::move(entries);
+  for (const auto& [id, count] : bag.entries_) bag.total_ += count;
+  bag.finalized_ = true;
+  return bag;
+}
+
 void CodedBag::Add(uint32_t id, uint64_t count) {
   if (count == 0) return;
   entries_.emplace_back(id, count);

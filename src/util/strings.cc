@@ -1,6 +1,7 @@
 #include "util/strings.h"
 
 #include <cctype>
+#include <cstdint>
 #include <cstdio>
 
 namespace aimq {
@@ -58,6 +59,42 @@ std::string FormatDouble(double value, int precision) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
   return buf;
+}
+
+bool ParseByteSize(std::string_view input, size_t* bytes) {
+  std::string s = ToLower(Trim(input));
+  if (s.empty()) return false;
+  size_t pos = 0;
+  while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9') ++pos;
+  if (pos == 0) return false;
+  uint64_t value = 0;
+  for (size_t i = 0; i < pos; ++i) {
+    const uint64_t digit = static_cast<uint64_t>(s[i] - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;  // overflow
+    value = value * 10 + digit;
+  }
+  std::string_view suffix = std::string_view(s).substr(pos);
+  int shift = 0;
+  if (suffix.empty() || suffix == "b") {
+    shift = 0;
+  } else if (suffix == "k" || suffix == "kb" || suffix == "kib") {
+    shift = 10;
+  } else if (suffix == "m" || suffix == "mb" || suffix == "mib") {
+    shift = 20;
+  } else if (suffix == "g" || suffix == "gb" || suffix == "gib") {
+    shift = 30;
+  } else if (suffix == "t" || suffix == "tb" || suffix == "tib") {
+    shift = 40;
+  } else {
+    return false;
+  }
+  if (shift > 0 && value > (UINT64_MAX >> shift)) return false;  // overflow
+  const uint64_t scaled = value << shift;
+  if constexpr (sizeof(size_t) < sizeof(uint64_t)) {
+    if (scaled > SIZE_MAX) return false;
+  }
+  *bytes = static_cast<size_t>(scaled);
+  return true;
 }
 
 }  // namespace aimq

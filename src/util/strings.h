@@ -28,6 +28,12 @@ bool StartsWith(std::string_view input, std::string_view prefix);
 /// Formats a double with \p precision digits after the decimal point.
 std::string FormatDouble(double value, int precision);
 
+/// Parses a human-readable byte size: a non-negative integer with an
+/// optional KB/MB/GB/TB (or K/M/G/T, case-insensitive; KiB-style spellings
+/// accepted) suffix, all powers of 1024. "0" means unlimited to callers
+/// that treat it so. Returns false on malformed input or overflow.
+bool ParseByteSize(std::string_view input, size_t* bytes);
+
 }  // namespace aimq
 
 #endif  // AIMQ_UTIL_STRINGS_H_

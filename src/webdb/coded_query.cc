@@ -61,23 +61,25 @@ CodedConjunction CodedConjunction::Compile(const SelectionQuery& query,
   return out;
 }
 
-Result<bool> CodedConjunction::EvaluateRow(uint32_t row) const {
-  for (const Pred& p : preds_) {
+template <typename CodeFn>
+Result<bool> CodedConjunction::EvalRowWith(CodeFn&& code_at) const {
+  for (size_t i = 0; i < preds_.size(); ++i) {
+    const Pred& p = preds_[i];
     switch (p.kind) {
       case Kind::kCompileError:
         return p.error;
       case Kind::kNeverMatch:
         return false;
       case Kind::kEqCode: {
-        if (data_->codes(p.attr)[row] != p.target) return false;
+        if (code_at(i, p) != p.target) return false;
         break;
       }
       case Kind::kErrorUnlessNull: {
-        if (data_->codes(p.attr)[row] == ValueDict::kNullCode) return false;
+        if (code_at(i, p) == ValueDict::kNullCode) return false;
         return p.error;
       }
       case Kind::kRange: {
-        const ValueId code = data_->codes(p.attr)[row];
+        const ValueId code = code_at(i, p);
         if (code == ValueDict::kNullCode) return false;
         if (!p.code_numeric[code]) return p.error;
         const double a = p.code_num[code];
@@ -106,12 +108,49 @@ Result<bool> CodedConjunction::EvaluateRow(uint32_t row) const {
   return true;
 }
 
+Result<bool> CodedConjunction::EvaluateRow(uint32_t row) const {
+  return EvalRowWith(
+      [this, row](size_t, const Pred& p) { return data_->CodeAt(p.attr, row); });
+}
+
 Result<std::vector<uint32_t>> CodedConjunction::EvaluateAll() const {
   std::vector<uint32_t> rows;
-  const uint32_t n = static_cast<uint32_t>(data_->NumRows());
-  for (uint32_t r = 0; r < n; ++r) {
-    AIMQ_ASSIGN_OR_RETURN(bool match, EvaluateRow(r));
-    if (match) rows.push_back(r);
+
+  // One scan attribute per predicate that reads its column; predicates that
+  // short-circuit without a column read (never-match, compile error) keep a
+  // null window pointer.
+  std::vector<size_t> scan_attrs;
+  std::vector<size_t> pred_slot(preds_.size(), SIZE_MAX);
+  for (size_t i = 0; i < preds_.size(); ++i) {
+    const Kind k = preds_[i].kind;
+    if (k == Kind::kEqCode || k == Kind::kErrorUnlessNull ||
+        k == Kind::kRange) {
+      pred_slot[i] = scan_attrs.size();
+      scan_attrs.push_back(preds_[i].attr);
+    }
+  }
+  if (scan_attrs.empty()) {
+    // No predicate reads a column: evaluate once per row without a scan
+    // (preserves "an empty relation scans clean" for compile errors).
+    const uint32_t n = static_cast<uint32_t>(data_->NumRows());
+    for (uint32_t r = 0; r < n; ++r) {
+      AIMQ_ASSIGN_OR_RETURN(bool match, EvaluateRow(r));
+      if (match) rows.push_back(r);
+    }
+    return rows;
+  }
+
+  ColumnarRelation::WindowCursor cur = data_->ScanBlocks(scan_attrs);
+  ColumnarRelation::CodeWindow w;
+  while (cur.Next(&w)) {
+    for (size_t i = 0; i < w.num_rows; ++i) {
+      AIMQ_ASSIGN_OR_RETURN(
+          bool match,
+          EvalRowWith([&w, &pred_slot, i](size_t pi, const Pred&) {
+            return w.codes[pred_slot[pi]][i];
+          }));
+      if (match) rows.push_back(static_cast<uint32_t>(w.begin_row + i));
+    }
   }
   return rows;
 }

@@ -43,6 +43,8 @@ class CodedConjunction {
   Result<bool> EvaluateRow(uint32_t row) const;
 
   /// Full scan; mirrors SelectionQuery::Evaluate (row indices ascending).
+  /// Iterates block windows via ColumnarRelation::ScanBlocks, so packed
+  /// snapshots decode (and page in) one block per involved column at a time.
   Result<std::vector<uint32_t>> EvaluateAll() const;
 
   /// Evaluates only \p candidates (in the given order), keeping matches.
@@ -73,6 +75,13 @@ class CodedConjunction {
     std::vector<double> code_num;
     Status error = Status::OK();  // kErrorUnlessNull / kCompileError payload
   };
+
+  // Shared conjunctive evaluation of one row. \p code_at(i, pred) supplies
+  // the row's code for preds_[i]'s attribute; the row path reads it through
+  // CodeAt, the window path through block-local pointers. Defined in the
+  // .cc (both instantiations live there).
+  template <typename CodeFn>
+  Result<bool> EvalRowWith(CodeFn&& code_at) const;
 
   const ColumnarRelation* data_ = nullptr;
   std::vector<Pred> preds_;

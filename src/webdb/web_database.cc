@@ -53,16 +53,19 @@ Result<std::vector<uint32_t>> WebDatabase::ExecuteRows(
 
   // Index-assisted evaluation: drive the scan from the most selective
   // equality predicate's posting list, verify the rest per candidate row.
+  // Packed sources keep no posting lists; they use the block scan below.
   const std::vector<uint32_t>* candidates = nullptr;
   static const std::vector<uint32_t> kEmpty;
-  for (const Predicate& p : query.predicates()) {
-    if (p.op != CompareOp::kEq || p.value.is_null()) continue;
-    size_t attr = schema().IndexOf(p.attribute).ValueOrDie();
-    const ValueId code = cols_->dict(attr).Lookup(p.value);
-    const std::vector<uint32_t>* rows =
-        code < cols_->dict(attr).size() ? &postings_[attr][code] : &kEmpty;
-    if (candidates == nullptr || rows->size() < candidates->size()) {
-      candidates = rows;
+  if (!postings_.empty()) {
+    for (const Predicate& p : query.predicates()) {
+      if (p.op != CompareOp::kEq || p.value.is_null()) continue;
+      size_t attr = schema().IndexOf(p.attribute).ValueOrDie();
+      const ValueId code = cols_->dict(attr).Lookup(p.value);
+      const std::vector<uint32_t>* rows =
+          code < cols_->dict(attr).size() ? &postings_[attr][code] : &kEmpty;
+      if (candidates == nullptr || rows->size() < candidates->size()) {
+        candidates = rows;
+      }
     }
   }
 
@@ -86,7 +89,7 @@ std::vector<Tuple> WebDatabase::Materialize(
     const std::vector<uint32_t>& rows) const {
   std::vector<Tuple> out;
   out.reserve(rows.size());
-  for (uint32_t row : rows) out.push_back(data_.tuple(row));
+  for (uint32_t row : rows) out.push_back(MaterializeRow(row));
   return out;
 }
 
@@ -163,7 +166,9 @@ Result<std::vector<Value>> WebDatabase::FormValues(
         "form drop-downs exist only for categorical attributes; '" +
         attribute + "' is numeric");
   }
-  std::vector<Value> values = data_.DistinctValues(index);
+  // The dictionary holds exactly the distinct non-null values (first-seen
+  // order), in either storage mode.
+  std::vector<Value> values = cols_->dict(index).values();
   std::sort(values.begin(), values.end());
   return values;
 }

@@ -68,16 +68,26 @@ class WebDatabase {
       : name_(std::move(name)), data_(std::move(data)) {
     BuildIndexes();
   }
+
+  /// Wraps a packed (block-compressed, possibly spilled) columnar snapshot
+  /// directly — no row-store copy and no posting lists are materialized, so
+  /// a streamed 10M-tuple source costs only its packed blocks plus the
+  /// dictionaries. Queries fall back to block scans instead of index-assisted
+  /// candidate lists; answers are identical.
+  WebDatabase(std::string name, std::shared_ptr<const ColumnarRelation> cols)
+      : name_(std::move(name)),
+        data_(cols->schema()),
+        cols_(std::move(cols)) {}
   virtual ~WebDatabase() = default;
 
   const std::string& name() const { return name_; }
 
   /// The projected schema is public (it is visible on the Web form).
-  const Schema& schema() const { return data_.schema(); }
+  const Schema& schema() const { return cols_->schema(); }
 
   /// Cardinality of the hidden relation. Exposed for experiment setup and
   /// reporting only; AIMQ's algorithms do not consult it.
-  size_t NumTuples() const { return data_.NumTuples(); }
+  size_t NumTuples() const { return cols_->NumRows(); }
 
   /// Executes a precise conjunctive query and returns the ids of matching
   /// rows (ascending). Queries containing 'like' predicates are rejected:
@@ -94,8 +104,11 @@ class WebDatabase {
   /// Materializes row ids (as returned by ExecuteRows) into tuples.
   std::vector<Tuple> Materialize(const std::vector<uint32_t>& rows) const;
 
-  /// Materializes one row id (as returned by ExecuteRows).
-  const Tuple& tuple(uint32_t row) const { return data_.tuple(row); }
+  /// Materializes one row id (as returned by ExecuteRows). By value: packed
+  /// sources rebuild the tuple from the dictionaries per call.
+  Tuple MaterializeRow(uint32_t row) const {
+    return cols_->packed() ? cols_->MaterializeTuple(row) : data_.tuple(row);
+  }
 
   /// The option list a Web form exposes in the drop-down for a categorical
   /// attribute (sorted, distinct, non-null). This is public metadata on real
@@ -121,7 +134,8 @@ class WebDatabase {
 
   /// Test/experiment backdoor: direct read access to the hidden relation.
   /// Used only by evaluation harnesses that need ground truth (e.g. to pick
-  /// query tuples); never by the AIMQ pipeline itself.
+  /// query tuples); never by the AIMQ pipeline itself. Empty for packed
+  /// sources (there is no row store to expose — use columnar()).
   const Relation& hidden_relation_for_testing() const { return data_; }
 
  private:

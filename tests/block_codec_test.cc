@@ -1,0 +1,146 @@
+// Round-trip and robustness tests for the block codecs: the dependency-free
+// Lite LZ codec always, zstd when the build has it.
+
+#include "storage/block_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace aimq {
+namespace storage {
+namespace {
+
+std::vector<uint8_t> Compress(const BlockCodec& codec,
+                              const std::vector<uint8_t>& in) {
+  std::vector<uint8_t> out;
+  codec.Compress(in.data(), in.size(), &out);
+  return out;
+}
+
+void ExpectRoundTrip(const BlockCodec& codec, const std::vector<uint8_t>& in) {
+  const std::vector<uint8_t> compressed = Compress(codec, in);
+  std::vector<uint8_t> out;
+  const Status st =
+      codec.Decompress(compressed.data(), compressed.size(), in.size(), &out);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(out, in);
+}
+
+std::vector<const BlockCodec*> AllCodecs() {
+  std::vector<const BlockCodec*> codecs = {CodecFor(CodecKind::kLite)};
+  if (ZstdAvailable()) codecs.push_back(CodecFor(CodecKind::kZstd));
+  return codecs;
+}
+
+TEST(BlockCodecTest, EmptyInput) {
+  for (const BlockCodec* codec : AllCodecs()) {
+    ExpectRoundTrip(*codec, {});
+  }
+}
+
+TEST(BlockCodecTest, ShortIncompressibleInput) {
+  for (const BlockCodec* codec : AllCodecs()) {
+    ExpectRoundTrip(*codec, {1, 2, 3});
+    ExpectRoundTrip(*codec, {0xff});
+  }
+}
+
+TEST(BlockCodecTest, LongRunCompressesWell) {
+  const std::vector<uint8_t> run(100'000, 0x5a);
+  for (const BlockCodec* codec : AllCodecs()) {
+    const std::vector<uint8_t> compressed = Compress(*codec, run);
+    EXPECT_LT(compressed.size(), run.size() / 50)
+        << codec->name() << " should crush a constant run";
+    ExpectRoundTrip(*codec, run);
+  }
+}
+
+TEST(BlockCodecTest, RepeatedPatternRoundTrips) {
+  std::vector<uint8_t> in;
+  const std::string pattern = "Toyota Camry 2004 Silver ";
+  while (in.size() < 64 * 1024) {
+    in.insert(in.end(), pattern.begin(), pattern.end());
+  }
+  for (const BlockCodec* codec : AllCodecs()) {
+    const std::vector<uint8_t> compressed = Compress(*codec, in);
+    EXPECT_LT(compressed.size(), in.size() / 4) << codec->name();
+    ExpectRoundTrip(*codec, in);
+  }
+}
+
+TEST(BlockCodecTest, RandomBytesRoundTrip) {
+  Rng rng(123);
+  for (size_t n : {1u, 17u, 255u, 256u, 4096u, 70'000u}) {
+    std::vector<uint8_t> in;
+    in.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      in.push_back(static_cast<uint8_t>(rng.Next() & 0xff));
+    }
+    for (const BlockCodec* codec : AllCodecs()) {
+      ExpectRoundTrip(*codec, in);
+    }
+  }
+}
+
+TEST(BlockCodecTest, MixedCompressibleAndRandomSegments) {
+  Rng rng(99);
+  std::vector<uint8_t> in;
+  for (int seg = 0; seg < 20; ++seg) {
+    if (seg % 2 == 0) {
+      in.insert(in.end(), 3000, static_cast<uint8_t>(seg));
+    } else {
+      for (int i = 0; i < 500; ++i) {
+        in.push_back(static_cast<uint8_t>(rng.Next() & 0xff));
+      }
+    }
+  }
+  for (const BlockCodec* codec : AllCodecs()) {
+    ExpectRoundTrip(*codec, in);
+  }
+}
+
+TEST(BlockCodecTest, LiteRejectsTruncatedPayload) {
+  const BlockCodec* lite = CodecFor(CodecKind::kLite);
+  std::vector<uint8_t> in(10'000, 0x33);
+  const std::vector<uint8_t> compressed = Compress(*lite, in);
+  ASSERT_GT(compressed.size(), 2u);
+  std::vector<uint8_t> out;
+  EXPECT_FALSE(lite->Decompress(compressed.data(), compressed.size() - 1,
+                                in.size(), &out)
+                   .ok());
+  EXPECT_FALSE(lite->Decompress(compressed.data(), 1, in.size(), &out).ok());
+}
+
+TEST(BlockCodecTest, LiteRejectsWrongDecodedSize) {
+  const BlockCodec* lite = CodecFor(CodecKind::kLite);
+  std::vector<uint8_t> in(1'000, 0x33);
+  const std::vector<uint8_t> compressed = Compress(*lite, in);
+  std::vector<uint8_t> out;
+  EXPECT_FALSE(lite->Decompress(compressed.data(), compressed.size(),
+                                in.size() + 5, &out)
+                   .ok());
+}
+
+TEST(BlockCodecTest, NamesAndLookup) {
+  EXPECT_EQ(CodecFor(CodecKind::kNone), nullptr);
+  EXPECT_STREQ(CodecFor(CodecKind::kLite)->name(), "lite");
+  EXPECT_STREQ(CodecName(CodecKind::kLite), "lite");
+  ASSERT_TRUE(CodecFromName("lite").ok());
+  ASSERT_TRUE(CodecFromName("none").ok());
+  EXPECT_FALSE(CodecFromName("snappy").ok());
+  if (!ZstdAvailable()) {
+    EXPECT_FALSE(CodecFromName("zstd").ok());
+  } else {
+    ASSERT_TRUE(CodecFromName("zstd").ok());
+    EXPECT_STREQ(CodecFor(CodecKind::kZstd)->name(), "zstd");
+  }
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace aimq

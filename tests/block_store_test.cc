@@ -1,0 +1,276 @@
+// CodeBlockStore tests: build/scan/random-access equivalence against a plain
+// vector reference, budget-driven eviction, pinning, cursor iteration, and
+// the spill file close/reopen seam (answers must come back byte-identical
+// after a cold restart).
+
+#include "storage/code_block_store.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/spill_file.h"
+#include "util/rng.h"
+
+namespace aimq {
+namespace storage {
+namespace {
+
+std::string TempPath(const std::string& tag) {
+  return testing::TempDir() + "aimq_block_store_" + tag + "_" +
+         std::to_string(::getpid()) + ".spill";
+}
+
+// Reference columns: clustered codes with nulls sprinkled in, sized to span
+// several blocks including a ragged final one.
+std::vector<std::vector<uint32_t>> MakeReference(size_t cols, size_t rows,
+                                                 uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<uint32_t>> ref(cols);
+  for (size_t c = 0; c < cols; ++c) {
+    ref[c].reserve(rows);
+    for (size_t r = 0; r < rows; ++r) {
+      const uint64_t roll = rng.Next() % 20;
+      if (roll == 0) {
+        ref[c].push_back(kNullCode);
+      } else {
+        // Cluster around a per-column center so frame-of-reference bites.
+        ref[c].push_back(static_cast<uint32_t>(1000 * c + rng.Next() % 97));
+      }
+    }
+  }
+  return ref;
+}
+
+std::unique_ptr<CodeBlockStore> BuildStore(
+    const std::vector<std::vector<uint32_t>>& ref, BlockStoreOptions opts) {
+  auto created = CodeBlockStore::Create(std::move(opts), ref.size());
+  EXPECT_TRUE(created.ok()) << created.status().ToString();
+  std::unique_ptr<CodeBlockStore> store = created.TakeValue();
+  // Interleave chunked appends across columns to exercise buffering.
+  const size_t rows = ref.empty() ? 0 : ref[0].size();
+  const size_t chunk = 100;
+  for (size_t start = 0; start < rows; start += chunk) {
+    const size_t n = start + chunk <= rows ? chunk : rows - start;
+    for (size_t c = 0; c < ref.size(); ++c) {
+      EXPECT_TRUE(store->Append(c, ref[c].data() + start, n).ok());
+    }
+  }
+  EXPECT_TRUE(store->FinishBuild().ok());
+  return store;
+}
+
+void ExpectStoreMatchesReference(
+    const CodeBlockStore& store,
+    const std::vector<std::vector<uint32_t>>& ref) {
+  ASSERT_EQ(store.num_cols(), ref.size());
+  for (size_t c = 0; c < ref.size(); ++c) {
+    ASSERT_EQ(store.num_rows(), ref[c].size());
+    // Cursor scan.
+    auto cursor = store.ColumnCursor(c);
+    size_t row = 0;
+    while (cursor.Next()) {
+      ASSERT_EQ(cursor.begin_row(), row);
+      for (size_t i = 0; i < cursor.size(); ++i, ++row) {
+        ASSERT_EQ(cursor.data()[i], ref[c][row])
+            << "col=" << c << " row=" << row;
+      }
+    }
+    ASSERT_EQ(row, ref[c].size());
+    // Random access (striding to touch every block out of order).
+    for (size_t r = 0; r < ref[c].size(); r += 37) {
+      ASSERT_EQ(store.At(c, r), ref[c][r]) << "col=" << c << " row=" << r;
+    }
+  }
+}
+
+TEST(BlockStoreTest, InMemoryRoundTripAcrossBlockBoundaries) {
+  // 777 rows with 64-row blocks: 12 full blocks + a ragged 9-row tail.
+  const auto ref = MakeReference(3, 777, 11);
+  BlockStoreOptions opts;
+  opts.block_size = 64;
+  auto store = BuildStore(ref, opts);
+  EXPECT_EQ(store->block_size(), 64u);
+  EXPECT_EQ(store->NumBlocks(), 13u);
+  EXPECT_EQ(store->BlockRows(12), 9u);
+  ExpectStoreMatchesReference(*store, ref);
+}
+
+TEST(BlockStoreTest, PackedFootprintBeatsPlain) {
+  const auto ref = MakeReference(4, 20'000, 5);
+  BlockStoreOptions opts;
+  opts.block_size = 1024;
+  auto store = BuildStore(ref, opts);
+  const BlockStoreStats stats = store->GetStats();
+  EXPECT_EQ(stats.plain_bytes, 4u * 4u * 20'000u);
+  // 97 distinct clustered values need ~7 bits, not 32.
+  EXPECT_LT(stats.packed_bytes, stats.plain_bytes / 2);
+  EXPECT_EQ(stats.stored_bytes, stats.packed_bytes);  // no codec
+  EXPECT_EQ(stats.spilled_bytes, 0u);
+}
+
+TEST(BlockStoreTest, CodecShrinksStoredBytes) {
+  // Constant columns compress to almost nothing under the lite codec.
+  std::vector<std::vector<uint32_t>> ref(2);
+  ref[0].assign(50'000, 7);
+  ref[1].assign(50'000, 123456);
+  BlockStoreOptions opts;
+  opts.block_size = 4096;
+  opts.codec = CodecKind::kLite;
+  auto store = BuildStore(ref, opts);
+  const BlockStoreStats stats = store->GetStats();
+  EXPECT_LT(stats.stored_bytes, stats.packed_bytes);
+  ExpectStoreMatchesReference(*store, ref);
+}
+
+TEST(BlockStoreTest, SpillRoundTrip) {
+  const auto ref = MakeReference(3, 5'000, 21);
+  BlockStoreOptions opts;
+  opts.block_size = 256;
+  opts.codec = CodecKind::kLite;
+  opts.spill_path = TempPath("roundtrip");
+  auto store = BuildStore(ref, opts);
+  const BlockStoreStats stats = store->GetStats();
+  EXPECT_GT(stats.spilled_bytes, 0u);
+  EXPECT_EQ(stats.spilled_bytes, stats.stored_bytes);
+  ExpectStoreMatchesReference(*store, ref);
+}
+
+TEST(BlockStoreTest, SpillSurvivesCloseAndReopenByteIdentical) {
+  const auto ref = MakeReference(2, 3'000, 42);
+  BlockStoreOptions opts;
+  opts.block_size = 128;
+  opts.codec = CodecKind::kLite;
+  opts.spill_path = TempPath("reopen");
+  auto store = BuildStore(ref, opts);
+
+  // Read everything once (warm), then close + reopen the spill file and
+  // drop the cache: the cold re-read must be byte-identical.
+  std::vector<uint32_t> warm;
+  for (size_t c = 0; c < ref.size(); ++c) {
+    auto cursor = store->ColumnCursor(c);
+    while (cursor.Next()) {
+      warm.insert(warm.end(), cursor.data(), cursor.data() + cursor.size());
+    }
+  }
+  ASSERT_TRUE(store->ReopenSpill().ok());
+  std::vector<uint32_t> cold;
+  for (size_t c = 0; c < ref.size(); ++c) {
+    auto cursor = store->ColumnCursor(c);
+    while (cursor.Next()) {
+      cold.insert(cold.end(), cursor.data(), cursor.data() + cursor.size());
+    }
+  }
+  EXPECT_EQ(warm, cold);
+  // And random access still matches the reference after the cold start.
+  ExpectStoreMatchesReference(*store, ref);
+}
+
+TEST(BlockStoreTest, BudgetEvictsColdBlocks) {
+  const auto ref = MakeReference(1, 64 * 64, 9);  // 64 blocks of 64 rows
+  BlockStoreOptions opts;
+  opts.block_size = 64;
+  opts.spill_path = TempPath("evict");
+  // Budget fits ~4 decoded blocks (64 rows * 4 bytes = 256B each).
+  opts.budget_bytes = 4 * 64 * sizeof(uint32_t);
+  auto store = BuildStore(ref, opts);
+  ExpectStoreMatchesReference(*store, ref);
+  const BlockStoreStats stats = store->GetStats();
+  EXPECT_GT(stats.cache.evictions, 0u);
+  EXPECT_LE(stats.cache.resident_bytes, opts.budget_bytes);
+  // Touch every block again: with only 4 resident out of 64, these are
+  // (mostly) cache misses served from the spill file.
+  const uint64_t misses_before = stats.cache.misses;
+  for (size_t b = 0; b < store->NumBlocks(); ++b) {
+    store->GetBlock(0, b);
+  }
+  EXPECT_GT(store->GetStats().cache.misses, misses_before);
+}
+
+TEST(BlockStoreTest, PinnedBlocksAreNeverEvicted) {
+  const auto ref = MakeReference(1, 64 * 32, 13);
+  BlockStoreOptions opts;
+  opts.block_size = 64;
+  opts.spill_path = TempPath("pin");
+  opts.budget_bytes = 2 * 64 * sizeof(uint32_t);  // ~2 blocks
+  auto store = BuildStore(ref, opts);
+  ASSERT_TRUE(store->Pin(0, 0).ok());
+  // Sweep every block to churn the cache far past the budget.
+  for (int sweep = 0; sweep < 3; ++sweep) {
+    for (size_t b = 0; b < store->NumBlocks(); ++b) store->GetBlock(0, b);
+  }
+  BlockStoreStats stats = store->GetStats();
+  EXPECT_EQ(stats.cache.pinned_bytes, 64 * sizeof(uint32_t));
+  // A pinned block is served without a miss even after the churn.
+  const uint64_t misses_before = stats.cache.misses;
+  store->GetBlock(0, 0);
+  EXPECT_EQ(store->GetStats().cache.misses, misses_before);
+  store->Unpin(0, 0);
+  EXPECT_EQ(store->GetStats().cache.pinned_bytes, 0u);
+}
+
+TEST(BlockStoreTest, UnequalColumnLengthsRejected) {
+  auto created = CodeBlockStore::Create(BlockStoreOptions{}, 2);
+  ASSERT_TRUE(created.ok());
+  auto store = created.TakeValue();
+  const std::vector<uint32_t> codes(10, 1);
+  ASSERT_TRUE(store->Append(0, codes.data(), codes.size()).ok());
+  ASSERT_TRUE(store->Append(1, codes.data(), codes.size() - 1).ok());
+  EXPECT_FALSE(store->FinishBuild().ok());
+}
+
+TEST(BlockStoreTest, AppendAfterFinishRejected) {
+  auto created = CodeBlockStore::Create(BlockStoreOptions{}, 1);
+  ASSERT_TRUE(created.ok());
+  auto store = created.TakeValue();
+  const std::vector<uint32_t> codes(10, 1);
+  ASSERT_TRUE(store->Append(0, codes.data(), codes.size()).ok());
+  ASSERT_TRUE(store->FinishBuild().ok());
+  EXPECT_FALSE(store->Append(0, codes.data(), codes.size()).ok());
+}
+
+TEST(BlockStoreTest, EmptyStore) {
+  auto created = CodeBlockStore::Create(BlockStoreOptions{}, 2);
+  ASSERT_TRUE(created.ok());
+  auto store = created.TakeValue();
+  ASSERT_TRUE(store->FinishBuild().ok());
+  EXPECT_EQ(store->num_rows(), 0u);
+  EXPECT_EQ(store->NumBlocks(), 0u);
+  auto cursor = store->ColumnCursor(0);
+  EXPECT_FALSE(cursor.Next());
+}
+
+TEST(SpillFileTest, AppendReadReopen) {
+  auto created = SpillFile::Create(TempPath("raw"));
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  auto file = created.TakeValue();
+  const std::vector<uint8_t> a = {1, 2, 3, 4, 5};
+  const std::vector<uint8_t> b = {9, 8, 7};
+  auto off_a = file->Append(a.data(), a.size());
+  auto off_b = file->Append(b.data(), b.size());
+  ASSERT_TRUE(off_a.ok() && off_b.ok());
+  EXPECT_EQ(*off_a, 0u);
+  EXPECT_EQ(*off_b, a.size());
+  EXPECT_EQ(file->size(), a.size() + b.size());
+
+  std::vector<uint8_t> buf(b.size());
+  ASSERT_TRUE(file->ReadAt(*off_b, b.size(), buf.data()).ok());
+  EXPECT_EQ(buf, b);
+
+  ASSERT_TRUE(file->Reopen().ok());
+  std::vector<uint8_t> buf2(a.size());
+  ASSERT_TRUE(file->ReadAt(*off_a, a.size(), buf2.data()).ok());
+  EXPECT_EQ(buf2, a);
+  // Read-only after reopen: appends fail, reads past EOF fail.
+  EXPECT_FALSE(file->Append(a.data(), a.size()).ok());
+  EXPECT_FALSE(file->ReadAt(file->size(), 1, buf2.data()).ok());
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace aimq
