@@ -7,11 +7,19 @@
 // prove the dictionary-encoded storage core's win over the row-store
 // baselines it replaced.
 //
-// Usage: micro_kernels [--json=<path>] [benchmark flags]
+// Usage: micro_kernels [--json=<path>] [--isa=<scalar|sse4.2|avx2|native>]
+//                      [benchmark flags]
 //
 // --json= writes a machine-readable baseline (headline ns/op per kernel plus
-// the row-store/coded speedups and the git sha) in the same shape as the
-// fig6/fig7/service_throughput baselines; CI archives it as an artifact.
+// the row-store/coded and scalar/SIMD speedups, the active ISA, and the git
+// sha) in the same shape as the fig6/fig7/service_throughput baselines; CI
+// archives it as an artifact.
+//
+// --isa= pins the simd dispatch tier for the whole run (the *CodedScalar
+// benchmarks additionally force the scalar tier around their own bodies, so
+// every run reports paired scalar-vs-SIMD numbers). The *Parallel benchmarks
+// carry the 1/2/4/8-thread scaling curve the nightly workflow archives:
+// run with --benchmark_filter=Parallel.
 
 #include <benchmark/benchmark.h>
 
@@ -27,6 +35,7 @@
 #include "query/selection_query.h"
 #include "relation/columnar.h"
 #include "rock/rock.h"
+#include "simd/dispatch.h"
 #include "similarity/supertuple.h"
 #include "similarity/value_similarity.h"
 #include "util/bag.h"
@@ -52,6 +61,19 @@ const Relation& CarSample(size_t n) {
   }
   return it->second;
 }
+
+// Forces a simd dispatch tier for the lifetime of one benchmark body,
+// restoring the previously active tier after (so --isa= pins survive).
+class ScopedIsa {
+ public:
+  explicit ScopedIsa(const char* name) : prev_(simd::ActiveIsa()) {
+    (void)simd::ForceIsa(name);
+  }
+  ~ScopedIsa() { (void)simd::ForceIsa(simd::IsaName(prev_)); }
+
+ private:
+  simd::Isa prev_;
+};
 
 // --- Storage core: encode ---------------------------------------------------
 
@@ -89,6 +111,20 @@ void BM_PartitionBuildCoded(benchmark::State& state) {
                           static_cast<int64_t>(r.NumTuples()));
 }
 BENCHMARK(BM_PartitionBuildCoded)->Arg(10000)->Arg(50000)->Arg(100000);
+
+void BM_PartitionBuildCodedScalar(benchmark::State& state) {
+  // Same kernel as BM_PartitionBuildCoded, forced onto the scalar dispatch
+  // tier — the pair quantifies the SIMD histogram win.
+  const Relation& r = CarSample(static_cast<size_t>(state.range(0)));
+  ScopedIsa isa("scalar");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        StrippedPartition::FromColumn(r, CarDbGenerator::kModel));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(r.NumTuples()));
+}
+BENCHMARK(BM_PartitionBuildCodedScalar)->Arg(10000)->Arg(50000)->Arg(100000);
 
 void BM_PartitionProduct(benchmark::State& state) {
   const Relation& r = CarSample(static_cast<size_t>(state.range(0)));
@@ -150,6 +186,25 @@ void BM_BagJaccardCoded(benchmark::State& state) {
 }
 BENCHMARK(BM_BagJaccardCoded)->Arg(16)->Arg(256)->Arg(4096);
 
+void BM_BagJaccardCodedScalar(benchmark::State& state) {
+  // Scalar-forced pair of BM_BagJaccardCoded (SIMD merge intersection win).
+  Rng rng(7);
+  CodedBag a, b;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    a.Add(static_cast<uint32_t>(rng.Uniform(state.range(0))),
+          1 + rng.Uniform(9));
+    b.Add(static_cast<uint32_t>(rng.Uniform(state.range(0))),
+          1 + rng.Uniform(9));
+  }
+  a.Finalize();
+  b.Finalize();
+  ScopedIsa isa("scalar");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.JaccardSimilarity(b));
+  }
+}
+BENCHMARK(BM_BagJaccardCodedScalar)->Arg(16)->Arg(256)->Arg(4096);
+
 // --- Probe scan: Value comparisons vs compiled code comparisons -------------
 
 SelectionQuery ProbeQuery() {
@@ -183,6 +238,62 @@ void BM_ProbeScanCoded(benchmark::State& state) {
                           static_cast<int64_t>(r.NumTuples()));
 }
 BENCHMARK(BM_ProbeScanCoded)->Arg(25000)->Arg(100000);
+
+void BM_ProbeScanCodedScalar(benchmark::State& state) {
+  // Scalar-forced pair of BM_ProbeScanCoded (SIMD bitmask-filter win).
+  const Relation& r = CarSample(static_cast<size_t>(state.range(0)));
+  const SelectionQuery q = ProbeQuery();
+  const ColumnarRelation& cols = *r.columnar();
+  ScopedIsa isa("scalar");
+  for (auto _ : state) {
+    const CodedConjunction compiled = CodedConjunction::Compile(q, cols);
+    benchmark::DoNotOptimize(compiled.EvaluateAll());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(r.NumTuples()));
+}
+BENCHMARK(BM_ProbeScanCodedScalar)->Arg(25000)->Arg(100000);
+
+// --- Thread scaling (nightly sweep: --benchmark_filter=Parallel) ------------
+
+// Each thread scans the shared snapshot concurrently; with --isa= /
+// AIMQ_FORCE_ISA the same sweep measures scalar scaling. UseRealTime makes
+// ns/op wall time per per-thread iteration, so a flat curve across
+// threads:1..8 means linear read scaling.
+
+void BM_ProbeScanCodedParallel(benchmark::State& state) {
+  const Relation& r = CarSample(100000);
+  const SelectionQuery q = ProbeQuery();
+  const ColumnarRelation& cols = *r.columnar();
+  for (auto _ : state) {
+    const CodedConjunction compiled = CodedConjunction::Compile(q, cols);
+    benchmark::DoNotOptimize(compiled.EvaluateAll());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(r.NumTuples()));
+}
+BENCHMARK(BM_ProbeScanCodedParallel)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+void BM_PartitionBuildCodedParallel(benchmark::State& state) {
+  const Relation& r = CarSample(100000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        StrippedPartition::FromColumn(r, CarDbGenerator::kModel));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(r.NumTuples()));
+}
+BENCHMARK(BM_PartitionBuildCodedParallel)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
 
 // --- Offline phases ---------------------------------------------------------
 
@@ -291,6 +402,12 @@ int RunMicroKernels(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (StartsWith(argv[i], "--json=")) {
       json_path = std::string(argv[i]).substr(7);
+    } else if (StartsWith(argv[i], "--isa=")) {
+      const Status s = simd::ForceIsa(std::string(argv[i]).substr(6));
+      if (!s.ok()) {
+        std::fprintf(stderr, "micro_kernels: %s\n", s.ToString().c_str());
+        return 1;
+      }
     } else {
       args.push_back(argv[i]);
     }
@@ -322,6 +439,19 @@ int RunMicroKernels(int argc, char** argv) {
                Json::Num(SpeedupAtLargestArg(reporter.ns_per_op(),
                                              "BM_ProbeScanRow",
                                              "BM_ProbeScanCoded")));
+  // Scalar-dispatch-ns / active-dispatch-ns for the three simd kernels.
+  speedups.Set("simd_partition_build",
+               Json::Num(SpeedupAtLargestArg(reporter.ns_per_op(),
+                                             "BM_PartitionBuildCodedScalar",
+                                             "BM_PartitionBuildCoded")));
+  speedups.Set("simd_bag_jaccard",
+               Json::Num(SpeedupAtLargestArg(reporter.ns_per_op(),
+                                             "BM_BagJaccardCodedScalar",
+                                             "BM_BagJaccardCoded")));
+  speedups.Set("simd_probe_scan",
+               Json::Num(SpeedupAtLargestArg(reporter.ns_per_op(),
+                                             "BM_ProbeScanCodedScalar",
+                                             "BM_ProbeScanCoded")));
   // Storage footprint: the same 20k-tuple CarDB prefix packed without and
   // with the block codec, against the 4-bytes-per-code plain layout.
   Json footprint = Json::Obj();
@@ -349,6 +479,7 @@ int RunMicroKernels(int argc, char** argv) {
   Json doc = Json::Obj();
   doc.Set("bench", Json::Str("micro_kernels"));
   doc.Set("git_sha", Json::Str(bench::GitSha()));
+  doc.Set("isa", Json::Str(simd::IsaName(simd::ActiveIsa())));
   doc.Set("kernels", kernels);
   doc.Set("speedups", speedups);
   doc.Set("bytes_per_tuple", std::move(footprint));

@@ -10,6 +10,7 @@
 //     differ, so the packed path can never silently drift from the oracle).
 //
 // Usage: storage_blocks [--tuples=N] [--allowed-memory=SZ] [--json=<path>]
+//                       [--isa=<scalar|sse4.2|avx2|native>]
 
 #include <unistd.h>
 
@@ -22,6 +23,7 @@
 #include "datagen/cardb.h"
 #include "query/selection_query.h"
 #include "relation/columnar.h"
+#include "simd/dispatch.h"
 #include "util/stopwatch.h"
 #include "util/strings.h"
 #include "webdb/coded_query.h"
@@ -105,6 +107,12 @@ int Run(int argc, char** argv) {
       }
     } else if (StartsWith(arg, "--json=")) {
       json_path = arg.substr(7);
+    } else if (StartsWith(arg, "--isa=")) {
+      const Status s = simd::ForceIsa(arg.substr(6));
+      if (!s.ok()) {
+        std::fprintf(stderr, "storage_blocks: %s\n", s.ToString().c_str());
+        return 1;
+      }
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return 1;

@@ -13,7 +13,7 @@
 //
 // Usage: storage_scale [--tuples=N] [--allowed-memory=SZ] [--queries=Q]
 //                      [--codec=none|lite|zstd] [--verify=none|plain]
-//                      [--json=<path>]
+//                      [--json=<path>] [--isa=<scalar|sse4.2|avx2|native>]
 
 #include <unistd.h>
 
@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "simd/dispatch.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 #include "util/strings.h"
@@ -121,6 +122,12 @@ int Run(int argc, char** argv) {
       }
     } else if (StartsWith(arg, "--json=")) {
       json_path = arg.substr(7);
+    } else if (StartsWith(arg, "--isa=")) {
+      const Status s = simd::ForceIsa(arg.substr(6));
+      if (!s.ok()) {
+        std::fprintf(stderr, "storage_scale: %s\n", s.ToString().c_str());
+        return 1;
+      }
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return 1;

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate for the micro-kernel bench baselines.
+
+Compares a freshly produced BENCH_micro_kernels.json against the baseline
+artifact downloaded from the latest successful main run, and fails (exit 1)
+when any micro kernel's ns/op regressed by more than --threshold percent.
+
+Only per-kernel ns/op entries are gated. Thread-scaling entries (the
+*Parallel benchmarks and google-benchmark's "/threads:N" variants) are
+skipped: CI runners make multi-thread wall times too noisy to gate on.
+Kernels present on only one side (renamed/added/removed benchmarks) are
+reported but never fail the gate.
+
+A missing baseline file is not an error — the first run on a fresh repo (or
+an expired artifact) prints a notice and exits 0 so the gate bootstraps
+itself.
+
+Usage:
+  check_bench.py --current=BENCH_micro_kernels.json \
+                 --baseline=bench-baseline/BENCH_micro_kernels.json \
+                 [--threshold=25]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Substrings marking benchmarks too noisy to gate (thread-scaling sweeps).
+NOISY_KEY_MARKERS = ("Parallel", "/threads:")
+
+
+def load_kernels(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    kernels = doc.get("kernels", {})
+    if not isinstance(kernels, dict):
+        raise ValueError(f"{path}: 'kernels' is not an object")
+    return {k: float(v) for k, v in kernels.items()}
+
+
+def gated(name):
+    return not any(marker in name for marker in NOISY_KEY_MARKERS)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", required=True,
+                        help="bench JSON produced by this run")
+    parser.add_argument("--baseline", required=True,
+                        help="bench JSON from the latest main run")
+    parser.add_argument("--threshold", type=float, default=25.0,
+                        help="max allowed ns/op regression, percent")
+    args = parser.parse_args()
+
+    if not os.path.exists(args.baseline):
+        print(f"notice: no baseline at {args.baseline}; skipping perf gate "
+              "(first run or expired artifact)")
+        return 0
+
+    current = load_kernels(args.current)
+    baseline = load_kernels(args.baseline)
+
+    regressions = []
+    print(f"{'kernel':<48} {'baseline':>12} {'current':>12} {'delta':>8}")
+    for name in sorted(set(current) | set(baseline)):
+        if name not in current:
+            print(f"{name:<48} {baseline[name]:>12.1f} {'(gone)':>12}")
+            continue
+        if name not in baseline:
+            print(f"{name:<48} {'(new)':>12} {current[name]:>12.1f}")
+            continue
+        base, cur = baseline[name], current[name]
+        delta = (cur - base) / base * 100.0 if base > 0 else 0.0
+        flag = ""
+        if gated(name) and delta > args.threshold:
+            regressions.append((name, base, cur, delta))
+            flag = "  << REGRESSION"
+        skipped = "" if gated(name) else "  (not gated)"
+        print(f"{name:<48} {base:>12.1f} {cur:>12.1f} {delta:>+7.1f}%"
+              f"{flag}{skipped}")
+
+    if regressions:
+        print(f"\n{len(regressions)} kernel(s) regressed more than "
+              f"{args.threshold:.0f}% vs the main baseline:")
+        for name, base, cur, delta in regressions:
+            print(f"  {name}: {base:.1f} -> {cur:.1f} ns/op ({delta:+.1f}%)")
+        return 1
+
+    print(f"\nperf gate OK: no kernel regressed more than "
+          f"{args.threshold:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "simd/dispatch.h"
+
 namespace aimq {
 
 StrippedPartition::StrippedPartition(size_t num_rows,
@@ -39,13 +41,15 @@ StrippedPartition StrippedPartition::FromColumnCoded(
   // and are stripped — the same classes the Value-keyed grouping produced.
   // Two block-window scans (count, then fill) keep the pass sequential in
   // either storage mode; packed snapshots decode one block at a time.
+  // The counting pass dispatches to the simd kernel layer: stored codes are
+  // either < card or kNullCode, so min(code, card) lands nulls in the extra
+  // bucket — the same slots the branching form produced.
   std::vector<uint32_t> counts(card + 1, 0);
+  const simd::KernelTable& kernels = simd::Kernels();
   ColumnarRelation::CodeWindow w;
   for (auto cur = data.ScanBlocks({attr_index}); cur.Next(&w);) {
-    for (size_t i = 0; i < w.num_rows; ++i) {
-      const ValueId code = w.codes[0][i];
-      counts[code == ValueDict::kNullCode ? card : code]++;
-    }
+    kernels.histogram(w.codes[0], w.num_rows, static_cast<uint32_t>(card),
+                      counts.data());
   }
   std::vector<std::vector<size_t>> buckets(card + 1);
   for (size_t slot = 0; slot <= card; ++slot) {

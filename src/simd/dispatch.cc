@@ -1,0 +1,106 @@
+#include "simd/dispatch.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "simd/kernels_internal.h"
+
+namespace aimq {
+namespace simd {
+
+namespace {
+
+Isa DetectIsaUncached() {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  if (__builtin_cpu_supports("avx2")) return Isa::kAvx2;
+  if (__builtin_cpu_supports("sse4.2")) return Isa::kSse42;
+#endif
+  return Isa::kScalar;
+}
+
+// Active ISA as int; -1 until the first ActiveIsa()/ForceIsa() resolves the
+// environment override.
+std::atomic<int> g_active{-1};
+
+Isa InitActiveFromEnv() {
+  const Isa detected = DetectIsa();
+  const char* env = std::getenv("AIMQ_FORCE_ISA");
+  if (env == nullptr || env[0] == '\0') return detected;
+  const Result<Isa> resolved = ResolveForcedIsa(detected, env);
+  if (!resolved.ok()) {
+    std::fprintf(stderr, "aimq: ignoring AIMQ_FORCE_ISA: %s\n",
+                 resolved.status().ToString().c_str());
+    return detected;
+  }
+  return resolved.ValueOrDie();
+}
+
+}  // namespace
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kSse42:
+      return "sse4.2";
+    case Isa::kAvx2:
+      return "avx2";
+  }
+  return "scalar";
+}
+
+Result<Isa> ParseIsa(const std::string& name) {
+  if (name == "scalar") return Isa::kScalar;
+  if (name == "sse4.2" || name == "sse42") return Isa::kSse42;
+  if (name == "avx2") return Isa::kAvx2;
+  return Status::InvalidArgument("unknown ISA '" + name +
+                                 "' (expected scalar, sse4.2, avx2, or "
+                                 "native)");
+}
+
+Isa DetectIsa() {
+  static const Isa detected = DetectIsaUncached();
+  return detected;
+}
+
+Result<Isa> ResolveForcedIsa(Isa detected, const std::string& forced) {
+  if (forced == "native") return detected;
+  AIMQ_ASSIGN_OR_RETURN(const Isa requested, ParseIsa(forced));
+  return static_cast<int>(requested) <= static_cast<int>(detected) ? requested
+                                                                   : detected;
+}
+
+Isa ActiveIsa() {
+  int cur = g_active.load(std::memory_order_acquire);
+  if (cur >= 0) return static_cast<Isa>(cur);
+  int resolved = static_cast<int>(InitActiveFromEnv());
+  // First resolver wins; a concurrent ForceIsa() that stored in between
+  // wins over the env value, matching the sequential semantics.
+  g_active.compare_exchange_strong(cur, resolved, std::memory_order_acq_rel);
+  return static_cast<Isa>(g_active.load(std::memory_order_acquire));
+}
+
+Status ForceIsa(const std::string& name) {
+  AIMQ_ASSIGN_OR_RETURN(const Isa isa, ResolveForcedIsa(DetectIsa(), name));
+  g_active.store(static_cast<int>(isa), std::memory_order_release);
+  return Status::OK();
+}
+
+const KernelTable& KernelsFor(Isa isa) {
+  switch (isa) {
+    case Isa::kAvx2:
+      return internal::Avx2Kernels();
+    case Isa::kSse42:
+      return internal::Sse42Kernels();
+    case Isa::kScalar:
+      break;
+  }
+  return internal::ScalarKernels();
+}
+
+const KernelTable& Kernels() { return KernelsFor(ActiveIsa()); }
+
+}  // namespace simd
+}  // namespace aimq

@@ -1,0 +1,119 @@
+// SIMD kernel layer with runtime ISA dispatch.
+//
+// The hottest coded kernels — probe bitmask filters, partition histograms,
+// sorted-bag intersections, and bitmask-to-row-id emission — exist in up to
+// three implementations: portable scalar, SSE4.2, and AVX2. The best ISA the
+// CPU supports is detected once via cpuid (__builtin_cpu_supports); the
+// active ISA can be *downgraded* with the AIMQ_FORCE_ISA environment
+// variable (read once, values: scalar | sse4.2 | avx2 | native) or the
+// ForceIsa() API (wired to the benches' --isa= flags). Forcing an ISA the
+// CPU does not support clamps to the detected one: the override can only
+// downgrade, never fault. Unknown names are rejected with a Status.
+//
+// Contract: every vector implementation is bit-identical to the scalar
+// reference on all inputs — same row-id sets, same partition counts, same
+// intersection sums (tests/kernel_equivalence_test.cc asserts this, down to
+// exact Jaccard doubles and final ranked engine answers). The scalar table
+// is always available and is the fallback on non-x86 builds, so consumers
+// dispatch unconditionally through Kernels().
+//
+// Build model: the SSE4.2/AVX2 translation units are compiled with per-file
+// -msse4.2 / -mavx2 (see src/CMakeLists.txt); every other TU targets
+// baseline x86-64, so the binary runs on any x86-64 machine and cpuid keeps
+// unsupported code paths cold.
+
+#ifndef AIMQ_SIMD_DISPATCH_H_
+#define AIMQ_SIMD_DISPATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace aimq {
+namespace simd {
+
+/// Instruction-set tiers, ordered: a larger value is a superset ISA.
+enum class Isa : int {
+  kScalar = 0,
+  kSse42 = 1,
+  kAvx2 = 2,
+};
+
+/// "scalar", "sse4.2", or "avx2".
+const char* IsaName(Isa isa);
+
+/// Parses "scalar" / "sse4.2" (or "sse42") / "avx2". Rejects anything else
+/// (including "native" — resolve that via ResolveForcedIsa / ForceIsa).
+Result<Isa> ParseIsa(const std::string& name);
+
+/// Best ISA this CPU supports (cpuid; cached after the first call).
+Isa DetectIsa();
+
+/// Resolution rule shared by the env override and ForceIsa: "native" yields
+/// \p detected; a known ISA is honored when it is a downgrade and clamped to
+/// \p detected when it is not; unknown names are rejected. Pure function —
+/// unit-testable without touching process state.
+Result<Isa> ResolveForcedIsa(Isa detected, const std::string& forced);
+
+/// The ISA the dispatch tables currently serve. First call resolves
+/// AIMQ_FORCE_ISA against DetectIsa() (an unknown env value warns on stderr
+/// and falls back to the detected ISA — the service should not crash over a
+/// typo; callers who want hard rejection use ForceIsa).
+Isa ActiveIsa();
+
+/// Programmatic override (--isa= flags): "scalar" | "sse4.2" | "avx2" |
+/// "native". Same clamp-to-detected rule as the env variable; unknown names
+/// return InvalidArgument and leave the active ISA unchanged.
+Status ForceIsa(const std::string& name);
+
+/// One resolved set of kernel entry points. All masks are little-endian bit
+/// arrays: bit i of mask[i/64] corresponds to element i; bits at positions
+/// >= n are zero on output.
+struct KernelTable {
+  Isa isa = Isa::kScalar;
+
+  /// mask[ceil(n/64)] := bitmask of (codes[i] == target).
+  void (*eq_mask)(const uint32_t* codes, size_t n, uint32_t target,
+                  uint64_t* mask);
+
+  /// mask[ceil(n/64)] := bitmask of (codes[i] < table_size &&
+  /// table[codes[i]] != 0). ValueDict::kNullCode is never < table_size, so
+  /// null rows never match. \p table must stay readable for table_size + 3
+  /// bytes (gather lanes load 32 bits) — allocate with >= 3 bytes of
+  /// padding.
+  void (*table_mask)(const uint32_t* codes, size_t n, const uint8_t* table,
+                     uint32_t table_size, uint64_t* mask);
+
+  /// counts[min(codes[i], num_buckets)] += 1 for every i. \p counts has
+  /// num_buckets + 1 entries; the last bucket collects ValueDict::kNullCode
+  /// (and any other out-of-range code). Accumulates — the caller zeroes.
+  void (*histogram)(const uint32_t* codes, size_t n, uint32_t num_buckets,
+                    uint32_t* counts);
+
+  /// Appends base_row + i to \p out for every set bit i of \p mask
+  /// (ascending).
+  void (*mask_to_rows)(const uint64_t* mask, size_t num_words,
+                       uint32_t base_row, std::vector<uint32_t>* out);
+
+  /// Σ min(a_count, b_count) over ids present in both sorted-unique arrays
+  /// (bag-semantics intersection size).
+  uint64_t (*intersect_size)(const uint32_t* a_ids, const uint64_t* a_counts,
+                             size_t a_n, const uint32_t* b_ids,
+                             const uint64_t* b_counts, size_t b_n);
+};
+
+/// The kernel table of ActiveIsa() — the normal dispatch entry point.
+const KernelTable& Kernels();
+
+/// The table of one specific tier (equivalence tests pit these against each
+/// other). Requesting a tier whose TU was compiled without vector support
+/// (non-x86 build) returns the scalar table.
+const KernelTable& KernelsFor(Isa isa);
+
+}  // namespace simd
+}  // namespace aimq
+
+#endif  // AIMQ_SIMD_DISPATCH_H_

@@ -1,0 +1,178 @@
+// AVX2 kernels (8 x 32-bit lanes). This translation unit is the only one
+// compiled with -mavx2 (see src/CMakeLists.txt); nothing here runs unless
+// cpuid reported AVX2, so the rest of the binary stays baseline x86-64.
+//
+// Tails (< 64 elements) and undersized inputs take the scalar range bodies
+// from kernels_internal.h, which keeps every tier bit-identical by
+// construction on the elements vectors do not cover.
+
+#include "simd/kernels_internal.h"
+
+#if defined(AIMQ_SIMD_COMPILE_AVX2)
+
+#include <immintrin.h>
+
+namespace aimq {
+namespace simd {
+namespace internal {
+namespace {
+
+// Unsigned a < b per lane: bias both by 0x80000000 and use the signed
+// compare.
+inline __m256i CmpLtEpu32(__m256i a, __m256i b) {
+  const __m256i bias = _mm256_set1_epi32(static_cast<int32_t>(0x80000000u));
+  return _mm256_cmpgt_epi32(_mm256_xor_si256(b, bias),
+                            _mm256_xor_si256(a, bias));
+}
+
+inline uint32_t MoveMask8(__m256i lanes) {
+  return static_cast<uint32_t>(
+      _mm256_movemask_ps(_mm256_castsi256_ps(lanes)));
+}
+
+void EqMaskAvx2(const uint32_t* codes, size_t n, uint32_t target,
+                uint64_t* mask) {
+  ZeroMask(n, mask);
+  const __m256i vt = _mm256_set1_epi32(static_cast<int32_t>(target));
+  size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    uint64_t w = 0;
+    for (int k = 0; k < 64; k += 8) {
+      const __m256i v = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(codes + i + k));
+      w |= uint64_t{MoveMask8(_mm256_cmpeq_epi32(v, vt))} << k;
+    }
+    mask[i >> 6] = w;
+  }
+  EqMaskRange(codes, i, n, target, mask);
+}
+
+void TableMaskAvx2(const uint32_t* codes, size_t n, const uint8_t* table,
+                   uint32_t table_size, uint64_t* mask) {
+  ZeroMask(n, mask);
+  if (table_size == 0) return;
+  const __m256i vsize = _mm256_set1_epi32(static_cast<int32_t>(table_size));
+  const __m256i low_byte = _mm256_set1_epi32(0xFF);
+  size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    uint64_t w = 0;
+    for (int k = 0; k < 64; k += 8) {
+      const __m256i v = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(codes + i + k));
+      const __m256i valid = CmpLtEpu32(v, vsize);  // kNullCode never < size
+      // Invalid lanes are masked out of the gather (no load happens), but
+      // zero their index anyway so the hardware never sees a wild address.
+      const __m256i idx = _mm256_and_si256(v, valid);
+      const __m256i g = _mm256_mask_i32gather_epi32(
+          _mm256_setzero_si256(), reinterpret_cast<const int*>(table), idx,
+          valid, 1);
+      const __m256i hit = _mm256_cmpgt_epi32(_mm256_and_si256(g, low_byte),
+                                             _mm256_setzero_si256());
+      w |= uint64_t{MoveMask8(_mm256_and_si256(hit, valid))} << k;
+    }
+    mask[i >> 6] = w;
+  }
+  TableMaskRange(codes, i, n, table, table_size, mask);
+}
+
+void HistogramAvx2(const uint32_t* codes, size_t n, uint32_t num_buckets,
+                   uint32_t* counts) {
+  // The scatter itself cannot vectorize (dependent increments), but the
+  // null/out-of-range remap can: clamp 8 codes at a time to num_buckets via
+  // min_epu32 into a staging buffer, then run a tight increment loop that
+  // the compiler can unroll without the per-element compare.
+  constexpr size_t kChunk = 4096;
+  alignas(32) uint32_t staged[kChunk];
+  const __m256i vb = _mm256_set1_epi32(static_cast<int32_t>(num_buckets));
+  size_t i = 0;
+  for (; i + 8 <= n; /* advanced inside */) {
+    const size_t m = std::min(kChunk, (n - i) & ~size_t{7});
+    for (size_t k = 0; k < m; k += 8) {
+      const __m256i v = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(codes + i + k));
+      _mm256_store_si256(reinterpret_cast<__m256i*>(staged + k),
+                         _mm256_min_epu32(v, vb));
+    }
+    for (size_t k = 0; k < m; ++k) counts[staged[k]]++;
+    i += m;
+  }
+  HistogramRange(codes, i, n, num_buckets, counts);
+}
+
+uint64_t IntersectAvx2(const uint32_t* a_ids, const uint64_t* a_counts,
+                       size_t a_n, const uint32_t* b_ids,
+                       const uint64_t* b_counts, size_t b_n) {
+  if (a_n > b_n) {
+    return IntersectAvx2(b_ids, b_counts, b_n, a_ids, a_counts, a_n);
+  }
+  if (a_n == 0) return 0;
+  if (b_n >= a_n * kGallopRatio) {
+    return IntersectGallop(a_ids, a_counts, a_n, b_ids, b_counts, b_n);
+  }
+  if (b_n < a_n * kSimdProbeRatio) {
+    // Near-equal sizes: delegate to the scalar TU's merge so this case runs
+    // the exact same machine code as the scalar tier (recompiling the merge
+    // under -mavx2 measurably pessimizes it).
+    return ScalarKernels().intersect_size(a_ids, a_counts, a_n, b_ids,
+                                          b_counts, b_n);
+  }
+  // Moderately skewed sizes: probe one element of a against 8 ids of b per
+  // step. Both arrays are sorted strictly increasing, so the lanes of b
+  // that are < a form a prefix of the compare mask.
+  uint64_t inter = 0;
+  size_t i = 0, j = 0;
+  while (i < a_n && j + 8 <= b_n) {
+    const uint32_t a = a_ids[i];
+    const __m256i va = _mm256_set1_epi32(static_cast<int32_t>(a));
+    const __m256i vb = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(b_ids + j));
+    const uint32_t eq = MoveMask8(_mm256_cmpeq_epi32(vb, va));
+    if (eq != 0) {
+      const size_t k = static_cast<size_t>(__builtin_ctz(eq));
+      inter += std::min(a_counts[i], b_counts[j + k]);
+      ++i;
+      j += k + 1;
+      continue;
+    }
+    const uint32_t lt = MoveMask8(CmpLtEpu32(vb, va));
+    const size_t adv = static_cast<size_t>(__builtin_popcount(lt));
+    if (adv == 8) {
+      j += 8;  // all 8 ids of b below a: re-probe the same a further on
+    } else {
+      j += adv;  // b_ids[j] now > a (no equality), so a is not in b
+      ++i;
+    }
+  }
+  return inter + IntersectMergeRange(a_ids, a_counts, i, a_n, b_ids, b_counts,
+                                     j, b_n);
+}
+
+}  // namespace
+
+const KernelTable& Avx2Kernels() {
+  static const KernelTable table{Isa::kAvx2,    EqMaskAvx2,
+                                 TableMaskAvx2, HistogramAvx2,
+                                 MaskToRowsImpl, IntersectAvx2};
+  return table;
+}
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace aimq
+
+#else  // !AIMQ_SIMD_COMPILE_AVX2
+
+namespace aimq {
+namespace simd {
+namespace internal {
+
+// Built without AVX2 support (non-x86 target or a compiler missing -mavx2):
+// the tier degrades to scalar. DetectIsa never reports kAvx2 here, so this
+// only serves explicit KernelsFor(Isa::kAvx2) calls.
+const KernelTable& Avx2Kernels() { return ScalarKernels(); }
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace aimq
+
+#endif  // AIMQ_SIMD_COMPILE_AVX2

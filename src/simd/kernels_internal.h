@@ -1,0 +1,116 @@
+// Internals shared by the per-ISA kernel translation units: the per-tier
+// table getters the dispatcher binds to, plus the scalar reference bodies.
+// The vector TUs reuse the scalar bodies for loop tails, which is what makes
+// bit-identity across tiers easy to maintain: a tail element takes exactly
+// the scalar path.
+
+#ifndef AIMQ_SIMD_KERNELS_INTERNAL_H_
+#define AIMQ_SIMD_KERNELS_INTERNAL_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "simd/dispatch.h"
+
+namespace aimq {
+namespace simd {
+namespace internal {
+
+const KernelTable& ScalarKernels();
+const KernelTable& Sse42Kernels();
+const KernelTable& Avx2Kernels();
+
+/// Shared mask→row-id emission (ctz walk); all tiers use this one.
+void MaskToRowsImpl(const uint64_t* mask, size_t num_words, uint32_t base_row,
+                    std::vector<uint32_t>* out);
+
+inline void ZeroMask(size_t n, uint64_t* mask) {
+  std::fill_n(mask, (n + 63) / 64, uint64_t{0});
+}
+
+/// Scalar eq_mask over elements [begin, n); touched words must be
+/// pre-zeroed.
+inline void EqMaskRange(const uint32_t* codes, size_t begin, size_t n,
+                        uint32_t target, uint64_t* mask) {
+  for (size_t i = begin; i < n; ++i) {
+    if (codes[i] == target) mask[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+}
+
+/// Scalar table_mask over [begin, n); touched words must be pre-zeroed.
+inline void TableMaskRange(const uint32_t* codes, size_t begin, size_t n,
+                           const uint8_t* table, uint32_t table_size,
+                           uint64_t* mask) {
+  for (size_t i = begin; i < n; ++i) {
+    const uint32_t c = codes[i];
+    if (c < table_size && table[c] != 0) {
+      mask[i >> 6] |= uint64_t{1} << (i & 63);
+    }
+  }
+}
+
+/// Scalar histogram over [begin, n).
+inline void HistogramRange(const uint32_t* codes, size_t begin, size_t n,
+                           uint32_t num_buckets, uint32_t* counts) {
+  for (size_t i = begin; i < n; ++i) {
+    counts[codes[i] < num_buckets ? codes[i] : num_buckets]++;
+  }
+}
+
+/// Scalar merge intersection starting at offsets (i, j).
+inline uint64_t IntersectMergeRange(const uint32_t* a_ids,
+                                    const uint64_t* a_counts, size_t i,
+                                    size_t a_n, const uint32_t* b_ids,
+                                    const uint64_t* b_counts, size_t j,
+                                    size_t b_n) {
+  uint64_t inter = 0;
+  while (i < a_n && j < b_n) {
+    const uint32_t a = a_ids[i];
+    const uint32_t b = b_ids[j];
+    if (a < b) {
+      ++i;
+    } else if (b < a) {
+      ++j;
+    } else {
+      inter += std::min(a_counts[i], b_counts[j]);
+      ++i;
+      ++j;
+    }
+  }
+  return inter;
+}
+
+/// Galloping intersection for heavily skewed sizes (a much smaller than b):
+/// one lower_bound per element of a instead of walking all of b.
+inline uint64_t IntersectGallop(const uint32_t* a_ids,
+                                const uint64_t* a_counts, size_t a_n,
+                                const uint32_t* b_ids,
+                                const uint64_t* b_counts, size_t b_n) {
+  uint64_t inter = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < a_n && j < b_n; ++i) {
+    const uint32_t a = a_ids[i];
+    const uint32_t* pos = std::lower_bound(b_ids + j, b_ids + b_n, a);
+    j = static_cast<size_t>(pos - b_ids);
+    if (j < b_n && b_ids[j] == a) {
+      inter += std::min(a_counts[i], b_counts[j]);
+      ++j;
+    }
+  }
+  return inter;
+}
+
+/// Size ratio beyond which the vector tiers switch to galloping.
+inline constexpr size_t kGallopRatio = 32;
+
+/// Size ratio below which the vector tiers use the scalar merge: the
+/// broadcast-probe loop retires one element of a per step, so it only beats
+/// the two-pointer merge once b is several times longer than a (measured
+/// crossover ~4x on AVX2; near-equal dense arrays are ~4x slower probed).
+inline constexpr size_t kSimdProbeRatio = 4;
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace aimq
+
+#endif  // AIMQ_SIMD_KERNELS_INTERNAL_H_

@@ -1,0 +1,59 @@
+// Portable scalar kernels — the dispatch fallback on machines (or builds)
+// without vector support, and the oracle every vector tier must match
+// bit-for-bit.
+
+#include "simd/kernels_internal.h"
+
+namespace aimq {
+namespace simd {
+namespace internal {
+
+void MaskToRowsImpl(const uint64_t* mask, size_t num_words, uint32_t base_row,
+                    std::vector<uint32_t>* out) {
+  for (size_t wi = 0; wi < num_words; ++wi) {
+    uint64_t m = mask[wi];
+    const uint32_t base = base_row + static_cast<uint32_t>(wi * 64);
+    while (m != 0) {
+      out->push_back(base + static_cast<uint32_t>(__builtin_ctzll(m)));
+      m &= m - 1;
+    }
+  }
+}
+
+namespace {
+
+void EqMaskScalar(const uint32_t* codes, size_t n, uint32_t target,
+                  uint64_t* mask) {
+  ZeroMask(n, mask);
+  EqMaskRange(codes, 0, n, target, mask);
+}
+
+void TableMaskScalar(const uint32_t* codes, size_t n, const uint8_t* table,
+                     uint32_t table_size, uint64_t* mask) {
+  ZeroMask(n, mask);
+  TableMaskRange(codes, 0, n, table, table_size, mask);
+}
+
+void HistogramScalar(const uint32_t* codes, size_t n, uint32_t num_buckets,
+                     uint32_t* counts) {
+  HistogramRange(codes, 0, n, num_buckets, counts);
+}
+
+uint64_t IntersectScalar(const uint32_t* a_ids, const uint64_t* a_counts,
+                         size_t a_n, const uint32_t* b_ids,
+                         const uint64_t* b_counts, size_t b_n) {
+  return IntersectMergeRange(a_ids, a_counts, 0, a_n, b_ids, b_counts, 0, b_n);
+}
+
+}  // namespace
+
+const KernelTable& ScalarKernels() {
+  static const KernelTable table{Isa::kScalar,  EqMaskScalar,
+                                 TableMaskScalar, HistogramScalar,
+                                 MaskToRowsImpl, IntersectScalar};
+  return table;
+}
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace aimq

@@ -1,0 +1,137 @@
+// SSE4.2 kernels (4 x 32-bit lanes) — the middle dispatch tier for x86-64
+// machines without AVX2. Compiled with per-file -msse4.2 (see
+// src/CMakeLists.txt). There is no gather below AVX2, so table_mask keeps
+// the scalar body; eq_mask, histogram, and intersect vectorize.
+
+#include "simd/kernels_internal.h"
+
+#if defined(AIMQ_SIMD_COMPILE_SSE42)
+
+#include <nmmintrin.h>
+
+namespace aimq {
+namespace simd {
+namespace internal {
+namespace {
+
+inline __m128i CmpLtEpu32(__m128i a, __m128i b) {
+  const __m128i bias = _mm_set1_epi32(static_cast<int32_t>(0x80000000u));
+  return _mm_cmpgt_epi32(_mm_xor_si128(b, bias), _mm_xor_si128(a, bias));
+}
+
+inline uint32_t MoveMask4(__m128i lanes) {
+  return static_cast<uint32_t>(_mm_movemask_ps(_mm_castsi128_ps(lanes)));
+}
+
+void EqMaskSse42(const uint32_t* codes, size_t n, uint32_t target,
+                 uint64_t* mask) {
+  ZeroMask(n, mask);
+  const __m128i vt = _mm_set1_epi32(static_cast<int32_t>(target));
+  size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    uint64_t w = 0;
+    for (int k = 0; k < 64; k += 4) {
+      const __m128i v =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(codes + i + k));
+      w |= uint64_t{MoveMask4(_mm_cmpeq_epi32(v, vt))} << k;
+    }
+    mask[i >> 6] = w;
+  }
+  EqMaskRange(codes, i, n, target, mask);
+}
+
+void TableMaskSse42(const uint32_t* codes, size_t n, const uint8_t* table,
+                    uint32_t table_size, uint64_t* mask) {
+  ZeroMask(n, mask);
+  TableMaskRange(codes, 0, n, table, table_size, mask);
+}
+
+void HistogramSse42(const uint32_t* codes, size_t n, uint32_t num_buckets,
+                    uint32_t* counts) {
+  constexpr size_t kChunk = 4096;
+  alignas(16) uint32_t staged[kChunk];
+  const __m128i vb = _mm_set1_epi32(static_cast<int32_t>(num_buckets));
+  size_t i = 0;
+  for (; i + 4 <= n; /* advanced inside */) {
+    const size_t m = std::min(kChunk, (n - i) & ~size_t{3});
+    for (size_t k = 0; k < m; k += 4) {
+      const __m128i v =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(codes + i + k));
+      _mm_store_si128(reinterpret_cast<__m128i*>(staged + k),
+                      _mm_min_epu32(v, vb));
+    }
+    for (size_t k = 0; k < m; ++k) counts[staged[k]]++;
+    i += m;
+  }
+  HistogramRange(codes, i, n, num_buckets, counts);
+}
+
+uint64_t IntersectSse42(const uint32_t* a_ids, const uint64_t* a_counts,
+                        size_t a_n, const uint32_t* b_ids,
+                        const uint64_t* b_counts, size_t b_n) {
+  if (a_n > b_n) {
+    return IntersectSse42(b_ids, b_counts, b_n, a_ids, a_counts, a_n);
+  }
+  if (a_n == 0) return 0;
+  if (b_n >= a_n * kGallopRatio) {
+    return IntersectGallop(a_ids, a_counts, a_n, b_ids, b_counts, b_n);
+  }
+  if (b_n < a_n * kSimdProbeRatio) {
+    // Near-equal sizes: the scalar TU's merge (see kernels_avx2.cc).
+    return ScalarKernels().intersect_size(a_ids, a_counts, a_n, b_ids,
+                                          b_counts, b_n);
+  }
+  uint64_t inter = 0;
+  size_t i = 0, j = 0;
+  while (i < a_n && j + 4 <= b_n) {
+    const uint32_t a = a_ids[i];
+    const __m128i va = _mm_set1_epi32(static_cast<int32_t>(a));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b_ids + j));
+    const uint32_t eq = MoveMask4(_mm_cmpeq_epi32(vb, va));
+    if (eq != 0) {
+      const size_t k = static_cast<size_t>(__builtin_ctz(eq));
+      inter += std::min(a_counts[i], b_counts[j + k]);
+      ++i;
+      j += k + 1;
+      continue;
+    }
+    const uint32_t lt = MoveMask4(CmpLtEpu32(vb, va));
+    const size_t adv = static_cast<size_t>(__builtin_popcount(lt));
+    if (adv == 4) {
+      j += 4;
+    } else {
+      j += adv;
+      ++i;
+    }
+  }
+  return inter + IntersectMergeRange(a_ids, a_counts, i, a_n, b_ids, b_counts,
+                                     j, b_n);
+}
+
+}  // namespace
+
+const KernelTable& Sse42Kernels() {
+  static const KernelTable table{Isa::kSse42,    EqMaskSse42,
+                                 TableMaskSse42, HistogramSse42,
+                                 MaskToRowsImpl, IntersectSse42};
+  return table;
+}
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace aimq
+
+#else  // !AIMQ_SIMD_COMPILE_SSE42
+
+namespace aimq {
+namespace simd {
+namespace internal {
+
+const KernelTable& Sse42Kernels() { return ScalarKernels(); }
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace aimq
+
+#endif  // AIMQ_SIMD_COMPILE_SSE42

@@ -10,8 +10,9 @@ Bag SuperTuple::bag(size_t attr) const {
   Bag out;
   if (vocab_ == nullptr) return out;
   const std::vector<std::string>& keywords = vocab_->keywords[attr];
-  for (const auto& [id, count] : coded_bags_[attr].entries()) {
-    out.Add(keywords[id], count);
+  const CodedBag& coded = coded_bags_[attr];
+  for (size_t e = 0; e < coded.ids().size(); ++e) {
+    out.Add(keywords[coded.ids()[e]], coded.counts()[e]);
   }
   return out;
 }
@@ -49,10 +50,10 @@ Result<uint64_t> SuperTuple::SpillBags(storage::SpillFile* file) {
   };
   put_u32(static_cast<uint32_t>(coded_bags_.size()));
   for (const CodedBag& bag : coded_bags_) {
-    put_u32(static_cast<uint32_t>(bag.entries().size()));
-    for (const auto& [id, count] : bag.entries()) {
-      put_u32(id);
-      put_u64(count);
+    put_u32(static_cast<uint32_t>(bag.ids().size()));
+    for (size_t e = 0; e < bag.ids().size(); ++e) {
+      put_u32(bag.ids()[e]);
+      put_u64(bag.counts()[e]);
     }
   }
   // Length prefix so LoadBags knows how much to page back in.

@@ -2,66 +2,66 @@
 
 #include <algorithm>
 
+#include "simd/dispatch.h"
+
 namespace aimq {
 
 CodedBag CodedBag::FromSortedEntries(
     std::vector<std::pair<uint32_t, uint64_t>> entries) {
   CodedBag bag;
-  bag.entries_ = std::move(entries);
-  for (const auto& [id, count] : bag.entries_) bag.total_ += count;
-  bag.finalized_ = true;
+  bag.ids_.reserve(entries.size());
+  bag.counts_.reserve(entries.size());
+  for (const auto& [id, count] : entries) {
+    bag.ids_.push_back(id);
+    bag.counts_.push_back(count);
+    bag.total_ += count;
+  }
   return bag;
 }
 
 void CodedBag::Add(uint32_t id, uint64_t count) {
   if (count == 0) return;
-  entries_.emplace_back(id, count);
+  pending_.emplace_back(id, count);
   total_ += count;
-  finalized_ = false;
 }
 
 void CodedBag::Finalize() {
-  if (finalized_) return;
-  std::sort(entries_.begin(), entries_.end(),
+  if (pending_.empty()) return;
+  // Fold any previously finalized entries back in, then sort-aggregate the
+  // whole set into fresh parallel arrays.
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    pending_.emplace_back(ids_[i], counts_[i]);
+  }
+  std::sort(pending_.begin(), pending_.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
-  size_t out = 0;
-  for (size_t i = 0; i < entries_.size();) {
-    uint32_t id = entries_[i].first;
+  ids_.clear();
+  counts_.clear();
+  for (size_t i = 0; i < pending_.size();) {
+    const uint32_t id = pending_[i].first;
     uint64_t count = 0;
-    while (i < entries_.size() && entries_[i].first == id) {
-      count += entries_[i].second;
+    while (i < pending_.size() && pending_[i].first == id) {
+      count += pending_[i].second;
       ++i;
     }
-    entries_[out++] = {id, count};
+    ids_.push_back(id);
+    counts_.push_back(count);
   }
-  entries_.resize(out);
-  finalized_ = true;
+  pending_.clear();
+  pending_.shrink_to_fit();
 }
 
 uint64_t CodedBag::Count(uint32_t id) const {
-  auto it = std::lower_bound(
-      entries_.begin(), entries_.end(), id,
-      [](const auto& e, uint32_t target) { return e.first < target; });
-  return it != entries_.end() && it->first == id ? it->second : 0;
+  const auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  return it != ids_.end() && *it == id
+             ? counts_[static_cast<size_t>(it - ids_.begin())]
+             : 0;
 }
 
 uint64_t CodedBag::IntersectionSize(const CodedBag& other) const {
-  uint64_t inter = 0;
-  size_t i = 0, j = 0;
-  while (i < entries_.size() && j < other.entries_.size()) {
-    const uint32_t a = entries_[i].first;
-    const uint32_t b = other.entries_[j].first;
-    if (a < b) {
-      ++i;
-    } else if (b < a) {
-      ++j;
-    } else {
-      inter += std::min(entries_[i].second, other.entries_[j].second);
-      ++i;
-      ++j;
-    }
-  }
-  return inter;
+  return simd::Kernels().intersect_size(ids_.data(), counts_.data(),
+                                        ids_.size(), other.ids_.data(),
+                                        other.counts_.data(),
+                                        other.ids_.size());
 }
 
 uint64_t CodedBag::UnionSize(const CodedBag& other) const {
@@ -73,6 +73,13 @@ double CodedBag::JaccardSimilarity(const CodedBag& other) const {
   if (uni == 0) return 0.0;
   return static_cast<double>(IntersectionSize(other)) /
          static_cast<double>(uni);
+}
+
+std::vector<std::pair<uint32_t, uint64_t>> CodedBag::entries() const {
+  std::vector<std::pair<uint32_t, uint64_t>> out;
+  out.reserve(ids_.size());
+  for (size_t i = 0; i < ids_.size(); ++i) out.emplace_back(ids_[i], counts_[i]);
+  return out;
 }
 
 }  // namespace aimq

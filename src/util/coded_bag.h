@@ -1,8 +1,9 @@
 // CodedBag: the dictionary-encoded counterpart of util/bag.h. Keywords are
 // dense integer ids (attribute-dictionary codes, or bin-label ids for
-// numeric attributes); the bag is a sorted (id, count) array, so bag-Jaccard
-// becomes a merge-style walk over two sorted arrays instead of hashing
-// strings through an unordered_map.
+// numeric attributes); a finalized bag is a pair of parallel sorted arrays
+// (ids, counts) — structure-of-arrays so bag-Jaccard can run as a SIMD
+// merge/galloping intersection over the contiguous id array (simd/dispatch.h)
+// instead of hashing strings through an unordered_map.
 //
 // Integer results (intersection/union sizes) are defined identically to
 // Bag's, so JaccardSimilarity performs the same single double division and
@@ -18,7 +19,8 @@
 
 namespace aimq {
 
-/// \brief A bag of integer-coded keywords as a sorted (id, count) array.
+/// \brief A bag of integer-coded keywords as parallel sorted (ids, counts)
+/// arrays.
 class CodedBag {
  public:
   CodedBag() = default;
@@ -40,12 +42,13 @@ class CodedBag {
   /// Occurrence count of \p id (0 if absent). Requires Finalize().
   uint64_t Count(uint32_t id) const;
 
-  size_t DistinctSize() const { return entries_.size(); }
+  size_t DistinctSize() const { return ids_.size(); }
   uint64_t TotalSize() const { return total_; }
-  bool Empty() const { return entries_.empty(); }
+  bool Empty() const { return ids_.empty() && pending_.empty(); }
 
-  /// Bag-semantics intersection size Σ min — a linear merge of the two
-  /// sorted arrays. Requires Finalize() on both sides.
+  /// Bag-semantics intersection size Σ min, via the active simd
+  /// intersection kernel over the sorted id arrays. Requires Finalize() on
+  /// both sides.
   uint64_t IntersectionSize(const CodedBag& other) const;
 
   /// Bag-semantics union size: |A| + |B| − |A ∩ B|.
@@ -55,15 +58,21 @@ class CodedBag {
   /// Same arithmetic as Bag::JaccardSimilarity.
   double JaccardSimilarity(const CodedBag& other) const;
 
-  /// Sorted-by-id entries. Requires Finalize().
-  const std::vector<std::pair<uint32_t, uint64_t>>& entries() const {
-    return entries_;
-  }
+  /// Sorted unique keyword ids. Requires Finalize().
+  const std::vector<uint32_t>& ids() const { return ids_; }
+
+  /// counts()[i] is the occurrence count of ids()[i]. Requires Finalize().
+  const std::vector<uint64_t>& counts() const { return counts_; }
+
+  /// Sorted-by-id entries, materialized from the parallel arrays. Requires
+  /// Finalize().
+  std::vector<std::pair<uint32_t, uint64_t>> entries() const;
 
  private:
-  std::vector<std::pair<uint32_t, uint64_t>> entries_;
+  std::vector<std::pair<uint32_t, uint64_t>> pending_;  // unfinalized Adds
+  std::vector<uint32_t> ids_;
+  std::vector<uint64_t> counts_;
   uint64_t total_ = 0;
-  bool finalized_ = true;  // an empty bag is trivially canonical
 };
 
 }  // namespace aimq

@@ -1,6 +1,33 @@
 #include "webdb/coded_query.h"
 
+#include <algorithm>
+
+#include "simd/dispatch.h"
+
 namespace aimq {
+
+namespace {
+
+/// Bytes of gather padding behind a Pred::match_table (the simd table_mask
+/// kernel loads 32 bits per lane).
+constexpr size_t kMatchTablePad = 8;
+
+bool RangeMatches(CompareOp op, double a, double threshold) {
+  switch (op) {
+    case CompareOp::kLt:
+      return a < threshold;
+    case CompareOp::kLe:
+      return a <= threshold;
+    case CompareOp::kGt:
+      return a > threshold;
+    case CompareOp::kGe:
+      return a >= threshold;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
 
 CodedConjunction CodedConjunction::Compile(const SelectionQuery& query,
                                            const ColumnarRelation& data) {
@@ -54,6 +81,16 @@ CodedConjunction CodedConjunction::Compile(const SelectionQuery& query,
         // row-store message for a non-numeric stored operand.
         c.error = Status::InvalidArgument(
             "range predicate on non-numeric attribute '" + p.attribute + "'");
+      } else {
+        // Error-free range: fold the double comparison into a per-code bit
+        // table so full scans can run as simd mask filters. Built from the
+        // same code_num doubles the row path compares — bit-identical by
+        // construction.
+        c.match_table.assign(dict.size() + kMatchTablePad, 0);
+        for (ValueId code = 0; code < dict.size(); ++code) {
+          c.match_table[code] =
+              RangeMatches(c.op, c.code_num[code], c.threshold) ? 1 : 0;
+        }
       }
     }
     out.preds_.push_back(std::move(c));
@@ -136,6 +173,50 @@ Result<std::vector<uint32_t>> CodedConjunction::EvaluateAll() const {
     for (uint32_t r = 0; r < n; ++r) {
       AIMQ_ASSIGN_OR_RETURN(bool match, EvaluateRow(r));
       if (match) rows.push_back(r);
+    }
+    return rows;
+  }
+
+  // Batched bitmask path: applicable when every predicate compiled to an
+  // error-free code form — kEqCode (a pure code compare) or kRange with a
+  // match table (all-numeric dictionary). Those kinds can never return a
+  // Status for any row, so mask evaluation order is unobservable and the
+  // per-predicate masks can be built independently and ANDed. Any other
+  // kind (kNeverMatch, kCompileError, kErrorUnlessNull, error-carrying
+  // kRange) falls back to the per-row path below, which reproduces the
+  // row-store error-ordering semantics exactly.
+  const bool vectorizable = std::all_of(
+      preds_.begin(), preds_.end(), [](const Pred& p) {
+        return p.kind == Kind::kEqCode ||
+               (p.kind == Kind::kRange && !p.match_table.empty());
+      });
+  if (vectorizable) {
+    const simd::KernelTable& kernels = simd::Kernels();
+    std::vector<uint64_t> mask, pred_mask;
+    ColumnarRelation::WindowCursor cur = data_->ScanBlocks(scan_attrs);
+    ColumnarRelation::CodeWindow w;
+    while (cur.Next(&w)) {
+      const size_t words = (w.num_rows + 63) / 64;
+      mask.resize(words);
+      pred_mask.resize(words);
+      for (size_t pi = 0; pi < preds_.size(); ++pi) {
+        const Pred& p = preds_[pi];
+        const uint32_t* codes = w.codes[pred_slot[pi]];
+        uint64_t* dst = pi == 0 ? mask.data() : pred_mask.data();
+        if (p.kind == Kind::kEqCode) {
+          kernels.eq_mask(codes, w.num_rows, p.target, dst);
+        } else {
+          kernels.table_mask(
+              codes, w.num_rows, p.match_table.data(),
+              static_cast<uint32_t>(p.match_table.size() - kMatchTablePad),
+              dst);
+        }
+        if (pi != 0) {
+          for (size_t wi = 0; wi < words; ++wi) mask[wi] &= pred_mask[wi];
+        }
+      }
+      kernels.mask_to_rows(mask.data(), words,
+                           static_cast<uint32_t>(w.begin_row), &rows);
     }
     return rows;
   }

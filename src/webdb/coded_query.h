@@ -45,6 +45,11 @@ class CodedConjunction {
   /// Full scan; mirrors SelectionQuery::Evaluate (row indices ascending).
   /// Iterates block windows via ColumnarRelation::ScanBlocks, so packed
   /// snapshots decode (and page in) one block per involved column at a time.
+  /// When every predicate compiled to an error-free code form (kEqCode, or
+  /// kRange over an all-numeric dictionary), the scan runs as a batched
+  /// bitmask filter through the simd kernel layer: one bitmask per
+  /// predicate per window, ANDed across predicates, row ids emitted from
+  /// the surviving mask. Results are bit-identical to the per-row path.
   Result<std::vector<uint32_t>> EvaluateAll() const;
 
   /// Evaluates only \p candidates (in the given order), keeping matches.
@@ -73,6 +78,12 @@ class CodedConjunction {
     // relations that bypassed type validation); code_num[c] is its double.
     std::vector<uint8_t> code_numeric;
     std::vector<double> code_num;
+    // kRange with an all-numeric dictionary: match_table[c] != 0 iff code c
+    // satisfies the comparison (precomputed from the same code_num doubles
+    // the row path compares, so the two paths agree bit-for-bit). Padded
+    // beyond dict size for the simd gather kernel; empty when the predicate
+    // can error.
+    std::vector<uint8_t> match_table;
     Status error = Status::OK();  // kErrorUnlessNull / kCompileError payload
   };
 

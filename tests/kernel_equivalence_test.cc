@@ -1,0 +1,489 @@
+// The scalar/SIMD bit-identity contract (simd/dispatch.h): every vector
+// kernel tier must reproduce the scalar reference exactly — identical mask
+// words, histogram counts, intersection sums, row-id sets, partition
+// structures, exact Jaccard doubles, and final ranked engine answers — on
+// CarDB/CensusDB and on adversarial inputs (all-null blocks, sentinel codes
+// 0/1, block-boundary straddles, code widths 1..32).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "afd/partition.h"
+#include "core/engine.h"
+#include "core/knowledge.h"
+#include "datagen/cardb.h"
+#include "datagen/censusdb.h"
+#include "query/selection_query.h"
+#include "relation/columnar.h"
+#include "relation/value_dict.h"
+#include "simd/dispatch.h"
+#include "util/coded_bag.h"
+#include "util/rng.h"
+#include "webdb/coded_query.h"
+#include "webdb/web_database.h"
+
+namespace aimq {
+namespace {
+
+using simd::Isa;
+using simd::KernelsFor;
+
+// Vector tiers this CPU can actually run (always at least empty; the scalar
+// oracle is pitted against each of these).
+std::vector<Isa> VectorTiers() {
+  std::vector<Isa> tiers;
+  for (Isa isa : {Isa::kSse42, Isa::kAvx2}) {
+    if (static_cast<int>(isa) <= static_cast<int>(simd::DetectIsa())) {
+      tiers.push_back(isa);
+    }
+  }
+  return tiers;
+}
+
+// Forces a dispatch tier for one scope, restoring the prior tier after.
+class ScopedIsa {
+ public:
+  explicit ScopedIsa(const char* name) : prev_(simd::ActiveIsa()) {
+    EXPECT_TRUE(simd::ForceIsa(name).ok());
+  }
+  ~ScopedIsa() { (void)simd::ForceIsa(simd::IsaName(prev_)); }
+
+ private:
+  Isa prev_;
+};
+
+// Adversarial lengths: empty, sub-lane, lane-exact, word-boundary straddles,
+// and a length that spans many mask words.
+const size_t kLengths[] = {0, 1, 7, 8, 63, 64, 65, 255, 256, 1000};
+
+std::vector<uint32_t> RandomCodes(Rng& rng, size_t n, uint32_t width_bits,
+                                  double null_fraction) {
+  const uint32_t mask =
+      width_bits >= 32 ? ~uint32_t{0}
+                       : static_cast<uint32_t>((uint32_t{1} << width_bits) - 1);
+  std::vector<uint32_t> codes(n);
+  for (auto& c : codes) {
+    c = rng.Bernoulli(null_fraction) ? ValueDict::kNullCode
+                                     : static_cast<uint32_t>(rng.Next()) & mask;
+  }
+  return codes;
+}
+
+// Mask buffers are seeded with a poison pattern so a kernel that skips tail
+// words (instead of zeroing bits >= n) is caught.
+std::vector<uint64_t> PoisonedMask(size_t n) {
+  return std::vector<uint64_t>((n + 63) / 64, 0xDEADBEEFDEADBEEFull);
+}
+
+// --- Raw kernels vs the scalar oracle --------------------------------------
+
+TEST(KernelEquivalenceTest, EqMaskMatchesScalarOnAdversarialInputs) {
+  Rng rng(1);
+  const simd::KernelTable& scalar = KernelsFor(Isa::kScalar);
+  for (Isa isa : VectorTiers()) {
+    const simd::KernelTable& vec = KernelsFor(isa);
+    for (size_t n : kLengths) {
+      for (uint32_t width = 1; width <= 32; ++width) {
+        const auto codes = RandomCodes(rng, n, width, 0.1);
+        // Targets: sentinels 0 and 1, the null code, and a present code.
+        std::vector<uint32_t> targets = {0, 1, ValueDict::kNullCode};
+        if (n > 0) targets.push_back(codes[rng.Uniform(n)]);
+        for (uint32_t target : targets) {
+          auto want = PoisonedMask(n);
+          auto got = PoisonedMask(n);
+          scalar.eq_mask(codes.data(), n, target, want.data());
+          vec.eq_mask(codes.data(), n, target, got.data());
+          ASSERT_EQ(got, want) << simd::IsaName(isa) << " n=" << n
+                               << " width=" << width << " target=" << target;
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, EqMaskOnAllNullBlocks) {
+  const simd::KernelTable& scalar = KernelsFor(Isa::kScalar);
+  for (Isa isa : VectorTiers()) {
+    const simd::KernelTable& vec = KernelsFor(isa);
+    for (size_t n : kLengths) {
+      const std::vector<uint32_t> codes(n, ValueDict::kNullCode);
+      for (uint32_t target : {uint32_t{0}, ValueDict::kNullCode}) {
+        auto want = PoisonedMask(n);
+        auto got = PoisonedMask(n);
+        scalar.eq_mask(codes.data(), n, target, want.data());
+        vec.eq_mask(codes.data(), n, target, got.data());
+        ASSERT_EQ(got, want) << simd::IsaName(isa) << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, TableMaskMatchesScalarOnAdversarialInputs) {
+  Rng rng(2);
+  const simd::KernelTable& scalar = KernelsFor(Isa::kScalar);
+  for (Isa isa : VectorTiers()) {
+    const simd::KernelTable& vec = KernelsFor(isa);
+    for (size_t n : kLengths) {
+      for (uint32_t width = 1; width <= 12; ++width) {
+        const auto codes = RandomCodes(rng, n, width, 0.15);
+        const uint32_t table_size = uint32_t{1} << width;
+        // The contract requires >= 3 readable bytes past the table.
+        std::vector<uint8_t> table(table_size + 8, 0);
+        for (uint32_t c = 0; c < table_size; ++c) {
+          table[c] = rng.Bernoulli(0.5) ? 1 : 0;
+        }
+        auto want = PoisonedMask(n);
+        auto got = PoisonedMask(n);
+        scalar.table_mask(codes.data(), n, table.data(), table_size,
+                          want.data());
+        vec.table_mask(codes.data(), n, table.data(), table_size, got.data());
+        ASSERT_EQ(got, want)
+            << simd::IsaName(isa) << " n=" << n << " width=" << width;
+      }
+      // Empty table: nothing matches.
+      const auto codes = RandomCodes(rng, n, 16, 0.0);
+      const uint8_t pad[8] = {0};
+      auto want = PoisonedMask(n);
+      auto got = PoisonedMask(n);
+      scalar.table_mask(codes.data(), n, pad, 0, want.data());
+      vec.table_mask(codes.data(), n, pad, 0, got.data());
+      ASSERT_EQ(got, want) << simd::IsaName(isa) << " empty table n=" << n;
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, HistogramMatchesScalarAndAccumulates) {
+  Rng rng(3);
+  const simd::KernelTable& scalar = KernelsFor(Isa::kScalar);
+  for (Isa isa : VectorTiers()) {
+    const simd::KernelTable& vec = KernelsFor(isa);
+    for (size_t n : kLengths) {
+      for (uint32_t buckets : {1u, 2u, 5u, 64u, 1000u}) {
+        // Codes either land in a bucket or are the null sentinel.
+        std::vector<uint32_t> codes(n);
+        for (auto& c : codes) {
+          c = rng.Bernoulli(0.2) ? ValueDict::kNullCode
+                                 : static_cast<uint32_t>(rng.Uniform(buckets));
+        }
+        // Non-zero initial counts verify the kernels accumulate rather than
+        // overwrite (FromColumnCoded calls once per block window).
+        std::vector<uint32_t> want(buckets + 1), got(buckets + 1);
+        for (uint32_t b = 0; b <= buckets; ++b) {
+          want[b] = got[b] = static_cast<uint32_t>(rng.Uniform(7));
+        }
+        scalar.histogram(codes.data(), n, buckets, want.data());
+        vec.histogram(codes.data(), n, buckets, got.data());
+        ASSERT_EQ(got, want)
+            << simd::IsaName(isa) << " n=" << n << " buckets=" << buckets;
+      }
+    }
+  }
+}
+
+// Sorted-unique (id, count) arrays with controllable density.
+void RandomBagArrays(Rng& rng, size_t n, uint32_t id_space,
+                     std::vector<uint32_t>* ids, std::vector<uint64_t>* counts) {
+  ids->clear();
+  counts->clear();
+  std::vector<uint32_t> raw(n);
+  for (auto& id : raw) id = static_cast<uint32_t>(rng.Uniform(id_space));
+  std::sort(raw.begin(), raw.end());
+  raw.erase(std::unique(raw.begin(), raw.end()), raw.end());
+  for (uint32_t id : raw) {
+    ids->push_back(id);
+    counts->push_back(1 + rng.Uniform(100));
+  }
+}
+
+TEST(KernelEquivalenceTest, IntersectMatchesScalarIncludingGallopSkew) {
+  Rng rng(4);
+  const simd::KernelTable& scalar = KernelsFor(Isa::kScalar);
+  // (|a|, |b|) shapes: balanced, slightly skewed, and gallop-triggering
+  // (ratio >= 32), in both argument orders, plus empty and singleton.
+  const std::pair<size_t, size_t> kShapes[] = {
+      {0, 0},     {0, 100},  {1, 1},      {1, 1000},  {7, 9},
+      {64, 64},   {100, 90}, {5, 10000},  {10000, 5}, {257, 8192},
+  };
+  for (Isa isa : VectorTiers()) {
+    const simd::KernelTable& vec = KernelsFor(isa);
+    for (const auto& [an, bn] : kShapes) {
+      for (uint32_t id_space : {64u, 4096u, 1u << 20}) {
+        std::vector<uint32_t> a_ids, b_ids;
+        std::vector<uint64_t> a_counts, b_counts;
+        RandomBagArrays(rng, an, id_space, &a_ids, &a_counts);
+        RandomBagArrays(rng, bn, id_space, &b_ids, &b_counts);
+        const uint64_t want =
+            scalar.intersect_size(a_ids.data(), a_counts.data(), a_ids.size(),
+                                  b_ids.data(), b_counts.data(), b_ids.size());
+        const uint64_t got =
+            vec.intersect_size(a_ids.data(), a_counts.data(), a_ids.size(),
+                               b_ids.data(), b_counts.data(), b_ids.size());
+        ASSERT_EQ(got, want) << simd::IsaName(isa) << " |a|=" << a_ids.size()
+                             << " |b|=" << b_ids.size()
+                             << " space=" << id_space;
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, IntersectDisjointAndIdenticalArrays) {
+  const simd::KernelTable& scalar = KernelsFor(Isa::kScalar);
+  std::vector<uint32_t> evens, odds;
+  std::vector<uint64_t> ec, oc;
+  for (uint32_t i = 0; i < 1000; ++i) {
+    evens.push_back(2 * i);
+    ec.push_back(3);
+    odds.push_back(2 * i + 1);
+    oc.push_back(5);
+  }
+  for (Isa isa : VectorTiers()) {
+    const simd::KernelTable& vec = KernelsFor(isa);
+    EXPECT_EQ(vec.intersect_size(evens.data(), ec.data(), evens.size(),
+                                 odds.data(), oc.data(), odds.size()),
+              0u);
+    const uint64_t self_want = scalar.intersect_size(
+        evens.data(), ec.data(), evens.size(), evens.data(), ec.data(),
+        evens.size());
+    EXPECT_EQ(vec.intersect_size(evens.data(), ec.data(), evens.size(),
+                                 evens.data(), ec.data(), evens.size()),
+              self_want);
+    EXPECT_EQ(self_want, 3u * 1000u);
+  }
+}
+
+// --- CodedConjunction::EvaluateAll: forced-scalar vs native dispatch --------
+
+// The probe mix covers the vectorizable forms (eq-only, eq+range,
+// range-only) and every fallback form (never-match, unknown attribute,
+// kLike errors) whose error-ordering semantics the vector path must not
+// disturb.
+std::vector<SelectionQuery> ProbeMix() {
+  std::vector<SelectionQuery> probes;
+  {
+    SelectionQuery q;  // eq-only conjunction
+    q.AddPredicate(Predicate::Eq("Make", Value::Cat("Toyota")));
+    q.AddPredicate(Predicate::Eq("Model", Value::Cat("Camry")));
+    probes.push_back(std::move(q));
+  }
+  {
+    SelectionQuery q;  // eq + range
+    q.AddPredicate(Predicate::Eq("Make", Value::Cat("Honda")));
+    q.AddPredicate(Predicate("Price", CompareOp::kLe, Value::Num(15000)));
+    probes.push_back(std::move(q));
+  }
+  {
+    SelectionQuery q;  // range-only, straddling block boundaries
+    q.AddPredicate(Predicate("Mileage", CompareOp::kLt, Value::Num(60000)));
+    q.AddPredicate(Predicate("Price", CompareOp::kGe, Value::Num(4000)));
+    probes.push_back(std::move(q));
+  }
+  {
+    SelectionQuery q;  // never-match: absent value
+    q.AddPredicate(Predicate::Eq("Make", Value::Cat("NoSuchMake")));
+    probes.push_back(std::move(q));
+  }
+  {
+    SelectionQuery q;  // never-match: null query value
+    q.AddPredicate(Predicate::Eq("Make", Value()));
+    probes.push_back(std::move(q));
+  }
+  {
+    SelectionQuery q;  // unknown attribute: compile error surfaced lazily
+    q.AddPredicate(Predicate::Eq("NoSuchAttr", Value::Cat("x")));
+    probes.push_back(std::move(q));
+  }
+  {
+    SelectionQuery q;  // kLike on a bound column: per-row error semantics
+    q.AddPredicate(Predicate("Make", CompareOp::kLike, Value::Cat("%oyo%")));
+    probes.push_back(std::move(q));
+  }
+  {
+    SelectionQuery q;  // false-before-error ordering must be preserved
+    q.AddPredicate(Predicate::Eq("Make", Value::Cat("NoSuchMake")));
+    q.AddPredicate(Predicate("Make", CompareOp::kLike, Value::Cat("%x%")));
+    probes.push_back(std::move(q));
+  }
+  probes.emplace_back();  // empty query: every row
+  return probes;
+}
+
+void ExpectScalarAndNativeAgree(const ColumnarRelation& cols,
+                                const std::vector<SelectionQuery>& probes) {
+  for (size_t qi = 0; qi < probes.size(); ++qi) {
+    const CodedConjunction compiled = CodedConjunction::Compile(probes[qi], cols);
+    auto eval_under = [&compiled](const char* isa_name) {
+      ScopedIsa isa(isa_name);
+      return compiled.EvaluateAll();
+    };
+    const auto native = eval_under("native");
+    const auto forced = eval_under("scalar");
+    ASSERT_EQ(native.ok(), forced.ok()) << "query " << qi;
+    if (!native.ok()) {
+      EXPECT_EQ(native.status().ToString(), forced.status().ToString())
+          << "query " << qi;
+      continue;
+    }
+    EXPECT_EQ(*native, *forced) << "query " << qi;
+  }
+}
+
+TEST(ProbeScanEquivalenceTest, CarDbPlainAndPackedSnapshots) {
+  CarDbSpec spec;
+  spec.num_tuples = 5000;
+  spec.seed = 2006;
+  const CarDbGenerator gen(spec);
+
+  const Relation rows = gen.Generate();
+  ExpectScalarAndNativeAgree(*rows.columnar(), ProbeMix());
+
+  auto packed = gen.GenerateColumnar(ColumnarBuilder::Options());
+  ASSERT_TRUE(packed.ok()) << packed.status().ToString();
+  ExpectScalarAndNativeAgree(**packed, ProbeMix());
+}
+
+TEST(ProbeScanEquivalenceTest, CensusDbRandomConjunctions) {
+  CensusDbSpec spec;
+  spec.num_tuples = 4000;
+  spec.seed = 7;
+  Relation sample = CensusDbGenerator(spec).Generate().relation;
+  auto cols = sample.columnar();
+
+  Rng rng(99);
+  const Schema& schema = sample.schema();
+  std::vector<SelectionQuery> probes;
+  for (int trial = 0; trial < 30; ++trial) {
+    SelectionQuery q;
+    const size_t num_preds = 1 + rng.Uniform(3);
+    for (size_t p = 0; p < num_preds; ++p) {
+      const size_t attr = rng.Uniform(schema.NumAttributes());
+      const Tuple& t = sample.tuple(rng.Uniform(sample.NumTuples()));
+      const std::string& name = schema.attribute(attr).name;
+      if (schema.attribute(attr).type == AttrType::kCategorical) {
+        q.AddPredicate(Predicate::Eq(name, t.At(attr)));
+      } else {
+        static const CompareOp kOps[] = {CompareOp::kEq, CompareOp::kLt,
+                                         CompareOp::kLe, CompareOp::kGt,
+                                         CompareOp::kGe};
+        q.AddPredicate(Predicate(name, kOps[rng.Uniform(5)], t.At(attr)));
+      }
+    }
+    probes.push_back(std::move(q));
+  }
+  ExpectScalarAndNativeAgree(*cols, probes);
+}
+
+// --- StrippedPartition::FromColumnCoded: scalar vs native -------------------
+
+TEST(PartitionKernelEquivalenceTest, ClassesIdenticalAcrossDispatchTiers) {
+  CarDbSpec car;
+  car.num_tuples = 3000;
+  car.seed = 5;
+  Relation car_sample = CarDbGenerator(car).Generate();
+
+  CensusDbSpec census;
+  census.num_tuples = 3000;
+  census.seed = 5;
+  Relation census_sample = CensusDbGenerator(census).Generate().relation;
+
+  for (const Relation* sample : {&car_sample, &census_sample}) {
+    auto cols = sample->columnar();
+    for (size_t a = 0; a < sample->schema().NumAttributes(); ++a) {
+      const StrippedPartition native =
+          StrippedPartition::FromColumnCoded(*cols, a);
+      ScopedIsa isa("scalar");
+      const StrippedPartition forced =
+          StrippedPartition::FromColumnCoded(*cols, a);
+      ASSERT_EQ(native.classes(), forced.classes()) << "attr " << a;
+      EXPECT_EQ(native.NumClasses(), forced.NumClasses());
+      EXPECT_EQ(native.NumCoveredRows(), forced.NumCoveredRows());
+    }
+  }
+}
+
+// --- CodedBag Jaccard: exact double equality across tiers -------------------
+
+TEST(BagKernelEquivalenceTest, JaccardDoublesIdenticalAcrossDispatchTiers) {
+  Rng rng(12);
+  std::vector<std::pair<CodedBag, CodedBag>> cases;
+  // Balanced, overlapping, and gallop-skewed (5 vs 10000) bag pairs.
+  const std::pair<size_t, size_t> kShapes[] = {
+      {0, 0}, {0, 50}, {16, 16}, {256, 300}, {5, 10000}, {10000, 5}};
+  for (const auto& [an, bn] : kShapes) {
+    CodedBag a, b;
+    for (size_t i = 0; i < an; ++i) {
+      a.Add(static_cast<uint32_t>(rng.Uniform(an + bn + 1)), 1 + rng.Uniform(9));
+    }
+    for (size_t i = 0; i < bn; ++i) {
+      b.Add(static_cast<uint32_t>(rng.Uniform(an + bn + 1)), 1 + rng.Uniform(9));
+    }
+    a.Finalize();
+    b.Finalize();
+    cases.emplace_back(std::move(a), std::move(b));
+  }
+  // Disjoint pair.
+  {
+    CodedBag a, b;
+    for (uint32_t i = 0; i < 500; ++i) {
+      a.Add(2 * i, 2);
+      b.Add(2 * i + 1, 2);
+    }
+    a.Finalize();
+    b.Finalize();
+    cases.emplace_back(std::move(a), std::move(b));
+  }
+  for (const auto& [a, b] : cases) {
+    double native_j, native_i;
+    {
+      ScopedIsa isa("native");
+      native_i = static_cast<double>(a.IntersectionSize(b));
+      native_j = a.JaccardSimilarity(b);
+    }
+    ScopedIsa isa("scalar");
+    // Exact IEEE equality: the SIMD intersection must produce the same
+    // integer sums, hence the same single division.
+    ASSERT_EQ(static_cast<double>(a.IntersectionSize(b)), native_i);
+    ASSERT_EQ(a.JaccardSimilarity(b), native_j);
+  }
+}
+
+// --- End-to-end: ranked engine answers across dispatch tiers ----------------
+
+std::vector<RankedAnswer> RankedAnswersOnce(const ImpreciseQuery& q) {
+  CarDbSpec spec;
+  spec.num_tuples = 4000;
+  spec.seed = 41;
+  WebDatabase db("CarDB", CarDbGenerator(spec).Generate());
+  AimqOptions options;
+  options.collector.sample_size = 2000;
+  options.top_k = 10;
+  auto knowledge = BuildKnowledge(db, options);
+  EXPECT_TRUE(knowledge.ok()) << knowledge.status().ToString();
+  AimqEngine engine(&db, knowledge.TakeValue(), options);
+  auto answers = engine.Answer(q);
+  EXPECT_TRUE(answers.ok()) << answers.status().ToString();
+  return answers.ok() ? *answers : std::vector<RankedAnswer>{};
+}
+
+TEST(EngineKernelEquivalenceTest, RankedAnswersIdenticalScalarVsNative) {
+  ImpreciseQuery q;
+  q.Bind("Model", Value::Cat("Camry"));
+
+  const std::vector<RankedAnswer> native = RankedAnswersOnce(q);
+  ScopedIsa isa("scalar");
+  const std::vector<RankedAnswer> forced = RankedAnswersOnce(q);
+
+  ASSERT_FALSE(native.empty());
+  ASSERT_EQ(native.size(), forced.size());
+  for (size_t i = 0; i < native.size(); ++i) {
+    ASSERT_TRUE(native[i].tuple == forced[i].tuple) << "rank " << i;
+    ASSERT_EQ(native[i].similarity, forced[i].similarity) << "rank " << i;
+  }
+}
+
+}  // namespace
+}  // namespace aimq

@@ -1,0 +1,203 @@
+// Runtime ISA dispatch (simd/dispatch.h): name parsing, the downgrade-only
+// forcing rule, ForceIsa process-state behavior, and a property test of the
+// mask_to_rows emission kernel (random masks -> row ids -> mask round-trip).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simd/dispatch.h"
+#include "util/rng.h"
+
+namespace aimq {
+namespace simd {
+namespace {
+
+// Every tier whose table this build can serve: KernelsFor falls back to
+// scalar on non-x86, so iterating all enum values is always safe, but only
+// tiers at or below the detected ISA are exercised with their real tables.
+std::vector<Isa> ServableTiers() {
+  std::vector<Isa> tiers;
+  for (Isa isa : {Isa::kScalar, Isa::kSse42, Isa::kAvx2}) {
+    if (static_cast<int>(isa) <= static_cast<int>(DetectIsa())) {
+      tiers.push_back(isa);
+    }
+  }
+  return tiers;
+}
+
+TEST(SimdDispatchTest, ParseIsaAcceptsKnownNames) {
+  auto scalar = ParseIsa("scalar");
+  ASSERT_TRUE(scalar.ok());
+  EXPECT_EQ(*scalar, Isa::kScalar);
+  auto sse = ParseIsa("sse4.2");
+  ASSERT_TRUE(sse.ok());
+  EXPECT_EQ(*sse, Isa::kSse42);
+  auto sse_alias = ParseIsa("sse42");
+  ASSERT_TRUE(sse_alias.ok());
+  EXPECT_EQ(*sse_alias, Isa::kSse42);
+  auto avx = ParseIsa("avx2");
+  ASSERT_TRUE(avx.ok());
+  EXPECT_EQ(*avx, Isa::kAvx2);
+}
+
+TEST(SimdDispatchTest, ParseIsaRejectsUnknownNames) {
+  EXPECT_FALSE(ParseIsa("").ok());
+  EXPECT_FALSE(ParseIsa("native").ok());  // resolved by ForceIsa, not a tier
+  EXPECT_FALSE(ParseIsa("avx512").ok());
+  EXPECT_FALSE(ParseIsa("SCALAR").ok());
+  EXPECT_FALSE(ParseIsa("sse4").ok());
+}
+
+TEST(SimdDispatchTest, IsaNameRoundTripsThroughParse) {
+  for (Isa isa : {Isa::kScalar, Isa::kSse42, Isa::kAvx2}) {
+    auto parsed = ParseIsa(IsaName(isa));
+    ASSERT_TRUE(parsed.ok()) << IsaName(isa);
+    EXPECT_EQ(*parsed, isa);
+  }
+}
+
+TEST(SimdDispatchTest, ResolveHonorsDowngrades) {
+  auto r = ResolveForcedIsa(Isa::kAvx2, "scalar");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, Isa::kScalar);
+  r = ResolveForcedIsa(Isa::kAvx2, "sse4.2");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, Isa::kSse42);
+  r = ResolveForcedIsa(Isa::kSse42, "scalar");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, Isa::kScalar);
+}
+
+TEST(SimdDispatchTest, ResolveClampsUpgradesToDetected) {
+  // Forcing a tier the CPU lacks must clamp, never fault.
+  auto r = ResolveForcedIsa(Isa::kScalar, "avx2");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, Isa::kScalar);
+  r = ResolveForcedIsa(Isa::kSse42, "avx2");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, Isa::kSse42);
+}
+
+TEST(SimdDispatchTest, ResolveNativeYieldsDetected) {
+  for (Isa detected : {Isa::kScalar, Isa::kSse42, Isa::kAvx2}) {
+    auto r = ResolveForcedIsa(detected, "native");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, detected);
+  }
+}
+
+TEST(SimdDispatchTest, ResolveRejectsUnknownNames) {
+  EXPECT_FALSE(ResolveForcedIsa(Isa::kAvx2, "").ok());
+  EXPECT_FALSE(ResolveForcedIsa(Isa::kAvx2, "fastest").ok());
+  EXPECT_FALSE(ResolveForcedIsa(Isa::kAvx2, "avx512").ok());
+}
+
+TEST(SimdDispatchTest, ForceIsaRejectsUnknownAndLeavesActiveUnchanged) {
+  const Isa before = ActiveIsa();
+  const Status s = ForceIsa("no-such-isa");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(ActiveIsa(), before);
+}
+
+TEST(SimdDispatchTest, ForceIsaScalarSwitchesDispatchTable) {
+  const Isa before = ActiveIsa();
+  ASSERT_TRUE(ForceIsa("scalar").ok());
+  EXPECT_EQ(ActiveIsa(), Isa::kScalar);
+  EXPECT_EQ(Kernels().isa, Isa::kScalar);
+  ASSERT_TRUE(ForceIsa(IsaName(before)).ok());
+  EXPECT_EQ(ActiveIsa(), before);
+}
+
+TEST(SimdDispatchTest, ForceIsaNativeRestoresDetected) {
+  ASSERT_TRUE(ForceIsa("native").ok());
+  EXPECT_EQ(ActiveIsa(), DetectIsa());
+}
+
+TEST(SimdDispatchTest, KernelsForServesRequestedTierUpToDetected) {
+  for (Isa isa : ServableTiers()) {
+    EXPECT_EQ(KernelsFor(isa).isa, isa);
+  }
+  // The scalar table is always real.
+  EXPECT_EQ(KernelsFor(Isa::kScalar).isa, Isa::kScalar);
+}
+
+// --- mask_to_rows property test -------------------------------------------
+
+// Rebuilds a bitmask from emitted row ids; the round trip must be exact and
+// the ids strictly ascending with the base offset applied.
+void CheckMaskEmit(const KernelTable& kernels, const std::vector<uint64_t>& mask,
+                   uint32_t base_row) {
+  std::vector<uint32_t> rows;
+  kernels.mask_to_rows(mask.data(), mask.size(), base_row, &rows);
+
+  size_t expected_bits = 0;
+  for (uint64_t w : mask) expected_bits += static_cast<size_t>(__builtin_popcountll(w));
+  ASSERT_EQ(rows.size(), expected_bits);
+
+  std::vector<uint64_t> rebuilt(mask.size(), 0);
+  uint32_t prev = 0;
+  bool first = true;
+  for (uint32_t r : rows) {
+    ASSERT_GE(r, base_row);
+    if (!first) {
+      ASSERT_GT(r, prev);  // strictly ascending
+    }
+    prev = r;
+    first = false;
+    const uint32_t bit = r - base_row;
+    ASSERT_LT(bit / 64, rebuilt.size());
+    rebuilt[bit / 64] |= uint64_t{1} << (bit % 64);
+  }
+  EXPECT_EQ(rebuilt, mask);
+}
+
+TEST(MaskEmitPropertyTest, RandomMasksRoundTripOnEveryTier) {
+  Rng rng(20060808);
+  for (const Isa isa : ServableTiers()) {
+    const KernelTable& kernels = KernelsFor(isa);
+    for (int trial = 0; trial < 200; ++trial) {
+      const size_t words = rng.Uniform(6);  // 0..5 words (0..320 bits)
+      std::vector<uint64_t> mask(words);
+      for (uint64_t& w : mask) {
+        // Mix densities: empty, sparse, dense, and full words all occur.
+        switch (rng.Uniform(4)) {
+          case 0: w = 0; break;
+          case 1: w = uint64_t{1} << rng.Uniform(64); break;
+          case 2: w = rng.Next() & rng.Next(); break;
+          default: w = rng.Next(); break;
+        }
+      }
+      const uint32_t base = static_cast<uint32_t>(rng.Uniform(1u << 20));
+      CheckMaskEmit(kernels, mask, base);
+    }
+  }
+}
+
+TEST(MaskEmitPropertyTest, EdgeMasks) {
+  for (const Isa isa : ServableTiers()) {
+    const KernelTable& kernels = KernelsFor(isa);
+    CheckMaskEmit(kernels, {}, 0);                       // no words
+    CheckMaskEmit(kernels, {0}, 123);                    // empty word
+    CheckMaskEmit(kernels, {~uint64_t{0}}, 0);           // full word
+    CheckMaskEmit(kernels, {1}, 0);                      // lowest bit
+    CheckMaskEmit(kernels, {uint64_t{1} << 63}, 7);      // highest bit
+    CheckMaskEmit(kernels, {0, ~uint64_t{0}, 0, 1}, 64); // interior words
+  }
+}
+
+TEST(MaskEmitPropertyTest, AppendsWithoutClearing) {
+  // The kernel appends to *out — callers rely on accumulating across
+  // windows.
+  const KernelTable& kernels = KernelsFor(Isa::kScalar);
+  std::vector<uint32_t> rows = {7};
+  const uint64_t mask = 0b101;
+  kernels.mask_to_rows(&mask, 1, 100, &rows);
+  EXPECT_EQ(rows, (std::vector<uint32_t>{7, 100, 102}));
+}
+
+}  // namespace
+}  // namespace simd
+}  // namespace aimq
