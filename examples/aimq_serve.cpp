@@ -19,6 +19,14 @@
 //   --deadline-ms=N  default per-request deadline, queue wait included
 //                    (0 = none, default 0)
 //   --cache=N        shared probe-cache capacity in entries (default 4096)
+//   --shards=N       row-range engine shards behind the scatter/gather
+//                    facade (default 1 = unsharded; answers are identical)
+//   --packed-shards  store shard snapshots block-compressed
+//   --no-coalesce    disable cross-query probe coalescing
+//   --tenant-quota=N per-tenant queued-request cap (0 = off, default 0);
+//                    wire requests pick their tenant via {"tenant":"name"}
+//   --tenant-weight=name:W   fair-share weight for a tenant (repeatable;
+//                    unlisted tenants weigh 1)
 //   --trace          enable end-to-end span tracing (GET /trace serves the
 //                    Chrome trace-event dump while running)
 //   --trace-out=F    on shutdown, write the retained trace to F (implies
@@ -38,6 +46,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <semaphore.h>
 #include <string>
 #include <vector>
@@ -60,6 +69,11 @@ struct ServeFlags {
   size_t queue_depth = 64;
   uint64_t deadline_ms = 0;
   size_t cache_capacity = 4096;
+  size_t num_shards = 1;
+  bool packed_shards = false;
+  bool coalesce = true;
+  size_t tenant_quota = 0;
+  std::map<std::string, double> tenant_weights;
   bool trace = false;
   std::string trace_out;
   double slow_ms = 0.0;
@@ -97,6 +111,8 @@ int Usage() {
       "usage: aimq_serve --data=<data.csv|cardb:N> [--model=<dir>]\n"
       "       [--port=N] [--threads=N] [--engine-threads=N]\n"
       "       [--queue-depth=N] [--deadline-ms=N] [--cache=N]\n"
+      "       [--shards=N] [--packed-shards] [--no-coalesce]\n"
+      "       [--tenant-quota=N] [--tenant-weight=name:W]\n"
       "       [--trace] [--trace-out=<file>] [--slow-ms=N]\n"
       "       [--slow-log=<file>]\n");
   return 2;
@@ -124,6 +140,26 @@ int main(int argc, char** argv) {
     } else if (StartsWith(arg, "--cache=")) {
       flags.cache_capacity =
           static_cast<size_t>(std::strtoul(arg.c_str() + 8, nullptr, 10));
+    } else if (StartsWith(arg, "--shards=")) {
+      flags.num_shards =
+          static_cast<size_t>(std::strtoul(arg.c_str() + 9, nullptr, 10));
+    } else if (arg == "--packed-shards") {
+      flags.packed_shards = true;
+    } else if (arg == "--no-coalesce") {
+      flags.coalesce = false;
+    } else if (StartsWith(arg, "--tenant-quota=")) {
+      flags.tenant_quota =
+          static_cast<size_t>(std::strtoul(arg.c_str() + 15, nullptr, 10));
+    } else if (StartsWith(arg, "--tenant-weight=")) {
+      const std::string spec = arg.substr(16);
+      const size_t colon = spec.rfind(':');
+      const double weight =
+          colon == std::string::npos ? 0.0 : std::atof(spec.c_str() + colon + 1);
+      if (colon == std::string::npos || colon == 0 || weight <= 0.0) {
+        std::fprintf(stderr, "--tenant-weight expects name:W with W > 0\n");
+        return Usage();
+      }
+      flags.tenant_weights[spec.substr(0, colon)] = weight;
     } else if (arg == "--trace") {
       flags.trace = true;
     } else if (StartsWith(arg, "--trace-out=")) {
@@ -170,7 +206,21 @@ int main(int argc, char** argv) {
   sopts.enable_tracing = flags.trace;
   sopts.slow_query_ms = flags.slow_ms;
   sopts.slow_query_log_path = flags.slow_log;
+  sopts.num_shards = flags.num_shards;
+  sopts.packed_shards = flags.packed_shards;
+  sopts.coalesce_probes = flags.coalesce;
+  sopts.tenant_quota = flags.tenant_quota;
+  sopts.tenant_weights = flags.tenant_weights;
   AimqService service(&db, knowledge.TakeValue(), options, sopts);
+  if (!service.shard_build_status().ok()) {
+    std::fprintf(stderr, "shard build degraded to unsharded: %s\n",
+                 service.shard_build_status().ToString().c_str());
+  }
+  if (service.num_shards() > 1) {
+    std::fprintf(stderr, "serving from %zu row-range shards%s\n",
+                 service.num_shards(),
+                 flags.packed_shards ? " (packed)" : "");
+  }
   Status st = service.Start();
   if (!st.ok()) return Fail(st);
 

@@ -33,10 +33,24 @@ NOISY_KEY_MARKERS = ("Parallel", "/threads:")
 def load_kernels(path):
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
-    kernels = doc.get("kernels", {})
+    if "kernels" not in doc:
+        # Service/storage bench JSON (e.g. BENCH_service_*.json, which carry
+        # latency percentiles, shard_scaling arrays, coalescing counters, ...)
+        # has no per-kernel ns/op entries. Nothing to gate — not an error.
+        print(f"notice: {path} has no 'kernels' object; nothing to gate")
+        return {}
+    kernels = doc["kernels"]
     if not isinstance(kernels, dict):
         raise ValueError(f"{path}: 'kernels' is not an object")
-    return {k: float(v) for k, v in kernels.items()}
+    # Ignore non-numeric annotations (isa tags etc.); gate only ns/op values.
+    out = {}
+    for k, v in kernels.items():
+        try:
+            out[k] = float(v)
+        except (TypeError, ValueError):
+            print(f"notice: {path}: skipping non-numeric kernel entry "
+                  f"{k!r}={v!r}")
+    return out
 
 
 def gated(name):

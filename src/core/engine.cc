@@ -101,6 +101,10 @@ Result<std::vector<uint32_t>> AimqEngine::Probe(const SelectionQuery& query,
                                                 ProbeContext* ctx, bool* fresh,
                                                 uint64_t trace_id) {
   TraceSpan span(trace_, "probe", "engine", trace_id);
+  // Layers below the cache (a sharded source facade's scatter legs) have no
+  // QueryControl in scope; the thread-local scope hands them the request id
+  // so their spans correlate with this probe's.
+  TraceRequestScope request_scope(trace_id);
   if (fresh != nullptr) *fresh = false;
   if (probe_cache_ != nullptr && probe_cache_->capacity() > 0) {
     bool hit = false;
@@ -338,13 +342,28 @@ Result<std::vector<RankedAnswer>> AimqEngine::AnswerUncached(
         base_set.size() > options_.base_set_limit) {
       // Keep the base tuples closest to Q (matters when the base query had to
       // be generalized and its answers no longer satisfy Q exactly).
-      TopK<uint32_t> best(options_.base_set_limit);
-      for (uint32_t row : base_set) {
-        best.Add(coded_sim_.Score(enc_query, row), row);
-      }
-      base_set.clear();
-      for (auto& [score, row] : best.Extract()) {
-        base_set.push_back(row);
+      if (shard_ranker_ != nullptr) {
+        // Scatter/gather path: per-shard top-k merged by (score desc, row
+        // asc) — bit-identical to the serial TopK below because base_set
+        // arrives ascending, making insertion-order ties equal to row-id
+        // ties.
+        std::vector<std::pair<double, uint32_t>> best =
+            shard_ranker_->RankTopK(
+                base_set, options_.base_set_limit,
+                [&](uint32_t row) { return coded_sim_.Score(enc_query, row); });
+        base_set.clear();
+        for (auto& [score, row] : best) {
+          base_set.push_back(row);
+        }
+      } else {
+        TopK<uint32_t> best(options_.base_set_limit);
+        for (uint32_t row : base_set) {
+          best.Add(coded_sim_.Score(enc_query, row), row);
+        }
+        base_set.clear();
+        for (auto& [score, row] : best.Extract()) {
+          base_set.push_back(row);
+        }
       }
     }
   }

@@ -18,6 +18,31 @@ Json HistogramJson(const LatencyHistogram& h) {
 
 }  // namespace
 
+void ServiceMetrics::OnTenantAccepted(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  ++tenants_[tenant].accepted;
+}
+
+void ServiceMetrics::OnTenantRejected(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  ++tenants_[tenant].rejected;
+}
+
+void ServiceMetrics::OnTenantCompleted(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  ++tenants_[tenant].completed;
+}
+
+void ServiceMetrics::OnTenantFailed(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  ++tenants_[tenant].failed;
+}
+
+std::map<std::string, TenantCounters> ServiceMetrics::TenantSnapshot() const {
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  return tenants_;
+}
+
 double ServiceMetrics::RejectionRate() const {
   const uint64_t a = accepted();
   const uint64_t r = rejected();
@@ -42,11 +67,26 @@ Json ServiceMetrics::Snapshot(const ProbeCacheStats* cache_stats) const {
   phases.Set("relax", HistogramJson(phase_relax_));
   phases.Set("rank", HistogramJson(phase_rank_));
   out.Set("phases", std::move(phases));
+  const std::map<std::string, TenantCounters> tenants = TenantSnapshot();
+  if (!tenants.empty()) {
+    Json tenants_json = Json::Obj();
+    for (const auto& [name, counters] : tenants) {
+      Json t = Json::Obj();
+      t.Set("accepted", Json::Num(static_cast<double>(counters.accepted)));
+      t.Set("rejected", Json::Num(static_cast<double>(counters.rejected)));
+      t.Set("completed", Json::Num(static_cast<double>(counters.completed)));
+      t.Set("failed", Json::Num(static_cast<double>(counters.failed)));
+      tenants_json.Set(name, std::move(t));
+    }
+    out.Set("tenants", std::move(tenants_json));
+  }
   if (cache_stats != nullptr) {
     Json cache = Json::Obj();
     cache.Set("lookups", Json::Num(static_cast<double>(cache_stats->lookups)));
     cache.Set("hits", Json::Num(static_cast<double>(cache_stats->hits)));
     cache.Set("misses", Json::Num(static_cast<double>(cache_stats->misses)));
+    cache.Set("coalesced",
+              Json::Num(static_cast<double>(cache_stats->coalesced)));
     cache.Set("hit_rate", Json::Num(cache_stats->HitRate()));
     out.Set("probe_cache", cache);
   }

@@ -9,12 +9,23 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
 
 #include "util/histogram.h"
 #include "util/json.h"
 #include "webdb/probe_cache.h"
 
 namespace aimq {
+
+/// Per-tenant admission/outcome counters (see ServiceMetrics::TenantSnapshot).
+struct TenantCounters {
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+};
 
 /// \brief Thread-safe metrics registry for one AimqService instance.
 class ServiceMetrics {
@@ -26,6 +37,17 @@ class ServiceMetrics {
   /// Admission control outcomes.
   void OnAccepted() { accepted_.fetch_add(1, std::memory_order_relaxed); }
   void OnRejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Per-tenant accounting. Unlike the global counters these take a short
+  /// mutex (the tenant map can grow): one uncontended lock per request
+  /// outcome, far off the per-probe hot path.
+  void OnTenantAccepted(const std::string& tenant);
+  void OnTenantRejected(const std::string& tenant);
+  void OnTenantCompleted(const std::string& tenant);
+  void OnTenantFailed(const std::string& tenant);
+
+  /// Copy of the per-tenant counters, keyed by tenant name (lexicographic).
+  std::map<std::string, TenantCounters> TenantSnapshot() const;
 
   /// One request finished. \p queue_seconds is the time spent waiting for a
   /// worker, \p total_seconds the full submit-to-completion latency.
@@ -97,7 +119,9 @@ class ServiceMetrics {
   ///               "p99_ms":..,"max_ms":..},
   ///    "queue_wait":{...same shape...},
   ///    "phases":{"base_set":{...},"relax":{...},"rank":{...}},
-  ///    "probe_cache":{"lookups":..,"hits":..,"hit_rate":..}}   (if given)
+  ///    "tenants":{"default":{"accepted":..,...},...},          (if any)
+  ///    "probe_cache":{"lookups":..,"hits":..,"coalesced":..,
+  ///                   "hit_rate":..}}                          (if given)
   /// Concurrent updates may tear across counters (each is individually
   /// consistent), which live monitoring accepts.
   Json Snapshot(const ProbeCacheStats* cache_stats = nullptr) const;
@@ -113,6 +137,8 @@ class ServiceMetrics {
   LatencyHistogram phase_base_set_;
   LatencyHistogram phase_relax_;
   LatencyHistogram phase_rank_;
+  mutable std::mutex tenants_mu_;
+  std::map<std::string, TenantCounters> tenants_;  // guarded by tenants_mu_
 };
 
 }  // namespace aimq

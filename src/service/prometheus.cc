@@ -40,6 +40,34 @@ void AppendGauge(std::string* out, const char* name, const char* help,
   *out += buf;
 }
 
+// Escapes a label value per the exposition format (backslash, quote, \n).
+std::string EscapeLabel(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+// One labelled sample line: name{label="value"} 42. The HELP/TYPE header is
+// appended once by the caller before the first sample of the family.
+void AppendLabelledCounter(std::string* out, const char* name,
+                           const char* label, const std::string& value,
+                           uint64_t sample) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "%s{%s=\"%s\"} %" PRIu64 "\n", name, label,
+                EscapeLabel(value).c_str(), sample);
+  *out += buf;
+}
+
 // Every 8th geometric bound keeps the exposition at 12 buckets + +Inf.
 constexpr size_t kBucketStride = 8;
 
@@ -71,7 +99,9 @@ void AppendHistogram(std::string* out, const char* name, const char* help,
 }  // namespace
 
 std::string PrometheusMetricsText(const ServiceMetrics& metrics,
-                                  const ProbeCacheStats* cache_stats) {
+                                  const ProbeCacheStats* cache_stats,
+                                  const std::vector<ShardProbeSnapshot>*
+                                      shards) {
   std::string out;
   out.reserve(4096);
   AppendCounter(&out, "aimq_requests_accepted_total",
@@ -118,9 +148,68 @@ std::string PrometheusMetricsText(const ServiceMetrics& metrics,
                   cache_stats->misses);
     AppendCounter(&out, "aimq_probe_cache_evictions_total",
                   "Entries evicted by LRU pressure.", cache_stats->evictions);
+    AppendCounter(&out, "aimq_probe_cache_coalesced_total",
+                  "Probes served by parking on an identical probe already "
+                  "in flight.",
+                  cache_stats->coalesced);
     AppendGauge(&out, "aimq_probe_cache_hit_rate",
                 "hits / lookups; 0 before any lookup.",
                 cache_stats->HitRate());
+  }
+  const std::map<std::string, TenantCounters> tenants =
+      metrics.TenantSnapshot();
+  if (!tenants.empty()) {
+    AppendHeader(&out, "aimq_tenant_accepted_total",
+                 "Requests admitted, by tenant.", "counter");
+    for (const auto& [name, c] : tenants) {
+      AppendLabelledCounter(&out, "aimq_tenant_accepted_total", "tenant",
+                            name, c.accepted);
+    }
+    AppendHeader(&out, "aimq_tenant_rejected_total",
+                 "Submissions refused by admission control, by tenant.",
+                 "counter");
+    for (const auto& [name, c] : tenants) {
+      AppendLabelledCounter(&out, "aimq_tenant_rejected_total", "tenant",
+                            name, c.rejected);
+    }
+    AppendHeader(&out, "aimq_tenant_completed_total",
+                 "Requests answered OK, by tenant.", "counter");
+    for (const auto& [name, c] : tenants) {
+      AppendLabelledCounter(&out, "aimq_tenant_completed_total", "tenant",
+                            name, c.completed);
+    }
+    AppendHeader(&out, "aimq_tenant_failed_total",
+                 "Requests finished non-OK, by tenant.", "counter");
+    for (const auto& [name, c] : tenants) {
+      AppendLabelledCounter(&out, "aimq_tenant_failed_total", "tenant",
+                            name, c.failed);
+    }
+  }
+  if (shards != nullptr && !shards->empty()) {
+    AppendHeader(&out, "aimq_shard_probes_total",
+                 "Probes answered by each row-range shard.", "counter");
+    for (const ShardProbeSnapshot& s : *shards) {
+      AppendLabelledCounter(&out, "aimq_shard_probes_total", "shard",
+                            std::to_string(s.shard), s.queries_issued);
+    }
+    AppendHeader(&out, "aimq_shard_tuples_total",
+                 "Tuples shipped by each row-range shard.", "counter");
+    for (const ShardProbeSnapshot& s : *shards) {
+      AppendLabelledCounter(&out, "aimq_shard_tuples_total", "shard",
+                            std::to_string(s.shard), s.tuples_returned);
+    }
+    AppendHeader(&out, "aimq_shard_cache_lookups_total",
+                 "Shard probe-cache lookups.", "counter");
+    for (const ShardProbeSnapshot& s : *shards) {
+      AppendLabelledCounter(&out, "aimq_shard_cache_lookups_total", "shard",
+                            std::to_string(s.shard), s.cache.lookups);
+    }
+    AppendHeader(&out, "aimq_shard_cache_hits_total",
+                 "Shard probe-cache hits.", "counter");
+    for (const ShardProbeSnapshot& s : *shards) {
+      AppendLabelledCounter(&out, "aimq_shard_cache_hits_total", "shard",
+                            std::to_string(s.shard), s.cache.hits);
+    }
   }
   return out;
 }

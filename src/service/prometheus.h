@@ -19,17 +19,23 @@
 #define AIMQ_SERVICE_PROMETHEUS_H_
 
 #include <string>
+#include <vector>
 
 #include "service/metrics.h"
+#include "shard/sharded_engine.h"
 #include "webdb/probe_cache.h"
 
 namespace aimq {
 
 /// One full scrape body, `\n`-terminated. \p cache_stats may be null (the
-/// probe-cache families are then omitted). Never emits NaN/Inf — rates with
-/// an empty denominator render as 0.
-std::string PrometheusMetricsText(const ServiceMetrics& metrics,
-                                  const ProbeCacheStats* cache_stats);
+/// probe-cache families are then omitted); \p shards may be null or empty
+/// (the shard-labelled families are then omitted). Per-tenant counters are
+/// rendered from \p metrics' tenant registry as `{tenant="..."}`-labelled
+/// families, shard accounting as `{shard="N"}`-labelled families. Never
+/// emits NaN/Inf — rates with an empty denominator render as 0.
+std::string PrometheusMetricsText(
+    const ServiceMetrics& metrics, const ProbeCacheStats* cache_stats,
+    const std::vector<ShardProbeSnapshot>* shards = nullptr);
 
 }  // namespace aimq
 

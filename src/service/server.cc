@@ -140,7 +140,7 @@ std::string AimqServer::HandleLine(const std::string& line) {
     return MakeErrorResponse(request, query.status()).Dump();
   }
   auto response = service_->Execute(*query, request.deadline_ms,
-                                    request.request_id);
+                                    request.request_id, request.tenant);
   if (!response.ok()) {
     return MakeErrorResponse(request, response.status()).Dump();
   }
@@ -178,12 +178,13 @@ void AimqServer::ServeHttp(int fd, const std::string& request_line,
   std::string content_type = "text/plain; version=0.0.4; charset=utf-8";
   std::string body;
   if (path == "/metrics") {
+    const std::vector<ShardProbeSnapshot> shards = service_->ShardStats();
     const auto& cache = service_->engine().probe_cache();
     if (cache != nullptr) {
       const ProbeCacheStats stats = cache->stats();
-      body = PrometheusMetricsText(service_->metrics(), &stats);
+      body = PrometheusMetricsText(service_->metrics(), &stats, &shards);
     } else {
-      body = PrometheusMetricsText(service_->metrics(), nullptr);
+      body = PrometheusMetricsText(service_->metrics(), nullptr, &shards);
     }
   } else if (path == "/metrics.json") {
     content_type = "application/json";

@@ -11,13 +11,27 @@ namespace {
 // In-memory slow-query records retained for SlowQueries().
 constexpr size_t kSlowQueryRingCap = 128;
 
+// The tenant label requests without one run under.
+const char kDefaultTenant[] = "default";
+
+ShardedEngineOptions ShardOptionsFrom(const ServiceOptions& service_options) {
+  ShardedEngineOptions opts;
+  opts.num_shards = service_options.num_shards;
+  opts.packed_shards = service_options.packed_shards;
+  opts.shard_cache_capacity = service_options.shard_cache_capacity;
+  opts.scatter_threads = service_options.scatter_threads;
+  opts.coalesce_probes = service_options.coalesce_probes;
+  return opts;
+}
+
 }  // namespace
 
 AimqService::AimqService(const WebDatabase* source, MinedKnowledge knowledge,
                          AimqOptions engine_options,
                          ServiceOptions service_options)
     : source_(source),
-      engine_(source, std::move(knowledge), std::move(engine_options)),
+      engine_(source, std::move(knowledge), std::move(engine_options),
+              ShardOptionsFrom(service_options)),
       service_options_(service_options) {
   if (service_options_.enable_tracing) {
     trace_ = std::make_unique<TraceRecorder>(service_options_.trace_capacity);
@@ -45,10 +59,12 @@ Status AimqService::Start() {
 }
 
 Status AimqService::Submit(ImpreciseQuery query, Callback done,
-                           uint64_t deadline_ms, uint64_t request_id) {
+                           uint64_t deadline_ms, uint64_t request_id,
+                           const std::string& tenant) {
   Request request;
   request.query = std::move(query);
   request.done = std::move(done);
+  request.tenant = tenant.empty() ? kDefaultTenant : tenant;
   request.control = std::make_shared<QueryControl>();
   request.request_id = request_id != 0
                            ? request_id
@@ -64,9 +80,27 @@ Status AimqService::Submit(ImpreciseQuery query, Callback done,
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (!started_ || stopping_ ||
-        queue_.size() >= service_options_.queue_depth) {
+    Status reject = Status::OK();
+    if (!started_ || stopping_) {
+      reject = Status::Unavailable("service is not accepting requests")
+                   .WithContext("AimqService::Submit");
+    } else if (queued_total_ >= service_options_.queue_depth) {
+      reject = Status::Unavailable("request queue full")
+                   .WithContext("queue_depth=" +
+                                std::to_string(service_options_.queue_depth));
+    } else if (service_options_.tenant_quota > 0) {
+      auto it = tenants_.find(request.tenant);
+      if (it != tenants_.end() &&
+          it->second.queue.size() >= service_options_.tenant_quota) {
+        reject = Status::Unavailable("tenant quota exceeded")
+                     .WithContext(
+                         "tenant=" + request.tenant + " quota=" +
+                         std::to_string(service_options_.tenant_quota));
+      }
+    }
+    if (!reject.ok()) {
       metrics_.OnRejected();
+      metrics_.OnTenantRejected(request.tenant);
       if (trace_ != nullptr && trace_->enabled()) {
         TraceEvent e;
         e.name = "rejected";
@@ -76,16 +110,25 @@ Status AimqService::Submit(ImpreciseQuery query, Callback done,
         e.start_nanos = request.submit_nanos;
         trace_->Record(std::move(e));
       }
-      if (!started_ || stopping_) {
-        return Status::Unavailable("service is not accepting requests")
-            .WithContext("AimqService::Submit");
-      }
-      return Status::Unavailable("request queue full")
-          .WithContext("queue_depth=" +
-                       std::to_string(service_options_.queue_depth));
+      return reject;
     }
     metrics_.OnAccepted();
-    queue_.push_back(std::move(request));
+    metrics_.OnTenantAccepted(request.tenant);
+    TenantQueue& tq = tenants_[request.tenant];
+    if (tq.queue.empty()) {
+      // (Re)activation: resolve the stride from the configured weight and
+      // join the schedule at the current pass level — idle time must not
+      // bank credit that would later starve active tenants.
+      double weight = 1.0;
+      const auto w = service_options_.tenant_weights.find(request.tenant);
+      if (w != service_options_.tenant_weights.end() && w->second > 0.0) {
+        weight = w->second;
+      }
+      tq.stride = 1.0 / weight;
+      if (tq.pass < base_pass_) tq.pass = base_pass_;
+    }
+    tq.queue.push_back(std::move(request));
+    ++queued_total_;
   }
   work_cv_.notify_one();
   return Status::OK();
@@ -93,20 +136,21 @@ Status AimqService::Submit(ImpreciseQuery query, Callback done,
 
 Result<QueryResponse> AimqService::Execute(const ImpreciseQuery& query,
                                            uint64_t deadline_ms,
-                                           uint64_t request_id) {
+                                           uint64_t request_id,
+                                           const std::string& tenant) {
   auto promise = std::make_shared<std::promise<Result<QueryResponse>>>();
   auto future = promise->get_future();
   AIMQ_RETURN_NOT_OK(Submit(
       query,
       [promise](Result<QueryResponse> r) { promise->set_value(std::move(r)); },
-      deadline_ms, request_id));
+      deadline_ms, request_id, tenant));
   return future.get();
 }
 
 void AimqService::Drain() {
   std::unique_lock<std::mutex> lock(mu_);
   drain_cv_.wait(lock,
-                 [this] { return queue_.empty() && active_workers_ == 0; });
+                 [this] { return queued_total_ == 0 && active_workers_ == 0; });
 }
 
 void AimqService::Stop() {
@@ -134,17 +178,57 @@ bool AimqService::running() const {
 }
 
 Json AimqService::StatsJson() const {
-  const auto& cache = engine_.probe_cache();
-  if (cache != nullptr) {
-    const ProbeCacheStats stats = cache->stats();
-    return metrics_.Snapshot(&stats);
+  const auto& cache = engine_.core().probe_cache();
+  Json out = cache != nullptr
+                 ? [&] {
+                     const ProbeCacheStats stats = cache->stats();
+                     return metrics_.Snapshot(&stats);
+                   }()
+                 : metrics_.Snapshot();
+  const std::vector<ShardProbeSnapshot> shards = engine_.ShardStats();
+  if (!shards.empty()) {
+    Json arr = Json::Arr();
+    for (const ShardProbeSnapshot& s : shards) {
+      Json shard = Json::Obj();
+      shard.Set("shard", Json::Num(static_cast<double>(s.shard)));
+      shard.Set("rows", Json::Num(static_cast<double>(s.end_row -
+                                                      s.begin_row)));
+      shard.Set("probes", Json::Num(static_cast<double>(s.queries_issued)));
+      shard.Set("tuples", Json::Num(static_cast<double>(s.tuples_returned)));
+      shard.Set("cache_hits", Json::Num(static_cast<double>(s.cache.hits)));
+      shard.Set("cache_lookups",
+                Json::Num(static_cast<double>(s.cache.lookups)));
+      arr.Push(std::move(shard));
+    }
+    out.Set("shards", std::move(arr));
   }
-  return metrics_.Snapshot();
+  return out;
 }
 
 size_t AimqService::QueueSize() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
+  return queued_total_;
+}
+
+AimqService::Request AimqService::PopNextLocked() {
+  // Stride schedule: the non-empty tenant with the smallest pass goes next;
+  // std::map iteration breaks pass ties by tenant name, so the dequeue order
+  // is a pure function of the submission history — independent of worker
+  // scheduling.
+  std::map<std::string, TenantQueue>::iterator best = tenants_.end();
+  for (auto it = tenants_.begin(); it != tenants_.end(); ++it) {
+    if (it->second.queue.empty()) continue;
+    if (best == tenants_.end() || it->second.pass < best->second.pass) {
+      best = it;
+    }
+  }
+  TenantQueue& tq = best->second;
+  Request request = std::move(tq.queue.front());
+  tq.queue.pop_front();
+  --queued_total_;
+  base_pass_ = tq.pass;
+  tq.pass += tq.stride;
+  return request;
 }
 
 void AimqService::WorkerLoop() {
@@ -152,10 +236,9 @@ void AimqService::WorkerLoop() {
     Request request;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ && drained: exit
-      request = std::move(queue_.front());
-      queue_.pop_front();
+      work_cv_.wait(lock, [this] { return stopping_ || queued_total_ > 0; });
+      if (queued_total_ == 0) return;  // stopping_ && drained: exit
+      request = PopNextLocked();
       ++active_workers_;
     }
     RunRequest(std::move(request));
@@ -221,10 +304,12 @@ void AimqService::RunRequest(Request request) {
   if (answers.ok()) {
     response.answers = answers.TakeValue();
     metrics_.OnCompleted(response.queue_seconds, response.total_seconds);
+    metrics_.OnTenantCompleted(request.tenant);
     if (truncated) metrics_.OnTruncated();
     request.done(std::move(response));
   } else {
     metrics_.OnFailed(response.queue_seconds, response.total_seconds);
+    metrics_.OnTenantFailed(request.tenant);
     request.done(answers.status());
   }
 }

@@ -12,6 +12,13 @@
 //  - Admission control: Submit() never blocks. A full queue (or a stopping
 //    service) answers Status::Unavailable immediately; the caller decides
 //    whether to retry. This keeps a slow engine from wedging the listener.
+//  - Tenancy: requests carry a tenant label. The bounded queue is split per
+//    tenant with an optional per-tenant quota (one noisy tenant cannot fill
+//    the global queue) and stride-scheduled weighted-fair dequeue. With one
+//    tenant and no quota this degenerates to the original FIFO exactly.
+//  - Sharding: ServiceOptions::num_shards > 1 serves from a ShardedEngine —
+//    row-range shards behind a scatter/gather facade — with answers
+//    bit-identical to the unsharded engine (DESIGN.md §5h).
 //  - Deadlines: each request carries a QueryControl whose deadline starts at
 //    *submit* time, so queue wait counts against it. Workers pass the
 //    control into AimqEngine::Answer, which checks it between relaxation
@@ -32,6 +39,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -41,6 +49,7 @@
 #include "core/control.h"
 #include "core/engine.h"
 #include "service/metrics.h"
+#include "shard/sharded_engine.h"
 #include "util/json.h"
 #include "util/stopwatch.h"
 #include "util/trace.h"
@@ -79,6 +88,37 @@ struct ServiceOptions {
   /// File the slow-query NDJSON is appended to. Empty keeps records only in
   /// the in-memory ring (AimqService::SlowQueries()).
   std::string slow_query_log_path;
+
+  // -- Scale-out (see DESIGN.md §5h) ---------------------------------------
+
+  /// Row-range engine shards behind the scatter/gather facade; <= 1 serves
+  /// from the unsharded source. Answers are bit-identical either way.
+  size_t num_shards = 1;
+
+  /// Store shard snapshots packed (block-compressed) instead of plain.
+  bool packed_shards = false;
+
+  /// Per-shard ProbeCache capacity in entries (0 disables shard caches).
+  size_t shard_cache_capacity = 4096;
+
+  /// Threads for the per-probe scatter fan-out (0 = legs run inline on the
+  /// probing worker, which is the right default: workers already parallelize
+  /// across requests).
+  size_t scatter_threads = 0;
+
+  /// Cross-query probe coalescing on the engine-level shared ProbeCache:
+  /// concurrent identical probes park on one source scan.
+  bool coalesce_probes = true;
+
+  /// Per-tenant admission quota: a tenant with this many requests already
+  /// queued has further submissions rejected kUnavailable, so one noisy
+  /// tenant cannot fill the global queue. 0 disables (single-tenant
+  /// behavior, exactly the pre-tenant FIFO).
+  size_t tenant_quota = 0;
+
+  /// Relative scheduling weights for stride-scheduled dequeue (weight 2
+  /// drains twice as fast as weight 1). Tenants absent here weigh 1.0.
+  std::map<std::string, double> tenant_weights;
 };
 
 /// Everything one answered request returns.
@@ -124,15 +164,18 @@ class AimqService {
   /// now, so time spent queued counts against it. \p request_id correlates
   /// the request's trace spans and slow-query record (0 = service-assigned;
   /// the id used is echoed in QueryResponse::request_id either way).
+  /// \p tenant names the submitting tenant for quota enforcement, weighted
+  /// scheduling, and labelled metrics; empty maps to "default".
   Status Submit(ImpreciseQuery query, Callback done, uint64_t deadline_ms = 0,
-                uint64_t request_id = 0);
+                uint64_t request_id = 0, const std::string& tenant = "");
 
   /// Synchronous convenience over Submit(): blocks the calling thread until
   /// the request completes. Queue-full rejections surface as kUnavailable
   /// without blocking.
   Result<QueryResponse> Execute(const ImpreciseQuery& query,
                                 uint64_t deadline_ms = 0,
-                                uint64_t request_id = 0);
+                                uint64_t request_id = 0,
+                                const std::string& tenant = "");
 
   /// Blocks until every accepted request has completed (queue empty, all
   /// workers idle). New submissions remain allowed; a steady stream of them
@@ -148,10 +191,22 @@ class AimqService {
   /// The source's schema (what wire sessions parse query text against).
   const Schema& schema() const { return source_->schema(); }
 
-  const AimqEngine& engine() const { return engine_; }
+  const AimqEngine& engine() const { return engine_.core(); }
   const ServiceOptions& service_options() const { return service_options_; }
   ServiceMetrics& metrics() { return metrics_; }
   const ServiceMetrics& metrics() const { return metrics_; }
+
+  /// Effective shard count (1 when unsharded, or when a packed shard build
+  /// failed and the service degraded — see shard_build_status()).
+  size_t num_shards() const { return engine_.num_shards(); }
+
+  /// Per-shard probe + cache accounting; empty when unsharded.
+  std::vector<ShardProbeSnapshot> ShardStats() const {
+    return engine_.ShardStats();
+  }
+
+  /// OK, or why the engine degraded to unsharded operation.
+  const Status& shard_build_status() const { return engine_.build_status(); }
 
   /// Live metrics + probe-cache stats as one JSON object (the STATS wire
   /// response body).
@@ -181,15 +236,29 @@ class AimqService {
     Stopwatch since_submit;   // runs from admission
     uint64_t request_id = 0;  // trace/slow-log correlation id
     uint64_t submit_nanos = 0;  // recorder clock at admission (0: untraced)
+    std::string tenant;         // normalized (never empty)
+  };
+
+  // One tenant's pending requests plus its stride-scheduling state. Stride
+  // scheduling gives weighted fair dequeue with a deterministic total order:
+  // each dequeue picks the non-empty tenant with the smallest pass (ties by
+  // tenant name — map order), then advances its pass by stride = 1/weight.
+  struct TenantQueue {
+    std::deque<Request> queue;
+    double pass = 0.0;
+    double stride = 1.0;
   };
 
   void WorkerLoop();
   void RunRequest(Request request);
   void RecordSlowQuery(const Request& request, const QueryResponse& response,
                        const Status& status);
+  // Pops the next request per the stride schedule. Caller holds mu_ and has
+  // checked queued_total_ > 0.
+  Request PopNextLocked();
 
   const WebDatabase* source_;
-  AimqEngine engine_;
+  ShardedEngine engine_;
   const ServiceOptions service_options_;
   ServiceMetrics metrics_;
   // Span recorder (created iff enable_tracing); the engine holds a raw
@@ -202,7 +271,11 @@ class AimqService {
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   // queue became non-empty / stopping
   std::condition_variable drain_cv_;  // a request finished / queue emptied
-  std::deque<Request> queue_;         // guarded by mu_
+  std::map<std::string, TenantQueue> tenants_;  // guarded by mu_
+  size_t queued_total_ = 0;           // sum of tenant queue sizes
+  double base_pass_ = 0.0;            // pass of the last dequeue (newly
+                                      // active tenants join at this level so
+                                      // idle time earns no backlog credit)
   size_t active_workers_ = 0;         // requests currently inside a worker
   bool started_ = false;              // guarded by mu_
   bool stopping_ = false;             // admission closed

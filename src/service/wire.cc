@@ -100,6 +100,12 @@ Result<WireRequest> ParseWireRequest(const std::string& line) {
     req.has_id = true;
     req.id = id->AsNum();
   }
+  if (const Json* t = json.Find("tenant"); t != nullptr) {
+    if (!t->is_string()) {
+      return Status::InvalidArgument("tenant must be a string");
+    }
+    req.tenant = t->AsStr();
+  }
   return req;
 }
 

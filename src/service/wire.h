@@ -71,6 +71,9 @@ struct WireRequest {
   /// Client correlation id, echoed in the response when present.
   bool has_id = false;
   double id = 0.0;
+  /// Tenant label for quota/fair-share admission and labelled metrics;
+  /// empty = the service's default tenant. Only for kQuery.
+  std::string tenant;
 };
 
 /// Parses one request line. Unknown "op" values and malformed JSON are

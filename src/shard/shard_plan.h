@@ -1,0 +1,52 @@
+// Row-range shard planning.
+//
+// A sharded engine splits one relation into N contiguous, disjoint row
+// ranges. Contiguity is what makes the scatter/gather merge deterministic
+// and cheap: each shard evaluates probes over its own snapshot and returns
+// *local* row ids in ascending order; adding the range's begin offset and
+// concatenating the per-shard answers in shard order yields the globally
+// ascending row-id list the unsharded source would have produced —
+// bit-identical, no sort, no tie-break table.
+
+#ifndef AIMQ_SHARD_SHARD_PLAN_H_
+#define AIMQ_SHARD_SHARD_PLAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace aimq {
+
+/// One shard's half-open global row range [begin, end).
+struct ShardRange {
+  uint32_t begin = 0;
+  uint32_t end = 0;
+
+  size_t NumRows() const { return end - begin; }
+  bool Contains(uint32_t row) const { return row >= begin && row < end; }
+};
+
+/// Splits [0, num_rows) into \p num_shards contiguous near-even ranges (the
+/// first num_rows % num_shards ranges hold one extra row). Never returns an
+/// empty plan: num_shards == 0 plans as 1. Shards beyond num_rows come back
+/// empty (begin == end) so a 3-row relation still yields a valid 7-shard
+/// plan.
+inline std::vector<ShardRange> PlanRowRanges(size_t num_rows,
+                                             size_t num_shards) {
+  if (num_shards == 0) num_shards = 1;
+  std::vector<ShardRange> plan;
+  plan.reserve(num_shards);
+  const size_t base = num_rows / num_shards;
+  const size_t extra = num_rows % num_shards;
+  uint32_t begin = 0;
+  for (size_t s = 0; s < num_shards; ++s) {
+    const size_t size = base + (s < extra ? 1 : 0);
+    plan.push_back(ShardRange{begin, static_cast<uint32_t>(begin + size)});
+    begin += static_cast<uint32_t>(size);
+  }
+  return plan;
+}
+
+}  // namespace aimq
+
+#endif  // AIMQ_SHARD_SHARD_PLAN_H_

@@ -104,6 +104,19 @@ uint64_t TraceRecorder::CurrentThreadId() {
   return id;
 }
 
+namespace {
+thread_local uint64_t g_current_request_id = 0;
+}  // namespace
+
+uint64_t TraceRecorder::CurrentRequestId() { return g_current_request_id; }
+
+TraceRequestScope::TraceRequestScope(uint64_t request_id)
+    : previous_(g_current_request_id) {
+  g_current_request_id = request_id;
+}
+
+TraceRequestScope::~TraceRequestScope() { g_current_request_id = previous_; }
+
 TraceSpan::TraceSpan(TraceRecorder* recorder, const char* name,
                      const char* category, uint64_t request_id)
     : recorder_(recorder != nullptr && recorder->enabled() ? recorder

@@ -106,6 +106,12 @@ class TraceRecorder {
   /// in first-use order, process-wide).
   static uint64_t CurrentThreadId();
 
+  /// The request id installed on this thread by the innermost live
+  /// TraceRequestScope (0 when none). Lets layers below the engine — e.g. a
+  /// scatter/gather source facade that never sees a QueryControl — tag their
+  /// spans with the request being served.
+  static uint64_t CurrentRequestId();
+
  private:
   const size_t capacity_;
   const TraceClock* clock_;  // nullptr = built-in steady clock
@@ -136,6 +142,21 @@ class TraceSpan {
  private:
   TraceRecorder* recorder_;  // nullptr when unarmed
   TraceEvent event_;
+};
+
+/// \brief RAII: installs \p request_id as this thread's current request id
+/// (TraceRecorder::CurrentRequestId) for the scope's lifetime, restoring the
+/// previous value on exit. Costs two thread-local writes; safe to nest.
+class TraceRequestScope {
+ public:
+  explicit TraceRequestScope(uint64_t request_id);
+  ~TraceRequestScope();
+
+  TraceRequestScope(const TraceRequestScope&) = delete;
+  TraceRequestScope& operator=(const TraceRequestScope&) = delete;
+
+ private:
+  uint64_t previous_;
 };
 
 }  // namespace aimq

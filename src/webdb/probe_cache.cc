@@ -26,26 +26,59 @@ Result<std::vector<uint32_t>> ProbeCache::ExecuteRows(const WebDatabase& db,
   if (capacity_ == 0) return db.ExecuteRows(query);
 
   std::string key = db.CodedProbeKey(query);
+  std::shared_ptr<Flight> flight;
+  bool leader = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
     ++stats_.lookups;
     if (const std::vector<uint32_t>* cached = cache_.Get(key)) {
       ++stats_.hits;
       if (hit != nullptr) *hit = true;
       return *cached;  // copy out under the lock; entries are immutable
     }
+    if (coalesce_) {
+      auto it = flights_.find(key);
+      if (it != flights_.end()) {
+        // Park on the running probe: one source scan serves every waiter.
+        // The follower was spared a source probe, so it reports as a hit.
+        flight = it->second;
+        ++flight->waiters;
+        ++stats_.hits;
+        ++stats_.coalesced;
+        if (hit != nullptr) *hit = true;
+        flight->cv.wait(lock, [&flight] { return flight->done; });
+        --flight->waiters;
+        if (!flight->status.ok()) return flight->status;
+        return flight->rows;
+      }
+      flight = std::make_shared<Flight>();
+      flights_.emplace(key, flight);
+      leader = true;
+    }
     ++stats_.misses;
   }
 
   // Probe outside the lock: source latency must never serialize workers.
-  AIMQ_ASSIGN_OR_RETURN(std::vector<uint32_t> rows, db.ExecuteRows(query));
+  Result<std::vector<uint32_t>> probed = db.ExecuteRows(query);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    const uint64_t before = cache_.evictions();
-    cache_.Put(std::move(key), rows);
-    stats_.evictions += cache_.evictions() - before;
+    if (leader) {
+      flight->done = true;
+      if (probed.ok()) {
+        flight->rows = *probed;
+      } else {
+        flight->status = probed.status();  // errors are never cached
+      }
+      flights_.erase(key);
+      flight->cv.notify_all();
+    }
+    if (probed.ok()) {
+      const uint64_t before = cache_.evictions();
+      cache_.Put(std::move(key), *probed);
+      stats_.evictions += cache_.evictions() - before;
+    }
   }
-  return rows;
+  return probed;
 }
 
 Result<std::vector<Tuple>> ProbeCache::Execute(const WebDatabase& db,
@@ -66,6 +99,23 @@ void ProbeCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   cache_.Clear();
   stats_ = ProbeCacheStats{};
+}
+
+void ProbeCache::EnableCoalescing(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  coalesce_ = enabled;
+}
+
+bool ProbeCache::coalescing_enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return coalesce_;
+}
+
+size_t ProbeCache::InFlightWaiters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t waiters = 0;
+  for (const auto& [key, flight] : flights_) waiters += flight->waiters;
+  return waiters;
 }
 
 size_t ProbeCache::size() const {

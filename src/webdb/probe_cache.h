@@ -17,13 +17,26 @@
 // threads that miss the same key simultaneously may both probe the source
 // (the second insert overwrites with identical data), which trades a rare
 // duplicate probe for never serializing probe latency.
+//
+// EnableCoalescing(true) switches that trade around with a group-commit
+// style in-flight table: the first thread to miss a key becomes the probe's
+// *leader* and executes it; concurrent threads that miss the same key park
+// on the leader's flight and are handed the leader's answer when it lands —
+// one physical probe serves N waiting sessions. Parked followers report as
+// cache hits (their probe was served without touching the source), and are
+// additionally counted in `coalesced`. With coalescing on, each distinct
+// key is probed exactly once per residency (never twice by a race), which
+// also makes probe accounting deterministic under concurrency.
 
 #ifndef AIMQ_WEBDB_PROBE_CACHE_H_
 #define AIMQ_WEBDB_PROBE_CACHE_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "query/selection_query.h"
@@ -39,6 +52,9 @@ struct ProbeCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;
+  /// Lookups served by parking on a probe already in flight (counted in
+  /// `hits` as well): one source scan answered this many extra sessions.
+  uint64_t coalesced = 0;
 
   /// Fraction of lookups spared a source probe (0 when no lookups yet).
   /// The serving layer reports this per metrics snapshot.
@@ -82,18 +98,45 @@ class ProbeCache {
   /// refresh recency; diagnostics/tests).
   bool Contains(const WebDatabase& db, const SelectionQuery& query) const;
 
-  /// Drops all entries and resets the counters.
+  /// Drops all entries and resets the counters. Probes currently in flight
+  /// are unaffected (their waiters still get the leader's answer).
   void Clear();
+
+  /// Turns the in-flight coalescing table on or off (off by default, which
+  /// preserves the historical race-and-overwrite behavior). Flip it before
+  /// serving traffic; in-flight probes started under the previous setting
+  /// complete under it.
+  void EnableCoalescing(bool enabled);
+  bool coalescing_enabled() const;
+
+  /// Followers currently parked on in-flight probes (diagnostics/tests: a
+  /// coalescing test can wait for all followers to arrive before releasing
+  /// a blocked leader).
+  size_t InFlightWaiters() const;
 
   size_t capacity() const { return capacity_; }
   size_t size() const;
   ProbeCacheStats stats() const;
 
  private:
+  // One probe being executed by its leader; followers park on cv until done.
+  struct Flight {
+    std::condition_variable cv;
+    bool done = false;
+    Status status = Status::OK();
+    std::vector<uint32_t> rows;
+    size_t waiters = 0;
+  };
+
   const size_t capacity_;  // immutable; readable without mu_
   mutable std::mutex mu_;
   LruCache<std::string, std::vector<uint32_t>> cache_;  // guarded by mu_
   ProbeCacheStats stats_;                               // guarded by mu_
+  bool coalesce_ = false;                               // guarded by mu_
+  // In-flight probes by coded key; entries are shared so a flight outlives
+  // its map slot while followers still hold it. Guarded by mu_; followers
+  // wait on the flight's cv with mu_ held (released while waiting).
+  std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
 };
 
 }  // namespace aimq

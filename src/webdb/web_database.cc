@@ -23,20 +23,36 @@ void AppendU64(std::string* out, uint64_t v) {
 
 void WebDatabase::BuildIndexes() {
   cols_ = data_.columnar();
+  BuildPostingLists();
+}
+
+void WebDatabase::BuildPostingLists() {
+  if (!postings_.empty()) return;
   const size_t n = cols_->NumAttributes();
   postings_.assign(n, {});
+  std::vector<size_t> attrs;
+  attrs.reserve(n);
   for (size_t a = 0; a < n; ++a) {
-    const std::vector<ValueId>& codes = cols_->codes(a);
     postings_[a].resize(cols_->dict(a).size());
-    for (size_t r = 0; r < codes.size(); ++r) {
-      if (codes[r] == ValueDict::kNullCode) continue;
-      postings_[a][codes[r]].push_back(static_cast<uint32_t>(r));
+    attrs.push_back(a);
+  }
+  // One sequential pass over aligned block windows covers both storage
+  // modes; plain mode yields a single window spanning the relation.
+  ColumnarRelation::WindowCursor cursor = cols_->ScanBlocks(std::move(attrs));
+  ColumnarRelation::CodeWindow w;
+  while (cursor.Next(&w)) {
+    for (size_t a = 0; a < n; ++a) {
+      const ValueId* codes = w.codes[a];
+      for (size_t i = 0; i < w.num_rows; ++i) {
+        if (codes[i] == ValueDict::kNullCode) continue;
+        postings_[a][codes[i]].push_back(
+            static_cast<uint32_t>(w.begin_row + i));
+      }
     }
   }
 }
 
-Result<std::vector<uint32_t>> WebDatabase::ExecuteRows(
-    const SelectionQuery& query) const {
+Status WebDatabase::ValidateBooleanQuery(const SelectionQuery& query) const {
   for (const Predicate& p : query.predicates()) {
     if (p.op == CompareOp::kLike) {
       return Status::InvalidArgument(
@@ -50,6 +66,12 @@ Result<std::vector<uint32_t>> WebDatabase::ExecuteRows(
                               "'");
     }
   }
+  return Status::OK();
+}
+
+Result<std::vector<uint32_t>> WebDatabase::ExecuteRows(
+    const SelectionQuery& query) const {
+  AIMQ_RETURN_NOT_OK(ValidateBooleanQuery(query));
 
   // Index-assisted evaluation: drive the scan from the most selective
   // equality predicate's posting list, verify the rest per candidate row.
@@ -74,8 +96,7 @@ Result<std::vector<uint32_t>> WebDatabase::ExecuteRows(
       candidates != nullptr ? compiled.EvaluateCandidates(*candidates)
                             : compiled.EvaluateAll();
   if (!out.ok()) return out;
-  ++stats_.queries_issued;
-  stats_.tuples_returned += out.ValueOrDie().size();
+  AccountProbe(out.ValueOrDie().size());
   return out;
 }
 

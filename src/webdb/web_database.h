@@ -72,13 +72,26 @@ class WebDatabase {
   /// Wraps a packed (block-compressed, possibly spilled) columnar snapshot
   /// directly — no row-store copy and no posting lists are materialized, so
   /// a streamed 10M-tuple source costs only its packed blocks plus the
-  /// dictionaries. Queries fall back to block scans instead of index-assisted
-  /// candidate lists; answers are identical.
+  /// dictionaries. Queries fall back to block scans unless BuildPostingLists
+  /// is called; answers are identical either way.
   WebDatabase(std::string name, std::shared_ptr<const ColumnarRelation> cols)
       : name_(std::move(name)),
         data_(cols->schema()),
         cols_(std::move(cols)) {}
   virtual ~WebDatabase() = default;
+
+  /// Materializes per-code posting lists from the columnar snapshot (one
+  /// streaming pass over all code columns), enabling index-assisted probe
+  /// evaluation for packed sources too. Resident cost is ~4 bytes per
+  /// non-null cell, which is why it is opt-in for packed snapshots — a
+  /// row-range *shard* of a 10M-tuple source affords it where the whole
+  /// source cannot. Idempotent; answers are identical with or without
+  /// postings (only the scan strategy changes). Not thread-safe against
+  /// in-flight queries: call before serving.
+  void BuildPostingLists();
+
+  /// True when per-code posting lists back ExecuteRows' candidate scans.
+  bool has_posting_lists() const { return !postings_.empty(); }
 
   const std::string& name() const { return name_; }
 
@@ -104,10 +117,14 @@ class WebDatabase {
   /// Materializes row ids (as returned by ExecuteRows) into tuples.
   std::vector<Tuple> Materialize(const std::vector<uint32_t>& rows) const;
 
-  /// Materializes one row id (as returned by ExecuteRows). By value: packed
-  /// sources rebuild the tuple from the dictionaries per call.
+  /// Materializes one row id (as returned by ExecuteRows). By value:
+  /// sources without a row store — packed snapshots, and facades wrapping a
+  /// plain snapshot directly — rebuild the tuple from the dictionaries per
+  /// call (value-identical to the row-store tuple: the dictionaries hold
+  /// the interned original values).
   Tuple MaterializeRow(uint32_t row) const {
-    return cols_->packed() ? cols_->MaterializeTuple(row) : data_.tuple(row);
+    return data_.NumTuples() != 0 ? data_.tuple(row)
+                                  : cols_->MaterializeTuple(row);
   }
 
   /// The option list a Web form exposes in the drop-down for a categorical
@@ -137,6 +154,23 @@ class WebDatabase {
   /// query tuples); never by the AIMQ pipeline itself. Empty for packed
   /// sources (there is no row store to expose — use columnar()).
   const Relation& hidden_relation_for_testing() const { return data_; }
+
+ protected:
+  /// Accounts one answered probe in stats(). ExecuteRows overrides that do
+  /// not route through the base implementation (scatter/gather facades,
+  /// fault-injection adapters) call this so probe accounting — what the
+  /// paper's efficiency figures and the serving metrics read — stays
+  /// consistent with the base class.
+  void AccountProbe(size_t tuples_returned) const {
+    ++stats_.queries_issued;
+    stats_.tuples_returned += tuples_returned;
+  }
+
+  /// Validates \p query the way the base ExecuteRows does: 'like' predicates
+  /// and unknown attributes are rejected with the same status text, so a
+  /// facade in front of per-shard sources errors identically to the
+  /// unsharded source.
+  Status ValidateBooleanQuery(const SelectionQuery& query) const;
 
  private:
   // The source maintains per-attribute value indexes, as any backing RDBMS

@@ -1,0 +1,176 @@
+// Cross-query probe coalescing: N concurrent sessions issuing the same
+// probe must cost exactly one source scan — the first arrival leads, the
+// rest park on its flight and are handed the leader's answer. Followers
+// account as cache hits (and `coalesced`), and errors propagate to every
+// waiter without being cached.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "datagen/cardb.h"
+#include "query/predicate.h"
+#include "webdb/probe_cache.h"
+#include "webdb/web_database.h"
+
+namespace aimq {
+namespace {
+
+// A source whose probes block on a gate until released, so a test can hold
+// the coalescing leader mid-scan while followers pile up. Optionally fails
+// every probe with an injected error.
+class GatedDb : public WebDatabase {
+ public:
+  GatedDb(std::string name, Relation data, bool fail = false)
+      : WebDatabase(std::move(name), std::move(data)), fail_(fail) {}
+
+  Result<std::vector<uint32_t>> ExecuteRows(
+      const SelectionQuery& query) const override {
+    ++calls_;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return released_; });
+    }
+    if (fail_) return Status::Unavailable("injected source failure");
+    return WebDatabase::ExecuteRows(query);
+  }
+
+  void Release() {
+    std::lock_guard<std::mutex> lock(mu_);
+    released_ = true;
+    cv_.notify_all();
+  }
+
+  int calls() const { return calls_.load(); }
+
+ private:
+  const bool fail_;
+  mutable std::atomic<int> calls_{0};
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  bool released_ = false;  // guarded by mu_
+};
+
+Relation SmallCarDb() {
+  CarDbSpec spec;
+  spec.num_tuples = 200;
+  spec.seed = 17;
+  return CarDbGenerator(spec).Generate();
+}
+
+SelectionQuery ToyotaQuery() {
+  return SelectionQuery({Predicate::Eq("Make", Value::Cat("Toyota"))});
+}
+
+// Spins until \p done() holds, failing the test (and returning false) after
+// a generous timeout so a coalescing bug cannot hang the suite.
+bool WaitFor(const std::function<bool()>& done) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (!done()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+TEST(ProbeCoalescingTest, ConcurrentIdenticalProbesCostOneScan) {
+  GatedDb db("CarDB", SmallCarDb());
+  ProbeCache cache(64);
+  cache.EnableCoalescing(true);
+  ASSERT_TRUE(cache.coalescing_enabled());
+
+  constexpr size_t kSessions = 5;
+  std::vector<Result<std::vector<uint32_t>>> results(
+      kSessions, Status::Internal("not run"));
+  std::vector<std::thread> sessions;
+  for (size_t i = 0; i < kSessions; ++i) {
+    sessions.emplace_back([&, i] {
+      results[i] = cache.ExecuteRows(db, ToyotaQuery());
+    });
+  }
+
+  // Leader inside the gated scan, every follower parked on its flight.
+  ASSERT_TRUE(WaitFor([&] { return db.calls() == 1; }));
+  ASSERT_TRUE(
+      WaitFor([&] { return cache.InFlightWaiters() == kSessions - 1; }));
+  db.Release();
+  for (std::thread& t : sessions) t.join();
+
+  // One physical probe answered all five sessions, identically.
+  EXPECT_EQ(db.calls(), 1);
+  const auto expected = db.WebDatabase::ExecuteRows(ToyotaQuery());
+  ASSERT_TRUE(expected.ok());
+  EXPECT_FALSE(expected->empty());
+  for (size_t i = 0; i < kSessions; ++i) {
+    ASSERT_TRUE(results[i].ok()) << "session " << i;
+    EXPECT_EQ(*results[i], *expected) << "session " << i;
+  }
+
+  const ProbeCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.lookups, kSessions);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, kSessions - 1);
+  EXPECT_EQ(stats.coalesced, kSessions - 1);
+
+  // The landed answer is resident: the next probe is a plain cache hit and
+  // coalescing accounting does not move.
+  bool hit = false;
+  auto again = cache.ExecuteRows(db, ToyotaQuery(), &hit);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(db.calls(), 1);
+  EXPECT_EQ(cache.stats().coalesced, kSessions - 1);
+}
+
+TEST(ProbeCoalescingTest, LeaderErrorReachesEveryFollowerAndIsNotCached) {
+  GatedDb db("CarDB", SmallCarDb(), /*fail=*/true);
+  ProbeCache cache(64);
+  cache.EnableCoalescing(true);
+
+  constexpr size_t kSessions = 4;
+  std::vector<Result<std::vector<uint32_t>>> results(
+      kSessions, Status::Internal("not run"));
+  std::vector<std::thread> sessions;
+  for (size_t i = 0; i < kSessions; ++i) {
+    sessions.emplace_back([&, i] {
+      results[i] = cache.ExecuteRows(db, ToyotaQuery());
+    });
+  }
+  ASSERT_TRUE(WaitFor([&] { return db.calls() == 1; }));
+  ASSERT_TRUE(
+      WaitFor([&] { return cache.InFlightWaiters() == kSessions - 1; }));
+  db.Release();
+  for (std::thread& t : sessions) t.join();
+
+  EXPECT_EQ(db.calls(), 1);
+  for (size_t i = 0; i < kSessions; ++i) {
+    ASSERT_FALSE(results[i].ok()) << "session " << i;
+    EXPECT_EQ(results[i].status().code(), StatusCode::kUnavailable);
+  }
+  // Errors never land in the cache: the key is still absent.
+  EXPECT_FALSE(cache.Contains(db, ToyotaQuery()));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ProbeCoalescingTest, DisabledCoalescingNeverParksSessions) {
+  GatedDb db("CarDB", SmallCarDb());
+  db.Release();  // no gating needed; assert the steady-state accounting
+  ProbeCache cache(64);
+  ASSERT_FALSE(cache.coalescing_enabled());
+  auto first = cache.ExecuteRows(db, ToyotaQuery());
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(cache.InFlightWaiters(), 0u);
+  EXPECT_EQ(cache.stats().coalesced, 0u);
+}
+
+}  // namespace
+}  // namespace aimq
