@@ -21,6 +21,8 @@
 
 #include "bench_util.h"
 #include "eval/metrics.h"
+#include "obs/metrics_registry.h"
+#include "service/prometheus.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -254,6 +256,17 @@ inline int RunRelaxEfficiency(RelaxationStrategy strategy,
     doc.Set("bytes_per_tuple", BytesPerTupleJson(*db.columnar()));
     doc.Set("peak_rss_bytes",
             Json::Num(static_cast<double>(PeakRssBytes())));
+    // The unified registry's view of the run — SIMD dispatch tier + kernel
+    // call mix and probe-cache behavior — archived with the baseline so a
+    // perf delta can be attributed (e.g. a dispatch-tier downgrade).
+    obs::MetricsRegistry registry;
+    registry.AddCollector([&engine](obs::MetricsRegistry::Emitter* out) {
+      EmitSimd(out);
+      if (const auto& cache = engine.probe_cache(); cache != nullptr) {
+        EmitProbeCache(cache->stats(), out);
+      }
+    });
+    doc.Set("metrics", registry.JsonSnapshot());
     if (!WriteJsonFile(json_path, doc)) return 1;
   }
   return identical ? 0 : 1;

@@ -187,6 +187,10 @@ struct ReplayResult {
   double queue_wait_p99_ms = 0.0;
   double cache_hit_rate = 0.0;
   uint64_t coalesced = 0;
+  // The unified registry's JSON snapshot at end of replay — every subsystem
+  // counter (block cache, SIMD tiers, shards, tenants) archived alongside
+  // the latency numbers in the CI baseline.
+  Json metrics_snapshot = Json::Null();
   double qps() const {
     return replay_seconds > 0
                ? static_cast<double>(accepted) / replay_seconds
@@ -290,6 +294,7 @@ ReplayResult RunReplay(
     result.cache_hit_rate = cstats.HitRate();
     result.coalesced = cstats.coalesced;
   }
+  result.metrics_snapshot = service.metrics_registry().JsonSnapshot();
   result.ok = true;
   return result;
 }
@@ -497,6 +502,7 @@ int main(int argc, char** argv) {
     doc.Set("verified_vs_serial",
             Json::Num(static_cast<double>(main_run.compared)));
     doc.Set("mismatches", Json::Num(static_cast<double>(main_run.mismatches)));
+    doc.Set("metrics", main_run.metrics_snapshot);
     if (!sweep.empty()) {
       Json scaling = Json::Arr();
       for (const ReplayResult& r : sweep) {

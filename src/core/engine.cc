@@ -299,7 +299,9 @@ AimqEngine::TupleExpansion AimqEngine::ExpandBaseTuple(
       out.truncated = true;
       break;
     }
-    SelectionQuery q = relaxer.Next();
+    std::vector<size_t> relaxed_attrs;
+    SelectionQuery q = relaxer.Next(&relaxed_attrs);
+    if (stats != nullptr) stats->NoteRelaxDepth(relaxed_attrs.size());
     bool fresh = false;
     Result<std::vector<uint32_t>> extracted =
         Probe(q, stats, ctx, &fresh, trace_id);
@@ -463,7 +465,9 @@ Result<std::vector<RankedAnswer>> AimqEngine::FindSimilar(
     // Cooperative stop between descent steps: the protocol is inherently
     // progressive, so the tuples gathered so far are the answer.
     if (control != nullptr && control->ShouldStop()) break;
-    SelectionQuery q = relaxer.Next();
+    std::vector<size_t> relaxed_attrs;
+    SelectionQuery q = relaxer.Next(&relaxed_attrs);
+    if (stats != nullptr) stats->NoteRelaxDepth(relaxed_attrs.size());
     AIMQ_ASSIGN_OR_RETURN(std::vector<uint32_t> extracted,
                           Probe(q, stats, &ctx, nullptr, trace_id));
     for (const uint32_t candidate : extracted) {

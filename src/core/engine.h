@@ -85,6 +85,9 @@ struct RelaxationStats {
   std::atomic<uint64_t> tuples_relevant{0};
   std::atomic<uint64_t> cache_hits{0};
   std::atomic<uint64_t> deduped_probes{0};
+  /// Deepest relaxation any probe of this run reached (attributes relaxed by
+  /// the weakest query issued). A running max, not a sum.
+  std::atomic<uint64_t> max_relax_depth{0};
   double base_set_seconds = 0.0;
   double relax_seconds = 0.0;
   double rank_seconds = 0.0;
@@ -103,10 +106,22 @@ struct RelaxationStats {
                      std::memory_order_relaxed);
     deduped_probes.store(other.deduped_probes.load(std::memory_order_relaxed),
                          std::memory_order_relaxed);
+    max_relax_depth.store(
+        other.max_relax_depth.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
     base_set_seconds = other.base_set_seconds;
     relax_seconds = other.relax_seconds;
     rank_seconds = other.rank_seconds;
     return *this;
+  }
+
+  /// Folds \p depth into max_relax_depth (lock-free running max).
+  void NoteRelaxDepth(uint64_t depth) {
+    uint64_t cur = max_relax_depth.load(std::memory_order_relaxed);
+    while (depth > cur &&
+           !max_relax_depth.compare_exchange_weak(cur, depth,
+                                                  std::memory_order_relaxed)) {
+    }
   }
 
   /// Merges another run's counters and timers into this one.
@@ -116,6 +131,7 @@ struct RelaxationStats {
     tuples_relevant += other.tuples_relevant.load(std::memory_order_relaxed);
     cache_hits += other.cache_hits.load(std::memory_order_relaxed);
     deduped_probes += other.deduped_probes.load(std::memory_order_relaxed);
+    NoteRelaxDepth(other.max_relax_depth.load(std::memory_order_relaxed));
     base_set_seconds += other.base_set_seconds;
     relax_seconds += other.relax_seconds;
     rank_seconds += other.rank_seconds;

@@ -67,6 +67,12 @@ Json ServiceMetrics::Snapshot(const ProbeCacheStats* cache_stats) const {
   phases.Set("relax", HistogramJson(phase_relax_));
   phases.Set("rank", HistogramJson(phase_rank_));
   out.Set("phases", std::move(phases));
+  // Per-depth counts; index = relaxation depth, last bucket = overflow.
+  Json depths = Json::Arr();
+  for (uint64_t n : RelaxDepthSnapshot()) {
+    depths.Push(Json::Num(static_cast<double>(n)));
+  }
+  out.Set("relax_depth_counts", std::move(depths));
   const std::map<std::string, TenantCounters> tenants = TenantSnapshot();
   if (!tenants.empty()) {
     Json tenants_json = Json::Obj();

@@ -7,6 +7,7 @@
 #ifndef AIMQ_SERVICE_METRICS_H_
 #define AIMQ_SERVICE_METRICS_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -80,6 +81,26 @@ class ServiceMetrics {
     phase_rank_.Record(rank_seconds);
   }
 
+  /// Deepest relaxation level one finished request reached (number of
+  /// attributes relaxed simultaneously in its deepest probe). Depths at or
+  /// beyond kRelaxDepthBuckets-1 land in the last (overflow) bucket.
+  static constexpr size_t kRelaxDepthBuckets = 17;  // depths 0..15, then 16+
+  void OnRelaxDepth(uint64_t depth) {
+    const size_t bucket = depth < kRelaxDepthBuckets - 1
+                              ? static_cast<size_t>(depth)
+                              : kRelaxDepthBuckets - 1;
+    relax_depth_[bucket].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Per-depth request counts (index = depth, last bucket = overflow).
+  std::array<uint64_t, kRelaxDepthBuckets> RelaxDepthSnapshot() const {
+    std::array<uint64_t, kRelaxDepthBuckets> out{};
+    for (size_t i = 0; i < kRelaxDepthBuckets; ++i) {
+      out[i] = relax_depth_[i].load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
   uint64_t accepted() const {
     return accepted_.load(std::memory_order_relaxed);
   }
@@ -137,6 +158,7 @@ class ServiceMetrics {
   LatencyHistogram phase_base_set_;
   LatencyHistogram phase_relax_;
   LatencyHistogram phase_rank_;
+  std::array<std::atomic<uint64_t>, kRelaxDepthBuckets> relax_depth_{};
   mutable std::mutex tenants_mu_;
   std::map<std::string, TenantCounters> tenants_;  // guarded by tenants_mu_
 };

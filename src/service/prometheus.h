@@ -1,38 +1,84 @@
 // Prometheus text-format exposition (version 0.0.4) of the service metrics.
 //
-// Renders one scrape body covering every ServiceMetrics counter, the
-// per-phase and end-to-end latency histograms, and (when available) the
-// shared probe-cache counters. Served by AimqServer on `GET /metrics`, so a
-// stock Prometheus scrape_config pointed at the wire port just works:
+// Everything renders through obs::MetricsRegistry's single exposition path:
+// the Emit* helpers below adapt each subsystem's native stats struct into
+// registry families, and both the service's live registry collector
+// (AimqService wires them in at construction) and the legacy
+// PrometheusMetricsText() shim call the same helpers — one family
+// catalogue, one renderer, one escaping rule. Served by AimqServer on
+// `GET /metrics`, so a stock Prometheus scrape_config pointed at the wire
+// port just works:
 //
 //   aimq_requests_accepted_total 1042
 //   aimq_request_latency_seconds_bucket{le="0.004"} 963
-//   aimq_request_latency_seconds_sum 3.41
-//   aimq_request_latency_seconds_count 1042
+//   aimq_shard_probe_seconds_bucket{shard="3",le="0.004"} 241
+//   aimq_simd_kernel_calls_total{kernel="eq_mask"} 52110
 //
 // Histogram buckets are cumulative, as the format demands; the 96 internal
 // geometric buckets are coarsened to every 8th bound (rel. error <= ~6x one
 // bucket's 25%, still far finer than typical scrape dashboards need) plus
-// the mandatory +Inf bound.
+// the mandatory +Inf bound. Label values are escaped (backslash, quote,
+// newline); NaN/Inf scalar values render as 0.
 
 #ifndef AIMQ_SERVICE_PROMETHEUS_H_
 #define AIMQ_SERVICE_PROMETHEUS_H_
 
+#include <cstddef>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/metrics_registry.h"
 #include "service/metrics.h"
 #include "shard/sharded_engine.h"
+#include "storage/code_block_store.h"
+#include "util/trace.h"
 #include "webdb/probe_cache.h"
 
 namespace aimq {
 
-/// One full scrape body, `\n`-terminated. \p cache_stats may be null (the
-/// probe-cache families are then omitted); \p shards may be null or empty
-/// (the shard-labelled families are then omitted). Per-tenant counters are
-/// rendered from \p metrics' tenant registry as `{tenant="..."}`-labelled
-/// families, shard accounting as `{shard="N"}`-labelled families. Never
-/// emits NaN/Inf — rates with an empty denominator render as 0.
+/// Request/latency/phase families plus the relaxation-depth histogram
+/// (aimq_requests_*, aimq_request_latency_seconds, aimq_queue_wait_seconds,
+/// aimq_phase_*_seconds, aimq_relax_depth).
+void EmitServiceMetrics(const ServiceMetrics& metrics,
+                        obs::MetricsRegistry::Emitter* out);
+
+/// Shared probe-cache families (aimq_probe_cache_*), including the
+/// coalescing counter.
+void EmitProbeCache(const ProbeCacheStats& stats,
+                    obs::MetricsRegistry::Emitter* out);
+
+/// Per-tenant admission/outcome counters as `{tenant="..."}`-labelled
+/// families; emits nothing for an empty map.
+void EmitTenants(const std::map<std::string, TenantCounters>& tenants,
+                 obs::MetricsRegistry::Emitter* out);
+
+/// Per-shard probe accounting as `{shard="N"}`-labelled families, including
+/// the scatter-leg latency histogram aimq_shard_probe_seconds.
+void EmitShards(const std::vector<ShardProbeSnapshot>& shards,
+                obs::MetricsRegistry::Emitter* out);
+
+/// Block-store / block-cache families per packed store, labelled
+/// `{shard="N"}` (an unsharded packed source passes index 0).
+void EmitBlockStores(
+    const std::vector<std::pair<size_t, storage::BlockStoreStats>>& stores,
+    obs::MetricsRegistry::Emitter* out);
+
+/// SIMD dispatch families: the active tier (an info-style gauge, 1 on the
+/// active ISA's sample) and per-kernel invocation counters.
+void EmitSimd(obs::MetricsRegistry::Emitter* out);
+
+/// Trace ring-buffer accounting: spans dropped to backpressure + capacity.
+void EmitTraceRecorder(const TraceRecorder& trace,
+                       obs::MetricsRegistry::Emitter* out);
+
+/// One full scrape body, `\n`-terminated, rendered through a throwaway
+/// registry over the same Emit* helpers the live service registry uses.
+/// \p cache_stats may be null (the probe-cache families are then omitted);
+/// \p shards may be null or empty (the shard-labelled families are then
+/// omitted). Never emits NaN/Inf — rates with an empty denominator render
+/// as 0.
 std::string PrometheusMetricsText(
     const ServiceMetrics& metrics, const ProbeCacheStats* cache_stats,
     const std::vector<ShardProbeSnapshot>* shards = nullptr);

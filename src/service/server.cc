@@ -3,7 +3,6 @@
 #include <utility>
 
 #include "query/parser.h"
-#include "service/prometheus.h"
 #include "service/wire.h"
 #include "util/socket.h"
 
@@ -132,12 +131,31 @@ std::string AimqServer::HandleLine(const std::string& line) {
       return out.Dump();
     }
     case WireRequest::Op::kQuery:
+    case WireRequest::Op::kExplain:
       break;
   }
+  const bool explain = request.op == WireRequest::Op::kExplain;
   QueryParser parser(&service_->schema());
   auto query = parser.ParseImprecise(request.query_text);
   if (!query.ok()) {
     return MakeErrorResponse(request, query.status()).Dump();
+  }
+  // Explain samples the cross-request subsystem counters around the call so
+  // the profile can attribute rows per shard, blocks decoded, and coalesced
+  // probes to this request. Deltas, not per-request counters: approximate
+  // under concurrent traffic, exact on an idle service.
+  std::vector<ShardProbeSnapshot> shards_before;
+  uint64_t block_misses_before = 0;
+  uint64_t coalesced_before = 0;
+  if (explain) {
+    shards_before = service_->ShardStats();
+    for (const auto& [shard, stats] : service_->BlockStats()) {
+      block_misses_before += stats.cache.misses;
+    }
+    if (const auto& cache = service_->engine().probe_cache();
+        cache != nullptr) {
+      coalesced_before = cache->stats().coalesced;
+    }
   }
   auto response = service_->Execute(*query, request.deadline_ms,
                                     request.request_id, request.tenant);
@@ -156,6 +174,34 @@ std::string AimqServer::HandleLine(const std::string& line) {
     answers.Push(RankedAnswerToJson(service_->schema(), a));
   }
   out.Set("answers", std::move(answers));
+  if (explain) {
+    obs::QueryProfile& profile = response->profile;
+    const std::vector<ShardProbeSnapshot> shards_after =
+        service_->ShardStats();
+    for (size_t i = 0;
+         i < shards_after.size() && i < shards_before.size(); ++i) {
+      const uint64_t after = shards_after[i].tuples_returned;
+      const uint64_t before = shards_before[i].tuples_returned;
+      profile.shard_rows.emplace_back(shards_after[i].shard,
+                                      after > before ? after - before : 0);
+    }
+    uint64_t block_misses_after = 0;
+    for (const auto& [shard, stats] : service_->BlockStats()) {
+      block_misses_after += stats.cache.misses;
+    }
+    profile.blocks_decoded = block_misses_after > block_misses_before
+                                 ? block_misses_after - block_misses_before
+                                 : 0;
+    if (const auto& cache = service_->engine().probe_cache();
+        cache != nullptr) {
+      const uint64_t coalesced_after = cache->stats().coalesced;
+      profile.coalesced_probes = coalesced_after > coalesced_before
+                                     ? coalesced_after - coalesced_before
+                                     : 0;
+    }
+    profile.has_deltas = true;
+    out.Set("profile", profile.ToJson());
+  }
   return out.Dump();
 }
 
@@ -178,14 +224,9 @@ void AimqServer::ServeHttp(int fd, const std::string& request_line,
   std::string content_type = "text/plain; version=0.0.4; charset=utf-8";
   std::string body;
   if (path == "/metrics") {
-    const std::vector<ShardProbeSnapshot> shards = service_->ShardStats();
-    const auto& cache = service_->engine().probe_cache();
-    if (cache != nullptr) {
-      const ProbeCacheStats stats = cache->stats();
-      body = PrometheusMetricsText(service_->metrics(), &stats, &shards);
-    } else {
-      body = PrometheusMetricsText(service_->metrics(), nullptr, &shards);
-    }
+    // The unified registry: service, probe cache, tenants, shards, block
+    // stores, SIMD dispatch, and trace accounting through one collector.
+    body = service_->metrics_registry().PrometheusText();
   } else if (path == "/metrics.json") {
     content_type = "application/json";
     body = service_->StatsJson().Dump() + "\n";

@@ -4,6 +4,8 @@
 #include <future>
 #include <utility>
 
+#include "service/prometheus.h"
+
 namespace aimq {
 
 namespace {
@@ -37,6 +39,32 @@ AimqService::AimqService(const WebDatabase* source, MinedKnowledge knowledge,
     trace_ = std::make_unique<TraceRecorder>(service_options_.trace_capacity);
     engine_.SetTraceRecorder(trace_.get());
   }
+  // One pull collector covers the whole engine: every subsystem keeps its
+  // native stats struct, and a scrape adapts them through the shared Emit*
+  // helpers — the same families (and renderer) at any sharding / storage /
+  // tenancy configuration. Runs under the registry lock; everything it
+  // reads takes only leaf locks (tenants_mu_, cache/store mutexes, mu_),
+  // none of which ever wait on the registry.
+  registry_.AddCollector([this](obs::MetricsRegistry::Emitter* out) {
+    EmitServiceMetrics(metrics_, out);
+    if (const auto& cache = engine_.core().probe_cache(); cache != nullptr) {
+      EmitProbeCache(cache->stats(), out);
+    }
+    EmitTenants(metrics_.TenantSnapshot(), out);
+    const std::vector<ShardProbeSnapshot> shards = engine_.ShardStats();
+    if (!shards.empty()) EmitShards(shards, out);
+    EmitBlockStores(BlockStats(), out);
+    EmitSimd(out);
+    if (trace_ != nullptr) EmitTraceRecorder(*trace_, out);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& [name, tq] : tenants_) {
+        out->Gauge("aimq_tenant_queue_depth",
+                   "Requests waiting for a worker, by tenant.",
+                   static_cast<double>(tq.queue.size()), {{"tenant", name}});
+      }
+    }
+  });
 }
 
 AimqService::~AimqService() { Stop(); }
@@ -202,7 +230,29 @@ Json AimqService::StatsJson() const {
     }
     out.Set("shards", std::move(arr));
   }
+  if (trace_ != nullptr) {
+    Json trace = Json::Obj();
+    trace.Set("dropped", Json::Num(static_cast<double>(trace_->dropped())));
+    trace.Set("capacity", Json::Num(static_cast<double>(trace_->capacity())));
+    out.Set("trace", std::move(trace));
+  }
   return out;
+}
+
+std::vector<std::pair<size_t, storage::BlockStoreStats>>
+AimqService::BlockStats() const {
+  std::vector<std::pair<size_t, storage::BlockStoreStats>> stats =
+      engine_.ShardBlockStats();
+  if (stats.empty()) {
+    // Unsharded: the engine probes the source directly, so a packed source's
+    // own store is the one doing the decoding.
+    const storage::CodeBlockStore* store = source_->columnar() != nullptr
+                                               ? source_->columnar()
+                                                     ->block_store()
+                                               : nullptr;
+    if (store != nullptr) stats.emplace_back(0, store->GetStats());
+  }
+  return stats;
 }
 
 size_t AimqService::QueueSize() const {
@@ -281,6 +331,30 @@ void AimqService::RunRequest(Request request) {
   }
   response.total_seconds = request.since_submit.ElapsedSeconds();
   response.truncated = truncated;
+  // Cost attribution from accounting that already exists — the engine's
+  // phase timers and probe counters plus the queue stopwatch. FinishPhases
+  // derives `other` so the phase identity holds against total_seconds.
+  obs::QueryProfile& profile = response.profile;
+  profile.total_seconds = response.total_seconds;
+  profile.queue_seconds = response.queue_seconds;
+  profile.base_set_seconds = response.stats.base_set_seconds;
+  profile.relax_seconds = response.stats.relax_seconds;
+  profile.rank_seconds = response.stats.rank_seconds;
+  profile.probes_issued =
+      response.stats.queries_issued.load(std::memory_order_relaxed);
+  profile.cache_hits =
+      response.stats.cache_hits.load(std::memory_order_relaxed);
+  profile.deduped_probes =
+      response.stats.deduped_probes.load(std::memory_order_relaxed);
+  profile.tuples_extracted =
+      response.stats.tuples_extracted.load(std::memory_order_relaxed);
+  profile.tuples_relevant =
+      response.stats.tuples_relevant.load(std::memory_order_relaxed);
+  profile.relax_depth =
+      response.stats.max_relax_depth.load(std::memory_order_relaxed);
+  profile.truncated = truncated;
+  profile.FinishPhases();
+  metrics_.OnRelaxDepth(profile.relax_depth);
   if (tracing) {
     // The whole request, submit to completion — the root of the span tree.
     TraceEvent e;
@@ -333,6 +407,12 @@ void AimqService::RecordSlowQuery(const Request& request,
   phases.Set("relax_ms", Json::Num(response.stats.relax_seconds * 1e3));
   phases.Set("rank_ms", Json::Num(response.stats.rank_seconds * 1e3));
   record.Set("phases", std::move(phases));
+  record.Set("relax_depth",
+             Json::Num(static_cast<double>(response.profile.relax_depth)));
+  // Deadline-miss attribution: the phase that ate the largest share of the
+  // budget. Meaningful for every slow request, not only truncated ones.
+  record.Set("budget_attribution",
+             Json::Str(response.profile.DominantPhase()));
   Json spans = Json::Arr();
   if (trace_ != nullptr) {
     // Slow path only: one O(ring) scan per slow request is the price of

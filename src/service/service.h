@@ -48,6 +48,8 @@
 
 #include "core/control.h"
 #include "core/engine.h"
+#include "obs/metrics_registry.h"
+#include "obs/query_profile.h"
 #include "service/metrics.h"
 #include "shard/sharded_engine.h"
 #include "util/json.h"
@@ -135,6 +137,12 @@ struct QueryResponse {
   double queue_seconds = 0.0;
   /// Submit-to-completion latency.
   double total_seconds = 0.0;
+  /// Per-phase cost attribution, filled for every request from accounting
+  /// that already exists (no extra hot-path clock reads). Its phase times
+  /// partition total_seconds exactly; see obs/query_profile.h. The
+  /// cross-request delta fields stay zero here — the explain wire op's
+  /// handler fills them.
+  obs::QueryProfile profile;
 };
 
 /// \brief Concurrent query service: bounded queue + worker pool over one
@@ -196,6 +204,14 @@ class AimqService {
   ServiceMetrics& metrics() { return metrics_; }
   const ServiceMetrics& metrics() const { return metrics_; }
 
+  /// The unified metric registry behind `GET /metrics`. A collector wired
+  /// in at construction pulls every subsystem — service counters, probe
+  /// cache, tenants (counters + live queue depth), shards, block stores,
+  /// SIMD dispatch, trace ring — so one PrometheusText() call renders the
+  /// whole engine.
+  obs::MetricsRegistry& metrics_registry() { return registry_; }
+  const obs::MetricsRegistry& metrics_registry() const { return registry_; }
+
   /// Effective shard count (1 when unsharded, or when a packed shard build
   /// failed and the service degraded — see shard_build_status()).
   size_t num_shards() const { return engine_.num_shards(); }
@@ -204,6 +220,13 @@ class AimqService {
   std::vector<ShardProbeSnapshot> ShardStats() const {
     return engine_.ShardStats();
   }
+
+  /// (shard index, block-store stats) of every packed store the service
+  /// reads: per-shard stores when sharding is packed, the source's own
+  /// store (index 0) when serving a packed source unsharded, empty for
+  /// plain storage. Feeds the block-cache metric families and the explain
+  /// op's blocks-decoded delta.
+  std::vector<std::pair<size_t, storage::BlockStoreStats>> BlockStats() const;
 
   /// OK, or why the engine degraded to unsharded operation.
   const Status& shard_build_status() const { return engine_.build_status(); }
@@ -261,6 +284,7 @@ class AimqService {
   ShardedEngine engine_;
   const ServiceOptions service_options_;
   ServiceMetrics metrics_;
+  obs::MetricsRegistry registry_;
   // Span recorder (created iff enable_tracing); the engine holds a raw
   // pointer into it, so it lives exactly as long as the service.
   std::unique_ptr<TraceRecorder> trace_;

@@ -78,6 +78,9 @@ Result<WireRequest> ParseWireRequest(const std::string& line) {
   } else if (op == "query") {
     req.op = WireRequest::Op::kQuery;
     AIMQ_ASSIGN_OR_RETURN(req.query_text, json.GetStr("q"));
+  } else if (op == "explain") {
+    req.op = WireRequest::Op::kExplain;
+    AIMQ_ASSIGN_OR_RETURN(req.query_text, json.GetStr("q"));
   } else {
     return Status::InvalidArgument("unknown op \"" + op + "\"");
   }

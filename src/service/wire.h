@@ -1,7 +1,7 @@
 // The query service's newline-delimited JSON wire protocol.
 //
 // One request per line, one response line per request, over a plain TCP
-// stream — testable with `nc localhost 7777`. Four operations:
+// stream — testable with `nc localhost 7777`. Five operations:
 //
 //   {"op":"ping"}
 //     -> {"ok":true,"pong":true}
@@ -14,6 +14,13 @@
 //     -> {"id":7,"ok":true,"request_id":42,"truncated":false,
 //         "elapsed_ms":12.4,
 //         "answers":[{"tuple":{"Make":"Toyota",...},"similarity":0.93},...]}
+//   {"op":"explain","q":"Q(Model like 'Camry')","deadline_ms":500}
+//     -> a query response plus "profile": the per-query cost breakdown
+//        (phase nanoseconds, probes issued vs. cache-served vs. coalesced,
+//        relaxation depth, rows per shard, blocks decoded) — see
+//        obs::QueryProfile::ToJson. Cross-request deltas in the profile are
+//        sampled around this request and are approximate under concurrent
+//        traffic, exact on an idle service.
 //
 // Failures answer {"ok":false,"status":{...}} where the status object
 // round-trips aimq::Status losslessly: code (by name), message, and context
@@ -60,9 +67,9 @@ Json RankedAnswerToJson(const Schema& schema, const RankedAnswer& answer);
 
 /// A decoded request line.
 struct WireRequest {
-  enum class Op { kPing, kStats, kMetrics, kQuery };
+  enum class Op { kPing, kStats, kMetrics, kQuery, kExplain };
   Op op = Op::kPing;
-  /// Query text ("Q(Model like 'Camry')"); only for kQuery.
+  /// Query text ("Q(Model like 'Camry')"); only for kQuery/kExplain.
   std::string query_text;
   /// Per-request deadline override in ms; 0 = use the service default.
   uint64_t deadline_ms = 0;

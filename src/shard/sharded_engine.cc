@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "util/parallel.h"
+#include "util/stopwatch.h"
 #include "util/topk.h"
 
 namespace aimq {
@@ -58,10 +59,12 @@ Result<std::vector<uint32_t>> ShardedWebDatabase::ProbeShard(
     uint64_t request_id) const {
   TraceSpan span(trace_, "shard_probe", "shard", request_id);
   span.AddArg("shard", static_cast<double>(&shard - shards_.data()));
+  Stopwatch leg_timer;
   bool hit = false;
   Result<std::vector<uint32_t>> local =
       shard.cache != nullptr ? shard.cache->ExecuteRows(*shard.db, query, &hit)
                              : shard.db->ExecuteRows(query);
+  shard.latency->Record(leg_timer.ElapsedSeconds());
   if (!local.ok()) return local.status();
   // Local ids are ascending within [0, range.NumRows()); offsetting by the
   // range's begin lifts them into the global row space, still ascending.
@@ -174,7 +177,20 @@ std::vector<ShardProbeSnapshot> ShardedWebDatabase::ShardStats() const {
     snap.tuples_returned =
         shards_[s].db->stats().tuples_returned.load(std::memory_order_relaxed);
     if (shards_[s].cache != nullptr) snap.cache = shards_[s].cache->stats();
+    snap.latency = shards_[s].latency->Snapshot();
     out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+std::vector<std::pair<size_t, storage::BlockStoreStats>>
+ShardedWebDatabase::ShardBlockStats() const {
+  std::vector<std::pair<size_t, storage::BlockStoreStats>> out;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const storage::CodeBlockStore* store =
+        shards_[s].db->columnar()->block_store();
+    if (store == nullptr) continue;
+    out.emplace_back(s, store->GetStats());
   }
   return out;
 }

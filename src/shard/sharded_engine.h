@@ -34,6 +34,7 @@
 #include "core/engine.h"
 #include "shard/shard_plan.h"
 #include "storage/code_block_store.h"
+#include "util/histogram.h"
 #include "util/trace.h"
 #include "webdb/probe_cache.h"
 #include "webdb/web_database.h"
@@ -80,6 +81,9 @@ struct ShardProbeSnapshot {
   uint64_t queries_issued = 0;
   uint64_t tuples_returned = 0;
   ProbeCacheStats cache;
+  /// Scatter-leg latency distribution of this shard (one record per
+  /// ProbeShard call, cache hits included).
+  HistogramSnapshot latency;
 };
 
 /// \brief Scatter/gather WebDatabase facade over row-range shards.
@@ -94,6 +98,9 @@ class ShardedWebDatabase : public WebDatabase, public ShardRanker {
     ShardRange range;
     std::unique_ptr<WebDatabase> db;       // over the shard snapshot
     std::unique_ptr<ProbeCache> cache;     // per-shard probe cache
+    // Scatter-leg latency (lock-free records from any probing thread).
+    std::unique_ptr<LatencyHistogram> latency =
+        std::make_unique<LatencyHistogram>();
   };
 
   /// Builds the facade and its per-shard snapshots from \p source (plain or
@@ -118,6 +125,12 @@ class ShardedWebDatabase : public WebDatabase, public ShardRanker {
 
   /// Per-shard probe + cache accounting (shard-labelled /metrics families).
   std::vector<ShardProbeSnapshot> ShardStats() const;
+
+  /// (shard index, block-store stats) of every packed shard snapshot;
+  /// empty when the shards are plain. Feeds the block-cache metric
+  /// families and the explain op's blocks-decoded delta.
+  std::vector<std::pair<size_t, storage::BlockStoreStats>> ShardBlockStats()
+      const;
 
   /// Span recorder for per-shard scatter-leg spans ("shard_probe",
   /// correlated via TraceRecorder::CurrentRequestId). nullptr detaches.
@@ -184,6 +197,14 @@ class ShardedEngine {
   std::vector<ShardProbeSnapshot> ShardStats() const {
     return facade_ != nullptr ? facade_->ShardStats()
                               : std::vector<ShardProbeSnapshot>{};
+  }
+
+  /// Per-shard block-store stats; empty when unsharded or plain.
+  std::vector<std::pair<size_t, storage::BlockStoreStats>> ShardBlockStats()
+      const {
+    return facade_ != nullptr
+               ? facade_->ShardBlockStats()
+               : std::vector<std::pair<size_t, storage::BlockStoreStats>>{};
   }
 
   /// OK, or why the engine degraded to unsharded operation.

@@ -100,7 +100,89 @@ const KernelTable& KernelsFor(Isa isa) {
   return internal::ScalarKernels();
 }
 
-const KernelTable& Kernels() { return KernelsFor(ActiveIsa()); }
+namespace {
+
+// Process-wide kernel invocation counters behind the counted dispatch
+// table. One relaxed fetch_add per kernel call (each call covers a whole
+// block of rows), then a tail-dispatch to the active tier's entry point —
+// the re-resolution also makes a mid-run ForceIsa() take effect on the next
+// call instead of being frozen into cached table references.
+struct AtomicKernelCalls {
+  std::atomic<uint64_t> eq_mask{0};
+  std::atomic<uint64_t> table_mask{0};
+  std::atomic<uint64_t> histogram{0};
+  std::atomic<uint64_t> mask_to_rows{0};
+  std::atomic<uint64_t> intersect_size{0};
+};
+AtomicKernelCalls g_kernel_calls;
+
+void CountedEqMask(const uint32_t* codes, size_t n, uint32_t target,
+                   uint64_t* mask) {
+  g_kernel_calls.eq_mask.fetch_add(1, std::memory_order_relaxed);
+  KernelsFor(ActiveIsa()).eq_mask(codes, n, target, mask);
+}
+
+void CountedTableMask(const uint32_t* codes, size_t n, const uint8_t* table,
+                      uint32_t table_size, uint64_t* mask) {
+  g_kernel_calls.table_mask.fetch_add(1, std::memory_order_relaxed);
+  KernelsFor(ActiveIsa()).table_mask(codes, n, table, table_size, mask);
+}
+
+void CountedHistogram(const uint32_t* codes, size_t n, uint32_t num_buckets,
+                      uint32_t* counts) {
+  g_kernel_calls.histogram.fetch_add(1, std::memory_order_relaxed);
+  KernelsFor(ActiveIsa()).histogram(codes, n, num_buckets, counts);
+}
+
+void CountedMaskToRows(const uint64_t* mask, size_t num_words,
+                       uint32_t base_row, std::vector<uint32_t>* out) {
+  g_kernel_calls.mask_to_rows.fetch_add(1, std::memory_order_relaxed);
+  KernelsFor(ActiveIsa()).mask_to_rows(mask, num_words, base_row, out);
+}
+
+uint64_t CountedIntersectSize(const uint32_t* a_ids, const uint64_t* a_counts,
+                              size_t a_n, const uint32_t* b_ids,
+                              const uint64_t* b_counts, size_t b_n) {
+  g_kernel_calls.intersect_size.fetch_add(1, std::memory_order_relaxed);
+  return KernelsFor(ActiveIsa()).intersect_size(a_ids, a_counts, a_n, b_ids,
+                                                b_counts, b_n);
+}
+
+KernelTable MakeCountedTable(Isa isa) {
+  KernelTable table;
+  table.isa = isa;
+  table.eq_mask = &CountedEqMask;
+  table.table_mask = &CountedTableMask;
+  table.histogram = &CountedHistogram;
+  table.mask_to_rows = &CountedMaskToRows;
+  table.intersect_size = &CountedIntersectSize;
+  return table;
+}
+
+}  // namespace
+
+KernelCallCounters KernelCallCounts() {
+  KernelCallCounters out;
+  out.eq_mask = g_kernel_calls.eq_mask.load(std::memory_order_relaxed);
+  out.table_mask = g_kernel_calls.table_mask.load(std::memory_order_relaxed);
+  out.histogram = g_kernel_calls.histogram.load(std::memory_order_relaxed);
+  out.mask_to_rows =
+      g_kernel_calls.mask_to_rows.load(std::memory_order_relaxed);
+  out.intersect_size =
+      g_kernel_calls.intersect_size.load(std::memory_order_relaxed);
+  return out;
+}
+
+const KernelTable& Kernels() {
+  // One counted table per tier so Kernels().isa still names the active tier;
+  // the entries themselves re-resolve the tier per call.
+  static const KernelTable counted[] = {
+      MakeCountedTable(Isa::kScalar),
+      MakeCountedTable(Isa::kSse42),
+      MakeCountedTable(Isa::kAvx2),
+  };
+  return counted[static_cast<int>(ActiveIsa())];
+}
 
 }  // namespace simd
 }  // namespace aimq

@@ -105,13 +105,37 @@ struct KernelTable {
                              const uint64_t* b_counts, size_t b_n);
 };
 
-/// The kernel table of ActiveIsa() — the normal dispatch entry point.
+/// The kernel table of ActiveIsa() — the normal dispatch entry point. The
+/// returned table's entries count every invocation into the process-wide
+/// KernelCallCounts() before dispatching to the active tier's
+/// implementation; one relaxed fetch_add per call (each call covers a whole
+/// block of rows, so the overhead is noise).
 const KernelTable& Kernels();
 
 /// The table of one specific tier (equivalence tests pit these against each
 /// other). Requesting a tier whose TU was compiled without vector support
-/// (non-x86 build) returns the scalar table.
+/// (non-x86 build) returns the scalar table. Unlike Kernels(), these raw
+/// tables do not count invocations.
 const KernelTable& KernelsFor(Isa isa);
+
+/// Cumulative invocation counts of the counted dispatch table, per kernel.
+/// Process-wide and monotonic; exported as the
+/// `aimq_simd_kernel_calls_total{kernel=...}` metric family.
+struct KernelCallCounters {
+  uint64_t eq_mask = 0;
+  uint64_t table_mask = 0;
+  uint64_t histogram = 0;
+  uint64_t mask_to_rows = 0;
+  uint64_t intersect_size = 0;
+
+  uint64_t Total() const {
+    return eq_mask + table_mask + histogram + mask_to_rows + intersect_size;
+  }
+};
+
+/// Snapshot of the invocation counters (relaxed reads; may tear across
+/// kernels under concurrency, each count is individually consistent).
+KernelCallCounters KernelCallCounts();
 
 }  // namespace simd
 }  // namespace aimq

@@ -1,5 +1,7 @@
 #include "storage/block_cache.h"
 
+#include <chrono>
+
 namespace aimq {
 namespace storage {
 namespace {
@@ -25,10 +27,18 @@ DecodedBlock BlockCache::GetOrLoad(
     ++misses_;
   }
   // Load outside the lock: spill reads and unpacking are the slow part, and
-  // holding the mutex across them would serialize concurrent readers.
+  // holding the mutex across them would serialize concurrent readers. The
+  // loader is timed so the scrapeable decode cost covers exactly this
+  // unserialized window.
+  const auto load_start = std::chrono::steady_clock::now();
   DecodedBlock block = loader();
+  const uint64_t load_nanos = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - load_start)
+          .count());
   if (block == nullptr) return block;
   std::lock_guard<std::mutex> lock(mu_);
+  decode_nanos_ += load_nanos;
   if (entries_.find(key) == entries_.end()) {
     InsertLocked(key, block, /*pinned=*/false);
     EvictLocked();
@@ -82,6 +92,7 @@ BlockCache::Stats BlockCache::GetStats() const {
   s.evictions = evictions_;
   s.resident_bytes = resident_bytes_;
   s.pinned_bytes = pinned_bytes_;
+  s.decode_nanos = decode_nanos_;
   return s;
 }
 

@@ -65,6 +65,9 @@ class BlockCache {
     uint64_t evictions = 0;
     size_t resident_bytes = 0;  ///< decoded bytes held, pinned included
     size_t pinned_bytes = 0;
+    /// Wall time spent inside miss loaders (spill read + unpack + codec),
+    /// cumulatively — the decode cost the cache failed to absorb.
+    uint64_t decode_nanos = 0;
   };
   Stats GetStats() const;
 
@@ -91,6 +94,7 @@ class BlockCache {
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
+  uint64_t decode_nanos_ = 0;
 };
 
 }  // namespace storage

@@ -74,6 +74,21 @@ TEST(LatencyHistogramTest, NegativeAndHugeDurationsAreClamped) {
   EXPECT_EQ(snap.bucket_counts.back(), 1u);
 }
 
+TEST(LatencyHistogramTest, AllSamplesInOverflowBucketQuantiles) {
+  // Every observation beyond the last finite bound: quantiles must stay
+  // finite and clamp to the observed maximum, not fabricate a bound.
+  LatencyHistogram h;
+  for (int i = 0; i < 10; ++i) h.Record(1e6);
+  EXPECT_EQ(h.count(), 10u);
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.bucket_counts.back(), 10u);
+  const double p50 = h.Percentile(0.50);
+  const double p99 = h.Percentile(0.99);
+  EXPECT_TRUE(p50 > 0.0 && p50 <= snap.max_seconds);
+  EXPECT_TRUE(p99 > 0.0 && p99 <= snap.max_seconds);
+  EXPECT_LE(p50, p99);
+}
+
 TEST(LatencyHistogramTest, ConcurrentRecordsAllLand) {
   LatencyHistogram h;
   constexpr size_t kPerThread = 5000;

@@ -1,0 +1,258 @@
+// MetricsRegistry tests: instrument registration and stability, collector
+// merge semantics, Prometheus rendering (HELP/TYPE grammar, label escaping,
+// cumulative buckets), JSON snapshots, and snapshot-under-concurrent-
+// increment safety.
+
+#include "obs/metrics_registry.h"
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace aimq {
+namespace obs {
+namespace {
+
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) out.push_back(line);
+  return out;
+}
+
+bool HasLine(const std::string& text, const std::string& exact) {
+  for (const std::string& line : Lines(text)) {
+    if (line == exact) return true;
+  }
+  return false;
+}
+
+TEST(MetricsRegistryTest, CounterRegistersAndRenders) {
+  MetricsRegistry registry;
+  MetricsRegistry::Counter* c =
+      registry.GetCounter("test_requests_total", "Requests seen.");
+  c->Inc();
+  c->Inc(41);
+  const std::string text = registry.PrometheusText();
+  EXPECT_TRUE(HasLine(text, "# HELP test_requests_total Requests seen."));
+  EXPECT_TRUE(HasLine(text, "# TYPE test_requests_total counter"));
+  EXPECT_TRUE(HasLine(text, "test_requests_total 42"));
+}
+
+TEST(MetricsRegistryTest, ReRegistrationReturnsTheSameInstrument) {
+  MetricsRegistry registry;
+  MetricsRegistry::Counter* a = registry.GetCounter("c_total", "help");
+  MetricsRegistry::Counter* b = registry.GetCounter("c_total", "other help");
+  EXPECT_EQ(a, b);
+  MetricsRegistry::Counter* labelled =
+      registry.GetCounter("c_total", "help", {{"k", "v"}});
+  EXPECT_NE(a, labelled);
+  EXPECT_EQ(labelled, registry.GetCounter("c_total", "help", {{"k", "v"}}));
+}
+
+TEST(MetricsRegistryTest, KindMismatchYieldsDetachedInstrument) {
+  MetricsRegistry registry;
+  registry.GetCounter("dual_total", "as counter")->Inc(7);
+  // Same name, different kind: the caller still gets a usable gauge, but it
+  // never renders (the family keeps its first kind).
+  MetricsRegistry::Gauge* g = registry.GetGauge("dual_total", "as gauge");
+  ASSERT_NE(g, nullptr);
+  g->Set(3.0);
+  const std::string text = registry.PrometheusText();
+  EXPECT_TRUE(HasLine(text, "# TYPE dual_total counter"));
+  EXPECT_TRUE(HasLine(text, "dual_total 7"));
+  EXPECT_FALSE(HasLine(text, "dual_total 3"));
+}
+
+TEST(MetricsRegistryTest, LabelValuesAreEscaped) {
+  MetricsRegistry registry;
+  registry
+      .GetCounter("tenant_total", "by tenant",
+                  {{"tenant", "acme \"prod\"\\eu\nwest"}})
+      ->Inc();
+  const std::string text = registry.PrometheusText();
+  EXPECT_TRUE(HasLine(
+      text, "tenant_total{tenant=\"acme \\\"prod\\\"\\\\eu\\nwest\"} 1"))
+      << text;
+}
+
+TEST(MetricsRegistryTest, EscapePrometheusLabelRules) {
+  EXPECT_EQ(EscapePrometheusLabel("plain"), "plain");
+  EXPECT_EQ(EscapePrometheusLabel("a\"b"), "a\\\"b");
+  EXPECT_EQ(EscapePrometheusLabel("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapePrometheusLabel("a\nb"), "a\\nb");
+}
+
+TEST(MetricsRegistryTest, HistogramRendersCumulativeBucketsEndingAtInf) {
+  MetricsRegistry registry;
+  LatencyHistogram* h = registry.GetHistogram("lat_seconds", "latency");
+  h->Record(0.001);
+  h->Record(0.010);
+  h->Record(0.100);
+  const std::string text = registry.PrometheusText();
+  EXPECT_TRUE(HasLine(text, "# TYPE lat_seconds histogram"));
+  EXPECT_TRUE(HasLine(text, "lat_seconds_bucket{le=\"+Inf\"} 3"));
+  EXPECT_TRUE(HasLine(text, "lat_seconds_count 3"));
+  // Bucket counts never decrease as le grows.
+  std::vector<double> buckets;
+  for (const std::string& line : Lines(text)) {
+    const std::string prefix = "lat_seconds_bucket{le=";
+    if (line.compare(0, prefix.size(), prefix) == 0) {
+      buckets.push_back(std::stod(line.substr(line.rfind(' ') + 1)));
+    }
+  }
+  ASSERT_GE(buckets.size(), 2u);
+  for (size_t i = 1; i < buckets.size(); ++i) {
+    EXPECT_GE(buckets[i], buckets[i - 1]);
+  }
+}
+
+TEST(MetricsRegistryTest, CollectorFamiliesMergeWithFirstClassOnes) {
+  MetricsRegistry registry;
+  registry.GetCounter("shared_total", "first", {{"src", "instrument"}})
+      ->Inc(1);
+  registry.AddCollector([](MetricsRegistry::Emitter* out) {
+    out->Counter("shared_total", "second", 2.0, {{"src", "collector"}});
+    out->Gauge("pulled_gauge", "pulled", 5.0);
+  });
+  const std::string text = registry.PrometheusText();
+  EXPECT_TRUE(HasLine(text, "shared_total{src=\"instrument\"} 1"));
+  EXPECT_TRUE(HasLine(text, "shared_total{src=\"collector\"} 2"));
+  EXPECT_TRUE(HasLine(text, "pulled_gauge 5"));
+  // One HELP/TYPE pair for the merged family, with the first help text.
+  size_t type_lines = 0;
+  for (const std::string& line : Lines(text)) {
+    if (line.rfind("# TYPE shared_total", 0) == 0) ++type_lines;
+  }
+  EXPECT_EQ(type_lines, 1u);
+  EXPECT_TRUE(HasLine(text, "# HELP shared_total first"));
+}
+
+TEST(MetricsRegistryTest, EveryFamilyHasHelpAndTypeBeforeSamples) {
+  MetricsRegistry registry;
+  registry.GetCounter("a_total", "a")->Inc();
+  registry.GetGauge("b_gauge", "b")->Set(1.5);
+  registry.GetHistogram("c_seconds", "c")->Record(0.01);
+  registry.AddCollector([](MetricsRegistry::Emitter* out) {
+    out->Counter("d_total", "d", 4.0);
+  });
+  std::string last_comment;
+  for (const std::string& line : Lines(registry.PrometheusText())) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') {
+      EXPECT_TRUE(line.compare(0, 7, "# HELP ") == 0 ||
+                  line.compare(0, 7, "# TYPE ") == 0)
+          << line;
+      if (line.compare(0, 7, "# TYPE ") == 0) {
+        EXPECT_EQ(last_comment.compare(0, 7, "# HELP "), 0)
+            << "# TYPE without preceding # HELP: " << line;
+      }
+      last_comment = line;
+      continue;
+    }
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_NO_THROW(std::stod(line.substr(space + 1))) << line;
+  }
+}
+
+TEST(MetricsRegistryTest, NonFiniteGaugeRendersAsZero) {
+  MetricsRegistry registry;
+  registry.GetGauge("rate", "a rate")->Set(0.0 / 0.0);
+  const std::string text = registry.PrometheusText();
+  EXPECT_TRUE(HasLine(text, "rate 0"));
+  EXPECT_EQ(text.find("nan"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, JsonSnapshotFlattensScalarsAndLabels) {
+  MetricsRegistry registry;
+  registry.GetCounter("plain_total", "plain")->Inc(9);
+  registry.GetCounter("by_shard_total", "labelled", {{"shard", "0"}})->Inc(4);
+  registry.GetCounter("by_shard_total", "labelled", {{"shard", "1"}})->Inc(6);
+  registry.GetHistogram("lat_seconds", "latency")->Record(0.010);
+  const Json snap = registry.JsonSnapshot();
+  ASSERT_TRUE(snap.is_object());
+  const Json* plain = snap.Find("plain_total");
+  ASSERT_NE(plain, nullptr);
+  EXPECT_DOUBLE_EQ(plain->AsNum(), 9.0);
+  const Json* labelled = snap.Find("by_shard_total");
+  ASSERT_NE(labelled, nullptr);
+  EXPECT_TRUE(labelled->is_array());
+  const Json* hist = snap.Find("lat_seconds");
+  ASSERT_NE(hist, nullptr);
+  ASSERT_TRUE(hist->is_object());
+  EXPECT_DOUBLE_EQ(hist->Find("count")->AsNum(), 1.0);
+}
+
+TEST(MetricsRegistryTest, SnapshotUnderConcurrentIncrementNeverTears) {
+  MetricsRegistry registry;
+  MetricsRegistry::Counter* c = registry.GetCounter("busy_total", "hot");
+  LatencyHistogram* h = registry.GetHistogram("busy_seconds", "hot");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        c->Inc();
+        h->Record(0.001);
+      }
+    });
+  }
+  // Snapshots race the writers: every collected value must be a plausible
+  // point-in-time reading — counters monotone across scrapes, histogram
+  // sums finite — never corrupt. (Individual histogram cells may tear
+  // against each other by a few in-flight Records; that is the documented
+  // contract.)
+  uint64_t last_count = 0;
+  uint64_t last_hist_count = 0;
+  for (int i = 0; i < 200; ++i) {
+    const std::vector<FamilySnapshot> families = registry.Collect();
+    ASSERT_EQ(families.size(), 2u);
+    const uint64_t counter_now =
+        static_cast<uint64_t>(families[0].samples[0].value);
+    EXPECT_GE(counter_now, last_count);
+    last_count = counter_now;
+    const HistogramData& data = families[1].samples[0].histogram;
+    EXPECT_GE(data.count, last_hist_count);
+    last_hist_count = data.count;
+    EXPECT_TRUE(data.sum >= 0.0);
+  }
+  stop.store(true);
+  for (std::thread& w : writers) w.join();
+  const std::vector<FamilySnapshot> final_families = registry.Collect();
+  EXPECT_EQ(static_cast<uint64_t>(final_families[0].samples[0].value),
+            c->Value());
+}
+
+TEST(HistogramDataTest, PercentileEdgeCases) {
+  HistogramData empty;
+  EXPECT_EQ(empty.Percentile(0.5), 0.0);
+
+  HistogramData single;
+  single.bounds = {1.0, 2.0, 4.0};
+  single.counts = {0, 1, 0};
+  single.count = 1;
+  single.sum = 1.5;
+  EXPECT_DOUBLE_EQ(single.Percentile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(single.Percentile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(single.Percentile(1.0), 2.0);
+
+  // Every observation beyond the last finite bound: percentiles can only
+  // report the largest bound (the +Inf bucket has no upper edge).
+  HistogramData overflow;
+  overflow.bounds = {1.0, 2.0};
+  overflow.counts = {0, 0};
+  overflow.count = 10;
+  overflow.sum = 100.0;
+  EXPECT_DOUBLE_EQ(overflow.Percentile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(overflow.Percentile(0.99), 2.0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace aimq

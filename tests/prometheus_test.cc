@@ -167,5 +167,28 @@ TEST(PrometheusTest, EveryFamilyHasHelpAndTypeBeforeSamples) {
   }
 }
 
+TEST(PrometheusTest, TenantLabelValuesAreEscaped) {
+  // A tenant whose name carries quotes, backslashes and a newline must come
+  // out as one well-formed sample line per the exposition-format escaping
+  // rules — not a broken multi-line or mis-quoted label.
+  ServiceMetrics metrics;
+  metrics.OnTenantAccepted("acme \"prod\"\\eu\nwest");
+  metrics.OnTenantCompleted("acme \"prod\"\\eu\nwest");
+  const std::string text = PrometheusMetricsText(metrics, nullptr);
+  EXPECT_TRUE(HasLinePrefix(
+      text,
+      "aimq_tenant_accepted_total"
+      "{tenant=\"acme \\\"prod\\\"\\\\eu\\nwest\"} 1"))
+      << text;
+  // Nothing leaked a raw newline mid-sample: every non-comment line still
+  // ends in a numeric value.
+  for (const std::string& line : Lines(text)) {
+    if (line.empty() || line[0] == '#') continue;
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_NO_THROW(std::stod(line.substr(space + 1))) << line;
+  }
+}
+
 }  // namespace
 }  // namespace aimq
