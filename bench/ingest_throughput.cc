@@ -1,0 +1,198 @@
+// Live-ingest load harness: drives batches of generated CarDB rows through
+// LiveEngine::Ingest + PublishSnapshot while a query thread answers on
+// whatever version is current, and reports
+//
+//   - sustained ingest throughput (rows/s and ns/row, validation + buffer +
+//     incremental snapshot build + atomic swap all included);
+//   - publish-swap latency percentiles (p50/p99), the pause an ingester
+//     observes per PublishSnapshot — queries never pause at all;
+//   - query success under churn (the harness fails on any query error).
+//
+// Usage: ingest_throughput [--rows=N] [--batch=N] [--base=N] [--json=<path>]
+//
+// The emitted JSON ("bench":"ingest_throughput") is a CI baseline artifact:
+// scripts/check_bench.py gates ns_per_row and publish_p99_ms against the
+// latest main run.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "live/live_engine.h"
+#include "util/stopwatch.h"
+#include "util/strings.h"
+
+namespace aimq {
+namespace bench {
+namespace {
+
+struct Flags {
+  size_t base_rows = 20000;   // rows in the initial snapshot
+  size_t ingest_rows = 20000; // rows driven through Ingest+Publish
+  size_t batch = 500;         // rows per publish
+  std::string json_path;
+};
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  std::sort(sorted.begin(), sorted.end());
+  const size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+int Run(const Flags& flags) {
+  CarDbSpec base_spec;
+  base_spec.num_tuples = flags.base_rows;
+  base_spec.seed = 2006;
+  const Relation base = CarDbGenerator(base_spec).Generate();
+  WebDatabase db("CarDB", base);
+
+  CarDbSpec delta_spec;
+  delta_spec.num_tuples = flags.ingest_rows;
+  delta_spec.seed = 77;
+  const Relation delta = CarDbGenerator(delta_spec).Generate();
+
+  AimqOptions options = CarDbOptions();
+  options.collector.sample_size = 2000;
+  auto knowledge = BuildKnowledge(db, options);
+  if (!knowledge.ok()) {
+    std::fprintf(stderr, "mining failed: %s\n",
+                 knowledge.status().ToString().c_str());
+    return 1;
+  }
+
+  LiveOptions lopts;
+  lopts.engine = options;
+  auto created = LiveEngine::Create(&db, knowledge.TakeValue(), lopts);
+  if (!created.ok()) {
+    std::fprintf(stderr, "LiveEngine::Create failed: %s\n",
+                 created.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<LiveEngine> live = created.TakeValue();
+
+  // One query thread answering on the current version for the whole run:
+  // churn must never surface as a query failure.
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> queries{0};
+  std::atomic<uint64_t> query_failures{0};
+  std::thread querier([&] {
+    ImpreciseQuery q;
+    q.Bind("Model", Value::Cat("Camry"));
+    while (!done.load(std::memory_order_relaxed)) {
+      const auto version = live->Acquire();
+      if (version->engine->Answer(q).ok()) {
+        queries.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        query_failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  std::vector<double> publish_ms;
+  Stopwatch total;
+  size_t driven = 0;
+  while (driven < flags.ingest_rows) {
+    const size_t n = std::min(flags.batch, flags.ingest_rows - driven);
+    std::vector<Tuple> rows;
+    rows.reserve(n);
+    for (size_t i = 0; i < n; ++i) rows.push_back(delta.tuple(driven + i));
+    driven += n;
+    if (auto s = live->Ingest(std::move(rows)); !s.ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n", s.ToString().c_str());
+      done.store(true);
+      querier.join();
+      return 1;
+    }
+    Stopwatch swap;
+    if (auto s = live->PublishSnapshot(); !s.ok()) {
+      std::fprintf(stderr, "publish failed: %s\n",
+                   s.status().ToString().c_str());
+      done.store(true);
+      querier.join();
+      return 1;
+    }
+    publish_ms.push_back(swap.ElapsedSeconds() * 1e3);
+  }
+  const double elapsed = total.ElapsedSeconds();
+  done.store(true);
+  querier.join();
+
+  const double rows_per_sec = static_cast<double>(driven) / elapsed;
+  const double ns_per_row = elapsed * 1e9 / static_cast<double>(driven);
+  const double p50 = Percentile(publish_ms, 0.50);
+  const double p99 = Percentile(publish_ms, 0.99);
+
+  PrintHeader("Live-ingest throughput");
+  PrintTable(
+      {"metric", "value"},
+      {{"base rows", std::to_string(flags.base_rows)},
+       {"ingested rows", std::to_string(driven)},
+       {"batch size", std::to_string(flags.batch)},
+       {"publishes", std::to_string(publish_ms.size())},
+       {"rows/s", FormatDouble(rows_per_sec, 0)},
+       {"ns/row", FormatDouble(ns_per_row, 1)},
+       {"publish p50 (ms)", FormatDouble(p50, 2)},
+       {"publish p99 (ms)", FormatDouble(p99, 2)},
+       {"queries under churn", std::to_string(queries.load())},
+       {"query failures", std::to_string(query_failures.load())}});
+
+  const LiveIngestStats stats = live->Stats();
+  if (query_failures.load() != 0 ||
+      stats.rows_total != flags.base_rows + driven) {
+    std::fprintf(stderr, "FAIL: %llu query failures, %llu rows served\n",
+                 static_cast<unsigned long long>(query_failures.load()),
+                 static_cast<unsigned long long>(stats.rows_total));
+    return 1;
+  }
+
+  if (!flags.json_path.empty()) {
+    Json doc = Json::Obj();
+    doc.Set("bench", Json::Str("ingest_throughput"));
+    doc.Set("commit", Json::Str(GitSha()));
+    doc.Set("base_rows", Json::Num(static_cast<double>(flags.base_rows)));
+    doc.Set("ingested_rows", Json::Num(static_cast<double>(driven)));
+    doc.Set("batch", Json::Num(static_cast<double>(flags.batch)));
+    doc.Set("rows_per_sec", Json::Num(rows_per_sec));
+    doc.Set("ns_per_row", Json::Num(ns_per_row));
+    doc.Set("publish_p50_ms", Json::Num(p50));
+    doc.Set("publish_p99_ms", Json::Num(p99));
+    doc.Set("queries_under_churn",
+            Json::Num(static_cast<double>(queries.load())));
+    doc.Set("peak_rss_bytes", Json::Num(static_cast<double>(PeakRssBytes())));
+    if (!WriteJsonFile(flags.json_path, doc)) return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace aimq
+
+int main(int argc, char** argv) {
+  aimq::bench::Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--rows=", 0) == 0) {
+      flags.ingest_rows = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--base=", 0) == 0) {
+      flags.base_rows = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--batch=", 0) == 0) {
+      flags.batch = std::strtoull(arg.c_str() + 8, nullptr, 10);
+      if (flags.batch == 0) flags.batch = 1;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      flags.json_path = arg.substr(7);
+    } else {
+      std::fprintf(stderr,
+                   "usage: ingest_throughput [--rows=N] [--base=N] "
+                   "[--batch=N] [--json=<path>]\n");
+      return 2;
+    }
+  }
+  return aimq::bench::Run(flags);
+}

@@ -288,7 +288,7 @@ ReplayResult RunReplay(
   result.p95_ms = m.latency().Percentile(0.95) * 1e3;
   result.p99_ms = m.latency().Percentile(0.99) * 1e3;
   result.queue_wait_p99_ms = m.queue_wait().Percentile(0.99) * 1e3;
-  const auto& cache = service.engine().probe_cache();
+  const auto& cache = service.probe_cache();
   if (cache != nullptr) {
     const ProbeCacheStats cstats = cache->stats();
     result.cache_hit_rate = cstats.HitRate();

@@ -198,7 +198,7 @@ int main(int argc, char** argv) {
     block_misses_before += stats.cache.misses;
   }
   uint64_t coalesced_before = 0;
-  if (const auto& cache = service.engine().probe_cache(); cache != nullptr) {
+  if (const auto& cache = service.probe_cache(); cache != nullptr) {
     coalesced_before = cache->stats().coalesced;
   }
   auto response = service.Execute(*query, deadline_ms);
@@ -219,7 +219,7 @@ int main(int argc, char** argv) {
   profile.blocks_decoded = block_misses_after > block_misses_before
                                ? block_misses_after - block_misses_before
                                : 0;
-  if (const auto& cache = service.engine().probe_cache(); cache != nullptr) {
+  if (const auto& cache = service.probe_cache(); cache != nullptr) {
     const uint64_t coalesced_after = cache->stats().coalesced;
     profile.coalesced_probes = coalesced_after > coalesced_before
                                    ? coalesced_after - coalesced_before

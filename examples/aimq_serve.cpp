@@ -27,6 +27,10 @@
 //                    wire requests pick their tenant via {"tenant":"name"}
 //   --tenant-weight=name:W   fair-share weight for a tenant (repeatable;
 //                    unlisted tenants weigh 1)
+//   --ingest-trigger-rows=N  re-mine knowledge in the background once N
+//                    published rows postdate the current edition (0 = off)
+//   --ingest-trigger-secs=S  re-mine knowledge every S seconds while any
+//                    published row postdates it (0 = off)
 //   --trace          enable end-to-end span tracing (GET /trace serves the
 //                    Chrome trace-event dump while running)
 //   --trace-out=F    on shutdown, write the retained trace to F (implies
@@ -74,6 +78,8 @@ struct ServeFlags {
   bool coalesce = true;
   size_t tenant_quota = 0;
   std::map<std::string, double> tenant_weights;
+  uint64_t ingest_trigger_rows = 0;
+  double ingest_trigger_seconds = 0.0;
   bool trace = false;
   std::string trace_out;
   double slow_ms = 0.0;
@@ -113,6 +119,7 @@ int Usage() {
       "       [--queue-depth=N] [--deadline-ms=N] [--cache=N]\n"
       "       [--shards=N] [--packed-shards] [--no-coalesce]\n"
       "       [--tenant-quota=N] [--tenant-weight=name:W]\n"
+      "       [--ingest-trigger-rows=N] [--ingest-trigger-secs=S]\n"
       "       [--trace] [--trace-out=<file>] [--slow-ms=N]\n"
       "       [--slow-log=<file>]\n");
   return 2;
@@ -160,6 +167,10 @@ int main(int argc, char** argv) {
         return Usage();
       }
       flags.tenant_weights[spec.substr(0, colon)] = weight;
+    } else if (StartsWith(arg, "--ingest-trigger-rows=")) {
+      flags.ingest_trigger_rows = std::strtoull(arg.c_str() + 22, nullptr, 10);
+    } else if (StartsWith(arg, "--ingest-trigger-secs=")) {
+      flags.ingest_trigger_seconds = std::atof(arg.c_str() + 22);
     } else if (arg == "--trace") {
       flags.trace = true;
     } else if (StartsWith(arg, "--trace-out=")) {
@@ -211,6 +222,8 @@ int main(int argc, char** argv) {
   sopts.coalesce_probes = flags.coalesce;
   sopts.tenant_quota = flags.tenant_quota;
   sopts.tenant_weights = flags.tenant_weights;
+  sopts.ingest_trigger_rows = flags.ingest_trigger_rows;
+  sopts.ingest_trigger_seconds = flags.ingest_trigger_seconds;
   AimqService service(&db, knowledge.TakeValue(), options, sopts);
   if (!service.shard_build_status().ok()) {
     std::fprintf(stderr, "shard build degraded to unsharded: %s\n",

@@ -12,6 +12,9 @@ are understood:
   latency percentile is gated. p50/p95 and throughput are reported for
   context but not gated — tail latency is the serving SLO, and the lower
   percentiles are too close to scheduler noise on shared CI runners.
+- ingest_throughput docs ("bench": "ingest_throughput"): ns_per_row (ingest
+  cost, lower is better) and publish_p99_ms (snapshot-swap tail) are gated;
+  rows_per_sec and publish_p50_ms are context only.
 
 Only per-kernel ns/op entries are gated. Thread-scaling entries (the
 *Parallel benchmarks and google-benchmark's "/threads:N" variants) are
@@ -43,14 +46,22 @@ def load_kernels(path):
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
     if "kernels" not in doc:
-        if doc.get("bench") == "service_throughput":
+        # Service/ingest bench docs gate a fixed set of higher-is-worse
+        # metrics and carry the rest as ungated context.
+        gated_keys = {
+            "service_throughput": (("p99_ms",), ("p50_ms", "p95_ms", "qps")),
+            "ingest_throughput": (("ns_per_row", "publish_p99_ms"),
+                                  ("rows_per_sec", "publish_p50_ms")),
+        }
+        if doc.get("bench") in gated_keys:
+            gate, context = gated_keys[doc["bench"]]
             out = {}
-            for key in ("p99_ms",):
+            for key in gate:
                 try:
                     out[key] = float(doc[key])
                 except (KeyError, TypeError, ValueError):
                     print(f"notice: {path}: no numeric {key!r}; not gated")
-            for key in ("p50_ms", "p95_ms", "qps"):
+            for key in context:
                 try:
                     out[f"{key} (context)"] = float(doc[key])
                 except (KeyError, TypeError, ValueError):

@@ -45,6 +45,23 @@ struct MinedKnowledge {
   std::vector<double> WimpVector() const;
 };
 
+/// \brief One immutable, versioned edition of the mined knowledge.
+///
+/// Live ingest (DESIGN.md §5i) re-mines in the background and publishes the
+/// result as a new KnowledgeVersion; queries capture one edition at
+/// admission and use it end-to-end, so a mid-query refresh can never mix
+/// orderings or similarity models. The provenance fields let the serving
+/// layer report staleness (rows ingested since this edition was mined).
+struct KnowledgeVersion {
+  /// Monotonic edition number within one live lineage (1 = initial mine).
+  uint64_t version = 0;
+  /// snapshot_version() of the snapshot this edition was mined against.
+  uint64_t mined_at_snapshot = 0;
+  /// Source row count at mining time (staleness = current rows - this).
+  uint64_t mined_at_rows = 0;
+  MinedKnowledge knowledge;
+};
+
 /// Runs the offline pipeline: probe the source, mine dependencies, derive
 /// the attribute ordering, mine value similarities. \p timings (optional)
 /// receives the phase breakdown.

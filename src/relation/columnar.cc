@@ -1,6 +1,7 @@
 #include "relation/columnar.h"
 
 #include <algorithm>
+#include <atomic>
 #include <unordered_map>
 #include <utility>
 
@@ -39,7 +40,37 @@ struct RowCodesEq {
   }
 };
 
+// Validation mirroring Relation::Append: arity, then per-attribute type
+// (nulls allowed anywhere). Extend admits exactly the rows Relation would.
+Status ValidateRow(const Schema& schema, const Tuple& tuple) {
+  if (tuple.Size() != schema.NumAttributes()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(tuple.Size()) +
+        " does not match schema arity " +
+        std::to_string(schema.NumAttributes()));
+  }
+  for (size_t i = 0; i < tuple.Size(); ++i) {
+    const Value& v = tuple.At(i);
+    if (v.is_null()) continue;
+    const AttrType type = schema.attribute(i).type;
+    if (type == AttrType::kCategorical && !v.is_categorical()) {
+      return Status::InvalidArgument("attribute '" + schema.attribute(i).name +
+                                     "' expects a categorical value");
+    }
+    if (type == AttrType::kNumeric && !v.is_numeric()) {
+      return Status::InvalidArgument("attribute '" + schema.attribute(i).name +
+                                     "' expects a numeric value");
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
+
+uint64_t ColumnarRelation::NextSnapshotUid() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
 
 ColumnarRelation::ColumnarRelation(const Relation& relation)
     : schema_(relation.schema()), num_rows_(relation.NumTuples()) {
@@ -74,6 +105,96 @@ ColumnarRelation::ColumnarRelation(const Relation& relation)
   for (uint32_t row = 0; row < num_rows_; ++row) {
     canonical_[row] = first_row.emplace(row, row).first->second;
   }
+}
+
+Result<std::shared_ptr<const ColumnarRelation>> ColumnarRelation::Extend(
+    const ColumnarRelation& base, const std::vector<Tuple>& delta,
+    uint64_t new_version) {
+  for (const Tuple& t : delta) {
+    AIMQ_RETURN_NOT_OK(ValidateRow(base.schema_, t));
+  }
+  auto out_mut = std::shared_ptr<ColumnarRelation>(new ColumnarRelation());
+  ColumnarRelation& out = *out_mut;
+  out.schema_ = base.schema_;
+  const size_t num_attrs = base.dicts_.size();
+  const size_t base_rows = base.num_rows_;
+  out.num_rows_ = base_rows + delta.size();
+  out.snapshot_version_ = new_version;
+  // Append-only dictionaries: copying the base dictionaries preserves every
+  // base code's meaning; delta interning below can only add codes at the
+  // end, exactly as a from-scratch encode of the concatenated stream would.
+  out.dicts_ = base.dicts_;
+  out.codes_.resize(num_attrs);
+  out.nums_.resize(num_attrs);
+  for (size_t a = 0; a < num_attrs; ++a) {
+    out.codes_[a].reserve(out.num_rows_);
+    if (out.schema_.attribute(a).type == AttrType::kNumeric) {
+      out.nums_[a].reserve(out.num_rows_);
+    }
+  }
+
+  if (!base.packed()) {
+    for (size_t a = 0; a < num_attrs; ++a) {
+      out.codes_[a].insert(out.codes_[a].end(), base.codes_[a].begin(),
+                           base.codes_[a].end());
+      if (!base.nums_[a].empty()) {
+        out.nums_[a].insert(out.nums_[a].end(), base.nums_[a].begin(),
+                            base.nums_[a].end());
+      }
+    }
+  } else {
+    // Packed base: decode per block into the plain columns (codes are the
+    // same in both storage modes, so the result equals the plain lineage).
+    std::vector<size_t> attrs(num_attrs);
+    for (size_t a = 0; a < num_attrs; ++a) attrs[a] = a;
+    WindowCursor cursor = base.ScanBlocks(std::move(attrs));
+    CodeWindow w;
+    while (cursor.Next(&w)) {
+      for (size_t a = 0; a < num_attrs; ++a) {
+        out.codes_[a].insert(out.codes_[a].end(), w.codes[a],
+                             w.codes[a] + w.num_rows);
+      }
+    }
+    for (size_t a = 0; a < num_attrs; ++a) {
+      if (out.schema_.attribute(a).type != AttrType::kNumeric) continue;
+      for (size_t row = 0; row < base_rows; ++row) {
+        const ValueId code = out.codes_[a][row];
+        out.nums_[a].push_back(code == ValueDict::kNullCode
+                                   ? 0.0
+                                   : base.code_num_[a][code]);
+      }
+    }
+  }
+
+  // Delta rows: the same row-major interning loop as the plain constructor.
+  for (const Tuple& tuple : delta) {
+    for (size_t a = 0; a < num_attrs; ++a) {
+      const Value& v = tuple.At(a);
+      out.codes_[a].push_back(out.dicts_[a].Intern(v));
+      if (out.schema_.attribute(a).type == AttrType::kNumeric) {
+        out.nums_[a].push_back(v.is_numeric() ? v.AsNum() : 0.0);
+      }
+    }
+  }
+
+  // Canonical partition extended on the delta: base rows keep their mapping,
+  // base representatives are re-bucketed (integer hashing of code vectors —
+  // no value re-interning), and only delta rows probe/extend the buckets.
+  // First-in-stream-order wins, exactly as the from-scratch constructor.
+  if (base.packed()) base.EnsureCanonical();
+  out.canonical_.resize(out.num_rows_);
+  std::unordered_map<uint32_t, uint32_t, RowCodesHash, RowCodesEq> first_row(
+      /*bucket_count=*/out.num_rows_ + 1, RowCodesHash{&out.codes_},
+      RowCodesEq{&out.codes_});
+  for (uint32_t row = 0; row < base_rows; ++row) {
+    out.canonical_[row] = base.canonical_[row];
+    if (base.canonical_[row] == row) first_row.emplace(row, row);
+  }
+  for (uint32_t row = static_cast<uint32_t>(base_rows); row < out.num_rows_;
+       ++row) {
+    out.canonical_[row] = first_row.emplace(row, row).first->second;
+  }
+  return std::shared_ptr<const ColumnarRelation>(std::move(out_mut));
 }
 
 ColumnarRelation::WindowCursor::WindowCursor(const ColumnarRelation* rel,
@@ -198,6 +319,7 @@ Result<std::unique_ptr<ColumnarBuilder>> ColumnarBuilder::Create(Schema schema,
       }
     }
   }
+  b->snapshot_version_ = opts.snapshot_version;
   b->store_ = std::move(store);
   return b;
 }
@@ -234,6 +356,7 @@ Result<std::shared_ptr<const ColumnarRelation>> ColumnarBuilder::Finish() {
   auto rel = std::shared_ptr<ColumnarRelation>(new ColumnarRelation());
   rel->schema_ = std::move(schema_);
   rel->num_rows_ = rows_;
+  rel->snapshot_version_ = snapshot_version_;
   rel->dicts_ = std::move(dicts_);
   rel->codes_.resize(rel->dicts_.size());   // empty: packed mode
   rel->nums_.resize(rel->dicts_.size());    // empty: packed mode

@@ -58,9 +58,32 @@ class ColumnarRelation {
   /// not retain a pointer to the source.
   explicit ColumnarRelation(const Relation& relation);
 
+  /// Incremental snapshot production (live ingest, DESIGN.md §5i): a new
+  /// *plain* snapshot holding \p base's rows followed by \p delta, tagged
+  /// \p new_version. Because ValueDict::Intern is append-only and both build
+  /// paths intern row-major in attribute order, the result is bit-identical
+  /// to a from-scratch encode of the concatenated row stream — same codes,
+  /// same dictionaries, same canonical rows — but only delta-proportional
+  /// encode work is done (base columns are copied, or decoded per block for
+  /// a packed base; no re-interning of base rows). Delta rows are validated
+  /// against the schema (arity + per-attribute type).
+  static Result<std::shared_ptr<const ColumnarRelation>> Extend(
+      const ColumnarRelation& base, const std::vector<Tuple>& delta,
+      uint64_t new_version);
+
   const Schema& schema() const { return schema_; }
   size_t NumRows() const { return num_rows_; }
   size_t NumAttributes() const { return dicts_.size(); }
+
+  /// Monotonic publish version of this snapshot within its live lineage
+  /// (0 for snapshots built outside live ingest). Probe-cache keys embed it
+  /// so entries from superseded versions can be aged out by version.
+  uint64_t snapshot_version() const { return snapshot_version_; }
+
+  /// Process-unique snapshot instance id. Together with snapshot_version()
+  /// it makes probe keys collision-free across distinct snapshots without
+  /// relying on pointer identity (which ABA-reuses).
+  uint64_t snapshot_uid() const { return snapshot_uid_; }
 
   /// True when code columns live in a block store instead of resident
   /// vectors (see file comment).
@@ -155,12 +178,17 @@ class ColumnarRelation {
 
  private:
   friend class ColumnarBuilder;
-  ColumnarRelation() = default;  // assembled by ColumnarBuilder
+  ColumnarRelation() = default;  // assembled by ColumnarBuilder / Extend
 
   void EnsureCanonical() const;
 
+  // Fresh process-unique snapshot_uid_ value.
+  static uint64_t NextSnapshotUid();
+
   Schema schema_;
   size_t num_rows_ = 0;
+  uint64_t snapshot_version_ = 0;
+  uint64_t snapshot_uid_ = NextSnapshotUid();
   std::vector<ValueDict> dicts_;             // one per attribute
   std::vector<std::vector<ValueId>> codes_;  // [attr][row]; plain mode
   std::vector<std::vector<double>> nums_;    // [attr][row]; plain + numeric
@@ -187,6 +215,9 @@ class ColumnarBuilder {
     storage::BlockStoreOptions store;
     /// Capacity hint for per-attribute dictionaries (distinct values).
     size_t expected_distinct_per_attr = 0;
+    /// snapshot_version() stamped on the finished snapshot (live ingest
+    /// rebuilds a packed serving snapshot per published version).
+    uint64_t snapshot_version = 0;
   };
 
   /// Creates a builder for \p schema (and the spill file, if configured).
@@ -214,6 +245,7 @@ class ColumnarBuilder {
   std::vector<uint8_t> is_numeric_;  // per attribute
   std::unique_ptr<storage::CodeBlockStore> store_;
   size_t rows_ = 0;
+  uint64_t snapshot_version_ = 0;
   bool finished_ = false;
 };
 

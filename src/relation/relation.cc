@@ -5,7 +5,7 @@
 namespace aimq {
 
 Relation::Relation(const Relation& other) {
-  std::lock_guard<std::mutex> lock(other.columnar_mu_);
+  std::lock_guard<std::mutex> lock(other.columnar_cache_mu_);
   schema_ = other.schema_;
   tuples_ = other.tuples_;
   columnar_ = other.columnar_;
@@ -13,15 +13,16 @@ Relation::Relation(const Relation& other) {
 
 Relation& Relation::operator=(const Relation& other) {
   if (this == &other) return *this;
-  std::scoped_lock lock(columnar_mu_, other.columnar_mu_);
+  std::scoped_lock lock(columnar_cache_mu_, other.columnar_cache_mu_);
   schema_ = other.schema_;
   tuples_ = other.tuples_;
   columnar_ = other.columnar_;
+  ++columnar_generation_;
   return *this;
 }
 
 Relation::Relation(Relation&& other) noexcept {
-  std::lock_guard<std::mutex> lock(other.columnar_mu_);
+  std::lock_guard<std::mutex> lock(other.columnar_cache_mu_);
   schema_ = std::move(other.schema_);
   tuples_ = std::move(other.tuples_);
   columnar_ = std::move(other.columnar_);
@@ -29,19 +30,36 @@ Relation::Relation(Relation&& other) noexcept {
 
 Relation& Relation::operator=(Relation&& other) noexcept {
   if (this == &other) return *this;
-  std::scoped_lock lock(columnar_mu_, other.columnar_mu_);
+  std::scoped_lock lock(columnar_cache_mu_, other.columnar_cache_mu_);
   schema_ = std::move(other.schema_);
   tuples_ = std::move(other.tuples_);
   columnar_ = std::move(other.columnar_);
+  ++columnar_generation_;
   return *this;
 }
 
 std::shared_ptr<const ColumnarRelation> Relation::columnar() const {
-  std::lock_guard<std::mutex> lock(columnar_mu_);
-  if (!columnar_) {
-    columnar_ = std::make_shared<const ColumnarRelation>(*this);
+  {
+    std::lock_guard<std::mutex> lock(columnar_cache_mu_);
+    if (columnar_) return columnar_;
   }
-  return columnar_;
+  // Build under the dedicated build mutex, NOT the cache mutex: encoding is
+  // O(rows), and mutators (Append / InvalidateColumnar) must only ever wait
+  // behind the O(1) pointer update, never behind a rebuild (DESIGN.md §5e).
+  std::lock_guard<std::mutex> build_lock(columnar_build_mu_);
+  uint64_t generation;
+  {
+    std::lock_guard<std::mutex> lock(columnar_cache_mu_);
+    if (columnar_) return columnar_;  // built while we waited for build_lock
+    generation = columnar_generation_;
+  }
+  auto built = std::make_shared<const ColumnarRelation>(*this);
+  std::lock_guard<std::mutex> lock(columnar_cache_mu_);
+  // Publish only if no mutation raced the build; a stale snapshot is still
+  // correct for this caller (it saw the pre-mutation rows) but must not be
+  // cached.
+  if (columnar_generation_ == generation) columnar_ = built;
+  return built;
 }
 
 Status Relation::Append(Tuple tuple) {

@@ -78,13 +78,24 @@ class Relation {
 
  private:
   void InvalidateColumnar() {
-    std::lock_guard<std::mutex> lock(columnar_mu_);
+    // Mutation takes only the brief cache mutex — never the build mutex —
+    // so an ingester is never parked behind a concurrent O(rows) encode
+    // (the deadlock-prone relation-lock → rebuild-mutex ordering is gone;
+    // see DESIGN.md §5e, "Lock order").
+    std::lock_guard<std::mutex> lock(columnar_cache_mu_);
     columnar_.reset();
+    ++columnar_generation_;
   }
 
   Schema schema_;
   std::vector<Tuple> tuples_;
-  mutable std::mutex columnar_mu_;
+  // Lock order (DESIGN.md §5e): columnar_build_mu_ may be held while taking
+  // columnar_cache_mu_, never the reverse. The cache mutex guards only the
+  // pointer + generation (O(1) critical sections); the build mutex
+  // serializes the expensive snapshot encodes.
+  mutable std::mutex columnar_build_mu_;
+  mutable std::mutex columnar_cache_mu_;
+  mutable uint64_t columnar_generation_ = 0;  // bumped by every mutation
   mutable std::shared_ptr<const ColumnarRelation> columnar_;
 };
 

@@ -1,6 +1,43 @@
 #include "relation/value_dict.h"
 
+#include <cstring>
+
 namespace aimq {
+namespace {
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+bool ReadU32(const std::string& in, size_t* pos, uint32_t* v) {
+  if (*pos + 4 > in.size()) return false;
+  uint32_t out = 0;
+  for (int shift = 0; shift < 32; shift += 8) {
+    out |= static_cast<uint32_t>(static_cast<uint8_t>(in[(*pos)++])) << shift;
+  }
+  *v = out;
+  return true;
+}
+
+bool ReadU64(const std::string& in, size_t* pos, uint64_t* v) {
+  if (*pos + 8 > in.size()) return false;
+  uint64_t out = 0;
+  for (int shift = 0; shift < 64; shift += 8) {
+    out |= static_cast<uint64_t>(static_cast<uint8_t>(in[(*pos)++])) << shift;
+  }
+  *v = out;
+  return true;
+}
+
+}  // namespace
 
 void ValueDict::Reserve(size_t expected_values) {
   values_.reserve(expected_values);
@@ -19,6 +56,69 @@ ValueId ValueDict::Lookup(const Value& v) const {
   if (v.is_null()) return kNullCode;
   auto it = index_.find(v);
   return it == index_.end() ? kAbsentCode : it->second;
+}
+
+void ValueDict::SerializeTo(std::string* out) const {
+  AppendU32(out, static_cast<uint32_t>(values_.size()));
+  for (const Value& v : values_) {
+    if (v.is_numeric()) {
+      out->push_back('n');
+      uint64_t bits = 0;
+      const double d = v.AsNum();
+      static_assert(sizeof(bits) == sizeof(double), "double is 64-bit");
+      std::memcpy(&bits, &d, sizeof(bits));
+      AppendU64(out, bits);
+    } else {
+      out->push_back('c');
+      const std::string& s = v.AsCat();
+      AppendU32(out, static_cast<uint32_t>(s.size()));
+      out->append(s);
+    }
+  }
+}
+
+Result<ValueDict> ValueDict::Deserialize(const std::string& bytes) {
+  size_t pos = 0;
+  uint32_t count = 0;
+  if (!ReadU32(bytes, &pos, &count)) {
+    return Status::InvalidArgument("ValueDict: truncated entry count");
+  }
+  ValueDict dict;
+  dict.Reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (pos >= bytes.size()) {
+      return Status::InvalidArgument("ValueDict: truncated entry tag");
+    }
+    const char tag = bytes[pos++];
+    Value v;
+    if (tag == 'n') {
+      uint64_t bits = 0;
+      if (!ReadU64(bytes, &pos, &bits)) {
+        return Status::InvalidArgument("ValueDict: truncated numeric entry");
+      }
+      double d = 0.0;
+      std::memcpy(&d, &bits, sizeof(d));
+      v = Value::Num(d);
+    } else if (tag == 'c') {
+      uint32_t len = 0;
+      if (!ReadU32(bytes, &pos, &len) || pos + len > bytes.size()) {
+        return Status::InvalidArgument("ValueDict: truncated string entry");
+      }
+      v = Value::Cat(bytes.substr(pos, len));
+      pos += len;
+    } else {
+      return Status::InvalidArgument("ValueDict: unknown entry tag");
+    }
+    // Re-intern in code order. emplace assigns i (fresh NaN entries included:
+    // NaN != NaN, so each occurrence inserts its own index slot, preserving
+    // the live dictionary's fresh-code-per-NaN behavior).
+    dict.index_.emplace(v, static_cast<ValueId>(dict.values_.size()));
+    dict.values_.push_back(std::move(v));
+  }
+  if (pos != bytes.size()) {
+    return Status::InvalidArgument("ValueDict: trailing bytes");
+  }
+  return dict;
 }
 
 }  // namespace aimq

@@ -7,16 +7,27 @@
 // Codes are assigned in first-seen order, so code order reproduces the
 // historical first-seen semantics of Relation::DistinctValues exactly. Null
 // is never interned; it is represented by the reserved code kNullCode.
+//
+// Append-only invariant (the foundation of live ingest, DESIGN.md §5i):
+// Intern() only ever *appends*. A value's code, once assigned, never changes
+// meaning — growing the dictionary with new rows can only add codes at the
+// end, so every code column encoded against dictionary state v decodes
+// identically against any later state v+k. This is what makes incremental
+// snapshot production (ColumnarRelation::Extend) bit-identical to a
+// from-scratch rebuild, and what lets a serialized dictionary from an old
+// snapshot be extended in place to decode newly ingested rows.
 
 #ifndef AIMQ_RELATION_VALUE_DICT_H_
 #define AIMQ_RELATION_VALUE_DICT_H_
 
 #include <cstdint>
 #include <limits>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "relation/value.h"
+#include "util/status.h"
 
 namespace aimq {
 
@@ -44,7 +55,8 @@ class ValueDict {
   void Reserve(size_t expected_values);
 
   /// Interns \p v, returning its code (existing or freshly assigned).
-  /// Null interns to kNullCode without creating an entry.
+  /// Null interns to kNullCode without creating an entry. Append-only:
+  /// existing entries (and their codes) are never altered.
   ValueId Intern(const Value& v);
 
   /// Code of \p v if already interned, kNullCode for null, kAbsentCode
@@ -61,6 +73,19 @@ class ValueDict {
   size_t size() const { return values_.size(); }
 
   bool Empty() const { return values_.empty(); }
+
+  /// Appends a compact binary rendering of the dictionary to \p out:
+  /// entry count, then each value in code order (numerics as exact IEEE-754
+  /// bit patterns, so NaN payloads and -0.0 round-trip). Because codes are
+  /// append-only, a dictionary serialized at snapshot version v is a strict
+  /// prefix of the serialization at any later version — Deserialize + Intern
+  /// of the delta values reproduces the live dictionary exactly.
+  void SerializeTo(std::string* out) const;
+
+  /// Parses a SerializeTo rendering back into a dictionary with identical
+  /// code assignments (including one index entry per NaN occurrence, so
+  /// freshly interned NaNs continue to get fresh codes).
+  static Result<ValueDict> Deserialize(const std::string& bytes);
 
  private:
   std::vector<Value> values_;

@@ -88,8 +88,47 @@ void EmitProbeCache(const ProbeCacheStats& stats, Emitter* out) {
                "Probes served by parking on an identical probe already in "
                "flight.",
                static_cast<double>(stats.coalesced));
+  out->Counter("aimq_probe_cache_version_evictions_total",
+               "Entries aged out because their snapshot version was "
+               "superseded by a publish.",
+               static_cast<double>(stats.version_evictions));
   out->Gauge("aimq_probe_cache_hit_rate",
              "hits / lookups; 0 before any lookup.", stats.HitRate());
+}
+
+void EmitLiveIngest(const LiveIngestStats& live, Emitter* out) {
+  out->Gauge("aimq_snapshot_version",
+             "Snapshot version of the currently published serving stack.",
+             static_cast<double>(live.snapshot_version));
+  out->Gauge("aimq_knowledge_version",
+             "Knowledge edition answering newly admitted queries.",
+             static_cast<double>(live.knowledge_version));
+  out->Gauge("aimq_rows", "Rows in the published snapshot.",
+             static_cast<double>(live.rows_total));
+  out->Counter("aimq_ingest_rows_total",
+               "Rows accepted by ingest since startup (published or "
+               "pending).",
+               static_cast<double>(live.ingested_rows_total));
+  out->Gauge("aimq_ingest_pending_rows",
+             "Rows buffered but not yet published into a snapshot.",
+             static_cast<double>(live.pending_rows));
+  out->Gauge("aimq_knowledge_staleness_rows",
+             "Published rows the current knowledge edition has not seen.",
+             static_cast<double>(live.knowledge_staleness_rows));
+  out->Counter("aimq_snapshot_publishes_total",
+               "Snapshot versions published since startup.",
+               static_cast<double>(live.publishes_total));
+  out->Counter("aimq_knowledge_refreshes_total",
+               "Knowledge editions published since startup (initial mine "
+               "excluded).",
+               static_cast<double>(live.refreshes_total));
+  out->Gauge("aimq_snapshot_delta_rows",
+             "Rows added by the most recent snapshot publish.",
+             static_cast<double>(live.last_delta_rows));
+  out->Histogram("aimq_snapshot_publish_seconds",
+                 "Wall-clock of each snapshot publish (incremental build + "
+                 "atomic swap).",
+                 obs::FromHistogramSnapshot(live.publish_latency));
 }
 
 void EmitTenants(const std::map<std::string, TenantCounters>& tenants,

@@ -29,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "live/live_engine.h"
 #include "obs/metrics_registry.h"
 #include "service/metrics.h"
 #include "shard/sharded_engine.h"
@@ -47,6 +48,12 @@ void EmitServiceMetrics(const ServiceMetrics& metrics,
 /// Shared probe-cache families (aimq_probe_cache_*), including the
 /// coalescing counter.
 void EmitProbeCache(const ProbeCacheStats& stats,
+                    obs::MetricsRegistry::Emitter* out);
+
+/// Live-ingest families: snapshot/knowledge version gauges, ingest and
+/// publish counters, knowledge staleness, delta size, and the publish
+/// (build + swap) latency histogram aimq_snapshot_publish_seconds.
+void EmitLiveIngest(const LiveIngestStats& live,
                     obs::MetricsRegistry::Emitter* out);
 
 /// Per-tenant admission/outcome counters as `{tenant="..."}`-labelled

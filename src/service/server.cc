@@ -102,6 +102,67 @@ void AimqServer::Session(int fd) {
   CloseFd(fd);
 }
 
+std::string AimqServer::HandleIngest(const WireRequest& request) {
+  const Schema& schema = service_->schema();
+  std::vector<Tuple> rows;
+  rows.reserve(request.rows.AsArr().size());
+  for (const Json& row : request.rows.AsArr()) {
+    if (!row.is_object()) {
+      return MakeErrorResponse(
+                 request,
+                 Status::InvalidArgument("each ingest row must be an object"))
+          .Dump();
+    }
+    std::vector<Value> values(schema.NumAttributes());
+    for (size_t a = 0; a < schema.NumAttributes(); ++a) {
+      const Attribute& attr = schema.attribute(a);
+      const Json* v = row.Find(attr.name);
+      if (v == nullptr || v->is_null()) continue;  // missing/null -> null
+      if (attr.type == AttrType::kNumeric) {
+        if (!v->is_number()) {
+          return MakeErrorResponse(
+                     request, Status::InvalidArgument(
+                                  "attribute \"" + attr.name +
+                                  "\" is numeric; got a non-number"))
+              .Dump();
+        }
+        values[a] = Value::Num(v->AsNum());
+      } else {
+        if (!v->is_string()) {
+          return MakeErrorResponse(
+                     request, Status::InvalidArgument(
+                                  "attribute \"" + attr.name +
+                                  "\" is categorical; got a non-string"))
+              .Dump();
+        }
+        values[a] = Value::Cat(v->AsStr());
+      }
+    }
+    // Keys outside the schema are rejected rather than dropped: a typo'd
+    // attribute name silently ingesting null would be hard to notice.
+    for (const auto& [key, unused] : row.AsObj()) {
+      if (!schema.Contains(key)) {
+        return MakeErrorResponse(
+                   request, Status::InvalidArgument(
+                                "unknown attribute \"" + key + "\""))
+            .Dump();
+      }
+    }
+    rows.emplace_back(std::move(values));
+  }
+  const size_t accepted = rows.size();
+  auto published = service_->Ingest(std::move(rows));
+  if (!published.ok()) {
+    return MakeErrorResponse(request, published.status()).Dump();
+  }
+  Json out = Json::Obj();
+  if (request.has_id) out.Set("id", Json::Num(request.id));
+  out.Set("ok", Json::Bool(true));
+  out.Set("accepted", Json::Num(static_cast<double>(accepted)));
+  out.Set("snapshot_version", Json::Num(static_cast<double>(*published)));
+  return out.Dump();
+}
+
 std::string AimqServer::HandleLine(const std::string& line) {
   auto parsed = ParseWireRequest(line);
   if (!parsed.ok()) {
@@ -130,6 +191,23 @@ std::string AimqServer::HandleLine(const std::string& line) {
       out.Set("metrics", service_->StatsJson());
       return out.Dump();
     }
+    case WireRequest::Op::kIngest:
+      return HandleIngest(request);
+    case WireRequest::Op::kRefreshKnowledge: {
+      auto refreshed = service_->RefreshKnowledge();
+      if (!refreshed.ok()) {
+        return MakeErrorResponse(request, refreshed.status()).Dump();
+      }
+      Json out = Json::Obj();
+      if (request.has_id) out.Set("id", Json::Num(request.id));
+      out.Set("ok", Json::Bool(true));
+      out.Set("knowledge_version",
+              Json::Num(static_cast<double>(*refreshed)));
+      out.Set("snapshot_version",
+              Json::Num(static_cast<double>(
+                  service_->LiveStats().snapshot_version)));
+      return out.Dump();
+    }
     case WireRequest::Op::kQuery:
     case WireRequest::Op::kExplain:
       break;
@@ -152,8 +230,7 @@ std::string AimqServer::HandleLine(const std::string& line) {
     for (const auto& [shard, stats] : service_->BlockStats()) {
       block_misses_before += stats.cache.misses;
     }
-    if (const auto& cache = service_->engine().probe_cache();
-        cache != nullptr) {
+    if (const auto& cache = service_->probe_cache(); cache != nullptr) {
       coalesced_before = cache->stats().coalesced;
     }
   }
@@ -192,8 +269,7 @@ std::string AimqServer::HandleLine(const std::string& line) {
     profile.blocks_decoded = block_misses_after > block_misses_before
                                  ? block_misses_after - block_misses_before
                                  : 0;
-    if (const auto& cache = service_->engine().probe_cache();
-        cache != nullptr) {
+    if (const auto& cache = service_->probe_cache(); cache != nullptr) {
       const uint64_t coalesced_after = cache->stats().coalesced;
       profile.coalesced_probes = coalesced_after > coalesced_before
                                      ? coalesced_after - coalesced_before

@@ -30,6 +30,8 @@
 
 namespace aimq {
 
+struct WireRequest;
+
 /// \brief Thread-per-connection NDJSON/TCP server over one AimqService.
 class AimqServer {
  public:
@@ -57,6 +59,10 @@ class AimqServer {
 
   /// Handles one request line; returns the response line (sans '\n').
   std::string HandleLine(const std::string& line);
+
+  /// Parses the rows array against the service schema, ingests, and
+  /// publishes a snapshot; returns the response line (sans '\n').
+  std::string HandleIngest(const WireRequest& request);
 
   /// Answers one HTTP GET (\p request_line already consumed) and returns;
   /// the caller closes the connection.

@@ -1,5 +1,6 @@
 #include "service/service.h"
 
+#include <chrono>
 #include <cstdio>
 #include <future>
 #include <utility>
@@ -31,13 +32,18 @@ ShardedEngineOptions ShardOptionsFrom(const ServiceOptions& service_options) {
 AimqService::AimqService(const WebDatabase* source, MinedKnowledge knowledge,
                          AimqOptions engine_options,
                          ServiceOptions service_options)
-    : source_(source),
-      engine_(source, std::move(knowledge), std::move(engine_options),
-              ShardOptionsFrom(service_options)),
-      service_options_(service_options) {
+    : source_(source), service_options_(service_options) {
+  LiveOptions live_options;
+  live_options.engine = std::move(engine_options);
+  live_options.shards = ShardOptionsFrom(service_options);
+  // Create degrades (never fails): a packed shard build failure serves
+  // unsharded and surfaces through shard_build_status().
+  live_ = LiveEngine::Create(source, std::move(knowledge),
+                             std::move(live_options))
+              .TakeValue();
   if (service_options_.enable_tracing) {
     trace_ = std::make_unique<TraceRecorder>(service_options_.trace_capacity);
-    engine_.SetTraceRecorder(trace_.get());
+    live_->SetTraceRecorder(trace_.get());
   }
   // One pull collector covers the whole engine: every subsystem keeps its
   // native stats struct, and a scrape adapts them through the shared Emit*
@@ -47,11 +53,12 @@ AimqService::AimqService(const WebDatabase* source, MinedKnowledge knowledge,
   // none of which ever wait on the registry.
   registry_.AddCollector([this](obs::MetricsRegistry::Emitter* out) {
     EmitServiceMetrics(metrics_, out);
-    if (const auto& cache = engine_.core().probe_cache(); cache != nullptr) {
+    if (const auto& cache = live_->probe_cache(); cache != nullptr) {
       EmitProbeCache(cache->stats(), out);
     }
+    EmitLiveIngest(live_->Stats(), out);
     EmitTenants(metrics_.TenantSnapshot(), out);
-    const std::vector<ShardProbeSnapshot> shards = engine_.ShardStats();
+    const std::vector<ShardProbeSnapshot> shards = ShardStats();
     if (!shards.empty()) EmitShards(shards, out);
     EmitBlockStores(BlockStats(), out);
     EmitSimd(out);
@@ -83,6 +90,14 @@ Status AimqService::Start() {
   for (size_t i = 0; i < n; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+  if (service_options_.ingest_trigger_rows > 0 ||
+      service_options_.ingest_trigger_seconds > 0.0) {
+    {
+      std::lock_guard<std::mutex> refresh_lock(refresh_mu_);
+      refresh_stop_ = false;
+    }
+    refresher_ = std::thread([this] { RefreshLoop(); });
+  }
   return Status::OK();
 }
 
@@ -99,6 +114,9 @@ Status AimqService::Submit(ImpreciseQuery query, Callback done,
                            : next_request_id_.fetch_add(
                                  1, std::memory_order_relaxed);
   request.control->set_trace_id(request.request_id);
+  // Version capture happens here, at admission: however long the request
+  // queues, it runs on this (snapshot, knowledge) pair.
+  request.version = live_->Acquire();
   if (trace_ != nullptr) request.submit_nanos = trace_->NowNanos();
   const uint64_t effective_deadline =
       deadline_ms != 0 ? deadline_ms : service_options_.default_deadline_ms;
@@ -183,6 +201,7 @@ void AimqService::Drain() {
 
 void AimqService::Stop() {
   std::vector<std::thread> workers;
+  std::thread refresher;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!started_) return;
@@ -191,11 +210,18 @@ void AimqService::Stop() {
     // double-joins.
     workers = std::move(workers_);
     workers_.clear();
+    refresher = std::move(refresher_);
   }
   work_cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> refresh_lock(refresh_mu_);
+    refresh_stop_ = true;
+  }
+  refresh_cv_.notify_all();
   for (std::thread& w : workers) {
     if (w.joinable()) w.join();
   }
+  if (refresher.joinable()) refresher.join();
   std::lock_guard<std::mutex> lock(mu_);
   started_ = false;
 }
@@ -206,14 +232,36 @@ bool AimqService::running() const {
 }
 
 Json AimqService::StatsJson() const {
-  const auto& cache = engine_.core().probe_cache();
+  const auto& cache = live_->probe_cache();
   Json out = cache != nullptr
                  ? [&] {
                      const ProbeCacheStats stats = cache->stats();
                      return metrics_.Snapshot(&stats);
                    }()
                  : metrics_.Snapshot();
-  const std::vector<ShardProbeSnapshot> shards = engine_.ShardStats();
+  {
+    const LiveIngestStats live = live_->Stats();
+    Json obj = Json::Obj();
+    obj.Set("snapshot_version",
+            Json::Num(static_cast<double>(live.snapshot_version)));
+    obj.Set("knowledge_version",
+            Json::Num(static_cast<double>(live.knowledge_version)));
+    obj.Set("rows_total", Json::Num(static_cast<double>(live.rows_total)));
+    obj.Set("ingested_rows_total",
+            Json::Num(static_cast<double>(live.ingested_rows_total)));
+    obj.Set("pending_rows",
+            Json::Num(static_cast<double>(live.pending_rows)));
+    obj.Set("knowledge_staleness_rows",
+            Json::Num(static_cast<double>(live.knowledge_staleness_rows)));
+    obj.Set("publishes_total",
+            Json::Num(static_cast<double>(live.publishes_total)));
+    obj.Set("refreshes_total",
+            Json::Num(static_cast<double>(live.refreshes_total)));
+    obj.Set("last_delta_rows",
+            Json::Num(static_cast<double>(live.last_delta_rows)));
+    out.Set("live", std::move(obj));
+  }
+  const std::vector<ShardProbeSnapshot> shards = ShardStats();
   if (!shards.empty()) {
     Json arr = Json::Arr();
     for (const ShardProbeSnapshot& s : shards) {
@@ -241,18 +289,73 @@ Json AimqService::StatsJson() const {
 
 std::vector<std::pair<size_t, storage::BlockStoreStats>>
 AimqService::BlockStats() const {
+  const auto version = live_->Acquire();
   std::vector<std::pair<size_t, storage::BlockStoreStats>> stats =
-      engine_.ShardBlockStats();
+      version->facade != nullptr
+          ? version->facade->ShardBlockStats()
+          : std::vector<std::pair<size_t, storage::BlockStoreStats>>{};
   if (stats.empty()) {
-    // Unsharded: the engine probes the source directly, so a packed source's
-    // own store is the one doing the decoding.
-    const storage::CodeBlockStore* store = source_->columnar() != nullptr
-                                               ? source_->columnar()
-                                                     ->block_store()
-                                               : nullptr;
+    // Unsharded: the engine probes the current version's source directly,
+    // so a packed source's own store is the one doing the decoding.
+    const storage::CodeBlockStore* store =
+        version->source->columnar() != nullptr
+            ? version->source->columnar()->block_store()
+            : nullptr;
     if (store != nullptr) stats.emplace_back(0, store->GetStats());
   }
   return stats;
+}
+
+Result<uint64_t> AimqService::Ingest(std::vector<Tuple> rows) {
+  AIMQ_RETURN_NOT_OK(live_->Ingest(std::move(rows)));
+  AIMQ_ASSIGN_OR_RETURN(const uint64_t version, live_->PublishSnapshot());
+  // Wake the refresher: the row trigger may have just crossed. The flag
+  // makes the wakeup sticky — a notify that lands while the refresher is
+  // between waits (e.g. mid re-mine) is observed on its next pass instead
+  // of being lost.
+  {
+    std::lock_guard<std::mutex> lock(refresh_mu_);
+    refresh_ping_ = true;
+  }
+  refresh_cv_.notify_all();
+  return version;
+}
+
+Result<uint64_t> AimqService::RefreshKnowledge() {
+  return live_->RefreshKnowledge();
+}
+
+void AimqService::RefreshLoop() {
+  const uint64_t trigger_rows = service_options_.ingest_trigger_rows;
+  const double trigger_seconds = service_options_.ingest_trigger_seconds;
+  std::unique_lock<std::mutex> lock(refresh_mu_);
+  while (!refresh_stop_) {
+    bool timed_out = false;
+    if (trigger_seconds > 0.0) {
+      timed_out = !refresh_cv_.wait_for(
+          lock, std::chrono::duration<double>(trigger_seconds),
+          [this] { return refresh_stop_ || refresh_ping_; });
+    } else {
+      refresh_cv_.wait(lock,
+                       [this] { return refresh_stop_ || refresh_ping_; });
+    }
+    refresh_ping_ = false;
+    if (refresh_stop_) return;
+    const LiveIngestStats live = live_->Stats();
+    // Row trigger fires on any wakeup; the time trigger only on its own
+    // period (an ingest wakeup must not turn "every T seconds" into
+    // "after every ingest").
+    const bool rows_due = trigger_rows > 0 &&
+                          live.knowledge_staleness_rows >= trigger_rows;
+    const bool time_due = timed_out && trigger_seconds > 0.0 &&
+                          live.knowledge_staleness_rows > 0;
+    if (!rows_due && !time_due) continue;
+    lock.unlock();
+    // A failed re-mine keeps the previous edition serving; the next trigger
+    // retries.
+    (void)live_->RefreshKnowledge();
+    lock.lock();
+  }
 }
 
 size_t AimqService::QueueSize() const {
@@ -325,9 +428,9 @@ void AimqService::RunRequest(Request request) {
   Result<std::vector<RankedAnswer>> answers{std::vector<RankedAnswer>{}};
   {
     TraceSpan execute(trace_.get(), "execute", "service", request.request_id);
-    answers = engine_.Answer(request.query, service_options_.strategy,
-                             &response.stats, request.control.get(),
-                             &truncated);
+    answers = request.version->engine->Answer(
+        request.query, service_options_.strategy, &response.stats,
+        request.control.get(), &truncated);
   }
   response.total_seconds = request.since_submit.ElapsedSeconds();
   response.truncated = truncated;

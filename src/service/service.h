@@ -1,7 +1,10 @@
 // AimqService: an embeddable concurrent query service over one autonomous
-// source. Owns one AimqEngine (mined knowledge + shared ProbeCache) and
-// serves many concurrent sessions through a bounded request queue and a
-// fixed worker pool.
+// source. Owns a LiveEngine — a lineage of immutable serving versions, each
+// bundling (snapshot, source, facade, knowledge, AimqEngine) — and serves
+// many concurrent sessions through a bounded request queue and a fixed
+// worker pool. Each request captures the current serving version at
+// admission; ingest and knowledge refresh publish new versions with a single
+// atomic swap that never disturbs in-flight requests (DESIGN.md §5i).
 //
 // Threading / ownership model (see DESIGN.md, "Serving layer"):
 //
@@ -48,6 +51,7 @@
 
 #include "core/control.h"
 #include "core/engine.h"
+#include "live/live_engine.h"
 #include "obs/metrics_registry.h"
 #include "obs/query_profile.h"
 #include "service/metrics.h"
@@ -121,6 +125,19 @@ struct ServiceOptions {
   /// Relative scheduling weights for stride-scheduled dequeue (weight 2
   /// drains twice as fast as weight 1). Tenants absent here weigh 1.0.
   std::map<std::string, double> tenant_weights;
+
+  // -- Live ingest (see DESIGN.md §5i) -------------------------------------
+
+  /// Background knowledge refresh: re-mine once this many published rows
+  /// have not been seen by the current knowledge edition. 0 disables the
+  /// row trigger.
+  uint64_t ingest_trigger_rows = 0;
+
+  /// Background knowledge refresh: re-mine every this many seconds while
+  /// any published rows are unseen by the current edition. 0 disables the
+  /// time trigger. (With both triggers 0 no refresher thread is spawned;
+  /// RefreshKnowledge() remains available on demand.)
+  double ingest_trigger_seconds = 0.0;
 };
 
 /// Everything one answered request returns.
@@ -197,9 +214,43 @@ class AimqService {
   bool running() const;
 
   /// The source's schema (what wire sessions parse query text against).
+  /// Stable across ingest: live ingest grows rows, never the schema.
   const Schema& schema() const { return source_->schema(); }
 
-  const AimqEngine& engine() const { return engine_.core(); }
+  /// The engine of the *currently published* serving version. Valid until
+  /// the next snapshot publish or knowledge refresh — callers that must
+  /// survive a concurrent swap hold CurrentVersion() instead.
+  const AimqEngine& engine() const { return *live_->Acquire()->engine; }
+
+  /// The full serving version queries admitted right now would capture
+  /// (snapshot, source, facade, knowledge, engine). The returned shared_ptr
+  /// keeps every part alive across any number of publishes.
+  std::shared_ptr<const ServingVersion> CurrentVersion() const {
+    return live_->Acquire();
+  }
+
+  /// The probe cache shared across all serving versions (null when the
+  /// engine options disabled it). Unlike engine().probe_cache(), this
+  /// handle never goes stale across a publish.
+  const std::shared_ptr<ProbeCache>& probe_cache() const {
+    return live_->probe_cache();
+  }
+
+  /// Validates and buffers \p rows, then synchronously publishes a new
+  /// snapshot version containing them (atomic swap; in-flight queries keep
+  /// their captured version). Returns the new snapshot version. Wakes the
+  /// background refresher so the row trigger is evaluated promptly.
+  Result<uint64_t> Ingest(std::vector<Tuple> rows);
+
+  /// Re-mines knowledge against the current rows and publishes the new
+  /// edition (snapshot version unchanged). Returns the knowledge version.
+  Result<uint64_t> RefreshKnowledge();
+
+  /// Live-ingest accounting (versions, row counts, staleness, publish
+  /// latency) — the `live` object of StatsJson() and the aimq_snapshot_* /
+  /// aimq_knowledge_* / aimq_ingest_* metric families.
+  LiveIngestStats LiveStats() const { return live_->Stats(); }
+
   const ServiceOptions& service_options() const { return service_options_; }
   ServiceMetrics& metrics() { return metrics_; }
   const ServiceMetrics& metrics() const { return metrics_; }
@@ -214,11 +265,17 @@ class AimqService {
 
   /// Effective shard count (1 when unsharded, or when a packed shard build
   /// failed and the service degraded — see shard_build_status()).
-  size_t num_shards() const { return engine_.num_shards(); }
+  size_t num_shards() const {
+    const auto version = live_->Acquire();
+    return version->facade != nullptr ? version->facade->num_shards() : 1;
+  }
 
-  /// Per-shard probe + cache accounting; empty when unsharded.
+  /// Per-shard probe + cache accounting of the current serving version;
+  /// empty when unsharded.
   std::vector<ShardProbeSnapshot> ShardStats() const {
-    return engine_.ShardStats();
+    const auto version = live_->Acquire();
+    return version->facade != nullptr ? version->facade->ShardStats()
+                                      : std::vector<ShardProbeSnapshot>{};
   }
 
   /// (shard index, block-store stats) of every packed store the service
@@ -228,8 +285,12 @@ class AimqService {
   /// op's blocks-decoded delta.
   std::vector<std::pair<size_t, storage::BlockStoreStats>> BlockStats() const;
 
-  /// OK, or why the engine degraded to unsharded operation.
-  const Status& shard_build_status() const { return engine_.build_status(); }
+  /// OK, or why the current serving version degraded to unsharded
+  /// operation. By value: the owning version can be superseded while the
+  /// caller inspects the status.
+  Status shard_build_status() const {
+    return live_->Acquire()->shard_build_status;
+  }
 
   /// Live metrics + probe-cache stats as one JSON object (the STATS wire
   /// response body).
@@ -260,6 +321,10 @@ class AimqService {
     uint64_t request_id = 0;  // trace/slow-log correlation id
     uint64_t submit_nanos = 0;  // recorder clock at admission (0: untraced)
     std::string tenant;         // normalized (never empty)
+    // The serving version captured at admission: the request runs on this
+    // version's engine no matter how many publishes happen while it queues,
+    // so every answer is a pure function of (captured version, query).
+    std::shared_ptr<const ServingVersion> version;
   };
 
   // One tenant's pending requests plus its stride-scheduling state. Stride
@@ -279,9 +344,13 @@ class AimqService {
   // Pops the next request per the stride schedule. Caller holds mu_ and has
   // checked queued_total_ > 0.
   Request PopNextLocked();
+  // Background knowledge-refresh thread body (spawned iff a trigger is
+  // configured): waits on the time trigger / ingest wakeups, re-mines when
+  // staleness crosses a trigger.
+  void RefreshLoop();
 
   const WebDatabase* source_;
-  ShardedEngine engine_;
+  std::unique_ptr<LiveEngine> live_;
   const ServiceOptions service_options_;
   ServiceMetrics metrics_;
   obs::MetricsRegistry registry_;
@@ -304,6 +373,13 @@ class AimqService {
   bool started_ = false;              // guarded by mu_
   bool stopping_ = false;             // admission closed
   std::vector<std::thread> workers_;
+
+  // Background knowledge refresher (see ServiceOptions ingest triggers).
+  mutable std::mutex refresh_mu_;
+  std::condition_variable refresh_cv_;  // ingest happened / stopping
+  bool refresh_stop_ = false;           // guarded by refresh_mu_
+  bool refresh_ping_ = false;           // sticky ingest wakeup, same guard
+  std::thread refresher_;
 };
 
 }  // namespace aimq

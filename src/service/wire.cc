@@ -81,6 +81,16 @@ Result<WireRequest> ParseWireRequest(const std::string& line) {
   } else if (op == "explain") {
     req.op = WireRequest::Op::kExplain;
     AIMQ_ASSIGN_OR_RETURN(req.query_text, json.GetStr("q"));
+  } else if (op == "ingest") {
+    req.op = WireRequest::Op::kIngest;
+    const Json* rows = json.Find("rows");
+    if (rows == nullptr || !rows->is_array()) {
+      return Status::InvalidArgument(
+          "ingest requires a \"rows\" array of row objects");
+    }
+    req.rows = *rows;
+  } else if (op == "refresh_knowledge") {
+    req.op = WireRequest::Op::kRefreshKnowledge;
   } else {
     return Status::InvalidArgument("unknown op \"" + op + "\"");
   }

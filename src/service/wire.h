@@ -1,7 +1,7 @@
 // The query service's newline-delimited JSON wire protocol.
 //
 // One request per line, one response line per request, over a plain TCP
-// stream — testable with `nc localhost 7777`. Five operations:
+// stream — testable with `nc localhost 7777`. Seven operations:
 //
 //   {"op":"ping"}
 //     -> {"ok":true,"pong":true}
@@ -21,6 +21,17 @@
 //        obs::QueryProfile::ToJson. Cross-request deltas in the profile are
 //        sampled around this request and are approximate under concurrent
 //        traffic, exact on an idle service.
+//   {"op":"ingest","rows":[{"Make":"Toyota","Price":9500,...},...]}
+//     -> {"ok":true,"accepted":2,"snapshot_version":7}
+//        Rows are schema-validated (missing or null attributes ingest as
+//        null) and published synchronously as a new snapshot version;
+//        queries admitted before the response line was written keep their
+//        captured version (DESIGN.md §5i). All-or-nothing: one bad row
+//        rejects the batch.
+//   {"op":"refresh_knowledge"}
+//     -> {"ok":true,"knowledge_version":3,"snapshot_version":7}
+//        Re-mines AIMQ's knowledge against the current rows and swaps the
+//        new edition in atomically.
 //
 // Failures answer {"ok":false,"status":{...}} where the status object
 // round-trips aimq::Status losslessly: code (by name), message, and context
@@ -67,10 +78,21 @@ Json RankedAnswerToJson(const Schema& schema, const RankedAnswer& answer);
 
 /// A decoded request line.
 struct WireRequest {
-  enum class Op { kPing, kStats, kMetrics, kQuery, kExplain };
+  enum class Op {
+    kPing,
+    kStats,
+    kMetrics,
+    kQuery,
+    kExplain,
+    kIngest,
+    kRefreshKnowledge,
+  };
   Op op = Op::kPing;
   /// Query text ("Q(Model like 'Camry')"); only for kQuery/kExplain.
   std::string query_text;
+  /// Raw rows array ({"Attr":value,...} objects); only for kIngest. Parsed
+  /// against the schema by the server (the wire layer is schema-free).
+  Json rows;
   /// Per-request deadline override in ms; 0 = use the service default.
   uint64_t deadline_ms = 0;
   /// Trace correlation id; 0 = let the service assign one. Only for kQuery.

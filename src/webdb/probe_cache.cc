@@ -31,10 +31,10 @@ Result<std::vector<uint32_t>> ProbeCache::ExecuteRows(const WebDatabase& db,
   {
     std::unique_lock<std::mutex> lock(mu_);
     ++stats_.lookups;
-    if (const std::vector<uint32_t>* cached = cache_.Get(key)) {
+    if (const Entry* cached = cache_.Get(key)) {
       ++stats_.hits;
       if (hit != nullptr) *hit = true;
-      return *cached;  // copy out under the lock; entries are immutable
+      return cached->rows;  // copy out under the lock; entries are immutable
     }
     if (coalesce_) {
       auto it = flights_.find(key);
@@ -74,7 +74,7 @@ Result<std::vector<uint32_t>> ProbeCache::ExecuteRows(const WebDatabase& db,
     }
     if (probed.ok()) {
       const uint64_t before = cache_.evictions();
-      cache_.Put(std::move(key), *probed);
+      cache_.Put(std::move(key), Entry{*probed, db.SnapshotVersion()});
       stats_.evictions += cache_.evictions() - before;
     }
   }
@@ -99,6 +99,16 @@ void ProbeCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   cache_.Clear();
   stats_ = ProbeCacheStats{};
+}
+
+size_t ProbeCache::EvictVersionsBelow(uint64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t erased = cache_.EraseIf(
+      [version](const std::string&, const Entry& e) {
+        return e.version < version;
+      });
+  stats_.version_evictions += erased;
+  return erased;
 }
 
 void ProbeCache::EnableCoalescing(bool enabled) {

@@ -55,6 +55,10 @@ struct ProbeCacheStats {
   /// Lookups served by parking on a probe already in flight (counted in
   /// `hits` as well): one source scan answered this many extra sessions.
   uint64_t coalesced = 0;
+  /// Entries dropped by EvictVersionsBelow (live ingest ages out answers
+  /// from superseded snapshot versions). Separate from `evictions`, which
+  /// counts only capacity pressure.
+  uint64_t version_evictions = 0;
 
   /// Fraction of lookups spared a source probe (0 when no lookups yet).
   /// The serving layer reports this per metrics snapshot.
@@ -102,6 +106,16 @@ class ProbeCache {
   /// are unaffected (their waiters still get the leader's answer).
   void Clear();
 
+  /// Drops every entry cached against a snapshot version below \p version,
+  /// returning the number dropped (also accumulated in
+  /// stats().version_evictions). Live ingest calls this on publish: stale
+  /// entries can never poison new-version answers (keys embed the version,
+  /// so they simply never match), but without aging they would squat in the
+  /// LRU until capacity pressure pushes them out. Probes in flight are
+  /// unaffected — a follower parked across a swap still observes its
+  /// leader's old-version answer.
+  size_t EvictVersionsBelow(uint64_t version);
+
   /// Turns the in-flight coalescing table on or off (off by default, which
   /// preserves the historical race-and-overwrite behavior). Flip it before
   /// serving traffic; in-flight probes started under the previous setting
@@ -128,9 +142,17 @@ class ProbeCache {
     size_t waiters = 0;
   };
 
+  // Cached answer plus the snapshot version it was probed against (used
+  // only by EvictVersionsBelow; version match on lookup is implied by the
+  // key, which embeds snapshot version + uid).
+  struct Entry {
+    std::vector<uint32_t> rows;
+    uint64_t version = 0;
+  };
+
   const size_t capacity_;  // immutable; readable without mu_
   mutable std::mutex mu_;
-  LruCache<std::string, std::vector<uint32_t>> cache_;  // guarded by mu_
+  LruCache<std::string, Entry> cache_;  // guarded by mu_
   ProbeCacheStats stats_;                               // guarded by mu_
   bool coalesce_ = false;                               // guarded by mu_
   // In-flight probes by coded key; entries are shared so a flight outlives

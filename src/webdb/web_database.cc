@@ -52,6 +52,42 @@ void WebDatabase::BuildPostingLists() {
   }
 }
 
+void WebDatabase::ExtendPostingLists(const WebDatabase& prev) {
+  if (!postings_.empty()) return;
+  if (prev.postings_.empty()) {
+    BuildPostingLists();
+    return;
+  }
+  const size_t n = cols_->NumAttributes();
+  const size_t from_row = prev.cols_->NumRows();
+  // Old lists carry over verbatim: append-only dictionaries keep every old
+  // code's row set, and all delta row ids are >= from_row, so appending
+  // keeps each list ascending.
+  postings_ = prev.postings_;
+  std::vector<size_t> attrs;
+  attrs.reserve(n);
+  for (size_t a = 0; a < n; ++a) {
+    postings_[a].resize(cols_->dict(a).size());
+    attrs.push_back(a);
+  }
+  // Scan only the delta: windows entirely before from_row are skipped
+  // without decoding work beyond the cursor walk.
+  ColumnarRelation::WindowCursor cursor = cols_->ScanBlocks(std::move(attrs));
+  ColumnarRelation::CodeWindow w;
+  while (cursor.Next(&w)) {
+    if (w.begin_row + w.num_rows <= from_row) continue;
+    const size_t first = from_row > w.begin_row ? from_row - w.begin_row : 0;
+    for (size_t a = 0; a < n; ++a) {
+      const ValueId* codes = w.codes[a];
+      for (size_t i = first; i < w.num_rows; ++i) {
+        if (codes[i] == ValueDict::kNullCode) continue;
+        postings_[a][codes[i]].push_back(
+            static_cast<uint32_t>(w.begin_row + i));
+      }
+    }
+  }
+}
+
 Status WebDatabase::ValidateBooleanQuery(const SelectionQuery& query) const {
   for (const Predicate& p : query.predicates()) {
     if (p.op == CompareOp::kLike) {
@@ -168,10 +204,14 @@ std::string WebDatabase::CodedProbeKey(const SelectionQuery& query) const {
   }
   std::sort(parts.begin(), parts.end());
   // Prefix with the columnar snapshot's identity: codes and row ids are only
-  // meaningful relative to one snapshot, so a cache shared across sources
-  // can never cross-hit.
+  // meaningful relative to one snapshot, so a cache shared across sources —
+  // or across live-ingest versions — can never cross-hit. Version + uid, not
+  // the snapshot's address: a freed snapshot's address can be ABA-reused by
+  // its successor, which would let stale cached rows poison new-version
+  // answers.
   std::string key;
-  AppendU64(&key, reinterpret_cast<uintptr_t>(cols_.get()));
+  AppendU64(&key, cols_->snapshot_version());
+  AppendU64(&key, cols_->snapshot_uid());
   for (const std::string& part : parts) {
     AppendU32(&key, static_cast<uint32_t>(part.size()));
     key += part;

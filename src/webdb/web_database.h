@@ -93,6 +93,17 @@ class WebDatabase {
   /// True when per-code posting lists back ExecuteRows' candidate scans.
   bool has_posting_lists() const { return !postings_.empty(); }
 
+  /// Incremental variant of BuildPostingLists for live ingest (DESIGN.md
+  /// §5i): reuses \p prev's posting lists — valid because this source's
+  /// snapshot extends prev's (append-only dictionaries keep every old code's
+  /// meaning, and delta row ids exceed all of prev's, so per-code ascending
+  /// order is preserved by appending) — and scans only the delta rows.
+  /// Requires prev's snapshot to be a version-ancestor of this one with
+  /// prev.NumTuples() <= NumTuples(); falls back to a full build when prev
+  /// has no postings. Not thread-safe against in-flight queries: call before
+  /// serving.
+  void ExtendPostingLists(const WebDatabase& prev);
+
   const std::string& name() const { return name_; }
 
   /// The projected schema is public (it is visible on the Web form).
@@ -144,6 +155,11 @@ class WebDatabase {
   const std::shared_ptr<const ColumnarRelation>& columnar() const {
     return cols_;
   }
+
+  /// snapshot_version() of the snapshot this source evaluates against
+  /// (0 outside live ingest). Probe-cache entries record it so superseded
+  /// versions can be aged out on publish.
+  uint64_t SnapshotVersion() const { return cols_->snapshot_version(); }
 
   /// Probe accounting across all Execute calls.
   const ProbeStats& stats() const { return stats_; }

@@ -178,5 +178,139 @@ TEST(ColumnarTest, CensusDbCsvEncodeDecodeRoundTrip) {
                                  "censusdb");
 }
 
+// --- Incremental snapshot production (ColumnarRelation::Extend) ---
+
+// Asserts the two snapshots are bit-identical: same dictionaries (codes and
+// serialized bytes), same code columns, same raw numbers, same canonical
+// rows, same materialized tuples.
+void ExpectSnapshotsIdentical(const ColumnarRelation& a,
+                              const ColumnarRelation& b) {
+  ASSERT_EQ(a.NumRows(), b.NumRows());
+  ASSERT_EQ(a.NumAttributes(), b.NumAttributes());
+  for (size_t attr = 0; attr < a.NumAttributes(); ++attr) {
+    std::string bytes_a, bytes_b;
+    a.dict(attr).SerializeTo(&bytes_a);
+    b.dict(attr).SerializeTo(&bytes_b);
+    EXPECT_EQ(bytes_a, bytes_b) << "dict of attr " << attr;
+    for (size_t row = 0; row < a.NumRows(); ++row) {
+      ASSERT_EQ(a.CodeAt(attr, row), b.CodeAt(attr, row))
+          << "attr " << attr << " row " << row;
+      if (a.schema().attribute(attr).type == AttrType::kNumeric) {
+        const double na = a.NumAt(attr, row);
+        const double nb = b.NumAt(attr, row);
+        ASSERT_TRUE(na == nb || (std::isnan(na) && std::isnan(nb)))
+            << "attr " << attr << " row " << row;
+      }
+    }
+  }
+  for (uint32_t row = 0; row < a.NumRows(); ++row) {
+    ASSERT_EQ(a.CanonicalRow(row), b.CanonicalRow(row)) << "row " << row;
+    ASSERT_TRUE(a.MaterializeTuple(row) == b.MaterializeTuple(row))
+        << "row " << row;
+  }
+}
+
+TEST(ColumnarExtendTest, ExtendIsBitIdenticalToFromScratchEncode) {
+  CarDbSpec spec;
+  spec.num_tuples = 300;
+  spec.seed = 23;
+  Relation all = CarDbGenerator(spec).Generate();
+
+  // Base = first 200 rows; delta = the remaining 100.
+  Relation base(all.schema());
+  std::vector<Tuple> delta;
+  for (size_t i = 0; i < all.NumTuples(); ++i) {
+    if (i < 200) {
+      ASSERT_TRUE(base.Append(all.tuple(i)).ok());
+    } else {
+      delta.push_back(all.tuple(i));
+    }
+  }
+
+  auto extended = ColumnarRelation::Extend(*base.columnar(), delta, 1);
+  ASSERT_TRUE(extended.ok());
+  EXPECT_EQ((*extended)->snapshot_version(), 1u);
+  EXPECT_NE((*extended)->snapshot_uid(), base.columnar()->snapshot_uid());
+  ExpectSnapshotsIdentical(**extended, *all.columnar());
+}
+
+TEST(ColumnarExtendTest, ChainedExtendsMatchOneFromScratchEncode) {
+  Relation all(MixedSchema());
+  std::vector<std::vector<Tuple>> deltas;
+  const char* makes[] = {"Ford", "Kia", "", "Ford"};
+  for (int d = 0; d < 4; ++d) {
+    std::vector<Tuple> delta;
+    for (int i = 0; i < 5; ++i) {
+      Tuple t({i % 3 == 0 ? Value() : Value::Cat(makes[d]),
+               i % 2 == 0 ? Value::Num(1000 * d + i) : Value()});
+      ASSERT_TRUE(all.Append(t).ok());
+      delta.push_back(std::move(t));
+    }
+    deltas.push_back(std::move(delta));
+  }
+
+  std::shared_ptr<const ColumnarRelation> snap =
+      Relation(MixedSchema()).columnar();
+  for (size_t d = 0; d < deltas.size(); ++d) {
+    auto next = ColumnarRelation::Extend(*snap, deltas[d], d + 1);
+    ASSERT_TRUE(next.ok()) << "delta " << d;
+    snap = *next;
+    EXPECT_EQ(snap->snapshot_version(), d + 1);
+  }
+  ExpectSnapshotsIdentical(*snap, *all.columnar());
+}
+
+TEST(ColumnarExtendTest, EmptyDeltaAdvancesOnlyTheVersion) {
+  Relation r(MixedSchema());
+  ASSERT_TRUE(r.Append(Tuple({Value::Cat("Ford"), Value::Num(1)})).ok());
+  auto extended = ColumnarRelation::Extend(*r.columnar(), {}, 7);
+  ASSERT_TRUE(extended.ok());
+  EXPECT_EQ((*extended)->snapshot_version(), 7u);
+  ExpectSnapshotsIdentical(**extended, *r.columnar());
+}
+
+TEST(ColumnarExtendTest, ExtendValidatesDeltaRows) {
+  Relation r(MixedSchema());
+  ASSERT_TRUE(r.Append(Tuple({Value::Cat("Ford"), Value::Num(1)})).ok());
+  auto cols = r.columnar();
+  // Wrong arity.
+  EXPECT_FALSE(
+      ColumnarRelation::Extend(*cols, {Tuple({Value::Cat("x")})}, 1).ok());
+  // Type mismatch: categorical value in the numeric column.
+  EXPECT_FALSE(ColumnarRelation::Extend(
+                   *cols, {Tuple({Value::Cat("x"), Value::Cat("y")})}, 1)
+                   .ok());
+  // All-or-nothing: the base snapshot is untouched either way.
+  EXPECT_EQ(cols->NumRows(), 1u);
+}
+
+TEST(ColumnarExtendTest, ExtendFromPackedBaseMatchesPlainEncode) {
+  CarDbSpec spec;
+  spec.num_tuples = 150;
+  spec.seed = 5;
+  Relation all = CarDbGenerator(spec).Generate();
+
+  ColumnarBuilder::Options opts;
+  opts.store.block_size = 64;  // several blocks
+  auto builder = ColumnarBuilder::Create(all.schema(), opts);
+  ASSERT_TRUE(builder.ok());
+  std::vector<Tuple> delta;
+  for (size_t i = 0; i < all.NumTuples(); ++i) {
+    if (i < 100) {
+      ASSERT_TRUE((*builder)->AppendRow(all.tuple(i)).ok());
+    } else {
+      delta.push_back(all.tuple(i));
+    }
+  }
+  auto packed_base = (*builder)->Finish();
+  ASSERT_TRUE(packed_base.ok());
+  ASSERT_TRUE((*packed_base)->packed());
+
+  auto extended = ColumnarRelation::Extend(**packed_base, delta, 3);
+  ASSERT_TRUE(extended.ok());
+  EXPECT_FALSE((*extended)->packed());  // Extend produces plain snapshots
+  ExpectSnapshotsIdentical(**extended, *all.columnar());
+}
+
 }  // namespace
 }  // namespace aimq

@@ -150,6 +150,61 @@ TEST(ProbeCacheTest, ClearResetsEntriesAndCounters) {
   EXPECT_EQ(cache.stats().hits, 0u);
 }
 
+// Wraps the snapshot of \p base extended by \p delta as a new source at
+// \p version (what live ingest's publish does).
+WebDatabase ExtendDb(const WebDatabase& base, const std::vector<Tuple>& delta,
+                     uint64_t version) {
+  auto extended = ColumnarRelation::Extend(*base.columnar(), delta, version);
+  EXPECT_TRUE(extended.ok());
+  return WebDatabase(base.name(), *extended);
+}
+
+TEST(ProbeCacheTest, EvictVersionsBelowDropsOnlySupersededEntries) {
+  WebDatabase v0 = MakeDb();
+  WebDatabase v1 =
+      ExtendDb(v0, {Tuple({Value::Cat("Ford"), Value::Cat("Focus")})}, 1);
+  ProbeCache cache(8);
+
+  ASSERT_TRUE(cache.Execute(v0, MakeQuery("Toyota")).ok());
+  ASSERT_TRUE(cache.Execute(v0, MakeQuery("Honda")).ok());
+  ASSERT_TRUE(cache.Execute(v1, MakeQuery("Ford")).ok());
+  ASSERT_EQ(cache.size(), 3u);
+
+  EXPECT_EQ(cache.EvictVersionsBelow(1), 2u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_FALSE(cache.Contains(v0, MakeQuery("Toyota")));
+  EXPECT_FALSE(cache.Contains(v0, MakeQuery("Honda")));
+  EXPECT_TRUE(cache.Contains(v1, MakeQuery("Ford")));
+
+  // Aging is accounted separately from LRU pressure.
+  const ProbeCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.version_evictions, 2u);
+  EXPECT_EQ(stats.evictions, 0u);
+
+  // Idempotent once the old version is gone.
+  EXPECT_EQ(cache.EvictVersionsBelow(1), 0u);
+  EXPECT_EQ(cache.stats().version_evictions, 2u);
+}
+
+TEST(ProbeCacheTest, StaleVersionEntriesNeverAnswerNewVersionProbes) {
+  WebDatabase v0 = MakeDb();
+  ProbeCache cache(8);
+  auto old_rows = cache.ExecuteRows(v0, MakeQuery("Toyota"));
+  ASSERT_TRUE(old_rows.ok());
+  ASSERT_EQ(old_rows->size(), 2u);
+
+  // Same logical query against the extended snapshot: the cached v0 answer
+  // must not be served even though it was never explicitly evicted — the
+  // key embeds the snapshot version.
+  WebDatabase v1 =
+      ExtendDb(v0, {Tuple({Value::Cat("Toyota"), Value::Cat("Prius")})}, 1);
+  bool hit = true;
+  auto new_rows = cache.ExecuteRows(v1, MakeQuery("Toyota"), &hit);
+  ASSERT_TRUE(new_rows.ok());
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(new_rows->size(), 3u);
+}
+
 TEST(ProbeCacheTest, ConcurrentMixedWorkloadStaysConsistent) {
   WebDatabase db = MakeDb();
   ProbeCache cache(16);

@@ -161,6 +161,55 @@ TEST(ProbeCoalescingTest, LeaderErrorReachesEveryFollowerAndIsNotCached) {
   EXPECT_EQ(cache.size(), 0u);
 }
 
+TEST(ProbeCoalescingTest, FollowersParkedAcrossVersionSwapGetLeaderAnswer) {
+  // Regression test for live ingest: a publish ages out superseded cache
+  // entries (EvictVersionsBelow) while probes may be mid-flight. Followers
+  // parked on an old-version leader must still be handed the leader's
+  // old-version answer — the swap invalidates resident entries, never
+  // in-flight probes.
+  GatedDb db("CarDB", SmallCarDb());
+  ProbeCache cache(64);
+  cache.EnableCoalescing(true);
+
+  constexpr size_t kSessions = 4;
+  std::vector<Result<std::vector<uint32_t>>> results(
+      kSessions, Status::Internal("not run"));
+  std::vector<std::thread> sessions;
+  for (size_t i = 0; i < kSessions; ++i) {
+    sessions.emplace_back([&, i] {
+      results[i] = cache.ExecuteRows(db, ToyotaQuery());
+    });
+  }
+  ASSERT_TRUE(WaitFor([&] { return db.calls() == 1; }));
+  ASSERT_TRUE(
+      WaitFor([&] { return cache.InFlightWaiters() == kSessions - 1; }));
+
+  // A snapshot publish lands while the leader is mid-scan and the followers
+  // are parked: every resident entry below the new version is aged out.
+  // (db is at snapshot version 0, so any resident entry would go.)
+  cache.EvictVersionsBelow(1);
+
+  db.Release();
+  for (std::thread& t : sessions) t.join();
+
+  // One physical probe; every parked follower observes the leader's
+  // old-version answer, bit-identical to probing version 0 directly.
+  EXPECT_EQ(db.calls(), 1);
+  const auto expected = db.WebDatabase::ExecuteRows(ToyotaQuery());
+  ASSERT_TRUE(expected.ok());
+  for (size_t i = 0; i < kSessions; ++i) {
+    ASSERT_TRUE(results[i].ok()) << "session " << i;
+    EXPECT_EQ(*results[i], *expected) << "session " << i;
+  }
+  const ProbeCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.coalesced, kSessions - 1);
+
+  // The answer that landed after the swap is an old-version entry; the next
+  // aging pass reclaims it.
+  EXPECT_EQ(cache.EvictVersionsBelow(1), 1u);
+  EXPECT_FALSE(cache.Contains(db, ToyotaQuery()));
+}
+
 TEST(ProbeCoalescingTest, DisabledCoalescingNeverParksSessions) {
   GatedDb db("CarDB", SmallCarDb());
   db.Release();  // no gating needed; assert the steady-state accounting

@@ -3,9 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <memory>
 #include <set>
+#include <string>
+#include <thread>
 #include <unordered_set>
 #include <unistd.h>
+#include <vector>
 
 namespace aimq {
 namespace {
@@ -169,6 +173,66 @@ TEST(TupleTest, HashUsableInUnorderedSet) {
   set.insert(Tuple({Value::Cat("a")}));
   set.insert(Tuple({Value::Cat("b")}));
   EXPECT_EQ(set.size(), 2u);
+}
+
+// --- Columnar-cache concurrency (the §5e lock-order fix) ---
+
+TEST(RelationConcurrencyTest, ConcurrentSnapshotCallsShareOneEncode) {
+  Relation r(TestSchema());
+  for (int i = 0; i < 2000; ++i) {
+    r.AppendUnchecked(Row("Make" + std::to_string(i % 37), i));
+  }
+  constexpr size_t kThreads = 8;
+  std::vector<std::shared_ptr<const ColumnarRelation>> snaps(kThreads);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] { snaps[t] = r.columnar(); });
+  }
+  for (std::thread& t : threads) t.join();
+  for (size_t t = 0; t < kThreads; ++t) {
+    ASSERT_NE(snaps[t], nullptr);
+    EXPECT_EQ(snaps[t], snaps[0]);  // one cached build served everyone
+    EXPECT_EQ(snaps[t]->NumRows(), 2000u);
+  }
+}
+
+TEST(RelationConcurrencyTest, InterleavedMutateAndSnapshotRoundsStayCoherent) {
+  // Rounds of (sequenced) mutation followed by concurrent snapshot readers:
+  // every reader of a round must see that round's rows, and all readers of
+  // one round must share one snapshot. Exercises the generation-guarded
+  // publish in Relation::columnar() under real thread interleavings.
+  Relation r(TestSchema());
+  constexpr size_t kRounds = 100;
+  constexpr size_t kThreads = 4;
+  for (size_t round = 0; round < kRounds; ++round) {
+    ASSERT_TRUE(r.Append(Row("M" + std::to_string(round % 7), round)).ok());
+    std::vector<std::shared_ptr<const ColumnarRelation>> snaps(kThreads);
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] { snaps[t] = r.columnar(); });
+    }
+    for (std::thread& t : threads) t.join();
+    for (size_t t = 0; t < kThreads; ++t) {
+      ASSERT_EQ(snaps[t]->NumRows(), round + 1) << "round " << round;
+      EXPECT_EQ(snaps[t], snaps[0]) << "round " << round;
+    }
+  }
+}
+
+TEST(RelationConcurrencyTest, OldSnapshotsSurviveMutationAndOwnerDeath) {
+  auto orphan = [] {
+    Relation r(TestSchema());
+    EXPECT_TRUE(r.Append(Row("Ford", 1)).ok()) << "setup";
+    auto before = r.columnar();
+    EXPECT_TRUE(r.Append(Row("Kia", 2)).ok()) << "setup";
+    auto after = r.columnar();
+    EXPECT_EQ(before->NumRows(), 1u);
+    EXPECT_EQ(after->NumRows(), 2u);
+    EXPECT_NE(before, after);
+    return before;  // the relation dies here
+  }();
+  EXPECT_EQ(orphan->NumRows(), 1u);
+  EXPECT_EQ(orphan->ValueAt(0, 0), Value::Cat("Ford"));
 }
 
 }  // namespace

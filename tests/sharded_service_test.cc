@@ -169,7 +169,7 @@ TEST_F(ShardedServiceTest, PrometheusTextExposesShardAndTenantFamilies) {
   service.Stop();
 
   const std::vector<ShardProbeSnapshot> shards = service.ShardStats();
-  const ProbeCacheStats cache = service.engine().probe_cache()->stats();
+  const ProbeCacheStats cache = service.probe_cache()->stats();
   const std::string text =
       PrometheusMetricsText(service.metrics(), &cache, &shards);
   EXPECT_NE(text.find("aimq_shard_probes_total{shard=\"0\"}"),

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <vector>
 
 namespace aimq {
 namespace {
@@ -98,6 +100,115 @@ TEST(ValueDictTest, ValuesListMatchesCodes) {
     EXPECT_EQ(values[c], dict.value(c));
     EXPECT_EQ(dict.Lookup(values[c]), c);
   }
+}
+
+// --- Append-only invariants (the foundation of live ingest) ---
+
+TEST(ValueDictAppendOnlyTest, CodesStableAcrossAppends) {
+  ValueDict dict;
+  std::vector<ValueId> before;
+  for (int i = 0; i < 64; ++i) {
+    before.push_back(dict.Intern(Value::Cat("v" + std::to_string(i))));
+  }
+  // Grow the dictionary substantially; every previously assigned code must
+  // keep both its numeric value and its meaning.
+  for (int i = 0; i < 512; ++i) {
+    dict.Intern(Value::Num(i * 1.5));
+  }
+  for (int i = 0; i < 64; ++i) {
+    const Value v = Value::Cat("v" + std::to_string(i));
+    EXPECT_EQ(dict.Lookup(v), before[i]);
+    EXPECT_EQ(dict.value(before[i]), v);
+  }
+}
+
+TEST(ValueDictAppendOnlyTest, ReservedCodesSurviveGrowth) {
+  ValueDict dict;
+  EXPECT_EQ(dict.Intern(Value()), ValueDict::kNullCode);
+  for (int i = 0; i < 1000; ++i) {
+    const ValueId code = dict.Intern(Value::Num(i));
+    EXPECT_NE(code, ValueDict::kNullCode);
+    EXPECT_NE(code, ValueDict::kAbsentCode);
+  }
+  EXPECT_EQ(dict.Intern(Value()), ValueDict::kNullCode);
+  EXPECT_EQ(dict.Lookup(Value()), ValueDict::kNullCode);
+  EXPECT_EQ(dict.Lookup(Value::Cat("never seen")), ValueDict::kAbsentCode);
+}
+
+TEST(ValueDictAppendOnlyTest, SerializationIsPrefixClosedAcrossVersions) {
+  ValueDict dict;
+  dict.Intern(Value::Cat("Toyota"));
+  dict.Intern(Value::Num(-0.0));
+  dict.Intern(Value::Cat(""));
+  std::string at_v;
+  dict.SerializeTo(&at_v);
+
+  // Version v+k adds values; codes of v are untouched, and v's rendering is
+  // reproduced exactly by re-serializing the prefix of the grown dictionary.
+  dict.Intern(Value::Cat("Honda"));
+  dict.Intern(Value::Num(9500));
+  std::string at_vk;
+  dict.SerializeTo(&at_vk);
+  EXPECT_NE(at_v, at_vk);
+
+  auto old_dict = ValueDict::Deserialize(at_v);
+  ASSERT_TRUE(old_dict.ok());
+  EXPECT_EQ(old_dict->size(), 3u);
+  // Extending the deserialized old dictionary with the delta values
+  // reproduces the live dictionary: same codes, same serialization.
+  EXPECT_EQ(old_dict->Intern(Value::Cat("Honda")), 3u);
+  EXPECT_EQ(old_dict->Intern(Value::Num(9500)), 4u);
+  std::string rebuilt;
+  old_dict->SerializeTo(&rebuilt);
+  EXPECT_EQ(rebuilt, at_vk);
+}
+
+TEST(ValueDictAppendOnlyTest, DictFromVersionVDecodesRowsIngestedLater) {
+  // A dictionary serialized at version v must decode code columns written at
+  // v — and, after interning the delta, columns written at v+k.
+  ValueDict live;
+  std::vector<ValueId> column_v;
+  for (const char* s : {"a", "b", "a", "c"}) {
+    column_v.push_back(live.Intern(Value::Cat(s)));
+  }
+  std::string bytes_v;
+  live.SerializeTo(&bytes_v);
+
+  std::vector<ValueId> column_vk;
+  for (const char* s : {"c", "d", "e", "a"}) {
+    column_vk.push_back(live.Intern(Value::Cat(s)));
+  }
+
+  auto restored = ValueDict::Deserialize(bytes_v);
+  ASSERT_TRUE(restored.ok());
+  for (size_t i = 0; i < column_v.size(); ++i) {
+    EXPECT_EQ(restored->value(column_v[i]), live.value(column_v[i]));
+  }
+  // Replay the delta rows through the restored dictionary: identical codes.
+  for (size_t i = 0; i < column_vk.size(); ++i) {
+    const Value& v = live.value(column_vk[i]);
+    EXPECT_EQ(restored->Intern(v), column_vk[i]);
+  }
+}
+
+TEST(ValueDictAppendOnlyTest, SerializationRoundTripsNanAndNegativeZero) {
+  const double nan = std::nan("");
+  ValueDict dict;
+  dict.Intern(Value::Num(nan));
+  dict.Intern(Value::Num(nan));
+  dict.Intern(Value::Num(-0.0));
+  std::string bytes;
+  dict.SerializeTo(&bytes);
+  auto restored = ValueDict::Deserialize(bytes);
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored->size(), 3u);
+  EXPECT_TRUE(std::isnan(restored->value(0).AsNum()));
+  EXPECT_TRUE(std::isnan(restored->value(1).AsNum()));
+  EXPECT_TRUE(std::signbit(restored->value(2).AsNum()));
+  // NaN occurrences keep getting fresh codes after deserialization.
+  EXPECT_EQ(restored->Intern(Value::Num(nan)), 3u);
+  // -0.0 still shares its code with 0.0.
+  EXPECT_EQ(restored->Intern(Value::Num(0.0)), 2u);
 }
 
 }  // namespace
